@@ -1,0 +1,68 @@
+//! End-to-end diagnosis benchmarks: the three basic engines on a
+//! medium workload (Table 2 in microcosm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gatediag_bench::harness::Workload;
+use gatediag_core::{
+    basic_sat_diagnose, basic_sim_diagnose, sc_diagnose, BsatOptions, BsimOptions, CovOptions,
+};
+use gatediag_netlist::RandomCircuitSpec;
+
+fn bench_diagnosis(c: &mut Criterion) {
+    let golden = RandomCircuitSpec::new(16, 6, 600).seed(4).generate();
+    let workload = Workload::from_golden("bench600", golden, 2, 4);
+    let m = workload.tests.len().min(8);
+    let tests = workload.tests.prefix(m);
+    let k = workload.p;
+
+    let mut group = c.benchmark_group("diagnosis_600g_2e_8t");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(8));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("bsim", |b| {
+        b.iter(|| basic_sim_diagnose(&workload.faulty, &tests, BsimOptions::default()))
+    });
+    group.bench_function("cov_all", |b| {
+        b.iter(|| {
+            sc_diagnose(
+                &workload.faulty,
+                &tests,
+                k,
+                CovOptions {
+                    max_solutions: 1000,
+                    ..CovOptions::default()
+                },
+            )
+        })
+    });
+    group.bench_function("bsat_all", |b| {
+        b.iter(|| {
+            basic_sat_diagnose(
+                &workload.faulty,
+                &tests,
+                k,
+                BsatOptions {
+                    max_solutions: 1000,
+                    ..BsatOptions::default()
+                },
+            )
+        })
+    });
+    group.bench_function("bsat_one", |b| {
+        b.iter(|| {
+            basic_sat_diagnose(
+                &workload.faulty,
+                &tests,
+                k,
+                BsatOptions {
+                    max_solutions: 1,
+                    ..BsatOptions::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagnosis);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Complexity-shape benchmarks behind the paper's Table 1.
+//!
+//! Table 1 claims: BSIM is `O(|I|·m)` (linear in circuit size and test
+//! count); COV's covering search grows with `k`; BSAT's instance grows as
+//! `Θ(|I|·m)` with search exponential in the worst case. These sweeps
+//! make the growth curves measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gatediag_bench::harness::Workload;
+use gatediag_core::{
+    basic_sat_diagnose, basic_sim_diagnose, sc_diagnose, BsatOptions, BsimOptions, CovOptions,
+};
+use gatediag_netlist::RandomCircuitSpec;
+
+fn bench_bsim_vs_circuit_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsim_linear_in_size");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for size in [250usize, 500, 1000, 2000] {
+        let golden = RandomCircuitSpec::new(16, 6, size).seed(7).generate();
+        let w = Workload::from_golden("scale", golden, 1, 7);
+        let m = w.tests.len().min(8);
+        if m == 0 {
+            continue;
+        }
+        let tests = w.tests.prefix(m);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| basic_sim_diagnose(&w.faulty, &tests, BsimOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bsim_vs_test_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsim_linear_in_tests");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let golden = RandomCircuitSpec::new(16, 6, 1000).seed(8).generate();
+    let w = Workload::from_golden("scale", golden, 2, 8);
+    for m in [4usize, 8, 16, 32] {
+        if w.tests.len() < m {
+            continue;
+        }
+        let tests = w.tests.prefix(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| basic_sim_diagnose(&w.faulty, &tests, BsimOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cov_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cov_exponential_in_k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let golden = RandomCircuitSpec::new(16, 6, 500).seed(9).generate();
+    let w = Workload::from_golden("scale", golden, 2, 9);
+    let m = w.tests.len().min(8);
+    if m > 0 {
+        let tests = w.tests.prefix(m);
+        for k in [1usize, 2, 3] {
+            group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+                b.iter(|| {
+                    sc_diagnose(
+                        &w.faulty,
+                        &tests,
+                        k,
+                        CovOptions {
+                            max_solutions: 2_000,
+                            ..CovOptions::default()
+                        },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_bsat_vs_test_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsat_instance_grows_with_m");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let golden = RandomCircuitSpec::new(16, 6, 500).seed(10).generate();
+    let w = Workload::from_golden("scale", golden, 1, 10);
+    for m in [4usize, 8, 16, 32] {
+        if w.tests.len() < m {
+            continue;
+        }
+        let tests = w.tests.prefix(m);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                basic_sat_diagnose(
+                    &w.faulty,
+                    &tests,
+                    1,
+                    BsatOptions {
+                        max_solutions: 5000,
+                        ..BsatOptions::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bsim_vs_circuit_size,
+    bench_bsim_vs_test_count,
+    bench_cov_vs_k,
+    bench_bsat_vs_test_count
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Simulation engine benchmarks: the "efficient parallel simulation with
+//! linear runtime" claim behind the paper's simulation-based approaches.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gatediag_netlist::{s1423_like, RandomCircuitSpec, VectorGen};
+use gatediag_sim::{pack_vectors, simulate, simulate_packed, DeltaSim};
+
+fn bench_sim(c: &mut Criterion) {
+    let circuit = s1423_like(1);
+    let mut gen = VectorGen::new(&circuit, 1);
+    let vectors: Vec<Vec<bool>> = (0..64).map(|_| gen.next_vector()).collect();
+    let packed = pack_vectors(&circuit, &vectors);
+
+    let mut group = c.benchmark_group("sim");
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(64));
+    group.bench_function("packed_64_patterns_s1423_like", |b| {
+        b.iter(|| simulate_packed(&circuit, &packed))
+    });
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("scalar_1_pattern_s1423_like", |b| {
+        b.iter(|| simulate(&circuit, &vectors[0]))
+    });
+    group.finish();
+
+    // Event-driven incremental vs full resimulation under a single forced
+    // gate change (the advanced simulation-based effect analysis).
+    let medium = RandomCircuitSpec::new(32, 8, 4000).seed(2).generate();
+    let vector = VectorGen::new(&medium, 2).next_vector();
+    let deep_gate = medium
+        .iter()
+        .max_by_key(|(id, _)| medium.level(*id))
+        .map(|(id, _)| id)
+        .expect("non-empty circuit");
+
+    let mut group = c.benchmark_group("resim_effect_analysis");
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("full_resim_4000_gates", |b| {
+        b.iter(|| gatediag_sim::simulate_forced(&medium, &vector, &[(deep_gate, true)]))
+    });
+    group.bench_function("event_driven_4000_gates", |b| {
+        let mut sim = DeltaSim::new(&medium, &vector);
+        sim.propagate();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            sim.force(deep_gate, flip);
+            sim.propagate()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Feasibility probe for the s38417-profile workload: builds the BSAT
+//! instance for a small test count and finds one solution, reporting
+//! build/solve times and instance size. Used to calibrate the `--scale
+//! full` experiments (see EXPERIMENTS.md).
+
+use gatediag_bench::harness::Workload;
+use gatediag_core::{basic_sat_diagnose, basic_sim_diagnose, BsatOptions, BsimOptions};
+use gatediag_netlist::s38417_like;
+use std::time::Instant;
+
+fn main() {
+    let m: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let t0 = Instant::now();
+    let golden = s38417_like(1);
+    println!(
+        "generated s38417_like: {} gates, {} inputs, {} outputs in {:.2?}",
+        golden.num_functional_gates(),
+        golden.inputs().len(),
+        golden.outputs().len(),
+        t0.elapsed()
+    );
+    let t0 = Instant::now();
+    let w = Workload::from_golden("s38417_like", golden, 2, 1);
+    println!(
+        "workload: {} failing tests in {:.2?}",
+        w.tests.len(),
+        t0.elapsed()
+    );
+    let m = m.min(w.tests.len());
+    let tests = w.tests.prefix(m);
+
+    let t0 = Instant::now();
+    let bsim = basic_sim_diagnose(&w.faulty, &tests, BsimOptions::default());
+    println!(
+        "BSIM over {m} tests: {:.2?} ({} gates marked)",
+        t0.elapsed(),
+        bsim.union.len()
+    );
+
+    let result = basic_sat_diagnose(
+        &w.faulty,
+        &tests,
+        2,
+        BsatOptions {
+            max_solutions: 1,
+            conflict_budget: Some(5_000_000),
+            ..BsatOptions::default()
+        },
+    );
+    println!(
+        "BSAT one-solution: build {:.2?}, first {:.2?}, total {:.2?}, complete={}, #sol={}",
+        result.build_time,
+        result.first_solution_time,
+        result.total_time,
+        result.complete,
+        result.solutions.len()
+    );
+    println!(
+        "solver: {} conflicts, {} decisions, {} propagations",
+        result.stats.conflicts, result.stats.decisions, result.stats.propagations
+    );
+}

@@ -1,0 +1,376 @@
+//! Shared experiment harness for the paper's Tables 2-3 and Figure 6.
+//!
+//! The paper's workloads: ISCAS89 circuits `s1423` (4 injected errors),
+//! `s6669` (3 errors) and `s38417` (2 errors), diagnosed with
+//! `m ∈ {4, 8, 16, 32}` prefix tests of one generated test-set and
+//! `k = p`. The circuits here are profile-matched synthetics (see
+//! `gatediag-netlist`'s generator docs and DESIGN.md for the
+//! substitution rationale); real `.bench` files can be dropped in with
+//! [`Workload::from_bench`].
+
+use gatediag_core::{
+    basic_sat_diagnose, basic_sim_diagnose, bsim_quality, sc_diagnose, solution_quality,
+    BsatOptions, BsatResult, BsimOptions, BsimQuality, CovOptions, CovResult, SolutionQuality,
+    TestSet,
+};
+use gatediag_netlist::{
+    inject_errors, parse_bench_named, s1423_like, s38417_like, s6669_like, Circuit, GateId,
+};
+use std::time::{Duration, Instant};
+
+/// Which benchmark circuits to run.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// `s1423_like` and `s6669_like` — minutes of runtime.
+    Quick,
+    /// All three profiles including `s38417_like` — can take much longer.
+    Full,
+}
+
+impl Scale {
+    /// Parses `quick` / `full` (case-insensitive).
+    pub fn parse(text: &str) -> Option<Scale> {
+        match text.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A diagnosis workload: a faulty circuit, its known error sites and a
+/// pool of failing tests.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name for reporting.
+    pub name: String,
+    /// The faulty circuit under diagnosis.
+    pub faulty: Circuit,
+    /// Number of injected errors (the paper's `p`, also used as `k`).
+    pub p: usize,
+    /// The injected error sites.
+    pub errors: Vec<GateId>,
+    /// Pool of failing tests (up to 32; experiments use prefixes).
+    pub tests: TestSet,
+}
+
+impl Workload {
+    /// Builds a workload from a golden circuit by injecting `p` errors and
+    /// collecting up to 32 failing tests.
+    pub fn from_golden(name: &str, golden: Circuit, p: usize, seed: u64) -> Workload {
+        // Retry injection seeds until the errors are observable enough to
+        // provide a full 32-test pool (profile circuits occasionally bury
+        // an error in a near-redundant region).
+        let mut inject_seed = seed;
+        loop {
+            let (faulty, sites) = inject_errors(&golden, p, inject_seed);
+            let tests = gatediag_core::generate_failing_tests(&golden, &faulty, 32, seed, 1 << 17);
+            if tests.len() >= 32 || inject_seed > seed + 20 {
+                return Workload {
+                    name: name.to_string(),
+                    faulty,
+                    p,
+                    errors: sites.iter().map(|s| s.gate).collect(),
+                    tests,
+                };
+            }
+            inject_seed += 1;
+        }
+    }
+
+    /// Builds a workload from real `.bench` text (for users with the
+    /// original ISCAS89 files).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist parse errors.
+    pub fn from_bench(
+        name: &str,
+        bench_text: &str,
+        p: usize,
+        seed: u64,
+    ) -> Result<Workload, gatediag_netlist::NetlistError> {
+        let golden = parse_bench_named(bench_text, name)?;
+        Ok(Workload::from_golden(name, golden, p, seed))
+    }
+}
+
+/// The paper's three benchmark configurations.
+pub fn paper_workloads(scale: Scale, seed: u64) -> Vec<Workload> {
+    let mut workloads = vec![
+        Workload::from_golden("s1423_like", s1423_like(seed), 4, seed),
+        Workload::from_golden("s6669_like", s6669_like(seed), 3, seed),
+    ];
+    if scale == Scale::Full {
+        workloads.push(Workload::from_golden(
+            "s38417_like",
+            s38417_like(seed),
+            2,
+            seed,
+        ));
+    }
+    workloads
+}
+
+/// The paper's test-count sweep.
+pub const TEST_COUNTS: [usize; 4] = [4, 8, 16, 32];
+
+/// Caps protecting the harness from pathological enumeration blow-ups;
+/// truncations are reported in the output.
+#[derive(Copy, Clone, Debug)]
+pub struct Limits {
+    /// Maximum solutions enumerated per engine per configuration.
+    pub max_solutions: usize,
+    /// Conflict budget for the whole BSAT run (`None` = unlimited).
+    pub bsat_conflict_budget: Option<u64>,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_solutions: 50_000,
+            bsat_conflict_budget: Some(20_000_000),
+        }
+    }
+}
+
+/// All measurements for one `(workload, m)` cell of the paper's tables.
+#[derive(Clone, Debug)]
+pub struct CellMetrics {
+    /// Circuit name.
+    pub name: String,
+    /// Injected error count `p` (= `k`).
+    pub p: usize,
+    /// Number of tests `m`.
+    pub m: usize,
+    /// BSIM wall time (Table 2 "BSIM").
+    pub bsim_time: Duration,
+    /// BSIM quality metrics (Table 3 left).
+    pub bsim_quality: BsimQuality,
+    /// COV result (times + solutions).
+    pub cov: CovResult,
+    /// COV quality metrics.
+    pub cov_quality: SolutionQuality,
+    /// BSAT result (times + solutions).
+    pub bsat: BsatResult,
+    /// BSAT quality metrics.
+    pub bsat_quality: SolutionQuality,
+}
+
+/// Runs all three engines on the first `m` tests of `workload`.
+///
+/// # Panics
+///
+/// Panics if the workload has fewer than `m` tests.
+pub fn run_cell(workload: &Workload, m: usize, limits: Limits) -> CellMetrics {
+    assert!(
+        workload.tests.len() >= m,
+        "{}: only {} failing tests available, need {m}",
+        workload.name,
+        workload.tests.len()
+    );
+    let tests = workload.tests.prefix(m);
+    let k = workload.p;
+
+    let t0 = Instant::now();
+    let bsim = basic_sim_diagnose(&workload.faulty, &tests, BsimOptions::default());
+    let bsim_time = t0.elapsed();
+    let bq = bsim_quality(&workload.faulty, &bsim, &workload.errors);
+
+    let cov = sc_diagnose(
+        &workload.faulty,
+        &tests,
+        k,
+        CovOptions {
+            max_solutions: limits.max_solutions,
+            ..CovOptions::default()
+        },
+    );
+    let cq = solution_quality(&workload.faulty, &cov.solutions, &workload.errors);
+
+    let bsat = basic_sat_diagnose(
+        &workload.faulty,
+        &tests,
+        k,
+        BsatOptions {
+            max_solutions: limits.max_solutions,
+            conflict_budget: limits.bsat_conflict_budget,
+            ..BsatOptions::default()
+        },
+    );
+    let sq = solution_quality(&workload.faulty, &bsat.solutions, &workload.errors);
+
+    CellMetrics {
+        name: workload.name.clone(),
+        p: workload.p,
+        m,
+        bsim_time,
+        bsim_quality: bq,
+        cov,
+        cov_quality: cq,
+        bsat,
+        bsat_quality: sq,
+    }
+}
+
+/// Formats a duration the way the paper's tables do (seconds, 2 decimals).
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Options shared by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Circuit selection.
+    pub scale: Scale,
+    /// Workload seed.
+    pub seed: u64,
+    /// Enumeration caps.
+    pub limits: Limits,
+    /// When set, run only the workload whose name contains this string.
+    pub only: Option<String>,
+}
+
+/// Parses `--scale`, `--seed`, `--max-solutions`, `--only` command-line
+/// options shared by the experiment binaries. Returns `(scale, seed,
+/// limits)` for compatibility; use [`parse_config`] for the full set.
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed options.
+pub fn parse_args() -> (Scale, u64, Limits) {
+    let c = parse_config();
+    (c.scale, c.seed, c.limits)
+}
+
+/// Full option parsing (see [`parse_args`]).
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed options.
+pub fn parse_config() -> RunConfig {
+    let mut scale = Scale::Quick;
+    let mut seed = 1u64;
+    let mut limits = Limits::default();
+    let mut only: Option<String> = None;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| panic!("--scale expects quick|full"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--seed expects an integer"));
+            }
+            "--max-solutions" => {
+                i += 1;
+                limits.max_solutions = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("--max-solutions expects an integer"));
+            }
+            "--only" => {
+                i += 1;
+                only = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| panic!("--only expects a circuit name")),
+                );
+            }
+            other => panic!(
+                "unknown option `{other}` (try --scale quick|full, --seed N, --max-solutions N, --only NAME)"
+            ),
+        }
+        i += 1;
+    }
+    RunConfig {
+        scale,
+        seed,
+        limits,
+        only,
+    }
+}
+
+/// Applies the `--only` filter of a [`RunConfig`] to the paper workloads.
+pub fn configured_workloads(config: &RunConfig) -> Vec<Workload> {
+    paper_workloads(config.scale, config.seed)
+        .into_iter()
+        .filter(|w| {
+            config
+                .only
+                .as_ref()
+                .map(|needle| w.name.contains(needle.as_str()))
+                .unwrap_or(true)
+        })
+        .collect()
+}
+
+/// Writes `content` under `target/experiments/<file>` and reports the path.
+pub fn write_artifact(file: &str, content: &str) {
+    let dir = std::path::Path::new("target/experiments");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(file);
+        if std::fs::write(&path, content).is_ok() {
+            println!("\nwrote {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_netlist::RandomCircuitSpec;
+
+    #[test]
+    fn workload_has_observable_errors() {
+        let golden = RandomCircuitSpec::new(8, 4, 120).seed(3).generate();
+        let w = Workload::from_golden("t", golden, 2, 3);
+        assert_eq!(w.errors.len(), 2);
+        assert!(!w.tests.is_empty());
+    }
+
+    #[test]
+    fn run_cell_produces_consistent_metrics() {
+        let golden = RandomCircuitSpec::new(8, 4, 120).seed(5).generate();
+        let w = Workload::from_golden("t", golden, 2, 5);
+        let m = w.tests.len().min(4);
+        let cell = run_cell(&w, m, Limits::default());
+        assert_eq!(cell.m, m);
+        assert_eq!(cell.cov_quality.num_solutions, cell.cov.solutions.len());
+        assert_eq!(cell.bsat_quality.num_solutions, cell.bsat.solutions.len());
+        // BSAT min distance should be 0 here: the singleton error sites are
+        // enumerable at k = p ≥ 1 (they are valid corrections).
+        if cell.bsat.complete && !cell.bsat.solutions.is_empty() {
+            assert_eq!(cell.bsat_quality.min, 0.0);
+        }
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50");
+    }
+
+    #[test]
+    fn workload_from_bench_round_trip() {
+        let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nx = AND(a, b)\ny = NOT(x)\n";
+        let w = Workload::from_bench("mini", src, 1, 2).unwrap();
+        assert_eq!(w.name, "mini");
+        assert_eq!(w.errors.len(), 1);
+    }
+}

@@ -1,0 +1,272 @@
+//! Cardinality constraints over select lines.
+//!
+//! BSAT bounds the number of simultaneously corrected gates by
+//! `Σ s_g ≤ k` and *iterates* `k = 1..K` (paper Fig. 3 step 2). Rebuilding
+//! the instance per `k` would forfeit learnt clauses, so the totalizer here
+//! exposes unary count outputs and turns each bound into a single
+//! *assumption literal* — exactly the incremental-SAT usage the paper
+//! adopts from Whittemore et al. [19].
+//!
+//! The totalizer is truncated at `limit + 1` counts, keeping the encoding
+//! linear in the number of inputs for the small `k` used in diagnosis.
+//! A Sinz sequential-counter encoding with a hard-wired bound is provided
+//! for ablation comparisons.
+
+use crate::sink::ClauseSink;
+use gatediag_sat::{Lit, Var};
+
+/// A truncated totalizer: unary counter over input literals.
+///
+/// `outputs()[i]` is implied true whenever at least `i + 1` inputs are
+/// true (one-directional encoding, sufficient for at-most bounds used as
+/// assumptions).
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_cnf::Totalizer;
+/// use gatediag_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let xs: Vec<_> = (0..4).map(|_| solver.new_var()).collect();
+/// let lits: Vec<_> = xs.iter().map(|v| v.positive()).collect();
+/// let tot = Totalizer::new(&mut solver, &lits, 2);
+/// // Force three inputs true and assume "at most 2": unsatisfiable.
+/// let mut assumptions = vec![xs[0].positive(), xs[1].positive(), xs[2].positive()];
+/// assumptions.push(tot.at_most(2).unwrap());
+/// assert_eq!(solver.solve(&assumptions), SolveResult::Unsat);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Totalizer {
+    outputs: Vec<Lit>,
+    num_inputs: usize,
+    limit: usize,
+}
+
+impl Totalizer {
+    /// Builds the counter over `inputs`, able to express bounds up to
+    /// `limit` (`at_most(k)` for any `k ≤ limit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty.
+    pub fn new<S: ClauseSink>(sink: &mut S, inputs: &[Lit], limit: usize) -> Self {
+        assert!(!inputs.is_empty(), "totalizer needs at least one input");
+        let cap = limit + 1;
+        let outputs = Self::build(sink, inputs, cap);
+        Totalizer {
+            outputs,
+            num_inputs: inputs.len(),
+            limit,
+        }
+    }
+
+    fn build<S: ClauseSink>(sink: &mut S, inputs: &[Lit], cap: usize) -> Vec<Lit> {
+        if inputs.len() == 1 {
+            return vec![inputs[0]];
+        }
+        let mid = inputs.len() / 2;
+        let left = Self::build(sink, &inputs[..mid], cap);
+        let right = Self::build(sink, &inputs[mid..], cap);
+        let out_len = (left.len() + right.len()).min(cap);
+        let outputs: Vec<Lit> = (0..out_len).map(|_| sink.new_var().positive()).collect();
+        // (a_i ∧ b_j) → o_{i+j}. Pairs with i+j beyond the truncation cap
+        // are dominated: some (i', j') with i'+j' = out_len already forces
+        // the top output, so they are skipped.
+        for i in 0..=left.len() {
+            for j in 0..=right.len() {
+                let total = i + j;
+                if total == 0 || total > out_len {
+                    continue;
+                }
+                let mut clause = Vec::with_capacity(3);
+                if i > 0 {
+                    clause.push(!left[i - 1]);
+                }
+                if j > 0 {
+                    clause.push(!right[j - 1]);
+                }
+                clause.push(outputs[total - 1]);
+                sink.add_clause(&clause);
+            }
+        }
+        outputs
+    }
+
+    /// The unary count outputs (`outputs()[i]` ⇒ at least `i+1` inputs).
+    pub fn outputs(&self) -> &[Lit] {
+        &self.outputs
+    }
+
+    /// Assumption literal enforcing "at most `k` inputs true".
+    ///
+    /// Returns `None` when the bound is vacuous (`k >= number of inputs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the `limit` the totalizer was built for.
+    pub fn at_most(&self, k: usize) -> Option<Lit> {
+        if k >= self.num_inputs {
+            return None;
+        }
+        assert!(
+            k <= self.limit,
+            "bound {k} exceeds totalizer limit {}",
+            self.limit
+        );
+        Some(!self.outputs[k])
+    }
+}
+
+/// Sinz sequential-counter encoding of a *hard* `Σ lits ≤ k` constraint.
+///
+/// Unlike [`Totalizer`], the bound is baked into the clauses — the
+/// paper-basic style where each `k` requires rebuilding. Kept for the
+/// ablation benchmarks.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (use unit clauses instead) or `lits` is empty.
+pub fn encode_at_most_seq<S: ClauseSink>(sink: &mut S, lits: &[Lit], k: usize) {
+    assert!(k > 0, "use unit clauses for k = 0");
+    assert!(!lits.is_empty(), "empty constraint");
+    let n = lits.len();
+    if k >= n {
+        return; // vacuous
+    }
+    // registers[i][j]: among lits[0..=i], at least j+1 are true.
+    let mut prev: Vec<Var> = (0..k).map(|_| sink.new_var()).collect();
+    sink.add_clause(&[!lits[0], prev[0].positive()]);
+    for j in 1..k {
+        sink.add_clause(&[prev[j].negative()]);
+    }
+    for i in 1..n {
+        let regs: Vec<Var> = (0..k).map(|_| sink.new_var()).collect();
+        // carry: s_{i,0} ← x_i ∨ s_{i-1,0}
+        sink.add_clause(&[!lits[i], regs[0].positive()]);
+        sink.add_clause(&[prev[0].negative(), regs[0].positive()]);
+        for j in 1..k {
+            // s_{i,j} ← (x_i ∧ s_{i-1,j-1}) ∨ s_{i-1,j}
+            sink.add_clause(&[!lits[i], prev[j - 1].negative(), regs[j].positive()]);
+            sink.add_clause(&[prev[j].negative(), regs[j].positive()]);
+        }
+        // overflow: x_i ∧ s_{i-1,k-1} forbidden
+        sink.add_clause(&[!lits[i], prev[k - 1].negative()]);
+        prev = regs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::CnfCollector;
+    use gatediag_sat::{SolveResult, Solver};
+
+    fn setup(n: usize) -> (Solver, Vec<Var>, Vec<Lit>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..n).map(|_| solver.new_var()).collect();
+        let lits: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        (solver, vars, lits)
+    }
+
+    fn subset_assumptions(vars: &[Var], pattern: u32) -> Vec<Lit> {
+        vars.iter()
+            .enumerate()
+            .map(|(i, v)| v.lit(pattern >> i & 1 == 1))
+            .collect()
+    }
+
+    #[test]
+    fn totalizer_bounds_exactly() {
+        for n in 1..=6usize {
+            for limit in 0..=3usize {
+                let (mut solver, vars, lits) = setup(n);
+                let tot = Totalizer::new(&mut solver, &lits, limit);
+                for k in 0..=limit {
+                    let Some(bound) = tot.at_most(k) else {
+                        continue;
+                    };
+                    for pattern in 0..1u32 << n {
+                        let mut assumptions = subset_assumptions(&vars, pattern);
+                        assumptions.push(bound);
+                        let expect_sat = pattern.count_ones() as usize <= k;
+                        assert_eq!(
+                            solver.solve(&assumptions) == SolveResult::Sat,
+                            expect_sat,
+                            "n={n} limit={limit} k={k} pattern={pattern:b}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn totalizer_without_bound_is_free() {
+        let (mut solver, vars, lits) = setup(5);
+        let _tot = Totalizer::new(&mut solver, &lits, 2);
+        // No assumption: any subset is fine.
+        for pattern in [0u32, 0b11111, 0b10101] {
+            let assumptions = subset_assumptions(&vars, pattern);
+            assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+        }
+    }
+
+    #[test]
+    fn totalizer_vacuous_bound() {
+        let (mut solver, _, lits) = setup(3);
+        let tot = Totalizer::new(&mut solver, &lits, 3);
+        assert!(tot.at_most(3).is_none());
+        assert!(tot.at_most(2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds totalizer limit")]
+    fn totalizer_rejects_excess_bound() {
+        let (mut solver, _, lits) = setup(5);
+        let tot = Totalizer::new(&mut solver, &lits, 1);
+        let _ = tot.at_most(2);
+    }
+
+    #[test]
+    fn totalizer_is_linear_for_fixed_limit() {
+        let count_clauses = |n: usize| {
+            let mut sink = CnfCollector::new();
+            let lits: Vec<Lit> = (0..n).map(|_| sink.new_var().positive()).collect();
+            let _ = Totalizer::new(&mut sink, &lits, 4);
+            sink.clauses().len()
+        };
+        let c100 = count_clauses(100);
+        let c800 = count_clauses(800);
+        assert!(
+            c800 < 12 * c100,
+            "truncated totalizer should scale linearly: {c100} -> {c800}"
+        );
+    }
+
+    #[test]
+    fn seq_counter_bounds_exactly() {
+        for n in 1..=6usize {
+            for k in 1..=3usize {
+                let (mut solver, vars, lits) = setup(n);
+                encode_at_most_seq(&mut solver, &lits, k);
+                for pattern in 0..1u32 << n {
+                    let assumptions = subset_assumptions(&vars, pattern);
+                    let expect_sat = pattern.count_ones() as usize <= k;
+                    assert_eq!(
+                        solver.solve(&assumptions) == SolveResult::Sat,
+                        expect_sat,
+                        "n={n} k={k} pattern={pattern:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unit clauses")]
+    fn seq_counter_rejects_zero() {
+        let (mut solver, _, lits) = setup(2);
+        encode_at_most_seq(&mut solver, &lits, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! CNF encodings for SAT-based circuit diagnosis.
+//!
+//! Bridges the [`gatediag-netlist`](gatediag_netlist) substrate and the
+//! [`gatediag-sat`](gatediag_sat) solver:
+//!
+//! * [`encode_circuit`] — Tseitin encoding of a circuit copy (one variable
+//!   per gate, linear clause count);
+//! * [`Instrumentation`] / [`encode_instrumented_copy`] — the correction
+//!   multiplexers of the paper's Fig. 2, with shared select lines across
+//!   test copies and a choice of [`MuxEncoding`]s (inline guards vs the
+//!   paper-faithful explicit mux, with the advanced `c = 0` optimisation);
+//! * [`Totalizer`] / [`encode_at_most_seq`] — cardinality constraints
+//!   `Σ s_g ≤ k`, the totalizer exposing incremental per-`k` assumption
+//!   literals (the Zchaff-style incremental usage of Fig. 3);
+//! * [`ClauseSink`] / [`CnfCollector`] — encode into a live solver or
+//!   capture the formula for DIMACS export and brute-force cross-checks.
+//!
+//! # Examples
+//!
+//! ```
+//! use gatediag_cnf::encode_circuit;
+//! use gatediag_sat::{Solver, SolveResult};
+//!
+//! // Is there an input making both c17 outputs 1?
+//! let c = gatediag_netlist::c17();
+//! let mut solver = Solver::new();
+//! let vars = encode_circuit(&mut solver, &c);
+//! for &o in c.outputs() {
+//!     solver.add_clause(&[vars.lit(o, true)]);
+//! }
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod card;
+mod miter;
+mod mux;
+mod sink;
+mod tseitin;
+
+pub use card::{encode_at_most_seq, Totalizer};
+pub use miter::{check_equivalence, distinguishing_vectors, Miter};
+pub use mux::{encode_instrumented_copy, Instrumentation, InstrumentedCopy, MuxEncoding};
+pub use sink::{ClauseSink, CnfCollector};
+pub use tseitin::{encode_circuit, encode_gate, CircuitVars};

@@ -1,0 +1,303 @@
+//! Correction-multiplexer instrumentation (Fig. 2 of the paper).
+//!
+//! SAT-based diagnosis inserts a multiplexer at every candidate gate: when
+//! the shared select line `s_g` is 0 the gate drives its normal function;
+//! when `s_g` is 1 the gate's value is freed (an arbitrary per-test value,
+//! modelling replacement by an arbitrary Boolean function).
+//!
+//! Two encodings are provided:
+//!
+//! * [`MuxEncoding::Inline`] — each defining clause of the gate is guarded
+//!   with the select literal, freeing the output when selected. No extra
+//!   variables; this is the efficient modern formulation.
+//! * [`MuxEncoding::ExplicitMux`] — the paper-faithful construction: a
+//!   fresh variable `f` for the original function, a fresh free variable
+//!   `c` for the injected value, and mux clauses `y = s ? c : f`. The
+//!   `force_c_zero` flag reproduces the advanced-approach optimisation
+//!   (Sec. 2.3) that pins `c` to 0 while the mux is off, saving up to |I|
+//!   decisions.
+
+use crate::sink::ClauseSink;
+use crate::tseitin::{encode_gate, CircuitVars};
+use gatediag_netlist::{Circuit, GateId, GateKind};
+use gatediag_sat::{Lit, Var};
+
+/// Choice of multiplexer encoding (see module docs).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MuxEncoding {
+    /// Guard each gate clause with the select literal (no extra variables).
+    #[default]
+    Inline,
+    /// Explicit `y = s ? c : f` construction from the paper's Fig. 2.
+    ExplicitMux {
+        /// Add `s ∨ ¬c` clauses pinning the injected value to 0 while the
+        /// mux is off (the advanced-approach search-space reduction).
+        force_c_zero: bool,
+    },
+}
+
+/// Shared select lines over the instrumented gate sites.
+///
+/// One select variable per site, shared by every encoded circuit copy, so a
+/// gate is corrected for all tests or none (the key BSAT property).
+#[derive(Clone, Debug)]
+pub struct Instrumentation {
+    sites: Vec<GateId>,
+    select_of: Vec<Option<Var>>,
+}
+
+impl Instrumentation {
+    /// Allocates one select variable per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site is a source gate (inputs/constants cannot be
+    /// corrected) or listed twice.
+    pub fn new<S: ClauseSink>(sink: &mut S, circuit: &Circuit, sites: &[GateId]) -> Self {
+        let mut select_of = vec![None; circuit.len()];
+        for &site in sites {
+            assert!(
+                circuit.gate(site).kind() != GateKind::Input,
+                "cannot instrument primary input {site}"
+            );
+            assert!(
+                select_of[site.index()].is_none(),
+                "gate {site} instrumented twice"
+            );
+            select_of[site.index()] = Some(sink.new_var());
+        }
+        Instrumentation {
+            sites: sites.to_vec(),
+            select_of,
+        }
+    }
+
+    /// The instrumented sites, in construction order.
+    pub fn sites(&self) -> &[GateId] {
+        &self.sites
+    }
+
+    /// The select variable of `gate`, if instrumented.
+    pub fn select(&self, gate: GateId) -> Option<Var> {
+        self.select_of[gate.index()]
+    }
+
+    /// All select variables, parallel to [`Instrumentation::sites`].
+    pub fn select_vars(&self) -> Vec<Var> {
+        self.sites
+            .iter()
+            .map(|&g| self.select_of[g.index()].expect("site has a select var"))
+            .collect()
+    }
+}
+
+/// One instrumented circuit copy.
+#[derive(Clone, Debug)]
+pub struct InstrumentedCopy {
+    /// Gate-value variables of this copy.
+    pub vars: CircuitVars,
+    /// The per-copy injected-value variables (`ExplicitMux` encoding only),
+    /// dense by gate id.
+    pub injected: Vec<Option<Var>>,
+}
+
+/// Encodes one circuit copy with correction muxes at the instrumented
+/// sites. Select lines come from `inst` and are shared across copies.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_cnf::{encode_instrumented_copy, Instrumentation, MuxEncoding};
+/// use gatediag_sat::Solver;
+///
+/// let c = gatediag_netlist::c17();
+/// let site = c.find("G16").unwrap();
+/// let mut solver = Solver::new();
+/// let inst = Instrumentation::new(&mut solver, &c, &[site]);
+/// let copy = encode_instrumented_copy(&mut solver, &c, &inst, MuxEncoding::Inline);
+/// assert_eq!(copy.vars.all().len(), c.len());
+/// ```
+pub fn encode_instrumented_copy<S: ClauseSink>(
+    sink: &mut S,
+    circuit: &Circuit,
+    inst: &Instrumentation,
+    encoding: MuxEncoding,
+) -> InstrumentedCopy {
+    let vars: Vec<Var> = (0..circuit.len()).map(|_| sink.new_var()).collect();
+    let map = CircuitVars::from_vars(vars);
+    let mut injected = vec![None; circuit.len()];
+    for &id in circuit.topo_order() {
+        let gate = circuit.gate(id);
+        if gate.kind() == GateKind::Input {
+            continue;
+        }
+        let fanins: Vec<Lit> = gate.fanins().iter().map(|&f| map.lit(f, true)).collect();
+        let y = map.var(id);
+        match (inst.select(id), encoding) {
+            (None, _) => encode_gate(sink, gate.kind(), y, &fanins, None),
+            (Some(s), MuxEncoding::Inline) => {
+                encode_gate(sink, gate.kind(), y, &fanins, Some(s.positive()));
+            }
+            (Some(s), MuxEncoding::ExplicitMux { force_c_zero }) => {
+                let f = sink.new_var();
+                encode_gate(sink, gate.kind(), f, &fanins, None);
+                let c = sink.new_var();
+                injected[id.index()] = Some(c);
+                let (sp, sn) = (s.positive(), s.negative());
+                // y = s ? c : f
+                sink.add_clause(&[sn, c.negative(), y.positive()]);
+                sink.add_clause(&[sn, c.positive(), y.negative()]);
+                sink.add_clause(&[sp, f.negative(), y.positive()]);
+                sink.add_clause(&[sp, f.positive(), y.negative()]);
+                if force_c_zero {
+                    sink.add_clause(&[sp, c.negative()]);
+                }
+            }
+        }
+    }
+    InstrumentedCopy {
+        vars: map,
+        injected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_netlist::c17;
+    use gatediag_sat::{SolveResult, Solver};
+    use gatediag_sim::simulate;
+
+    fn all_encodings() -> [MuxEncoding; 3] {
+        [
+            MuxEncoding::Inline,
+            MuxEncoding::ExplicitMux {
+                force_c_zero: false,
+            },
+            MuxEncoding::ExplicitMux { force_c_zero: true },
+        ]
+    }
+
+    #[test]
+    fn unselected_muxes_behave_like_plain_circuit() {
+        let c = c17();
+        for encoding in all_encodings() {
+            let sites: Vec<_> = c
+                .iter()
+                .filter(|(_, g)| !g.kind().is_source())
+                .map(|(id, _)| id)
+                .collect();
+            let mut solver = Solver::new();
+            let inst = Instrumentation::new(&mut solver, &c, &sites);
+            let copy = encode_instrumented_copy(&mut solver, &c, &inst, encoding);
+            // All selects off.
+            for v in inst.select_vars() {
+                solver.add_clause(&[v.negative()]);
+            }
+            for pattern in 0..32u32 {
+                let vector: Vec<bool> = (0..5).map(|i| pattern >> i & 1 == 1).collect();
+                let assumptions: Vec<_> = c
+                    .inputs()
+                    .iter()
+                    .zip(&vector)
+                    .map(|(&pi, &v)| copy.vars.lit(pi, v))
+                    .collect();
+                assert_eq!(solver.solve(&assumptions), SolveResult::Sat);
+                let expected = simulate(&c, &vector);
+                for (id, _) in c.iter() {
+                    assert_eq!(
+                        solver.model_value(copy.vars.lit(id, true)),
+                        Some(expected[id.index()]),
+                        "{encoding:?} gate {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selected_mux_frees_the_gate() {
+        let c = c17();
+        let site = c.find("G16").unwrap();
+        let out = c.find("G22").unwrap();
+        for encoding in all_encodings() {
+            let mut solver = Solver::new();
+            let inst = Instrumentation::new(&mut solver, &c, &[site]);
+            let copy = encode_instrumented_copy(&mut solver, &c, &inst, encoding);
+            let s = inst.select(site).unwrap();
+            // Fix one input vector; with the mux on, both values of the
+            // freed gate (and of the output) must be reachable. G1=0 makes
+            // G10 = NAND(G1,G3) = 1, so G22 = NAND(G10,G16) = !G16 is
+            // sensitive to the freed gate.
+            let vector = [false, true, true, true, true];
+            let mut assumptions: Vec<_> = c
+                .inputs()
+                .iter()
+                .zip(vector.iter())
+                .map(|(&pi, &v)| copy.vars.lit(pi, v))
+                .collect();
+            assumptions.push(s.positive());
+            for val in [false, true] {
+                let mut a = assumptions.clone();
+                a.push(copy.vars.lit(site, val));
+                assert_eq!(
+                    solver.solve(&a),
+                    SolveResult::Sat,
+                    "{encoding:?}: freed gate cannot take value {val}"
+                );
+            }
+            // And the downstream output actually changes with the choice.
+            let mut seen = std::collections::HashSet::new();
+            for val in [false, true] {
+                let mut a = assumptions.clone();
+                a.push(copy.vars.lit(site, val));
+                solver.solve(&a);
+                seen.insert(solver.model_value(copy.vars.lit(out, true)).unwrap());
+            }
+            assert_eq!(seen.len(), 2, "{encoding:?}: mux has no downstream effect");
+        }
+    }
+
+    #[test]
+    fn force_c_zero_pins_injected_value() {
+        let c = c17();
+        let site = c.find("G16").unwrap();
+        let mut solver = Solver::new();
+        let inst = Instrumentation::new(&mut solver, &c, &[site]);
+        let copy = encode_instrumented_copy(
+            &mut solver,
+            &c,
+            &inst,
+            MuxEncoding::ExplicitMux { force_c_zero: true },
+        );
+        let s = inst.select(site).unwrap();
+        let cvar = copy.injected[site.index()].unwrap();
+        // With the mux off, c must be 0.
+        assert_eq!(
+            solver.solve(&[s.negative(), cvar.positive()]),
+            SolveResult::Unsat
+        );
+        assert_eq!(
+            solver.solve(&[s.negative(), cvar.negative()]),
+            SolveResult::Sat
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "primary input")]
+    fn rejects_input_site() {
+        let c = c17();
+        let pi = c.inputs()[0];
+        let mut solver = Solver::new();
+        let _ = Instrumentation::new(&mut solver, &c, &[pi]);
+    }
+
+    #[test]
+    #[should_panic(expected = "instrumented twice")]
+    fn rejects_duplicate_site() {
+        let c = c17();
+        let site = c.find("G16").unwrap();
+        let mut solver = Solver::new();
+        let _ = Instrumentation::new(&mut solver, &c, &[site, site]);
+    }
+}

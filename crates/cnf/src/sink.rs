@@ -1,0 +1,106 @@
+//! The clause sink abstraction: encoders write to anything that accepts
+//! variables and clauses — a live solver, or a collector for offline use.
+
+use gatediag_sat::{Lit, Solver, Var};
+
+/// A consumer of CNF: fresh variables and clauses.
+///
+/// Implemented by [`Solver`](gatediag_sat::Solver) (encode directly into
+/// the solver) and by [`CnfCollector`] (capture the formula, e.g. for
+/// DIMACS export or brute-force cross-checks).
+pub trait ClauseSink {
+    /// Allocates a fresh variable.
+    fn new_var(&mut self) -> Var;
+
+    /// Adds a clause.
+    fn add_clause(&mut self, lits: &[Lit]);
+}
+
+impl ClauseSink for Solver {
+    fn new_var(&mut self) -> Var {
+        Solver::new_var(self)
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        Solver::add_clause(self, lits);
+    }
+}
+
+/// A sink that records the formula instead of solving it.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_cnf::{ClauseSink, CnfCollector};
+///
+/// let mut sink = CnfCollector::new();
+/// let v = sink.new_var();
+/// sink.add_clause(&[v.positive()]);
+/// assert_eq!(sink.num_vars(), 1);
+/// assert_eq!(sink.clauses().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CnfCollector {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        CnfCollector::default()
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The recorded clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Consumes the collector, returning `(num_vars, clauses)`.
+    pub fn into_parts(self) -> (usize, Vec<Vec<Lit>>) {
+        (self.num_vars, self.clauses)
+    }
+}
+
+impl ClauseSink for CnfCollector {
+    fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    fn add_clause(&mut self, lits: &[Lit]) {
+        self.clauses.push(lits.to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_sat::SolveResult;
+
+    #[test]
+    fn solver_as_sink() {
+        let mut s = Solver::new();
+        let v = ClauseSink::new_var(&mut s);
+        ClauseSink::add_clause(&mut s, &[v.negative()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert_eq!(s.model_value(v.positive()), Some(false));
+    }
+
+    #[test]
+    fn collector_round_trip() {
+        let mut sink = CnfCollector::new();
+        let a = sink.new_var();
+        let b = sink.new_var();
+        sink.add_clause(&[a.positive(), b.negative()]);
+        let (n, clauses) = sink.into_parts();
+        assert_eq!(n, 2);
+        assert_eq!(clauses, vec![vec![a.positive(), b.negative()]]);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ground-truth diagnoser: exhaustive subset enumeration plus the validity
+//! oracle.
+//!
+//! Because validity is monotone under supersets, the irredundant valid
+//! corrections up to size `k` are exactly the valid sets none of whose kept
+//! smaller predecessors they contain. By Lemma 3 this is precisely BSAT's
+//! solution space — the integration tests assert that equality.
+
+use crate::test_set::TestSet;
+use crate::validity::is_valid_correction_sim;
+use gatediag_netlist::{Circuit, GateId};
+
+/// Enumerates all irredundant valid corrections of size ≤ `k` by brute
+/// force.
+///
+/// Exponential in circuit size; intended for cross-checking on small
+/// circuits.
+///
+/// # Panics
+///
+/// Panics if `k > 4` (combinatorial safety guard).
+pub fn brute_force_diagnose(circuit: &Circuit, tests: &TestSet, k: usize) -> Vec<Vec<GateId>> {
+    assert!(k <= 4, "brute force limited to k <= 4");
+    let functional: Vec<GateId> = circuit
+        .iter()
+        .filter(|(_, g)| g.kind() != gatediag_netlist::GateKind::Input)
+        .map(|(id, _)| id)
+        .collect();
+    let mut found: Vec<Vec<GateId>> = Vec::new();
+    let mut subset: Vec<GateId> = Vec::new();
+    for size in 1..=k.min(functional.len()) {
+        enumerate_subsets(&functional, size, 0, &mut subset, &mut |candidate| {
+            // Skip supersets of already-found (smaller) solutions: they are
+            // redundant by monotonicity.
+            let redundant = found
+                .iter()
+                .any(|small| small.iter().all(|g| candidate.contains(g)));
+            if !redundant && is_valid_correction_sim(circuit, tests, candidate) {
+                found.push(candidate.to_vec());
+            }
+        });
+    }
+    found.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    found
+}
+
+fn enumerate_subsets(
+    items: &[GateId],
+    size: usize,
+    from: usize,
+    current: &mut Vec<GateId>,
+    visit: &mut impl FnMut(&[GateId]),
+) {
+    if current.len() == size {
+        visit(current);
+        return;
+    }
+    let needed = size - current.len();
+    for i in from..=items.len().saturating_sub(needed) {
+        current.push(items[i]);
+        enumerate_subsets(items, size, i + 1, current, visit);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_set::generate_failing_tests;
+    use gatediag_netlist::{inject_errors, RandomCircuitSpec};
+
+    #[test]
+    fn finds_injected_single_error() {
+        let golden = RandomCircuitSpec::new(5, 2, 20).seed(21).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 21);
+        let tests = generate_failing_tests(&golden, &faulty, 6, 21, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let solutions = brute_force_diagnose(&faulty, &tests, 1);
+        assert!(solutions.contains(&vec![sites[0].gate]));
+    }
+
+    #[test]
+    fn no_solution_is_superset_of_another() {
+        let golden = RandomCircuitSpec::new(5, 2, 18).seed(4).generate();
+        let (faulty, _) = inject_errors(&golden, 2, 4);
+        let tests = generate_failing_tests(&golden, &faulty, 6, 4, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let solutions = brute_force_diagnose(&faulty, &tests, 3);
+        for a in &solutions {
+            for b in &solutions {
+                if a != b {
+                    assert!(!a.iter().all(|g| b.contains(g)), "{b:?} contains {a:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_enumeration_visits_all_combinations() {
+        let items: Vec<GateId> = (0..5).map(GateId::new).collect();
+        let mut count = 0;
+        let mut current = Vec::new();
+        enumerate_subsets(&items, 3, 0, &mut current, &mut |s| {
+            assert_eq!(s.len(), 3);
+            count += 1;
+        });
+        assert_eq!(count, 10); // C(5,3)
+    }
+}

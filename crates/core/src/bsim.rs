@@ -1,0 +1,383 @@
+//! BSIM: basic simulation-based diagnosis by path tracing (paper Fig. 1).
+//!
+//! `PathTrace` walks backwards from the erroneous output over the simulated
+//! faulty circuit, at each gate following one input at a controlling value
+//! (or all inputs when none is controlling). `BasicSimDiagnose` runs it per
+//! test, yielding one candidate set `C_i` per test plus the mark counts
+//! `M(g)` used to rank candidates.
+
+use crate::test_set::TestSet;
+use gatediag_netlist::{Circuit, GateId, GateKind, GateSet};
+use gatediag_sim::simulate;
+
+/// How path tracing treats multiple controlling inputs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum MarkPolicy {
+    /// Mark exactly one controlling input (the first in fan-in order) —
+    /// the paper's Fig. 1 step (3).
+    #[default]
+    FirstControlling,
+    /// Mark every controlling input — a conservative variant that makes
+    /// `C_i` a superset of the paper's; used for ablation.
+    AllControlling,
+}
+
+/// Options for [`path_trace`] / [`basic_sim_diagnose`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct BsimOptions {
+    /// Controlling-input marking policy.
+    pub policy: MarkPolicy,
+    /// Whether primary inputs appear in candidate sets. The paper corrects
+    /// gates only, so the default is `false`; tracing still passes through
+    /// inputs either way.
+    pub include_inputs: bool,
+}
+
+/// Result of [`basic_sim_diagnose`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BsimResult {
+    /// Candidate set `C_i` per test, in test order.
+    pub candidate_sets: Vec<GateSet>,
+    /// `M(g)`: number of tests whose candidate set contains `g`.
+    pub mark_counts: Vec<u32>,
+    /// Union of all candidate sets (`∪ C_i`).
+    pub union: GateSet,
+}
+
+impl BsimResult {
+    /// Gates marked by the maximal number of tests
+    /// (`G_max = {g : ∀h: M(g) ≥ M(h)}`, Table 3).
+    pub fn gmax(&self) -> Vec<GateId> {
+        let best = self.mark_counts.iter().copied().max().unwrap_or(0);
+        if best == 0 {
+            return Vec::new();
+        }
+        self.mark_counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &m)| m == best)
+            .map(|(i, _)| GateId::new(i))
+            .collect()
+    }
+
+    /// Candidates of test `i` as a sorted vector.
+    pub fn candidates_of(&self, i: usize) -> Vec<GateId> {
+        self.candidate_sets[i].iter().collect()
+    }
+}
+
+/// Path tracing from one erroneous output over pre-simulated values
+/// (paper Fig. 1, steps 2-4).
+///
+/// `values` must be the faulty circuit's simulation of the test vector.
+/// Returns the marked candidate gates.
+///
+/// # Panics
+///
+/// Panics if `values.len() != circuit.len()`.
+pub fn path_trace(
+    circuit: &Circuit,
+    values: &[bool],
+    output: GateId,
+    options: BsimOptions,
+) -> GateSet {
+    assert_eq!(values.len(), circuit.len(), "value array size mismatch");
+    let mut visited = GateSet::new(circuit.len());
+    let mut candidates = GateSet::new(circuit.len());
+    let mut worklist = vec![output];
+    while let Some(id) = worklist.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let gate = circuit.gate(id);
+        if gate.kind() == GateKind::Input {
+            if options.include_inputs {
+                candidates.insert(id);
+            }
+            continue;
+        }
+        if gate.kind().is_source() {
+            // Constants are correctable candidates but have no fan-ins to
+            // trace through.
+            candidates.insert(id);
+            continue;
+        }
+        candidates.insert(id);
+        match gate.kind().controlling_value() {
+            Some(cv) => {
+                let mut controlling = gate
+                    .fanins()
+                    .iter()
+                    .copied()
+                    .filter(|f| values[f.index()] == cv)
+                    .peekable();
+                if controlling.peek().is_some() {
+                    match options.policy {
+                        MarkPolicy::FirstControlling => {
+                            worklist.push(controlling.next().expect("peeked non-empty"));
+                        }
+                        MarkPolicy::AllControlling => worklist.extend(controlling),
+                    }
+                } else {
+                    worklist.extend(gate.fanins().iter().copied());
+                }
+            }
+            // No controlling value (XOR/XNOR/NOT/BUF): every input is on a
+            // sensitised path.
+            None => worklist.extend(gate.fanins().iter().copied()),
+        }
+    }
+    candidates
+}
+
+/// `BasicSimDiagnose` (paper Fig. 1 step 5): path tracing per test.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{basic_sim_diagnose, generate_failing_tests, BsimOptions};
+/// use gatediag_netlist::{c17, inject_errors};
+///
+/// let golden = c17();
+/// let (faulty, sites) = inject_errors(&golden, 1, 3);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 3, 4096);
+/// let result = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+/// // With a single error, the real site is in every candidate set.
+/// // (Guaranteed by the theory for single errors under AllControlling;
+/// // overwhelmingly common under the paper's FirstControlling policy.)
+/// assert_eq!(result.candidate_sets.len(), tests.len());
+/// # let _ = sites;
+/// ```
+pub fn basic_sim_diagnose(circuit: &Circuit, tests: &TestSet, options: BsimOptions) -> BsimResult {
+    let mut candidate_sets = Vec::with_capacity(tests.len());
+    let mut mark_counts = vec![0u32; circuit.len()];
+    let mut union = GateSet::new(circuit.len());
+    for test in tests {
+        let values = simulate(circuit, &test.vector);
+        let marked = path_trace(circuit, &values, test.output, options);
+        for g in marked.iter() {
+            mark_counts[g.index()] += 1;
+        }
+        union.union_with(&marked);
+        candidate_sets.push(marked);
+    }
+    BsimResult {
+        candidate_sets,
+        mark_counts,
+        union,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_set::{generate_failing_tests, Test};
+    use gatediag_netlist::{c17, inject_errors, CircuitBuilder, RandomCircuitSpec};
+
+    fn trace_c17(vector: [bool; 5], output: &str, options: BsimOptions) -> Vec<String> {
+        let c = c17();
+        let values = simulate(&c, &vector);
+        let marked = path_trace(&c, &values, c.find(output).unwrap(), options);
+        let mut names: Vec<String> = marked
+            .iter()
+            .map(|g| c.gate_name(g).unwrap().to_string())
+            .collect();
+        names.sort();
+        names
+    }
+
+    #[test]
+    fn path_trace_marks_output_gate() {
+        let marked = trace_c17([false; 5], "G22", BsimOptions::default());
+        assert!(marked.contains(&"G22".to_string()));
+    }
+
+    #[test]
+    fn path_trace_hand_computed_c17() {
+        // Inputs all 0: G10=NAND(0,0)=1, G11=1, G16=NAND(0,1)=1,
+        // G19=NAND(1,0)=1, G22=NAND(G10=1,G16=1)=0.
+        // At G22 no input is controlling (cv of NAND is 0) -> mark both.
+        // G10: inputs G1=0,G3=0 both controlling -> mark first (G1, input).
+        // G16: inputs G2=0 (controlling), G11 -> mark G2 (input).
+        let marked = trace_c17([false; 5], "G22", BsimOptions::default());
+        assert_eq!(marked, vec!["G10", "G16", "G22"]);
+        // With inputs included, G1 and G2 appear too.
+        let with_inputs = trace_c17(
+            [false; 5],
+            "G22",
+            BsimOptions {
+                include_inputs: true,
+                ..BsimOptions::default()
+            },
+        );
+        assert_eq!(with_inputs, vec!["G1", "G10", "G16", "G2", "G22"]);
+    }
+
+    #[test]
+    fn all_controlling_is_superset_of_first_controlling() {
+        let c = RandomCircuitSpec::new(6, 2, 60).seed(3).generate();
+        let (faulty, _) = inject_errors(&c, 2, 3);
+        let tests = generate_failing_tests(&c, &faulty, 8, 3, 4096);
+        let first = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+        let all = basic_sim_diagnose(
+            &faulty,
+            &tests,
+            BsimOptions {
+                policy: MarkPolicy::AllControlling,
+                ..BsimOptions::default()
+            },
+        );
+        for (f, a) in first.candidate_sets.iter().zip(&all.candidate_sets) {
+            for g in f.iter() {
+                assert!(a.contains(g), "{g} in first-controlling but not all");
+            }
+        }
+    }
+
+    #[test]
+    fn single_error_site_is_in_every_set_under_all_controlling() {
+        // Theory: with one error, the error site lies on a sensitised path
+        // to the erroneous output, and AllControlling marks every
+        // sensitised path.
+        for seed in 0..6 {
+            let golden = RandomCircuitSpec::new(6, 3, 50).seed(seed).generate();
+            let (faulty, sites) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 6, seed, 4096);
+            let result = basic_sim_diagnose(
+                &faulty,
+                &tests,
+                BsimOptions {
+                    policy: MarkPolicy::AllControlling,
+                    ..BsimOptions::default()
+                },
+            );
+            for (i, set) in result.candidate_sets.iter().enumerate() {
+                assert!(
+                    set.contains(sites[0].gate),
+                    "seed {seed}: error {} missing from C_{i}",
+                    sites[0].gate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mark_counts_sum_matches_sets() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 4);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 4, 4096);
+        let result = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+        let total: u32 = result.mark_counts.iter().sum();
+        let expected: usize = result.candidate_sets.iter().map(|s| s.len()).sum();
+        assert_eq!(total as usize, expected);
+        // Union is consistent.
+        for (id, &m) in result.mark_counts.iter().enumerate() {
+            assert_eq!(m > 0, result.union.contains(GateId::new(id)));
+        }
+    }
+
+    #[test]
+    fn gmax_contains_argmax_only() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 8);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 8, 4096);
+        let result = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+        let gmax = result.gmax();
+        assert!(!gmax.is_empty());
+        let best = result.mark_counts.iter().copied().max().unwrap();
+        for g in &gmax {
+            assert_eq!(result.mark_counts[g.index()], best);
+        }
+        for (i, &m) in result.mark_counts.iter().enumerate() {
+            if m == best {
+                assert!(gmax.contains(&GateId::new(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn trace_marks_constants_without_tracing_through() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let k = b.anon_gate(GateKind::Const1, vec![]);
+        let g = b.gate(GateKind::Xor, vec![a, k], "g");
+        b.output(g);
+        let c = b.finish().unwrap();
+        let values = simulate(&c, &[true]);
+        let marked = path_trace(&c, &values, g, BsimOptions::default());
+        assert!(marked.contains(g));
+        assert!(marked.contains(k), "constants are correctable candidates");
+    }
+
+    #[test]
+    fn multiplicity_bound_holds_when_premise_holds() {
+        // Paper Sec. 2.2 (citing Kuehlmann et al. [10]): "because the
+        // candidate set of each test contains at least one actual error
+        // site, at least one actual error site is marked by more than m/p
+        // tests". The pigeonhole consequence of the premise is
+        // max_e M(e) >= ceil(m/p); we verify exactly that whenever the
+        // premise holds (interacting errors can violate it, which is part
+        // of why BSIM offers no guarantees).
+        let mut premise_held = 0;
+        for seed in 0..10u64 {
+            for p in 2..=3usize {
+                let golden = RandomCircuitSpec::new(6, 3, 50).seed(seed).generate();
+                let (faulty, sites) = inject_errors(&golden, p, seed);
+                let tests = generate_failing_tests(&golden, &faulty, 8, seed, 8192);
+                if tests.len() < 4 {
+                    continue;
+                }
+                let result = basic_sim_diagnose(
+                    &faulty,
+                    &tests,
+                    BsimOptions {
+                        policy: MarkPolicy::AllControlling,
+                        ..BsimOptions::default()
+                    },
+                );
+                let premise = result
+                    .candidate_sets
+                    .iter()
+                    .all(|set| sites.iter().any(|s| set.contains(s.gate)));
+                if !premise {
+                    continue;
+                }
+                premise_held += 1;
+                let m = tests.len();
+                let best_error_marks = sites
+                    .iter()
+                    .map(|s| result.mark_counts[s.gate.index()] as usize)
+                    .max()
+                    .expect("at least one site");
+                assert!(
+                    best_error_marks >= m.div_ceil(p),
+                    "seed {seed} p {p}: max error marks {best_error_marks} < ceil({m}/{p})"
+                );
+            }
+        }
+        assert!(premise_held > 0, "premise never held — no case exercised");
+    }
+
+    #[test]
+    fn empty_test_set_gives_empty_result() {
+        let c = c17();
+        let result = basic_sim_diagnose(&c, &TestSet::default(), BsimOptions::default());
+        assert!(result.candidate_sets.is_empty());
+        assert!(result.union.is_empty());
+        assert!(result.gmax().is_empty());
+    }
+
+    #[test]
+    fn multi_output_test_traces_designated_output_only() {
+        let c = c17();
+        let t = Test {
+            vector: vec![false; 5],
+            output: c.find("G23").unwrap(),
+            expected: true,
+        };
+        let result = basic_sim_diagnose(&c, &TestSet::new(vec![t]), BsimOptions::default());
+        // G22's private fan-in G10 must not be marked when tracing G23.
+        let g10 = c.find("G10").unwrap();
+        assert!(!result.candidate_sets[0].contains(g10));
+    }
+}

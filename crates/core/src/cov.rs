@@ -1,0 +1,477 @@
+//! COV: diagnosis as set covering over path-tracing candidate sets
+//! (paper Fig. 4, `SCDiagnose`).
+//!
+//! The candidate sets `C_1..C_m` produced by BSIM form a covering instance:
+//! a solution picks at least one marked gate per test, is irredundant, and
+//! has at most `k` gates. The paper solves the covering with Zchaff; we
+//! provide the same SAT formulation (one selector variable per marked
+//! gate, one at-least-one clause per test, totalizer bound, incremental
+//! `k = 1..K` with subset blocking) plus an independent branch-and-bound
+//! engine used for cross-checking.
+
+use crate::bsim::{basic_sim_diagnose, BsimOptions, BsimResult};
+use crate::test_set::TestSet;
+use gatediag_netlist::{Circuit, GateId};
+use gatediag_sat::{enumerate_positive_subsets, Solver, Var};
+use gatediag_cnf::{ClauseSink, Totalizer};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Engine used to enumerate covers.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum CovEngine {
+    /// SAT formulation solved with the CDCL engine (the paper's choice).
+    #[default]
+    Sat,
+    /// Explicit branch-and-bound enumeration (cross-check / no-SAT mode).
+    BranchAndBound,
+}
+
+/// Options for [`sc_diagnose`] / [`cover_all`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct CovOptions {
+    /// Enumeration engine.
+    pub engine: CovEngine,
+    /// Stop after this many solutions (`complete = false` if hit).
+    pub max_solutions: usize,
+    /// Path-tracing options for the BSIM phase.
+    pub bsim: BsimOptions,
+}
+
+impl Default for CovOptions {
+    fn default() -> Self {
+        CovOptions {
+            engine: CovEngine::default(),
+            max_solutions: 1_000_000,
+            bsim: BsimOptions::default(),
+        }
+    }
+}
+
+/// Result of a covering run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CovResult {
+    /// All irredundant covers of size ≤ k, each sorted by gate id; the
+    /// list is sorted by (size, lexicographic) for determinism.
+    pub solutions: Vec<Vec<GateId>>,
+    /// `false` if `max_solutions` truncated the enumeration.
+    pub complete: bool,
+    /// Time spent building the instance (for COV this includes BSIM, as in
+    /// Table 2's "CNF" column).
+    pub build_time: Duration,
+    /// Time until the first solution (Table 2 "One").
+    pub first_solution_time: Duration,
+    /// Total time including enumeration (Table 2 "All").
+    pub total_time: Duration,
+    /// The BSIM result the covering instance was built from (absent for
+    /// [`cover_all`] on raw sets).
+    pub bsim: Option<BsimResult>,
+}
+
+/// `SCDiagnose(I, T, k)` — Fig. 4: BSIM first, then all irredundant covers
+/// of the candidate sets up to size `k`.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{sc_diagnose, generate_failing_tests, CovOptions};
+/// use gatediag_netlist::{c17, inject_errors};
+///
+/// let golden = c17();
+/// let (faulty, _) = inject_errors(&golden, 1, 3);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 3, 4096);
+/// let result = sc_diagnose(&faulty, &tests, 1, CovOptions::default());
+/// // Every solution hits every candidate set.
+/// let bsim = result.bsim.as_ref().unwrap();
+/// for sol in &result.solutions {
+///     for set in &bsim.candidate_sets {
+///         assert!(sol.iter().any(|&g| set.contains(g)));
+///     }
+/// }
+/// ```
+pub fn sc_diagnose(circuit: &Circuit, tests: &TestSet, k: usize, options: CovOptions) -> CovResult {
+    let build_start = Instant::now();
+    let bsim = basic_sim_diagnose(circuit, tests, options.bsim);
+    let sets: Vec<Vec<GateId>> = bsim
+        .candidate_sets
+        .iter()
+        .map(|s| s.iter().collect())
+        .collect();
+    let mut result = cover_all(&sets, k, options);
+    result.build_time += build_start.elapsed() - result.total_time;
+    result.bsim = Some(bsim);
+    result
+}
+
+/// Enumerates all irredundant covers of the given sets up to size `k`
+/// (the covering phase of Fig. 4, usable on raw abstract sets — see the
+/// paper's Example 1).
+///
+/// An empty collection of sets has the empty cover as its only solution.
+/// If any set is empty, there is no cover at all.
+pub fn cover_all(sets: &[Vec<GateId>], k: usize, options: CovOptions) -> CovResult {
+    let total_start = Instant::now();
+    let (mut solutions, complete, build_time, first_solution_time) = match options.engine {
+        CovEngine::Sat => cover_sat(sets, k, options.max_solutions),
+        CovEngine::BranchAndBound => cover_bnb(sets, k, options.max_solutions),
+    };
+    for sol in &mut solutions {
+        sol.sort();
+    }
+    solutions.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    CovResult {
+        solutions,
+        complete,
+        build_time,
+        first_solution_time,
+        total_time: total_start.elapsed(),
+        bsim: None,
+    }
+}
+
+type EngineOutput = (Vec<Vec<GateId>>, bool, Duration, Duration);
+
+fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutput {
+    let build_start = Instant::now();
+    if sets.is_empty() {
+        return (
+            vec![Vec::new()],
+            true,
+            build_start.elapsed(),
+            build_start.elapsed(),
+        );
+    }
+    if sets.iter().any(|s| s.is_empty()) {
+        return (
+            Vec::new(),
+            true,
+            build_start.elapsed(),
+            build_start.elapsed(),
+        );
+    }
+    let mut solver = Solver::new();
+    let mut var_of: HashMap<GateId, Var> = HashMap::new();
+    let mut gate_of: Vec<GateId> = Vec::new();
+    let mut selectors: Vec<Var> = Vec::new();
+    for set in sets {
+        for &g in set {
+            var_of.entry(g).or_insert_with(|| {
+                let v = ClauseSink::new_var(&mut solver);
+                gate_of.push(g);
+                selectors.push(v);
+                v
+            });
+        }
+    }
+    for set in sets {
+        let clause: Vec<_> = set.iter().map(|g| var_of[g].positive()).collect();
+        solver.add_clause(&clause);
+    }
+    let limit = k.min(selectors.len());
+    let select_lits: Vec<_> = selectors.iter().map(|v| v.positive()).collect();
+    let totalizer = Totalizer::new(&mut solver, &select_lits, limit);
+    let build_time = build_start.elapsed();
+
+    let mut solutions: Vec<Vec<GateId>> = Vec::new();
+    let mut first_solution_time = Duration::ZERO;
+    let mut complete = true;
+    let enum_start = Instant::now();
+    'sizes: for size in 1..=limit {
+        let assumptions: Vec<_> = totalizer.at_most(size).into_iter().collect();
+        let remaining = max_solutions.saturating_sub(solutions.len());
+        if remaining == 0 {
+            complete = false;
+            break 'sizes;
+        }
+        let out = enumerate_positive_subsets(&mut solver, &selectors, &assumptions, remaining);
+        for subset in out.solutions {
+            if solutions.is_empty() {
+                first_solution_time = build_time + enum_start.elapsed();
+            }
+            let gates: Vec<GateId> = subset
+                .iter()
+                .map(|v| {
+                    let pos = selectors
+                        .iter()
+                        .position(|s| s == v)
+                        .expect("selector var maps to a gate");
+                    gate_of[pos]
+                })
+                .collect();
+            solutions.push(gates);
+        }
+        if !out.complete {
+            complete = false;
+            break 'sizes;
+        }
+    }
+    (solutions, complete, build_time, first_solution_time)
+}
+
+fn cover_bnb(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutput {
+    let build_start = Instant::now();
+    if sets.is_empty() {
+        return (
+            vec![Vec::new()],
+            true,
+            build_start.elapsed(),
+            build_start.elapsed(),
+        );
+    }
+    if sets.iter().any(|s| s.is_empty()) {
+        return (
+            Vec::new(),
+            true,
+            build_start.elapsed(),
+            build_start.elapsed(),
+        );
+    }
+    let build_time = build_start.elapsed();
+    let mut found: Vec<Vec<GateId>> = Vec::new();
+    let mut chosen: Vec<GateId> = Vec::new();
+    let mut truncated = false;
+    let mut first_solution_time = Duration::ZERO;
+    let enum_start = Instant::now();
+    recurse(
+        sets,
+        k,
+        &mut chosen,
+        &mut found,
+        max_solutions,
+        &mut truncated,
+        &mut first_solution_time,
+        build_time,
+        enum_start,
+    );
+
+    // Deduplicate and keep only irredundant covers.
+    for sol in &mut found {
+        sol.sort();
+    }
+    found.sort();
+    found.dedup();
+    let irredundant: Vec<Vec<GateId>> = found
+        .iter()
+        .filter(|sol| {
+            sol.iter().all(|g| {
+                // Removing g must leave some set uncovered.
+                let without: Vec<GateId> = sol.iter().copied().filter(|&h| h != *g).collect();
+                sets.iter().any(|set| !without.iter().any(|h| set.contains(h)))
+            })
+        })
+        .cloned()
+        .collect();
+    (irredundant, !truncated, build_time, first_solution_time)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    sets: &[Vec<GateId>],
+    budget: usize,
+    chosen: &mut Vec<GateId>,
+    found: &mut Vec<Vec<GateId>>,
+    max_solutions: usize,
+    truncated: &mut bool,
+    first_solution_time: &mut Duration,
+    build_time: Duration,
+    enum_start: Instant,
+) {
+    if *truncated {
+        return;
+    }
+    // Find the smallest uncovered set to branch on.
+    let uncovered = sets
+        .iter()
+        .filter(|set| !set.iter().any(|g| chosen.contains(g)))
+        .min_by_key(|set| set.len());
+    let Some(branch_set) = uncovered else {
+        if found.is_empty() {
+            *first_solution_time = build_time + enum_start.elapsed();
+        }
+        found.push(chosen.clone());
+        if found.len() >= max_solutions {
+            *truncated = true;
+        }
+        return;
+    };
+    if budget == 0 {
+        return;
+    }
+    for &g in branch_set {
+        chosen.push(g);
+        recurse(
+            sets,
+            budget - 1,
+            chosen,
+            found,
+            max_solutions,
+            truncated,
+            first_solution_time,
+            build_time,
+            enum_start,
+        );
+        chosen.pop();
+        if *truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_set::generate_failing_tests;
+    use gatediag_netlist::{inject_errors, RandomCircuitSpec};
+
+    fn g(i: usize) -> GateId {
+        GateId::new(i)
+    }
+
+    fn both_engines(sets: &[Vec<GateId>], k: usize) -> (Vec<Vec<GateId>>, Vec<Vec<GateId>>) {
+        let sat = cover_all(
+            sets,
+            k,
+            CovOptions {
+                engine: CovEngine::Sat,
+                ..CovOptions::default()
+            },
+        );
+        let bnb = cover_all(
+            sets,
+            k,
+            CovOptions {
+                engine: CovEngine::BranchAndBound,
+                ..CovOptions::default()
+            },
+        );
+        assert!(sat.complete && bnb.complete);
+        (sat.solutions, bnb.solutions)
+    }
+
+    /// The paper's Example 1: C1={A,B,F,G}, C2={C,D,E,F,G}, C3={B,C,E,H}.
+    fn example1_sets() -> Vec<Vec<GateId>> {
+        // A=0 B=1 C=2 D=3 E=4 F=5 G=6 H=7
+        vec![
+            vec![g(0), g(1), g(5), g(6)],
+            vec![g(2), g(3), g(4), g(5), g(6)],
+            vec![g(1), g(2), g(4), g(7)],
+        ]
+    }
+
+    #[test]
+    fn example1_finds_bd_with_k2() {
+        let (sat, bnb) = both_engines(&example1_sets(), 2);
+        assert_eq!(sat, bnb);
+        // {B, D} is one possible solution (paper Example 1).
+        assert!(sat.contains(&vec![g(1), g(3)]), "missing {{B,D}}: {sat:?}");
+        // Every solution hits all three sets and is within the bound.
+        for sol in &sat {
+            assert!(sol.len() <= 2);
+            for set in example1_sets() {
+                assert!(sol.iter().any(|x| set.contains(x)), "{sol:?} misses {set:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn example1_finds_adh_with_k3() {
+        let (sat, bnb) = both_engines(&example1_sets(), 3);
+        assert_eq!(sat, bnb);
+        // {A, D, H} is the paper's "another solution" (requires k = 3).
+        assert!(
+            sat.contains(&vec![g(0), g(3), g(7)]),
+            "missing {{A,D,H}}: {sat:?}"
+        );
+        // But it must NOT appear at k = 2.
+        let (sat2, _) = both_engines(&example1_sets(), 2);
+        assert!(!sat2.contains(&vec![g(0), g(3), g(7)]));
+    }
+
+    #[test]
+    fn solutions_are_irredundant() {
+        let sets = example1_sets();
+        let (sat, _) = both_engines(&sets, 3);
+        for sol in &sat {
+            for drop in sol {
+                let without: Vec<GateId> =
+                    sol.iter().copied().filter(|x| x != drop).collect();
+                let still_covers = sets
+                    .iter()
+                    .all(|set| without.iter().any(|x| set.contains(x)));
+                assert!(!still_covers, "{sol:?} minus {drop} still covers");
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_random_instances() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(99);
+        for round in 0..25 {
+            let universe = rng.gen_range(3..9usize);
+            let num_sets = rng.gen_range(1..5usize);
+            let sets: Vec<Vec<GateId>> = (0..num_sets)
+                .map(|_| {
+                    let size = rng.gen_range(1..=universe);
+                    let mut items: Vec<usize> = (0..universe).collect();
+                    for i in (1..items.len()).rev() {
+                        items.swap(i, rng.gen_range(0..=i));
+                    }
+                    items.truncate(size);
+                    items.into_iter().map(g).collect()
+                })
+                .collect();
+            let k = rng.gen_range(1..4usize);
+            let (sat, bnb) = both_engines(&sets, k);
+            assert_eq!(sat, bnb, "round {round}: sets {sets:?} k {k}");
+        }
+    }
+
+    #[test]
+    fn empty_sets_edge_cases() {
+        let empty: Vec<Vec<GateId>> = Vec::new();
+        let (sat, bnb) = both_engines(&empty, 2);
+        assert_eq!(sat, vec![Vec::<GateId>::new()]);
+        assert_eq!(bnb, sat);
+        let unhittable = vec![vec![g(0)], vec![]];
+        let (sat, bnb) = both_engines(&unhittable, 2);
+        assert!(sat.is_empty());
+        assert!(bnb.is_empty());
+    }
+
+    #[test]
+    fn max_solutions_truncates() {
+        let sets = example1_sets();
+        let out = cover_all(
+            &sets,
+            3,
+            CovOptions {
+                max_solutions: 2,
+                ..CovOptions::default()
+            },
+        );
+        assert!(!out.complete);
+        assert!(out.solutions.len() <= 2);
+    }
+
+    #[test]
+    fn sc_diagnose_end_to_end() {
+        let golden = RandomCircuitSpec::new(6, 3, 50).seed(5).generate();
+        let (faulty, _) = inject_errors(&golden, 2, 5);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 5, 4096);
+        if tests.is_empty() {
+            return;
+        }
+        let result = sc_diagnose(&faulty, &tests, 2, CovOptions::default());
+        assert!(result.complete);
+        let bsim = result.bsim.as_ref().unwrap();
+        for sol in &result.solutions {
+            assert!(sol.len() <= 2);
+            for set in &bsim.candidate_sets {
+                assert!(sol.iter().any(|&x| set.contains(x)));
+            }
+        }
+        // Timing fields are coherent.
+        assert!(result.first_solution_time <= result.total_time + result.build_time);
+    }
+}

@@ -1,0 +1,193 @@
+//! Diagnosis quality metrics (paper Table 3).
+//!
+//! All metrics are structural distances from reported candidates to the
+//! nearest actual error site — "the number of gates on a shortest path to
+//! any error" — computed over the undirected gate graph. Small distances
+//! mean the designer starts close to the bug.
+
+use crate::bsim::BsimResult;
+use gatediag_netlist::{undirected_distances, Circuit, GateId};
+
+/// BSIM quality metrics (left half of Table 3).
+#[derive(Clone, PartialEq, Debug)]
+pub struct BsimQuality {
+    /// `|∪ C_i|`: total number of gates marked by path tracing.
+    pub union_size: usize,
+    /// `avgA`: average distance-to-nearest-error over all marked gates.
+    pub avg_all: f64,
+    /// `|G_max|`: number of gates marked by the maximal number of tests.
+    pub gmax_size: usize,
+    /// Minimal distance among `G_max` (0 means a real error site is in
+    /// `G_max`).
+    pub gmax_min: u32,
+    /// Maximal distance among `G_max`.
+    pub gmax_max: u32,
+    /// `avgG`: average distance among `G_max`.
+    pub gmax_avg: f64,
+}
+
+/// Solution-set quality metrics (COV / BSAT halves of Table 3).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SolutionQuality {
+    /// Number of solutions (`#sol`).
+    pub num_solutions: usize,
+    /// Minimum over solutions of the per-solution average distance.
+    pub min: f64,
+    /// Maximum over solutions of the per-solution average distance.
+    pub max: f64,
+    /// Average over solutions of the per-solution average distance.
+    pub avg: f64,
+}
+
+fn finite(d: u32) -> f64 {
+    // Unreachable gates (disconnected pseudo-I/O) are rare; treat them as a
+    // large-but-finite distance so averages stay meaningful.
+    if d == u32::MAX {
+        1e6
+    } else {
+        f64::from(d)
+    }
+}
+
+/// Computes the BSIM quality metrics against the actual error sites.
+///
+/// # Panics
+///
+/// Panics if `errors` is empty.
+pub fn bsim_quality(circuit: &Circuit, bsim: &BsimResult, errors: &[GateId]) -> BsimQuality {
+    assert!(!errors.is_empty(), "need at least one error site");
+    let dist = undirected_distances(circuit, errors);
+    let marked: Vec<GateId> = bsim.union.iter().collect();
+    let avg_all = if marked.is_empty() {
+        0.0
+    } else {
+        marked.iter().map(|g| finite(dist[g.index()])).sum::<f64>() / marked.len() as f64
+    };
+    let gmax = bsim.gmax();
+    let (gmax_min, gmax_max, gmax_avg) = if gmax.is_empty() {
+        (0, 0, 0.0)
+    } else {
+        let ds: Vec<u32> = gmax.iter().map(|g| dist[g.index()]).collect();
+        (
+            ds.iter().copied().min().expect("non-empty"),
+            ds.iter().copied().max().expect("non-empty"),
+            ds.iter().map(|&d| finite(d)).sum::<f64>() / ds.len() as f64,
+        )
+    };
+    BsimQuality {
+        union_size: marked.len(),
+        avg_all,
+        gmax_size: gmax.len(),
+        gmax_min,
+        gmax_max,
+        gmax_avg,
+    }
+}
+
+/// Computes solution-set quality: per solution the average distance of its
+/// gates to the nearest error, then min/max/avg over solutions.
+///
+/// Returns zeros for an empty solution list.
+///
+/// # Panics
+///
+/// Panics if `errors` is empty.
+pub fn solution_quality(
+    circuit: &Circuit,
+    solutions: &[Vec<GateId>],
+    errors: &[GateId],
+) -> SolutionQuality {
+    assert!(!errors.is_empty(), "need at least one error site");
+    if solutions.is_empty() {
+        return SolutionQuality {
+            num_solutions: 0,
+            min: 0.0,
+            max: 0.0,
+            avg: 0.0,
+        };
+    }
+    let dist = undirected_distances(circuit, errors);
+    let per_solution: Vec<f64> = solutions
+        .iter()
+        .map(|sol| {
+            if sol.is_empty() {
+                0.0
+            } else {
+                sol.iter().map(|g| finite(dist[g.index()])).sum::<f64>() / sol.len() as f64
+            }
+        })
+        .collect();
+    SolutionQuality {
+        num_solutions: solutions.len(),
+        min: per_solution.iter().copied().fold(f64::INFINITY, f64::min),
+        max: per_solution
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max),
+        avg: per_solution.iter().sum::<f64>() / per_solution.len() as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsim::{basic_sim_diagnose, BsimOptions};
+    use crate::test_set::generate_failing_tests;
+    use gatediag_netlist::{inject_errors, RandomCircuitSpec};
+
+    #[test]
+    fn exact_hit_has_distance_zero() {
+        let golden = RandomCircuitSpec::new(6, 3, 40).seed(2).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 2);
+        let error = sites[0].gate;
+        let q = solution_quality(&faulty, &[vec![error]], &[error]);
+        assert_eq!(q.num_solutions, 1);
+        assert_eq!(q.min, 0.0);
+        assert_eq!(q.max, 0.0);
+        assert_eq!(q.avg, 0.0);
+    }
+
+    #[test]
+    fn min_max_avg_ordering() {
+        let golden = RandomCircuitSpec::new(6, 3, 60).seed(3).generate();
+        let (faulty, sites) = inject_errors(&golden, 2, 3);
+        let errors: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let solutions: Vec<Vec<GateId>> = functional.chunks(2).take(5).map(|c| c.to_vec()).collect();
+        let q = solution_quality(&faulty, &solutions, &errors);
+        assert!(q.min <= q.avg && q.avg <= q.max);
+        assert_eq!(q.num_solutions, solutions.len());
+    }
+
+    #[test]
+    fn bsim_quality_consistency() {
+        let golden = RandomCircuitSpec::new(6, 3, 50).seed(7).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 7);
+        let errors: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+        let tests = generate_failing_tests(&golden, &faulty, 8, 7, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let bsim = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+        let q = bsim_quality(&faulty, &bsim, &errors);
+        assert_eq!(q.union_size, bsim.union.len());
+        assert_eq!(q.gmax_size, bsim.gmax().len());
+        assert!(q.gmax_min <= q.gmax_max);
+        assert!(f64::from(q.gmax_min) <= q.gmax_avg);
+        assert!(q.gmax_avg <= f64::from(q.gmax_max));
+        assert!(q.avg_all >= 0.0);
+    }
+
+    #[test]
+    fn empty_solutions_give_zeroes() {
+        let golden = RandomCircuitSpec::new(5, 2, 20).seed(1).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 1);
+        let q = solution_quality(&faulty, &[], &[sites[0].gate]);
+        assert_eq!(q.num_solutions, 0);
+        assert_eq!(q.avg, 0.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Sequential diagnosis via time-frame expansion.
+//!
+//! The paper notes the SAT-based approach "has also been applied to
+//! diagnose sequential errors efficiently" (its reference [4], Ali et
+//! al., ICCAD 2004). The construction: unroll the sequential circuit over
+//! the test sequence's time frames; a gate-change error affects *every*
+//! frame, so the per-gate select line is shared across frames (and across
+//! test sequences), exactly like it is shared across test copies in the
+//! combinational case.
+
+use crate::test_set::TestSet;
+use gatediag_cnf::{encode_gate, ClauseSink, Totalizer};
+use gatediag_netlist::{unroll, Circuit, GateId, GateKind};
+use gatediag_sat::{enumerate_positive_subsets, Lit, SolveResult, Solver, Var};
+use gatediag_sim::simulate;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A sequential diagnosis test: an input sequence driving the circuit from
+/// a known initial state, with one erroneous primary output at one frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SequenceTest {
+    /// Initial flip-flop state (in `circuit.latches()` order).
+    pub initial_state: Vec<bool>,
+    /// Per-frame primary-input vectors (real inputs only, in the order
+    /// given by [`real_inputs`]).
+    pub vectors: Vec<Vec<bool>>,
+    /// Frame at which the erroneous output was observed.
+    pub frame: usize,
+    /// The erroneous primary output (an output of the original circuit).
+    pub output: GateId,
+    /// Its correct value.
+    pub expected: bool,
+}
+
+/// The circuit's *real* primary inputs (excluding flip-flop pseudo-inputs),
+/// in `circuit.inputs()` order.
+pub fn real_inputs(circuit: &Circuit) -> Vec<GateId> {
+    let latch_q: Vec<GateId> = circuit.latches().iter().map(|l| l.q).collect();
+    circuit
+        .inputs()
+        .iter()
+        .copied()
+        .filter(|pi| !latch_q.contains(pi))
+        .collect()
+}
+
+/// Simulates an input sequence; returns the full value assignment per
+/// frame.
+///
+/// # Panics
+///
+/// Panics if `initial_state` or any vector has the wrong width.
+pub fn simulate_sequence(
+    circuit: &Circuit,
+    initial_state: &[bool],
+    vectors: &[Vec<bool>],
+) -> Vec<Vec<bool>> {
+    assert_eq!(
+        initial_state.len(),
+        circuit.latches().len(),
+        "initial state width mismatch"
+    );
+    let reals = real_inputs(circuit);
+    let latch_q: Vec<GateId> = circuit.latches().iter().map(|l| l.q).collect();
+    let mut state: Vec<bool> = initial_state.to_vec();
+    let mut frames = Vec::with_capacity(vectors.len());
+    for vector in vectors {
+        assert_eq!(vector.len(), reals.len(), "input vector width mismatch");
+        // Assemble the combinational input vector in circuit.inputs() order.
+        let mut full = Vec::with_capacity(circuit.inputs().len());
+        let mut real_iter = vector.iter();
+        for &pi in circuit.inputs() {
+            if let Some(pos) = latch_q.iter().position(|&q| q == pi) {
+                full.push(state[pos]);
+            } else {
+                full.push(*real_iter.next().expect("width checked above"));
+            }
+        }
+        let values = simulate(circuit, &full);
+        state = circuit
+            .latches()
+            .iter()
+            .map(|l| values[l.d.index()])
+            .collect();
+        frames.push(values);
+    }
+    frames
+}
+
+/// Generates failing sequence tests for a golden/faulty pair by random
+/// sequence simulation (both circuits start from the all-zero state).
+///
+/// Each returned test pinpoints the first frame/output where the faulty
+/// circuit deviates on a sequence.
+pub fn generate_failing_sequences(
+    golden: &Circuit,
+    faulty: &Circuit,
+    frames: usize,
+    want: usize,
+    seed: u64,
+    max_sequences: usize,
+) -> Vec<SequenceTest> {
+    let reals = real_inputs(golden);
+    let real_outputs: Vec<GateId> = {
+        let latch_d: Vec<GateId> = golden.latches().iter().map(|l| l.d).collect();
+        golden
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|o| !latch_d.contains(o))
+            .collect()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x94d0_49bb_1331_11eb);
+    let mut tests = Vec::new();
+    let initial_state = vec![false; golden.latches().len()];
+    for _ in 0..max_sequences {
+        if tests.len() >= want {
+            break;
+        }
+        let vectors: Vec<Vec<bool>> = (0..frames)
+            .map(|_| (0..reals.len()).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let g_frames = simulate_sequence(golden, &initial_state, &vectors);
+        let f_frames = simulate_sequence(faulty, &initial_state, &vectors);
+        'frames: for (frame, (g, f)) in g_frames.iter().zip(&f_frames).enumerate() {
+            for &o in &real_outputs {
+                if g[o.index()] != f[o.index()] {
+                    tests.push(SequenceTest {
+                        initial_state: initial_state.clone(),
+                        vectors: vectors.clone(),
+                        frame,
+                        output: o,
+                        expected: g[o.index()],
+                    });
+                    break 'frames;
+                }
+            }
+        }
+    }
+    tests
+}
+
+/// Result of a sequential SAT-based diagnosis run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeqDiagnosis {
+    /// Corrections in terms of the *original* circuit's gates, sorted.
+    pub solutions: Vec<Vec<GateId>>,
+    /// `false` if enumeration was truncated.
+    pub complete: bool,
+}
+
+/// Sequential `BasicSATDiagnose`: one unrolled instrumented copy per
+/// sequence test, select lines shared per original gate across frames and
+/// tests.
+///
+/// All tests must have the same sequence length.
+///
+/// # Panics
+///
+/// Panics if `tests` is empty or sequence lengths differ.
+pub fn sequential_sat_diagnose(
+    circuit: &Circuit,
+    tests: &[SequenceTest],
+    k: usize,
+    max_solutions: usize,
+) -> SeqDiagnosis {
+    assert!(!tests.is_empty(), "need at least one sequence test");
+    let frames = tests[0].vectors.len();
+    assert!(
+        tests.iter().all(|t| t.vectors.len() == frames),
+        "all sequences must have the same length"
+    );
+    let unrolled = unroll(circuit, frames);
+    let reals = real_inputs(circuit);
+
+    let mut solver = Solver::new();
+    // One shared select per original functional gate.
+    let sites: Vec<GateId> = circuit
+        .iter()
+        .filter(|(_, g)| g.kind() != GateKind::Input)
+        .map(|(id, _)| id)
+        .collect();
+    let selects: Vec<Var> = sites.iter().map(|_| ClauseSink::new_var(&mut solver)).collect();
+    let mut select_of: Vec<Option<Var>> = vec![None; circuit.len()];
+    for (&site, &sel) in sites.iter().zip(&selects) {
+        select_of[site.index()] = Some(sel);
+    }
+    // Map unrolled gates back to original gates for select sharing.
+    let mut origin: Vec<Option<GateId>> = vec![None; unrolled.circuit.len()];
+    for frame in 0..frames {
+        for (id, _) in circuit.iter() {
+            origin[unrolled.instance(frame, id).index()] = Some(id);
+        }
+    }
+
+    for test in tests {
+        // Encode one copy of the unrolled circuit with guards.
+        let vars: Vec<Var> = (0..unrolled.circuit.len())
+            .map(|_| ClauseSink::new_var(&mut solver))
+            .collect();
+        for &uid in unrolled.circuit.topo_order() {
+            let gate = unrolled.circuit.gate(uid);
+            if gate.kind() == GateKind::Input {
+                continue;
+            }
+            let guard = origin[uid.index()]
+                .and_then(|orig| select_of[orig.index()])
+                .map(|s| s.positive());
+            let fanins: Vec<Lit> = gate
+                .fanins()
+                .iter()
+                .map(|f| vars[f.index()].positive())
+                .collect();
+            encode_gate(&mut solver, gate.kind(), vars[uid.index()], &fanins, guard);
+        }
+        // Constrain initial state.
+        for (init_pi, &v) in unrolled.initial_state.iter().zip(&test.initial_state) {
+            solver.add_clause(&[vars[init_pi.index()].lit(v)]);
+        }
+        // Constrain per-frame real inputs.
+        for (frame, vector) in test.vectors.iter().enumerate() {
+            for (&pi, &v) in reals.iter().zip(vector) {
+                let inst = unrolled.instance(frame, pi);
+                solver.add_clause(&[vars[inst.index()].lit(v)]);
+            }
+        }
+        // Constrain the erroneous output at its frame.
+        let out_inst = unrolled.instance(test.frame, test.output);
+        solver.add_clause(&[vars[out_inst.index()].lit(test.expected)]);
+    }
+
+    let select_lits: Vec<Lit> = selects.iter().map(|v| v.positive()).collect();
+    let totalizer = Totalizer::new(&mut solver, &select_lits, k.min(selects.len()));
+
+    let mut solutions: Vec<Vec<GateId>> = Vec::new();
+    let mut complete = true;
+    'sizes: for size in 1..=k.min(selects.len()) {
+        let assumptions: Vec<Lit> = totalizer.at_most(size).into_iter().collect();
+        let remaining = max_solutions.saturating_sub(solutions.len());
+        if remaining == 0 {
+            complete = false;
+            break 'sizes;
+        }
+        let out = enumerate_positive_subsets(&mut solver, &selects, &assumptions, remaining);
+        for subset in out.solutions {
+            let mut gates: Vec<GateId> = subset
+                .iter()
+                .map(|v| {
+                    let pos = selects.iter().position(|s| s == v).expect("known select");
+                    sites[pos]
+                })
+                .collect();
+            gates.sort();
+            solutions.push(gates);
+        }
+        if !out.complete {
+            complete = false;
+            break 'sizes;
+        }
+    }
+    solutions.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    SeqDiagnosis {
+        solutions,
+        complete,
+    }
+}
+
+/// Exact validity check for sequential corrections by SAT: the candidate
+/// gates are freed in *every* frame of every test's unrolling.
+pub fn is_valid_sequential_correction(
+    circuit: &Circuit,
+    tests: &[SequenceTest],
+    candidates: &[GateId],
+) -> bool {
+    if tests.is_empty() {
+        return true;
+    }
+    let frames = tests[0].vectors.len();
+    let unrolled = unroll(circuit, frames);
+    let reals = real_inputs(circuit);
+    let mut freed = vec![false; unrolled.circuit.len()];
+    for &g in candidates {
+        for frame in 0..frames {
+            freed[unrolled.instance(frame, g).index()] = true;
+        }
+    }
+    tests.iter().all(|test| {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..unrolled.circuit.len())
+            .map(|_| ClauseSink::new_var(&mut solver))
+            .collect();
+        for &uid in unrolled.circuit.topo_order() {
+            let gate = unrolled.circuit.gate(uid);
+            if gate.kind() == GateKind::Input || freed[uid.index()] {
+                continue;
+            }
+            let fanins: Vec<Lit> = gate
+                .fanins()
+                .iter()
+                .map(|f| vars[f.index()].positive())
+                .collect();
+            encode_gate(&mut solver, gate.kind(), vars[uid.index()], &fanins, None);
+        }
+        for (init_pi, &v) in unrolled.initial_state.iter().zip(&test.initial_state) {
+            solver.add_clause(&[vars[init_pi.index()].lit(v)]);
+        }
+        for (frame, vector) in test.vectors.iter().enumerate() {
+            for (&pi, &v) in reals.iter().zip(vector) {
+                let inst = unrolled.instance(frame, pi);
+                solver.add_clause(&[vars[inst.index()].lit(v)]);
+            }
+        }
+        let out_inst = unrolled.instance(test.frame, test.output);
+        solver.add_clause(&[vars[out_inst.index()].lit(test.expected)]);
+        solver.solve(&[]) == SolveResult::Sat
+    })
+}
+
+/// Converts sequence tests into combinational [`TestSet`]s over the
+/// unrolled circuit (for reusing combinational engines on sequential
+/// problems). All tests must share one sequence length; the returned
+/// test-set targets the unrolled circuit of [`unroll`].
+///
+/// Note: combinational diagnosis over the unrolling treats each *frame
+/// instance* of a gate as an independent candidate; only the sequential
+/// engine above shares selects per original gate.
+pub fn sequence_tests_to_unrolled(
+    circuit: &Circuit,
+    tests: &[SequenceTest],
+) -> (gatediag_netlist::Unrolling, TestSet) {
+    assert!(!tests.is_empty(), "need at least one sequence test");
+    let frames = tests[0].vectors.len();
+    let unrolled = unroll(circuit, frames);
+    let reals = real_inputs(circuit);
+    let mut set = Vec::new();
+    for test in tests {
+        // Assemble the unrolled input vector in unrolled.inputs() order.
+        let mut value_of = std::collections::HashMap::new();
+        for (init_pi, &v) in unrolled.initial_state.iter().zip(&test.initial_state) {
+            value_of.insert(*init_pi, v);
+        }
+        for (frame, vector) in test.vectors.iter().enumerate() {
+            for (&pi, &v) in reals.iter().zip(vector) {
+                value_of.insert(unrolled.instance(frame, pi), v);
+            }
+        }
+        let vector: Vec<bool> = unrolled
+            .circuit
+            .inputs()
+            .iter()
+            .map(|pi| *value_of.get(pi).expect("all unrolled inputs covered"))
+            .collect();
+        set.push(crate::test_set::Test {
+            vector,
+            output: unrolled.instance(test.frame, test.output),
+            expected: test.expected,
+        });
+    }
+    (unrolled, TestSet::new(set))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_netlist::{inject_errors, parse_bench, RandomCircuitSpec};
+
+    fn toggle_circuit() -> Circuit {
+        parse_bench(
+            "INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequence_simulation_matches_hand_computation() {
+        let c = toggle_circuit();
+        let frames = simulate_sequence(
+            &c,
+            &[false],
+            &[vec![true], vec![false], vec![true]],
+        );
+        let out = c.find("out").unwrap();
+        // q: 0 -> 1 -> 1 -> 0; out shows q before update.
+        assert!(!frames[0][out.index()]);
+        assert!(frames[1][out.index()]);
+        assert!(frames[2][out.index()]);
+    }
+
+    #[test]
+    fn failing_sequences_really_fail() {
+        let golden = toggle_circuit();
+        let d = golden.find("d").unwrap();
+        let faulty = golden.with_gate_kind(d, gatediag_netlist::GateKind::Xnor);
+        let tests = generate_failing_sequences(&golden, &faulty, 4, 8, 3, 512);
+        assert!(!tests.is_empty());
+        for t in &tests {
+            let g = simulate_sequence(&golden, &t.initial_state, &t.vectors);
+            let f = simulate_sequence(&faulty, &t.initial_state, &t.vectors);
+            assert_eq!(g[t.frame][t.output.index()], t.expected);
+            assert_ne!(f[t.frame][t.output.index()], t.expected);
+        }
+    }
+
+    #[test]
+    fn sequential_diagnosis_finds_injected_error() {
+        let golden = toggle_circuit();
+        let d = golden.find("d").unwrap();
+        let faulty = golden.with_gate_kind(d, gatediag_netlist::GateKind::Xnor);
+        let tests = generate_failing_sequences(&golden, &faulty, 4, 6, 3, 512);
+        assert!(!tests.is_empty());
+        let diag = sequential_sat_diagnose(&faulty, &tests, 1, 1000);
+        assert!(diag.complete);
+        assert!(
+            diag.solutions.contains(&vec![d]),
+            "error gate {d} missing from {:?}",
+            diag.solutions
+        );
+        for sol in &diag.solutions {
+            assert!(
+                is_valid_sequential_correction(&faulty, &tests, sol),
+                "invalid sequential correction {sol:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_diagnosis_on_random_sequential_circuit() {
+        for seed in 0..3 {
+            let golden = RandomCircuitSpec::new(5, 3, 30)
+                .latches(3)
+                .seed(seed)
+                .generate();
+            let (faulty, sites) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_sequences(&golden, &faulty, 3, 4, seed, 1024);
+            if tests.is_empty() {
+                continue;
+            }
+            let diag = sequential_sat_diagnose(&faulty, &tests, 1, 1000);
+            assert!(
+                diag.solutions.contains(&vec![sites[0].gate]),
+                "seed {seed}: real site missing from {:?}",
+                diag.solutions
+            );
+            for sol in &diag.solutions {
+                assert!(is_valid_sequential_correction(&faulty, &tests, sol));
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_test_conversion_is_consistent() {
+        let golden = toggle_circuit();
+        let d = golden.find("d").unwrap();
+        let faulty = golden.with_gate_kind(d, gatediag_netlist::GateKind::Xnor);
+        let tests = generate_failing_sequences(&golden, &faulty, 3, 4, 5, 512);
+        if tests.is_empty() {
+            return;
+        }
+        let (unrolled_faulty, test_set) = sequence_tests_to_unrolled(&faulty, &tests);
+        // Combinational simulation of the unrolled faulty circuit must show
+        // the erroneous value (i.e. the test fails on it).
+        for t in &test_set {
+            let v = simulate(&unrolled_faulty.circuit, &t.vector);
+            assert_ne!(v[t.output.index()], t.expected);
+        }
+    }
+
+    #[test]
+    fn empty_candidates_cannot_fix_failing_sequences() {
+        let golden = toggle_circuit();
+        let d = golden.find("d").unwrap();
+        let faulty = golden.with_gate_kind(d, gatediag_netlist::GateKind::Xnor);
+        let tests = generate_failing_sequences(&golden, &faulty, 3, 2, 1, 512);
+        if tests.is_empty() {
+            return;
+        }
+        assert!(!is_valid_sequential_correction(&faulty, &tests, &[]));
+        assert!(is_valid_sequential_correction(&faulty, &[], &[]));
+    }
+}

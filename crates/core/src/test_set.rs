@@ -1,0 +1,230 @@
+//! Tests and test-sets (Definition 1 of the paper) and their generation.
+
+use gatediag_netlist::{Circuit, GateId, VectorGen};
+use gatediag_sim::{pack_vectors, simulate_packed, unpack_lane};
+
+/// A diagnosis test: the triple `(t, o, v)` of Definition 1.
+///
+/// `vector` is the primary-input assignment, `output` the primary output
+/// observed to be erroneous under it, and `expected` the correct value that
+/// output should have taken.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Test {
+    /// Primary input values, in `circuit.inputs()` order.
+    pub vector: Vec<bool>,
+    /// The erroneous primary output.
+    pub output: GateId,
+    /// The correct value for `output`.
+    pub expected: bool,
+}
+
+/// An ordered set of [`Test`]s (Definition 2).
+///
+/// Order matters for reproducing the paper's experiments: diagnosing with
+/// `m ∈ {4, 8, 16, 32}` tests uses prefixes of one generated set, "a part
+/// of the same test-set" as in Sec. 5.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct TestSet {
+    tests: Vec<Test>,
+}
+
+impl TestSet {
+    /// Wraps a list of tests.
+    pub fn new(tests: Vec<Test>) -> Self {
+        TestSet { tests }
+    }
+
+    /// The tests, in order.
+    pub fn tests(&self) -> &[Test] {
+        &self.tests
+    }
+
+    /// Number of tests (the paper's `m`).
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// `true` if there are no tests.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Iterates over the tests.
+    pub fn iter(&self) -> std::slice::Iter<'_, Test> {
+        self.tests.iter()
+    }
+
+    /// The first `m` tests as a new set (prefix reuse as in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > self.len()`.
+    pub fn prefix(&self, m: usize) -> TestSet {
+        TestSet {
+            tests: self.tests[..m].to_vec(),
+        }
+    }
+}
+
+impl FromIterator<Test> for TestSet {
+    fn from_iter<T: IntoIterator<Item = Test>>(iter: T) -> Self {
+        TestSet {
+            tests: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a TestSet {
+    type Item = &'a Test;
+    type IntoIter = std::slice::Iter<'a, Test>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tests.iter()
+    }
+}
+
+/// Generates `want` failing tests by random simulation of the golden and
+/// faulty circuit pair.
+///
+/// Random vectors are simulated 64-at-a-time on both circuits; every
+/// (vector, output) pair on which they disagree yields a [`Test`] whose
+/// `expected` value comes from the golden circuit. Returns fewer than
+/// `want` tests if `max_vectors` random vectors do not expose enough
+/// failures (e.g. the injected error is close to redundant).
+///
+/// # Panics
+///
+/// Panics if the two circuits have different input/output shapes.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_netlist::{c17, inject_errors};
+/// use gatediag_core::generate_failing_tests;
+///
+/// let golden = c17();
+/// let (faulty, _) = inject_errors(&golden, 1, 3);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 3, 4096);
+/// for t in &tests {
+///     // Each test really fails on the faulty circuit.
+///     let v = gatediag_sim::simulate(&faulty, &t.vector);
+///     assert_ne!(v[t.output.index()], t.expected);
+/// }
+/// ```
+pub fn generate_failing_tests(
+    golden: &Circuit,
+    faulty: &Circuit,
+    want: usize,
+    seed: u64,
+    max_vectors: usize,
+) -> TestSet {
+    assert_eq!(
+        golden.inputs().len(),
+        faulty.inputs().len(),
+        "golden/faulty input mismatch"
+    );
+    assert_eq!(
+        golden.outputs().len(),
+        faulty.outputs().len(),
+        "golden/faulty output mismatch"
+    );
+    let mut gen = VectorGen::new(golden, seed);
+    let mut tests = Vec::with_capacity(want);
+    let mut tried = 0usize;
+    while tests.len() < want && tried < max_vectors {
+        let batch: Vec<Vec<bool>> = (0..64.min(max_vectors - tried))
+            .map(|_| gen.next_vector())
+            .collect();
+        tried += batch.len();
+        let packed = pack_vectors(golden, &batch);
+        let golden_words = simulate_packed(golden, &packed);
+        let faulty_words = simulate_packed(faulty, &packed);
+        for lane in 0..batch.len() {
+            if tests.len() >= want {
+                break;
+            }
+            let g = unpack_lane(&golden_words, lane);
+            let f = unpack_lane(&faulty_words, lane);
+            for &o in golden.outputs() {
+                if g[o.index()] != f[o.index()] {
+                    tests.push(Test {
+                        vector: batch[lane].clone(),
+                        output: o,
+                        expected: g[o.index()],
+                    });
+                    if tests.len() >= want {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    TestSet::new(tests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_netlist::{c17, inject_errors, ripple_carry_adder};
+    use gatediag_sim::simulate;
+
+    #[test]
+    fn generated_tests_fail_on_faulty_and_pass_on_golden() {
+        let golden = ripple_carry_adder(4);
+        let (faulty, _) = inject_errors(&golden, 2, 9);
+        let ts = generate_failing_tests(&golden, &faulty, 16, 9, 4096);
+        assert!(!ts.is_empty(), "injected error should be observable");
+        for t in &ts {
+            let g = simulate(&golden, &t.vector);
+            let f = simulate(&faulty, &t.vector);
+            assert_eq!(g[t.output.index()], t.expected);
+            assert_ne!(f[t.output.index()], t.expected);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 1);
+        let a = generate_failing_tests(&golden, &faulty, 8, 5, 1024);
+        let b = generate_failing_tests(&golden, &faulty, 8, 5, 1024);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prefix_takes_first_tests() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 2);
+        let ts = generate_failing_tests(&golden, &faulty, 8, 7, 4096);
+        if ts.len() >= 4 {
+            let p = ts.prefix(4);
+            assert_eq!(p.len(), 4);
+            assert_eq!(p.tests(), &ts.tests()[..4]);
+        }
+    }
+
+    #[test]
+    fn respects_vector_budget() {
+        let golden = c17();
+        // golden vs golden: no failures possible.
+        let ts = generate_failing_tests(&golden, &golden, 4, 0, 256);
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn collects_multiple_failing_outputs_per_vector() {
+        // An error feeding both outputs can fail both on one vector.
+        let golden = c17();
+        let g16 = golden.find("G16").unwrap();
+        let faulty = golden.with_gate_kind(g16, gatediag_netlist::GateKind::Nor);
+        let ts = generate_failing_tests(&golden, &faulty, 64, 3, 8192);
+        let mut by_vector = std::collections::HashMap::new();
+        for t in &ts {
+            *by_vector.entry(t.vector.clone()).or_insert(0usize) += 1;
+        }
+        assert!(
+            by_vector.values().any(|&n| n >= 2),
+            "expected some vector to fail on both outputs"
+        );
+    }
+}

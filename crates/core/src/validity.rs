@@ -1,0 +1,240 @@
+//! Valid-correction oracles (Definition 3 of the paper).
+//!
+//! A candidate set `C` is a *valid correction* when replacing the functions
+//! of the gates in `C` can rectify every test. Because a replacement
+//! function is arbitrary, its output on any single test vector is a free
+//! Boolean value — so validity decomposes per test into "∃ values at `C`
+//! making the designated output correct". Two independent oracles:
+//!
+//! * [`is_valid_correction_sim`] — exhaustive forced-value simulation,
+//!   64 value combinations per packed sweep (exact, exponential in `|C|`);
+//! * [`is_valid_correction_sat`] — one small SAT query per test (exact,
+//!   scales to large `C`).
+//!
+//! The two must always agree; property tests enforce it. Validity is
+//! monotone under supersets (force the extra gates to the values they
+//! would compute anyway), which the essentiality analysis relies on.
+
+use crate::test_set::{Test, TestSet};
+use gatediag_cnf::{encode_gate, ClauseSink};
+use gatediag_netlist::{Circuit, GateId, GateKind};
+use gatediag_sat::{SolveResult, Solver, Var};
+use gatediag_sim::{pack_vectors, simulate_packed_forced};
+
+/// Exact validity check by exhaustive forced-value simulation.
+///
+/// For every test, tries all `2^|C|` assignments of replacement values to
+/// the candidate gates (batched 64 per packed simulation sweep) and checks
+/// whether some assignment produces the expected value at the test's
+/// output.
+///
+/// # Panics
+///
+/// Panics if `candidates.len() > 16` (use the SAT oracle instead) or if a
+/// candidate is a source gate.
+pub fn is_valid_correction_sim(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidates: &[GateId],
+) -> bool {
+    assert!(
+        candidates.len() <= 16,
+        "simulation oracle limited to 16 candidates; use is_valid_correction_sat"
+    );
+    for &g in candidates {
+        assert!(
+            circuit.gate(g).kind() != GateKind::Input,
+            "candidate {g} is a primary input"
+        );
+    }
+    tests
+        .iter()
+        .all(|t| test_rectifiable_sim(circuit, t, candidates))
+}
+
+fn test_rectifiable_sim(circuit: &Circuit, test: &Test, candidates: &[GateId]) -> bool {
+    let combos = 1u64 << candidates.len();
+    let mut base = 0u64;
+    while base < combos {
+        let lanes = (combos - base).min(64) as usize;
+        // Lane l encodes combination base + l: candidate i takes bit i.
+        let forced: Vec<(GateId, u64)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| {
+                let mut word = 0u64;
+                for lane in 0..lanes {
+                    if (base + lane as u64) >> i & 1 == 1 {
+                        word |= 1 << lane;
+                    }
+                }
+                (g, word)
+            })
+            .collect();
+        let vectors = vec![test.vector.clone(); lanes];
+        let packed = pack_vectors(circuit, &vectors);
+        let values = simulate_packed_forced(circuit, &packed, &forced);
+        let out_word = values[test.output.index()];
+        for lane in 0..lanes {
+            if (out_word >> lane & 1 == 1) == test.expected {
+                return true;
+            }
+        }
+        base += lanes as u64;
+    }
+    false
+}
+
+/// Exact validity check by SAT.
+///
+/// Per test, encodes the circuit with the candidate gates' defining clauses
+/// omitted (their variables are free — precisely the "mux on" semantics),
+/// constrains inputs and the expected output, and asks for satisfiability.
+pub fn is_valid_correction_sat(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidates: &[GateId],
+) -> bool {
+    for &g in candidates {
+        assert!(
+            circuit.gate(g).kind() != GateKind::Input,
+            "candidate {g} is a primary input"
+        );
+    }
+    let mut freed = vec![false; circuit.len()];
+    for &g in candidates {
+        freed[g.index()] = true;
+    }
+    tests
+        .iter()
+        .all(|t| test_rectifiable_sat(circuit, t, &freed))
+}
+
+fn test_rectifiable_sat(circuit: &Circuit, test: &Test, freed: &[bool]) -> bool {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..circuit.len())
+        .map(|_| ClauseSink::new_var(&mut solver))
+        .collect();
+    for &id in circuit.topo_order() {
+        let gate = circuit.gate(id);
+        if gate.kind() == GateKind::Input || freed[id.index()] {
+            continue;
+        }
+        let fanins: Vec<_> = gate
+            .fanins()
+            .iter()
+            .map(|&f| vars[f.index()].positive())
+            .collect();
+        encode_gate(&mut solver, gate.kind(), vars[id.index()], &fanins, None);
+    }
+    for (&pi, &v) in circuit.inputs().iter().zip(&test.vector) {
+        solver.add_clause(&[vars[pi.index()].lit(v)]);
+    }
+    solver.add_clause(&[vars[test.output.index()].lit(test.expected)]);
+    solver.solve(&[]) == SolveResult::Sat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_set::generate_failing_tests;
+    use gatediag_netlist::{c17, inject_errors, RandomCircuitSpec};
+
+    #[test]
+    fn error_sites_are_always_a_valid_correction() {
+        for seed in 0..5 {
+            let golden = RandomCircuitSpec::new(6, 3, 40).seed(seed).generate();
+            let (faulty, sites) = inject_errors(&golden, 2, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 8, seed, 4096);
+            if tests.is_empty() {
+                continue;
+            }
+            let gates: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+            assert!(
+                is_valid_correction_sim(&faulty, &tests, &gates),
+                "seed {seed}: real error sites rejected by sim oracle"
+            );
+            assert!(
+                is_valid_correction_sat(&faulty, &tests, &gates),
+                "seed {seed}: real error sites rejected by SAT oracle"
+            );
+        }
+    }
+
+    #[test]
+    fn oracles_agree_on_random_candidate_sets() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for seed in 0..4 {
+            let golden = RandomCircuitSpec::new(5, 2, 30).seed(seed).generate();
+            let (faulty, _) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 6, seed, 4096);
+            if tests.is_empty() {
+                continue;
+            }
+            let functional: Vec<GateId> = faulty
+                .iter()
+                .filter(|(_, g)| !g.kind().is_source())
+                .map(|(id, _)| id)
+                .collect();
+            for _ in 0..20 {
+                let size = 1 + (seed as usize % 3);
+                let candidates: Vec<GateId> = functional
+                    .choose_multiple(&mut rng, size)
+                    .copied()
+                    .collect();
+                let sim = is_valid_correction_sim(&faulty, &tests, &candidates);
+                let sat = is_valid_correction_sat(&faulty, &tests, &candidates);
+                assert_eq!(sim, sat, "oracles disagree on {candidates:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn validity_is_monotone() {
+        let golden = c17();
+        let (faulty, sites) = inject_errors(&golden, 1, 11);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 11, 4096);
+        let base = vec![sites[0].gate];
+        assert!(is_valid_correction_sim(&faulty, &tests, &base));
+        for (id, g) in faulty.iter() {
+            if g.kind().is_source() || id == sites[0].gate {
+                continue;
+            }
+            let superset = vec![sites[0].gate, id];
+            assert!(
+                is_valid_correction_sim(&faulty, &tests, &superset),
+                "superset {superset:?} lost validity"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_candidates_valid_iff_tests_pass() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 3);
+        let tests = generate_failing_tests(&golden, &faulty, 4, 3, 4096);
+        assert!(!tests.is_empty());
+        // Failing tests cannot be rectified by changing nothing.
+        assert!(!is_valid_correction_sim(&faulty, &tests, &[]));
+        assert!(!is_valid_correction_sat(&faulty, &tests, &[]));
+        // An empty test set is trivially rectified.
+        assert!(is_valid_correction_sim(&faulty, &TestSet::default(), &[]));
+        assert!(is_valid_correction_sat(&faulty, &TestSet::default(), &[]));
+    }
+
+    #[test]
+    fn forcing_output_gate_is_always_valid() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 2, 6);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 6, 4096);
+        // Freeing every erroneous output gate rectifies trivially (if the
+        // outputs are functional gates, which c17's are).
+        let mut outs: Vec<GateId> = tests.iter().map(|t| t.output).collect();
+        outs.sort();
+        outs.dedup();
+        assert!(is_valid_correction_sim(&faulty, &tests, &outs));
+        assert!(is_valid_correction_sat(&faulty, &tests, &outs));
+    }
+}

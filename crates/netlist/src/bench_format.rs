@@ -1,0 +1,421 @@
+//! ISCAS89 `.bench` netlist reader and writer.
+//!
+//! The `.bench` dialect accepted here is the one used by the ISCAS85/89
+//! benchmark distributions:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NAND(G0, G1)
+//! G11 = DFF(G10)
+//! ```
+//!
+//! Sequential elements (`DFF`) are combinationalised on the fly: the DFF
+//! output becomes a pseudo-primary input and its data signal a
+//! pseudo-primary output, matching how the paper's combinational diagnosis
+//! treats the ISCAS89 circuits. The original latch pairing is retained in
+//! [`Circuit::latches`].
+
+use crate::circuit::{Circuit, CircuitBuilder, NetlistError};
+use crate::gate::{GateId, GateKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+#[derive(Clone, Debug)]
+enum Stmt {
+    Input(String),
+    Output(String),
+    Gate {
+        target: String,
+        op: String,
+        args: Vec<String>,
+    },
+}
+
+fn parse_line(line_no: usize, raw: &str) -> Result<Option<Stmt>, NetlistError> {
+    let line = match raw.find('#') {
+        Some(pos) => &raw[..pos],
+        None => raw,
+    }
+    .trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let err = |message: String| NetlistError::Parse {
+        line: line_no,
+        message,
+    };
+
+    if let Some(eq) = line.find('=') {
+        let target = line[..eq].trim();
+        let rhs = line[eq + 1..].trim();
+        if target.is_empty() {
+            return Err(err("missing target signal before `=`".into()));
+        }
+        let open = rhs
+            .find('(')
+            .ok_or_else(|| err(format!("expected `OP(args)` after `=`, got `{rhs}`")))?;
+        if !rhs.ends_with(')') {
+            return Err(err(format!("missing closing `)` in `{rhs}`")));
+        }
+        let op = rhs[..open].trim().to_string();
+        let args: Vec<String> = rhs[open + 1..rhs.len() - 1]
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if op.is_empty() {
+            return Err(err("missing operator name".into()));
+        }
+        return Ok(Some(Stmt::Gate {
+            target: target.to_string(),
+            op,
+            args,
+        }));
+    }
+
+    let upper = line.to_ascii_uppercase();
+    for (kw, ctor) in [
+        ("INPUT", Stmt::Input as fn(String) -> Stmt),
+        ("OUTPUT", Stmt::Output as fn(String) -> Stmt),
+    ] {
+        if upper.starts_with(kw) {
+            let rest = line[kw.len()..].trim();
+            if !rest.starts_with('(') || !rest.ends_with(')') {
+                return Err(err(format!("expected `{kw}(name)`, got `{line}`")));
+            }
+            let name = rest[1..rest.len() - 1].trim();
+            if name.is_empty() {
+                return Err(err(format!("empty signal name in `{line}`")));
+            }
+            return Ok(Some(ctor(name.to_string())));
+        }
+    }
+    Err(err(format!("unrecognised statement `{line}`")))
+}
+
+/// Parses a `.bench` netlist from a string.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed lines,
+/// [`NetlistError::DuplicateName`] / [`NetlistError::UndefinedSignal`] for
+/// inconsistent signal usage, and the structural errors of
+/// [`CircuitBuilder::finish`] for bad arity or cyclic definitions.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gatediag_netlist::NetlistError> {
+/// let c = gatediag_netlist::parse_bench(
+///     "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n",
+/// )?;
+/// assert_eq!(c.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(text: &str) -> Result<Circuit, NetlistError> {
+    parse_bench_named(text, "")
+}
+
+/// Parses a `.bench` netlist and names the resulting circuit.
+///
+/// # Errors
+///
+/// Same as [`parse_bench`].
+pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, NetlistError> {
+    let mut stmts = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if let Some(stmt) = parse_line(i + 1, raw)? {
+            stmts.push(stmt);
+        }
+    }
+
+    let mut builder = CircuitBuilder::new();
+    builder.name(name);
+
+    // Pass 1: create nodes for inputs and gate targets. DFF targets become
+    // pseudo-primary inputs.
+    let mut defined: HashMap<String, GateId> = HashMap::new();
+    let mut dff_data: Vec<(GateId, String)> = Vec::new(); // (q node, d signal name)
+    let mut pending: Vec<(GateId, GateKind, Vec<String>)> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+
+    for stmt in &stmts {
+        match stmt {
+            Stmt::Input(name) => {
+                if defined.contains_key(name) {
+                    return Err(NetlistError::DuplicateName(name.clone()));
+                }
+                let id = builder.input(name.clone());
+                defined.insert(name.clone(), id);
+            }
+            Stmt::Output(name) => output_names.push(name.clone()),
+            Stmt::Gate { target, op, args } => {
+                if defined.contains_key(target) {
+                    return Err(NetlistError::DuplicateName(target.clone()));
+                }
+                if op.eq_ignore_ascii_case("DFF") {
+                    let q = builder.input(target.clone());
+                    defined.insert(target.clone(), q);
+                    let data = args.first().cloned().unwrap_or_default();
+                    dff_data.push((q, data));
+                } else {
+                    let kind = GateKind::from_bench_name(op).ok_or(NetlistError::Parse {
+                        line: 0,
+                        message: format!("unknown gate type `{op}` for `{target}`"),
+                    })?;
+                    // Placeholder fanins resolved in pass 2.
+                    let id = builder.gate(kind, Vec::new(), target.clone());
+                    defined.insert(target.clone(), id);
+                    pending.push((id, kind, args.clone()));
+                }
+            }
+        }
+    }
+
+    // Pass 2: resolve fan-in names.
+    let resolve = |name: &String| -> Result<GateId, NetlistError> {
+        defined
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetlistError::UndefinedSignal(name.clone()))
+    };
+    let mut resolved: Vec<(GateId, Vec<GateId>)> = Vec::with_capacity(pending.len());
+    for (id, _kind, args) in &pending {
+        let fanins = args.iter().map(resolve).collect::<Result<Vec<_>, _>>()?;
+        resolved.push((*id, fanins));
+    }
+    for (id, fanins) in resolved {
+        builder.set_fanins(id, fanins);
+    }
+
+    for name in &output_names {
+        let id = resolve(name)?;
+        builder.output(id);
+    }
+    for (q, data_name) in &dff_data {
+        if data_name.is_empty() {
+            return Err(NetlistError::Parse {
+                line: 0,
+                message: "DFF with no data input".into(),
+            });
+        }
+        let d = resolve(data_name)?;
+        builder.latch(*q, d);
+        builder.output(d); // pseudo-primary output
+    }
+
+    builder.finish()
+}
+
+/// Serialises a circuit back to `.bench` text.
+///
+/// Flip-flops recorded in [`Circuit::latches`] are re-emitted as `DFF`
+/// statements; their pseudo-primary inputs/outputs are folded back. Unnamed
+/// gates receive synthetic `n<id>` names.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), gatediag_netlist::NetlistError> {
+/// let src = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+/// let c = gatediag_netlist::parse_bench(src)?;
+/// let round = gatediag_netlist::parse_bench(&gatediag_netlist::write_bench(&c))?;
+/// assert_eq!(round.len(), c.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    if !circuit.name().is_empty() {
+        let _ = writeln!(out, "# {}", circuit.name());
+    }
+    let gate_name = |id: GateId| -> String {
+        circuit
+            .gate_name(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("n{}", id.index()))
+    };
+
+    let latch_qs: Vec<GateId> = circuit.latches().iter().map(|l| l.q).collect();
+    let latch_ds: Vec<GateId> = circuit.latches().iter().map(|l| l.d).collect();
+
+    for &pi in circuit.inputs() {
+        if !latch_qs.contains(&pi) {
+            let _ = writeln!(out, "INPUT({})", gate_name(pi));
+        }
+    }
+    for &po in circuit.outputs() {
+        if !latch_ds.contains(&po) {
+            let _ = writeln!(out, "OUTPUT({})", gate_name(po));
+        }
+    }
+    for latch in circuit.latches() {
+        let _ = writeln!(out, "{} = DFF({})", gate_name(latch.q), gate_name(latch.d));
+    }
+    for (id, gate) in circuit.iter() {
+        if gate.kind().is_source() {
+            if matches!(gate.kind(), GateKind::Const0 | GateKind::Const1) {
+                let _ = writeln!(out, "{} = {}()", gate_name(id), gate.kind().bench_name());
+            }
+            continue;
+        }
+        let args: Vec<String> = gate.fanins().iter().map(|&f| gate_name(f)).collect();
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            gate_name(id),
+            gate.kind().bench_name(),
+            args.join(", ")
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateKind;
+
+    const C17: &str = "\
+# c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse_bench_named(C17, "c17").unwrap();
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.num_functional_gates(), 6);
+        assert_eq!(c.name(), "c17");
+        let g22 = c.find("22").unwrap();
+        assert_eq!(c.gate(g22).kind(), GateKind::Nand);
+        assert_eq!(c.gate(g22).arity(), 2);
+        assert!(c.is_output(g22));
+    }
+
+    #[test]
+    fn parses_dff_as_pseudo_io() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q)
+y = NOT(q)
+";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.latches().len(), 1);
+        let latch = c.latches()[0];
+        // q is a pseudo input, d a pseudo output.
+        assert!(c.inputs().contains(&latch.q));
+        assert!(c.outputs().contains(&latch.d));
+        assert_eq!(c.gate(latch.q).kind(), GateKind::Input);
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 2);
+    }
+
+    #[test]
+    fn round_trips_c17() {
+        let c = parse_bench_named(C17, "c17").unwrap();
+        let text = write_bench(&c);
+        let c2 = parse_bench_named(&text, "c17").unwrap();
+        assert_eq!(c2.len(), c.len());
+        assert_eq!(c2.inputs().len(), c.inputs().len());
+        assert_eq!(c2.outputs().len(), c.outputs().len());
+        // Same structure gate-by-gate via names.
+        for (id, gate) in c.iter() {
+            let name = c.gate_name(id).unwrap();
+            let id2 = c2.find(name).unwrap();
+            assert_eq!(c2.gate(id2).kind(), gate.kind());
+        }
+    }
+
+    #[test]
+    fn round_trips_dff() {
+        let src = "\
+INPUT(a)
+OUTPUT(y)
+q = DFF(d)
+d = AND(a, q)
+y = NOT(q)
+";
+        let c = parse_bench(src).unwrap();
+        let c2 = parse_bench(&write_bench(&c)).unwrap();
+        assert_eq!(c2.latches().len(), 1);
+        assert_eq!(c2.len(), c.len());
+    }
+
+    #[test]
+    fn accepts_out_of_order_definitions() {
+        let src = "\
+OUTPUT(y)
+y = AND(x, a)
+x = NOT(a)
+INPUT(a)
+";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.num_functional_gates(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "\n# hello\n  \nINPUT(a) # trailing\nOUTPUT(y)\ny = NOT(a)\n";
+        let c = parse_bench(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        let err = parse_bench(src).unwrap_err();
+        assert!(format!("{err}").contains("FROB"));
+    }
+
+    #[test]
+    fn rejects_duplicate_definition() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n";
+        assert!(matches!(
+            parse_bench(src),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_undefined_signal() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n";
+        assert!(matches!(
+            parse_bench(src),
+            Err(NetlistError::UndefinedSignal(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let src = "INPUT(a)\nwat\n";
+        assert!(matches!(parse_bench(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a,\n";
+        match parse_bench(src) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

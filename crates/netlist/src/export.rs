@@ -1,0 +1,178 @@
+//! Graphviz DOT export and sub-circuit extraction.
+//!
+//! DOT dumps make diagnosis results inspectable (candidate gates are
+//! highlighted); cone extraction produces the self-contained sub-circuit a
+//! hierarchical flow would diagnose in isolation.
+
+use crate::analysis::{fanin_cone, GateSet};
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::gate::{GateId, GateKind};
+use std::fmt::Write as _;
+
+/// Renders the circuit as a Graphviz `digraph`.
+///
+/// Gates in `highlight` are filled red (diagnosis candidates); inputs are
+/// boxes, outputs double circles.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_netlist::{c17, to_dot};
+/// let c = c17();
+/// let dot = to_dot(&c, &[c.find("G16").unwrap()]);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("G16"));
+/// ```
+pub fn to_dot(circuit: &Circuit, highlight: &[GateId]) -> String {
+    let mut marked = GateSet::new(circuit.len());
+    for &g in highlight {
+        marked.insert(g);
+    }
+    let mut out = String::from("digraph circuit {\n  rankdir=LR;\n");
+    let _ = writeln!(out, "  label=\"{}\";", circuit.name());
+    for (id, gate) in circuit.iter() {
+        let fallback = format!("n{}", id.index());
+        let name = circuit.gate_name(id).unwrap_or(&fallback);
+        let shape = if gate.kind() == GateKind::Input {
+            "box"
+        } else if circuit.is_output(id) {
+            "doublecircle"
+        } else {
+            "ellipse"
+        };
+        let fill = if marked.contains(id) {
+            ", style=filled, fillcolor=\"#ff8888\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  g{} [label=\"{}\\n{}\", shape={}{}];",
+            id.index(),
+            name,
+            gate.kind(),
+            shape,
+            fill
+        );
+    }
+    for (id, gate) in circuit.iter() {
+        for &f in gate.fanins() {
+            let _ = writeln!(out, "  g{} -> g{};", f.index(), id.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the transitive fan-in cone of `roots` as a self-contained
+/// circuit.
+///
+/// Gates on the cone boundary keep their structure; every cone gate whose
+/// fan-in lies outside the cone cannot occur (cones are fan-in closed), so
+/// the extraction is exact. The roots become the outputs of the extracted
+/// circuit. Gate names are preserved.
+///
+/// Returns the sub-circuit and the mapping `original gate → extracted
+/// gate`.
+///
+/// # Panics
+///
+/// Panics if `roots` is empty.
+pub fn extract_cone(circuit: &Circuit, roots: &[GateId]) -> (Circuit, Vec<Option<GateId>>) {
+    assert!(!roots.is_empty(), "need at least one cone root");
+    let cone = fanin_cone(circuit, roots);
+    let mut b = CircuitBuilder::new();
+    b.name(format!("{}::cone", circuit.name()));
+    let mut map: Vec<Option<GateId>> = vec![None; circuit.len()];
+    for &id in circuit.topo_order() {
+        if !cone.contains(id) {
+            continue;
+        }
+        let gate = circuit.gate(id);
+        let fallback = format!("n{}", id.index());
+        let name = circuit
+            .gate_name(id)
+            .map(str::to_owned)
+            .unwrap_or(fallback);
+        let new_id = if gate.kind() == GateKind::Input {
+            b.input(name)
+        } else {
+            let fanins = gate
+                .fanins()
+                .iter()
+                .map(|f| map[f.index()].expect("cones are fan-in closed"))
+                .collect();
+            b.gate(gate.kind(), fanins, name)
+        };
+        map[id.index()] = Some(new_id);
+    }
+    for &r in roots {
+        b.output(map[r.index()].expect("root is in its own cone"));
+    }
+    (
+        b.finish().expect("cone extraction preserves validity"),
+        map,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::c17;
+
+    #[test]
+    fn dot_contains_all_gates_and_edges() {
+        let c = c17();
+        let dot = to_dot(&c, &[]);
+        for (id, _) in c.iter() {
+            assert!(dot.contains(&format!("g{} [", id.index())));
+        }
+        let edge_count = dot.matches(" -> ").count();
+        let expected: usize = c.iter().map(|(_, g)| g.arity()).sum();
+        assert_eq!(edge_count, expected);
+    }
+
+    #[test]
+    fn dot_highlights() {
+        let c = c17();
+        let g = c.find("G16").unwrap();
+        let dot = to_dot(&c, &[g]);
+        let line = dot
+            .lines()
+            .find(|l| l.contains(&format!("g{} [", g.index())))
+            .unwrap();
+        assert!(line.contains("fillcolor"));
+    }
+
+    #[test]
+    fn cone_of_one_output() {
+        let c = c17();
+        let g22 = c.find("G22").unwrap();
+        let (sub, map) = extract_cone(&c, &[g22]);
+        // G22's cone: G1, G2, G3, G6 inputs; G10, G11, G16, G22 gates.
+        assert_eq!(sub.inputs().len(), 4);
+        assert_eq!(sub.num_functional_gates(), 4);
+        assert_eq!(sub.outputs().len(), 1);
+        assert!(map[g22.index()].is_some());
+        // G19 and G23 are outside the cone.
+        assert!(map[c.find("G19").unwrap().index()].is_none());
+        // Extracted circuit simulates identically on the cone.
+        let sub_g22 = map[g22.index()].unwrap();
+        assert_eq!(sub.gate(sub_g22).kind(), c.gate(g22).kind());
+    }
+
+    #[test]
+    fn cone_of_all_outputs_is_whole_reachable_circuit() {
+        let c = c17();
+        let (sub, _) = extract_cone(&c, c.outputs());
+        assert_eq!(sub.num_functional_gates(), c.num_functional_gates());
+        assert_eq!(sub.inputs().len(), c.inputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cone root")]
+    fn cone_requires_roots() {
+        let c = c17();
+        let _ = extract_cone(&c, &[]);
+    }
+}

@@ -1,0 +1,550 @@
+//! Circuit generators: seeded random DAGs, ISCAS89-profile-matched
+//! synthetics, and small canned textbook circuits.
+//!
+//! The original ISCAS89 `.bench` files cannot be redistributed here, so the
+//! experiments run on *profile-matched* synthetic circuits: same primary
+//! input/output counts, same flip-flop count (combinationalised into
+//! pseudo-I/O exactly like the parser does), same functional gate count and
+//! a comparable fan-in distribution. Real `.bench` files drop in unchanged
+//! through [`parse_bench`](crate::parse_bench).
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::gate::{GateId, GateKind};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the seeded random circuit generator.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_netlist::RandomCircuitSpec;
+/// let c = RandomCircuitSpec::new(8, 4, 64).seed(7).generate();
+/// assert_eq!(c.inputs().len(), 8);
+/// assert!(c.outputs().len() >= 4);
+/// assert!(c.num_functional_gates() >= 64);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RandomCircuitSpec {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    num_gates: usize,
+    num_latches: usize,
+    max_fanin: usize,
+    locality: f64,
+    seed: u64,
+}
+
+impl RandomCircuitSpec {
+    /// Creates a spec with `num_inputs` primary inputs, at least
+    /// `num_outputs` primary outputs and roughly `num_gates` functional
+    /// gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_inputs == 0` or `num_gates == 0`.
+    pub fn new(num_inputs: usize, num_outputs: usize, num_gates: usize) -> Self {
+        assert!(num_inputs > 0, "need at least one input");
+        assert!(num_gates > 0, "need at least one gate");
+        RandomCircuitSpec {
+            name: String::new(),
+            num_inputs,
+            num_outputs: num_outputs.max(1),
+            num_gates,
+            num_latches: 0,
+            max_fanin: 4,
+            locality: 3.0,
+            seed: 0,
+        }
+    }
+
+    /// Sets the circuit name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the RNG seed (generation is fully deterministic per seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of flip-flops to model as pseudo-primary input/output pairs.
+    pub fn latches(mut self, num_latches: usize) -> Self {
+        self.num_latches = num_latches;
+        self
+    }
+
+    /// Maximum gate fan-in (default 4, minimum 2).
+    pub fn max_fanin(mut self, max_fanin: usize) -> Self {
+        self.max_fanin = max_fanin.max(2);
+        self
+    }
+
+    /// Locality exponent: larger values bias fan-in selection towards
+    /// recently created gates, producing deeper circuits (default 3.0).
+    pub fn locality(mut self, locality: f64) -> Self {
+        self.locality = locality.max(1.0);
+        self
+    }
+
+    /// Generates the circuit.
+    ///
+    /// Guarantees: exactly `num_inputs + num_latches` inputs, at least
+    /// `num_outputs` outputs, no dead gates (every gate reaches some
+    /// output), acyclic by construction.
+    pub fn generate(&self) -> Circuit {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut b = CircuitBuilder::new();
+        b.name(self.name.clone());
+
+        let mut nodes: Vec<GateId> = Vec::new();
+        for i in 0..self.num_inputs {
+            nodes.push(b.input(format!("pi{i}")));
+        }
+        let mut latch_qs = Vec::new();
+        for i in 0..self.num_latches {
+            let q = b.input(format!("ff{i}_q"));
+            latch_qs.push(q);
+            nodes.push(q);
+        }
+
+        let arity_weights = match self.max_fanin {
+            2 => vec![(1usize, 8u32), (2, 72)],
+            3 => vec![(1, 8), (2, 60), (3, 12)],
+            _ => vec![(1, 8), (2, 56), (3, 12), (4, 4)],
+        };
+        let arity_dist = WeightedIndex::new(arity_weights.iter().map(|&(_, w)| w))
+            .expect("static weights are valid");
+        // ISCAS-ish mix: NAND/NOR heavy, some AND/OR, a sprinkle of XOR.
+        let kind2 = [
+            (GateKind::Nand, 30u32),
+            (GateKind::Nor, 18),
+            (GateKind::And, 22),
+            (GateKind::Or, 18),
+            (GateKind::Xor, 7),
+            (GateKind::Xnor, 5),
+        ];
+        let kind2_dist =
+            WeightedIndex::new(kind2.iter().map(|&(_, w)| w)).expect("static weights are valid");
+
+        // `fanout_free` may hold stale entries; `has_fanout` is the truth.
+        // Stale entries are discarded lazily when sampled (amortised O(1)).
+        let mut fanout_free: Vec<GateId> = Vec::new();
+        let mut has_fanout = vec![false; self.num_inputs + self.num_latches + self.num_gates + 8];
+
+        let pick = |rng: &mut ChaCha8Rng, nodes: &[GateId], locality: f64| -> GateId {
+            let u: f64 = rng.gen::<f64>();
+            // u^(1/locality) biased towards 1.0 => recent nodes.
+            let idx = ((u.powf(1.0 / locality)) * nodes.len() as f64) as usize;
+            nodes[idx.min(nodes.len() - 1)]
+        };
+
+        for g in 0..self.num_gates {
+            let arity = arity_weights[arity_dist.sample(&mut rng)].0;
+            let (kind, arity) = if arity == 1 {
+                (
+                    if rng.gen_bool(0.7) {
+                        GateKind::Not
+                    } else {
+                        GateKind::Buf
+                    },
+                    1,
+                )
+            } else {
+                (kind2[kind2_dist.sample(&mut rng)].0, arity)
+            };
+            let mut fanins: Vec<GateId> = Vec::with_capacity(arity);
+            // Prefer a not-yet-consumed node for the first fan-in half of the
+            // time so no logic is left dangling.
+            if rng.gen_bool(0.5) {
+                while !fanout_free.is_empty() {
+                    let i = rng.gen_range(0..fanout_free.len());
+                    let cand = fanout_free.swap_remove(i);
+                    if !has_fanout[cand.index()] {
+                        fanins.push(cand);
+                        break;
+                    }
+                }
+            }
+            let mut guard = 0;
+            while fanins.len() < arity {
+                let cand = pick(&mut rng, &nodes, self.locality);
+                if !fanins.contains(&cand) {
+                    fanins.push(cand);
+                } else {
+                    guard += 1;
+                    if guard > 64 {
+                        // tiny node pool; allow fewer fan-ins by switching kind
+                        break;
+                    }
+                }
+            }
+            let (kind, fanins) = if fanins.len() < 2 && arity >= 2 {
+                (GateKind::Not, vec![fanins[0]])
+            } else {
+                (kind, fanins)
+            };
+            for &f in &fanins {
+                has_fanout[f.index()] = true;
+            }
+            let id = b.gate(kind, fanins, format!("n{g}"));
+            if id.index() >= has_fanout.len() {
+                has_fanout.resize(id.index() + 1, false);
+            }
+            nodes.push(id);
+            fanout_free.push(id);
+        }
+
+        // Sinks become outputs; merge down or promote up to hit num_outputs.
+        let want = self.num_outputs + self.num_latches;
+        let mut sinks: Vec<GateId> = nodes
+            .iter()
+            .copied()
+            .filter(|&id| !has_fanout[id.index()] && !b.kind_of(id).is_source())
+            .collect();
+        if sinks.is_empty() {
+            sinks.push(*nodes.last().expect("num_gates > 0 guarantees a node"));
+        }
+        let mut merge_idx = 0usize;
+        while sinks.len() > want {
+            let take = (sinks.len() - want + 1).clamp(2, self.max_fanin.max(2));
+            let group: Vec<GateId> = sinks.drain(..take).collect();
+            let kind = kind2[kind2_dist.sample(&mut rng)].0;
+            let id = b.gate(kind, group, format!("m{merge_idx}"));
+            merge_idx += 1;
+            sinks.push(id);
+        }
+        let mut promoted: Vec<GateId> = Vec::new();
+        if sinks.len() < want {
+            // Promote internal gates (most recent first for observability).
+            for &id in nodes.iter().rev() {
+                if sinks.len() + promoted.len() >= want {
+                    break;
+                }
+                if !sinks.contains(&id) && !promoted.contains(&id) {
+                    promoted.push(id);
+                }
+            }
+        }
+
+        let mut all_outputs: Vec<GateId> = sinks;
+        all_outputs.extend(promoted);
+        // The first `num_latches` outputs become latch data inputs.
+        for (i, &q) in latch_qs.iter().enumerate() {
+            let d = all_outputs[i % all_outputs.len()];
+            b.latch(q, d);
+        }
+        for &o in &all_outputs {
+            b.output(o);
+        }
+
+        b.finish()
+            .expect("generator invariants guarantee a valid DAG")
+    }
+}
+
+/// Profile-matched stand-in for ISCAS89 `s1423` (17 PI, 5 PO, 74 FF,
+/// ~657 gates). See the module docs for why a synthetic profile is used.
+pub fn s1423_like(seed: u64) -> Circuit {
+    RandomCircuitSpec::new(17, 5, 657)
+        .latches(74)
+        .seed(seed)
+        .name(format!("s1423_like[{seed}]"))
+        .generate()
+}
+
+/// Profile-matched stand-in for ISCAS89 `s6669` (83 PI, 55 PO, 239 FF,
+/// ~3402 gates).
+pub fn s6669_like(seed: u64) -> Circuit {
+    RandomCircuitSpec::new(83, 55, 3402)
+        .latches(239)
+        .seed(seed)
+        .name(format!("s6669_like[{seed}]"))
+        .generate()
+}
+
+/// Profile-matched stand-in for ISCAS89 `s38417` (28 PI, 106 PO, 1636 FF,
+/// ~23815 gates).
+pub fn s38417_like(seed: u64) -> Circuit {
+    RandomCircuitSpec::new(28, 106, 23815)
+        .latches(1636)
+        .seed(seed)
+        .name(format!("s38417_like[{seed}]"))
+        .generate()
+}
+
+/// The ISCAS85 `c17` benchmark (6 NAND gates), the classic smoke-test
+/// circuit.
+pub fn c17() -> Circuit {
+    crate::bench_format::parse_bench_named(
+        "\
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+",
+        "c17",
+    )
+    .expect("c17 source is well-formed")
+}
+
+/// An `n`-bit ripple-carry adder: inputs `a0..a(n-1)`, `b0..b(n-1)`, `cin`;
+/// outputs `s0..s(n-1)`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize) -> Circuit {
+    assert!(n > 0, "adder width must be positive");
+    let mut b = CircuitBuilder::new();
+    b.name(format!("rca{n}"));
+    let a: Vec<GateId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<GateId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..n {
+        let axb = b.gate(GateKind::Xor, vec![a[i], bb[i]], format!("axb{i}"));
+        let s = b.gate(GateKind::Xor, vec![axb, carry], format!("s{i}"));
+        let t1 = b.gate(GateKind::And, vec![axb, carry], format!("t1_{i}"));
+        let t2 = b.gate(GateKind::And, vec![a[i], bb[i]], format!("t2_{i}"));
+        let c = b.gate(GateKind::Or, vec![t1, t2], format!("c{i}"));
+        b.output(s);
+        carry = c;
+    }
+    b.output(carry);
+    b.finish().expect("adder construction is valid")
+}
+
+/// A balanced XOR parity tree over `width` inputs; single output `parity`.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn parity_tree(width: usize) -> Circuit {
+    assert!(width >= 2, "parity needs at least two inputs");
+    let mut b = CircuitBuilder::new();
+    b.name(format!("parity{width}"));
+    let mut layer: Vec<GateId> = (0..width).map(|i| b.input(format!("x{i}"))).collect();
+    let mut idx = 0;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for pair in layer.chunks(2) {
+            if pair.len() == 2 {
+                next.push(b.gate(GateKind::Xor, vec![pair[0], pair[1]], format!("p{idx}")));
+                idx += 1;
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        layer = next;
+    }
+    b.output(layer[0]);
+    b.finish().expect("parity construction is valid")
+}
+
+/// A `2^sel_bits`-to-1 multiplexer tree built from AND/OR/NOT gates.
+///
+/// Inputs: `d0..d(2^sel_bits - 1)` data lines, `s0..s(sel_bits-1)` selects.
+///
+/// # Panics
+///
+/// Panics if `sel_bits == 0` or `sel_bits > 6`.
+pub fn mux_tree(sel_bits: usize) -> Circuit {
+    assert!(
+        (1..=6).contains(&sel_bits),
+        "sel_bits must be between 1 and 6"
+    );
+    let mut b = CircuitBuilder::new();
+    b.name(format!("mux{}", 1 << sel_bits));
+    let data: Vec<GateId> = (0..1usize << sel_bits)
+        .map(|i| b.input(format!("d{i}")))
+        .collect();
+    let sels: Vec<GateId> = (0..sel_bits).map(|i| b.input(format!("s{i}"))).collect();
+    let mut layer = data;
+    for (bit, &s) in sels.iter().enumerate() {
+        let ns = b.gate(GateKind::Not, vec![s], format!("ns{bit}"));
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for (j, pair) in layer.chunks(2).enumerate() {
+            let lo = b.gate(GateKind::And, vec![pair[0], ns], format!("lo{bit}_{j}"));
+            let hi = b.gate(GateKind::And, vec![pair[1], s], format!("hi{bit}_{j}"));
+            next.push(b.gate(GateKind::Or, vec![lo, hi], format!("m{bit}_{j}")));
+        }
+        layer = next;
+    }
+    b.output(layer[0]);
+    b.finish().expect("mux construction is valid")
+}
+
+/// An `n`-bit equality comparator: output 1 iff `a == b`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn equality_comparator(n: usize) -> Circuit {
+    assert!(n > 0, "comparator width must be positive");
+    let mut b = CircuitBuilder::new();
+    b.name(format!("eq{n}"));
+    let a: Vec<GateId> = (0..n).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<GateId> = (0..n).map(|i| b.input(format!("b{i}"))).collect();
+    let eqs: Vec<GateId> = (0..n)
+        .map(|i| b.gate(GateKind::Xnor, vec![a[i], bb[i]], format!("eq{i}")))
+        .collect();
+    let out = if eqs.len() == 1 {
+        eqs[0]
+    } else {
+        b.gate(GateKind::And, eqs, "all_eq")
+    };
+    b.output(out);
+    b.finish().expect("comparator construction is valid")
+}
+
+/// Deterministic pseudo-random input vector generator for a circuit.
+///
+/// Produces `Vec<bool>` assignments over `circuit.inputs()` order.
+#[derive(Clone, Debug)]
+pub struct VectorGen {
+    rng: ChaCha8Rng,
+    width: usize,
+}
+
+impl VectorGen {
+    /// Creates a generator for `circuit`-width vectors.
+    pub fn new(circuit: &Circuit, seed: u64) -> Self {
+        VectorGen {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d),
+            width: circuit.inputs().len(),
+        }
+    }
+
+    /// Next pseudo-random input vector.
+    pub fn next_vector(&mut self) -> Vec<bool> {
+        (0..self.width).map(|_| self.rng.gen_bool(0.5)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::fanout_cone;
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = RandomCircuitSpec::new(6, 3, 40).seed(42).generate();
+        let b = RandomCircuitSpec::new(6, 3, 40).seed(42).generate();
+        assert_eq!(a, b);
+        let c = RandomCircuitSpec::new(6, 3, 40).seed(43).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_respects_profile() {
+        let c = RandomCircuitSpec::new(10, 4, 100)
+            .latches(5)
+            .seed(1)
+            .generate();
+        assert_eq!(c.inputs().len(), 15);
+        assert!(c.outputs().len() >= 9, "outputs: {}", c.outputs().len());
+        assert!(c.num_functional_gates() >= 100);
+        assert_eq!(c.latches().len(), 5);
+    }
+
+    #[test]
+    fn random_has_no_dead_logic() {
+        let c = RandomCircuitSpec::new(8, 3, 120).seed(9).generate();
+        // every functional gate reaches at least one output
+        let mut reach = crate::analysis::GateSet::new(c.len());
+        for &o in c.outputs() {
+            let cone = crate::analysis::fanin_cone(&c, &[o]);
+            reach.union_with(&cone);
+        }
+        for (id, g) in c.iter() {
+            if !g.kind().is_source() {
+                assert!(reach.contains(id), "dead gate {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_inputs_feed_something() {
+        let c = RandomCircuitSpec::new(8, 3, 120).seed(11).generate();
+        for &pi in c.inputs() {
+            let cone = fanout_cone(&c, &[pi]);
+            // At least itself plus usually some fanout; inputs may rarely be
+            // dangling if the RNG never picked them, but the generator biases
+            // against it. Tolerate sinks only for latch queues.
+            assert!(cone.len() >= 1);
+        }
+    }
+
+    #[test]
+    fn profiles_match_iscas_counts() {
+        let c = s1423_like(3);
+        assert_eq!(c.inputs().len(), 17 + 74);
+        assert!(c.outputs().len() >= 5 + 74);
+        assert!(c.num_functional_gates() >= 657);
+        assert_eq!(c.latches().len(), 74);
+    }
+
+    #[test]
+    fn c17_structure() {
+        let c = c17();
+        assert_eq!(c.num_functional_gates(), 6);
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn adder_counts() {
+        let c = ripple_carry_adder(4);
+        assert_eq!(c.inputs().len(), 9);
+        assert_eq!(c.outputs().len(), 5);
+        assert_eq!(c.num_functional_gates(), 4 * 5);
+    }
+
+    #[test]
+    fn parity_counts() {
+        let c = parity_tree(8);
+        assert_eq!(c.inputs().len(), 8);
+        assert_eq!(c.num_functional_gates(), 7);
+        assert_eq!(c.depth(), 3);
+        let c3 = parity_tree(3);
+        assert_eq!(c3.num_functional_gates(), 2);
+    }
+
+    #[test]
+    fn mux_counts() {
+        let c = mux_tree(2);
+        assert_eq!(c.inputs().len(), 6);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn comparator_counts() {
+        let c = equality_comparator(3);
+        assert_eq!(c.inputs().len(), 6);
+        assert_eq!(c.num_functional_gates(), 4);
+    }
+
+    #[test]
+    fn vector_gen_deterministic() {
+        let c = c17();
+        let mut g1 = VectorGen::new(&c, 5);
+        let mut g2 = VectorGen::new(&c, 5);
+        assert_eq!(g1.next_vector(), g2.next_vector());
+        assert_eq!(g1.next_vector().len(), 5);
+    }
+}

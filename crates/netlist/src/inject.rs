@@ -1,0 +1,228 @@
+//! Gate-change error injection.
+//!
+//! The paper's experiments inject "1-4 gate change errors": the function of
+//! a gate is replaced by a different Boolean function over the same fan-ins.
+//! [`inject_errors`] reproduces that model deterministically from a seed.
+
+use crate::circuit::Circuit;
+use crate::gate::{GateId, GateKind};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A single injected error: gate `gate` had its function changed from
+/// `original` to `replacement`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ErrorSite {
+    /// The mutated gate.
+    pub gate: GateId,
+    /// The gate's correct function.
+    pub original: GateKind,
+    /// The injected (faulty) function.
+    pub replacement: GateKind,
+}
+
+/// Injects `count` gate-change errors into distinct functional gates.
+///
+/// Returns the faulty circuit together with the injected [`ErrorSite`]s.
+/// The replacement kind always differs from the original and has the same
+/// arity. Injection is deterministic in `seed`.
+///
+/// Note that an injected error is not guaranteed to be *detectable* (a
+/// redundant gate may mask it); callers that need failing tests should use a
+/// test generator that checks observability (see `gatediag-core`'s
+/// `testgen`).
+///
+/// # Panics
+///
+/// Panics if the circuit has fewer than `count` functional gates.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_netlist::{c17, inject_errors};
+/// let golden = c17();
+/// let (faulty, sites) = inject_errors(&golden, 2, 7);
+/// assert_eq!(sites.len(), 2);
+/// for site in &sites {
+///     assert_eq!(faulty.gate(site.gate).kind(), site.replacement);
+///     assert_eq!(golden.gate(site.gate).kind(), site.original);
+/// }
+/// ```
+pub fn inject_errors(circuit: &Circuit, count: usize, seed: u64) -> (Circuit, Vec<ErrorSite>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d);
+    let candidates: Vec<GateId> = circuit
+        .iter()
+        .filter(|(_, g)| !g.kind().is_source())
+        .map(|(id, _)| id)
+        .collect();
+    assert!(
+        candidates.len() >= count,
+        "cannot inject {count} errors into {} functional gates",
+        candidates.len()
+    );
+    let chosen: Vec<GateId> = candidates
+        .choose_multiple(&mut rng, count)
+        .copied()
+        .collect();
+
+    let mut faulty = circuit.clone();
+    let mut sites = Vec::with_capacity(count);
+    for gate in chosen {
+        let original = circuit.gate(gate).kind();
+        let pool: Vec<GateKind> = GateKind::compatible_with_arity(circuit.gate(gate).arity())
+            .iter()
+            .copied()
+            .filter(|&k| k != original)
+            .collect();
+        let replacement = *pool
+            .choose(&mut rng)
+            .expect("every functional arity has at least one alternative kind");
+        faulty = faulty.with_gate_kind(gate, replacement);
+        sites.push(ErrorSite {
+            gate,
+            original,
+            replacement,
+        });
+    }
+    (faulty, sites)
+}
+
+/// Injects a stuck-at fault: gate `gate`'s output is tied to `value`.
+///
+/// This is the production-test fault model the paper's introduction
+/// mentions alongside design errors. Unlike [`inject_errors`] the gate's
+/// fan-ins are disconnected (the gate becomes a constant driver), so the
+/// circuit is rebuilt; gate ids and names are preserved.
+///
+/// # Panics
+///
+/// Panics if `gate` is a source gate.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_netlist::{c17, inject_stuck_at};
+/// let golden = c17();
+/// let g = golden.find("G16").unwrap();
+/// let faulty = inject_stuck_at(&golden, g, true);
+/// assert_eq!(faulty.gate(g).kind(), gatediag_netlist::GateKind::Const1);
+/// ```
+pub fn inject_stuck_at(circuit: &Circuit, gate: GateId, value: bool) -> Circuit {
+    assert!(
+        !circuit.gate(gate).kind().is_source(),
+        "cannot tie source gate {gate}"
+    );
+    let mut b = crate::circuit::CircuitBuilder::new();
+    b.name(circuit.name());
+    for (id, g) in circuit.iter() {
+        let name = circuit
+            .gate_name(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("n{}", id.index()));
+        if g.kind() == GateKind::Input {
+            b.input(name);
+        } else if id == gate {
+            let kind = if value {
+                GateKind::Const1
+            } else {
+                GateKind::Const0
+            };
+            b.gate(kind, Vec::new(), name);
+        } else {
+            b.gate(g.kind(), g.fanins().to_vec(), name);
+        }
+    }
+    for &o in circuit.outputs() {
+        b.output(o);
+    }
+    for l in circuit.latches() {
+        b.latch(l.q, l.d);
+    }
+    b.finish().expect("tying a gate keeps the netlist valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{c17, ripple_carry_adder};
+
+    #[test]
+    fn injects_requested_count() {
+        let golden = ripple_carry_adder(4);
+        for p in 1..=4 {
+            let (faulty, sites) = inject_errors(&golden, p, 11);
+            assert_eq!(sites.len(), p);
+            let distinct: std::collections::HashSet<_> = sites.iter().map(|s| s.gate).collect();
+            assert_eq!(distinct.len(), p, "error sites must be distinct");
+            for s in &sites {
+                assert_ne!(s.original, s.replacement);
+                assert_eq!(faulty.gate(s.gate).kind(), s.replacement);
+                assert_eq!(
+                    faulty.gate(s.gate).fanins(),
+                    golden.gate(s.gate).fanins(),
+                    "gate-change errors keep connectivity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let golden = c17();
+        let (f1, s1) = inject_errors(&golden, 2, 3);
+        let (f2, s2) = inject_errors(&golden, 2, 3);
+        assert_eq!(s1, s2);
+        assert_eq!(f1, f2);
+        let (_, s3) = inject_errors(&golden, 2, 4);
+        assert_ne!(s1, s3);
+    }
+
+    #[test]
+    fn untouched_gates_unchanged() {
+        let golden = c17();
+        let (faulty, sites) = inject_errors(&golden, 1, 5);
+        let mutated = sites[0].gate;
+        for (id, g) in golden.iter() {
+            if id != mutated {
+                assert_eq!(faulty.gate(id).kind(), g.kind());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject")]
+    fn panics_when_too_many() {
+        let golden = c17();
+        let _ = inject_errors(&golden, 7, 0);
+    }
+
+    #[test]
+    fn stuck_at_ties_the_gate() {
+        let golden = c17();
+        let g = golden.find("G16").unwrap();
+        for value in [false, true] {
+            let faulty = inject_stuck_at(&golden, g, value);
+            assert_eq!(faulty.len(), golden.len());
+            assert_eq!(
+                faulty.gate(g).kind(),
+                if value {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                }
+            );
+            assert!(faulty.gate(g).fanins().is_empty());
+            // names and outputs preserved
+            assert_eq!(faulty.find("G16"), Some(g));
+            assert_eq!(faulty.outputs(), golden.outputs());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot tie source")]
+    fn stuck_at_rejects_inputs() {
+        let golden = c17();
+        let _ = inject_stuck_at(&golden, golden.inputs()[0], true);
+    }
+}

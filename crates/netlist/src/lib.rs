@@ -1,0 +1,59 @@
+//! Gate-level netlist substrate for the `gatediag` diagnosis library.
+//!
+//! This crate provides everything the diagnosis engines need to talk about
+//! circuits:
+//!
+//! * [`Circuit`] / [`CircuitBuilder`] — an immutable combinational DAG of
+//!   typed [`Gate`]s with precomputed topological order, fan-out lists and
+//!   levels;
+//! * [`parse_bench`] / [`write_bench`] — ISCAS89 `.bench` I/O with automatic
+//!   combinationalisation of flip-flops into pseudo-primary inputs/outputs;
+//! * structural analyses ([`fanin_cone`], [`fanout_cone`], [`ffr_roots`],
+//!   [`output_idoms`], [`undirected_distances`]) used by the quality metrics
+//!   and the advanced SAT-based diagnosis;
+//! * deterministic circuit generators ([`RandomCircuitSpec`], the
+//!   ISCAS89-profile stand-ins [`s1423_like`], [`s6669_like`],
+//!   [`s38417_like`], and canned textbook circuits such as [`c17`] and
+//!   [`ripple_carry_adder`]);
+//! * gate-change [error injection](inject_errors) matching the paper's
+//!   experimental error model.
+//!
+//! # Examples
+//!
+//! ```
+//! use gatediag_netlist::{parse_bench, inject_errors};
+//!
+//! # fn main() -> Result<(), gatediag_netlist::NetlistError> {
+//! let golden = parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")?;
+//! let (faulty, sites) = inject_errors(&golden, 1, 42);
+//! assert_eq!(sites.len(), 1);
+//! assert_ne!(faulty.gate(sites[0].gate).kind(), sites[0].original);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod analysis;
+mod bench_format;
+mod circuit;
+mod export;
+mod gate;
+mod generate;
+mod inject;
+mod unroll;
+
+pub use analysis::{
+    fanin_cone, fanout_cone, ffr_roots, output_idoms, undirected_distances, GateSet,
+};
+pub use bench_format::{parse_bench, parse_bench_named, write_bench};
+pub use circuit::{Circuit, CircuitBuilder, Latch, NetlistError};
+pub use export::{extract_cone, to_dot};
+pub use gate::{Gate, GateId, GateKind};
+pub use generate::{
+    c17, equality_comparator, mux_tree, parity_tree, ripple_carry_adder, s1423_like, s38417_like,
+    s6669_like, RandomCircuitSpec, VectorGen,
+};
+pub use inject::{inject_errors, inject_stuck_at, ErrorSite};
+pub use unroll::{unroll, Unrolling};

@@ -1,0 +1,170 @@
+//! Property tests for the netlist substrate: structural invariants of
+//! generated circuits, `.bench` round-trips, analysis consistency.
+
+use gatediag_netlist::{
+    fanin_cone, fanout_cone, ffr_roots, inject_errors, output_idoms, parse_bench,
+    undirected_distances, unroll, write_bench, GateId, GateKind, RandomCircuitSpec,
+};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = RandomCircuitSpec> {
+    (2usize..10, 1usize..5, 5usize..120, 0usize..4, 0u64..5_000).prop_map(
+        |(inputs, outputs, gates, latches, seed)| {
+            RandomCircuitSpec::new(inputs, outputs, gates)
+                .latches(latches)
+                .seed(seed)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Topological order and levels are mutually consistent on any
+    /// generated circuit.
+    #[test]
+    fn structural_invariants(spec in spec_strategy()) {
+        let c = spec.generate();
+        let mut position = vec![usize::MAX; c.len()];
+        for (i, &id) in c.topo_order().iter().enumerate() {
+            position[id.index()] = i;
+        }
+        prop_assert_eq!(c.topo_order().len(), c.len());
+        for (id, gate) in c.iter() {
+            for &f in gate.fanins() {
+                prop_assert!(position[f.index()] < position[id.index()]);
+                prop_assert!(c.level(f) < c.level(id));
+                prop_assert!(c.fanouts(f).contains(&id));
+            }
+            prop_assert!(gate.kind().arity_ok(gate.arity()));
+        }
+    }
+
+    /// `.bench` write→parse round-trip preserves structure gate-by-gate
+    /// (via names).
+    #[test]
+    fn bench_round_trip(spec in spec_strategy()) {
+        let c = spec.generate();
+        let text = write_bench(&c);
+        let back = parse_bench(&text).expect("own output parses");
+        prop_assert_eq!(back.num_functional_gates(), c.num_functional_gates());
+        prop_assert_eq!(back.inputs().len(), c.inputs().len());
+        prop_assert_eq!(back.outputs().len(), c.outputs().len());
+        prop_assert_eq!(back.latches().len(), c.latches().len());
+        for (id, gate) in c.iter() {
+            let name = c.gate_name(id).expect("generated gates are named");
+            let bid = back.find(name).expect("name preserved");
+            // DFF q nodes stay inputs; everything else keeps its kind.
+            prop_assert_eq!(back.gate(bid).kind(), gate.kind());
+            prop_assert_eq!(back.gate(bid).arity(), gate.arity());
+        }
+    }
+
+    /// Cones: the fan-in cone of the outputs and the fan-out cone of the
+    /// inputs are duals, and distances respect cone membership.
+    #[test]
+    fn cone_duality(spec in spec_strategy()) {
+        let c = spec.generate();
+        for (id, _) in c.iter().take(20) {
+            let fi = fanin_cone(&c, &[id]);
+            for g in fi.iter() {
+                // id must be in g's fanout cone.
+                let fo = fanout_cone(&c, &[g]);
+                prop_assert!(fo.contains(id));
+            }
+        }
+    }
+
+    /// FFR roots dominate: every path from a gate to an output passes its
+    /// FFR root (checked by following the unique fan-out chain).
+    #[test]
+    fn ffr_roots_on_chains(spec in spec_strategy()) {
+        let c = spec.generate();
+        let roots = ffr_roots(&c);
+        for (id, _) in c.iter() {
+            let mut cur = id;
+            // Walk the single-fanout chain; it must end at the FFR root.
+            while c.fanouts(cur).len() == 1 && !c.is_output(cur) {
+                cur = c.fanouts(cur)[0];
+            }
+            prop_assert_eq!(roots[id.index()], cur);
+        }
+    }
+
+    /// Immediate dominators, where defined, are reachable from the gate
+    /// and at strictly greater level.
+    #[test]
+    fn idom_sanity(spec in spec_strategy()) {
+        let c = spec.generate();
+        let idoms = output_idoms(&c);
+        for (id, _) in c.iter() {
+            if let Some(d) = idoms[id.index()] {
+                prop_assert!(c.level(d) > c.level(id), "{:?} idom {:?}", id, d);
+                let fo = fanout_cone(&c, &[id]);
+                prop_assert!(fo.contains(d), "idom must be downstream");
+            }
+        }
+    }
+
+    /// Distance 0 exactly at sources; triangle-ish consistency along edges.
+    #[test]
+    fn distance_properties(spec in spec_strategy()) {
+        let c = spec.generate();
+        let src = GateId::new(0);
+        let dist = undirected_distances(&c, &[src]);
+        prop_assert_eq!(dist[0], 0);
+        for (id, gate) in c.iter() {
+            for &f in gate.fanins() {
+                let (a, b) = (dist[id.index()], dist[f.index()]);
+                if a != u32::MAX && b != u32::MAX {
+                    prop_assert!(a.abs_diff(b) <= 1, "edge stretch > 1");
+                }
+            }
+        }
+    }
+
+    /// Error injection changes exactly the chosen gates and is reversible
+    /// knowledge (original kind recorded).
+    #[test]
+    fn injection_is_precise(spec in spec_strategy(), p in 1usize..3, seed in 0u64..500) {
+        let c = spec.generate();
+        if c.num_functional_gates() < p {
+            return Ok(());
+        }
+        let (faulty, sites) = inject_errors(&c, p, seed);
+        prop_assert_eq!(sites.len(), p);
+        let changed: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+        for (id, gate) in c.iter() {
+            if changed.contains(&id) {
+                let site = sites.iter().find(|s| s.gate == id).expect("in changed");
+                prop_assert_eq!(gate.kind(), site.original);
+                prop_assert_eq!(faulty.gate(id).kind(), site.replacement);
+                prop_assert!(site.replacement != site.original);
+            } else {
+                prop_assert_eq!(faulty.gate(id).kind(), gate.kind());
+            }
+        }
+    }
+
+    /// Unrolling a circuit with latches multiplies functional gates by the
+    /// frame count (plus latch-link buffers) and stays acyclic/valid.
+    #[test]
+    fn unroll_scales(spec in spec_strategy(), frames in 1usize..4) {
+        let c = spec.generate();
+        let u = unroll(&c, frames);
+        let latch_links = c.latches().len() * frames.saturating_sub(1);
+        prop_assert_eq!(
+            u.circuit.num_functional_gates(),
+            c.num_functional_gates() * frames + latch_links
+        );
+        // All frame instances map to gates of the right kind.
+        for frame in 0..frames {
+            for (id, gate) in c.iter() {
+                let inst = u.instance(frame, id);
+                if gate.kind() != GateKind::Input {
+                    prop_assert_eq!(u.circuit.gate(inst).kind(), gate.kind());
+                }
+            }
+        }
+    }
+}

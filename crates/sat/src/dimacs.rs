@@ -1,0 +1,109 @@
+//! DIMACS CNF serialisation, for debugging and interop with external
+//! solvers.
+
+use crate::lit::Lit;
+use std::fmt::Write as _;
+
+/// Serialises clauses in DIMACS CNF format.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_sat::{write_dimacs, Lit};
+/// let text = write_dimacs(2, &[vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)]]);
+/// assert!(text.starts_with("p cnf 2 1"));
+/// ```
+pub fn write_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", num_vars, clauses.len());
+    for clause in clauses {
+        for lit in clause {
+            let _ = write!(out, "{} ", lit.to_dimacs());
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+/// Parses DIMACS CNF text; returns `(num_vars, clauses)`.
+///
+/// # Errors
+///
+/// Returns a descriptive message for malformed headers or literals.
+pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), String> {
+    let mut num_vars = 0usize;
+    let mut clauses = Vec::new();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut header_seen = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("p ") {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(format!("line {}: expected `p cnf`", lineno + 1));
+            }
+            num_vars = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad variable count", lineno + 1))?;
+            header_seen = true;
+            continue;
+        }
+        for token in line.split_whitespace() {
+            let value: i64 = token
+                .parse()
+                .map_err(|_| format!("line {}: bad literal `{token}`", lineno + 1))?;
+            if value == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    if !header_seen {
+        return Err("missing `p cnf` header".to_string());
+    }
+    Ok((num_vars, clauses))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let clauses = vec![
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(-2)],
+            vec![Lit::from_dimacs(3)],
+        ];
+        let text = write_dimacs(3, &clauses);
+        let (n, parsed) = parse_dimacs(&text).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(parsed, clauses);
+    }
+
+    #[test]
+    fn parses_comments_and_multiline_clauses() {
+        let text = "c comment\np cnf 2 1\n1\n-2 0\n";
+        let (n, clauses) = parse_dimacs(text).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse_dimacs("1 -2 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_literal() {
+        assert!(parse_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+}

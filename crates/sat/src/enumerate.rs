@@ -1,0 +1,157 @@
+//! All-solutions enumeration with blocking clauses.
+//!
+//! Both diagnosis engines that enumerate (`COV` covers, `BSAT` corrections)
+//! project models onto a set of *selector* variables and block the positive
+//! subset: after reporting `A = {v : model(v) = 1}`, the clause
+//! `⋁_{v∈A} ¬v` excludes `A` and every superset. Combined with iterating
+//! the cardinality bound `k = 1..K`, this yields exactly the
+//! irredundant solutions (paper Lemma 3).
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// Result of an enumeration run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EnumOutcome {
+    /// The projected solutions, in discovery order.
+    pub solutions: Vec<Vec<Var>>,
+    /// `false` if the run stopped because `limit` was reached or the solver
+    /// gave up (conflict budget).
+    pub complete: bool,
+}
+
+/// Enumerates satisfying assignments projected onto `selectors`, blocking
+/// each positive subset (subset-minimal style, see module docs).
+///
+/// Every reported solution is the set of selector variables assigned true.
+/// Enumeration stops after `limit` solutions; blocking clauses stay in the
+/// solver, so subsequent calls (e.g. with a larger cardinality assumption)
+/// never repeat or cover old solutions.
+///
+/// If a model assigns *no* selector true, the empty solution is reported
+/// and enumeration stops (its blocking clause would be the empty clause).
+pub fn enumerate_positive_subsets(
+    solver: &mut Solver,
+    selectors: &[Var],
+    assumptions: &[Lit],
+    limit: usize,
+) -> EnumOutcome {
+    let mut solutions = Vec::new();
+    loop {
+        if solutions.len() >= limit {
+            return EnumOutcome {
+                solutions,
+                complete: false,
+            };
+        }
+        match solver.solve(assumptions) {
+            SolveResult::Sat => {
+                let subset: Vec<Var> = selectors
+                    .iter()
+                    .copied()
+                    .filter(|v| solver.model_value(v.positive()) == Some(true))
+                    .collect();
+                let block: Vec<Lit> = subset.iter().map(|v| v.negative()).collect();
+                solutions.push(subset);
+                if block.is_empty() {
+                    // Empty solution: nothing needs selecting; blocking it
+                    // would empty the clause set.
+                    return EnumOutcome {
+                        solutions,
+                        complete: true,
+                    };
+                }
+                solver.add_clause(&block);
+            }
+            SolveResult::Unsat => {
+                return EnumOutcome {
+                    solutions,
+                    complete: true,
+                }
+            }
+            SolveResult::Unknown => {
+                return EnumOutcome {
+                    solutions,
+                    complete: false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_covers_of_two_sets() {
+        // Sets {a, b} and {b, c}: minimal hitting sets are {b}, {a,c}.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        s.add_clause(&[b.positive(), c.positive()]);
+        // Size bound 1 first: {b} is the only singleton cover.
+        // (No cardinality constraint here; enumeration blocks supersets, so
+        // we emulate the k-loop by checking containment instead.)
+        let out = enumerate_positive_subsets(&mut s, &[a, b, c], &[], 100);
+        assert!(out.complete);
+        // All solutions hit both sets.
+        for sol in &out.solutions {
+            assert!(sol.contains(&a) || sol.contains(&b));
+            assert!(sol.contains(&b) || sol.contains(&c));
+        }
+        // No solution is a superset of an earlier one.
+        for i in 0..out.solutions.len() {
+            for j in 0..i {
+                let earlier = &out.solutions[j];
+                let later = &out.solutions[i];
+                assert!(
+                    !earlier.iter().all(|v| later.contains(v)),
+                    "solution {later:?} is a superset of {earlier:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_solution_short_circuits() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        // Project on a variable set disjoint from the constraint: the first
+        // model may or may not set them; force both false via polarity.
+        let c = s.new_var();
+        s.set_polarity(c, false);
+        let out = enumerate_positive_subsets(&mut s, &[c], &[], 10);
+        assert!(out.complete);
+        assert_eq!(out.solutions, vec![Vec::<Var>::new()]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut s = Solver::new();
+        let vs: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        let clause: Vec<Lit> = vs.iter().map(|v| v.positive()).collect();
+        s.add_clause(&clause);
+        let out = enumerate_positive_subsets(&mut s, &vs, &[], 2);
+        assert!(!out.complete);
+        assert_eq!(out.solutions.len(), 2);
+    }
+
+    #[test]
+    fn respects_assumptions() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        let out = enumerate_positive_subsets(&mut s, &[a, b], &[a.negative()], 10);
+        assert!(out.complete);
+        for sol in &out.solutions {
+            assert!(!sol.contains(&a), "assumption !a violated by {sol:?}");
+        }
+        assert!(out.solutions.iter().any(|sol| sol.contains(&b)));
+    }
+}

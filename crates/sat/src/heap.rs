@@ -1,0 +1,203 @@
+//! Indexed binary max-heap over variables, ordered by VSIDS activity.
+
+use crate::lit::Var;
+
+/// A binary max-heap of variables keyed by an external activity array.
+///
+/// The heap stores positions per variable so that activity increases can
+/// re-sift a contained variable in `O(log n)` ([`VarHeap::update`]).
+#[derive(Clone, Debug, Default)]
+pub struct VarHeap {
+    heap: Vec<Var>,
+    position: Vec<i32>, // -1 when absent
+}
+
+impl VarHeap {
+    /// Creates an empty heap.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn new() -> Self {
+        VarHeap::default()
+    }
+
+    /// Extends the position table to cover `num_vars` variables.
+    pub fn grow(&mut self, num_vars: usize) {
+        if self.position.len() < num_vars {
+            self.position.resize(num_vars, -1);
+        }
+    }
+
+    /// Number of variables currently in the heap.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if the heap is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// `true` if `var` is in the heap.
+    pub fn contains(&self, var: Var) -> bool {
+        self.position[var.index()] >= 0
+    }
+
+    fn sift_up(&mut self, mut pos: usize, activity: &[f64]) {
+        let var = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if activity[self.heap[parent].index()] >= activity[var.index()] {
+                break;
+            }
+            self.heap[pos] = self.heap[parent];
+            self.position[self.heap[pos].index()] = pos as i32;
+            pos = parent;
+        }
+        self.heap[pos] = var;
+        self.position[var.index()] = pos as i32;
+    }
+
+    fn sift_down(&mut self, mut pos: usize, activity: &[f64]) {
+        let var = self.heap[pos];
+        let len = self.heap.len();
+        loop {
+            let left = 2 * pos + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len
+                && activity[self.heap[right].index()] > activity[self.heap[left].index()]
+            {
+                right
+            } else {
+                left
+            };
+            if activity[self.heap[child].index()] <= activity[var.index()] {
+                break;
+            }
+            self.heap[pos] = self.heap[child];
+            self.position[self.heap[pos].index()] = pos as i32;
+            pos = child;
+        }
+        self.heap[pos] = var;
+        self.position[var.index()] = pos as i32;
+    }
+
+    /// Inserts `var` if absent.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow(var.index() + 1);
+        if !self.contains(var) {
+            self.position[var.index()] = self.heap.len() as i32;
+            self.heap.push(var);
+            self.sift_up(self.heap.len() - 1, activity);
+        }
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub fn update(&mut self, var: Var, activity: &[f64]) {
+        if self.contains(var) {
+            let pos = self.position[var.index()] as usize;
+            self.sift_up(pos, activity);
+        }
+    }
+
+    /// Pops the variable with maximal activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.position[top.index()] = -1;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut heap = VarHeap::new();
+        for i in 0..4 {
+            heap.insert(v(i), &activity);
+        }
+        assert_eq!(heap.len(), 4);
+        let order: Vec<usize> = std::iter::from_fn(|| heap.pop(&activity))
+            .map(|x| x.index())
+            .collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let activity = vec![1.0, 2.0];
+        let mut heap = VarHeap::new();
+        heap.insert(v(0), &activity);
+        heap.insert(v(0), &activity);
+        assert_eq!(heap.len(), 1);
+    }
+
+    #[test]
+    fn update_resifts() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut heap = VarHeap::new();
+        for i in 0..3 {
+            heap.insert(v(i), &activity);
+        }
+        activity[0] = 10.0;
+        heap.update(v(0), &activity);
+        assert_eq!(heap.pop(&activity), Some(v(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0];
+        let mut heap = VarHeap::new();
+        heap.grow(1);
+        assert!(!heap.contains(v(0)));
+        heap.insert(v(0), &activity);
+        assert!(heap.contains(v(0)));
+        heap.pop(&activity);
+        assert!(!heap.contains(v(0)));
+    }
+
+    #[test]
+    fn randomized_against_sort() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(1..50);
+            let activity: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+            let mut heap = VarHeap::new();
+            for i in 0..n {
+                heap.insert(v(i), &activity);
+            }
+            let mut popped: Vec<f64> = std::iter::from_fn(|| heap.pop(&activity))
+                .map(|x| activity[x.index()])
+                .collect();
+            let mut sorted = popped.clone();
+            sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            assert_eq!(popped.len(), n);
+            assert!(popped
+                .iter()
+                .zip(&sorted)
+                .all(|(a, b)| (a - b).abs() < 1e-12));
+            popped.clear();
+        }
+    }
+}

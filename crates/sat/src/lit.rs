@@ -1,0 +1,262 @@
+//! Boolean variables, literals and the three-valued assignment domain.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A Boolean variable, densely numbered from 0.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_sat::Var;
+/// let v = Var::from_index(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates a variable from its dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The variable's dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[inline]
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    #[inline]
+    pub fn negative(self) -> Lit {
+        Lit(self.0 << 1 | 1)
+    }
+
+    /// A literal of this variable with the given polarity.
+    #[inline]
+    pub fn lit(self, positive: bool) -> Lit {
+        if positive {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded MiniSat-style as `var << 1 | negated`, so literals are cheap to
+/// copy and index watch lists directly via [`Lit::code`].
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_sat::{Lit, Var};
+/// let v = Var::from_index(0);
+/// let p = v.positive();
+/// assert_eq!(!p, v.negative());
+/// assert_eq!((!p).var(), v);
+/// assert!(p.is_positive());
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// `true` for the positive literal of the variable.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense code usable as an array index (`2 * var + negated`).
+    #[inline]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    #[inline]
+    pub fn from_code(code: usize) -> Lit {
+        Lit(code as u32)
+    }
+
+    /// Converts from DIMACS convention (non-zero; negative = negated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    pub fn from_dimacs(value: i64) -> Lit {
+        assert!(value != 0, "DIMACS literals are non-zero");
+        let var = Var((value.unsigned_abs() - 1) as u32);
+        var.lit(value > 0)
+    }
+
+    /// Converts to DIMACS convention.
+    pub fn to_dimacs(self) -> i64 {
+        let v = self.var().index() as i64 + 1;
+        if self.is_positive() {
+            v
+        } else {
+            -v
+        }
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var().index())
+        } else {
+            write!(f, "!v{}", self.var().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Three-valued assignment state of a variable or literal.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LBool {
+    /// Assigned false.
+    False,
+    /// Assigned true.
+    True,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a Boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns the Boolean value if assigned.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::False => Some(false),
+            LBool::True => Some(true),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Negation (keeps `Undef`).
+    #[inline]
+    pub fn negate(self) -> LBool {
+        match self {
+            LBool::False => LBool::True,
+            LBool::True => LBool::False,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+
+    /// The value of a literal whose variable has this value.
+    #[inline]
+    pub fn under(self, lit: Lit) -> LBool {
+        if lit.is_positive() {
+            self
+        } else {
+            self.negate()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding() {
+        let v = Var::from_index(5);
+        assert_eq!(v.positive().code(), 10);
+        assert_eq!(v.negative().code(), 11);
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+        assert_eq!(Lit::from_code(11), v.negative());
+    }
+
+    #[test]
+    fn dimacs_round_trip() {
+        for raw in [1i64, -1, 7, -42] {
+            assert_eq!(Lit::from_dimacs(raw).to_dimacs(), raw);
+        }
+        assert_eq!(Lit::from_dimacs(1).var().index(), 0);
+        assert!(Lit::from_dimacs(1).is_positive());
+        assert!(!Lit::from_dimacs(-3).is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_rejected() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn lbool_ops() {
+        assert_eq!(LBool::from_bool(true), LBool::True);
+        assert_eq!(LBool::True.negate(), LBool::False);
+        assert_eq!(LBool::Undef.negate(), LBool::Undef);
+        assert_eq!(LBool::True.to_bool(), Some(true));
+        assert_eq!(LBool::Undef.to_bool(), None);
+        let v = Var::from_index(0);
+        assert_eq!(LBool::True.under(v.positive()), LBool::True);
+        assert_eq!(LBool::True.under(v.negative()), LBool::False);
+        assert_eq!(LBool::Undef.under(v.negative()), LBool::Undef);
+    }
+
+    #[test]
+    fn display() {
+        let v = Var::from_index(2);
+        assert_eq!(format!("{}", v.positive()), "v2");
+        assert_eq!(format!("{}", v.negative()), "!v2");
+    }
+}

@@ -1,0 +1,123 @@
+//! Brute-force reference solver used to cross-check the CDCL engine.
+//!
+//! Exhaustive enumeration over all `2^n` assignments — only suitable for
+//! tiny instances, which is exactly what the property tests use it for.
+
+use crate::lit::{Lit, Var};
+
+fn clause_satisfied(clause: &[Lit], assignment: u64) -> bool {
+    clause.iter().any(|l| {
+        let bit = assignment >> l.var().index() & 1 == 1;
+        bit == l.is_positive()
+    })
+}
+
+/// Finds some satisfying assignment by exhaustive search.
+///
+/// Returns the assignment as a `Vec<bool>` indexed by variable, or `None`
+/// if unsatisfiable.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24` (the search is exponential).
+pub fn solve_brute(num_vars: usize, clauses: &[Vec<Lit>]) -> Option<Vec<bool>> {
+    assert!(num_vars <= 24, "brute-force limited to 24 variables");
+    for assignment in 0u64..1 << num_vars {
+        if clauses.iter().all(|c| clause_satisfied(c, assignment)) {
+            return Some((0..num_vars).map(|i| assignment >> i & 1 == 1).collect());
+        }
+    }
+    None
+}
+
+/// Counts all satisfying assignments by exhaustive search.
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24`.
+pub fn count_models_brute(num_vars: usize, clauses: &[Vec<Lit>]) -> u64 {
+    assert!(num_vars <= 24, "brute-force limited to 24 variables");
+    (0u64..1 << num_vars)
+        .filter(|&a| clauses.iter().all(|c| clause_satisfied(c, a)))
+        .count() as u64
+}
+
+/// Enumerates, over the projection `selectors`, every subset-minimal set of
+/// selectors assigned true in some model — the brute-force mirror of
+/// [`enumerate_positive_subsets`](crate::enumerate_positive_subsets).
+///
+/// # Panics
+///
+/// Panics if `num_vars > 24`.
+pub fn minimal_positive_subsets_brute(
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    selectors: &[Var],
+) -> Vec<Vec<Var>> {
+    assert!(num_vars <= 24, "brute-force limited to 24 variables");
+    let mut subsets: Vec<Vec<Var>> = Vec::new();
+    for assignment in 0u64..1 << num_vars {
+        if clauses.iter().all(|c| clause_satisfied(c, assignment)) {
+            let subset: Vec<Var> = selectors
+                .iter()
+                .copied()
+                .filter(|v| assignment >> v.index() & 1 == 1)
+                .collect();
+            if !subsets.iter().any(|s| s == &subset) {
+                subsets.push(subset);
+            }
+        }
+    }
+    // Keep only subset-minimal ones.
+    let minimal: Vec<Vec<Var>> = subsets
+        .iter()
+        .filter(|s| {
+            !subsets
+                .iter()
+                .any(|t| t.len() < s.len() && t.iter().all(|v| s.contains(v)))
+        })
+        .cloned()
+        .collect();
+    minimal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> Var {
+        Var::from_index(i)
+    }
+
+    #[test]
+    fn brute_agrees_on_tiny_instances() {
+        // (a | b) & (!a | b) => b must hold; 2 models.
+        let clauses = vec![
+            vec![v(0).positive(), v(1).positive()],
+            vec![v(0).negative(), v(1).positive()],
+        ];
+        let m = solve_brute(2, &clauses).unwrap();
+        assert!(m[1]);
+        assert_eq!(count_models_brute(2, &clauses), 2);
+    }
+
+    #[test]
+    fn brute_unsat() {
+        let clauses = vec![vec![v(0).positive()], vec![v(0).negative()]];
+        assert!(solve_brute(1, &clauses).is_none());
+        assert_eq!(count_models_brute(1, &clauses), 0);
+    }
+
+    #[test]
+    fn minimal_subsets() {
+        // Hitting sets of {a,b} and {b,c}.
+        let clauses = vec![
+            vec![v(0).positive(), v(1).positive()],
+            vec![v(1).positive(), v(2).positive()],
+        ];
+        let minimal = minimal_positive_subsets_brute(3, &clauses, &[v(0), v(1), v(2)]);
+        assert!(minimal.contains(&vec![v(1)]));
+        assert!(minimal.contains(&vec![v(0), v(2)]));
+        assert_eq!(minimal.len(), 2);
+    }
+}

@@ -1,0 +1,1056 @@
+//! The CDCL solver: watched-literal propagation, 1UIP learning, VSIDS,
+//! phase saving, Luby restarts, learnt-clause reduction and incremental
+//! solving under assumptions.
+
+use crate::clause::{CRef, ClauseDb};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (see [`Solver::model_value`]).
+    Sat,
+    /// The instance is unsatisfiable under the given assumptions.
+    Unsat,
+    /// The conflict budget was exhausted before a verdict.
+    Unknown,
+}
+
+/// Aggregate search statistics.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+    /// Learnt clauses removed by database reductions.
+    pub removed_clauses: u64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Watcher {
+    cref: CRef,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// An incremental CDCL SAT solver.
+///
+/// The feature set mirrors what the paper's diagnosis engines need from
+/// Zchaff: clause addition between solves (blocking clauses), solving under
+/// assumptions (incremental cardinality bounds), and model extraction
+/// (candidate sets from select lines).
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_sat::{Solver, SolveResult};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause(&[a.positive(), b.positive()]);
+/// solver.add_clause(&[a.negative()]);
+/// assert_eq!(solver.solve(&[]), SolveResult::Sat);
+/// assert_eq!(solver.model_value(b.positive()), Some(true));
+/// // Incremental: keep solving with extra constraints.
+/// solver.add_clause(&[b.negative()]);
+/// assert_eq!(solver.solve(&[]), SolveResult::Unsat);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Solver {
+    db: ClauseDb,
+    clauses: Vec<CRef>,
+    learnts: Vec<CRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    reason: Vec<CRef>,
+    level: Vec<u32>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<LBool>,
+    failed_assumptions: Vec<Lit>,
+    stats: SolverStats,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ..Solver::default()
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(CRef::UNDEF);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(var, &self.activity);
+        var
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            learnt_clauses: self.learnts.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Limits the next [`Solver::solve`] call to roughly `budget` conflicts;
+    /// `None` removes the limit. Exceeding the budget yields
+    /// [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Sets the saved phase of `var`, biasing future decisions.
+    ///
+    /// The hybrid diagnosis flow (paper Sec. 6) seeds these from
+    /// simulation results.
+    pub fn set_polarity(&mut self, var: Var, phase: bool) {
+        self.polarity[var.index()] = phase;
+    }
+
+    /// Additively bumps `var`'s VSIDS activity, biasing future decisions.
+    ///
+    /// The hybrid diagnosis flow seeds these from path-tracing mark counts.
+    pub fn bump_variable(&mut self, var: Var, amount: f64) {
+        self.activity[var.index()] += amount * self.var_inc;
+        if self.activity[var.index()] > RESCALE_LIMIT {
+            self.rescale_var_activity();
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    /// Current assignment of a literal (during/after search).
+    #[inline]
+    fn value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].under(lit)
+    }
+
+    /// The model value of `lit` after a [`SolveResult::Sat`] outcome.
+    ///
+    /// Returns `None` if no model is stored or the variable was never
+    /// assigned in it.
+    pub fn model_value(&self, lit: Lit) -> Option<bool> {
+        self.model
+            .get(lit.var().index())
+            .and_then(|v| v.under(lit).to_bool())
+    }
+
+    /// `true` once the clause set has been proven unsatisfiable outright
+    /// (no assumptions involved).
+    pub fn is_inconsistent(&self) -> bool {
+        !self.ok
+    }
+
+    /// After an [`SolveResult::Unsat`] outcome caused by assumptions, the
+    /// subset of assumption literals that jointly conflict with the clause
+    /// set (an unsat "core" over the assumptions; not necessarily
+    /// minimal). Empty when the clause set itself is inconsistent.
+    pub fn failed_assumptions(&self) -> &[Lit] {
+        &self.failed_assumptions
+    }
+
+    /// MiniSat-style `analyzeFinal`: collect the assumptions responsible
+    /// for the falsified assumption literal `p`.
+    fn analyze_final(&mut self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 {
+            return core;
+        }
+        self.seen[p.var().index()] = true;
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let x = self.trail[i];
+            let v = x.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            let reason = self.reason[v.index()];
+            if reason.is_defined() {
+                for &q in self.db.lits(reason).iter().skip(1) {
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            } else {
+                // An assumption pseudo-decision contributing to the
+                // conflict. At this point every pseudo-decision on the
+                // trail is one of the given assumptions, so the trail
+                // literal is the assumption in given form.
+                core.push(x);
+            }
+            self.seen[v.index()] = false;
+        }
+        self.seen[p.var().index()] = false;
+        core
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause; returns `false` if the solver became inconsistent.
+    ///
+    /// May be called between [`Solver::solve`] invocations (the solver is at
+    /// decision level 0 then). Duplicate literals are removed, tautologies
+    /// dropped, root-level falsified literals stripped.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "add_clause only at root");
+        if !self.ok {
+            return false;
+        }
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let mut filtered: Vec<Lit> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<Lit> = None;
+        for &lit in &sorted {
+            if let Some(p) = prev {
+                if p == !lit {
+                    return true; // tautology
+                }
+            }
+            match self.value(lit) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => filtered.push(lit),
+            }
+            prev = Some(lit);
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], CRef::UNDEF);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(&filtered, false);
+                self.clauses.push(cref);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: CRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].push(Watcher {
+            cref,
+            blocker: l1,
+        });
+        self.watches[(!l1).code()].push(Watcher {
+            cref,
+            blocker: l0,
+        });
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: CRef) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let v = lit.var();
+        self.assigns[v.index()] = LBool::from_bool(lit.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<CRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = 0usize;
+            let mut i = 0usize;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                {
+                    let lits = self.db.lits_mut(cref);
+                    // Ensure the false literal (!p) is at position 1.
+                    if lits[0] == !p {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.db.lits(cref)[0];
+                debug_assert_eq!(self.db.lits(cref)[1], !p);
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[keep] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let size = self.db.size(cref);
+                for k in 2..size {
+                    let lk = self.db.lits(cref)[k];
+                    if self.value(lk) != LBool::False {
+                        self.db.lits_mut(cref).swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[keep] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                keep += 1;
+                if self.value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    // Copy back remaining watchers.
+                    while i < ws.len() {
+                        ws[keep] = ws[i];
+                        keep += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                }
+            }
+            ws.truncate(keep);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let lim = self.trail_lim[target_level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = lit.is_positive();
+            self.reason[v.index()] = CRef::UNDEF;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn rescale_var_activity(&mut self) {
+        for a in &mut self.activity {
+            *a *= 1e-100;
+        }
+        self.var_inc *= 1e-100;
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > RESCALE_LIMIT {
+            self.rescale_var_activity();
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: CRef) {
+        if !self.db.is_learnt(cref) {
+            return;
+        }
+        let a = self.db.activity(cref) + self.cla_inc as f32;
+        self.db.set_activity(cref, a);
+        if a > 1e20 {
+            for &c in &self.learnts {
+                let scaled = self.db.activity(c) * 1e-20;
+                self.db.set_activity(c, scaled);
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns the learnt clause (asserting literal
+    /// first) and the backtrack level.
+    fn analyze(&mut self, confl: CRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = confl;
+
+        loop {
+            self.bump_clause(cref);
+            let start = usize::from(p.is_some());
+            let size = self.db.size(cref);
+            for k in start..size {
+                let q = self.db.lits(cref)[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Find the next seen literal on the trail.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            cref = self.reason[pl.var().index()];
+            debug_assert!(cref.is_defined(), "non-decision must have a reason");
+        }
+
+        // Mark remaining seen for minimisation bookkeeping.
+        for lit in &learnt[1..] {
+            self.seen[lit.var().index()] = true;
+        }
+        // Basic self-subsumption minimisation: drop literals whose reason is
+        // fully covered by the learnt clause.
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&lit| !self.literal_redundant(lit))
+            .collect();
+        for lit in &learnt[1..] {
+            self.seen[lit.var().index()] = false;
+        }
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        // Compute backtrack level; move the max-level literal to slot 1.
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack)
+    }
+
+    /// `true` if `lit`'s reason clause is entirely made of seen/root
+    /// literals, i.e. `lit` is implied by the rest of the learnt clause.
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        let reason = self.reason[lit.var().index()];
+        if !reason.is_defined() {
+            return false;
+        }
+        let lits = self.db.lits(reason);
+        lits.iter().skip(1).all(|&q| {
+            let v = q.var();
+            self.seen[v.index()] || self.level[v.index()] == 0
+        })
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt_clauses += 1;
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], CRef::UNDEF);
+        } else {
+            let cref = self.db.alloc(&learnt, true);
+            self.learnts.push(cref);
+            self.attach(cref);
+            self.bump_clause(cref);
+            self.unchecked_enqueue(learnt[0], cref);
+        }
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLA_DECAY;
+    }
+
+    fn locked(&self, cref: CRef) -> bool {
+        let first = self.db.lits(cref)[0];
+        self.reason[first.var().index()] == cref && self.value(first) == LBool::True
+    }
+
+    fn detach(&mut self, cref: CRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        for code in [(!l0).code(), (!l1).code()] {
+            self.watches[code].retain(|w| w.cref != cref);
+        }
+    }
+
+    fn reduce_learnts(&mut self) {
+        let db = &self.db;
+        let mut ranked: Vec<CRef> = self.learnts.clone();
+        ranked.sort_by(|&a, &b| {
+            db.activity(a)
+                .partial_cmp(&db.activity(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut removed = 0u64;
+        let target = ranked.len() / 2;
+        let mut kept: Vec<CRef> = Vec::with_capacity(ranked.len());
+        for (i, cref) in ranked.into_iter().enumerate() {
+            let small = self.db.size(cref) == 2;
+            if i < target && !small && !self.locked(cref) {
+                self.detach(cref);
+                self.db.delete(cref);
+                removed += 1;
+            } else {
+                kept.push(cref);
+            }
+        }
+        self.learnts = kept;
+        self.stats.removed_clauses += removed;
+        if self.db.needs_gc() {
+            self.collect_garbage();
+        }
+    }
+
+    /// Rebuilds the clause arena, dropping deleted clauses and remapping all
+    /// references (watches are rebuilt from scratch).
+    fn collect_garbage(&mut self) {
+        let mut fresh = ClauseDb::new();
+        let mut remap =
+            std::collections::HashMap::with_capacity(self.clauses.len() + self.learnts.len());
+        for list in [&mut self.clauses, &mut self.learnts] {
+            for cref in list.iter_mut() {
+                let new = *remap
+                    .entry(*cref)
+                    .or_insert_with(|| self.db.copy_into(*cref, &mut fresh));
+                *cref = new;
+            }
+        }
+        for r in &mut self.reason {
+            if r.is_defined() {
+                // Locked clauses are never deleted, so the mapping exists
+                // whenever the reason is still referenced.
+                *r = *remap.get(r).unwrap_or(&CRef::UNDEF);
+            }
+        }
+        self.db = fresh;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let all: Vec<CRef> = self.clauses.iter().chain(&self.learnts).copied().collect();
+        for cref in all {
+            self.attach(cref);
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(var) = self.order.pop(&self.activity) {
+            if self.assigns[var.index()] == LBool::Undef {
+                return Some(var.lit(self.polarity[var.index()]));
+            }
+        }
+        None
+    }
+
+    fn luby(i: u64) -> u64 {
+        // Sequence 1,1,2,1,1,2,4,... : find the finite subsequence containing
+        // index i and its position.
+        let (mut size, mut seq) = (1u64, 0u32);
+        while size < i + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut idx = i;
+        while size - 1 != idx {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            idx %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Returns [`SolveResult::Unsat`] either when the clause set itself is
+    /// inconsistent or when the assumptions conflict with it; use
+    /// [`Solver::is_inconsistent`] to distinguish. Learnt clauses and
+    /// variable activities persist across calls (incremental solving).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.cancel_until(0);
+        self.failed_assumptions.clear();
+        if !self.ok || self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restart_round = 0u64;
+        loop {
+            let allowed = RESTART_BASE * Self::luby(restart_round);
+            match self.search(allowed, assumptions, budget_start) {
+                InnerResult::Sat => {
+                    self.model = self.assigns.clone();
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                InnerResult::Unsat => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                InnerResult::Unknown => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+                InnerResult::Restart => {
+                    self.stats.restarts += 1;
+                    restart_round += 1;
+                    self.cancel_until(0);
+                    self.max_learnts *= 1.02;
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, conflicts_allowed: u64, assumptions: &[Lit], budget_start: u64) -> InnerResult {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return InnerResult::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(confl);
+                self.cancel_until(backtrack);
+                self.record_learnt(learnt);
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return InnerResult::Unknown;
+                    }
+                }
+                if conflicts_here >= conflicts_allowed {
+                    return InnerResult::Restart;
+                }
+            } else {
+                if self.learnts.len() as f64 - self.trail.len() as f64 > self.max_learnts {
+                    self.reduce_learnts();
+                }
+                // Enqueue assumptions as pseudo-decisions.
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        LBool::True => {
+                            // Already satisfied: open a dummy level.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            self.failed_assumptions = self.analyze_final(p);
+                            return InnerResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch() {
+                        Some(p) => p,
+                        None => return InnerResult::Sat,
+                    },
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, CRef::UNDEF);
+            }
+        }
+    }
+}
+
+enum InnerResult {
+    Sat,
+    Unsat,
+    Unknown,
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(solver: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let m0 = s.model_value(v[0].positive()).unwrap();
+        let m1 = s.model_value(v[1].positive()).unwrap();
+        assert!(m0 || m1);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        s.add_clause(&[v[0].positive()]);
+        s.add_clause(&[v[0].negative()]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.is_inconsistent());
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        let _ = vars(&mut s, 1);
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 1);
+        assert!(s.add_clause(&[v[0].positive(), v[0].negative()]));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x0 and chain x_i -> x_{i+1}; final clause forces !x_last => UNSAT.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 20);
+        s.add_clause(&[v[0].positive()]);
+        for i in 0..19 {
+            s.add_clause(&[v[i].negative(), v[i + 1].positive()]);
+        }
+        s.add_clause(&[v[19].negative()]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn assumptions_do_not_poison_solver() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        assert_eq!(s.solve(&[v[0].negative(), v[1].negative()]), SolveResult::Unsat);
+        assert!(!s.is_inconsistent());
+        assert_eq!(s.solve(&[v[0].negative()]), SolveResult::Sat);
+        assert_eq!(s.model_value(v[1].positive()), Some(true));
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_blocking() {
+        // Enumerate all four models of two free variables via blocking.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[0].negative()]); // no-op clause
+        let mut count = 0;
+        while s.solve(&[]) == SolveResult::Sat {
+            count += 1;
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&var| {
+                    if s.model_value(var.positive()).unwrap() {
+                        var.negative()
+                    } else {
+                        var.positive()
+                    }
+                })
+                .collect();
+            s.add_clause(&block);
+            assert!(count <= 4, "more models than possible");
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): 3 pigeons, 2 holes. p_{i,j} = pigeon i in hole j.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let (n, m) = (5usize, 4usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, m)).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for round in 0..30 {
+            let n = rng.gen_range(3..12);
+            let mut s = Solver::new();
+            let v = vars(&mut s, n);
+            let mut clauses = Vec::new();
+            for _ in 0..rng.gen_range(3..30) {
+                let len = rng.gen_range(1..4);
+                let clause: Vec<Lit> = (0..len)
+                    .map(|_| v[rng.gen_range(0..n)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                clauses.push(clause.clone());
+                s.add_clause(&clause);
+            }
+            if s.solve(&[]) == SolveResult::Sat {
+                for clause in &clauses {
+                    assert!(
+                        clause.iter().any(|&l| s.model_value(l) == Some(true)),
+                        "round {round}: model violates {clause:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        // A hard pigeonhole with a 1-conflict budget must give up.
+        let (n, m) = (7usize, 6usize);
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, m)).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn failed_assumptions_form_a_core() {
+        // x0 -> x1 -> x2; assumptions [x0, !x2, x3] conflict via x0 and !x2.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause(&[v[0].negative(), v[1].positive()]);
+        s.add_clause(&[v[1].negative(), v[2].positive()]);
+        let assumptions = [v[0].positive(), v[2].negative(), v[3].positive()];
+        assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
+        let core: Vec<Lit> = s.failed_assumptions().to_vec();
+        assert!(!core.is_empty());
+        // Core literals are assumptions.
+        for l in &core {
+            assert!(assumptions.contains(l), "{l:?} not among assumptions");
+        }
+        // The irrelevant assumption x3 is not in the core.
+        assert!(!core.contains(&v[3].positive()));
+        // The core alone is still unsatisfiable.
+        assert_eq!(s.solve(&core), SolveResult::Unsat);
+        // And the solver remains usable.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(s.failed_assumptions().is_empty());
+    }
+
+    #[test]
+    fn contradictory_assumptions_core() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[1].positive()]); // unrelated
+        let assumptions = [v[0].positive(), v[0].negative()];
+        assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert!(core.contains(&v[0].positive()) || core.contains(&v[0].negative()));
+        assert_eq!(s.solve(&core), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn root_falsified_assumption_core_is_singleton() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].negative()]); // x0 false at root
+        assert_eq!(s.solve(&[v[0].positive(), v[1].positive()]), SolveResult::Unsat);
+        let core = s.failed_assumptions().to_vec();
+        assert_eq!(core, vec![v[0].positive()]);
+    }
+
+    #[test]
+    fn core_on_random_instances_is_sound() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..40 {
+            let n = rng.gen_range(4..10);
+            let mut s = Solver::new();
+            let v = vars(&mut s, n);
+            for _ in 0..rng.gen_range(5..25) {
+                let clause: Vec<Lit> = (0..rng.gen_range(1..4))
+                    .map(|_| v[rng.gen_range(0..n)].lit(rng.gen_bool(0.5)))
+                    .collect();
+                s.add_clause(&clause);
+            }
+            let assumptions: Vec<Lit> = (0..n.min(5))
+                .map(|i| v[i].lit(rng.gen_bool(0.5)))
+                .collect();
+            if s.solve(&assumptions) == SolveResult::Unsat && !s.is_inconsistent() {
+                let core = s.failed_assumptions().to_vec();
+                for l in &core {
+                    assert!(assumptions.contains(l));
+                }
+                assert_eq!(s.solve(&core), SolveResult::Unsat, "core not unsat");
+            }
+        }
+    }
+
+    #[test]
+    fn long_search_exercises_reduction_and_gc() {
+        // A hard instance plus heavy enumeration: forces learnt-clause
+        // reduction and arena garbage collection, then cross-checks the
+        // final verdicts.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let mut s = Solver::new();
+        let n = 60;
+        let v = vars(&mut s, n);
+        // Random 3-SAT near the phase transition.
+        for _ in 0..250 {
+            let clause: Vec<Lit> = (0..3)
+                .map(|_| v[rng.gen_range(0..n)].lit(rng.gen_bool(0.5)))
+                .collect();
+            s.add_clause(&clause);
+        }
+        // Enumerate models by exact blocking until UNSAT (or 500 models).
+        let mut models = 0;
+        while s.solve(&[]) == SolveResult::Sat && models < 500 {
+            models += 1;
+            let block: Vec<Lit> = v
+                .iter()
+                .map(|&var| var.lit(s.model_value(var.positive()) != Some(true)))
+                .collect();
+            s.add_clause(&block);
+        }
+        // The solver must stay coherent: a fresh solver agrees on the final
+        // state reachability of a few probes.
+        let stats = s.stats();
+        assert!(stats.conflicts > 0);
+        // After exhausting models (or 500 blocks) the solver still answers
+        // assumption queries consistently.
+        let final_verdict = s.solve(&[]);
+        let again = s.solve(&[]);
+        assert_eq!(final_verdict, again, "verdict must be stable");
+    }
+
+    #[test]
+    fn polarity_hint_is_respected_for_free_vars() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        s.add_clause(&[v[0].positive(), v[1].positive()]); // keep it satisfiable
+        for &var in &v {
+            s.set_polarity(var, true);
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        // Free variables should follow the saved phase.
+        assert_eq!(s.model_value(v[2].positive()), Some(true));
+        assert_eq!(s.model_value(v[3].positive()), Some(true));
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests: the CDCL solver against exhaustive brute force on random
+//! small instances, including incremental usage patterns.
+
+use gatediag_sat::reference::{count_models_brute, minimal_positive_subsets_brute, solve_brute};
+use gatediag_sat::{enumerate_positive_subsets, Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+/// A random CNF instance over `num_vars` variables.
+#[derive(Clone, Debug)]
+struct RandomCnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = RandomCnf> {
+    (2usize..=max_vars).prop_flat_map(move |num_vars| {
+        let lit = (0..num_vars, any::<bool>())
+            .prop_map(|(v, pos)| Var::from_index(v).lit(pos));
+        let clause = prop::collection::vec(lit, 1..=3);
+        prop::collection::vec(clause, 1..=max_clauses)
+            .prop_map(move |clauses| RandomCnf { num_vars, clauses })
+    })
+}
+
+fn load(cnf: &RandomCnf) -> Solver {
+    let mut solver = Solver::new();
+    for _ in 0..cnf.num_vars {
+        solver.new_var();
+    }
+    for clause in &cnf.clauses {
+        solver.add_clause(clause);
+    }
+    solver
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// CDCL verdict must match brute force, and SAT models must satisfy
+    /// every clause.
+    #[test]
+    fn cdcl_matches_brute_force(cnf in cnf_strategy(10, 40)) {
+        let brute = solve_brute(cnf.num_vars, &cnf.clauses);
+        let mut solver = load(&cnf);
+        match solver.solve(&[]) {
+            SolveResult::Sat => {
+                prop_assert!(brute.is_some(), "CDCL said SAT, brute force says UNSAT");
+                for clause in &cnf.clauses {
+                    prop_assert!(
+                        clause.iter().any(|&l| solver.model_value(l) == Some(true)),
+                        "model violates clause {clause:?}"
+                    );
+                }
+            }
+            SolveResult::Unsat => prop_assert!(brute.is_none(), "CDCL said UNSAT, brute force found {brute:?}"),
+            SolveResult::Unknown => prop_assert!(false, "no budget was set"),
+        }
+    }
+
+    /// Solving under assumptions equals solving the instance with the
+    /// assumptions added as unit clauses.
+    #[test]
+    fn assumptions_equal_units(cnf in cnf_strategy(8, 30), pattern in any::<u16>()) {
+        let assumptions: Vec<Lit> = (0..cnf.num_vars.min(4))
+            .map(|i| Var::from_index(i).lit(pattern >> i & 1 == 1))
+            .collect();
+        let mut augmented = cnf.clauses.clone();
+        for &a in &assumptions {
+            augmented.push(vec![a]);
+        }
+        let brute = solve_brute(cnf.num_vars, &augmented);
+        let mut solver = load(&cnf);
+        let result = solver.solve(&assumptions);
+        match result {
+            SolveResult::Sat => prop_assert!(brute.is_some()),
+            SolveResult::Unsat => prop_assert!(brute.is_none()),
+            SolveResult::Unknown => prop_assert!(false),
+        }
+        // The solver must stay usable without assumptions afterwards.
+        let unconstrained = solver.solve(&[]);
+        let brute_plain = solve_brute(cnf.num_vars, &cnf.clauses);
+        prop_assert_eq!(unconstrained == SolveResult::Sat, brute_plain.is_some());
+    }
+
+    /// Model enumeration by exact blocking counts exactly the brute-force
+    /// model count.
+    #[test]
+    fn exact_enumeration_counts_models(cnf in cnf_strategy(7, 25)) {
+        let expected = count_models_brute(cnf.num_vars, &cnf.clauses);
+        let mut solver = load(&cnf);
+        let all_vars: Vec<Var> = (0..cnf.num_vars).map(Var::from_index).collect();
+        let mut count = 0u64;
+        while solver.solve(&[]) == SolveResult::Sat {
+            count += 1;
+            prop_assert!(count <= expected, "enumerated more models than exist");
+            let block: Vec<Lit> = all_vars
+                .iter()
+                .map(|&v| v.lit(solver.model_value(v.positive()) != Some(true)))
+                .collect();
+            solver.add_clause(&block);
+        }
+        prop_assert_eq!(count, expected);
+    }
+
+    /// Subset enumeration: no later solution repeats or extends an earlier
+    /// one (the blocking-clause guarantee), every brute-force minimal subset
+    /// is found, and every solution is consistent with some model.
+    ///
+    /// Note subset enumeration alone does NOT guarantee global minimality —
+    /// an early large solution may strictly contain a later small one. The
+    /// paper obtains minimality (Lemma 3) by iterating the cardinality
+    /// bound k = 1..K, which the diagnosis engines layer on top.
+    #[test]
+    fn subset_enumeration_blocks_and_completes(cnf in cnf_strategy(7, 20)) {
+        let selectors: Vec<Var> = (0..cnf.num_vars).map(Var::from_index).collect();
+        let expected = minimal_positive_subsets_brute(cnf.num_vars, &cnf.clauses, &selectors);
+        let mut solver = load(&cnf);
+        let out = enumerate_positive_subsets(&mut solver, &selectors, &[], 10_000);
+        prop_assert!(out.complete);
+        // Later solutions never contain an earlier one.
+        for (i, later) in out.solutions.iter().enumerate() {
+            for earlier in &out.solutions[..i] {
+                prop_assert!(
+                    !earlier.iter().all(|v| later.contains(v)),
+                    "later {later:?} is a superset of earlier {earlier:?}"
+                );
+            }
+        }
+        for minimal in &expected {
+            prop_assert!(
+                out.solutions.iter().any(|s| s == minimal),
+                "minimal subset {minimal:?} missing from enumeration {:?}",
+                out.solutions
+            );
+        }
+        for sol in &out.solutions {
+            prop_assert!(
+                expected.iter().any(|m| m.iter().all(|v| sol.contains(v))),
+                "enumerated {sol:?} contains no minimal subset"
+            );
+        }
+    }
+
+    /// Incremental solving: adding clauses one batch at a time gives the
+    /// same verdicts as fresh solvers on each prefix.
+    #[test]
+    fn incremental_prefixes(cnf in cnf_strategy(8, 24)) {
+        let mut incremental = Solver::new();
+        for _ in 0..cnf.num_vars {
+            incremental.new_var();
+        }
+        for (i, clause) in cnf.clauses.iter().enumerate() {
+            incremental.add_clause(clause);
+            let verdict = incremental.solve(&[]);
+            let brute = solve_brute(cnf.num_vars, &cnf.clauses[..=i]);
+            match verdict {
+                SolveResult::Sat => prop_assert!(brute.is_some(), "prefix {i}"),
+                SolveResult::Unsat => prop_assert!(brute.is_none(), "prefix {i}"),
+                SolveResult::Unknown => prop_assert!(false),
+            }
+            if verdict == SolveResult::Unsat {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Event-driven incremental resimulation.
+//!
+//! The advanced simulation-based diagnosis approaches re-simulate the
+//! circuit after every trial correction; an event-driven simulator only
+//! touches the fan-out cone of the change, which is what makes the
+//! backtrack search of Liu/Veneris-style incremental diagnosis affordable.
+
+use gatediag_netlist::{Circuit, GateId, GateKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Incremental simulator holding a full value assignment that can be
+/// updated by changing inputs or forcing gates, propagating only through
+/// affected cones.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_sim::DeltaSim;
+/// let c = gatediag_netlist::c17();
+/// let mut sim = DeltaSim::new(&c, &[false; 5]);
+/// let before = sim.values().to_vec();
+/// sim.set_input(0, true);
+/// sim.propagate();
+/// // A full resimulation agrees with the incremental result.
+/// let mut v = vec![true, false, false, false, false];
+/// let full = gatediag_sim::simulate(&c, &v);
+/// assert_eq!(sim.values(), &full[..]);
+/// # let _ = before; let _ = &mut v;
+/// ```
+#[derive(Clone, Debug)]
+pub struct DeltaSim<'c> {
+    circuit: &'c Circuit,
+    values: Vec<bool>,
+    forced: Vec<Option<bool>>,
+    queue: BinaryHeap<Reverse<(u32, u32)>>,
+    queued: Vec<bool>,
+    events: u64,
+}
+
+impl<'c> DeltaSim<'c> {
+    /// Creates a simulator initialised with a full simulation of `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != circuit.inputs().len()`.
+    pub fn new(circuit: &'c Circuit, inputs: &[bool]) -> Self {
+        let values = crate::scalar::simulate(circuit, inputs);
+        DeltaSim {
+            circuit,
+            values,
+            forced: vec![None; circuit.len()],
+            queue: BinaryHeap::new(),
+            queued: vec![false; circuit.len()],
+            events: 0,
+        }
+    }
+
+    /// Current value of a gate (valid after [`DeltaSim::propagate`]).
+    #[inline]
+    pub fn value(&self, id: GateId) -> bool {
+        self.values[id.index()]
+    }
+
+    /// The full value assignment (valid after [`DeltaSim::propagate`]).
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+
+    /// Total number of gate evaluations performed by propagation so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn schedule(&mut self, id: GateId) {
+        if !self.queued[id.index()] {
+            self.queued[id.index()] = true;
+            self.queue
+                .push(Reverse((self.circuit.level(id), id.index() as u32)));
+        }
+    }
+
+    fn touch(&mut self, id: GateId) {
+        // Re-evaluate `id` itself (its forcing or input value changed).
+        self.schedule(id);
+    }
+
+    /// Changes the `position`-th primary input (by `circuit.inputs()` order).
+    pub fn set_input(&mut self, position: usize, value: bool) {
+        let id = self.circuit.inputs()[position];
+        if self.values[id.index()] != value || self.forced[id.index()].is_some() {
+            self.values[id.index()] = value;
+            for &f in self.circuit.fanouts(id) {
+                self.schedule(f);
+            }
+        }
+    }
+
+    /// Replaces the entire input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from `circuit.inputs()`.
+    pub fn set_vector(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.circuit.inputs().len(),
+            "input vector width mismatch"
+        );
+        for (i, &v) in inputs.iter().enumerate() {
+            self.set_input(i, v);
+        }
+    }
+
+    /// Forces a gate to a fixed value (ignoring its logic) until
+    /// [`DeltaSim::unforce`] is called.
+    pub fn force(&mut self, id: GateId, value: bool) {
+        self.forced[id.index()] = Some(value);
+        self.touch(id);
+    }
+
+    /// Removes a forcing, letting the gate's logic drive it again.
+    pub fn unforce(&mut self, id: GateId) {
+        if self.forced[id.index()].take().is_some() {
+            self.touch(id);
+        }
+    }
+
+    /// Removes all forcings.
+    pub fn unforce_all(&mut self) {
+        for i in 0..self.forced.len() {
+            if self.forced[i].take().is_some() {
+                self.touch(GateId::new(i));
+            }
+        }
+    }
+
+    /// Propagates pending events in level order; returns the number of gate
+    /// evaluations performed.
+    pub fn propagate(&mut self) -> u64 {
+        let mut evals = 0;
+        while let Some(Reverse((_lvl, idx))) = self.queue.pop() {
+            let id = GateId::new(idx as usize);
+            self.queued[id.index()] = false;
+            let gate = self.circuit.gate(id);
+            let new = match self.forced[id.index()] {
+                Some(v) => v,
+                None => {
+                    if gate.kind() == GateKind::Input {
+                        self.values[id.index()]
+                    } else {
+                        gate.kind()
+                            .eval_bool(gate.fanins().iter().map(|f| self.values[f.index()]))
+                    }
+                }
+            };
+            evals += 1;
+            if new != self.values[id.index()] {
+                self.values[id.index()] = new;
+                for &f in self.circuit.fanouts(id) {
+                    self.schedule(f);
+                }
+            }
+        }
+        self.events += evals;
+        evals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{simulate, simulate_forced};
+    use gatediag_netlist::{RandomCircuitSpec, VectorGen};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tracks_full_resimulation_under_input_changes() {
+        let c = RandomCircuitSpec::new(8, 3, 80).seed(5).generate();
+        let mut gen = VectorGen::new(&c, 5);
+        let mut vector = gen.next_vector();
+        let mut sim = DeltaSim::new(&c, &vector);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..50 {
+            let i = rng.gen_range(0..vector.len());
+            vector[i] = !vector[i];
+            sim.set_input(i, vector[i]);
+            sim.propagate();
+            assert_eq!(sim.values(), &simulate(&c, &vector)[..]);
+        }
+    }
+
+    #[test]
+    fn tracks_full_resimulation_under_forcing() {
+        let c = RandomCircuitSpec::new(6, 2, 60).seed(8).generate();
+        let mut gen = VectorGen::new(&c, 8);
+        let vector = gen.next_vector();
+        let mut sim = DeltaSim::new(&c, &vector);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let ids: Vec<_> = c
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let mut active: Vec<(gatediag_netlist::GateId, bool)> = Vec::new();
+        for round in 0..40 {
+            if !active.is_empty() && rng.gen_bool(0.4) {
+                let (id, _) = active.swap_remove(rng.gen_range(0..active.len()));
+                sim.unforce(id);
+            } else {
+                let id = ids[rng.gen_range(0..ids.len())];
+                let v = rng.gen_bool(0.5);
+                active.retain(|&(g, _)| g != id);
+                active.push((id, v));
+                sim.force(id, v);
+            }
+            sim.propagate();
+            let reference = simulate_forced(&c, &vector, &active);
+            assert_eq!(sim.values(), &reference[..], "round {round}");
+        }
+    }
+
+    #[test]
+    fn unforce_all_restores_baseline() {
+        let c = RandomCircuitSpec::new(5, 2, 30).seed(2).generate();
+        let vector = VectorGen::new(&c, 2).next_vector();
+        let baseline = simulate(&c, &vector);
+        let mut sim = DeltaSim::new(&c, &vector);
+        let some_gate = c
+            .iter()
+            .find(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .unwrap();
+        sim.force(some_gate, !baseline[some_gate.index()]);
+        sim.propagate();
+        assert_ne!(sim.values(), &baseline[..]);
+        sim.unforce_all();
+        sim.propagate();
+        assert_eq!(sim.values(), &baseline[..]);
+    }
+
+    #[test]
+    fn event_counts_are_local() {
+        // Changing a top-level input near the outputs should evaluate far
+        // fewer gates than the whole circuit.
+        let c = RandomCircuitSpec::new(16, 4, 400).seed(3).generate();
+        let vector = VectorGen::new(&c, 3).next_vector();
+        let mut sim = DeltaSim::new(&c, &vector);
+        sim.propagate();
+        let before = sim.events();
+        // Force a gate at maximal level: its cone is small.
+        let deepest = c
+            .iter()
+            .max_by_key(|(id, _)| c.level(*id))
+            .map(|(id, _)| id)
+            .unwrap();
+        sim.force(deepest, true);
+        sim.propagate();
+        let cost = sim.events() - before;
+        assert!(
+            cost < c.len() as u64 / 2,
+            "event-driven resim touched {cost} of {} gates",
+            c.len()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Logic simulation engines for the `gatediag` diagnosis library.
+//!
+//! Three engines, matching the needs of the paper's simulation-based
+//! diagnosis flows:
+//!
+//! * [`simulate`] / [`simulate_forced`] — scalar two-valued simulation with
+//!   optional forced gate values (the effect-analysis primitive);
+//! * [`simulate_packed`] — 64-way bit-parallel simulation, one topological
+//!   sweep per 64 test vectors (the "efficient parallel simulation" of
+//!   Sec. 1);
+//! * [`simulate_tv`] / [`x_may_rectify`] — three-valued X-injection
+//!   simulation (the conservative rectifiability check of Boppana et al.,
+//!   the paper's reference \[5\]);
+//! * [`DeltaSim`] — event-driven incremental resimulation for backtracking
+//!   effect analysis (Sec. 2.2's advanced approaches).
+//!
+//! # Examples
+//!
+//! ```
+//! use gatediag_netlist::c17;
+//! use gatediag_sim::{simulate, output_values};
+//!
+//! let c = c17();
+//! let values = simulate(&c, &[true, true, false, false, true]);
+//! let outs = output_values(&c, &values);
+//! assert_eq!(outs.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod packed;
+mod packed_tv;
+mod scalar;
+mod tv;
+
+pub use event::DeltaSim;
+pub use packed::{pack_vectors, simulate_packed, simulate_packed_forced, unpack_lane};
+pub use packed_tv::{eval_dual_rail, simulate_tv_packed, DualRail};
+pub use scalar::{output_values, simulate, simulate_forced};
+pub use tv::{eval_tv, simulate_tv, x_may_rectify, Tv};

@@ -1,0 +1,240 @@
+//! Dual-rail packed three-valued simulation: 64 X-injection scenarios per
+//! topological sweep.
+//!
+//! Encoding: per gate two words `(can0, can1)` — bit `p` of `can0` says
+//! the gate can be 0 in scenario `p`, bit `p` of `can1` that it can be 1.
+//! `(1,0)` = stable 0, `(0,1)` = stable 1, `(1,1)` = X. This evaluates the
+//! same conservative three-valued semantics as [`simulate_tv`] but for 64
+//! candidate sets at once — the bulk X-rectifiability screen used by the
+//! backtracking simulation-based diagnosis when scoring many candidate
+//! sets.
+//!
+//! [`simulate_tv`]: crate::simulate_tv
+
+use crate::tv::Tv;
+use gatediag_netlist::{Circuit, GateId, GateKind};
+
+/// Dual-rail word pair: `can0`/`can1` possibility masks for 64 scenarios.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct DualRail {
+    /// Bit `p`: the signal can evaluate to 0 in scenario `p`.
+    pub can0: u64,
+    /// Bit `p`: the signal can evaluate to 1 in scenario `p`.
+    pub can1: u64,
+}
+
+impl DualRail {
+    /// A stable Boolean value in all scenarios.
+    pub fn splat(value: bool) -> DualRail {
+        if value {
+            DualRail { can0: 0, can1: !0 }
+        } else {
+            DualRail { can0: !0, can1: 0 }
+        }
+    }
+
+    /// X in all scenarios.
+    pub fn all_x() -> DualRail {
+        DualRail { can0: !0, can1: !0 }
+    }
+
+    /// The three-valued value in scenario `lane`.
+    pub fn lane(self, lane: usize) -> Tv {
+        match (self.can0 >> lane & 1, self.can1 >> lane & 1) {
+            (1, 0) => Tv::Zero,
+            (0, 1) => Tv::One,
+            _ => Tv::X,
+        }
+    }
+}
+
+fn and2(a: DualRail, b: DualRail) -> DualRail {
+    DualRail {
+        can0: a.can0 | b.can0,
+        can1: a.can1 & b.can1,
+    }
+}
+
+fn or2(a: DualRail, b: DualRail) -> DualRail {
+    DualRail {
+        can0: a.can0 & b.can0,
+        can1: a.can1 | b.can1,
+    }
+}
+
+fn xor2(a: DualRail, b: DualRail) -> DualRail {
+    // X if either side is X, else boolean xor.
+    let ax = a.can0 & a.can1;
+    let bx = b.can0 & b.can1;
+    let x = ax | bx;
+    let v = (a.can1 & !ax) ^ (b.can1 & !bx);
+    DualRail {
+        can0: x | !v,
+        can1: x | v,
+    }
+}
+
+fn not1(a: DualRail) -> DualRail {
+    DualRail {
+        can0: a.can1,
+        can1: a.can0,
+    }
+}
+
+/// Evaluates a gate over dual-rail fan-ins.
+///
+/// # Panics
+///
+/// Panics when called on `Input`.
+pub fn eval_dual_rail<I>(kind: GateKind, inputs: I) -> DualRail
+where
+    I: IntoIterator<Item = DualRail>,
+{
+    let mut it = inputs.into_iter();
+    match kind {
+        GateKind::Input => panic!("cannot evaluate a primary input"),
+        GateKind::Const0 => DualRail::splat(false),
+        GateKind::Const1 => DualRail::splat(true),
+        GateKind::And => it.fold(DualRail::splat(true), and2),
+        GateKind::Nand => not1(it.fold(DualRail::splat(true), and2)),
+        GateKind::Or => it.fold(DualRail::splat(false), or2),
+        GateKind::Nor => not1(it.fold(DualRail::splat(false), or2)),
+        GateKind::Xor => it.fold(DualRail::splat(false), xor2),
+        GateKind::Xnor => not1(it.fold(DualRail::splat(false), xor2)),
+        GateKind::Not => not1(it.next().expect("NOT requires one fan-in")),
+        GateKind::Buf => it.next().expect("BUF requires one fan-in"),
+    }
+}
+
+/// Packed three-valued simulation: one Boolean input vector, 64 X-injection
+/// scenarios. `inject_x[i].1` is the scenario mask of gate
+/// `inject_x[i].0` — bit `p` set means "inject X at this gate in scenario
+/// `p`".
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != circuit.inputs().len()`.
+pub fn simulate_tv_packed(
+    circuit: &Circuit,
+    inputs: &[bool],
+    inject_x: &[(GateId, u64)],
+) -> Vec<DualRail> {
+    assert_eq!(
+        inputs.len(),
+        circuit.inputs().len(),
+        "input vector width mismatch"
+    );
+    let mut values = vec![DualRail::default(); circuit.len()];
+    for (&id, &v) in circuit.inputs().iter().zip(inputs) {
+        values[id.index()] = DualRail::splat(v);
+    }
+    let mut inject = vec![0u64; circuit.len()];
+    for &(id, mask) in inject_x {
+        inject[id.index()] |= mask;
+    }
+    for &id in circuit.topo_order() {
+        let gate = circuit.gate(id);
+        let mut value = if gate.kind() == GateKind::Input {
+            values[id.index()]
+        } else {
+            eval_dual_rail(
+                gate.kind(),
+                gate.fanins().iter().map(|f| values[f.index()]),
+            )
+        };
+        let mask = inject[id.index()];
+        if mask != 0 {
+            value.can0 |= mask;
+            value.can1 |= mask;
+        }
+        values[id.index()] = value;
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tv::simulate_tv;
+    use gatediag_netlist::{c17, RandomCircuitSpec, VectorGen};
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn dual_rail_lane_decoding() {
+        assert_eq!(DualRail::splat(false).lane(13), Tv::Zero);
+        assert_eq!(DualRail::splat(true).lane(0), Tv::One);
+        assert_eq!(DualRail::all_x().lane(63), Tv::X);
+    }
+
+    #[test]
+    fn packed_matches_scalar_tv_per_lane() {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        for seed in 0..4 {
+            let c = RandomCircuitSpec::new(6, 2, 50).seed(seed).generate();
+            let mut gen = VectorGen::new(&c, seed);
+            let vector = gen.next_vector();
+            let functional: Vec<_> = c
+                .iter()
+                .filter(|(_, g)| !g.kind().is_source())
+                .map(|(id, _)| id)
+                .collect();
+            // Random per-lane injection sets (up to 3 gates per lane).
+            let mut lane_sets: Vec<Vec<gatediag_netlist::GateId>> = Vec::new();
+            let mut inject: Vec<(gatediag_netlist::GateId, u64)> = Vec::new();
+            for lane in 0..16usize {
+                let count = rng.gen_range(0..=3);
+                let mut set = Vec::new();
+                for _ in 0..count {
+                    let g = functional[rng.gen_range(0..functional.len())];
+                    if !set.contains(&g) {
+                        set.push(g);
+                        inject.push((g, 1 << lane));
+                    }
+                }
+                lane_sets.push(set);
+            }
+            let packed = simulate_tv_packed(&c, &vector, &inject);
+            for (lane, set) in lane_sets.iter().enumerate() {
+                let tv_inputs: Vec<Tv> = vector.iter().map(|&b| Tv::from_bool(b)).collect();
+                let scalar = simulate_tv(&c, &tv_inputs, set);
+                for (id, _) in c.iter() {
+                    assert_eq!(
+                        packed[id.index()].lane(lane),
+                        scalar[id.index()],
+                        "seed {seed} lane {lane} gate {id}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_injection_matches_boolean() {
+        let c = c17();
+        let vector = vec![true, false, true, false, true];
+        let packed = simulate_tv_packed(&c, &vector, &[]);
+        let scalar = crate::scalar::simulate(&c, &vector);
+        for (id, _) in c.iter() {
+            assert_eq!(packed[id.index()].lane(7), Tv::from_bool(scalar[id.index()]));
+        }
+    }
+
+    #[test]
+    fn xor_with_x_is_x() {
+        let a = DualRail::all_x();
+        let b = DualRail::splat(true);
+        let r = xor2(a, b);
+        assert_eq!(r.lane(0), Tv::X);
+        let r2 = xor2(DualRail::splat(true), DualRail::splat(true));
+        assert_eq!(r2.lane(5), Tv::Zero);
+    }
+
+    #[test]
+    fn controlling_value_masks_x_in_dual_rail() {
+        let x = DualRail::all_x();
+        let zero = DualRail::splat(false);
+        assert_eq!(and2(x, zero).lane(3), Tv::Zero);
+        let one = DualRail::splat(true);
+        assert_eq!(or2(x, one).lane(3), Tv::One);
+    }
+}

@@ -1,0 +1,141 @@
+//! Single-pattern two-valued simulation, with optional forced gate values.
+
+use gatediag_netlist::{Circuit, GateId, GateKind};
+
+/// Simulates one input vector; returns the value of every gate.
+///
+/// `inputs` must match `circuit.inputs()` in length and order.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != circuit.inputs().len()`.
+///
+/// # Examples
+///
+/// ```
+/// let c = gatediag_netlist::c17();
+/// let values = gatediag_sim::simulate(&c, &[true, true, false, true, false]);
+/// assert_eq!(values.len(), c.len());
+/// ```
+pub fn simulate(circuit: &Circuit, inputs: &[bool]) -> Vec<bool> {
+    simulate_forced(circuit, inputs, &[])
+}
+
+/// Simulates one input vector while *forcing* the listed gates to fixed
+/// values, ignoring their logic.
+///
+/// This is the effect-analysis primitive: an arbitrary replacement function
+/// at gate `g` can produce either value on any single test, so checking
+/// whether a candidate set `C` can rectify a test reduces to trying forced
+/// value combinations over `C` (see `gatediag-core`'s validity oracle).
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != circuit.inputs().len()`.
+pub fn simulate_forced(circuit: &Circuit, inputs: &[bool], forced: &[(GateId, bool)]) -> Vec<bool> {
+    assert_eq!(
+        inputs.len(),
+        circuit.inputs().len(),
+        "input vector width mismatch"
+    );
+    let mut values = vec![false; circuit.len()];
+    for (&id, &v) in circuit.inputs().iter().zip(inputs) {
+        values[id.index()] = v;
+    }
+    let mut force: Vec<Option<bool>> = vec![None; circuit.len()];
+    for &(id, v) in forced {
+        force[id.index()] = Some(v);
+    }
+    for &id in circuit.topo_order() {
+        if let Some(v) = force[id.index()] {
+            values[id.index()] = v;
+            continue;
+        }
+        let gate = circuit.gate(id);
+        if gate.kind() == GateKind::Input {
+            continue;
+        }
+        values[id.index()] = gate
+            .kind()
+            .eval_bool(gate.fanins().iter().map(|f| values[f.index()]));
+    }
+    values
+}
+
+/// Extracts the primary output values from a full value assignment.
+pub fn output_values(circuit: &Circuit, values: &[bool]) -> Vec<bool> {
+    circuit.outputs().iter().map(|o| values[o.index()]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_netlist::{c17, ripple_carry_adder, CircuitBuilder};
+
+    #[test]
+    fn c17_truth() {
+        let c = c17();
+        // All-zero inputs: NAND trees produce known values.
+        let v = simulate(&c, &[false; 5]);
+        let g10 = c.find("G10").unwrap();
+        let g22 = c.find("G22").unwrap();
+        assert!(v[g10.index()]); // NAND(0,0) = 1
+        // g16 = NAND(0, g11=1) = 1; g22 = NAND(1,1) = 0
+        assert!(!v[g22.index()]);
+    }
+
+    #[test]
+    fn adder_adds() {
+        let c = ripple_carry_adder(4);
+        for (a, b, cin) in [(3u32, 5u32, 0u32), (15, 1, 0), (7, 8, 1), (15, 15, 1)] {
+            let mut inputs = Vec::new();
+            for i in 0..4 {
+                inputs.push(a >> i & 1 == 1);
+            }
+            for i in 0..4 {
+                inputs.push(b >> i & 1 == 1);
+            }
+            inputs.push(cin == 1);
+            let v = simulate(&c, &inputs);
+            let outs = output_values(&c, &v);
+            let mut sum = 0u32;
+            for (i, &bit) in outs.iter().take(4).enumerate() {
+                sum |= (bit as u32) << i;
+            }
+            let cout = outs[4] as u32;
+            assert_eq!(sum | cout << 4, a + b + cin, "{a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn forced_value_overrides_logic() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let g = b.gate(gatediag_netlist::GateKind::Not, vec![a], "g");
+        let y = b.gate(gatediag_netlist::GateKind::Buf, vec![g], "y");
+        b.output(y);
+        let c = b.finish().unwrap();
+        let v = simulate(&c, &[true]);
+        assert!(!v[y.index()]);
+        let v = simulate_forced(&c, &[true], &[(g, true)]);
+        assert!(v[y.index()], "forcing g=1 must propagate to y");
+    }
+
+    #[test]
+    fn forcing_an_input_works() {
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let y = b.gate(gatediag_netlist::GateKind::Buf, vec![a], "y");
+        b.output(y);
+        let c = b.finish().unwrap();
+        let v = simulate_forced(&c, &[false], &[(a, true)]);
+        assert!(v[y.index()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let c = c17();
+        let _ = simulate(&c, &[true, false]);
+    }
+}

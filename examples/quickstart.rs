@@ -1,0 +1,62 @@
+//! Quickstart: inject an error into c17, generate failing tests, and run
+//! all three diagnosis engines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use gatediag::netlist::{c17, inject_errors};
+use gatediag::{
+    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, is_valid_correction_sim,
+    sc_diagnose, BsatOptions, BsimOptions, CovOptions,
+};
+
+fn main() {
+    // A golden design and a faulty implementation of it.
+    let golden = c17();
+    let (faulty, sites) = inject_errors(&golden, 1, 2026);
+    let site = sites[0];
+    println!(
+        "injected error: gate {} ({}) changed {} -> {}",
+        site.gate,
+        faulty.gate_name(site.gate).unwrap_or("?"),
+        site.original,
+        site.replacement
+    );
+
+    // Failing tests come from simulating both circuits on random vectors.
+    let tests = generate_failing_tests(&golden, &faulty, 8, 2026, 4096);
+    println!("generated {} failing tests", tests.len());
+
+    // BSIM: fast path tracing; candidates ranked by mark count.
+    let bsim = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+    let gmax = bsim.gmax();
+    println!(
+        "BSIM: |union of candidate sets| = {}, G_max = {:?}",
+        bsim.union.len(),
+        gmax.iter()
+            .map(|g| faulty.gate_name(*g).unwrap_or("?"))
+            .collect::<Vec<_>>()
+    );
+
+    // COV: all irredundant covers of the candidate sets.
+    let cov = sc_diagnose(&faulty, &tests, 1, CovOptions::default());
+    println!("COV : {} cover solutions (k = 1)", cov.solutions.len());
+
+    // BSAT: all valid corrections — the exact engine.
+    let bsat = basic_sat_diagnose(&faulty, &tests, 1, BsatOptions::default());
+    println!("BSAT: {} valid corrections (k = 1):", bsat.solutions.len());
+    for sol in &bsat.solutions {
+        let names: Vec<&str> = sol
+            .iter()
+            .map(|g| faulty.gate_name(*g).unwrap_or("?"))
+            .collect();
+        let marker = if sol.contains(&site.gate) {
+            "  <-- the injected error site"
+        } else {
+            ""
+        };
+        debug_assert!(is_valid_correction_sim(&faulty, &tests, sol));
+        println!("      {names:?}{marker}");
+    }
+}

@@ -1,0 +1,53 @@
+//! `gatediag` — gate-level design-error diagnosis.
+//!
+//! A Rust reproduction of *"On the Relation Between Simulation-based and
+//! SAT-based Diagnosis"* (G. Fey, S. Safarpour, A. Veneris, R. Drechsler —
+//! DATE 2006), built as a complete stack:
+//!
+//! * [`netlist`] — circuits, ISCAS89 `.bench` I/O, structural analysis,
+//!   generators, gate-change error injection;
+//! * [`sim`] — bit-parallel, three-valued and event-driven simulation;
+//! * [`sat`] — an incremental CDCL SAT solver with assumptions and model
+//!   enumeration;
+//! * [`cnf`] — Tseitin encoding, correction multiplexers, cardinality
+//!   constraints;
+//! * [`core`] — the diagnosis engines: BSIM (path tracing), COV (set
+//!   covering), BSAT (SAT-based), advanced variants and hybrids, validity
+//!   oracles and quality metrics.
+//!
+//! The most common entry points are re-exported at the crate root.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use gatediag::{basic_sat_diagnose, generate_failing_tests, BsatOptions};
+//! use gatediag::netlist::{c17, inject_errors};
+//!
+//! // 1. A golden design and a faulty implementation.
+//! let golden = c17();
+//! let (faulty, sites) = inject_errors(&golden, 1, 7);
+//!
+//! // 2. Failing tests from simulation.
+//! let tests = generate_failing_tests(&golden, &faulty, 8, 7, 4096);
+//!
+//! // 3. Diagnose: all valid single-gate corrections.
+//! let result = basic_sat_diagnose(&faulty, &tests, 1, BsatOptions::default());
+//! assert!(result.solutions.contains(&vec![sites[0].gate]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use gatediag_cnf as cnf;
+pub use gatediag_core as core;
+pub use gatediag_netlist as netlist;
+pub use gatediag_sat as sat;
+pub use gatediag_sim as sim;
+
+pub use gatediag_core::{
+    basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality, cover_all,
+    generate_failing_tests, hybrid_seeded_bsat, is_valid_correction_sat,
+    is_valid_correction_sim, partitioned_sat_diagnose, path_trace, repair_correction,
+    sc_diagnose, sim_backtrack_diagnose, solution_quality, two_pass_sat_diagnose, BsatOptions,
+    BsatResult, BsimOptions, BsimResult, CovEngine, CovOptions, CovResult, MarkPolicy,
+    MuxEncoding, SimBacktrackOptions, SiteSelection, Test, TestSet,
+};

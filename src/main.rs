@@ -1,0 +1,311 @@
+//! `gatediag` command-line tool: inject, diagnose and visualise.
+//!
+//! ```text
+//! gatediag diagnose --bench circuit.bench --inject 2 --engine bsat --tests 16
+//! gatediag diagnose --demo --engine cov --k 2 --dot out.dot
+//! gatediag equiv --bench a.bench --against b.bench
+//! ```
+
+use gatediag::netlist::{
+    c17, inject_errors, parse_bench_named, to_dot, Circuit, GateId,
+};
+use gatediag::{
+    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, hybrid_seeded_bsat,
+    sc_diagnose, solution_quality, BsatOptions, BsimOptions, CovOptions,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gatediag — gate-level design-error diagnosis
+
+USAGE:
+  gatediag diagnose [--bench FILE | --demo] [OPTIONS]
+  gatediag equiv --bench FILE --against FILE
+
+DIAGNOSE OPTIONS:
+  --bench FILE      ISCAS89 .bench netlist to use as the golden design
+  --demo            use the built-in c17 benchmark instead
+  --inject P        number of gate-change errors to inject (default 1)
+  --seed N          RNG seed for injection/tests (default 1)
+  --engine E        bsim | cov | bsat | hybrid (default bsat)
+  --k K             correction size bound (default = number of errors)
+  --tests M         failing tests to collect (default 8)
+  --max-solutions N enumeration cap (default 10000)
+  --dot FILE        write a Graphviz dump with candidates highlighted
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diagnose") => diagnose(&args[1..]),
+        Some("equiv") => equiv(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    bench: Option<String>,
+    against: Option<String>,
+    demo: bool,
+    inject: usize,
+    seed: u64,
+    engine: String,
+    k: Option<usize>,
+    tests: usize,
+    max_solutions: usize,
+    dot: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        bench: None,
+        against: None,
+        demo: false,
+        inject: 1,
+        seed: 1,
+        engine: "bsat".into(),
+        k: None,
+        tests: 8,
+        max_solutions: 10_000,
+        dot: None,
+    };
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--bench" => o.bench = Some(value(args, &mut i, "--bench")?),
+            "--against" => o.against = Some(value(args, &mut i, "--against")?),
+            "--demo" => o.demo = true,
+            "--inject" => {
+                o.inject = value(args, &mut i, "--inject")?
+                    .parse()
+                    .map_err(|_| "--inject expects an integer".to_string())?
+            }
+            "--seed" => {
+                o.seed = value(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--engine" => o.engine = value(args, &mut i, "--engine")?,
+            "--k" => {
+                o.k = Some(
+                    value(args, &mut i, "--k")?
+                        .parse()
+                        .map_err(|_| "--k expects an integer".to_string())?,
+                )
+            }
+            "--tests" => {
+                o.tests = value(args, &mut i, "--tests")?
+                    .parse()
+                    .map_err(|_| "--tests expects an integer".to_string())?
+            }
+            "--max-solutions" => {
+                o.max_solutions = value(args, &mut i, "--max-solutions")?
+                    .parse()
+                    .map_err(|_| "--max-solutions expects an integer".to_string())?
+            }
+            "--dot" => o.dot = Some(value(args, &mut i, "--dot")?),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_bench_named(&text, path).map_err(|e| format!("parse error in {path}: {e}"))
+}
+
+fn name_of(circuit: &Circuit, g: GateId) -> String {
+    circuit
+        .gate_name(g)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{g}"))
+}
+
+fn diagnose(args: &[String]) -> ExitCode {
+    let o = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let golden = if o.demo || o.bench.is_none() {
+        c17()
+    } else {
+        match load_circuit(o.bench.as_deref().expect("checked above")) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    println!(
+        "golden: {} gates, {} inputs, {} outputs",
+        golden.num_functional_gates(),
+        golden.inputs().len(),
+        golden.outputs().len()
+    );
+    let (faulty, sites) = inject_errors(&golden, o.inject, o.seed);
+    for s in &sites {
+        println!(
+            "injected: {} changed {} -> {}",
+            name_of(&faulty, s.gate),
+            s.original,
+            s.replacement
+        );
+    }
+    let tests = generate_failing_tests(&golden, &faulty, o.tests, o.seed, 1 << 17);
+    if tests.is_empty() {
+        eprintln!("the injected errors are not observable with random tests");
+        return ExitCode::FAILURE;
+    }
+    println!("collected {} failing tests", tests.len());
+    let k = o.k.unwrap_or(o.inject);
+    let errors: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+
+    let candidates: Vec<GateId> = match o.engine.as_str() {
+        "bsim" => {
+            let result = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+            let gmax = result.gmax();
+            println!(
+                "BSIM marked {} gates; G_max ({} gates): {:?}",
+                result.union.len(),
+                gmax.len(),
+                gmax.iter().map(|&g| name_of(&faulty, g)).collect::<Vec<_>>()
+            );
+            result.union.iter().collect()
+        }
+        "cov" => {
+            let result = sc_diagnose(
+                &faulty,
+                &tests,
+                k,
+                CovOptions {
+                    max_solutions: o.max_solutions,
+                    ..CovOptions::default()
+                },
+            );
+            print_solutions(&faulty, &result.solutions, result.complete, &errors);
+            result.solutions.iter().flatten().copied().collect()
+        }
+        "bsat" | "hybrid" => {
+            let options = BsatOptions {
+                max_solutions: o.max_solutions,
+                ..BsatOptions::default()
+            };
+            let result = if o.engine == "hybrid" {
+                hybrid_seeded_bsat(&faulty, &tests, k, options)
+            } else {
+                basic_sat_diagnose(&faulty, &tests, k, options)
+            };
+            print_solutions(&faulty, &result.solutions, result.complete, &errors);
+            println!(
+                "solver: {} conflicts, {} decisions, {} propagations",
+                result.stats.conflicts, result.stats.decisions, result.stats.propagations
+            );
+            result.solutions.iter().flatten().copied().collect()
+        }
+        other => {
+            eprintln!("unknown engine `{other}` (bsim|cov|bsat|hybrid)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = &o.dot {
+        let dot = to_dot(&faulty, &candidates);
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_solutions(
+    circuit: &Circuit,
+    solutions: &[Vec<GateId>],
+    complete: bool,
+    errors: &[GateId],
+) {
+    println!(
+        "{} solutions{}:",
+        solutions.len(),
+        if complete { "" } else { " (truncated)" }
+    );
+    for sol in solutions.iter().take(20) {
+        let names: Vec<String> = sol.iter().map(|&g| name_of(circuit, g)).collect();
+        let hit = sol.iter().any(|g| errors.contains(g));
+        println!(
+            "  {:?}{}",
+            names,
+            if hit { "  <-- contains a real error site" } else { "" }
+        );
+    }
+    if solutions.len() > 20 {
+        println!("  ... and {} more", solutions.len() - 20);
+    }
+    if !solutions.is_empty() {
+        let q = solution_quality(circuit, solutions, errors);
+        println!(
+            "quality: min/avg/max distance to nearest real error = {:.2}/{:.2}/{:.2}",
+            q.min, q.avg, q.max
+        );
+    }
+}
+
+fn equiv(args: &[String]) -> ExitCode {
+    let o = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (Some(a_path), Some(b_path)) = (&o.bench, &o.against) else {
+        eprintln!("equiv requires --bench and --against\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let (a, b) = match (load_circuit(a_path), load_circuit(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match gatediag::cnf::check_equivalence(&a, &b) {
+        None => {
+            println!("EQUIVALENT");
+            ExitCode::SUCCESS
+        }
+        Some((vector, diffs)) => {
+            println!("NOT EQUIVALENT");
+            println!("distinguishing vector: {vector:?}");
+            for (gate, golden_value) in diffs {
+                println!(
+                    "  output {} should be {} (per {})",
+                    name_of(&a, gate),
+                    golden_value,
+                    a_path
+                );
+            }
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Executable versions of the paper's theory (Sec. 3): Lemmas 1-4 and
+//! Theorems 1-2, checked on the Fig. 5 witnesses and on randomized
+//! circuits with brute-force ground truth.
+
+use gatediag::core::paper_examples::{lemma2_witness, lemma4_witness};
+use gatediag::netlist::{inject_errors, GateId, RandomCircuitSpec};
+use gatediag::{
+    basic_sat_diagnose, brute_force_diagnose, generate_failing_tests, is_valid_correction_sat,
+    is_valid_correction_sim, sc_diagnose, BsatOptions, CovOptions, TestSet,
+};
+
+fn random_case(seed: u64, p: usize, m: usize) -> Option<(gatediag::netlist::Circuit, Vec<GateId>, TestSet)> {
+    let golden = RandomCircuitSpec::new(6, 3, 35).seed(seed).generate();
+    let (faulty, sites) = inject_errors(&golden, p, seed);
+    let tests = generate_failing_tests(&golden, &faulty, m, seed, 8192);
+    if tests.is_empty() {
+        None
+    } else {
+        Some((faulty, sites.iter().map(|s| s.gate).collect(), tests))
+    }
+}
+
+/// Lemma 1: every solution of the BSAT instance is a valid correction.
+#[test]
+fn lemma1_bsat_solutions_are_valid() {
+    let mut checked = 0;
+    for seed in 0..8 {
+        let Some((faulty, _, tests)) = random_case(seed, 2, 8) else {
+            continue;
+        };
+        let result = basic_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
+        assert!(result.complete);
+        for sol in &result.solutions {
+            assert!(
+                is_valid_correction_sim(&faulty, &tests, sol),
+                "seed {seed}: invalid BSAT solution {sol:?}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no solutions were exercised");
+}
+
+/// Lemma 2 / Theorem 1: on the Fig. 5(a) witness, COV produces a solution
+/// that is not a valid correction, hence not produced by BSAT.
+#[test]
+fn lemma2_and_theorem1_on_witness() {
+    let w = lemma2_witness();
+    let cov = sc_diagnose(&w.circuit, &w.tests, 2, CovOptions::default());
+    let bsat = basic_sat_diagnose(&w.circuit, &w.tests, 2, BsatOptions::default());
+    let invalid_covers: Vec<_> = cov
+        .solutions
+        .iter()
+        .filter(|sol| !is_valid_correction_sim(&w.circuit, &w.tests, sol))
+        .collect();
+    assert!(
+        !invalid_covers.is_empty(),
+        "Lemma 2 witness lost: all covers valid"
+    );
+    for sol in &invalid_covers {
+        assert!(
+            !bsat.solutions.contains(sol),
+            "invalid correction {sol:?} appeared in BSAT output"
+        );
+    }
+}
+
+/// Lemma 3: BSAT returns exactly all irredundant valid corrections up to
+/// size k — equal to the brute-force ground truth.
+#[test]
+fn lemma3_bsat_equals_brute_force() {
+    for seed in 0..6 {
+        let Some((faulty, _, tests)) = random_case(seed, 1, 6) else {
+            continue;
+        };
+        for k in 1..=2 {
+            let bsat = basic_sat_diagnose(&faulty, &tests, k, BsatOptions::default());
+            let brute = brute_force_diagnose(&faulty, &tests, k);
+            assert_eq!(
+                bsat.solutions, brute,
+                "seed {seed} k {k}: BSAT and brute force disagree"
+            );
+        }
+    }
+}
+
+/// Lemma 4 / Theorem 2: on the Fig. 5(b) witness, a valid correction
+/// exists that COV cannot produce but BSAT does.
+#[test]
+fn lemma4_and_theorem2_on_witness() {
+    let w = lemma4_witness();
+    let a = w.circuit.find("A").unwrap();
+    let b = w.circuit.find("B").unwrap();
+    let target = vec![a, b];
+    assert!(is_valid_correction_sat(&w.circuit, &w.tests, &target));
+    let bsat = basic_sat_diagnose(&w.circuit, &w.tests, 2, BsatOptions::default());
+    let cov = sc_diagnose(&w.circuit, &w.tests, 2, CovOptions::default());
+    assert!(bsat.solutions.contains(&target));
+    assert!(!cov.solutions.contains(&target));
+}
+
+/// Randomized Theorem 1 direction: every *valid* COV solution appears in
+/// BSAT's output (since BSAT is complete over irredundant valid
+/// corrections and COV covers are irredundant hitting sets).
+#[test]
+fn valid_irredundant_covers_are_found_by_bsat() {
+    for seed in 0..6 {
+        let Some((faulty, _, tests)) = random_case(seed, 1, 6) else {
+            continue;
+        };
+        let cov = sc_diagnose(&faulty, &tests, 2, CovOptions::default());
+        let bsat = basic_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
+        for sol in &cov.solutions {
+            if is_valid_correction_sim(&faulty, &tests, sol) {
+                // A valid cover may still be redundant as a correction
+                // (a strict subset may already be valid); only irredundant
+                // ones must appear in BSAT's output.
+                let irredundant = sol.iter().all(|g| {
+                    let without: Vec<GateId> =
+                        sol.iter().copied().filter(|h| h != g).collect();
+                    !is_valid_correction_sim(&faulty, &tests, &without)
+                });
+                if irredundant {
+                    assert!(
+                        bsat.solutions.contains(sol),
+                        "seed {seed}: valid irredundant cover {sol:?} missing from BSAT"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The two validity oracles agree on every solution either engine emits.
+#[test]
+fn oracles_agree_on_engine_outputs() {
+    for seed in 0..5 {
+        let Some((faulty, _, tests)) = random_case(seed, 2, 6) else {
+            continue;
+        };
+        let cov = sc_diagnose(&faulty, &tests, 2, CovOptions::default());
+        let bsat = basic_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
+        for sol in cov.solutions.iter().chain(&bsat.solutions) {
+            assert_eq!(
+                is_valid_correction_sim(&faulty, &tests, sol),
+                is_valid_correction_sat(&faulty, &tests, sol),
+                "oracle disagreement on {sol:?}"
+            );
+        }
+    }
+}
+
+/// Stuck-at faults (the production-test model) are diagnosed exactly like
+/// design errors: the tied gate is a valid correction and BSAT finds it.
+#[test]
+fn stuck_at_faults_are_diagnosable() {
+    use gatediag::netlist::inject_stuck_at;
+    let mut exercised = 0;
+    for seed in 0..6u64 {
+        let golden = RandomCircuitSpec::new(6, 3, 35).seed(seed).generate();
+        let target = golden
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .nth(seed as usize % 5)
+            .expect("circuit has functional gates");
+        for value in [false, true] {
+            let faulty = inject_stuck_at(&golden, target, value);
+            let tests = generate_failing_tests(&golden, &faulty, 6, seed, 8192);
+            if tests.is_empty() {
+                continue; // fault is redundant under random tests
+            }
+            let result = basic_sat_diagnose(&faulty, &tests, 1, BsatOptions::default());
+            assert!(
+                result.solutions.contains(&vec![target]),
+                "seed {seed} sa{} at {target}: missing from {:?}",
+                value as u8,
+                result.solutions
+            );
+            exercised += 1;
+        }
+    }
+    assert!(exercised > 0, "no stuck-at case was observable");
+}
+
+/// SAT-generated distinguishing vectors (miter-based ATPG) feed the
+/// diagnosis engines exactly like random tests.
+#[test]
+fn miter_generated_tests_drive_diagnosis() {
+    use gatediag::cnf::distinguishing_vectors;
+    use gatediag::Test;
+    for seed in 0..4u64 {
+        let golden = RandomCircuitSpec::new(6, 3, 35).seed(seed + 50).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, seed);
+        let vectors = distinguishing_vectors(&golden, &faulty, 6);
+        if vectors.is_empty() {
+            continue; // functionally redundant error
+        }
+        let tests: TestSet = vectors
+            .into_iter()
+            .flat_map(|(vector, diffs)| {
+                diffs.into_iter().map(move |(output, expected)| Test {
+                    vector: vector.clone(),
+                    output,
+                    expected,
+                })
+            })
+            .collect();
+        let result = basic_sat_diagnose(&faulty, &tests, 1, BsatOptions::default());
+        assert!(
+            result.solutions.contains(&vec![sites[0].gate]),
+            "seed {seed}: miter tests missed the real site"
+        );
+        for sol in &result.solutions {
+            assert!(is_valid_correction_sim(&faulty, &tests, sol));
+        }
+    }
+}
+
+/// The injected error sites always form a valid correction, and with
+/// k = p BSAT always returns at least one solution.
+#[test]
+fn injected_errors_always_diagnosable() {
+    for seed in 0..8 {
+        for p in 1..=3usize {
+            let Some((faulty, errors, tests)) = random_case(seed * 31 + p as u64, p, 8) else {
+                continue;
+            };
+            assert!(
+                is_valid_correction_sim(&faulty, &tests, &errors),
+                "seed {seed} p {p}: real sites invalid?!"
+            );
+            let result = basic_sat_diagnose(&faulty, &tests, p, BsatOptions::default());
+            assert!(
+                !result.solutions.is_empty(),
+                "seed {seed} p {p}: no corrections found though {errors:?} is valid"
+            );
+        }
+    }
+}

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gatediag_netlist::{s1423_like, RandomCircuitSpec, VectorGen};
-use gatediag_sim::{pack_vectors, simulate, simulate_packed, DeltaSim};
+use gatediag_sim::{
+    pack_vectors, pack_vectors_into, simulate, simulate_packed, DeltaSim, PackedSim,
+};
 
 fn bench_sim(c: &mut Criterion) {
     let circuit = s1423_like(1);
@@ -53,5 +55,66 @@ fn bench_sim(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sim);
+fn bench_packed_engine(c: &mut Criterion) {
+    // Multi-word PackedSim sweeps: 512 patterns per pass, reusing buffers.
+    let circuit = s1423_like(1);
+    let mut gen = VectorGen::new(&circuit, 1);
+    let vectors: Vec<Vec<bool>> = (0..512).map(|_| gen.next_vector()).collect();
+    let mut packed = Vec::new();
+    let words = pack_vectors_into(&circuit, &vectors, &mut packed);
+
+    let mut group = c.benchmark_group("packed_engine");
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("multiword_512_patterns_s1423_like", |b| {
+        let mut sim = PackedSim::new(&circuit);
+        sim.reset(words);
+        sim.set_input_words(&packed);
+        b.iter(|| {
+            sim.sweep();
+            sim.values()[circuit.len() * words - 1]
+        })
+    });
+    group.finish();
+
+    // Incremental packed screening: force one deep gate across 512 lanes
+    // and re-simulate only its cone, versus a full multi-word sweep.
+    let deep_gate = circuit
+        .iter()
+        .max_by_key(|(id, _)| circuit.level(*id))
+        .map(|(id, _)| id)
+        .expect("non-empty circuit");
+    let mut group = c.benchmark_group("packed_screening");
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("full_sweep_512_lanes", |b| {
+        let mut sim = PackedSim::new(&circuit);
+        sim.reset(words);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            sim.force_all_lanes(deep_gate, flip);
+            sim.sweep();
+            sim.events()
+        })
+    });
+    group.bench_function("incremental_cone_512_lanes", |b| {
+        let mut sim = PackedSim::new(&circuit);
+        sim.reset(words);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            sim.force_all_lanes(deep_gate, flip);
+            sim.propagate()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim, bench_packed_engine);
 criterion_main!(benches);

@@ -36,8 +36,7 @@ fn ascii_scatter(points: &[(f64, f64)], title: &str, log: bool) -> String {
         .max(1e-9);
     let mut grid = vec![vec![' '; W]; H];
     // Diagonal y = x across the full plot width.
-    for i in 0..W {
-        let r = i * (H - 1) / (W - 1);
+    for (i, r) in (0..W).map(|i| (i, i * (H - 1) / (W - 1))) {
         grid[H - 1 - r][i] = '.';
     }
     for (&x, &y) in xs.iter().zip(&ys) {
@@ -91,8 +90,14 @@ fn main() {
         .iter()
         .map(|p| (p.cov_sols as f64, p.bsat_sols as f64))
         .collect();
-    println!("\n{}", ascii_scatter(&avg_points, "Fig. 6(a): avg distance", false));
-    println!("{}", ascii_scatter(&sol_points, "Fig. 6(b): #solutions (log10)", true));
+    println!(
+        "\n{}",
+        ascii_scatter(&avg_points, "Fig. 6(a): avg distance", false)
+    );
+    println!(
+        "{}",
+        ascii_scatter(&sol_points, "Fig. 6(b): #solutions (log10)", true)
+    );
 
     let below_avg = points.iter().filter(|p| p.bsat_avg <= p.cov_avg).count();
     let below_sol = points.iter().filter(|p| p.bsat_sols <= p.cov_sols).count();

@@ -21,7 +21,16 @@ fn main() {
     println!("(profile-matched synthetic ISCAS89 stand-ins, seed {seed})\n");
     println!(
         "{:<12} {:>2} {:>3} | {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
-        "circuit", "p", "m", "BSIM", "COV:CNF", "COV:One", "COV:All", "SAT:CNF", "SAT:One", "SAT:All"
+        "circuit",
+        "p",
+        "m",
+        "BSIM",
+        "COV:CNF",
+        "COV:One",
+        "COV:All",
+        "SAT:CNF",
+        "SAT:One",
+        "SAT:All"
     );
     println!("{}", "-".repeat(96));
     let mut csv = String::from(

@@ -56,10 +56,23 @@ fn main() {
             let _ = writeln!(
                 csv,
                 "{},{},{},{},{:.4},{},{},{},{:.4},{},{:.4},{:.4},{:.4},{},{:.4},{:.4},{:.4}",
-                cell.name, cell.p, cell.m,
-                b.union_size, b.avg_all, b.gmax_size, b.gmax_min, b.gmax_max, b.gmax_avg,
-                c.num_solutions, c.min, c.max, c.avg,
-                s.num_solutions, s.min, s.max, s.avg,
+                cell.name,
+                cell.p,
+                cell.m,
+                b.union_size,
+                b.avg_all,
+                b.gmax_size,
+                b.gmax_min,
+                b.gmax_max,
+                b.gmax_avg,
+                c.num_solutions,
+                c.min,
+                c.max,
+                c.avg,
+                s.num_solutions,
+                s.min,
+                s.max,
+                s.avg,
             );
         }
     }

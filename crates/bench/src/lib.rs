@@ -6,10 +6,15 @@
 //! * `table2` — runtimes of BSIM / COV / BSAT (paper Table 2);
 //! * `table3` — diagnosis quality metrics (paper Table 3);
 //! * `fig6` — BSAT-vs-COV scatter data for quality and solution counts
-//!   (paper Fig. 6), CSV plus ASCII preview.
+//!   (paper Fig. 6), CSV plus ASCII preview;
+//! * `bench_pr1` — emits `BENCH_PR1.json`, the perf trajectory baseline
+//!   comparing the packed/incremental hot paths against the seed's
+//!   scalar-per-test behaviour (sim throughput, BSIM wall time,
+//!   validity screening).
 //!
 //! Criterion benchmarks (`cargo bench -p gatediag-bench`): `solver`,
-//! `sim`, `diagnosis`, `scaling` (complexity shapes behind Table 1) and
+//! `sim` (including the `PackedSim` multi-word and incremental groups),
+//! `diagnosis`, `scaling` (complexity shapes behind Table 1) and
 //! `ablation` (the advanced techniques of Secs. 2.2/2.3/6).
 
 #![warn(missing_docs)]

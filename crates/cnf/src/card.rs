@@ -137,21 +137,21 @@ pub fn encode_at_most_seq<S: ClauseSink>(sink: &mut S, lits: &[Lit], k: usize) {
     // registers[i][j]: among lits[0..=i], at least j+1 are true.
     let mut prev: Vec<Var> = (0..k).map(|_| sink.new_var()).collect();
     sink.add_clause(&[!lits[0], prev[0].positive()]);
-    for j in 1..k {
-        sink.add_clause(&[prev[j].negative()]);
+    for reg in prev.iter().skip(1) {
+        sink.add_clause(&[reg.negative()]);
     }
-    for i in 1..n {
+    for &lit_i in lits.iter().skip(1) {
         let regs: Vec<Var> = (0..k).map(|_| sink.new_var()).collect();
         // carry: s_{i,0} ← x_i ∨ s_{i-1,0}
-        sink.add_clause(&[!lits[i], regs[0].positive()]);
+        sink.add_clause(&[!lit_i, regs[0].positive()]);
         sink.add_clause(&[prev[0].negative(), regs[0].positive()]);
         for j in 1..k {
             // s_{i,j} ← (x_i ∧ s_{i-1,j-1}) ∨ s_{i-1,j}
-            sink.add_clause(&[!lits[i], prev[j - 1].negative(), regs[j].positive()]);
+            sink.add_clause(&[!lit_i, prev[j - 1].negative(), regs[j].positive()]);
             sink.add_clause(&[prev[j].negative(), regs[j].positive()]);
         }
         // overflow: x_i ∧ s_{i-1,k-1} forbidden
-        sink.add_clause(&[!lits[i], prev[k - 1].negative()]);
+        sink.add_clause(&[!lit_i, prev[k - 1].negative()]);
         prev = regs;
     }
 }

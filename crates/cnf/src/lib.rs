@@ -41,7 +41,7 @@ mod sink;
 mod tseitin;
 
 pub use card::{encode_at_most_seq, Totalizer};
-pub use miter::{check_equivalence, distinguishing_vectors, Miter};
+pub use miter::{check_equivalence, distinguishing_vectors, Distinguisher, Miter};
 pub use mux::{encode_instrumented_copy, Instrumentation, InstrumentedCopy, MuxEncoding};
 pub use sink::{ClauseSink, CnfCollector};
 pub use tseitin::{encode_circuit, encode_gate, CircuitVars};

@@ -13,6 +13,10 @@ use crate::tseitin::{encode_circuit, CircuitVars};
 use gatediag_netlist::{Circuit, GateId};
 use gatediag_sat::{Lit, SolveResult, Solver, Var};
 
+/// A distinguishing input vector plus the outputs it separates, paired
+/// with the golden circuit's value for each differing output.
+pub type Distinguisher = (Vec<bool>, Vec<(GateId, bool)>);
+
 /// A miter over two same-interface circuits encoded into a solver.
 #[derive(Debug)]
 pub struct Miter {
@@ -145,10 +149,7 @@ impl Miter {
 /// // A gate-change error on c17 is always detectable.
 /// assert!(check_equivalence(&golden, &faulty).is_some());
 /// ```
-pub fn check_equivalence(
-    golden: &Circuit,
-    faulty: &Circuit,
-) -> Option<(Vec<bool>, Vec<(GateId, bool)>)> {
+pub fn check_equivalence(golden: &Circuit, faulty: &Circuit) -> Option<Distinguisher> {
     let mut solver = Solver::new();
     let miter = Miter::build(&mut solver, golden, faulty);
     match solver.solve(&[]) {
@@ -167,7 +168,7 @@ pub fn distinguishing_vectors(
     golden: &Circuit,
     faulty: &Circuit,
     want: usize,
-) -> Vec<(Vec<bool>, Vec<(GateId, bool)>)> {
+) -> Vec<Distinguisher> {
     let mut solver = Solver::new();
     let miter = Miter::build(&mut solver, golden, faulty);
     let mut found = Vec::new();

@@ -166,11 +166,7 @@ pub fn encode_circuit<S: ClauseSink>(sink: &mut S, circuit: &Circuit) -> Circuit
         if gate.kind() == GateKind::Input {
             continue;
         }
-        let fanins: Vec<Lit> = gate
-            .fanins()
-            .iter()
-            .map(|&f| map.lit(f, true))
-            .collect();
+        let fanins: Vec<Lit> = gate.fanins().iter().map(|&f| map.lit(f, true)).collect();
         encode_gate(sink, gate.kind(), map.var(id), &fanins, None);
     }
     map
@@ -246,12 +242,18 @@ mod tests {
     fn encoding_is_linear_size() {
         let small = {
             let mut sink = CnfCollector::new();
-            encode_circuit(&mut sink, &RandomCircuitSpec::new(8, 3, 100).seed(0).generate());
+            encode_circuit(
+                &mut sink,
+                &RandomCircuitSpec::new(8, 3, 100).seed(0).generate(),
+            );
             sink.clauses().len()
         };
         let large = {
             let mut sink = CnfCollector::new();
-            encode_circuit(&mut sink, &RandomCircuitSpec::new(8, 3, 400).seed(0).generate());
+            encode_circuit(
+                &mut sink,
+                &RandomCircuitSpec::new(8, 3, 400).seed(0).generate(),
+            );
             sink.clauses().len()
         };
         assert!(

@@ -586,10 +586,7 @@ mod tests {
                 .expect("infeasible at k=1 must yield a core");
             assert!(core.len() >= 2, "a single test is always rectifiable");
             // The core tests alone are already infeasible at k = 1.
-            let core_tests: TestSet = core
-                .iter()
-                .map(|&i| tests.tests()[i].clone())
-                .collect();
+            let core_tests: TestSet = core.iter().map(|&i| tests.tests()[i].clone()).collect();
             let sub = basic_sat_diagnose(&faulty, &core_tests, 1, BsatOptions::default());
             assert!(
                 sub.solutions.is_empty(),

@@ -8,7 +8,7 @@
 
 use crate::test_set::TestSet;
 use gatediag_netlist::{Circuit, GateId, GateKind, GateSet};
-use gatediag_sim::simulate;
+use gatediag_sim::{pack_vectors_into, PackedSim};
 
 /// How path tracing treats multiple controlling inputs.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -82,34 +82,85 @@ pub fn path_trace(
     options: BsimOptions,
 ) -> GateSet {
     assert_eq!(values.len(), circuit.len(), "value array size mismatch");
+    path_trace_values(circuit, |g| values[g.index()], output, options)
+}
+
+/// Path tracing directly over packed simulation words: reads lane `lane`
+/// of gate-major `words` (`words_per_gate` words per gate) without
+/// unpacking a full `Vec<bool>` per test.
+///
+/// `words` is the layout produced by
+/// [`PackedSim::values`](gatediag_sim::PackedSim::values).
+///
+/// # Panics
+///
+/// Panics if `words.len() != circuit.len() * words_per_gate` or the lane
+/// is out of range.
+pub fn path_trace_packed(
+    circuit: &Circuit,
+    words: &[u64],
+    words_per_gate: usize,
+    lane: usize,
+    output: GateId,
+    options: BsimOptions,
+) -> GateSet {
+    assert_eq!(
+        words.len(),
+        circuit.len() * words_per_gate,
+        "packed value array size mismatch"
+    );
+    assert!(lane < words_per_gate * 64, "lane out of range");
+    let (word, bit) = (lane / 64, lane % 64);
+    path_trace_values(
+        circuit,
+        |g| words[g.index() * words_per_gate + word] >> bit & 1 == 1,
+        output,
+        options,
+    )
+}
+
+/// Shared tracing kernel over an arbitrary value accessor, so the scalar
+/// and packed entry points cannot drift apart. Walks the circuit's CSR
+/// arrays directly — this loop runs once per (test, output) and is the
+/// remaining per-test cost after simulation is amortised over packed
+/// sweeps.
+fn path_trace_values(
+    circuit: &Circuit,
+    value_of: impl Fn(GateId) -> bool,
+    output: GateId,
+    options: BsimOptions,
+) -> GateSet {
+    let kinds = circuit.kinds();
+    let (heads, edges) = circuit.fanin_csr();
     let mut visited = GateSet::new(circuit.len());
     let mut candidates = GateSet::new(circuit.len());
-    let mut worklist = vec![output];
+    let mut worklist = Vec::with_capacity(64);
+    worklist.push(output);
     while let Some(id) = worklist.pop() {
         if !visited.insert(id) {
             continue;
         }
-        let gate = circuit.gate(id);
-        if gate.kind() == GateKind::Input {
+        let kind = kinds[id.index()];
+        if kind == GateKind::Input {
             if options.include_inputs {
                 candidates.insert(id);
             }
             continue;
         }
-        if gate.kind().is_source() {
+        if kind.is_source() {
             // Constants are correctable candidates but have no fan-ins to
             // trace through.
             candidates.insert(id);
             continue;
         }
         candidates.insert(id);
-        match gate.kind().controlling_value() {
+        let fanins = &edges[heads[id.index()] as usize..heads[id.index() + 1] as usize];
+        match kind.controlling_value() {
             Some(cv) => {
-                let mut controlling = gate
-                    .fanins()
+                let mut controlling = fanins
                     .iter()
                     .copied()
-                    .filter(|f| values[f.index()] == cv)
+                    .filter(|&f| value_of(f) == cv)
                     .peekable();
                 if controlling.peek().is_some() {
                     match options.policy {
@@ -119,12 +170,12 @@ pub fn path_trace(
                         MarkPolicy::AllControlling => worklist.extend(controlling),
                     }
                 } else {
-                    worklist.extend(gate.fanins().iter().copied());
+                    worklist.extend_from_slice(fanins);
                 }
             }
             // No controlling value (XOR/XNOR/NOT/BUF): every input is on a
             // sensitised path.
-            None => worklist.extend(gate.fanins().iter().copied()),
+            None => worklist.extend_from_slice(fanins),
         }
     }
     candidates
@@ -149,17 +200,33 @@ pub fn path_trace(
 /// # let _ = sites;
 /// ```
 pub fn basic_sim_diagnose(circuit: &Circuit, tests: &TestSet, options: BsimOptions) -> BsimResult {
+    // One bit-parallel sweep covers up to `SWEEP_PATTERNS` tests: the
+    // faulty circuit is simulated once per batch and path tracing reads
+    // candidate values straight out of the packed words, so the per-test
+    // cost is the trace itself, not a full scalar resimulation.
+    const SWEEP_PATTERNS: usize = 512;
     let mut candidate_sets = Vec::with_capacity(tests.len());
     let mut mark_counts = vec![0u32; circuit.len()];
     let mut union = GateSet::new(circuit.len());
-    for test in tests {
-        let values = simulate(circuit, &test.vector);
-        let marked = path_trace(circuit, &values, test.output, options);
-        for g in marked.iter() {
-            mark_counts[g.index()] += 1;
+    let mut sim = PackedSim::new(circuit);
+    let mut packed = Vec::new();
+    let mut vectors: Vec<&[bool]> = Vec::new();
+    for batch in tests.tests().chunks(SWEEP_PATTERNS) {
+        vectors.clear();
+        vectors.extend(batch.iter().map(|t| t.vector.as_slice()));
+        let words = pack_vectors_into(circuit, &vectors, &mut packed);
+        sim.reset(words);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        for (lane, test) in batch.iter().enumerate() {
+            let marked =
+                path_trace_packed(circuit, sim.values(), words, lane, test.output, options);
+            for g in marked.iter() {
+                mark_counts[g.index()] += 1;
+            }
+            union.union_with(&marked);
+            candidate_sets.push(marked);
         }
-        union.union_with(&marked);
-        candidate_sets.push(marked);
     }
     BsimResult {
         candidate_sets,
@@ -173,6 +240,7 @@ mod tests {
     use super::*;
     use crate::test_set::{generate_failing_tests, Test};
     use gatediag_netlist::{c17, inject_errors, CircuitBuilder, RandomCircuitSpec};
+    use gatediag_sim::simulate;
 
     fn trace_c17(vector: [bool; 5], output: &str, options: BsimOptions) -> Vec<String> {
         let c = c17();

@@ -11,9 +11,9 @@
 
 use crate::bsim::{basic_sim_diagnose, BsimOptions, BsimResult};
 use crate::test_set::TestSet;
+use gatediag_cnf::{ClauseSink, Totalizer};
 use gatediag_netlist::{Circuit, GateId};
 use gatediag_sat::{enumerate_positive_subsets, Solver, Var};
-use gatediag_cnf::{ClauseSink, Totalizer};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -256,7 +256,8 @@ fn cover_bnb(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
             sol.iter().all(|g| {
                 // Removing g must leave some set uncovered.
                 let without: Vec<GateId> = sol.iter().copied().filter(|&h| h != *g).collect();
-                sets.iter().any(|set| !without.iter().any(|h| set.contains(h)))
+                sets.iter()
+                    .any(|set| !without.iter().any(|h| set.contains(h)))
             })
         })
         .cloned()
@@ -368,7 +369,10 @@ mod tests {
         for sol in &sat {
             assert!(sol.len() <= 2);
             for set in example1_sets() {
-                assert!(sol.iter().any(|x| set.contains(x)), "{sol:?} misses {set:?}");
+                assert!(
+                    sol.iter().any(|x| set.contains(x)),
+                    "{sol:?} misses {set:?}"
+                );
             }
         }
     }
@@ -393,8 +397,7 @@ mod tests {
         let (sat, _) = both_engines(&sets, 3);
         for sol in &sat {
             for drop in sol {
-                let without: Vec<GateId> =
-                    sol.iter().copied().filter(|x| x != drop).collect();
+                let without: Vec<GateId> = sol.iter().copied().filter(|x| x != drop).collect();
                 let still_covers = sets
                     .iter()
                     .all(|set| without.iter().any(|x| set.contains(x)));

@@ -55,15 +55,7 @@ pub fn hybrid_seeded_bsat(
         .filter(|&(_, &m)| m > 0)
         .map(|(i, &m)| (GateId::new(i), f64::from(m) / f64::from(max_marks)))
         .collect();
-    basic_sat_diagnose(
-        circuit,
-        tests,
-        k,
-        BsatOptions {
-            hints,
-            ..options
-        },
-    )
+    basic_sat_diagnose(circuit, tests, k, BsatOptions { hints, ..options })
 }
 
 /// Result of a [`repair_correction`] run.
@@ -184,14 +176,8 @@ mod tests {
             let Some(first_cover) = cov.solutions.first() else {
                 continue;
             };
-            let outcome = repair_correction(
-                &faulty,
-                &tests,
-                first_cover,
-                2,
-                6,
-                BsatOptions::default(),
-            );
+            let outcome =
+                repair_correction(&faulty, &tests, first_cover, 2, 6, BsatOptions::default());
             let outcome = outcome.expect("a repair must exist within radius 6");
             for sol in &outcome.solutions {
                 assert!(
@@ -210,9 +196,15 @@ mod tests {
         if tests.is_empty() {
             return;
         }
-        let outcome =
-            repair_correction(&faulty, &tests, &[sites[0].gate], 1, 3, BsatOptions::default())
-                .expect("seed is already valid");
+        let outcome = repair_correction(
+            &faulty,
+            &tests,
+            &[sites[0].gate],
+            1,
+            3,
+            BsatOptions::default(),
+        )
+        .expect("seed is already valid");
         assert_eq!(outcome.radius, 0);
         assert!(outcome.solutions.contains(&vec![sites[0].gate]));
     }
@@ -234,8 +226,7 @@ mod tests {
                 && !is_valid_correction_sim(&faulty, &tests, &[*id])
         });
         if let Some((id, _)) = hopeless {
-            let outcome =
-                repair_correction(&faulty, &tests, &[id], 1, 0, BsatOptions::default());
+            let outcome = repair_correction(&faulty, &tests, &[id], 1, 0, BsatOptions::default());
             assert!(outcome.is_none());
         }
     }

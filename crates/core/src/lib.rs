@@ -57,13 +57,13 @@ pub use bsat::{
     basic_sat_diagnose, conflicting_test_core, partitioned_sat_diagnose, two_pass_sat_diagnose,
     BsatOptions, BsatResult, SiteSelection,
 };
-pub use bsim::{basic_sim_diagnose, path_trace, BsimOptions, BsimResult, MarkPolicy};
+pub use bsim::{
+    basic_sim_diagnose, path_trace, path_trace_packed, BsimOptions, BsimResult, MarkPolicy,
+};
 pub use cov::{cover_all, sc_diagnose, CovEngine, CovOptions, CovResult};
 pub use hybrid::{hybrid_seeded_bsat, repair_correction, RepairOutcome};
 pub use quality::{bsim_quality, solution_quality, BsimQuality, SolutionQuality};
-pub use repair::{
-    correction_observations, find_kind_repairs, FunctionObservation, KindRepair,
-};
+pub use repair::{correction_observations, find_kind_repairs, FunctionObservation, KindRepair};
 pub use sequential::{
     generate_failing_sequences, is_valid_sequential_correction, real_inputs,
     sequence_tests_to_unrolled, sequential_sat_diagnose, simulate_sequence, SeqDiagnosis,

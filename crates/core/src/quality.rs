@@ -157,7 +157,8 @@ mod tests {
             .filter(|(_, g)| !g.kind().is_source())
             .map(|(id, _)| id)
             .collect();
-        let solutions: Vec<Vec<GateId>> = functional.chunks(2).take(5).map(|c| c.to_vec()).collect();
+        let solutions: Vec<Vec<GateId>> =
+            functional.chunks(2).take(5).map(|c| c.to_vec()).collect();
         let q = solution_quality(&faulty, &solutions, &errors);
         assert!(q.min <= q.avg && q.avg <= q.max);
         assert_eq!(q.num_solutions, solutions.len());

@@ -16,7 +16,7 @@ use crate::test_set::TestSet;
 use gatediag_cnf::{encode_gate, ClauseSink};
 use gatediag_netlist::{Circuit, GateId, GateKind};
 use gatediag_sat::{Lit, SolveResult, Solver, Var};
-use gatediag_sim::simulate;
+use gatediag_sim::{pack_vectors_into, PackedSim};
 
 /// One per-test observation of a corrected gate's environment.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -99,8 +99,11 @@ pub type KindRepair = Vec<(GateId, GateKind)>;
 /// Searches the same-arity gate library for kind reassignments at
 /// `correction` that rectify every test.
 ///
-/// Verification is by plain simulation of each candidate repair against
-/// the test-set's designated outputs. The search is exhaustive over the
+/// Every test vector is packed into one multi-word bit-parallel batch and
+/// simulated once; each candidate repair is then screened by *kind
+/// overrides* on a reusable [`PackedSim`] — only the fan-out cones of the
+/// correction sites are re-simulated per assignment, instead of cloning
+/// and fully resimulating the circuit. The search is exhaustive over the
 /// library, so for an injected gate-change error the original function is
 /// guaranteed to be among the repairs when `correction` covers the error
 /// sites.
@@ -127,6 +130,16 @@ pub fn find_kind_repairs(
                 .collect()
         })
         .collect();
+
+    // One packed batch carries every test; lane t is test t.
+    let vectors: Vec<&[bool]> = tests.iter().map(|t| t.vector.as_slice()).collect();
+    let mut packed = Vec::new();
+    let words = pack_vectors_into(circuit, &vectors, &mut packed);
+    let mut sim = PackedSim::new(circuit);
+    sim.reset(words);
+    sim.set_input_words(&packed);
+    sim.sweep();
+
     let mut repairs = Vec::new();
     let mut choice: Vec<usize> = vec![0; correction.len()];
     loop {
@@ -135,14 +148,14 @@ pub fn find_kind_repairs(
             .zip(&choice)
             .map(|(&g, &c)| (g, menus[g_index(correction, g)][c]))
             .collect();
-        let mut repaired = circuit.clone();
         for &(g, kind) in &assignment {
-            repaired = repaired.with_gate_kind(g, kind);
+            sim.override_kind(g, kind);
         }
-        let fixes_all = tests.iter().all(|t| {
-            let values = simulate(&repaired, &t.vector);
-            values[t.output.index()] == t.expected
-        });
+        sim.propagate();
+        let fixes_all = tests
+            .iter()
+            .enumerate()
+            .all(|(lane, t)| sim.lane(t.output, lane) == t.expected);
         if fixes_all {
             repairs.push(assignment);
         }
@@ -174,7 +187,9 @@ mod tests {
     use super::*;
     use crate::test_set::generate_failing_tests;
     use gatediag_netlist::{inject_errors, RandomCircuitSpec};
+    use gatediag_sim::simulate;
 
+    #[allow(clippy::type_complexity)]
     fn setup(seed: u64, p: usize) -> Option<(Circuit, Vec<(GateId, GateKind)>, TestSet)> {
         let golden = RandomCircuitSpec::new(6, 3, 40).seed(seed).generate();
         let (faulty, sites) = inject_errors(&golden, p, seed);

@@ -181,7 +181,10 @@ pub fn sequential_sat_diagnose(
         .filter(|(_, g)| g.kind() != GateKind::Input)
         .map(|(id, _)| id)
         .collect();
-    let selects: Vec<Var> = sites.iter().map(|_| ClauseSink::new_var(&mut solver)).collect();
+    let selects: Vec<Var> = sites
+        .iter()
+        .map(|_| ClauseSink::new_var(&mut solver))
+        .collect();
     let mut select_of: Vec<Option<Var>> = vec![None; circuit.len()];
     for (&site, &sel) in sites.iter().zip(&selects) {
         select_of[site.index()] = Some(sel);
@@ -366,20 +369,13 @@ mod tests {
     use gatediag_netlist::{inject_errors, parse_bench, RandomCircuitSpec};
 
     fn toggle_circuit() -> Circuit {
-        parse_bench(
-            "INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n",
-        )
-        .unwrap()
+        parse_bench("INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n").unwrap()
     }
 
     #[test]
     fn sequence_simulation_matches_hand_computation() {
         let c = toggle_circuit();
-        let frames = simulate_sequence(
-            &c,
-            &[false],
-            &[vec![true], vec![false], vec![true]],
-        );
+        let frames = simulate_sequence(&c, &[false], &[vec![true], vec![false], vec![true]]);
         let out = c.find("out").unwrap();
         // q: 0 -> 1 -> 1 -> 0; out shows q before update.
         assert!(!frames[0][out.index()]);

@@ -115,9 +115,9 @@ fn search(
         if !redundant {
             // Effect analysis: conservative X-check first, exact oracle after.
             let plausible = !options.x_pruning
-                || tests.iter().all(|t| {
-                    x_may_rectify(circuit, &t.vector, chosen, t.output, t.expected)
-                });
+                || tests
+                    .iter()
+                    .all(|t| x_may_rectify(circuit, &t.vector, chosen, t.output, t.expected));
             if plausible && is_valid_correction_sim(circuit, tests, chosen) {
                 solutions.push(chosen.clone());
                 return; // children are supersets — redundant
@@ -166,12 +166,7 @@ mod tests {
             if tests.is_empty() {
                 continue;
             }
-            let sols = sim_backtrack_diagnose(
-                &faulty,
-                &tests,
-                2,
-                SimBacktrackOptions::default(),
-            );
+            let sols = sim_backtrack_diagnose(&faulty, &tests, 2, SimBacktrackOptions::default());
             for sol in &sols {
                 assert!(
                     is_valid_correction_sim(&faulty, &tests, sol),

@@ -1,7 +1,7 @@
 //! Tests and test-sets (Definition 1 of the paper) and their generation.
 
 use gatediag_netlist::{Circuit, GateId, VectorGen};
-use gatediag_sim::{pack_vectors, simulate_packed, unpack_lane};
+use gatediag_sim::{pack_vectors_into, PackedSim};
 
 /// A diagnosis test: the triple `(t, o, v)` of Definition 1.
 ///
@@ -128,29 +128,39 @@ pub fn generate_failing_tests(
         faulty.outputs().len(),
         "golden/faulty output mismatch"
     );
+    // Multi-word batches: one topological sweep of each circuit covers up
+    // to `BATCH` random vectors, and both engines reuse their buffers
+    // across batches.
+    const BATCH: usize = 512;
     let mut gen = VectorGen::new(golden, seed);
     let mut tests = Vec::with_capacity(want);
     let mut tried = 0usize;
+    let mut golden_sim = PackedSim::new(golden);
+    let mut faulty_sim = PackedSim::new(faulty);
+    let mut packed = Vec::new();
     while tests.len() < want && tried < max_vectors {
-        let batch: Vec<Vec<bool>> = (0..64.min(max_vectors - tried))
+        let batch: Vec<Vec<bool>> = (0..BATCH.min(max_vectors - tried))
             .map(|_| gen.next_vector())
             .collect();
         tried += batch.len();
-        let packed = pack_vectors(golden, &batch);
-        let golden_words = simulate_packed(golden, &packed);
-        let faulty_words = simulate_packed(faulty, &packed);
-        for lane in 0..batch.len() {
+        let words = pack_vectors_into(golden, &batch, &mut packed);
+        golden_sim.reset(words);
+        golden_sim.set_input_words(&packed);
+        golden_sim.sweep();
+        faulty_sim.reset(words);
+        faulty_sim.set_input_words(&packed);
+        faulty_sim.sweep();
+        for (lane, vector) in batch.iter().enumerate() {
             if tests.len() >= want {
                 break;
             }
-            let g = unpack_lane(&golden_words, lane);
-            let f = unpack_lane(&faulty_words, lane);
             for &o in golden.outputs() {
-                if g[o.index()] != f[o.index()] {
+                let g = golden_sim.lane(o, lane);
+                if g != faulty_sim.lane(o, lane) {
                     tests.push(Test {
-                        vector: batch[lane].clone(),
+                        vector: vector.clone(),
                         output: o,
-                        expected: g[o.index()],
+                        expected: g,
                     });
                     if tests.len() >= want {
                         break;

@@ -19,24 +19,27 @@ use crate::test_set::{Test, TestSet};
 use gatediag_cnf::{encode_gate, ClauseSink};
 use gatediag_netlist::{Circuit, GateId, GateKind};
 use gatediag_sat::{SolveResult, Solver, Var};
-use gatediag_sim::{pack_vectors, simulate_packed_forced};
+use gatediag_sim::PackedSim;
+
+/// Words per gate used by the forced-value screening sweeps: 16 words =
+/// 1024 candidate-value combinations per incremental propagation.
+const SCREEN_WORDS: usize = 16;
 
 /// Exact validity check by exhaustive forced-value simulation.
 ///
 /// For every test, tries all `2^|C|` assignments of replacement values to
-/// the candidate gates (batched 64 per packed simulation sweep) and checks
-/// whether some assignment produces the expected value at the test's
-/// output.
+/// the candidate gates — batched `64 * SCREEN_WORDS` combinations per
+/// sweep of a reusable [`PackedSim`] — and checks whether some assignment
+/// produces the expected value at the test's output. After the per-test
+/// baseline sweep, each batch only re-simulates the fan-out cones of the
+/// candidate gates (incremental forced-value propagation), so screening a
+/// candidate set is far cheaper than `tests * combos` full simulations.
 ///
 /// # Panics
 ///
 /// Panics if `candidates.len() > 16` (use the SAT oracle instead) or if a
 /// candidate is a source gate.
-pub fn is_valid_correction_sim(
-    circuit: &Circuit,
-    tests: &TestSet,
-    candidates: &[GateId],
-) -> bool {
+pub fn is_valid_correction_sim(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
     assert!(
         candidates.len() <= 16,
         "simulation oracle limited to 16 candidates; use is_valid_correction_sat"
@@ -47,40 +50,68 @@ pub fn is_valid_correction_sim(
             "candidate {g} is a primary input"
         );
     }
-    tests
-        .iter()
-        .all(|t| test_rectifiable_sim(circuit, t, candidates))
+    let combos = 1u64 << candidates.len();
+    let words = (combos.div_ceil(64) as usize).min(SCREEN_WORDS);
+    let mut sim = PackedSim::new(circuit);
+    sim.reset(words);
+    let mut force_words = vec![0u64; words];
+    let mut first = true;
+    for t in tests {
+        if !test_rectifiable_sim(&mut sim, t, candidates, &mut force_words, first) {
+            return false;
+        }
+        first = false;
+    }
+    true
 }
 
-fn test_rectifiable_sim(circuit: &Circuit, test: &Test, candidates: &[GateId]) -> bool {
+fn test_rectifiable_sim(
+    sim: &mut PackedSim<'_>,
+    test: &Test,
+    candidates: &[GateId],
+    force_words: &mut [u64],
+    first: bool,
+) -> bool {
+    let words = sim.words_per_gate();
     let combos = 1u64 << candidates.len();
+    // Per-test baseline: every lane carries the same input vector. The
+    // first test needs a full sweep (the engine starts on a zeroed,
+    // inconsistent value array); later tests reuse the previous test's
+    // values and propagate only the cones of inputs that changed.
+    sim.clear_forced();
+    sim.set_inputs_broadcast(&test.vector);
+    if first {
+        sim.sweep();
+    } else {
+        sim.propagate();
+    }
     let mut base = 0u64;
     while base < combos {
-        let lanes = (combos - base).min(64) as usize;
+        let lanes = (combos - base).min(64 * words as u64);
         // Lane l encodes combination base + l: candidate i takes bit i.
-        let forced: Vec<(GateId, u64)> = candidates
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| {
-                let mut word = 0u64;
-                for lane in 0..lanes {
-                    if (base + lane as u64) >> i & 1 == 1 {
-                        word |= 1 << lane;
+        for (i, &g) in candidates.iter().enumerate() {
+            for (w, word) in force_words.iter_mut().enumerate() {
+                let mut bits = 0u64;
+                for lane in 0..64u64 {
+                    let combo = base + w as u64 * 64 + lane;
+                    bits |= (combo >> i & 1) << lane;
+                    if combo + 1 >= combos {
+                        break;
                     }
                 }
-                (g, word)
-            })
-            .collect();
-        let vectors = vec![test.vector.clone(); lanes];
-        let packed = pack_vectors(circuit, &vectors);
-        let values = simulate_packed_forced(circuit, &packed, &forced);
-        let out_word = values[test.output.index()];
+                *word = bits;
+            }
+            sim.force(g, force_words);
+        }
+        sim.propagate();
+        let out_words = sim.value_words(test.output);
         for lane in 0..lanes {
-            if (out_word >> lane & 1 == 1) == test.expected {
+            let bit = out_words[(lane / 64) as usize] >> (lane % 64) & 1 == 1;
+            if bit == test.expected {
                 return true;
             }
         }
-        base += lanes as u64;
+        base += lanes;
     }
     false
 }
@@ -90,11 +121,7 @@ fn test_rectifiable_sim(circuit: &Circuit, test: &Test, candidates: &[GateId]) -
 /// Per test, encodes the circuit with the candidate gates' defining clauses
 /// omitted (their variables are free — precisely the "mux on" semantics),
 /// constrains inputs and the expected output, and asks for satisfiability.
-pub fn is_valid_correction_sat(
-    circuit: &Circuit,
-    tests: &TestSet,
-    candidates: &[GateId],
-) -> bool {
+pub fn is_valid_correction_sat(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
     for &g in candidates {
         assert!(
             circuit.gate(g).kind() != GateKind::Input,

@@ -85,10 +85,25 @@ impl fmt::Display for NetlistError {
 
 impl Error for NetlistError {}
 
-/// An immutable combinational gate-level circuit.
+/// An immutable combinational gate-level circuit in CSR layout.
 ///
-/// The circuit is a DAG of [`Gate`]s with designated primary inputs and
-/// outputs. Topological order, fan-out lists and levels are computed once at
+/// The circuit is a DAG of gates with designated primary inputs and
+/// outputs. All per-gate data lives in flat, contiguous arrays:
+///
+/// * `kinds[i]` — the [`GateKind`] of gate `i`;
+/// * `fanin_heads` / `fanin_edges` — a compressed sparse row (CSR)
+///   encoding of the fan-in lists: gate `i`'s fan-ins are
+///   `fanin_edges[fanin_heads[i] .. fanin_heads[i + 1]]`;
+/// * `fanout_heads` / `fanout_edges` — the transposed CSR (fan-outs);
+/// * `topo`, `levels` — topological order and logic levels.
+///
+/// A topological sweep over this layout is a linear scan of three flat
+/// arrays with no per-gate pointer chasing, which is what makes the
+/// bit-parallel simulator's inner loop memory-bound rather than
+/// latency-bound. The per-gate object API ([`Circuit::gate`], returning a
+/// [`Gate`] view) is retained as a zero-cost facade over these arrays.
+///
+/// Topological order, fan-out lists and levels are computed once at
 /// construction and shared by all analyses and simulators.
 ///
 /// Sequential `.bench` netlists are combinationalised at parse time: each
@@ -114,7 +129,9 @@ impl Error for NetlistError {}
 /// ```
 #[derive(Clone, PartialEq, Debug)]
 pub struct Circuit {
-    gates: Vec<Gate>,
+    kinds: Vec<GateKind>,
+    fanin_heads: Vec<u32>,
+    fanin_edges: Vec<GateId>,
     inputs: Vec<GateId>,
     outputs: Vec<GateId>,
     latches: Vec<Latch>,
@@ -131,36 +148,75 @@ impl Circuit {
     /// Total number of gates (including primary inputs and constants).
     #[inline]
     pub fn len(&self) -> usize {
-        self.gates.len()
+        self.kinds.len()
     }
 
     /// `true` if the circuit contains no gates.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.gates.is_empty()
+        self.kinds.is_empty()
     }
 
     /// Number of non-source gates (the "gate count" reported by benchmarks).
     pub fn num_functional_gates(&self) -> usize {
-        self.gates.iter().filter(|g| !g.kind().is_source()).count()
+        self.kinds.iter().filter(|k| !k.is_source()).count()
     }
 
-    /// The gate with the given id.
+    /// The gate with the given id, as a cheap [`Gate`] view over the CSR
+    /// arrays.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[inline]
-    pub fn gate(&self, id: GateId) -> &Gate {
-        &self.gates[id.index()]
+    pub fn gate(&self, id: GateId) -> Gate<'_> {
+        Gate::new(self.kinds[id.index()], self.fanins(id))
+    }
+
+    /// The Boolean function of gate `id` (direct kind-array access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn kind(&self, id: GateId) -> GateKind {
+        self.kinds[id.index()]
+    }
+
+    /// Fan-in gates of `id`, in declaration order (direct CSR access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn fanins(&self, id: GateId) -> &[GateId] {
+        let lo = self.fanin_heads[id.index()] as usize;
+        let hi = self.fanin_heads[id.index() + 1] as usize;
+        &self.fanin_edges[lo..hi]
+    }
+
+    /// The flat kind array, indexed by gate id.
+    #[inline]
+    pub fn kinds(&self) -> &[GateKind] {
+        &self.kinds
+    }
+
+    /// The raw fan-in CSR: `(heads, edges)` with gate `i`'s fan-ins at
+    /// `edges[heads[i] as usize .. heads[i + 1] as usize]`.
+    ///
+    /// Hot loops (the packed simulator's topological sweep) index these
+    /// arrays directly instead of materialising [`Gate`] views.
+    #[inline]
+    pub fn fanin_csr(&self) -> (&[u32], &[GateId]) {
+        (&self.fanin_heads, &self.fanin_edges)
     }
 
     /// Iterates over `(id, gate)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
-        self.gates
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (GateId::new(i), g))
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, Gate<'_>)> {
+        (0..self.len()).map(|i| {
+            let id = GateId::new(i);
+            (id, self.gate(id))
+        })
     }
 
     /// Primary inputs (including pseudo-primary inputs from flip-flops).
@@ -251,7 +307,7 @@ impl Circuit {
             gate.arity()
         );
         let mut clone = self.clone();
-        clone.gates[id.index()].set_kind(kind);
+        clone.kinds[id.index()] = kind;
         clone
     }
 
@@ -267,10 +323,12 @@ impl Circuit {
 /// Gates are created in any order as long as fan-ins are created first;
 /// parsers create gates with empty fan-ins and wire them afterwards with
 /// [`CircuitBuilder::set_fanins`]. [`CircuitBuilder::finish`]
-/// validates arities and acyclicity and computes the derived structures.
+/// validates arities and acyclicity, flattens the per-gate fan-in lists
+/// into the circuit's CSR arrays, and computes the derived structures.
 #[derive(Clone, Debug, Default)]
 pub struct CircuitBuilder {
-    gates: Vec<Gate>,
+    kinds: Vec<GateKind>,
+    fanins: Vec<Vec<GateId>>,
     inputs: Vec<GateId>,
     outputs: Vec<GateId>,
     latches: Vec<Latch>,
@@ -291,9 +349,10 @@ impl CircuitBuilder {
         self
     }
 
-    fn push(&mut self, gate: Gate, name: Option<String>) -> GateId {
-        let id = GateId::new(self.gates.len());
-        self.gates.push(gate);
+    fn push(&mut self, kind: GateKind, fanins: Vec<GateId>, name: Option<String>) -> GateId {
+        let id = GateId::new(self.kinds.len());
+        self.kinds.push(kind);
+        self.fanins.push(fanins);
         if let Some(ref n) = name {
             self.name_index.insert(n.clone(), id);
         }
@@ -303,26 +362,26 @@ impl CircuitBuilder {
 
     /// Adds a primary input.
     pub fn input(&mut self, name: impl Into<String>) -> GateId {
-        let id = self.push(Gate::new(GateKind::Input, Vec::new()), Some(name.into()));
+        let id = self.push(GateKind::Input, Vec::new(), Some(name.into()));
         self.inputs.push(id);
         id
     }
 
     /// Adds an anonymous primary input.
     pub fn anon_input(&mut self) -> GateId {
-        let id = self.push(Gate::new(GateKind::Input, Vec::new()), None);
+        let id = self.push(GateKind::Input, Vec::new(), None);
         self.inputs.push(id);
         id
     }
 
     /// Adds a named gate.
     pub fn gate(&mut self, kind: GateKind, fanins: Vec<GateId>, name: impl Into<String>) -> GateId {
-        self.push(Gate::new(kind, fanins), Some(name.into()))
+        self.push(kind, fanins, Some(name.into()))
     }
 
     /// Adds an anonymous gate.
     pub fn anon_gate(&mut self, kind: GateKind, fanins: Vec<GateId>) -> GateId {
-        self.push(Gate::new(kind, fanins), None)
+        self.push(kind, fanins, None)
     }
 
     /// Replaces the fan-in list of an existing gate.
@@ -334,8 +393,7 @@ impl CircuitBuilder {
     ///
     /// Panics if `id` was not created by this builder.
     pub fn set_fanins(&mut self, id: GateId, fanins: Vec<GateId>) -> &mut Self {
-        let kind = self.gates[id.index()].kind();
-        self.gates[id.index()] = Gate::new(kind, fanins);
+        self.fanins[id.index()] = fanins;
         self
     }
 
@@ -355,12 +413,12 @@ impl CircuitBuilder {
 
     /// Number of gates added so far.
     pub fn len(&self) -> usize {
-        self.gates.len()
+        self.kinds.len()
     }
 
     /// `true` if no gates were added yet.
     pub fn is_empty(&self) -> bool {
-        self.gates.is_empty()
+        self.kinds.is_empty()
     }
 
     /// Looks up a previously added named gate.
@@ -374,7 +432,7 @@ impl CircuitBuilder {
     ///
     /// Panics if `id` was not created by this builder.
     pub fn kind_of(&self, id: GateId) -> GateKind {
-        self.gates[id.index()].kind()
+        self.kinds[id.index()]
     }
 
     /// Validates the netlist and produces the immutable [`Circuit`].
@@ -384,20 +442,20 @@ impl CircuitBuilder {
     /// Returns [`NetlistError`] if a fan-in id is out of range, a gate has an
     /// illegal arity, the graph is cyclic, or there are no outputs.
     pub fn finish(self) -> Result<Circuit, NetlistError> {
-        let n = self.gates.len();
+        let n = self.kinds.len();
         // Arity and dangling-fanin checks.
-        for (i, gate) in self.gates.iter().enumerate() {
+        for i in 0..n {
             let id = GateId::new(i);
-            for &f in gate.fanins() {
+            for &f in &self.fanins[i] {
                 if f.index() >= n {
                     return Err(NetlistError::DanglingFanin { gate: id, fanin: f });
                 }
             }
-            if !gate.kind().arity_ok(gate.arity()) {
+            if !self.kinds[i].arity_ok(self.fanins[i].len()) {
                 return Err(NetlistError::BadArity {
                     gate: id,
-                    kind: gate.kind(),
-                    arity: gate.arity(),
+                    kind: self.kinds[i],
+                    arity: self.fanins[i].len(),
                 });
             }
         }
@@ -405,18 +463,20 @@ impl CircuitBuilder {
             return Err(NetlistError::NoOutputs);
         }
 
-        // Kahn topological sort.
-        let indegree: Vec<u32> = self.gates.iter().map(|g| g.arity() as u32).collect();
-        let mut stack: Vec<GateId> = (0..n)
-            .filter(|&i| indegree[i] == 0)
-            .map(GateId::new)
-            .collect();
-        // Build fanout CSR while we are at it.
+        // Flatten the fan-in lists into CSR form.
+        let mut fanin_heads = Vec::with_capacity(n + 1);
+        fanin_heads.push(0u32);
+        let total: usize = self.fanins.iter().map(Vec::len).sum();
+        let mut fanin_edges = Vec::with_capacity(total);
+        for fanins in &self.fanins {
+            fanin_edges.extend_from_slice(fanins);
+            fanin_heads.push(fanin_edges.len() as u32);
+        }
+
+        // Build the transposed (fan-out) CSR.
         let mut fanout_count = vec![0u32; n + 1];
-        for gate in &self.gates {
-            for &f in gate.fanins() {
-                fanout_count[f.index() + 1] += 1;
-            }
+        for &f in &fanin_edges {
+            fanout_count[f.index() + 1] += 1;
         }
         let mut fanout_heads = fanout_count.clone();
         for i in 1..=n {
@@ -424,13 +484,19 @@ impl CircuitBuilder {
         }
         let mut cursor = fanout_heads.clone();
         let mut fanout_edges = vec![GateId::new(0); fanout_heads[n] as usize];
-        for (i, gate) in self.gates.iter().enumerate() {
-            for &f in gate.fanins() {
+        for (i, fanins) in self.fanins.iter().enumerate() {
+            for &f in fanins {
                 fanout_edges[cursor[f.index()] as usize] = GateId::new(i);
                 cursor[f.index()] += 1;
             }
         }
 
+        // Kahn topological sort over the CSR.
+        let indegree: Vec<u32> = self.fanins.iter().map(|f| f.len() as u32).collect();
+        let mut stack: Vec<GateId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(GateId::new)
+            .collect();
         let mut topo = Vec::with_capacity(n);
         let mut remaining = indegree;
         while let Some(id) = stack.pop() {
@@ -455,9 +521,9 @@ impl CircuitBuilder {
         // Levels.
         let mut levels = vec![0u32; n];
         for &id in &topo {
-            let gate = &self.gates[id.index()];
-            let lvl = gate
-                .fanins()
+            let lo = fanin_heads[id.index()] as usize;
+            let hi = fanin_heads[id.index() + 1] as usize;
+            let lvl = fanin_edges[lo..hi]
                 .iter()
                 .map(|f| levels[f.index()] + 1)
                 .max()
@@ -466,7 +532,9 @@ impl CircuitBuilder {
         }
 
         Ok(Circuit {
-            gates: self.gates,
+            kinds: self.kinds,
+            fanin_heads,
+            fanin_edges,
             inputs: self.inputs,
             outputs: self.outputs,
             latches: self.latches,

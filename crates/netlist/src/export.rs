@@ -90,10 +90,7 @@ pub fn extract_cone(circuit: &Circuit, roots: &[GateId]) -> (Circuit, Vec<Option
         }
         let gate = circuit.gate(id);
         let fallback = format!("n{}", id.index());
-        let name = circuit
-            .gate_name(id)
-            .map(str::to_owned)
-            .unwrap_or(fallback);
+        let name = circuit.gate_name(id).map(str::to_owned).unwrap_or(fallback);
         let new_id = if gate.kind() == GateKind::Input {
             b.input(name)
         } else {
@@ -109,10 +106,7 @@ pub fn extract_cone(circuit: &Circuit, roots: &[GateId]) -> (Circuit, Vec<Option
     for &r in roots {
         b.output(map[r.index()].expect("root is in its own cone"));
     }
-    (
-        b.finish().expect("cone extraction preserves validity"),
-        map,
-    )
+    (b.finish().expect("cone extraction preserves validity"), map)
 }
 
 #[cfg(test)]

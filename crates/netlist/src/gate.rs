@@ -270,21 +270,25 @@ impl fmt::Display for GateKind {
     }
 }
 
-/// A single gate: a kind plus its fan-in list.
+/// A borrowed view of a single gate: its kind plus its fan-in slice.
 ///
-/// Gates are passive data carried by a [`Circuit`](crate::Circuit); the
-/// containing circuit owns connectivity (fan-outs, levels, topological
-/// order).
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-pub struct Gate {
+/// Since the CSR flattening of [`Circuit`](crate::Circuit), gates are no
+/// longer stored as individual objects; the circuit keeps one contiguous
+/// kind array and one flat fan-in buffer with per-gate offsets, and
+/// `Gate` is a cheap `Copy` view into those arrays. The view keeps the
+/// pre-CSR call sites (`gate.kind()`, `gate.fanins()`, `gate.arity()`)
+/// source-compatible while the storage underneath is pointer-chase-free.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Gate<'a> {
     kind: GateKind,
-    fanins: Vec<GateId>,
+    fanins: &'a [GateId],
 }
 
-impl Gate {
-    /// Creates a gate. Arity legality is checked by the circuit builder, not
-    /// here, so partially-constructed gates can exist during parsing.
-    pub fn new(kind: GateKind, fanins: Vec<GateId>) -> Self {
+impl<'a> Gate<'a> {
+    /// Creates a view over a kind and a fan-in slice. Arity legality is
+    /// checked by the circuit builder, not here.
+    #[inline]
+    pub fn new(kind: GateKind, fanins: &'a [GateId]) -> Gate<'a> {
         Gate { kind, fanins }
     }
 
@@ -295,19 +299,18 @@ impl Gate {
     }
 
     /// The gate's fan-in gates, in declaration order.
+    ///
+    /// The slice borrows from the circuit's flat fan-in buffer, not from
+    /// this view, so it stays usable after the view is dropped.
     #[inline]
-    pub fn fanins(&self) -> &[GateId] {
-        &self.fanins
+    pub fn fanins(&self) -> &'a [GateId] {
+        self.fanins
     }
 
     /// Number of fan-ins.
     #[inline]
     pub fn arity(&self) -> usize {
         self.fanins.len()
-    }
-
-    pub(crate) fn set_kind(&mut self, kind: GateKind) {
-        self.kind = kind;
     }
 }
 

@@ -4,8 +4,32 @@
 //! circuits:
 //!
 //! * [`Circuit`] / [`CircuitBuilder`] — an immutable combinational DAG of
-//!   typed [`Gate`]s with precomputed topological order, fan-out lists and
+//!   typed gates with precomputed topological order, fan-out lists and
 //!   levels;
+//!
+//! # CSR storage layout
+//!
+//! A [`Circuit`] stores no per-gate objects. All connectivity lives in
+//! flat compressed-sparse-row (CSR) arrays:
+//!
+//! ```text
+//! kinds:        [GateKind; n]          function of gate i
+//! fanin_heads:  [u32; n + 1]           offsets into fanin_edges
+//! fanin_edges:  [GateId; sum arity]    all fan-in lists, concatenated
+//! fanout_heads: [u32; n + 1]           transposed CSR (fan-outs)
+//! fanout_edges: [GateId; sum arity]
+//! topo:         [GateId; n]            topological order
+//! levels:       [u32; n]               logic levels
+//! ```
+//!
+//! Gate `i`'s fan-ins are `fanin_edges[fanin_heads[i]..fanin_heads[i+1]]`.
+//! A topological sweep therefore touches three contiguous arrays in a
+//! predictable pattern instead of chasing one heap allocation per gate —
+//! the property the bit-parallel simulator's throughput rests on. Hot
+//! loops read the arrays directly via [`Circuit::kinds`] /
+//! [`Circuit::fanin_csr`]; everything else uses the [`Gate`] *view*
+//! ([`Circuit::gate`]), a `Copy` facade that keeps the familiar
+//! `kind()` / `fanins()` / `arity()` API at zero cost.
 //! * [`parse_bench`] / [`write_bench`] — ISCAS89 `.bench` I/O with automatic
 //!   combinationalisation of flip-flops into pseudo-primary inputs/outputs;
 //! * structural analyses ([`fanin_cone`], [`fanout_cone`], [`ffr_roots`],

@@ -99,11 +99,7 @@ pub fn unroll(circuit: &Circuit, frames: usize) -> Unrolling {
                     b.input(format!("{base_name}@{frame}"))
                 }
             } else {
-                let fanins = gate
-                    .fanins()
-                    .iter()
-                    .map(|f| frame_map[f.index()])
-                    .collect();
+                let fanins = gate.fanins().iter().map(|f| frame_map[f.index()]).collect();
                 b.gate(gate.kind(), fanins, format!("{base_name}@{frame}"))
             };
             frame_map[id.index()] = new_id;
@@ -139,10 +135,7 @@ mod tests {
 
     fn counter() -> Circuit {
         // 1-bit toggle: q' = q XOR en, out = q.
-        parse_bench(
-            "INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n",
-        )
-        .unwrap()
+        parse_bench("INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n").unwrap()
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
     fn undef_sentinel() {
         assert!(!CRef::UNDEF.is_defined());
         let mut db = ClauseDb::new();
-        let c = db.alloc(&[Var::from_index(0).positive(), Var::from_index(1).positive()], false);
+        let c = db.alloc(
+            &[Var::from_index(0).positive(), Var::from_index(1).positive()],
+            false,
+        );
         assert!(c.is_defined());
     }
 }

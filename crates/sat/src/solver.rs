@@ -284,14 +284,8 @@ impl Solver {
     fn attach(&mut self, cref: CRef) {
         let lits = self.db.lits(cref);
         let (l0, l1) = (lits[0], lits[1]);
-        self.watches[(!l0).code()].push(Watcher {
-            cref,
-            blocker: l1,
-        });
-        self.watches[(!l1).code()].push(Watcher {
-            cref,
-            blocker: l0,
-        });
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
     }
 
     fn unchecked_enqueue(&mut self, lit: Lit, reason: CRef) {
@@ -679,7 +673,12 @@ impl Solver {
         }
     }
 
-    fn search(&mut self, conflicts_allowed: u64, assumptions: &[Lit], budget_start: u64) -> InnerResult {
+    fn search(
+        &mut self,
+        conflicts_allowed: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> InnerResult {
         let mut conflicts_here = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
@@ -746,6 +745,7 @@ enum InnerResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::needless_range_loop)] // hand-written pigeonhole index math
 mod tests {
     use super::*;
 
@@ -808,7 +808,10 @@ mod tests {
         let mut s = Solver::new();
         let v = vars(&mut s, 2);
         s.add_clause(&[v[0].positive(), v[1].positive()]);
-        assert_eq!(s.solve(&[v[0].negative(), v[1].negative()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve(&[v[0].negative(), v[1].negative()]),
+            SolveResult::Unsat
+        );
         assert!(!s.is_inconsistent());
         assert_eq!(s.solve(&[v[0].negative()]), SolveResult::Sat);
         assert_eq!(s.model_value(v[1].positive()), Some(true));
@@ -970,7 +973,10 @@ mod tests {
         let mut s = Solver::new();
         let v = vars(&mut s, 2);
         s.add_clause(&[v[0].negative()]); // x0 false at root
-        assert_eq!(s.solve(&[v[0].positive(), v[1].positive()]), SolveResult::Unsat);
+        assert_eq!(
+            s.solve(&[v[0].positive(), v[1].positive()]),
+            SolveResult::Unsat
+        );
         let core = s.failed_assumptions().to_vec();
         assert_eq!(core, vec![v[0].positive()]);
     }
@@ -989,9 +995,8 @@ mod tests {
                     .collect();
                 s.add_clause(&clause);
             }
-            let assumptions: Vec<Lit> = (0..n.min(5))
-                .map(|i| v[i].lit(rng.gen_bool(0.5)))
-                .collect();
+            let assumptions: Vec<Lit> =
+                (0..n.min(5)).map(|i| v[i].lit(rng.gen_bool(0.5))).collect();
             if s.solve(&assumptions) == SolveResult::Unsat && !s.is_inconsistent() {
                 let core = s.failed_assumptions().to_vec();
                 for l in &core {

@@ -14,8 +14,7 @@ struct RandomCnf {
 
 fn cnf_strategy(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = RandomCnf> {
     (2usize..=max_vars).prop_flat_map(move |num_vars| {
-        let lit = (0..num_vars, any::<bool>())
-            .prop_map(|(v, pos)| Var::from_index(v).lit(pos));
+        let lit = (0..num_vars, any::<bool>()).prop_map(|(v, pos)| Var::from_index(v).lit(pos));
         let clause = prop::collection::vec(lit, 1..=3);
         prop::collection::vec(clause, 1..=max_clauses)
             .prop_map(move |clauses| RandomCnf { num_vars, clauses })

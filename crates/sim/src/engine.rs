@@ -1,0 +1,646 @@
+//! `PackedSim`: the reusable multi-word bit-parallel simulation engine.
+//!
+//! The free functions in [`crate::packed`] allocate fresh buffers per call
+//! and cap the batch at 64 patterns. `PackedSim` removes both limits:
+//!
+//! * it owns all scratch buffers, so repeated sweeps (candidate
+//!   screening, test generation, diagnosis over many tests) allocate
+//!   nothing after the first [`PackedSim::reset`];
+//! * each gate carries `W` 64-bit words, so one topological sweep
+//!   evaluates `64 * W` patterns;
+//! * forced values and gate-kind overrides are *sparse overlays* (epoch
+//!   tagged, O(1) to clear) instead of dense `Vec<Option<u64>>`s;
+//! * an event-driven incremental mode ([`PackedSim::propagate`])
+//!   re-evaluates only the fan-out cone of changed gates, in level order,
+//!   which is what makes per-candidate screening (validity oracles,
+//!   repair enumeration) near-free.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! new(circuit)                   bind to a circuit, no allocation yet
+//!   reset(W)                     size buffers for 64*W patterns, clear overlays
+//!     set_input_words / set_inputs_broadcast
+//!     sweep()                    full linear topological sweep -> baseline
+//!       force / override_kind    sparse overlay edits (schedule the gate)
+//!       propagate()              incremental: touched cones only
+//!       clear_forced / clear_kind_overrides + propagate()  -> back to baseline
+//!   reset(W')                    repartition for a different pattern count
+//! ```
+//!
+//! The engine's per-lane results are bit-identical to the scalar
+//! [`crate::simulate_forced`] reference; property tests enforce this.
+
+use gatediag_netlist::{Circuit, GateId, GateKind};
+
+/// Reusable multi-word bit-parallel simulator with sparse forced-value and
+/// kind-override overlays and event-driven incremental resimulation.
+///
+/// See the [module docs](self) for the lifecycle. Values are stored
+/// gate-major: gate `g`'s patterns live in
+/// `values()[g.index() * words_per_gate() ..][.. words_per_gate()]`,
+/// with pattern `p` at bit `p % 64` of word `p / 64`.
+#[derive(Clone, Debug)]
+pub struct PackedSim<'c> {
+    circuit: &'c Circuit,
+    words: usize,
+    values: Vec<u64>,
+    input_words: Vec<u64>,
+    /// Gate index -> position in `circuit.inputs()`, `u32::MAX` otherwise.
+    input_pos: Vec<u32>,
+
+    epoch: u32,
+    forced_epoch: Vec<u32>,
+    forced_vals: Vec<u64>,
+    forced_list: Vec<GateId>,
+
+    kind_epoch: u32,
+    kind_mark: Vec<u32>,
+    kind_over: Vec<GateKind>,
+    kind_list: Vec<GateId>,
+
+    queued: Vec<bool>,
+    buckets: Vec<Vec<u32>>,
+    pending: usize,
+    events: u64,
+}
+
+impl<'c> PackedSim<'c> {
+    /// Binds an engine to `circuit`. Buffers are sized by the first
+    /// [`PackedSim::reset`].
+    pub fn new(circuit: &'c Circuit) -> PackedSim<'c> {
+        let mut input_pos = vec![u32::MAX; circuit.len()];
+        for (p, &id) in circuit.inputs().iter().enumerate() {
+            input_pos[id.index()] = p as u32;
+        }
+        PackedSim {
+            circuit,
+            words: 0,
+            values: Vec::new(),
+            input_words: Vec::new(),
+            input_pos,
+            epoch: 1,
+            forced_epoch: Vec::new(),
+            forced_vals: Vec::new(),
+            forced_list: Vec::new(),
+            kind_epoch: 1,
+            kind_mark: Vec::new(),
+            kind_over: Vec::new(),
+            kind_list: Vec::new(),
+            queued: Vec::new(),
+            buckets: Vec::new(),
+            pending: 0,
+            events: 0,
+        }
+    }
+
+    /// The circuit this engine simulates.
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// Current number of 64-bit words per gate (`0` before the first
+    /// [`PackedSim::reset`]).
+    #[inline]
+    pub fn words_per_gate(&self) -> usize {
+        self.words
+    }
+
+    /// Number of patterns carried per sweep (`64 * words_per_gate`).
+    #[inline]
+    pub fn num_patterns(&self) -> usize {
+        self.words * 64
+    }
+
+    /// Total gate evaluations performed by [`PackedSim::propagate`] so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Sizes the engine for `words` 64-bit words per gate (`64 * words`
+    /// patterns), clearing all values, overlays and pending events.
+    ///
+    /// Buffers are reused when possible; calling `reset` with the current
+    /// width is cheap and simply returns the engine to a pristine state.
+    ///
+    /// After a `reset`, the first simulation MUST be a full
+    /// [`PackedSim::sweep`]: the zeroed value array is not a consistent
+    /// assignment, and input setters only schedule *changed* inputs, so
+    /// [`PackedSim::propagate`] alone would leave non-input gates stale.
+    /// Once one sweep has run, everything can be incremental.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0`.
+    pub fn reset(&mut self, words: usize) {
+        assert!(words > 0, "need at least one word per gate");
+        let n = self.circuit.len();
+        self.words = words;
+        self.values.clear();
+        self.values.resize(n * words, 0);
+        self.input_words.clear();
+        self.input_words
+            .resize(self.circuit.inputs().len() * words, 0);
+        self.forced_epoch.clear();
+        self.forced_epoch.resize(n, 0);
+        self.forced_vals.clear();
+        self.forced_vals.resize(n * words, 0);
+        self.forced_list.clear();
+        self.epoch = 1;
+        self.kind_mark.clear();
+        self.kind_mark.resize(n, 0);
+        self.kind_over.clear();
+        self.kind_over.resize(n, GateKind::Const0);
+        self.kind_list.clear();
+        self.kind_epoch = 1;
+        self.queued.clear();
+        self.queued.resize(n, false);
+        let depth = self.circuit.depth() as usize + 1;
+        if self.buckets.len() < depth {
+            self.buckets.resize(depth, Vec::new());
+        }
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.pending = 0;
+    }
+
+    /// Loads pre-packed input patterns, input-major: input `i`'s words at
+    /// `words[i * words_per_gate() ..][.. words_per_gate()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not `reset` or the slice length is not
+    /// `circuit.inputs().len() * words_per_gate()`.
+    pub fn set_input_words(&mut self, words: &[u64]) {
+        assert!(self.words > 0, "reset() must be called first");
+        assert_eq!(
+            words.len(),
+            self.input_words.len(),
+            "input word count mismatch"
+        );
+        let w = self.words;
+        let circuit: &Circuit = self.circuit;
+        for (i, &id) in circuit.inputs().iter().enumerate() {
+            if self.input_words[i * w..(i + 1) * w] != words[i * w..(i + 1) * w] {
+                self.input_words[i * w..(i + 1) * w].copy_from_slice(&words[i * w..(i + 1) * w]);
+                self.schedule(id);
+            }
+        }
+    }
+
+    /// Broadcasts one scalar input vector to every lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not `reset` or the vector width differs
+    /// from `circuit.inputs()`.
+    pub fn set_inputs_broadcast(&mut self, vector: &[bool]) {
+        assert!(self.words > 0, "reset() must be called first");
+        assert_eq!(
+            vector.len(),
+            self.circuit.inputs().len(),
+            "input vector width mismatch"
+        );
+        let w = self.words;
+        let circuit: &Circuit = self.circuit;
+        for (i, &bit) in vector.iter().enumerate() {
+            let word = if bit { !0u64 } else { 0 };
+            if self.input_words[i * w..(i + 1) * w]
+                .iter()
+                .any(|&x| x != word)
+            {
+                self.input_words[i * w..(i + 1) * w].fill(word);
+                self.schedule(circuit.inputs()[i]);
+            }
+        }
+    }
+
+    /// Forces gate `g` to the given pattern words, overriding its logic
+    /// until [`PackedSim::clear_forced`]. Takes effect at the next
+    /// [`PackedSim::sweep`] or [`PackedSim::propagate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not `reset` or `words.len()` differs from
+    /// `words_per_gate()`.
+    pub fn force(&mut self, g: GateId, words: &[u64]) {
+        assert!(self.words > 0, "reset() must be called first");
+        assert_eq!(words.len(), self.words, "forced word count mismatch");
+        let i = g.index();
+        if self.forced_epoch[i] != self.epoch {
+            self.forced_epoch[i] = self.epoch;
+            self.forced_list.push(g);
+        }
+        self.forced_vals[i * self.words..(i + 1) * self.words].copy_from_slice(words);
+        self.schedule(g);
+    }
+
+    /// Forces gate `g` to `value` on every lane (allocation-free).
+    pub fn force_all_lanes(&mut self, g: GateId, value: bool) {
+        assert!(self.words > 0, "reset() must be called first");
+        let word = if value { !0u64 } else { 0 };
+        let i = g.index();
+        if self.forced_epoch[i] != self.epoch {
+            self.forced_epoch[i] = self.epoch;
+            self.forced_list.push(g);
+        }
+        self.forced_vals[i * self.words..(i + 1) * self.words].fill(word);
+        self.schedule(g);
+    }
+
+    /// Removes every forcing in O(#forced), scheduling the affected gates
+    /// so the next [`PackedSim::propagate`] restores their logic values.
+    pub fn clear_forced(&mut self) {
+        let list = std::mem::take(&mut self.forced_list);
+        for &g in &list {
+            self.schedule(g);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely rare wrap: invalidate stale marks explicitly.
+            self.forced_epoch.fill(u32::MAX);
+            self.epoch = 1;
+        }
+    }
+
+    /// Replaces the Boolean function of gate `g` with `kind` until
+    /// [`PackedSim::clear_kind_overrides`] — the "gate change" error model
+    /// evaluated without rebuilding the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not `reset`, `g` is a primary input, or
+    /// `kind` is illegal for the gate's arity. Constant gates CAN be
+    /// overridden (`Const0` <-> `Const1`), matching
+    /// [`Circuit::with_gate_kind`]'s contract — constants are correctable
+    /// error sites in the paper's model.
+    pub fn override_kind(&mut self, g: GateId, kind: GateKind) {
+        assert!(self.words > 0, "reset() must be called first");
+        let i = g.index();
+        assert!(
+            self.circuit.kind(g) != GateKind::Input,
+            "cannot override the function of primary input {g}"
+        );
+        assert!(
+            kind != GateKind::Input,
+            "cannot override a gate to the Input pseudo-kind"
+        );
+        assert!(
+            kind.arity_ok(self.circuit.fanins(g).len()),
+            "kind {kind} illegal for arity {}",
+            self.circuit.fanins(g).len()
+        );
+        if self.kind_mark[i] != self.kind_epoch {
+            self.kind_mark[i] = self.kind_epoch;
+            self.kind_list.push(g);
+        }
+        self.kind_over[i] = kind;
+        self.schedule(g);
+    }
+
+    /// Removes every kind override in O(#overridden), scheduling the
+    /// affected gates.
+    pub fn clear_kind_overrides(&mut self) {
+        let list = std::mem::take(&mut self.kind_list);
+        for &g in &list {
+            self.schedule(g);
+        }
+        self.kind_epoch = self.kind_epoch.wrapping_add(1);
+        if self.kind_epoch == 0 {
+            self.kind_mark.fill(u32::MAX);
+            self.kind_epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn effective_kind(&self, i: usize) -> GateKind {
+        if self.kind_mark[i] == self.kind_epoch {
+            self.kind_over[i]
+        } else {
+            self.circuit.kinds()[i]
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, g: GateId) {
+        let i = g.index();
+        if !self.queued[i] {
+            self.queued[i] = true;
+            self.buckets[self.circuit.level(g) as usize].push(i as u32);
+            self.pending += 1;
+        }
+    }
+
+    /// Evaluates gate `i` in place; returns `true` if any word changed.
+    ///
+    /// `values` is indexed gate-major with `w` words per gate.
+    #[inline]
+    fn eval_into(&mut self, i: usize) -> bool {
+        let w = self.words;
+        let base = i * w;
+        let mut changed = false;
+        if self.forced_epoch[i] == self.epoch {
+            for k in 0..w {
+                let new = self.forced_vals[base + k];
+                changed |= self.values[base + k] != new;
+                self.values[base + k] = new;
+            }
+            return changed;
+        }
+        let kind = self.effective_kind(i);
+        if kind == GateKind::Input {
+            let pos = self.input_pos[i] as usize;
+            for k in 0..w {
+                let new = self.input_words[pos * w + k];
+                changed |= self.values[base + k] != new;
+                self.values[base + k] = new;
+            }
+            return changed;
+        }
+        let circuit: &Circuit = self.circuit;
+        let (heads, edges) = circuit.fanin_csr();
+        let lo = heads[i] as usize;
+        let hi = heads[i + 1] as usize;
+        for k in 0..w {
+            let new = kind.eval_word(edges[lo..hi].iter().map(|f| self.values[f.index() * w + k]));
+            changed |= self.values[base + k] != new;
+            self.values[base + k] = new;
+        }
+        changed
+    }
+
+    /// Full linear topological sweep: every gate is evaluated once, in
+    /// topo order, honouring the current input words and overlays.
+    /// Establishes the baseline for subsequent incremental updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine was not `reset`.
+    pub fn sweep(&mut self) {
+        assert!(self.words > 0, "reset() must be called first");
+        // A full sweep subsumes all pending events.
+        if self.pending > 0 {
+            for bucket in &mut self.buckets {
+                bucket.clear();
+            }
+            self.queued.fill(false);
+            self.pending = 0;
+        }
+        let circuit: &Circuit = self.circuit;
+        for &id in circuit.topo_order() {
+            self.eval_into(id.index());
+        }
+    }
+
+    /// Event-driven incremental resimulation: processes scheduled gates in
+    /// level order, following value changes through fan-out cones only.
+    /// Returns the number of gate evaluations performed.
+    pub fn propagate(&mut self) -> u64 {
+        let circuit: &Circuit = self.circuit;
+        let mut evals = 0u64;
+        let mut level = 0usize;
+        while self.pending > 0 && level < self.buckets.len() {
+            // Per-level drain; newly scheduled gates land in strictly
+            // higher buckets because fan-outs have strictly higher levels.
+            while let Some(i) = self.buckets[level].pop() {
+                let i = i as usize;
+                if !self.queued[i] {
+                    continue;
+                }
+                self.queued[i] = false;
+                self.pending -= 1;
+                evals += 1;
+                if self.eval_into(i) {
+                    for &succ in circuit.fanouts(GateId::new(i)) {
+                        self.schedule(succ);
+                    }
+                }
+            }
+            level += 1;
+        }
+        self.events += evals;
+        evals
+    }
+
+    /// The full packed value array, gate-major (`len() * words_per_gate()`
+    /// words). Valid after [`PackedSim::sweep`] / [`PackedSim::propagate`].
+    #[inline]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The pattern words of gate `g`.
+    #[inline]
+    pub fn value_words(&self, g: GateId) -> &[u64] {
+        let base = g.index() * self.words;
+        &self.values[base..base + self.words]
+    }
+
+    /// The value of gate `g` on pattern `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= num_patterns()`.
+    #[inline]
+    pub fn lane(&self, g: GateId, lane: usize) -> bool {
+        assert!(lane < self.num_patterns(), "lane out of range");
+        self.values[g.index() * self.words + lane / 64] >> (lane % 64) & 1 == 1
+    }
+
+    /// Extracts pattern `lane` over all gates as a `Vec<bool>` (the
+    /// multi-word analogue of [`crate::unpack_lane`]).
+    pub fn unpack_lane(&self, lane: usize) -> Vec<bool> {
+        assert!(lane < self.num_patterns(), "lane out of range");
+        let w = self.words;
+        (0..self.circuit.len())
+            .map(|i| self.values[i * w + lane / 64] >> (lane % 64) & 1 == 1)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::pack_vectors_into;
+    use crate::scalar::{simulate, simulate_forced};
+    use gatediag_netlist::{c17, RandomCircuitSpec, VectorGen};
+
+    fn vectors_for(c: &Circuit, n: usize, seed: u64) -> Vec<Vec<bool>> {
+        let mut gen = VectorGen::new(c, seed);
+        (0..n).map(|_| gen.next_vector()).collect()
+    }
+
+    #[test]
+    fn sweep_matches_scalar_beyond_64_patterns() {
+        let c = RandomCircuitSpec::new(8, 3, 80).seed(1).generate();
+        let vectors = vectors_for(&c, 200, 1);
+        let mut packed = Vec::new();
+        let w = pack_vectors_into(&c, &vectors, &mut packed);
+        assert_eq!(w, 4);
+        let mut sim = PackedSim::new(&c);
+        sim.reset(w);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        for (lane, v) in vectors.iter().enumerate() {
+            assert_eq!(sim.unpack_lane(lane), simulate(&c, v), "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn forced_overlay_matches_scalar_forced() {
+        let c = RandomCircuitSpec::new(6, 2, 50).seed(3).generate();
+        let vectors = vectors_for(&c, 96, 3);
+        let mut packed = Vec::new();
+        let w = pack_vectors_into(&c, &vectors, &mut packed);
+        let g = c
+            .iter()
+            .find(|(_, gate)| !gate.kind().is_source())
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut sim = PackedSim::new(&c);
+        sim.reset(w);
+        sim.set_input_words(&packed);
+        // Force alternating lanes high.
+        let force: Vec<u64> = (0..w).map(|_| 0xAAAA_AAAA_AAAA_AAAA).collect();
+        sim.force(g, &force);
+        sim.sweep();
+        for (lane, v) in vectors.iter().enumerate() {
+            let fv = lane % 2 == 1;
+            assert_eq!(
+                sim.unpack_lane(lane),
+                simulate_forced(&c, v, &[(g, fv)]),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_force_then_clear_restores_baseline() {
+        let c = RandomCircuitSpec::new(7, 3, 70).seed(5).generate();
+        let vectors = vectors_for(&c, 64, 5);
+        let mut packed = Vec::new();
+        let w = pack_vectors_into(&c, &vectors, &mut packed);
+        let mut sim = PackedSim::new(&c);
+        sim.reset(w);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        let baseline = sim.values().to_vec();
+        let g = c
+            .iter()
+            .find(|(_, gate)| !gate.kind().is_source())
+            .map(|(id, _)| id)
+            .unwrap();
+        sim.force_all_lanes(g, true);
+        sim.propagate();
+        for (lane, v) in vectors.iter().enumerate() {
+            assert_eq!(sim.unpack_lane(lane), simulate_forced(&c, v, &[(g, true)]));
+        }
+        sim.clear_forced();
+        sim.propagate();
+        assert_eq!(sim.values(), &baseline[..], "baseline not restored");
+    }
+
+    #[test]
+    fn kind_override_matches_with_gate_kind() {
+        let c = c17();
+        let g = c.find("G16").unwrap();
+        let vectors = vectors_for(&c, 32, 9);
+        let mut packed = Vec::new();
+        let w = pack_vectors_into(&c, &vectors, &mut packed);
+        let mut sim = PackedSim::new(&c);
+        sim.reset(w);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        let baseline = sim.values().to_vec();
+        for kind in [
+            gatediag_netlist::GateKind::Or,
+            gatediag_netlist::GateKind::Xor,
+        ] {
+            sim.override_kind(g, kind);
+            sim.propagate();
+            let mutated = c.with_gate_kind(g, kind);
+            for (lane, v) in vectors.iter().enumerate() {
+                assert_eq!(sim.unpack_lane(lane), simulate(&mutated, v), "lane {lane}");
+            }
+        }
+        sim.clear_kind_overrides();
+        sim.propagate();
+        assert_eq!(sim.values(), &baseline[..]);
+    }
+
+    #[test]
+    fn propagation_is_local() {
+        let c = RandomCircuitSpec::new(16, 4, 400).seed(3).generate();
+        let vectors = vectors_for(&c, 64, 3);
+        let mut packed = Vec::new();
+        let w = pack_vectors_into(&c, &vectors, &mut packed);
+        let mut sim = PackedSim::new(&c);
+        sim.reset(w);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        let deepest = c
+            .iter()
+            .max_by_key(|(id, _)| c.level(*id))
+            .map(|(id, _)| id)
+            .unwrap();
+        sim.force_all_lanes(deepest, true);
+        let evals = sim.propagate();
+        assert!(
+            evals < c.len() as u64 / 2,
+            "incremental propagate touched {evals} of {} gates",
+            c.len()
+        );
+    }
+
+    #[test]
+    fn reset_repartitions_cleanly() {
+        let c = c17();
+        let mut sim = PackedSim::new(&c);
+        for &w in &[1usize, 3, 2] {
+            let vectors = vectors_for(&c, w * 64, 7 + w as u64);
+            let mut packed = Vec::new();
+            let got = pack_vectors_into(&c, &vectors, &mut packed);
+            assert_eq!(got, w);
+            sim.reset(w);
+            sim.set_input_words(&packed);
+            sim.sweep();
+            assert_eq!(sim.words_per_gate(), w);
+            for (lane, v) in vectors.iter().enumerate().step_by(17) {
+                assert_eq!(sim.unpack_lane(lane), simulate(&c, v));
+            }
+        }
+    }
+
+    #[test]
+    fn const_gates_can_be_overridden() {
+        // Constants are correctable error sites (Const0 <-> Const1); the
+        // override contract matches Circuit::with_gate_kind, which only
+        // forbids primary inputs.
+        use gatediag_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new();
+        let a = b.input("a");
+        let k = b.anon_gate(GateKind::Const0, vec![]);
+        let y = b.gate(GateKind::Or, vec![a, k], "y");
+        b.output(y);
+        let c = b.finish().unwrap();
+        let mut sim = PackedSim::new(&c);
+        sim.reset(1);
+        sim.set_inputs_broadcast(&[false]);
+        sim.sweep();
+        assert!(!sim.lane(y, 0), "OR(0, Const0) must be 0");
+        sim.override_kind(k, GateKind::Const1);
+        sim.propagate();
+        assert!(sim.lane(y, 0), "OR(0, Const1) must be 1");
+        let mutated = c.with_gate_kind(k, GateKind::Const1);
+        assert_eq!(sim.unpack_lane(0), simulate(&mutated, &[false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "reset() must be called first")]
+    fn sweep_without_reset_panics() {
+        let c = c17();
+        let mut sim = PackedSim::new(&c);
+        sim.sweep();
+    }
+}

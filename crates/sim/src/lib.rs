@@ -1,18 +1,37 @@
 //! Logic simulation engines for the `gatediag` diagnosis library.
 //!
-//! Three engines, matching the needs of the paper's simulation-based
+//! The engines, matching the needs of the paper's simulation-based
 //! diagnosis flows:
 //!
-//! * [`simulate`] / [`simulate_forced`] — scalar two-valued simulation with
-//!   optional forced gate values (the effect-analysis primitive);
-//! * [`simulate_packed`] — 64-way bit-parallel simulation, one topological
-//!   sweep per 64 test vectors (the "efficient parallel simulation" of
-//!   Sec. 1);
+//! * [`PackedSim`] — the workhorse: a reusable multi-word bit-parallel
+//!   engine (arbitrary pattern counts, `64 * W` patterns per topological
+//!   sweep) with sparse forced-value and gate-kind-override overlays and
+//!   an event-driven incremental mode that re-simulates only the fan-out
+//!   cone of a change. All hot diagnosis paths (BSIM batching, validity
+//!   screening, repair enumeration, test generation) run on it;
+//! * [`simulate`] / [`simulate_forced`] — scalar two-valued simulation
+//!   with optional forced gate values (the effect-analysis reference
+//!   semantics; `PackedSim` is lane-for-lane bit-identical to it);
+//! * [`simulate_packed`] — one-shot 64-way bit-parallel simulation (the
+//!   "efficient parallel simulation" of Sec. 1), now a thin wrapper over
+//!   `PackedSim` kept for convenience;
 //! * [`simulate_tv`] / [`x_may_rectify`] — three-valued X-injection
 //!   simulation (the conservative rectifiability check of Boppana et al.,
 //!   the paper's reference \[5\]);
-//! * [`DeltaSim`] — event-driven incremental resimulation for backtracking
-//!   effect analysis (Sec. 2.2's advanced approaches).
+//! * [`DeltaSim`] — scalar event-driven incremental resimulation for
+//!   backtracking effect analysis (Sec. 2.2's advanced approaches).
+//!
+//! # `PackedSim` lifecycle
+//!
+//! [`PackedSim::new`] binds to a circuit; [`PackedSim::reset`] sizes the
+//! scratch buffers for a pattern count; [`PackedSim::sweep`] runs one
+//! full linear topological sweep over the circuit's CSR arrays; after
+//! that, [`PackedSim::force`] / [`PackedSim::override_kind`] +
+//! [`PackedSim::propagate`] update only affected cones, and
+//! [`PackedSim::clear_forced`] / [`PackedSim::clear_kind_overrides`]
+//! return to baseline in time proportional to the overlay size. Nothing
+//! is allocated after `reset`, so a single engine can screen thousands
+//! of candidates.
 //!
 //! # Examples
 //!
@@ -25,18 +44,40 @@
 //! let outs = output_values(&c, &values);
 //! assert_eq!(outs.len(), 2);
 //! ```
+//!
+//! Multi-word packed simulation of 128 patterns in one sweep:
+//!
+//! ```
+//! use gatediag_netlist::{c17, VectorGen};
+//! use gatediag_sim::{pack_vectors_into, simulate, PackedSim};
+//!
+//! let c = c17();
+//! let mut gen = VectorGen::new(&c, 1);
+//! let vectors: Vec<Vec<bool>> = (0..128).map(|_| gen.next_vector()).collect();
+//! let mut packed = Vec::new();
+//! let words = pack_vectors_into(&c, &vectors, &mut packed);
+//! let mut sim = PackedSim::new(&c);
+//! sim.reset(words);
+//! sim.set_input_words(&packed);
+//! sim.sweep();
+//! assert_eq!(sim.unpack_lane(100), simulate(&c, &vectors[100]));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 mod event;
 mod packed;
 mod packed_tv;
 mod scalar;
 mod tv;
 
+pub use engine::PackedSim;
 pub use event::DeltaSim;
-pub use packed::{pack_vectors, simulate_packed, simulate_packed_forced, unpack_lane};
+pub use packed::{
+    pack_vectors, pack_vectors_into, simulate_packed, simulate_packed_forced, unpack_lane,
+};
 pub use packed_tv::{eval_dual_rail, simulate_tv_packed, DualRail};
 pub use scalar::{output_values, simulate, simulate_forced};
 pub use tv::{eval_tv, simulate_tv, x_may_rectify, Tv};

@@ -5,12 +5,55 @@
 //! attributes to simulation-based diagnosis: one topological sweep evaluates
 //! 64 test vectors simultaneously.
 
-use gatediag_netlist::{Circuit, GateId, GateKind};
+use gatediag_netlist::{Circuit, GateId};
+
+/// Packs any number of input vectors into per-input pattern words,
+/// reusing a caller-provided buffer.
+///
+/// `vectors[p][i]` is the value of input `i` in pattern `p`. The buffer is
+/// filled input-major with `W = ceil(vectors.len() / 64)` words per input:
+/// input `i`'s words are `out[i * W .. (i + 1) * W]`, with pattern `p` at
+/// bit `p % 64` of word `p / 64` — exactly the layout
+/// [`PackedSim::set_input_words`](crate::PackedSim::set_input_words)
+/// consumes. Returns `W`.
+///
+/// The inner loop packs one whole word at a time with branch-free bit
+/// accumulation instead of the per-bit test-and-set the pre-CSR packer
+/// used, and the buffer reuse makes repeated packing allocation-free.
+///
+/// # Panics
+///
+/// Panics if a vector's width differs from `circuit.inputs()`.
+pub fn pack_vectors_into<V: AsRef<[bool]>>(
+    circuit: &Circuit,
+    vectors: &[V],
+    out: &mut Vec<u64>,
+) -> usize {
+    let width = circuit.inputs().len();
+    for vector in vectors {
+        assert_eq!(vector.as_ref().len(), width, "input vector width mismatch");
+    }
+    let words = vectors.len().div_ceil(64).max(1);
+    out.clear();
+    out.resize(width * words, 0);
+    for (w, block) in vectors.chunks(64).enumerate() {
+        for i in 0..width {
+            let mut word = 0u64;
+            for (p, vector) in block.iter().enumerate() {
+                word |= (vector.as_ref()[i] as u64) << p;
+            }
+            out[i * words + w] = word;
+        }
+    }
+    words
+}
 
 /// Packs up to 64 input vectors into per-input pattern words.
 ///
 /// `vectors[p][i]` is the value of input `i` in pattern `p`; the result has
-/// one word per primary input with bit `p` carrying pattern `p`.
+/// one word per primary input with bit `p` carrying pattern `p`. For more
+/// than 64 patterns, or to reuse a buffer across calls, use
+/// [`pack_vectors_into`].
 ///
 /// # Panics
 ///
@@ -18,16 +61,8 @@ use gatediag_netlist::{Circuit, GateId, GateKind};
 /// width.
 pub fn pack_vectors(circuit: &Circuit, vectors: &[Vec<bool>]) -> Vec<u64> {
     assert!(vectors.len() <= 64, "at most 64 patterns per word");
-    let width = circuit.inputs().len();
-    let mut words = vec![0u64; width];
-    for (p, vector) in vectors.iter().enumerate() {
-        assert_eq!(vector.len(), width, "input vector width mismatch");
-        for (i, &bit) in vector.iter().enumerate() {
-            if bit {
-                words[i] |= 1 << p;
-            }
-        }
-    }
+    let mut words = Vec::new();
+    pack_vectors_into(circuit, vectors, &mut words);
     words
 }
 
@@ -74,28 +109,14 @@ pub fn simulate_packed_forced(
         circuit.inputs().len(),
         "input word count mismatch"
     );
-    let mut values = vec![0u64; circuit.len()];
-    for (&id, &w) in circuit.inputs().iter().zip(input_words) {
-        values[id.index()] = w;
-    }
-    let mut force: Vec<Option<u64>> = vec![None; circuit.len()];
+    let mut sim = crate::PackedSim::new(circuit);
+    sim.reset(1);
+    sim.set_input_words(input_words);
     for &(id, w) in forced {
-        force[id.index()] = Some(w);
+        sim.force(id, &[w]);
     }
-    for &id in circuit.topo_order() {
-        if let Some(w) = force[id.index()] {
-            values[id.index()] = w;
-            continue;
-        }
-        let gate = circuit.gate(id);
-        if gate.kind() == GateKind::Input {
-            continue;
-        }
-        values[id.index()] = gate
-            .kind()
-            .eval_word(gate.fanins().iter().map(|f| values[f.index()]));
-    }
-    values
+    sim.sweep();
+    sim.values().to_vec()
 }
 
 /// Extracts pattern `lane` from packed gate words as a `Vec<bool>`.
@@ -143,8 +164,7 @@ mod tests {
         let vectors: Vec<Vec<bool>> = (0..8).map(|_| gen.next_vector()).collect();
         // Force alternate lanes to 1.
         let force_word = 0b10101010u64;
-        let words =
-            simulate_packed_forced(&c, &pack_vectors(&c, &vectors), &[(g, force_word)]);
+        let words = simulate_packed_forced(&c, &pack_vectors(&c, &vectors), &[(g, force_word)]);
         for (lane, vector) in vectors.iter().enumerate() {
             let forced_val = force_word >> lane & 1 == 1;
             let scalar = crate::scalar::simulate_forced(&c, vector, &[(g, forced_val)]);

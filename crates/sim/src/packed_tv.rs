@@ -137,10 +137,7 @@ pub fn simulate_tv_packed(
         let mut value = if gate.kind() == GateKind::Input {
             values[id.index()]
         } else {
-            eval_dual_rail(
-                gate.kind(),
-                gate.fanins().iter().map(|f| values[f.index()]),
-            )
+            eval_dual_rail(gate.kind(), gate.fanins().iter().map(|f| values[f.index()]))
         };
         let mask = inject[id.index()];
         if mask != 0 {
@@ -215,7 +212,10 @@ mod tests {
         let packed = simulate_tv_packed(&c, &vector, &[]);
         let scalar = crate::scalar::simulate(&c, &vector);
         for (id, _) in c.iter() {
-            assert_eq!(packed[id.index()].lane(7), Tv::from_bool(scalar[id.index()]));
+            assert_eq!(
+                packed[id.index()].lane(7),
+                Tv::from_bool(scalar[id.index()])
+            );
         }
     }
 

@@ -64,7 +64,11 @@ pub fn simulate_forced(circuit: &Circuit, inputs: &[bool], forced: &[(GateId, bo
 
 /// Extracts the primary output values from a full value assignment.
 pub fn output_values(circuit: &Circuit, values: &[bool]) -> Vec<bool> {
-    circuit.outputs().iter().map(|o| values[o.index()]).collect()
+    circuit
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()])
+        .collect()
 }
 
 #[cfg(test)]
@@ -80,7 +84,7 @@ mod tests {
         let g10 = c.find("G10").unwrap();
         let g22 = c.find("G22").unwrap();
         assert!(v[g10.index()]); // NAND(0,0) = 1
-        // g16 = NAND(0, g11=1) = 1; g22 = NAND(1,1) = 0
+                                 // g16 = NAND(0, g11=1) = 1; g22 = NAND(1,1) = 0
         assert!(!v[g22.index()]);
     }
 

@@ -80,6 +80,7 @@ impl Tv {
     }
 
     /// Three-valued negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tv {
         match self {
             Tv::Zero => Tv::One,
@@ -156,10 +157,7 @@ pub fn simulate_tv(circuit: &Circuit, inputs: &[Tv], inject_x: &[GateId]) -> Vec
         if gate.kind() == GateKind::Input {
             continue;
         }
-        values[id.index()] = eval_tv(
-            gate.kind(),
-            gate.fanins().iter().map(|f| values[f.index()]),
-        );
+        values[id.index()] = eval_tv(gate.kind(), gate.fanins().iter().map(|f| values[f.index()]));
     }
     values
 }

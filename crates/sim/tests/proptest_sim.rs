@@ -1,10 +1,10 @@
 //! Property tests for the simulation engines: all four engines agree with
 //! the scalar reference on random circuits, vectors and forcings.
 
-use gatediag_netlist::{GateId, RandomCircuitSpec};
+use gatediag_netlist::{GateId, GateKind, RandomCircuitSpec};
 use gatediag_sim::{
-    pack_vectors, simulate, simulate_forced, simulate_packed_forced, simulate_tv,
-    simulate_tv_packed, unpack_lane, DeltaSim, Tv,
+    pack_vectors, pack_vectors_into, simulate, simulate_forced, simulate_packed_forced,
+    simulate_tv, simulate_tv_packed, unpack_lane, DeltaSim, PackedSim, Tv,
 };
 use proptest::prelude::*;
 
@@ -16,12 +16,10 @@ struct Workbench {
 }
 
 fn workbench() -> impl Strategy<Value = Workbench> {
-    (0u64..3_000, any::<u64>(), any::<u8>()).prop_map(|(seed, vector_bits, force_bits)| {
-        Workbench {
-            seed,
-            vector_bits,
-            force_bits,
-        }
+    (0u64..3_000, any::<u64>(), any::<u8>()).prop_map(|(seed, vector_bits, force_bits)| Workbench {
+        seed,
+        vector_bits,
+        force_bits,
     })
 }
 
@@ -69,7 +67,8 @@ proptest! {
             .iter()
             .map(|&(g, v)| (g, if v { !0u64 } else { 0 }))
             .collect();
-        let words = simulate_packed_forced(&c, &pack_vectors(&c, &[vector.clone()]), &packed_force);
+        let words =
+            simulate_packed_forced(&c, &pack_vectors(&c, std::slice::from_ref(&vector)), &packed_force);
         let scalar = simulate_forced(&c, &vector, &forced);
         prop_assert_eq!(unpack_lane(&words, 0), scalar);
     }
@@ -130,7 +129,7 @@ proptest! {
         for (pick, value) in toggles {
             let g = functional[pick as usize % functional.len()];
             active.retain(|&(x, _)| x != g);
-            if value || active.len() % 2 == 0 {
+            if value || active.len().is_multiple_of(2) {
                 active.push((g, value));
                 sim.force(g, value);
             } else {
@@ -140,5 +139,125 @@ proptest! {
             let reference = simulate_forced(&c, &vector, &active);
             prop_assert_eq!(sim.values(), &reference[..]);
         }
+    }
+
+    /// `PackedSim` with more than 64 patterns (multi-word) and a random
+    /// forced set is lane-for-lane identical to the scalar reference.
+    #[test]
+    fn packed_sim_multiword_equals_scalar(
+        seed in 0u64..3_000,
+        pattern_count in 65usize..200,
+        lane_bits in any::<u64>(),
+        force_bits in any::<u8>(),
+    ) {
+        let c = circuit_of(seed);
+        let vectors: Vec<Vec<bool>> = (0..pattern_count)
+            .map(|p| vector_of(&c, lane_bits.rotate_left(p as u32) ^ p as u64))
+            .collect();
+        let forced = forcings(&c, force_bits);
+        let mut packed = Vec::new();
+        let words = pack_vectors_into(&c, &vectors, &mut packed);
+        prop_assert!(words > 1, "must exercise the multi-word path");
+        let mut sim = PackedSim::new(&c);
+        sim.reset(words);
+        sim.set_input_words(&packed);
+        for &(g, v) in &forced {
+            // Alternate the forced value across lanes: even lanes get `v`,
+            // odd lanes get `!v`.
+            let word = if v { 0x5555_5555_5555_5555u64 } else { !0x5555_5555_5555_5555u64 };
+            let per_gate: Vec<u64> = (0..words).map(|_| word).collect();
+            sim.force(g, &per_gate);
+        }
+        sim.sweep();
+        for (lane, vector) in vectors.iter().enumerate() {
+            let lane_forced: Vec<(GateId, bool)> = forced
+                .iter()
+                .map(|&(g, v)| (g, if lane % 2 == 0 { v } else { !v }))
+                .collect();
+            let reference = simulate_forced(&c, vector, &lane_forced);
+            prop_assert_eq!(sim.unpack_lane(lane), reference, "lane {}", lane);
+        }
+    }
+
+    /// Incremental propagation after force / clear / kind-override edits
+    /// always lands on the same values as a from-scratch sweep, which is
+    /// itself anchored to the scalar reference elsewhere.
+    #[test]
+    fn packed_sim_incremental_equals_fresh_sweep(
+        seed in 0u64..3_000,
+        lane_bits in any::<u64>(),
+        edits in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..10),
+    ) {
+        let c = circuit_of(seed);
+        let vectors: Vec<Vec<bool>> = (0..96)
+            .map(|p| vector_of(&c, lane_bits.wrapping_mul(p as u64 + 1)))
+            .collect();
+        let functional: Vec<GateId> = c
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let mut packed = Vec::new();
+        let words = pack_vectors_into(&c, &vectors, &mut packed);
+        let mut sim = PackedSim::new(&c);
+        sim.reset(words);
+        sim.set_input_words(&packed);
+        sim.sweep();
+        // Mirror engine: same overlay state, but recomputed from scratch
+        // with a full sweep every time.
+        let mut fresh = PackedSim::new(&c);
+        let mut forced_now: Vec<(GateId, bool)> = Vec::new();
+        let mut kinds_now: Vec<(GateId, GateKind)> = Vec::new();
+        for (pick, action, value) in edits {
+            let g = functional[pick as usize % functional.len()];
+            match action % 4 {
+                0 => {
+                    forced_now.retain(|&(x, _)| x != g);
+                    forced_now.push((g, value));
+                    sim.force_all_lanes(g, value);
+                }
+                1 => {
+                    let menu = GateKind::compatible_with_arity(c.gate(g).arity());
+                    let kind = menu[action as usize % menu.len()];
+                    kinds_now.retain(|&(x, _)| x != g);
+                    kinds_now.push((g, kind));
+                    sim.override_kind(g, kind);
+                }
+                2 => {
+                    forced_now.clear();
+                    sim.clear_forced();
+                }
+                _ => {
+                    kinds_now.clear();
+                    sim.clear_kind_overrides();
+                }
+            }
+            sim.propagate();
+            fresh.reset(words);
+            fresh.set_input_words(&packed);
+            for &(fg, fv) in &forced_now {
+                fresh.force_all_lanes(fg, fv);
+            }
+            for &(kg, kk) in &kinds_now {
+                fresh.override_kind(kg, kk);
+            }
+            fresh.sweep();
+            prop_assert_eq!(sim.values(), fresh.values());
+        }
+    }
+
+    /// The buffer-reusing multi-word packer agrees with the legacy 64-lane
+    /// packer on its shared domain.
+    #[test]
+    fn pack_vectors_into_matches_legacy(seed in 0u64..3_000, count in 1usize..=64, lane_bits in any::<u64>()) {
+        let c = circuit_of(seed);
+        let vectors: Vec<Vec<bool>> = (0..count)
+            .map(|p| vector_of(&c, lane_bits ^ (p as u64) << 3))
+            .collect();
+        let legacy = pack_vectors(&c, &vectors);
+        let mut reused = vec![0xdead_beefu64; 3]; // stale content must be overwritten
+        let words = pack_vectors_into(&c, &vectors, &mut reused);
+        prop_assert_eq!(words, 1);
+        prop_assert_eq!(&reused, &legacy);
     }
 }

@@ -19,9 +19,17 @@ fn main() {
         .name("comparison_demo")
         .generate();
     let p = 2;
-    let (faulty, sites) = inject_errors(&golden, p, 5);
+    // Retry injection seeds until the errors are observable enough for a
+    // full 32-test pool (an injection can land in near-redundant logic).
+    let (faulty, sites, all_tests) = (5u64..30)
+        .map(|seed| {
+            let (faulty, sites) = inject_errors(&golden, p, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 32, 5, 1 << 17);
+            (faulty, sites, tests)
+        })
+        .find(|(_, _, tests)| tests.len() >= 32)
+        .expect("some injection seed is observable");
     let errors: Vec<_> = sites.iter().map(|s| s.gate).collect();
-    let all_tests = generate_failing_tests(&golden, &faulty, 32, 5, 1 << 17);
     println!(
         "circuit {} gates, {} errors injected, test pool {}",
         faulty.num_functional_gates(),

@@ -12,8 +12,8 @@
 
 use gatediag::netlist::{inject_errors, parse_bench_named};
 use gatediag::{
-    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, solution_quality,
-    BsatOptions, BsimOptions,
+    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, solution_quality, BsatOptions,
+    BsimOptions,
 };
 use std::process::ExitCode;
 
@@ -91,7 +91,7 @@ fn main() -> ExitCode {
             (m, faulty.gate_name(id).unwrap_or("?").to_string())
         })
         .collect();
-    ranked.sort_by(|a, b| b.0.cmp(&a.0));
+    ranked.sort_by_key(|a| std::cmp::Reverse(a.0));
     println!("\nBSIM candidates by mark count M(g):");
     for (m, gate_name) in ranked.iter().take(8) {
         println!("  M = {m:>3}  {gate_name}");

@@ -6,9 +6,7 @@
 //! gatediag equiv --bench a.bench --against b.bench
 //! ```
 
-use gatediag::netlist::{
-    c17, inject_errors, parse_bench_named, to_dot, Circuit, GateId,
-};
+use gatediag::netlist::{c17, inject_errors, parse_bench_named, to_dot, Circuit, GateId};
 use gatediag::{
     basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, hybrid_seeded_bsat,
     sc_diagnose, solution_quality, BsatOptions, BsimOptions, CovOptions,
@@ -187,7 +185,9 @@ fn diagnose(args: &[String]) -> ExitCode {
                 "BSIM marked {} gates; G_max ({} gates): {:?}",
                 result.union.len(),
                 gmax.len(),
-                gmax.iter().map(|&g| name_of(&faulty, g)).collect::<Vec<_>>()
+                gmax.iter()
+                    .map(|&g| name_of(&faulty, g))
+                    .collect::<Vec<_>>()
             );
             result.union.iter().collect()
         }
@@ -255,7 +255,11 @@ fn print_solutions(
         println!(
             "  {:?}{}",
             names,
-            if hit { "  <-- contains a real error site" } else { "" }
+            if hit {
+                "  <-- contains a real error site"
+            } else {
+                ""
+            }
         );
     }
     if solutions.len() > 20 {

@@ -9,7 +9,11 @@ use gatediag::{
     is_valid_correction_sim, sc_diagnose, BsatOptions, CovOptions, TestSet,
 };
 
-fn random_case(seed: u64, p: usize, m: usize) -> Option<(gatediag::netlist::Circuit, Vec<GateId>, TestSet)> {
+fn random_case(
+    seed: u64,
+    p: usize,
+    m: usize,
+) -> Option<(gatediag::netlist::Circuit, Vec<GateId>, TestSet)> {
     let golden = RandomCircuitSpec::new(6, 3, 35).seed(seed).generate();
     let (faulty, sites) = inject_errors(&golden, p, seed);
     let tests = generate_failing_tests(&golden, &faulty, m, seed, 8192);
@@ -116,8 +120,7 @@ fn valid_irredundant_covers_are_found_by_bsat() {
                 // (a strict subset may already be valid); only irredundant
                 // ones must appear in BSAT's output.
                 let irredundant = sol.iter().all(|g| {
-                    let without: Vec<GateId> =
-                        sol.iter().copied().filter(|h| h != g).collect();
+                    let without: Vec<GateId> = sol.iter().copied().filter(|h| h != g).collect();
                     !is_valid_correction_sim(&faulty, &tests, &without)
                 });
                 if irredundant {

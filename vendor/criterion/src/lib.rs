@@ -1,0 +1,377 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! throughput annotation and the `criterion_group!` / `criterion_main!`
+//! macros — backed by a plain wall-clock sampler instead of criterion's
+//! statistical machinery. Measurement and warm-up times are honoured but
+//! capped (`CRITERION_STUB_MAX_SECS`, default 2s per benchmark) so full
+//! bench runs stay affordable in CI.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation used to derive per-element rates.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+#[derive(Copy, Clone, Debug)]
+pub enum BatchSize {
+    /// Small inputs: one setup per iteration is fine.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// Per-iteration setup.
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement: Duration,
+    warm_up: Duration,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        // Warm-up: run without recording.
+        let warm_deadline = Instant::now() + self.warm_up;
+        let mut warm_iters = 0u64;
+        while Instant::now() < warm_deadline || warm_iters == 0 {
+            timed_pass();
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measurement.
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline || self.iterations == 0 {
+            self.elapsed += timed_pass();
+            self.iterations += 1;
+            if self.iterations >= 10_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let start = Instant::now();
+            hint::black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            hint::black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn per_iter(&self) -> Duration {
+        if self.iterations == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / self.iterations as u32
+        }
+    }
+}
+
+fn cap() -> Duration {
+    std::env::var("CRITERION_STUB_MAX_SECS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(2))
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target measurement time (capped by the stub).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time.min(cap());
+        self
+    }
+
+    /// Sets the warm-up time (capped by the stub).
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up = time.min(cap() / 4);
+        self
+    }
+
+    /// Accepted for compatibility; the stub's sampler ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            measurement: self.measurement,
+            warm_up: self.warm_up,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        let per_iter = bencher.per_iter();
+        let mut line = format!(
+            "{}/{}\n                        time:   [{} {} {}]",
+            self.name,
+            id.id,
+            format_duration(per_iter),
+            format_duration(per_iter),
+            format_duration(per_iter),
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |count: u64| {
+                if per_iter.as_secs_f64() > 0.0 {
+                    count as f64 / per_iter.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                }
+            };
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(
+                        line,
+                        "\n                        thrpt:  {:.4e} elem/s",
+                        per_sec(n)
+                    );
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(
+                        line,
+                        "\n                        thrpt:  {:.4e} B/s",
+                        per_sec(n)
+                    );
+                }
+            }
+        }
+        println!("{line}  ({} iterations)", bencher.iterations);
+        self.criterion
+            .results
+            .push((format!("{}/{}", self.name, id.id), per_iter));
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<(String, Duration)>,
+}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: Duration::from_secs(1).min(cap()),
+            warm_up: Duration::from_millis(200),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// All `(name, per-iteration time)` results recorded so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        std::env::set_var("CRITERION_STUB_MAX_SECS", "0.02");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        group.throughput(Throughput::Elements(64));
+        let mut count = 0u64;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(count > 0, "routine never ran");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_STUB_MAX_SECS", "0.02");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter_batched(
+                || vec![0u8; 16],
+                |v| v.len() as u64 + n,
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(c.results().len(), 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(format_duration(Duration::from_nanos(500)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(5)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(5)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -175,7 +175,14 @@ fn main() {
     let sim_speedup = packed_patterns_per_sec / scalar_patterns_per_sec;
 
     // --- BSIM diagnose -------------------------------------------------
-    let options = BsimOptions::default();
+    // Pinned sequential: this baseline measures the single-core packed
+    // substrate against the seed's scalar loop. Multi-worker scaling has
+    // its own trajectory file (bench_pr2 / BENCH_PR2.json); letting Auto
+    // pick up cores here would silently conflate the two.
+    let options = BsimOptions {
+        parallelism: gatediag_sim::Parallelism::Sequential,
+        ..BsimOptions::default()
+    };
     let seed_bsim_time = measure(budget, || seed_style_bsim(&faulty, &tests, options).len());
     let packed_bsim_time = measure(budget, || {
         basic_sim_diagnose(&faulty, &tests, options)

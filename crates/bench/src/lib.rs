@@ -10,7 +10,12 @@
 //! * `bench_pr1` — emits `BENCH_PR1.json`, the perf trajectory baseline
 //!   comparing the packed/incremental hot paths against the seed's
 //!   scalar-per-test behaviour (sim throughput, BSIM wall time,
-//!   validity screening).
+//!   validity screening);
+//! * `bench_pr2` — emits `BENCH_PR2.json`, extending the trajectory with
+//!   per-thread-count scaling of the parallel diagnosis layer (sharded
+//!   BSIM, parallel candidate screening, the reusable validity engine),
+//!   with bit-identity asserted between every worker count before any
+//!   number is published.
 //!
 //! Criterion benchmarks (`cargo bench -p gatediag-bench`): `solver`,
 //! `sim` (including the `PackedSim` multi-word and incremental groups),

@@ -8,7 +8,7 @@
 
 use crate::test_set::TestSet;
 use gatediag_netlist::{Circuit, GateId, GateKind, GateSet};
-use gatediag_sim::{pack_vectors_into, PackedSim};
+use gatediag_sim::{pack_vectors_into, parallel_map_init, PackedSim, Parallelism};
 
 /// How path tracing treats multiple controlling inputs.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -31,6 +31,9 @@ pub struct BsimOptions {
     /// gates only, so the default is `false`; tracing still passes through
     /// inputs either way.
     pub include_inputs: bool,
+    /// Worker count for sharding the packed sweeps and per-test path
+    /// traces. The result is bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 /// Result of [`basic_sim_diagnose`].
@@ -205,28 +208,58 @@ pub fn basic_sim_diagnose(circuit: &Circuit, tests: &TestSet, options: BsimOptio
     // candidate values straight out of the packed words, so the per-test
     // cost is the trace itself, not a full scalar resimulation.
     const SWEEP_PATTERNS: usize = 512;
+    // Sharding: each batch (one packed sweep + its path traces) is an
+    // independent unit claimed off the pool's shared index. With fewer
+    // batches than workers, batches shrink (in whole 64-test words) so
+    // every worker gets a share of both the sweeps and the traces. The
+    // per-test results do not depend on how tests are grouped into
+    // batches, so any chunking is bit-identical to the sequential one.
+    //
+    // Under the default `Auto`, the work floor keeps small workloads
+    // (tiny circuits or few tests) inline; explicit `Fixed(n)` or a
+    // `GATEDIAG_WORKERS` override always fans out as requested.
+    let workers = options.parallelism.workers_for(
+        tests.len().div_ceil(64),
+        circuit.len().saturating_mul(tests.len()),
+        gatediag_sim::AUTO_WORK_FLOOR,
+    );
+    let chunk = if workers > 1 {
+        (tests.len().div_ceil(workers)).div_ceil(64) * 64
+    } else {
+        SWEEP_PATTERNS
+    }
+    .clamp(64, SWEEP_PATTERNS);
+    let batches: Vec<&[crate::test_set::Test]> = tests.tests().chunks(chunk).collect();
+    let per_batch: Vec<Vec<GateSet>> = parallel_map_init(
+        workers,
+        batches.len(),
+        || (PackedSim::new(circuit), Vec::new(), Vec::new()),
+        |(sim, packed, vectors), b| {
+            let batch = batches[b];
+            vectors.clear();
+            vectors.extend(batch.iter().map(|t| t.vector.as_slice()));
+            let words = pack_vectors_into(circuit, vectors, packed);
+            sim.reset(words);
+            sim.set_input_words(packed);
+            sim.sweep();
+            batch
+                .iter()
+                .enumerate()
+                .map(|(lane, test)| {
+                    path_trace_packed(circuit, sim.values(), words, lane, test.output, options)
+                })
+                .collect()
+        },
+    );
     let mut candidate_sets = Vec::with_capacity(tests.len());
     let mut mark_counts = vec![0u32; circuit.len()];
     let mut union = GateSet::new(circuit.len());
-    let mut sim = PackedSim::new(circuit);
-    let mut packed = Vec::new();
-    let mut vectors: Vec<&[bool]> = Vec::new();
-    for batch in tests.tests().chunks(SWEEP_PATTERNS) {
-        vectors.clear();
-        vectors.extend(batch.iter().map(|t| t.vector.as_slice()));
-        let words = pack_vectors_into(circuit, &vectors, &mut packed);
-        sim.reset(words);
-        sim.set_input_words(&packed);
-        sim.sweep();
-        for (lane, test) in batch.iter().enumerate() {
-            let marked =
-                path_trace_packed(circuit, sim.values(), words, lane, test.output, options);
-            for g in marked.iter() {
-                mark_counts[g.index()] += 1;
-            }
-            union.union_with(&marked);
-            candidate_sets.push(marked);
+    for marked in per_batch.into_iter().flatten() {
+        for g in marked.iter() {
+            mark_counts[g.index()] += 1;
         }
+        union.union_with(&marked);
+        candidate_sets.push(marked);
     }
     BsimResult {
         candidate_sets,

@@ -14,6 +14,7 @@ use crate::test_set::TestSet;
 use gatediag_cnf::{ClauseSink, Totalizer};
 use gatediag_netlist::{Circuit, GateId};
 use gatediag_sat::{enumerate_positive_subsets, Solver, Var};
+use gatediag_sim::{parallel_map_init, Parallelism};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -34,8 +35,14 @@ pub struct CovOptions {
     pub engine: CovEngine,
     /// Stop after this many solutions (`complete = false` if hit).
     pub max_solutions: usize,
-    /// Path-tracing options for the BSIM phase.
+    /// Path-tracing options for the BSIM phase (its `parallelism` field
+    /// shards the packed sweeps).
     pub bsim: BsimOptions,
+    /// Worker count for the covering phase. Only
+    /// [`CovEngine::BranchAndBound`] fans out (over the top-level branch
+    /// gates); the CDCL enumeration of [`CovEngine::Sat`] is inherently
+    /// sequential. Solutions are bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for CovOptions {
@@ -44,6 +51,7 @@ impl Default for CovOptions {
             engine: CovEngine::default(),
             max_solutions: 1_000_000,
             bsim: BsimOptions::default(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -113,7 +121,7 @@ pub fn cover_all(sets: &[Vec<GateId>], k: usize, options: CovOptions) -> CovResu
     let total_start = Instant::now();
     let (mut solutions, complete, build_time, first_solution_time) = match options.engine {
         CovEngine::Sat => cover_sat(sets, k, options.max_solutions),
-        CovEngine::BranchAndBound => cover_bnb(sets, k, options.max_solutions),
+        CovEngine::BranchAndBound => cover_bnb(sets, k, options.max_solutions, options.parallelism),
     };
     for sol in &mut solutions {
         sol.sort();
@@ -208,7 +216,27 @@ fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
     (solutions, complete, build_time, first_solution_time)
 }
 
-fn cover_bnb(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutput {
+/// Branch-and-bound cover enumeration, fanned out over the gates of the
+/// top-level branch set.
+///
+/// The subtrees share nothing (the recursion's only cross-branch state in
+/// the sequential version was the truncation counter), so with one worker
+/// the branches share the seed's global cap and early exit, and with
+/// several each branch enumerates independently with its own cap: the
+/// branch-ordered merge, truncated to the cap, reproduces the sequential
+/// DFS solution list exactly for every worker count (at the cost of up to
+/// one cap's worth of discarded work per branch when truncation
+/// actually triggers).
+///
+/// The effective cap is `max_solutions.max(1)`: the seed recursion only
+/// noticed truncation *after* pushing a solution, so even
+/// `max_solutions == 0` reports the first cover found.
+fn cover_bnb(
+    sets: &[Vec<GateId>],
+    k: usize,
+    max_solutions: usize,
+    parallelism: Parallelism,
+) -> EngineOutput {
     let build_start = Instant::now();
     if sets.is_empty() {
         return (
@@ -227,22 +255,74 @@ fn cover_bnb(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
         );
     }
     let build_time = build_start.elapsed();
-    let mut found: Vec<Vec<GateId>> = Vec::new();
-    let mut chosen: Vec<GateId> = Vec::new();
-    let mut truncated = false;
-    let mut first_solution_time = Duration::ZERO;
     let enum_start = Instant::now();
-    recurse(
-        sets,
-        k,
-        &mut chosen,
-        &mut found,
-        max_solutions,
-        &mut truncated,
-        &mut first_solution_time,
-        build_time,
-        enum_start,
-    );
+    // The root branches on the smallest set (nothing is covered yet);
+    // ties resolve to the first set, as in the recursion.
+    let branch_set = sets
+        .iter()
+        .min_by_key(|set| set.len())
+        .expect("sets checked non-empty");
+    let cap = max_solutions.max(1);
+    let mut found: Vec<Vec<GateId>> = Vec::new();
+    let mut first_elapsed: Option<Duration> = None;
+    {
+        // Rough enumeration-size estimate for the `Auto` work floor: the
+        // search visits O(branch · max_set_len^(k-1)) nodes, each
+        // scanning the sets for cover checks.
+        let max_set_len = sets.iter().map(|s| s.len()).max().unwrap_or(1);
+        let work = branch_set
+            .len()
+            .saturating_mul(max_set_len.saturating_pow(k.saturating_sub(1).min(3) as u32))
+            .saturating_mul(sets.len());
+        let workers =
+            parallelism.workers_for(branch_set.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+        if workers <= 1 {
+            // Sequential: one recursion from the empty root — shared
+            // solution list, global early exit across branches (the
+            // seed's behaviour). With empty `chosen` the recursion picks
+            // the same smallest branch set as above, and its budget
+            // check handles `k == 0`.
+            recurse(
+                sets,
+                k,
+                &mut Vec::new(),
+                &mut found,
+                cap,
+                &mut first_elapsed,
+                enum_start,
+            );
+        } else if k > 0 {
+            let per_branch: Vec<(Vec<Vec<GateId>>, Option<Duration>)> = parallel_map_init(
+                workers,
+                branch_set.len(),
+                || (),
+                |(), b| {
+                    let mut chosen = vec![branch_set[b]];
+                    let mut local: Vec<Vec<GateId>> = Vec::new();
+                    let mut local_first = None;
+                    recurse(
+                        sets,
+                        k - 1,
+                        &mut chosen,
+                        &mut local,
+                        cap,
+                        &mut local_first,
+                        enum_start,
+                    );
+                    (local, local_first)
+                },
+            );
+            for (local, local_first) in per_branch {
+                if let Some(t) = local_first {
+                    first_elapsed = Some(first_elapsed.map_or(t, |cur: Duration| cur.min(t)));
+                }
+                found.extend(local);
+            }
+        }
+    }
+    let truncated = found.len() >= cap;
+    found.truncate(cap);
+    let first_solution_time = first_elapsed.map_or(Duration::ZERO, |t| build_time + t);
 
     // Deduplicate and keep only irredundant covers.
     for sol in &mut found {
@@ -265,19 +345,21 @@ fn cover_bnb(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
     (irredundant, !truncated, build_time, first_solution_time)
 }
 
-#[allow(clippy::too_many_arguments)]
+/// The cover search. The sequential path enters once with an empty
+/// `chosen` (the full seed recursion); a parallel branch enters with its
+/// root gate pre-chosen. `found` is the sequential path's shared list or
+/// a parallel branch's local list, capped at `cap`
+/// (`max_solutions.max(1)`, see [`cover_bnb`]).
 fn recurse(
     sets: &[Vec<GateId>],
     budget: usize,
     chosen: &mut Vec<GateId>,
     found: &mut Vec<Vec<GateId>>,
-    max_solutions: usize,
-    truncated: &mut bool,
-    first_solution_time: &mut Duration,
-    build_time: Duration,
+    cap: usize,
+    first_elapsed: &mut Option<Duration>,
     enum_start: Instant,
 ) {
-    if *truncated {
+    if found.len() >= cap {
         return;
     }
     // Find the smallest uncovered set to branch on.
@@ -287,12 +369,9 @@ fn recurse(
         .min_by_key(|set| set.len());
     let Some(branch_set) = uncovered else {
         if found.is_empty() {
-            *first_solution_time = build_time + enum_start.elapsed();
+            *first_elapsed = Some(enum_start.elapsed());
         }
         found.push(chosen.clone());
-        if found.len() >= max_solutions {
-            *truncated = true;
-        }
         return;
     };
     if budget == 0 {
@@ -305,14 +384,12 @@ fn recurse(
             budget - 1,
             chosen,
             found,
-            max_solutions,
-            truncated,
-            first_solution_time,
-            build_time,
+            cap,
+            first_elapsed,
             enum_start,
         );
         chosen.pop();
-        if *truncated {
+        if found.len() >= cap {
             return;
         }
     }

@@ -21,7 +21,56 @@
 //! make the paper's Lemmas 1-4 and Theorems 1-2 executable; the
 //! [`paper_examples`] module ships the Fig. 5 witness circuits.
 //!
+//! # Parallel diagnosis
+//!
+//! The simulation-based flows are embarrassingly parallel across
+//! *independent candidate cones and test batches*: every diagnosis
+//! option struct carries a [`Parallelism`] knob that shards its work over
+//! a scoped worker pool (one reusable engine per worker, work-stealing
+//! over a shared index — see [`gatediag_sim::parallel_map_init`]).
+//! Results are **bit-identical for every thread count**; drift tests and
+//! property tests pin this. Cross-candidate loops should reuse one
+//! [`SimValidityEngine`] per thread (or batch-screen with
+//! [`screen_valid_corrections_sim`]) instead of paying
+//! [`is_valid_correction_sim`]'s per-call buffer setup.
+//!
 //! # Examples
+//!
+//! Diagnose a 3-gate circuit end to end: path-trace candidates, validate
+//! them, and recover the concrete repair.
+//!
+//! ```
+//! use gatediag_core::{
+//!     basic_sim_diagnose, find_kind_repairs, is_valid_correction_sim, BsimOptions, Test, TestSet,
+//! };
+//! use gatediag_netlist::{CircuitBuilder, GateKind};
+//!
+//! // A 3-gate faulty design: y = AND(NOT(a), b) where the golden design
+//! // wanted y = OR(NOT(a), b).
+//! let mut b = CircuitBuilder::new();
+//! let a = b.input("a");
+//! let bb = b.input("b");
+//! let n = b.gate(GateKind::Not, vec![a], "n");
+//! let y = b.gate(GateKind::And, vec![n, bb], "y");
+//! b.output(y);
+//! let faulty = b.finish().unwrap();
+//!
+//! // a = 1, b = 1 distinguishes the designs: the golden OR(0, 1) = 1,
+//! // the faulty AND(0, 1) = 0 — so (vector [1,1], output y, expected 1)
+//! // is a failing test.
+//! let tests = TestSet::new(vec![Test { vector: vec![true, true], output: y, expected: true }]);
+//!
+//! // BSIM marks candidates along sensitised paths from y.
+//! let marked = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
+//! assert!(marked.union.contains(y));
+//! // The faulty gate alone is a valid correction, and library
+//! // resynthesis recovers OR as one concrete repair.
+//! assert!(is_valid_correction_sim(&faulty, &tests, &[y]));
+//! let repairs = find_kind_repairs(&faulty, &tests, &[y]);
+//! assert!(repairs.contains(&vec![(y, GateKind::Or)]));
+//! ```
+//!
+//! SAT-based diagnosis on the paper's workloads:
 //!
 //! ```
 //! use gatediag_core::{basic_sat_diagnose, generate_failing_tests, BsatOptions};
@@ -63,7 +112,10 @@ pub use bsim::{
 pub use cov::{cover_all, sc_diagnose, CovEngine, CovOptions, CovResult};
 pub use hybrid::{hybrid_seeded_bsat, repair_correction, RepairOutcome};
 pub use quality::{bsim_quality, solution_quality, BsimQuality, SolutionQuality};
-pub use repair::{correction_observations, find_kind_repairs, FunctionObservation, KindRepair};
+pub use repair::{
+    correction_observations, find_kind_repairs, find_kind_repairs_par, FunctionObservation,
+    KindRepair,
+};
 pub use sequential::{
     generate_failing_sequences, is_valid_sequential_correction, real_inputs,
     sequence_tests_to_unrolled, sequential_sat_diagnose, simulate_sequence, SeqDiagnosis,
@@ -71,7 +123,15 @@ pub use sequential::{
 };
 pub use sim_backtrack::{sim_backtrack_diagnose, SimBacktrackOptions};
 pub use test_set::{generate_failing_tests, Test, TestSet};
-pub use validity::{is_valid_correction_sat, is_valid_correction_sim};
+pub use validity::{
+    is_valid_correction_sat, is_valid_correction_sim, screen_valid_corrections_sim,
+    SimValidityEngine,
+};
+
+// The thread-count policy for the parallel diagnosis entry points lives
+// in the simulation crate (next to the worker pool); re-export it so core
+// users configure parallelism without an extra dependency.
+pub use gatediag_sim::Parallelism;
 
 // Re-export the option/encoding types used in this crate's public API so
 // downstream users need not depend on the encoding crate directly.

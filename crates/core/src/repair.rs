@@ -16,7 +16,7 @@ use crate::test_set::TestSet;
 use gatediag_cnf::{encode_gate, ClauseSink};
 use gatediag_netlist::{Circuit, GateId, GateKind};
 use gatediag_sat::{Lit, SolveResult, Solver, Var};
-use gatediag_sim::{pack_vectors_into, PackedSim};
+use gatediag_sim::{pack_vectors_into, parallel_map_init, PackedSim, Parallelism};
 
 /// One per-test observation of a corrected gate's environment.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -116,6 +116,27 @@ pub fn find_kind_repairs(
     tests: &TestSet,
     correction: &[GateId],
 ) -> Vec<KindRepair> {
+    find_kind_repairs_par(circuit, tests, correction, Parallelism::default())
+}
+
+/// [`find_kind_repairs`] with an explicit worker count: the mixed-radix
+/// assignment space is sharded into contiguous index ranges claimed off
+/// the pool's shared index, one reusable [`PackedSim`] per worker.
+///
+/// Each assignment overrides *every* correction site, so a worker's
+/// engine needs no override clearing between assignments and the screen
+/// is independent of how the space is sharded — the repair list is
+/// bit-identical (same order) for every thread count.
+///
+/// # Panics
+///
+/// Panics if `correction.len() > 4` (library search is `6^n`).
+pub fn find_kind_repairs_par(
+    circuit: &Circuit,
+    tests: &TestSet,
+    correction: &[GateId],
+    parallelism: Parallelism,
+) -> Vec<KindRepair> {
     assert!(
         correction.len() <= 4,
         "library search limited to 4 simultaneous sites"
@@ -130,56 +151,87 @@ pub fn find_kind_repairs(
                 .collect()
         })
         .collect();
+    let total: usize = menus.iter().map(|m| m.len()).product();
+    if total == 0 {
+        return Vec::new();
+    }
 
-    // One packed batch carries every test; lane t is test t.
+    // One packed batch carries every test; lane t is test t. The packed
+    // input words are shared read-only by every worker.
     let vectors: Vec<&[bool]> = tests.iter().map(|t| t.vector.as_slice()).collect();
     let mut packed = Vec::new();
     let words = pack_vectors_into(circuit, &vectors, &mut packed);
-    let mut sim = PackedSim::new(circuit);
-    sim.reset(words);
-    sim.set_input_words(&packed);
-    sim.sweep();
+    let packed = packed; // freeze for capture
 
-    let mut repairs = Vec::new();
-    let mut choice: Vec<usize> = vec![0; correction.len()];
-    loop {
-        let assignment: KindRepair = correction
-            .iter()
-            .zip(&choice)
-            .map(|(&g, &c)| (g, menus[g_index(correction, g)][c]))
-            .collect();
-        for &(g, kind) in &assignment {
-            sim.override_kind(g, kind);
-        }
-        sim.propagate();
-        let fixes_all = tests
-            .iter()
-            .enumerate()
-            .all(|(lane, t)| sim.lane(t.output, lane) == t.expected);
-        if fixes_all {
-            repairs.push(assignment);
-        }
-        // Advance the mixed-radix counter.
-        let mut pos = 0;
-        loop {
-            if pos == choice.len() {
-                return repairs;
+    // Shard the assignment index space into contiguous chunks; several
+    // chunks per worker so stealing evens out uneven cone sizes. Every
+    // worker pays one full baseline sweep in `init`, so under `Auto`
+    // small assignment spaces (1-2 sites) stay inline — the floor of 256
+    // assignments is where per-assignment cone propagation starts to
+    // dwarf the per-worker sweep.
+    let workers = parallelism.workers_for(total, total, 256);
+    let chunk = if workers > 1 {
+        total.div_ceil(workers * 4).max(8)
+    } else {
+        total
+    };
+    let chunks = total.div_ceil(chunk);
+    let per_chunk: Vec<Vec<KindRepair>> = parallel_map_init(
+        workers,
+        chunks,
+        || {
+            let mut sim = PackedSim::new(circuit);
+            sim.reset(words);
+            sim.set_input_words(&packed);
+            sim.sweep();
+            sim
+        },
+        |sim, c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(total);
+            // Decode the first index of the range into a mixed-radix
+            // counter (position 0 is the least significant digit, as in
+            // the sequential enumeration).
+            let mut choice: Vec<usize> = Vec::with_capacity(menus.len());
+            let mut rest = lo;
+            for menu in &menus {
+                choice.push(rest % menu.len());
+                rest /= menu.len();
             }
-            choice[pos] += 1;
-            if choice[pos] < menus[pos].len() {
-                break;
+            let mut repairs = Vec::new();
+            for _ in lo..hi {
+                let assignment: KindRepair = correction
+                    .iter()
+                    .zip(&choice)
+                    .enumerate()
+                    .map(|(pos, (&g, &c))| (g, menus[pos][c]))
+                    .collect();
+                for &(g, kind) in &assignment {
+                    sim.override_kind(g, kind);
+                }
+                sim.propagate();
+                let fixes_all = tests
+                    .iter()
+                    .enumerate()
+                    .all(|(lane, t)| sim.lane(t.output, lane) == t.expected);
+                if fixes_all {
+                    repairs.push(assignment);
+                }
+                // Advance the mixed-radix counter.
+                let mut pos = 0;
+                while pos < choice.len() {
+                    choice[pos] += 1;
+                    if choice[pos] < menus[pos].len() {
+                        break;
+                    }
+                    choice[pos] = 0;
+                    pos += 1;
+                }
             }
-            choice[pos] = 0;
-            pos += 1;
-        }
-    }
-}
-
-fn g_index(correction: &[GateId], g: GateId) -> usize {
-    correction
-        .iter()
-        .position(|&x| x == g)
-        .expect("gate belongs to the correction")
+            repairs
+        },
+    );
+    per_chunk.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -20,9 +20,9 @@
 
 use crate::bsim::{basic_sim_diagnose, BsimOptions};
 use crate::test_set::TestSet;
-use crate::validity::is_valid_correction_sim;
+use crate::validity::SimValidityEngine;
 use gatediag_netlist::{Circuit, GateId};
-use gatediag_sim::x_may_rectify;
+use gatediag_sim::{parallel_map_init, x_may_rectify, Parallelism};
 
 /// Options for [`sim_backtrack_diagnose`].
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -34,6 +34,10 @@ pub struct SimBacktrackOptions {
     /// Use X-injection pruning before the exact check (on by default;
     /// off quantifies its benefit in the ablation bench).
     pub x_pruning: bool,
+    /// Worker count for fanning the top-level search branches out over a
+    /// pool, one reusable [`SimValidityEngine`] per worker. The solution
+    /// list is bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SimBacktrackOptions {
@@ -42,6 +46,7 @@ impl Default for SimBacktrackOptions {
             bsim: BsimOptions::default(),
             max_solutions: 1_000_000,
             x_pruning: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -51,6 +56,15 @@ impl Default for SimBacktrackOptions {
 /// Returns all irredundant valid corrections of size ≤ `k` that consist
 /// solely of gates marked by path tracing, ordered by candidate rank
 /// (mark count), each sorted by gate id.
+///
+/// The search fans the top-level branches out over a worker pool
+/// ([`SimBacktrackOptions::parallelism`]), one reusable
+/// [`SimValidityEngine`] per worker. The subtrees are independent: every
+/// subtree's candidate sets contain its own branch root, which no later
+/// subtree can pick again, so the sequential search's superset pruning
+/// never crosses subtree boundaries and the merged solution list is
+/// bit-identical to the sequential one (solutions are merged in branch
+/// order and truncated to `max_solutions` before post-processing).
 pub fn sim_backtrack_diagnose(
     circuit: &Circuit,
     tests: &TestSet,
@@ -63,18 +77,77 @@ pub fn sim_backtrack_diagnose(
     let mut candidates: Vec<GateId> = bsim.union.iter().collect();
     candidates.sort_by_key(|g| std::cmp::Reverse(bsim.mark_counts[g.index()]));
 
-    let mut solutions: Vec<Vec<GateId>> = Vec::new();
-    let mut chosen: Vec<GateId> = Vec::new();
-    search(
-        circuit,
-        tests,
-        &candidates,
-        0,
-        k,
-        &mut chosen,
-        &mut solutions,
-        &options,
-    );
+    // Rough search-size estimate for the `Auto` work floor: the tree has
+    // O(|candidates|^k) nodes, each screening against every test.
+    let work = candidates
+        .len()
+        .saturating_pow(k.min(3) as u32)
+        .saturating_mul(tests.len().max(1));
+    let workers =
+        options
+            .parallelism
+            .workers_for(candidates.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    let mut solutions: Vec<Vec<GateId>> = if k == 0 {
+        Vec::new()
+    } else if workers <= 1 {
+        // Sequential: one engine, one shared solution list, and the
+        // seed's *global* max_solutions early exit across branches.
+        let mut engine = SimValidityEngine::new(circuit);
+        let mut sols: Vec<Vec<GateId>> = Vec::new();
+        let mut chosen: Vec<GateId> = Vec::new();
+        for (i, &root) in candidates.iter().enumerate() {
+            if sols.len() >= options.max_solutions {
+                break;
+            }
+            chosen.push(root);
+            search(
+                circuit,
+                tests,
+                &candidates,
+                i + 1,
+                k - 1,
+                &mut chosen,
+                &mut sols,
+                &options,
+                &mut engine,
+            );
+            chosen.pop();
+        }
+        sols
+    } else {
+        // Parallel: the cap is per branch (a branch cannot know how many
+        // solutions lower-indexed branches will contribute), so when
+        // truncation actually triggers, up to max_solutions extra
+        // solutions per branch are enumerated and discarded by the
+        // prefix-truncating merge below. Output is still exactly the
+        // sequential prefix.
+        let per_branch: Vec<Vec<Vec<GateId>>> = parallel_map_init(
+            workers,
+            candidates.len(),
+            || SimValidityEngine::new(circuit),
+            |engine, i| {
+                let mut branch_solutions = Vec::new();
+                let mut chosen = vec![candidates[i]];
+                search(
+                    circuit,
+                    tests,
+                    &candidates,
+                    i + 1,
+                    k - 1,
+                    &mut chosen,
+                    &mut branch_solutions,
+                    &options,
+                    engine,
+                );
+                branch_solutions
+            },
+        );
+        per_branch
+            .into_iter()
+            .flatten()
+            .take(options.max_solutions)
+            .collect()
+    };
     for sol in &mut solutions {
         sol.sort();
     }
@@ -93,6 +166,9 @@ pub fn sim_backtrack_diagnose(
     filtered
 }
 
+/// One subtree of the backtrack search. `chosen` is non-empty; `solutions`
+/// holds this subtree's finds only (cross-subtree pruning can never fire —
+/// see [`sim_backtrack_diagnose`]).
 #[allow(clippy::too_many_arguments)]
 fn search(
     circuit: &Circuit,
@@ -103,28 +179,26 @@ fn search(
     chosen: &mut Vec<GateId>,
     solutions: &mut Vec<Vec<GateId>>,
     options: &SimBacktrackOptions,
+    engine: &mut SimValidityEngine<'_>,
 ) {
     if solutions.len() >= options.max_solutions {
         return;
     }
-    if !chosen.is_empty() {
-        // Skip supersets of known solutions (irredundancy).
-        let redundant = solutions
+    // Skip supersets of known solutions (irredundancy).
+    let redundant = solutions
+        .iter()
+        .any(|sol| sol.iter().all(|g| chosen.contains(g)));
+    if redundant {
+        return;
+    }
+    // Effect analysis: conservative X-check first, exact oracle after.
+    let plausible = !options.x_pruning
+        || tests
             .iter()
-            .any(|sol| sol.iter().all(|g| chosen.contains(g)));
-        if !redundant {
-            // Effect analysis: conservative X-check first, exact oracle after.
-            let plausible = !options.x_pruning
-                || tests
-                    .iter()
-                    .all(|t| x_may_rectify(circuit, &t.vector, chosen, t.output, t.expected));
-            if plausible && is_valid_correction_sim(circuit, tests, chosen) {
-                solutions.push(chosen.clone());
-                return; // children are supersets — redundant
-            }
-        } else {
-            return;
-        }
+            .all(|t| x_may_rectify(circuit, &t.vector, chosen, t.output, t.expected));
+    if plausible && engine.is_valid(tests, chosen) {
+        solutions.push(chosen.clone());
+        return; // children are supersets — redundant
     }
     if budget == 0 {
         return;
@@ -140,6 +214,7 @@ fn search(
             chosen,
             solutions,
             options,
+            engine,
         );
         chosen.pop();
     }
@@ -150,6 +225,7 @@ mod tests {
     use super::*;
     use crate::bsat::{basic_sat_diagnose, BsatOptions};
     use crate::test_set::generate_failing_tests;
+    use crate::validity::is_valid_correction_sim;
     use gatediag_netlist::{inject_errors, RandomCircuitSpec};
 
     fn setup(seed: u64, p: usize, m: usize) -> (Circuit, Vec<GateId>, TestSet) {

@@ -14,16 +14,157 @@
 //! The two must always agree; property tests enforce it. Validity is
 //! monotone under supersets (force the extra gates to the values they
 //! would compute anyway), which the essentiality analysis relies on.
+//!
+//! Cross-candidate loops (backtrack search, cover screening) should hold a
+//! [`SimValidityEngine`] and call [`SimValidityEngine::is_valid`] per
+//! candidate set: the engine keeps its [`PackedSim`] buffers and baseline
+//! values across calls, so consecutive screenings only re-simulate the
+//! cones of inputs and candidates that changed. Screening many candidate
+//! sets at once parallelizes with [`screen_valid_corrections_sim`] — one
+//! engine per worker, work-stealing over the sets.
 
 use crate::test_set::{Test, TestSet};
 use gatediag_cnf::{encode_gate, ClauseSink};
 use gatediag_netlist::{Circuit, GateId, GateKind};
 use gatediag_sat::{SolveResult, Solver, Var};
-use gatediag_sim::PackedSim;
+use gatediag_sim::{parallel_map_init, PackedSim, Parallelism};
 
 /// Words per gate used by the forced-value screening sweeps: 16 words =
 /// 1024 candidate-value combinations per incremental propagation.
 const SCREEN_WORDS: usize = 16;
+
+/// A reusable forced-value validity oracle over one circuit.
+///
+/// Owns a [`PackedSim`] plus its scratch buffers, so a tight loop over
+/// candidate sets (e.g. the backtrack search of
+/// [`crate::sim_backtrack_diagnose`]) pays the O(gates) buffer setup and
+/// the full baseline sweep *once*, after which every call re-simulates
+/// only the fan-out cones of the inputs and candidate gates that changed
+/// since the previous call.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{generate_failing_tests, SimValidityEngine};
+/// use gatediag_netlist::{c17, inject_errors};
+///
+/// let golden = c17();
+/// let (faulty, sites) = inject_errors(&golden, 1, 42);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 42, 4096);
+/// let mut engine = SimValidityEngine::new(&faulty);
+/// // The real error site is a valid correction; screening more
+/// // candidates reuses the engine's baseline incrementally.
+/// assert!(engine.is_valid(&tests, &[sites[0].gate]));
+/// ```
+#[derive(Debug)]
+pub struct SimValidityEngine<'c> {
+    circuit: &'c Circuit,
+    sim: PackedSim<'c>,
+    force_words: Vec<u64>,
+    /// Words per gate the engine is currently sized for (0 = unsized).
+    words: usize,
+    /// Whether `sim` holds a consistent baseline (a full sweep has run
+    /// since the last `reset`), enabling propagate-only updates.
+    primed: bool,
+}
+
+impl<'c> SimValidityEngine<'c> {
+    /// Creates an engine for `circuit`. Buffers are sized lazily on the
+    /// first [`SimValidityEngine::is_valid`] call.
+    pub fn new(circuit: &'c Circuit) -> SimValidityEngine<'c> {
+        SimValidityEngine {
+            circuit,
+            sim: PackedSim::new(circuit),
+            force_words: Vec::new(),
+            words: 0,
+            primed: false,
+        }
+    }
+
+    /// Exact validity of `candidates`, reusing the engine's baseline from
+    /// previous calls. Bit-identical to [`is_valid_correction_sim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates.len() > 16` (use the SAT oracle instead) or
+    /// if a candidate is a primary input.
+    pub fn is_valid(&mut self, tests: &TestSet, candidates: &[GateId]) -> bool {
+        assert!(
+            candidates.len() <= 16,
+            "simulation oracle limited to 16 candidates; use is_valid_correction_sat"
+        );
+        for &g in candidates {
+            assert!(
+                self.circuit.gate(g).kind() != GateKind::Input,
+                "candidate {g} is a primary input"
+            );
+        }
+        let combos = 1u64 << candidates.len();
+        let words = (combos.div_ceil(64) as usize).min(SCREEN_WORDS);
+        if self.words != words {
+            // Repartitioning invalidates the value array; the next test
+            // needs a full sweep again.
+            self.sim.reset(words);
+            self.force_words.clear();
+            self.force_words.resize(words, 0);
+            self.words = words;
+            self.primed = false;
+        }
+        for t in tests {
+            if !self.test_rectifiable(t, candidates) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn test_rectifiable(&mut self, test: &Test, candidates: &[GateId]) -> bool {
+        let words = self.words;
+        let combos = 1u64 << candidates.len();
+        // Per-test baseline: every lane carries the same input vector. An
+        // unprimed engine needs one full sweep (the value array is zeroed
+        // and inconsistent); after that, every test of every call reuses
+        // the previous values and propagates only the cones of inputs
+        // that changed.
+        self.sim.clear_forced();
+        self.sim.set_inputs_broadcast(&test.vector);
+        if self.primed {
+            self.sim.propagate();
+        } else {
+            self.sim.sweep();
+            self.primed = true;
+        }
+        let mut base = 0u64;
+        while base < combos {
+            let lanes = (combos - base).min(64 * words as u64);
+            // Lane l encodes combination base + l: candidate i takes bit i.
+            for (i, &g) in candidates.iter().enumerate() {
+                for (w, word) in self.force_words.iter_mut().enumerate() {
+                    let mut bits = 0u64;
+                    for lane in 0..64u64 {
+                        let combo = base + w as u64 * 64 + lane;
+                        bits |= (combo >> i & 1) << lane;
+                        if combo + 1 >= combos {
+                            break;
+                        }
+                    }
+                    *word = bits;
+                }
+                self.sim.force(g, &self.force_words);
+            }
+            self.sim.propagate();
+            let out_words = self.sim.value_words(test.output);
+            for lane in 0..lanes {
+                let bit = out_words[(lane / 64) as usize] >> (lane % 64) & 1 == 1;
+                if bit == test.expected {
+                    return true;
+                }
+            }
+            base += lanes;
+        }
+        false
+    }
+}
 
 /// Exact validity check by exhaustive forced-value simulation.
 ///
@@ -35,85 +176,52 @@ const SCREEN_WORDS: usize = 16;
 /// candidate gates (incremental forced-value propagation), so screening a
 /// candidate set is far cheaper than `tests * combos` full simulations.
 ///
+/// **Note (soft deprecation):** this convenience signature builds a fresh
+/// engine — O(gates) buffer allocation plus one full baseline sweep — on
+/// *every* call. Callers that screen many candidate sets against the same
+/// circuit (backtrack loops, cover filtering) should construct a
+/// [`SimValidityEngine`] once and call [`SimValidityEngine::is_valid`]
+/// per set, or batch-screen with [`screen_valid_corrections_sim`]; both
+/// are bit-identical to this function and amortise the setup.
+///
 /// # Panics
 ///
 /// Panics if `candidates.len() > 16` (use the SAT oracle instead) or if a
 /// candidate is a source gate.
 pub fn is_valid_correction_sim(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
-    assert!(
-        candidates.len() <= 16,
-        "simulation oracle limited to 16 candidates; use is_valid_correction_sat"
-    );
-    for &g in candidates {
-        assert!(
-            circuit.gate(g).kind() != GateKind::Input,
-            "candidate {g} is a primary input"
-        );
-    }
-    let combos = 1u64 << candidates.len();
-    let words = (combos.div_ceil(64) as usize).min(SCREEN_WORDS);
-    let mut sim = PackedSim::new(circuit);
-    sim.reset(words);
-    let mut force_words = vec![0u64; words];
-    let mut first = true;
-    for t in tests {
-        if !test_rectifiable_sim(&mut sim, t, candidates, &mut force_words, first) {
-            return false;
-        }
-        first = false;
-    }
-    true
+    SimValidityEngine::new(circuit).is_valid(tests, candidates)
 }
 
-fn test_rectifiable_sim(
-    sim: &mut PackedSim<'_>,
-    test: &Test,
-    candidates: &[GateId],
-    force_words: &mut [u64],
-    first: bool,
-) -> bool {
-    let words = sim.words_per_gate();
-    let combos = 1u64 << candidates.len();
-    // Per-test baseline: every lane carries the same input vector. The
-    // first test needs a full sweep (the engine starts on a zeroed,
-    // inconsistent value array); later tests reuse the previous test's
-    // values and propagate only the cones of inputs that changed.
-    sim.clear_forced();
-    sim.set_inputs_broadcast(&test.vector);
-    if first {
-        sim.sweep();
-    } else {
-        sim.propagate();
-    }
-    let mut base = 0u64;
-    while base < combos {
-        let lanes = (combos - base).min(64 * words as u64);
-        // Lane l encodes combination base + l: candidate i takes bit i.
-        for (i, &g) in candidates.iter().enumerate() {
-            for (w, word) in force_words.iter_mut().enumerate() {
-                let mut bits = 0u64;
-                for lane in 0..64u64 {
-                    let combo = base + w as u64 * 64 + lane;
-                    bits |= (combo >> i & 1) << lane;
-                    if combo + 1 >= combos {
-                        break;
-                    }
-                }
-                *word = bits;
-            }
-            sim.force(g, force_words);
-        }
-        sim.propagate();
-        let out_words = sim.value_words(test.output);
-        for lane in 0..lanes {
-            let bit = out_words[(lane / 64) as usize] >> (lane % 64) & 1 == 1;
-            if bit == test.expected {
-                return true;
-            }
-        }
-        base += lanes;
-    }
-    false
+/// Screens many candidate sets in parallel: one [`SimValidityEngine`] per
+/// worker, work-stealing over a shared index, verdicts in input order.
+///
+/// The verdict vector is bit-identical for every thread count (including
+/// [`Parallelism::Sequential`], which reuses a single engine across all
+/// sets — the fastest single-core option too).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`is_valid_correction_sim`].
+pub fn screen_valid_corrections_sim(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidate_sets: &[Vec<GateId>],
+    parallelism: Parallelism,
+) -> Vec<bool> {
+    // Per-set cost scales with circuit size and test count; under `Auto`
+    // tiny screens stay inline (see `Parallelism::workers_for`).
+    let work = candidate_sets
+        .len()
+        .saturating_mul(circuit.len())
+        .saturating_mul(tests.len().max(1));
+    let workers =
+        parallelism.workers_for(candidate_sets.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    parallel_map_init(
+        workers,
+        candidate_sets.len(),
+        || SimValidityEngine::new(circuit),
+        |engine, i| engine.is_valid(tests, &candidate_sets[i]),
+    )
 }
 
 /// Exact validity check by SAT.
@@ -249,6 +357,79 @@ mod tests {
         // An empty test set is trivially rectified.
         assert!(is_valid_correction_sim(&faulty, &TestSet::default(), &[]));
         assert!(is_valid_correction_sat(&faulty, &TestSet::default(), &[]));
+    }
+
+    #[test]
+    fn reused_engine_matches_fresh_engines() {
+        // One engine across many candidate sets — including repartitions
+        // (|C| crossing the 6-candidate word boundary) — must agree with
+        // a fresh engine per call.
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(123);
+        let golden = RandomCircuitSpec::new(6, 3, 50).seed(2).generate();
+        let (faulty, _) = inject_errors(&golden, 2, 2);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 2, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let mut engine = SimValidityEngine::new(&faulty);
+        for round in 0..30 {
+            let size = [0usize, 1, 2, 3, 7][round % 5];
+            let candidates: Vec<GateId> = functional
+                .choose_multiple(&mut rng, size.min(functional.len()))
+                .copied()
+                .collect();
+            assert_eq!(
+                engine.is_valid(&tests, &candidates),
+                is_valid_correction_sim(&faulty, &tests, &candidates),
+                "round {round}: reused engine drifted on {candidates:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_screening_matches_per_set_verdicts() {
+        use gatediag_sim::Parallelism;
+        let golden = RandomCircuitSpec::new(6, 3, 40).seed(4).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 4);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 4, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let mut sets: Vec<Vec<GateId>> = functional.iter().map(|&g| vec![g]).collect();
+        sets.push(sites.iter().map(|s| s.gate).collect());
+        sets.push(Vec::new());
+        let expected: Vec<bool> = sets
+            .iter()
+            .map(|s| is_valid_correction_sim(&faulty, &tests, s))
+            .collect();
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+            Parallelism::Fixed(sets.len() + 5),
+        ] {
+            assert_eq!(
+                screen_valid_corrections_sim(&faulty, &tests, &sets, parallelism),
+                expected,
+                "verdicts drifted at {parallelism:?}"
+            );
+        }
+        // Empty batch.
+        assert!(
+            screen_valid_corrections_sim(&faulty, &tests, &[], Parallelism::Fixed(4)).is_empty()
+        );
     }
 
     #[test]

@@ -149,6 +149,7 @@ fn bsim_is_bit_identical_to_scalar_reference() {
                 let options = BsimOptions {
                     policy,
                     include_inputs,
+                    ..BsimOptions::default()
                 };
                 let fast = basic_sim_diagnose(&faulty, &tests, options);
                 let reference = reference_bsim(&faulty, &tests, options);

@@ -36,6 +36,33 @@
 //! let my = solver.model_value(y.positive()).unwrap();
 //! assert_ne!(mx, my);
 //! ```
+//!
+//! The diagnosis loop's shape — enumerate all minimal "select" subsets
+//! under an at-least-one constraint, exactly how BSAT reads candidate
+//! sets off the select lines:
+//!
+//! ```
+//! use gatediag_sat::{enumerate_positive_subsets, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let selects: Vec<_> = (0..3).map(|_| solver.new_var()).collect();
+//! // At least one site must be selected (some gate must be corrected).
+//! solver.add_clause(&[selects[0].positive(), selects[1].positive(), selects[2].positive()]);
+//! // Sites 0 and 2 conflict (say, incompatible corrections).
+//! solver.add_clause(&[selects[0].negative(), selects[2].negative()]);
+//! let out = enumerate_positive_subsets(&mut solver, &selects, &[], 100);
+//! // Every reported selection satisfies the instance, and subset
+//! // blocking guarantees the reported sets form an antichain (no
+//! // solution is a superset of an earlier one).
+//! assert!(out.complete && !out.solutions.is_empty());
+//! for (i, sol) in out.solutions.iter().enumerate() {
+//!     assert!(!sol.is_empty());
+//!     assert!(!(sol.contains(&selects[0]) && sol.contains(&selects[2])));
+//!     for earlier in &out.solutions[..i] {
+//!         assert!(!earlier.iter().all(|v| sol.contains(v)));
+//!     }
+//! }
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

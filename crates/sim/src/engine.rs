@@ -36,7 +36,7 @@ use gatediag_netlist::{Circuit, GateId, GateKind};
 /// Reusable multi-word bit-parallel simulator with sparse forced-value and
 /// kind-override overlays and event-driven incremental resimulation.
 ///
-/// See the [module docs](self) for the lifecycle. Values are stored
+/// See the [crate docs](crate) for the lifecycle. Values are stored
 /// gate-major: gate `g`'s patterns live in
 /// `values()[g.index() * words_per_gate() ..][.. words_per_gate()]`,
 /// with pattern `p` at bit `p % 64` of word `p / 64`.

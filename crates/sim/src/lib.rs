@@ -19,7 +19,13 @@
 //!   simulation (the conservative rectifiability check of Boppana et al.,
 //!   the paper's reference \[5\]);
 //! * [`DeltaSim`] — scalar event-driven incremental resimulation for
-//!   backtracking effect analysis (Sec. 2.2's advanced approaches).
+//!   backtracking effect analysis (Sec. 2.2's advanced approaches);
+//! * [`parallel_map_init`] / [`Parallelism`] — a scoped worker pool for
+//!   the embarrassingly parallel diagnosis fan-outs (test batches,
+//!   candidate cones, repair assignments), built on
+//!   [`std::thread::scope`] with one reusable engine per worker and
+//!   work-stealing over a shared atomic index. Results are merged in
+//!   item order, so parallel diagnosis is bit-identical to sequential.
 //!
 //! # `PackedSim` lifecycle
 //!
@@ -70,6 +76,7 @@ mod engine;
 mod event;
 mod packed;
 mod packed_tv;
+mod pool;
 mod scalar;
 mod tv;
 
@@ -79,5 +86,6 @@ pub use packed::{
     pack_vectors, pack_vectors_into, simulate_packed, simulate_packed_forced, unpack_lane,
 };
 pub use packed_tv::{eval_dual_rail, simulate_tv_packed, DualRail};
+pub use pool::{parallel_map_init, Parallelism, AUTO_WORK_FLOOR};
 pub use scalar::{output_values, simulate, simulate_forced};
 pub use tv::{eval_tv, simulate_tv, x_may_rectify, Tv};

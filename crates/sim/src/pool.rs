@@ -1,0 +1,263 @@
+//! A small scoped worker pool for embarrassingly parallel diagnosis work.
+//!
+//! The diagnosis flows fan out over *independent* units of work — test
+//! batches in BSIM, candidate sets in validity screening, library
+//! assignments in repair enumeration, top-level branches in the backtrack
+//! searches. Each unit needs mutable per-worker scratch (typically a
+//! reusable [`crate::PackedSim`] engine), and the caller needs results in
+//! a *deterministic* order so that parallel diagnosis is bit-identical to
+//! sequential diagnosis regardless of thread count.
+//!
+//! The build environment is offline (no rayon), so this module implements
+//! the minimal pool those flows need on plain [`std::thread::scope`]:
+//!
+//! * [`Parallelism`] — the thread-count policy threaded through the
+//!   diagnosis option structs ([`Parallelism::Auto`] reads the machine's
+//!   [`std::thread::available_parallelism`], overridable with the
+//!   `GATEDIAG_WORKERS` environment variable);
+//! * [`parallel_map_init`] — map `0..items` through a work function with
+//!   per-worker state, stealing items off a shared atomic index and
+//!   returning results in item order.
+//!
+//! # Determinism
+//!
+//! Work stealing makes the *schedule* nondeterministic, but results are
+//! collected per item index and reassembled in index order, so as long as
+//! the work function is a pure function of `(state, index)` — true for
+//! every diagnosis kernel built on it, because each item's simulation
+//! cone is recomputed from scratch relative to the worker engine's
+//! baseline — the output of [`parallel_map_init`] is identical for every
+//! worker count, including the inlined `workers == 1` path.
+//!
+//! # Example
+//!
+//! ```
+//! use gatediag_sim::{parallel_map_init, Parallelism};
+//!
+//! let squares = parallel_map_init(
+//!     Parallelism::Fixed(4).workers(16),
+//!     16,
+//!     || 0u64, // per-worker state (e.g. a PackedSim in the real flows)
+//!     |_state, i| (i as u64) * (i as u64),
+//! );
+//! assert_eq!(squares[7], 49);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-count policy for the parallel diagnosis entry points.
+///
+/// Every parallel flow is bit-identical to its sequential counterpart for
+/// any resolved worker count, so this only trades wall time for cores.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum Parallelism {
+    /// One worker, inline on the calling thread (no spawning at all).
+    Sequential,
+    /// Exactly this many workers (values of 0 and 1 mean sequential).
+    Fixed(usize),
+    /// One worker per available core, as reported by
+    /// [`std::thread::available_parallelism`]. The `GATEDIAG_WORKERS`
+    /// environment variable, when set to a positive integer, overrides
+    /// the probe — useful for pinning CI runs or benchmarking scaling.
+    #[default]
+    Auto,
+}
+
+/// Default work floor for [`Parallelism::workers_for`]: roughly the
+/// number of scalar operations that dwarfs a thread-spawn cost.
+pub const AUTO_WORK_FLOOR: usize = 1 << 17;
+
+fn env_workers() -> Option<usize> {
+    std::env::var("GATEDIAG_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+impl Parallelism {
+    /// Resolves the policy to a concrete worker count for `items` units
+    /// of work. Never returns 0, and never more workers than items.
+    pub fn workers(self, items: usize) -> usize {
+        let requested = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => env_workers()
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
+        };
+        requested.min(items.max(1))
+    }
+
+    /// [`Parallelism::workers`] with a work floor for
+    /// [`Parallelism::Auto`]: when `work` — a caller-supplied estimate of
+    /// the total scalar operations (see [`AUTO_WORK_FLOOR`] for the usual
+    /// `floor`) — is too small to amortise thread spawning, `Auto`
+    /// resolves to one inline worker. An explicit `GATEDIAG_WORKERS`
+    /// override or a `Fixed(n)` policy is always honoured regardless of
+    /// the floor, so pinned scaling runs measure what they ask for.
+    pub fn workers_for(self, items: usize, work: usize, floor: usize) -> usize {
+        match self {
+            Parallelism::Auto if env_workers().is_none() && work < floor => 1,
+            p => p.workers(items),
+        }
+    }
+}
+
+/// Maps `0..items` through `work`, fanning out over `workers` scoped
+/// threads with one `init()` state each, and returns the results in item
+/// order.
+///
+/// Items are claimed off a shared atomic counter (work stealing), so an
+/// expensive item does not hold up the queue behind a static partition.
+/// With `workers <= 1` (or fewer than two items) everything runs inline
+/// on the calling thread with a single state and no synchronisation —
+/// the sequential reference path.
+///
+/// # Panics
+///
+/// Propagates panics from `work` (the scope joins all workers first).
+pub fn parallel_map_init<S, R, I, W>(workers: usize, items: usize, init: I, work: W) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> R + Sync,
+{
+    if workers <= 1 || items <= 1 {
+        let mut state = init();
+        return (0..items).map(|i| work(&mut state, i)).collect();
+    }
+    let workers = workers.min(items);
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = init();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items {
+                            break;
+                        }
+                        out.push((i, work(&mut state, i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(pairs) => pairs,
+                // Re-raise with the original payload so the worker's
+                // assertion message reaches the caller intact.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Reassemble in item order: every index appears exactly once.
+    let mut slots: Vec<Option<R>> = (0..items).map(|_| None).collect();
+    for pairs in &mut collected {
+        for (i, r) in pairs.drain(..) {
+            debug_assert!(slots[i].is_none(), "item {i} computed twice");
+            slots[i] = Some(r);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("every item claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_item_order_for_all_worker_counts() {
+        for workers in [1usize, 2, 3, 4, 9] {
+            let out = parallel_map_init(workers, 37, || (), |(), i| i * 3);
+            assert_eq!(
+                out,
+                (0..37).map(|i| i * 3).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_items_yields_empty() {
+        let out: Vec<usize> = parallel_map_init(4, 0, || (), |(), i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let out = parallel_map_init(16, 3, || (), |(), i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_within_a_worker() {
+        // Each worker's state counts how many items it processed; the sum
+        // over all items of "my state had seen >= 0 items" is trivially
+        // items, but more usefully the sequential path must thread ONE
+        // state through everything.
+        let out = parallel_map_init(
+            1,
+            5,
+            || 0usize,
+            |seen, _i| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_original_message() {
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map_init(
+                2,
+                8,
+                || (),
+                |(), i| {
+                    assert!(i != 5, "item 5 is forbidden");
+                    i
+                },
+            )
+        })
+        .expect_err("panic must propagate to the caller");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("item 5 is forbidden"),
+            "original payload lost: {message:?}"
+        );
+    }
+
+    #[test]
+    fn workers_never_exceeds_items_and_never_zero() {
+        assert_eq!(Parallelism::Sequential.workers(100), 1);
+        assert_eq!(Parallelism::Fixed(0).workers(100), 1);
+        assert_eq!(Parallelism::Fixed(8).workers(3), 3);
+        assert_eq!(Parallelism::Fixed(8).workers(0), 1);
+        assert!(Parallelism::Auto.workers(64) >= 1);
+    }
+
+    #[test]
+    fn work_floor_only_gates_auto() {
+        // Below the floor, Auto stays inline; explicit Fixed fans out.
+        assert_eq!(Parallelism::Auto.workers_for(64, 100, 1000), 1);
+        assert_eq!(Parallelism::Fixed(4).workers_for(64, 100, 1000), 4);
+        assert_eq!(Parallelism::Sequential.workers_for(64, 1 << 30, 1000), 1);
+        // At or above the floor, Auto falls through to the normal probe.
+        assert_eq!(
+            Parallelism::Auto.workers_for(64, 1000, 1000),
+            Parallelism::Auto.workers(64)
+        );
+    }
+}

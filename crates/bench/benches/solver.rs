@@ -1,49 +1,19 @@
 //! SAT solver microbenchmarks: the BCP/learning engine that replaces
 //! Zchaff in this reproduction.
+//!
+//! Each workload runs twice — on the production [`Solver`] (CSR flat
+//! watch lists + binary fast path) and on the [`LegacySolver`] baseline
+//! (the seed's `Vec<Vec<Watcher>>` scheme) — so the flattening shows up
+//! as a direct A/B on identical instances. `bench_pr3` publishes the
+//! same comparison as JSON.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use gatediag_sat::{Lit, SolveResult, Solver, Var};
+use gatediag_bench::solver_workloads::{
+    load_flat as load, load_legacy, pigeonhole, random_3sat, PROBE_SEED,
+};
+use gatediag_sat::{SolveResult, Var};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-
-fn pigeonhole(n: usize, m: usize) -> (usize, Vec<Vec<Lit>>) {
-    let var = |i: usize, j: usize| Var::from_index(i * m + j);
-    let mut clauses = Vec::new();
-    for i in 0..n {
-        clauses.push((0..m).map(|j| var(i, j).positive()).collect());
-    }
-    for j in 0..m {
-        for i1 in 0..n {
-            for i2 in (i1 + 1)..n {
-                clauses.push(vec![var(i1, j).negative(), var(i2, j).negative()]);
-            }
-        }
-    }
-    (n * m, clauses)
-}
-
-fn random_3sat(num_vars: usize, num_clauses: usize, seed: u64) -> (usize, Vec<Vec<Lit>>) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let clauses = (0..num_clauses)
-        .map(|_| {
-            (0..3)
-                .map(|_| Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
-                .collect()
-        })
-        .collect();
-    (num_vars, clauses)
-}
-
-fn load(num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
-    let mut solver = Solver::new();
-    for _ in 0..num_vars {
-        solver.new_var();
-    }
-    for clause in clauses {
-        solver.add_clause(clause);
-    }
-    solver
-}
 
 fn bench_solver(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver");
@@ -55,6 +25,13 @@ fn bench_solver(c: &mut Criterion) {
     group.bench_function("pigeonhole_8_7_unsat", |b| {
         b.iter_batched(
             || load(nv, &php),
+            |mut s| assert_eq!(s.solve(&[]), SolveResult::Unsat),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pigeonhole_8_7_unsat_legacy", |b| {
+        b.iter_batched(
+            || load_legacy(nv, &php),
             |mut s| assert_eq!(s.solve(&[]), SolveResult::Unsat),
             BatchSize::SmallInput,
         )
@@ -72,6 +49,16 @@ fn bench_solver(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    group.bench_function("random3sat_150v_600c_legacy", |b| {
+        b.iter_batched(
+            || load_legacy(nv, &sat_i),
+            |mut s| {
+                let r = s.solve(&[]);
+                assert_ne!(r, SolveResult::Unknown);
+            },
+            BatchSize::SmallInput,
+        )
+    });
 
     // Incremental pattern: one instance, many assumption probes.
     group.bench_function("incremental_100_assumption_probes", |b| {
@@ -79,7 +66,21 @@ fn bench_solver(c: &mut Criterion) {
         b.iter_batched(
             || load(nv, &inst),
             |mut s| {
-                let mut rng = ChaCha8Rng::seed_from_u64(3);
+                let mut rng = ChaCha8Rng::seed_from_u64(PROBE_SEED);
+                for _ in 0..100 {
+                    let a = Var::from_index(rng.gen_range(0..120)).lit(rng.gen_bool(0.5));
+                    let _ = s.solve(&[a]);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("incremental_100_assumption_probes_legacy", |b| {
+        let (nv, inst) = random_3sat(120, 430, 9);
+        b.iter_batched(
+            || load_legacy(nv, &inst),
+            |mut s| {
+                let mut rng = ChaCha8Rng::seed_from_u64(PROBE_SEED);
                 for _ in 0..100 {
                     let a = Var::from_index(rng.gen_range(0..120)).lit(rng.gen_bool(0.5));
                     let _ = s.solve(&[a]);

@@ -14,10 +14,8 @@
 //! [-- --out PATH]` (default `BENCH_PR1.json` in the working directory).
 
 use gatediag_bench::harness::secs;
-use gatediag_core::{
-    basic_sim_diagnose, generate_failing_tests, is_valid_correction_sim, path_trace, BsimOptions,
-    TestSet,
-};
+use gatediag_core::SimValidityEngine;
+use gatediag_core::{basic_sim_diagnose, generate_failing_tests, path_trace, BsimOptions, TestSet};
 use gatediag_netlist::{inject_errors, Circuit, GateId, GateSet, RandomCircuitSpec, VectorGen};
 use gatediag_sim::{pack_vectors_into, simulate, PackedSim};
 use std::fmt::Write as _;
@@ -203,10 +201,10 @@ fn main() {
         seed_style_validity(&faulty, &screen_tests, &candidates)
     });
     let packed_validity_time = measure(budget, || {
-        is_valid_correction_sim(&faulty, &screen_tests, &candidates)
+        SimValidityEngine::new(&faulty).is_valid(&screen_tests, &candidates)
     });
     assert_eq!(
-        is_valid_correction_sim(&faulty, &screen_tests, &candidates),
+        SimValidityEngine::new(&faulty).is_valid(&screen_tests, &candidates),
         seed_style_validity(&faulty, &screen_tests, &candidates),
         "validity verdict drift"
     );

@@ -25,8 +25,8 @@
 //! [-- --out PATH]` (default `BENCH_PR2.json` in the working directory).
 
 use gatediag_core::{
-    basic_sim_diagnose, generate_failing_tests, is_valid_correction_sim,
-    screen_valid_corrections_sim, BsimOptions, Parallelism,
+    basic_sim_diagnose, generate_failing_tests, screen_valid_corrections_sim, BsimOptions,
+    Parallelism, SimValidityEngine,
 };
 use gatediag_netlist::{inject_errors, GateId, RandomCircuitSpec};
 use std::fmt::Write as _;
@@ -194,7 +194,7 @@ fn main() {
     let fresh_t = measure(budget, || {
         candidates
             .iter()
-            .filter(|c| is_valid_correction_sim(&faulty, &screen_tests, c))
+            .filter(|c| SimValidityEngine::new(&faulty).is_valid(&screen_tests, c))
             .count()
     });
     let reused_t = measure(budget, || {

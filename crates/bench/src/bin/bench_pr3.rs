@@ -1,0 +1,355 @@
+//! Emits `BENCH_PR3.json`: the SAT-side scaling numbers, extending the
+//! `BENCH_PR1.json` / `BENCH_PR2.json` trajectory.
+//!
+//! Three measurements:
+//!
+//! * **Flat-watcher propagation** — the production [`Solver`] (CSR flat
+//!   watch lists + binary fast path) vs the [`LegacySolver`] baseline
+//!   (the seed's `Vec<Vec<Watcher>>`) on the `benches/solver.rs`
+//!   workloads, as wall time and as propagations/second. Verdicts are
+//!   cross-asserted before any number is published.
+//! * **Per-worker BSAT scaling** — `basic_sat_diagnose` with the
+//!   parallel per-test CNF build at 1/2/4 workers, solutions asserted
+//!   bit-identical to the sequential build first.
+//! * **Per-worker validity-`_sat` scaling** — the per-test-sharded
+//!   oracle [`is_valid_correction_sat_par`] at 1/2/4 workers (plus the
+//!   batch SAT screen), verdicts asserted identical first.
+//!
+//! As in `bench_pr2`, the ≥ 1.2x flat-watcher gate is a hard assert only
+//! with `GATEDIAG_BENCH_STRICT=1` (dedicated perf hosts); shared CI
+//! runners still emit the JSON and downgrade a miss to a warning. The
+//! parallel-scaling numbers document whatever the host provides — on a
+//! single-core container the pool degrades to ~1x by design, while the
+//! bit-identity asserts hold everywhere.
+//!
+//! Usage: `cargo run --release -p gatediag-bench --bin bench_pr3
+//! [-- --out PATH]` (default `BENCH_PR3.json` in the working directory).
+
+use gatediag_bench::solver_workloads::{
+    load_flat, load_legacy, pigeonhole, random_3sat, PROBE_SEED,
+};
+use gatediag_core::{
+    basic_sat_diagnose, generate_failing_tests, is_valid_correction_sat,
+    is_valid_correction_sat_par, screen_valid_corrections_sat, BsatOptions, Parallelism,
+};
+use gatediag_netlist::{inject_errors, GateId, RandomCircuitSpec};
+use gatediag_sat::{LegacySolver, Lit, SolveResult, Solver, Var};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Worker counts the SAT scaling sweep covers.
+const SWEEP: [usize; 3] = [1, 2, 4];
+
+/// Repeats `f` until at least `min_time` has elapsed (at least once);
+/// returns the mean wall time per call.
+fn measure<R>(min_time: Duration, mut f: impl FnMut() -> R) -> Duration {
+    std::hint::black_box(f());
+    let start = Instant::now();
+    let mut reps = 0u32;
+    while start.elapsed() < min_time || reps == 0 {
+        std::hint::black_box(f());
+        reps += 1;
+    }
+    start.elapsed() / reps
+}
+
+struct Entry {
+    key: String,
+    value: String,
+}
+
+fn num(key: impl Into<String>, value: f64) -> Entry {
+    Entry {
+        key: key.into(),
+        value: if value.is_finite() {
+            format!("{value:.4}")
+        } else {
+            "null".to_string()
+        },
+    }
+}
+
+fn int(key: impl Into<String>, value: u64) -> Entry {
+    Entry {
+        key: key.into(),
+        value: value.to_string(),
+    }
+}
+
+/// One flat-vs-legacy comparison: returns
+/// `(flat_ms, legacy_ms, flat_props_per_sec, legacy_props_per_sec)`.
+fn compare_solvers(
+    budget: Duration,
+    num_vars: usize,
+    clauses: &[Vec<Lit>],
+    probes: usize,
+) -> (f64, f64, f64, f64) {
+    let run_flat = |s: &mut Solver| {
+        if probes == 0 {
+            let r = s.solve(&[]);
+            assert_ne!(r, SolveResult::Unknown);
+            r
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(PROBE_SEED);
+            let mut last = SolveResult::Unknown;
+            for _ in 0..probes {
+                let a = Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5));
+                last = s.solve(&[a]);
+            }
+            last
+        }
+    };
+    let run_legacy = |s: &mut LegacySolver| {
+        if probes == 0 {
+            let r = s.solve(&[]);
+            assert_ne!(r, SolveResult::Unknown);
+            r
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(PROBE_SEED);
+            let mut last = SolveResult::Unknown;
+            for _ in 0..probes {
+                let a = Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5));
+                last = s.solve(&[a]);
+            }
+            last
+        }
+    };
+    // Cross-check: both engines are exact, so identical workloads must
+    // produce identical verdicts (one-shot) before timing anything.
+    {
+        let mut f = load_flat(num_vars, clauses);
+        let mut l = load_legacy(num_vars, clauses);
+        assert_eq!(run_flat(&mut f), run_legacy(&mut l), "verdict drift");
+    }
+    let flat_t = measure(budget, || {
+        let mut s = load_flat(num_vars, clauses);
+        run_flat(&mut s)
+    });
+    let legacy_t = measure(budget, || {
+        let mut s = load_legacy(num_vars, clauses);
+        run_legacy(&mut s)
+    });
+    // Propagation throughput: propagations per second of one full run.
+    let mut f = load_flat(num_vars, clauses);
+    let t0 = Instant::now();
+    run_flat(&mut f);
+    let flat_pps = f.stats().propagations as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let mut l = load_legacy(num_vars, clauses);
+    let t1 = Instant::now();
+    run_legacy(&mut l);
+    let legacy_pps = l.stats().propagations as f64 / t1.elapsed().as_secs_f64().max(1e-9);
+    (
+        flat_t.as_secs_f64() * 1e3,
+        legacy_t.as_secs_f64() * 1e3,
+        flat_pps,
+        legacy_pps,
+    )
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR3.json".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().expect("--out expects a path");
+            }
+            other => panic!("unknown option `{other}` (try --out PATH)"),
+        }
+        i += 1;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let budget = Duration::from_millis(600);
+    let mut entries = vec![int("available_cores", cores as u64)];
+
+    // --- Flat vs legacy watchers on the benches/solver.rs workloads ------
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let workloads: [(&str, usize, Vec<Vec<Lit>>, usize); 3] = {
+        let (nv_php, php) = pigeonhole(8, 7);
+        let (nv_sat, sat) = random_3sat(150, 600, 7);
+        let (nv_inc, inc) = random_3sat(120, 430, 9);
+        [
+            ("pigeonhole_8_7", nv_php, php, 0),
+            ("random3sat_150v_600c", nv_sat, sat, 0),
+            ("incremental_100_probes", nv_inc, inc, 100),
+        ]
+    };
+    for (name, nv, clauses, probes) in &workloads {
+        let (flat_ms, legacy_ms, flat_pps, legacy_pps) =
+            compare_solvers(budget, *nv, clauses, *probes);
+        let speedup = legacy_ms / flat_ms;
+        entries.push(num(format!("solver_{name}_flat_ms"), flat_ms));
+        entries.push(num(format!("solver_{name}_legacy_ms"), legacy_ms));
+        entries.push(num(format!("solver_{name}_speedup"), speedup));
+        entries.push(num(
+            format!("solver_{name}_props_per_sec_ratio"),
+            flat_pps / legacy_pps,
+        ));
+        speedups.push((name.to_string(), speedup));
+    }
+    let best = speedups.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max);
+    let geomean = (speedups.iter().map(|(_, s)| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    entries.push(num("flat_watcher_speedup_best", best));
+    entries.push(num("flat_watcher_speedup_geomean", geomean));
+
+    // --- BSAT per-worker scaling (parallel per-test CNF build) -----------
+    // BSAT instances grow as (gates × tests) with CDCL enumeration on
+    // top, so the benchmark circuit is deliberately smaller than the
+    // simulation-side benchmarks' 6k gates: ~600 gates × 32 tests keeps a
+    // full enumeration in the hundreds of milliseconds.
+    let golden = RandomCircuitSpec::new(16, 4, 600)
+        .seed(11)
+        .name("bench_pr3_600g")
+        .generate();
+    let gates = golden.num_functional_gates() as u64;
+    let (faulty, _sites, tests) = (11u64..64)
+        .find_map(|inject_seed| {
+            let (faulty, sites) = inject_errors(&golden, 2, inject_seed);
+            let tests = generate_failing_tests(&golden, &faulty, 32, 11, 1 << 15);
+            (tests.len() >= 16).then_some((faulty, sites, tests))
+        })
+        .expect("no injection seed yields enough failing tests");
+    entries.push(int("bsat_functional_gates", gates));
+    entries.push(int("bsat_tests", tests.len() as u64));
+    eprintln!(
+        "BSAT circuit: {} functional gates, {} failing tests, {} cores visible",
+        gates,
+        tests.len(),
+        cores
+    );
+    // BSAT runs are hundreds of ms each; a larger budget buys enough
+    // repetitions for a stable mean on noisy shared runners.
+    let bsat_budget = Duration::from_millis(1500);
+    let baseline = basic_sat_diagnose(
+        &faulty,
+        &tests,
+        2,
+        BsatOptions {
+            parallelism: Parallelism::Sequential,
+            ..BsatOptions::default()
+        },
+    );
+    let mut bsat_ms = Vec::new();
+    for &workers in &SWEEP {
+        let options = BsatOptions {
+            parallelism: Parallelism::Fixed(workers),
+            ..BsatOptions::default()
+        };
+        let result = basic_sat_diagnose(&faulty, &tests, 2, options.clone());
+        assert_eq!(
+            result.solutions, baseline.solutions,
+            "BSAT drifted at {workers} workers"
+        );
+        let opts = options.clone();
+        let t = measure(bsat_budget, || {
+            basic_sat_diagnose(&faulty, &tests, 2, opts.clone())
+                .solutions
+                .len()
+        });
+        bsat_ms.push(t.as_secs_f64() * 1e3);
+        entries.push(num(format!("bsat_ms_{workers}w"), t.as_secs_f64() * 1e3));
+        // The parallel phase is the CNF build; report its share of one
+        // representative run (build/total from the *same* call, so the
+        // Amdahl split is internally consistent) next to the total.
+        entries.push(num(
+            format!("bsat_build_frac_{workers}w"),
+            result.build_time.as_secs_f64() / result.total_time.as_secs_f64().max(1e-9),
+        ));
+    }
+    entries.push(num("bsat_speedup_4w", bsat_ms[0] / bsat_ms[2]));
+
+    // --- Validity `_sat` oracle per-worker scaling ------------------------
+    let functional: Vec<GateId> = faulty
+        .iter()
+        .filter(|(_, g)| !g.kind().is_source())
+        .map(|(id, _)| id)
+        .collect();
+    let candidates = vec![
+        functional[functional.len() / 3],
+        functional[2 * functional.len() / 3],
+    ];
+    let screen_sets: Vec<Vec<GateId>> = functional
+        .iter()
+        .step_by(7)
+        .take(48)
+        .map(|&g| vec![g])
+        .collect();
+    let sequential_verdict = is_valid_correction_sat(&faulty, &tests, &candidates);
+    let sequential_screen =
+        screen_valid_corrections_sat(&faulty, &tests, &screen_sets, Parallelism::Sequential);
+    let mut valsat_ms = Vec::new();
+    for &workers in &SWEEP {
+        let parallelism = Parallelism::Fixed(workers);
+        assert_eq!(
+            is_valid_correction_sat_par(&faulty, &tests, &candidates, parallelism),
+            sequential_verdict,
+            "validity _sat verdict drifted at {workers} workers"
+        );
+        assert_eq!(
+            screen_valid_corrections_sat(&faulty, &tests, &screen_sets, parallelism),
+            sequential_screen,
+            "validity _sat screen drifted at {workers} workers"
+        );
+        let t = measure(budget, || {
+            is_valid_correction_sat_par(&faulty, &tests, &candidates, parallelism)
+        });
+        valsat_ms.push(t.as_secs_f64() * 1e3);
+        entries.push(num(
+            format!("validity_sat_ms_{workers}w"),
+            t.as_secs_f64() * 1e3,
+        ));
+        let ts = measure(budget, || {
+            screen_valid_corrections_sat(&faulty, &tests, &screen_sets, parallelism)
+                .iter()
+                .filter(|&&v| v)
+                .count()
+        });
+        entries.push(num(
+            format!("validity_sat_screen_ms_{workers}w"),
+            ts.as_secs_f64() * 1e3,
+        ));
+    }
+    entries.push(num("validity_sat_speedup_4w", valsat_ms[0] / valsat_ms[2]));
+
+    // --- Report -----------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"bench_pr3\",");
+    let _ = writeln!(json, "  \"circuit\": \"{}\",", golden.name());
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(json, "  \"{}\": {}{}", e.key, e.value, comma);
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR3.json");
+    println!("{json}");
+    eprintln!(
+        "flat-watcher speedup: best {best:.2}x, geomean {geomean:.2}x; \
+         BSAT {:.2}x and validity-_sat {:.2}x at 4 workers",
+        bsat_ms[0] / bsat_ms[2],
+        valsat_ms[0] / valsat_ms[2],
+    );
+    eprintln!("wrote {out_path}");
+
+    // Acceptance gate: the flat watcher scheme must clear >= 1.2x on at
+    // least one benches/solver.rs workload. Wall-clock comparisons are
+    // only trustworthy on quiet dedicated hosts, so (as in bench_pr2)
+    // the hard assert is opt-in via GATEDIAG_BENCH_STRICT=1; elsewhere a
+    // miss is downgraded to a warning.
+    let strict = std::env::var("GATEDIAG_BENCH_STRICT").as_deref() == Ok("1");
+    if best < 1.2 {
+        let msg = format!("flat-watcher speedup below 1.2x (best {best:.2}x)");
+        assert!(!strict, "acceptance (GATEDIAG_BENCH_STRICT): {msg}");
+        eprintln!("warning: {msg}");
+    }
+    if cores < 4 {
+        eprintln!(
+            "note: only {cores} core(s) visible; the 4-worker SAT scaling \
+             numbers document graceful degradation, not speedup"
+        );
+    }
+}

@@ -15,7 +15,11 @@
 //!   per-thread-count scaling of the parallel diagnosis layer (sharded
 //!   BSIM, parallel candidate screening, the reusable validity engine),
 //!   with bit-identity asserted between every worker count before any
-//!   number is published.
+//!   number is published;
+//! * `bench_pr3` — emits `BENCH_PR3.json`, the SAT-side numbers: the
+//!   flat-watcher solver vs the `LegacySolver` baseline on the
+//!   [`solver_workloads`], and per-worker BSAT / validity-`_sat`
+//!   scaling, again bit-identity-asserted first.
 //!
 //! Criterion benchmarks (`cargo bench -p gatediag-bench`): `solver`,
 //! `sim` (including the `PackedSim` multi-word and incremental groups),
@@ -25,3 +29,4 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod solver_workloads;

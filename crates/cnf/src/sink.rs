@@ -41,6 +41,7 @@ impl ClauseSink for Solver {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CnfCollector {
+    base: usize,
     num_vars: usize,
     clauses: Vec<Vec<Lit>>,
 }
@@ -51,7 +52,25 @@ impl CnfCollector {
         CnfCollector::default()
     }
 
-    /// Number of variables allocated.
+    /// Creates a collector whose first allocated variable is
+    /// `Var::from_index(base)`.
+    ///
+    /// This is what lets independent formula fragments be encoded *in
+    /// parallel* and later replayed into one solver: when a fragment's
+    /// variable demand is known in advance (e.g. every instrumented
+    /// circuit copy of a BSAT instance allocates the same number of
+    /// variables), each fragment can be encoded into its own collector
+    /// with a pre-assigned variable block, producing exactly the clauses
+    /// a sequential encoding into the shared solver would have produced.
+    pub fn starting_at(base: usize) -> Self {
+        CnfCollector {
+            base,
+            ..CnfCollector::default()
+        }
+    }
+
+    /// Number of variables allocated *by this collector* (excludes the
+    /// `starting_at` base offset).
     pub fn num_vars(&self) -> usize {
         self.num_vars
     }
@@ -61,7 +80,8 @@ impl CnfCollector {
         &self.clauses
     }
 
-    /// Consumes the collector, returning `(num_vars, clauses)`.
+    /// Consumes the collector, returning `(num_vars, clauses)` — the
+    /// variable count excludes any `starting_at` base offset.
     pub fn into_parts(self) -> (usize, Vec<Vec<Lit>>) {
         (self.num_vars, self.clauses)
     }
@@ -69,7 +89,7 @@ impl CnfCollector {
 
 impl ClauseSink for CnfCollector {
     fn new_var(&mut self) -> Var {
-        let v = Var::from_index(self.num_vars);
+        let v = Var::from_index(self.base + self.num_vars);
         self.num_vars += 1;
         v
     }
@@ -91,6 +111,19 @@ mod tests {
         ClauseSink::add_clause(&mut s, &[v.negative()]);
         assert_eq!(s.solve(&[]), SolveResult::Sat);
         assert_eq!(s.model_value(v.positive()), Some(false));
+    }
+
+    #[test]
+    fn offset_collector_allocates_from_base() {
+        let mut sink = CnfCollector::starting_at(10);
+        let a = sink.new_var();
+        let b = sink.new_var();
+        assert_eq!(a, Var::from_index(10));
+        assert_eq!(b, Var::from_index(11));
+        sink.add_clause(&[a.positive(), b.negative()]);
+        let (n, clauses) = sink.into_parts();
+        assert_eq!(n, 2, "num_vars counts only this collector's vars");
+        assert_eq!(clauses[0][0].var(), Var::from_index(10));
     }
 
     #[test]

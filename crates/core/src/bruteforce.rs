@@ -7,7 +7,7 @@
 //! solution space — the integration tests assert that equality.
 
 use crate::test_set::TestSet;
-use crate::validity::is_valid_correction_sim;
+use crate::validity::ValidityOracle;
 use gatediag_netlist::{Circuit, GateId};
 
 /// Enumerates all irredundant valid corrections of size ≤ `k` by brute
@@ -28,6 +28,10 @@ pub fn brute_force_diagnose(circuit: &Circuit, tests: &TestSet, k: usize) -> Vec
         .collect();
     let mut found: Vec<Vec<GateId>> = Vec::new();
     let mut subset: Vec<GateId> = Vec::new();
+    // One auto-dispatching oracle for the whole enumeration: the
+    // incremental sim engine's baseline stays primed across all the
+    // candidate sets (k ≤ 4 always resolves to the sim fast path).
+    let mut oracle = ValidityOracle::new(circuit);
     for size in 1..=k.min(functional.len()) {
         enumerate_subsets(&functional, size, 0, &mut subset, &mut |candidate| {
             // Skip supersets of already-found (smaller) solutions: they are
@@ -35,7 +39,7 @@ pub fn brute_force_diagnose(circuit: &Circuit, tests: &TestSet, k: usize) -> Vec
             let redundant = found
                 .iter()
                 .any(|small| small.iter().all(|g| candidate.contains(g)));
-            if !redundant && is_valid_correction_sim(circuit, tests, candidate) {
+            if !redundant && oracle.is_valid(tests, candidate) {
                 found.push(candidate.to_vec());
             }
         });

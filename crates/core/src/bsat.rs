@@ -13,10 +13,13 @@
 //! solver's decision heuristic from simulation results.
 
 use crate::test_set::TestSet;
-use crate::validity::is_valid_correction_sat;
-use gatediag_cnf::{encode_instrumented_copy, Instrumentation, MuxEncoding, Totalizer};
+use crate::validity::screen_valid_corrections;
+use gatediag_cnf::{
+    encode_instrumented_copy, CnfCollector, Instrumentation, MuxEncoding, Totalizer,
+};
 use gatediag_netlist::{ffr_roots, Circuit, GateId, GateSet};
 use gatediag_sat::{enumerate_positive_subsets, Lit, Solver, SolverStats, Var};
+use gatediag_sim::{parallel_map_init, Parallelism};
 use std::time::{Duration, Instant};
 
 /// Which gates receive correction multiplexers.
@@ -47,6 +50,14 @@ pub struct BsatOptions {
     /// VSIDS seed hints `(gate, weight)`: bumps the gate's select variable
     /// and sets its phase to "selected" — the Sec. 6 hybrid lever.
     pub hints: Vec<(GateId, f64)>,
+    /// Worker count for the parallelizable SAT-side phases: the per-test
+    /// CNF copies of the instance build are *generated* on a worker pool
+    /// (each worker Tseitin-encodes whole copies into a pre-assigned
+    /// variable block) and replayed into the solver in test order, and
+    /// [`partitioned_sat_diagnose`]'s full-test-set validation screens
+    /// candidate solutions across workers. The CDCL search itself stays
+    /// sequential, so results are bit-identical for every setting.
+    pub parallelism: Parallelism,
 }
 
 impl Default for BsatOptions {
@@ -57,6 +68,7 @@ impl Default for BsatOptions {
             max_solutions: 1_000_000,
             conflict_budget: None,
             hints: Vec::new(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -113,7 +125,7 @@ fn resolve_sites(circuit: &Circuit, selection: &SiteSelection) -> Vec<GateId> {
 ///
 /// ```
 /// use gatediag_core::{basic_sat_diagnose, generate_failing_tests, BsatOptions};
-/// use gatediag_core::is_valid_correction_sim;
+/// use gatediag_core::is_valid_correction;
 /// use gatediag_netlist::{c17, inject_errors};
 ///
 /// let golden = c17();
@@ -122,7 +134,7 @@ fn resolve_sites(circuit: &Circuit, selection: &SiteSelection) -> Vec<GateId> {
 /// let result = basic_sat_diagnose(&faulty, &tests, 1, BsatOptions::default());
 /// // Lemma 1: every BSAT solution is a valid correction.
 /// for sol in &result.solutions {
-///     assert!(is_valid_correction_sim(&faulty, &tests, sol));
+///     assert!(is_valid_correction(&faulty, &tests, sol));
 /// }
 /// ```
 pub fn basic_sat_diagnose(
@@ -210,12 +222,62 @@ fn build_instance(
     options: &BsatOptions,
 ) -> Instance {
     let inst = Instrumentation::new(solver, circuit, sites);
-    for test in tests {
-        let copy = encode_instrumented_copy(solver, circuit, &inst, options.encoding);
-        for (&pi, &v) in circuit.inputs().iter().zip(&test.vector) {
-            solver.add_clause(&[copy.vars.lit(pi, v)]);
+    // The per-test instrumented copies are independent given the shared
+    // select lines, so their Tseitin encoding — the bulk of the paper's
+    // Table 2 "CNF" time — shards across workers: every copy allocates an
+    // identical variable block, so copy `i`'s block base is known in
+    // advance and workers encode into `CnfCollector`s starting there.
+    // Replaying the collected clauses into the solver *in test order*
+    // reproduces the sequential build's exact clause/variable sequence,
+    // so the search (and hence the diagnosis output) is bit-identical for
+    // every worker count.
+    let work = tests.len().saturating_mul(circuit.len()).saturating_mul(4);
+    let workers = options
+        .parallelism
+        .workers_for(tests.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    if workers <= 1 || tests.len() <= 1 {
+        for test in tests {
+            let copy = encode_instrumented_copy(solver, circuit, &inst, options.encoding);
+            for (&pi, &v) in circuit.inputs().iter().zip(&test.vector) {
+                solver.add_clause(&[copy.vars.lit(pi, v)]);
+            }
+            solver.add_clause(&[copy.vars.lit(test.output, test.expected)]);
         }
-        solver.add_clause(&[copy.vars.lit(test.output, test.expected)]);
+    } else {
+        let base = solver.num_vars();
+        let encode_copy = |var_base: usize| {
+            let mut sink = CnfCollector::starting_at(var_base);
+            let copy = encode_instrumented_copy(&mut sink, circuit, &inst, options.encoding);
+            let (allocated, clauses) = sink.into_parts();
+            (copy, allocated, clauses)
+        };
+        // Copy 0 pins the per-copy variable demand; the rest fan out.
+        let (copy0, vars_per_copy, clauses0) = encode_copy(base);
+        let rest = parallel_map_init(
+            workers,
+            tests.len() - 1,
+            || (),
+            |(), i| encode_copy(base + (i + 1) * vars_per_copy),
+        );
+        let mut copies = Vec::with_capacity(tests.len());
+        copies.push((copy0, vars_per_copy, clauses0));
+        copies.extend(rest);
+        for _ in 0..tests.len() * vars_per_copy {
+            solver.new_var();
+        }
+        for ((copy, allocated, clauses), test) in copies.iter().zip(tests) {
+            debug_assert_eq!(
+                *allocated, vars_per_copy,
+                "instrumented copies must allocate identical variable blocks"
+            );
+            for clause in clauses {
+                solver.add_clause(clause);
+            }
+            for (&pi, &v) in circuit.inputs().iter().zip(&test.vector) {
+                solver.add_clause(&[copy.vars.lit(pi, v)]);
+            }
+            solver.add_clause(&[copy.vars.lit(test.output, test.expected)]);
+        }
     }
     let selectors = inst.select_vars();
     let totalizer = if selectors.is_empty() {
@@ -343,8 +405,9 @@ pub fn conflicting_test_core(
 
 /// The advanced test-set partitioning heuristic (Sec. 2.3): diagnose with a
 /// first chunk of `partition_size` tests (a much smaller SAT instance),
-/// then keep only candidates that a SAT validity check confirms against
-/// the *full* test-set.
+/// then keep only candidates that an exact validity check (auto-dispatched
+/// between the sim and SAT oracles, screened in parallel per
+/// [`BsatOptions::parallelism`]) confirms against the *full* test-set.
 ///
 /// Sound (every returned solution is a valid correction for all tests) but
 /// not complete: a correction that is not irredundant on the first chunk
@@ -362,11 +425,18 @@ pub fn partitioned_sat_diagnose(
         return basic_sat_diagnose(circuit, tests, k, options);
     }
     let chunk = tests.prefix(partition_size);
+    let parallelism = options.parallelism;
     let mut result = basic_sat_diagnose(circuit, &chunk, k, options);
     let verify_start = Instant::now();
+    // Full-test-set validation of the chunk's candidates: independent per
+    // candidate set, screened across workers with the auto-dispatching
+    // oracle (verdicts are exact, so the retained list is bit-identical
+    // for every worker count).
+    let verdicts = screen_valid_corrections(circuit, tests, &result.solutions, parallelism);
+    let mut keep = verdicts.iter();
     result
         .solutions
-        .retain(|sol| is_valid_correction_sat(circuit, tests, sol));
+        .retain(|_| *keep.next().expect("verdict per solution"));
     result.total_time += verify_start.elapsed();
     result
 }
@@ -375,7 +445,7 @@ pub fn partitioned_sat_diagnose(
 mod tests {
     use super::*;
     use crate::test_set::generate_failing_tests;
-    use crate::validity::is_valid_correction_sim;
+    use crate::validity::is_valid_correction;
     use gatediag_netlist::{c17, inject_errors, RandomCircuitSpec};
 
     fn setup(seed: u64, p: usize, m: usize) -> (Circuit, Circuit, TestSet) {
@@ -397,7 +467,7 @@ mod tests {
             assert!(!result.solutions.is_empty(), "error must be diagnosable");
             for sol in &result.solutions {
                 assert!(
-                    is_valid_correction_sim(&faulty, &tests, sol),
+                    is_valid_correction(&faulty, &tests, sol),
                     "seed {seed}: BSAT returned invalid correction {sol:?}"
                 );
             }
@@ -465,7 +535,7 @@ mod tests {
             for drop in sol {
                 let without: Vec<GateId> = sol.iter().copied().filter(|g| g != drop).collect();
                 assert!(
-                    !is_valid_correction_sim(&faulty, &tests, &without),
+                    !is_valid_correction(&faulty, &tests, &without),
                     "{sol:?} minus {drop} is still valid — candidate not essential"
                 );
             }
@@ -517,7 +587,7 @@ mod tests {
         let refined = two_pass_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
         assert!(!refined.solutions.is_empty());
         for sol in &refined.solutions {
-            assert!(is_valid_correction_sim(&faulty, &tests, sol));
+            assert!(is_valid_correction(&faulty, &tests, sol));
         }
     }
 
@@ -530,7 +600,7 @@ mod tests {
         let part = partitioned_sat_diagnose(&faulty, &tests, 2, 4, BsatOptions::default());
         for sol in &part.solutions {
             assert!(
-                is_valid_correction_sim(&faulty, &tests, sol),
+                is_valid_correction(&faulty, &tests, sol),
                 "partitioned diagnosis returned invalid {sol:?}"
             );
         }

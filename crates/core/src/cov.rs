@@ -38,10 +38,13 @@ pub struct CovOptions {
     /// Path-tracing options for the BSIM phase (its `parallelism` field
     /// shards the packed sweeps).
     pub bsim: BsimOptions,
-    /// Worker count for the covering phase. Only
-    /// [`CovEngine::BranchAndBound`] fans out (over the top-level branch
-    /// gates); the CDCL enumeration of [`CovEngine::Sat`] is inherently
-    /// sequential. Solutions are bit-identical for every setting.
+    /// Worker count for the covering phase. Both engines fan out over the
+    /// gates of the top-level branch set: [`CovEngine::BranchAndBound`]
+    /// shards its recursion subtrees, and [`CovEngine::Sat`] partitions
+    /// the solution space by "first branch-set gate contained" — branch
+    /// `b` enumerates with `s_b` asserted and `s_0..s_{b-1}` denied on a
+    /// per-branch solver, so the branches are disjoint and independently
+    /// enumerable. Solutions are bit-identical for every setting.
     pub parallelism: Parallelism,
 }
 
@@ -120,7 +123,7 @@ pub fn sc_diagnose(circuit: &Circuit, tests: &TestSet, k: usize, options: CovOpt
 pub fn cover_all(sets: &[Vec<GateId>], k: usize, options: CovOptions) -> CovResult {
     let total_start = Instant::now();
     let (mut solutions, complete, build_time, first_solution_time) = match options.engine {
-        CovEngine::Sat => cover_sat(sets, k, options.max_solutions),
+        CovEngine::Sat => cover_sat(sets, k, options.max_solutions, options.parallelism),
         CovEngine::BranchAndBound => cover_bnb(sets, k, options.max_solutions, options.parallelism),
     };
     for sol in &mut solutions {
@@ -139,7 +142,33 @@ pub fn cover_all(sets: &[Vec<GateId>], k: usize, options: CovOptions) -> CovResu
 
 type EngineOutput = (Vec<Vec<GateId>>, bool, Duration, Duration);
 
-fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutput {
+/// SAT cover enumeration, partitioned over the top-level branch set.
+///
+/// Like [`cover_bnb`], the root branches on the smallest set: every cover
+/// must contain one of its gates, so "first branch-set gate contained"
+/// partitions the solution space into disjoint branches. Branch `b` gets
+/// its *own* CDCL solver with `s_{g_b}` asserted and `s_{g_j}` (`j < b`)
+/// denied as root units, then runs the usual incremental `k`-loop with
+/// subset blocking. Branches are independent, so they shard across the
+/// worker pool; the branch-ordered merge is deterministic for every
+/// worker count (each branch's enumeration depends only on its own
+/// solver).
+///
+/// Within a branch, subset blocking alone cannot reject a cover whose
+/// redundant gate *is* the branch gate (the witness subset lives in an
+/// earlier branch), so the merged list is filtered for irredundancy
+/// explicitly — the same final filter the branch-and-bound engine
+/// applies. For complete runs the result is exactly the irredundant
+/// covers of size ≤ `k` (paper Lemma 3), identical to the pre-sharding
+/// single-solver enumeration; truncated runs keep the same cap and
+/// `complete = false` semantics but may retain a different (still
+/// deterministic) subset of the solutions.
+fn cover_sat(
+    sets: &[Vec<GateId>],
+    k: usize,
+    max_solutions: usize,
+    parallelism: Parallelism,
+) -> EngineOutput {
     let build_start = Instant::now();
     if sets.is_empty() {
         return (
@@ -157,6 +186,77 @@ fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
             build_start.elapsed(),
         );
     }
+    let branch_set = sets
+        .iter()
+        .min_by_key(|set| set.len())
+        .expect("sets checked non-empty");
+    let cap = max_solutions.max(1);
+    let build_time = build_start.elapsed();
+    let enum_start = Instant::now();
+    // Enumeration cost is dominated by per-branch CDCL runs over the
+    // covering CNF; scale the Auto work estimate with instance size.
+    let universe: usize = sets.iter().map(|s| s.len()).sum();
+    let work = branch_set
+        .len()
+        .saturating_mul(universe.max(1))
+        .saturating_mul(64);
+    let workers = parallelism.workers_for(branch_set.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    let per_branch: Vec<(Vec<Vec<GateId>>, bool, Option<Duration>)> = parallel_map_init(
+        workers,
+        branch_set.len(),
+        || (),
+        |(), b| enumerate_cover_branch(sets, branch_set, b, k, cap, enum_start),
+    );
+
+    let mut found: Vec<Vec<GateId>> = Vec::new();
+    let mut complete = true;
+    let mut first_elapsed: Option<Duration> = None;
+    for (local, local_complete, local_first) in per_branch {
+        if let Some(t) = local_first {
+            first_elapsed = Some(first_elapsed.map_or(t, |cur: Duration| cur.min(t)));
+        }
+        complete &= local_complete;
+        found.extend(local);
+    }
+    let truncated = found.len() >= cap;
+    found.truncate(cap);
+    let first_solution_time = first_elapsed.map_or(Duration::ZERO, |t| build_time + t);
+
+    // Cross-branch irredundancy filter (see the function docs) plus the
+    // usual normalisation.
+    for sol in &mut found {
+        sol.sort();
+    }
+    found.sort();
+    found.dedup();
+    let irredundant: Vec<Vec<GateId>> = found
+        .into_iter()
+        .filter(|sol| {
+            sol.iter().all(|g| {
+                let without: Vec<GateId> = sol.iter().copied().filter(|&h| h != *g).collect();
+                sets.iter()
+                    .any(|set| !without.iter().any(|h| set.contains(h)))
+            })
+        })
+        .collect();
+    (
+        irredundant,
+        complete && !truncated,
+        build_time,
+        first_solution_time,
+    )
+}
+
+/// One branch of the sharded SAT cover enumeration: covers containing
+/// `branch_set[b]` and none of `branch_set[..b]`.
+fn enumerate_cover_branch(
+    sets: &[Vec<GateId>],
+    branch_set: &[GateId],
+    b: usize,
+    k: usize,
+    cap: usize,
+    enum_start: Instant,
+) -> (Vec<Vec<GateId>>, bool, Option<Duration>) {
     let mut solver = Solver::new();
     let mut var_of: HashMap<GateId, Var> = HashMap::new();
     let mut gate_of: Vec<GateId> = Vec::new();
@@ -175,18 +275,23 @@ fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
         let clause: Vec<_> = set.iter().map(|g| var_of[g].positive()).collect();
         solver.add_clause(&clause);
     }
+    // The branch constraints (root units). A duplicated branch gate makes
+    // a later branch inconsistent, which is exactly right: the first
+    // occurrence's branch already owns those covers.
+    solver.add_clause(&[var_of[&branch_set[b]].positive()]);
+    for g in &branch_set[..b] {
+        solver.add_clause(&[var_of[g].negative()]);
+    }
     let limit = k.min(selectors.len());
     let select_lits: Vec<_> = selectors.iter().map(|v| v.positive()).collect();
     let totalizer = Totalizer::new(&mut solver, &select_lits, limit);
-    let build_time = build_start.elapsed();
 
     let mut solutions: Vec<Vec<GateId>> = Vec::new();
-    let mut first_solution_time = Duration::ZERO;
     let mut complete = true;
-    let enum_start = Instant::now();
+    let mut first_elapsed: Option<Duration> = None;
     'sizes: for size in 1..=limit {
         let assumptions: Vec<_> = totalizer.at_most(size).into_iter().collect();
-        let remaining = max_solutions.saturating_sub(solutions.len());
+        let remaining = cap.saturating_sub(solutions.len());
         if remaining == 0 {
             complete = false;
             break 'sizes;
@@ -194,7 +299,7 @@ fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
         let out = enumerate_positive_subsets(&mut solver, &selectors, &assumptions, remaining);
         for subset in out.solutions {
             if solutions.is_empty() {
-                first_solution_time = build_time + enum_start.elapsed();
+                first_elapsed = Some(enum_start.elapsed());
             }
             let gates: Vec<GateId> = subset
                 .iter()
@@ -213,7 +318,7 @@ fn cover_sat(sets: &[Vec<GateId>], k: usize, max_solutions: usize) -> EngineOutp
             break 'sizes;
         }
     }
-    (solutions, complete, build_time, first_solution_time)
+    (solutions, complete, first_elapsed)
 }
 
 /// Branch-and-bound cover enumeration, fanned out over the gates of the

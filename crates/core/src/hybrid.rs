@@ -145,7 +145,7 @@ mod tests {
     use super::*;
     use crate::cov::{sc_diagnose, CovOptions};
     use crate::test_set::generate_failing_tests;
-    use crate::validity::is_valid_correction_sim;
+    use crate::validity::is_valid_correction;
     use gatediag_netlist::{inject_errors, RandomCircuitSpec};
 
     #[test]
@@ -181,7 +181,7 @@ mod tests {
             let outcome = outcome.expect("a repair must exist within radius 6");
             for sol in &outcome.solutions {
                 assert!(
-                    is_valid_correction_sim(&faulty, &tests, sol),
+                    is_valid_correction(&faulty, &tests, sol),
                     "seed {seed}: repair produced invalid {sol:?}"
                 );
             }
@@ -223,7 +223,7 @@ mod tests {
         let hopeless = faulty.iter().find(|(id, g)| {
             !g.kind().is_source()
                 && *id != sites[0].gate
-                && !is_valid_correction_sim(&faulty, &tests, &[*id])
+                && !is_valid_correction(&faulty, &tests, &[*id])
         });
         if let Some((id, _)) = hopeless {
             let outcome = repair_correction(&faulty, &tests, &[id], 1, 0, BsatOptions::default());

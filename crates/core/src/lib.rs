@@ -16,8 +16,11 @@
 //! resimulation effect analysis for simulation) and the Sec. 6 hybrids
 //! ([`hybrid_seeded_bsat`], [`repair_correction`]).
 //!
-//! Two exact validity oracles ([`is_valid_correction_sim`],
-//! [`is_valid_correction_sat`]) and a [`brute_force_diagnose`] ground truth
+//! Two exact validity oracles (simulation: [`SimValidityEngine`]; SAT:
+//! [`is_valid_correction_sat`]), an auto-dispatching front door
+//! ([`is_valid_correction`] / [`ValidityOracle`] — pick the backend from
+//! `|C|`, cone size and test count instead of hardcoding one) and a
+//! [`brute_force_diagnose`] ground truth
 //! make the paper's Lemmas 1-4 and Theorems 1-2 executable; the
 //! [`paper_examples`] module ships the Fig. 5 witness circuits.
 //!
@@ -30,9 +33,12 @@
 //! over a shared index — see [`gatediag_sim::parallel_map_init`]).
 //! Results are **bit-identical for every thread count**; drift tests and
 //! property tests pin this. Cross-candidate loops should reuse one
-//! [`SimValidityEngine`] per thread (or batch-screen with
-//! [`screen_valid_corrections_sim`]) instead of paying
-//! [`is_valid_correction_sim`]'s per-call buffer setup.
+//! [`ValidityOracle`] per thread (or batch-screen with
+//! [`screen_valid_corrections_sim`] / [`screen_valid_corrections_sat`])
+//! instead of paying a fresh engine's per-call buffer setup. The SAT
+//! side shards too: the validity `_sat` oracle fans its independent
+//! per-test instances out with [`is_valid_correction_sat_par`], and
+//! [`BsatOptions::parallelism`] parallelizes the BSAT instance build.
 //!
 //! # Examples
 //!
@@ -41,7 +47,7 @@
 //!
 //! ```
 //! use gatediag_core::{
-//!     basic_sim_diagnose, find_kind_repairs, is_valid_correction_sim, BsimOptions, Test, TestSet,
+//!     basic_sim_diagnose, find_kind_repairs, is_valid_correction, BsimOptions, Test, TestSet,
 //! };
 //! use gatediag_netlist::{CircuitBuilder, GateKind};
 //!
@@ -65,7 +71,7 @@
 //! assert!(marked.union.contains(y));
 //! // The faulty gate alone is a valid correction, and library
 //! // resynthesis recovers OR as one concrete repair.
-//! assert!(is_valid_correction_sim(&faulty, &tests, &[y]));
+//! assert!(is_valid_correction(&faulty, &tests, &[y]));
 //! let repairs = find_kind_repairs(&faulty, &tests, &[y]);
 //! assert!(repairs.contains(&vec![(y, GateKind::Or)]));
 //! ```
@@ -123,9 +129,13 @@ pub use sequential::{
 };
 pub use sim_backtrack::{sim_backtrack_diagnose, SimBacktrackOptions};
 pub use test_set::{generate_failing_tests, Test, TestSet};
+#[allow(deprecated)]
+pub use validity::is_valid_correction_sim;
 pub use validity::{
-    is_valid_correction_sat, is_valid_correction_sim, screen_valid_corrections_sim,
-    SimValidityEngine,
+    is_valid_correction, is_valid_correction_sat, is_valid_correction_sat_par,
+    resolve_validity_backend, screen_valid_corrections, screen_valid_corrections_sat,
+    screen_valid_corrections_sim, SatValidityEngine, SimValidityEngine, ValidityBackend,
+    ValidityOracle, SIM_MAX_CANDIDATES,
 };
 
 // The thread-count policy for the parallel diagnosis entry points lives

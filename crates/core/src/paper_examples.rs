@@ -93,7 +93,7 @@ mod tests {
     use crate::bsat::{basic_sat_diagnose, BsatOptions};
     use crate::bsim::{basic_sim_diagnose, BsimOptions};
     use crate::cov::{sc_diagnose, CovOptions};
-    use crate::validity::{is_valid_correction_sat, is_valid_correction_sim};
+    use crate::validity::{is_valid_correction, is_valid_correction_sat};
     use gatediag_sim::simulate;
 
     #[test]
@@ -127,7 +127,7 @@ mod tests {
             cov.solutions
         );
         // ...but it is not a valid correction (Lemma 2).
-        assert!(!is_valid_correction_sim(&w.circuit, &w.tests, &[b]));
+        assert!(!is_valid_correction(&w.circuit, &w.tests, &[b]));
         assert!(!is_valid_correction_sat(&w.circuit, &w.tests, &[b]));
     }
 
@@ -143,7 +143,7 @@ mod tests {
             .any(|sol| !bsat.solutions.contains(sol)));
         // And all BSAT solutions are valid (Lemma 1).
         for sol in &bsat.solutions {
-            assert!(is_valid_correction_sim(&w.circuit, &w.tests, sol));
+            assert!(is_valid_correction(&w.circuit, &w.tests, sol));
         }
     }
 
@@ -176,11 +176,11 @@ mod tests {
         let a = w.circuit.find("A").unwrap();
         let b = w.circuit.find("B").unwrap();
         // {A, B} is a valid correction...
-        assert!(is_valid_correction_sim(&w.circuit, &w.tests, &[a, b]));
+        assert!(is_valid_correction(&w.circuit, &w.tests, &[a, b]));
         assert!(is_valid_correction_sat(&w.circuit, &w.tests, &[a, b]));
         // ...and irredundant (neither singleton suffices)...
-        assert!(!is_valid_correction_sim(&w.circuit, &w.tests, &[a]));
-        assert!(!is_valid_correction_sim(&w.circuit, &w.tests, &[b]));
+        assert!(!is_valid_correction(&w.circuit, &w.tests, &[a]));
+        assert!(!is_valid_correction(&w.circuit, &w.tests, &[b]));
         // ...BSAT with k=2 finds it (Lemma 3)...
         let bsat = basic_sat_diagnose(&w.circuit, &w.tests, 2, BsatOptions::default());
         assert!(

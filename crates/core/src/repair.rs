@@ -321,8 +321,7 @@ mod tests {
         };
         // Find a gate that alone cannot rectify.
         let hopeless = faulty.iter().find(|(id, g)| {
-            !g.kind().is_source()
-                && !crate::validity::is_valid_correction_sim(&faulty, &tests, &[*id])
+            !g.kind().is_source() && !crate::validity::is_valid_correction(&faulty, &tests, &[*id])
         });
         if let Some((id, _)) = hopeless {
             assert!(correction_observations(&faulty, &tests, &[id]).is_none());

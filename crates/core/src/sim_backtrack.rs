@@ -225,7 +225,7 @@ mod tests {
     use super::*;
     use crate::bsat::{basic_sat_diagnose, BsatOptions};
     use crate::test_set::generate_failing_tests;
-    use crate::validity::is_valid_correction_sim;
+    use crate::validity::is_valid_correction;
     use gatediag_netlist::{inject_errors, RandomCircuitSpec};
 
     fn setup(seed: u64, p: usize, m: usize) -> (Circuit, Vec<GateId>, TestSet) {
@@ -245,7 +245,7 @@ mod tests {
             let sols = sim_backtrack_diagnose(&faulty, &tests, 2, SimBacktrackOptions::default());
             for sol in &sols {
                 assert!(
-                    is_valid_correction_sim(&faulty, &tests, sol),
+                    is_valid_correction(&faulty, &tests, sol),
                     "seed {seed}: invalid {sol:?}"
                 );
             }

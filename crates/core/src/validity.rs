@@ -6,22 +6,33 @@
 //! Boolean value — so validity decomposes per test into "∃ values at `C`
 //! making the designated output correct". Two independent oracles:
 //!
-//! * [`is_valid_correction_sim`] — exhaustive forced-value simulation,
-//!   64 value combinations per packed sweep (exact, exponential in `|C|`);
-//! * [`is_valid_correction_sat`] — one small SAT query per test (exact,
-//!   scales to large `C`).
+//! * [`SimValidityEngine`] — exhaustive forced-value simulation, 1024
+//!   value combinations per incremental packed sweep (exact, exponential
+//!   in `|C|`);
+//! * [`SatValidityEngine`] / [`is_valid_correction_sat`] — the circuit
+//!   encoded once with `C` freed, then one assumption-based SAT query per
+//!   test (exact, scales to large `C`).
 //!
 //! The two must always agree; property tests enforce it. Validity is
 //! monotone under supersets (force the extra gates to the values they
 //! would compute anyway), which the essentiality analysis relies on.
 //!
+//! Callers should not hardcode a backend: [`is_valid_correction`] and the
+//! reusable [`ValidityOracle`] auto-dispatch per call from `|C|`, the
+//! candidates' fan-out cone size and the test count
+//! ([`resolve_validity_backend`]), with the incremental simulation engine
+//! as the fast path.
+//!
 //! Cross-candidate loops (backtrack search, cover screening) should hold a
-//! [`SimValidityEngine`] and call [`SimValidityEngine::is_valid`] per
-//! candidate set: the engine keeps its [`PackedSim`] buffers and baseline
-//! values across calls, so consecutive screenings only re-simulate the
-//! cones of inputs and candidates that changed. Screening many candidate
-//! sets at once parallelizes with [`screen_valid_corrections_sim`] — one
-//! engine per worker, work-stealing over the sets.
+//! [`ValidityOracle`] (or a bare [`SimValidityEngine`]) per loop: the
+//! engine keeps its [`PackedSim`] buffers and baseline values across
+//! calls, so consecutive screenings only re-simulate the cones of inputs
+//! and candidates that changed. Screening many candidate sets at once
+//! parallelizes with [`screen_valid_corrections_sim`] /
+//! [`screen_valid_corrections_sat`] — one engine per worker,
+//! work-stealing over the sets — and the SAT oracle itself shards its
+//! independent per-test instances across workers with
+//! [`is_valid_correction_sat_par`].
 
 use crate::test_set::{Test, TestSet};
 use gatediag_cnf::{encode_gate, ClauseSink};
@@ -176,18 +187,16 @@ impl<'c> SimValidityEngine<'c> {
 /// candidate gates (incremental forced-value propagation), so screening a
 /// candidate set is far cheaper than `tests * combos` full simulations.
 ///
-/// **Note (soft deprecation):** this convenience signature builds a fresh
-/// engine — O(gates) buffer allocation plus one full baseline sweep — on
-/// *every* call. Callers that screen many candidate sets against the same
-/// circuit (backtrack loops, cover filtering) should construct a
-/// [`SimValidityEngine`] once and call [`SimValidityEngine::is_valid`]
-/// per set, or batch-screen with [`screen_valid_corrections_sim`]; both
-/// are bit-identical to this function and amortise the setup.
-///
 /// # Panics
 ///
 /// Panics if `candidates.len() > 16` (use the SAT oracle instead) or if a
 /// candidate is a source gate.
+#[deprecated(
+    since = "0.1.0",
+    note = "builds a fresh engine (O(gates) buffers + a full baseline sweep) on every call; \
+            hold a `SimValidityEngine` across calls, batch with `screen_valid_corrections_sim`, \
+            or let the auto-dispatching `is_valid_correction` pick the backend"
+)]
 pub fn is_valid_correction_sim(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
     SimValidityEngine::new(circuit).is_valid(tests, candidates)
 }
@@ -224,49 +233,361 @@ pub fn screen_valid_corrections_sim(
     )
 }
 
-/// Exact validity check by SAT.
+/// A reusable SAT validity oracle for one `(circuit, candidate set)` pair.
 ///
-/// Per test, encodes the circuit with the candidate gates' defining clauses
+/// Encodes the circuit *once* with the candidate gates' defining clauses
 /// omitted (their variables are free — precisely the "mux on" semantics),
-/// constrains inputs and the expected output, and asks for satisfiability.
-pub fn is_valid_correction_sat(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
-    for &g in candidates {
-        assert!(
-            circuit.gate(g).kind() != GateKind::Input,
-            "candidate {g} is a primary input"
-        );
-    }
-    let mut freed = vec![false; circuit.len()];
-    for &g in candidates {
-        freed[g.index()] = true;
-    }
-    tests
-        .iter()
-        .all(|t| test_rectifiable_sat(circuit, t, &freed))
+/// then answers per-test rectifiability queries under *assumptions*
+/// (inputs and the expected output value), so checking `|T|` tests costs
+/// one encoding instead of `|T|`. Learnt clauses accumulate across tests,
+/// which is sound (they are implied by the circuit clauses alone) and
+/// usually speeds up later tests of the same set.
+///
+/// This is also the unit of work for per-test sharding: each pool worker
+/// of [`is_valid_correction_sat_par`] holds its own engine, and because
+/// per-test verdicts are exact, the merged result is bit-identical for
+/// every worker count.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{generate_failing_tests, SatValidityEngine};
+/// use gatediag_netlist::{c17, inject_errors};
+///
+/// let golden = c17();
+/// let (faulty, sites) = inject_errors(&golden, 1, 42);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 42, 4096);
+/// let mut engine = SatValidityEngine::new(&faulty, &[sites[0].gate]);
+/// assert!(tests.iter().all(|t| engine.test_rectifiable(t)));
+/// ```
+#[derive(Debug)]
+pub struct SatValidityEngine<'c> {
+    circuit: &'c Circuit,
+    solver: Solver,
+    vars: Vec<Var>,
 }
 
-fn test_rectifiable_sat(circuit: &Circuit, test: &Test, freed: &[bool]) -> bool {
-    let mut solver = Solver::new();
-    let vars: Vec<Var> = (0..circuit.len())
-        .map(|_| ClauseSink::new_var(&mut solver))
-        .collect();
-    for &id in circuit.topo_order() {
-        let gate = circuit.gate(id);
-        if gate.kind() == GateKind::Input || freed[id.index()] {
-            continue;
+impl<'c> SatValidityEngine<'c> {
+    /// Encodes `circuit` with `candidates` freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate is a primary input.
+    pub fn new(circuit: &'c Circuit, candidates: &[GateId]) -> SatValidityEngine<'c> {
+        let mut freed = vec![false; circuit.len()];
+        for &g in candidates {
+            assert!(
+                circuit.gate(g).kind() != GateKind::Input,
+                "candidate {g} is a primary input"
+            );
+            freed[g.index()] = true;
         }
-        let fanins: Vec<_> = gate
-            .fanins()
-            .iter()
-            .map(|&f| vars[f.index()].positive())
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..circuit.len())
+            .map(|_| ClauseSink::new_var(&mut solver))
             .collect();
-        encode_gate(&mut solver, gate.kind(), vars[id.index()], &fanins, None);
+        for &id in circuit.topo_order() {
+            let gate = circuit.gate(id);
+            if gate.kind() == GateKind::Input || freed[id.index()] {
+                continue;
+            }
+            let fanins: Vec<_> = gate
+                .fanins()
+                .iter()
+                .map(|&f| vars[f.index()].positive())
+                .collect();
+            encode_gate(&mut solver, gate.kind(), vars[id.index()], &fanins, None);
+        }
+        SatValidityEngine {
+            circuit,
+            solver,
+            vars,
+        }
     }
-    for (&pi, &v) in circuit.inputs().iter().zip(&test.vector) {
-        solver.add_clause(&[vars[pi.index()].lit(v)]);
+
+    /// `true` if some assignment of the freed candidate values makes the
+    /// test's designated output take its expected value.
+    pub fn test_rectifiable(&mut self, test: &Test) -> bool {
+        let mut assumptions: Vec<_> = self
+            .circuit
+            .inputs()
+            .iter()
+            .zip(&test.vector)
+            .map(|(&pi, &v)| self.vars[pi.index()].lit(v))
+            .collect();
+        assumptions.push(self.vars[test.output.index()].lit(test.expected));
+        self.solver.solve(&assumptions) == SolveResult::Sat
     }
-    solver.add_clause(&[vars[test.output.index()].lit(test.expected)]);
-    solver.solve(&[]) == SolveResult::Sat
+}
+
+/// Exact validity check by SAT.
+///
+/// Builds one [`SatValidityEngine`] (circuit encoded once, candidates
+/// freed) and checks every test under assumptions, stopping at the first
+/// non-rectifiable test. Semantically identical to — and substantially
+/// faster than — the seed's one-fresh-solver-per-test formulation.
+pub fn is_valid_correction_sat(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
+    let mut engine = SatValidityEngine::new(circuit, candidates);
+    tests.iter().all(|t| engine.test_rectifiable(t))
+}
+
+/// [`is_valid_correction_sat`] with the per-test SAT instances sharded
+/// across a worker pool.
+///
+/// Each worker holds its own [`SatValidityEngine`] (one encoding per
+/// worker, not per test) and steals test indices off the shared queue;
+/// verdicts are collected in test order and conjoined. Because every
+/// per-test verdict is exact, the result is bit-identical to the
+/// sequential oracle for any worker count — this is the ROADMAP's
+/// "per-test instance sharding for the validity `_sat` oracle".
+pub fn is_valid_correction_sat_par(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidates: &[GateId],
+    parallelism: Parallelism,
+) -> bool {
+    // Only fan out when the per-test solves plausibly dwarf the per-worker
+    // encoding cost (the encoding is O(gates) clauses per worker).
+    let work = tests.len().saturating_mul(circuit.len()).saturating_mul(8);
+    let workers = parallelism.workers_for(tests.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    if workers <= 1 {
+        return is_valid_correction_sat(circuit, tests, candidates);
+    }
+    // Cross-worker early exit, mirroring the sequential oracle's short
+    // circuit: once any worker finds a non-rectifiable test the overall
+    // conjunction is false, so remaining stolen tests are skipped. The
+    // skip only ever happens after a genuine `false` verdict is recorded,
+    // so the conjunction — the only published output — is unaffected.
+    let failed = std::sync::atomic::AtomicBool::new(false);
+    let verdicts = parallel_map_init(
+        workers,
+        tests.len(),
+        || SatValidityEngine::new(circuit, candidates),
+        |engine, i| {
+            if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                return false; // don't-care: a real failure is already recorded
+            }
+            let ok = engine.test_rectifiable(&tests.tests()[i]);
+            if !ok {
+                failed.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            ok
+        },
+    );
+    verdicts.into_iter().all(|v| v)
+}
+
+/// Screens many candidate sets with the SAT oracle in parallel: one
+/// worker per stolen set, each building a [`SatValidityEngine`] for its
+/// current set and early-exiting on the first non-rectifiable test.
+/// Verdicts are returned in input order and are bit-identical for every
+/// worker count.
+pub fn screen_valid_corrections_sat(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidate_sets: &[Vec<GateId>],
+    parallelism: Parallelism,
+) -> Vec<bool> {
+    let work = candidate_sets
+        .len()
+        .saturating_mul(circuit.len())
+        .saturating_mul(tests.len().max(1));
+    let workers =
+        parallelism.workers_for(candidate_sets.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    parallel_map_init(
+        workers,
+        candidate_sets.len(),
+        || (),
+        |(), i| is_valid_correction_sat(circuit, tests, &candidate_sets[i]),
+    )
+}
+
+/// Screens many candidate sets with the *auto-dispatching* oracle in
+/// parallel: one [`ValidityOracle`] per worker (primed sim engine as the
+/// fast path, SAT for large sets), work-stealing over the sets, verdicts
+/// in input order — bit-identical for every worker count.
+pub fn screen_valid_corrections(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidate_sets: &[Vec<GateId>],
+    parallelism: Parallelism,
+) -> Vec<bool> {
+    let work = candidate_sets
+        .len()
+        .saturating_mul(circuit.len())
+        .saturating_mul(tests.len().max(1));
+    let workers =
+        parallelism.workers_for(candidate_sets.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    parallel_map_init(
+        workers,
+        candidate_sets.len(),
+        || ValidityOracle::new(circuit),
+        |oracle, i| oracle.is_valid(tests, &candidate_sets[i]),
+    )
+}
+
+/// Which validity oracle a call should use.
+///
+/// The two oracles are exact and always agree (property-tested), so the
+/// backend only trades time: forced-value simulation is exponential in
+/// `|C|` but touches only the candidates' fan-out cones, while SAT scales
+/// to large `C` but pays a circuit-sized encoding and CDCL search per
+/// test. [`ValidityBackend::Auto`] picks per call from `|C|`, the
+/// candidates' fan-out cone size and the test count — so callers no
+/// longer hardcode `_sim` vs `_sat`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ValidityBackend {
+    /// Choose per call (see [`resolve_validity_backend`]).
+    #[default]
+    Auto,
+    /// Always forced-value simulation (panics if `|C| > 16`).
+    Sim,
+    /// Always the per-test SAT oracle.
+    Sat,
+}
+
+/// Largest candidate set the simulation oracle accepts (`2^16`
+/// combinations per test).
+pub const SIM_MAX_CANDIDATES: usize = 16;
+
+/// Cost-model constant: a per-test SAT solve is charged roughly this many
+/// scalar operations per circuit gate (encoding amortised, CDCL search
+/// included). Calibrated coarsely from `bench_pr3`; only the crossover
+/// matters, not the absolute value.
+const SAT_COST_PER_GATE: u64 = 48;
+
+/// Resolves [`ValidityBackend::Auto`] for one call: `Sim` or `Sat`.
+///
+/// `Sim` is the fast path whenever it is feasible and its exponential
+/// term stays small: the per-test cost model is
+/// `ceil(2^|C| / 1024) · cone(C)` for simulation (1024 = lanes per
+/// incremental sweep) versus `SAT_COST_PER_GATE · gates` for SAT. The
+/// test count multiplies both sides equally and therefore drops out of
+/// the comparison; it still decides ties for empty test sets (trivially
+/// `Sim`).
+pub fn resolve_validity_backend(
+    circuit: &Circuit,
+    _tests: &TestSet,
+    candidates: &[GateId],
+) -> ValidityBackend {
+    if candidates.len() > SIM_MAX_CANDIDATES {
+        return ValidityBackend::Sat;
+    }
+    if candidates.len() <= 10 {
+        // At most one 1024-lane sweep per test: simulation never loses.
+        return ValidityBackend::Sim;
+    }
+    let combos = 1u64 << candidates.len();
+    let sweeps = combos.div_ceil(64 * SCREEN_WORDS as u64);
+    let cone = fanout_cone_size(circuit, candidates) as u64;
+    let sim_cost = sweeps.saturating_mul(cone.max(1));
+    let sat_cost = SAT_COST_PER_GATE.saturating_mul(circuit.len() as u64);
+    if sim_cost <= sat_cost {
+        ValidityBackend::Sim
+    } else {
+        ValidityBackend::Sat
+    }
+}
+
+/// Number of gates in the union of the candidates' fan-out cones — the
+/// region an incremental forced-value sweep actually re-simulates.
+fn fanout_cone_size(circuit: &Circuit, candidates: &[GateId]) -> usize {
+    let mut visited = vec![false; circuit.len()];
+    let mut stack: Vec<GateId> = Vec::new();
+    for &g in candidates {
+        if !visited[g.index()] {
+            visited[g.index()] = true;
+            stack.push(g);
+        }
+    }
+    let mut size = 0usize;
+    while let Some(id) = stack.pop() {
+        size += 1;
+        for &f in circuit.fanouts(id) {
+            if !visited[f.index()] {
+                visited[f.index()] = true;
+                stack.push(f);
+            }
+        }
+    }
+    size
+}
+
+/// Exact validity with automatic backend dispatch.
+///
+/// Equivalent to both [`SimValidityEngine::is_valid`] and
+/// [`is_valid_correction_sat`] (the oracles agree on every input); the
+/// backend is chosen by [`resolve_validity_backend`]. One-shot
+/// convenience — loops over many candidate sets should hold a
+/// [`ValidityOracle`] instead.
+pub fn is_valid_correction(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
+    ValidityOracle::new(circuit).is_valid(tests, candidates)
+}
+
+/// A reusable auto-dispatching validity oracle.
+///
+/// Owns a primed [`SimValidityEngine`] as the fast path and falls back to
+/// the per-test SAT oracle when [`resolve_validity_backend`] (or an
+/// explicit [`ValidityBackend`]) says so. Cross-candidate loops keep the
+/// simulation engine's incremental baseline warm across calls exactly
+/// like holding a bare `SimValidityEngine`, but large candidate sets no
+/// longer panic — they transparently route to SAT.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{generate_failing_tests, ValidityOracle};
+/// use gatediag_netlist::{c17, inject_errors};
+///
+/// let golden = c17();
+/// let (faulty, sites) = inject_errors(&golden, 1, 42);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 42, 4096);
+/// let mut oracle = ValidityOracle::new(&faulty);
+/// assert!(oracle.is_valid(&tests, &[sites[0].gate]));
+/// ```
+#[derive(Debug)]
+pub struct ValidityOracle<'c> {
+    circuit: &'c Circuit,
+    sim: SimValidityEngine<'c>,
+    backend: ValidityBackend,
+}
+
+impl<'c> ValidityOracle<'c> {
+    /// Creates an auto-dispatching oracle for `circuit`.
+    pub fn new(circuit: &'c Circuit) -> ValidityOracle<'c> {
+        ValidityOracle::with_backend(circuit, ValidityBackend::Auto)
+    }
+
+    /// Creates an oracle pinned to (or auto-dispatching from) `backend`.
+    pub fn with_backend(circuit: &'c Circuit, backend: ValidityBackend) -> ValidityOracle<'c> {
+        ValidityOracle {
+            circuit,
+            sim: SimValidityEngine::new(circuit),
+            backend,
+        }
+    }
+
+    /// The backend a call with these arguments would use.
+    pub fn backend_for(&self, tests: &TestSet, candidates: &[GateId]) -> ValidityBackend {
+        match self.backend {
+            ValidityBackend::Auto => resolve_validity_backend(self.circuit, tests, candidates),
+            pinned => pinned,
+        }
+    }
+
+    /// Exact validity of `candidates` for `tests`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate is a primary input, or if the oracle is
+    /// pinned to [`ValidityBackend::Sim`] with more than
+    /// [`SIM_MAX_CANDIDATES`] candidates.
+    pub fn is_valid(&mut self, tests: &TestSet, candidates: &[GateId]) -> bool {
+        match self.backend_for(tests, candidates) {
+            ValidityBackend::Sim | ValidityBackend::Auto => self.sim.is_valid(tests, candidates),
+            ValidityBackend::Sat => is_valid_correction_sat(self.circuit, tests, candidates),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +595,12 @@ mod tests {
     use super::*;
     use crate::test_set::generate_failing_tests;
     use gatediag_netlist::{c17, inject_errors, RandomCircuitSpec};
+
+    /// Fresh-engine simulation verdict (what the deprecated
+    /// `is_valid_correction_sim` wrapper computes).
+    fn sim_valid(circuit: &Circuit, tests: &TestSet, candidates: &[GateId]) -> bool {
+        SimValidityEngine::new(circuit).is_valid(tests, candidates)
+    }
 
     #[test]
     fn error_sites_are_always_a_valid_correction() {
@@ -286,7 +613,7 @@ mod tests {
             }
             let gates: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
             assert!(
-                is_valid_correction_sim(&faulty, &tests, &gates),
+                sim_valid(&faulty, &tests, &gates),
                 "seed {seed}: real error sites rejected by sim oracle"
             );
             assert!(
@@ -319,7 +646,7 @@ mod tests {
                     .choose_multiple(&mut rng, size)
                     .copied()
                     .collect();
-                let sim = is_valid_correction_sim(&faulty, &tests, &candidates);
+                let sim = sim_valid(&faulty, &tests, &candidates);
                 let sat = is_valid_correction_sat(&faulty, &tests, &candidates);
                 assert_eq!(sim, sat, "oracles disagree on {candidates:?}");
             }
@@ -332,14 +659,14 @@ mod tests {
         let (faulty, sites) = inject_errors(&golden, 1, 11);
         let tests = generate_failing_tests(&golden, &faulty, 8, 11, 4096);
         let base = vec![sites[0].gate];
-        assert!(is_valid_correction_sim(&faulty, &tests, &base));
+        assert!(sim_valid(&faulty, &tests, &base));
         for (id, g) in faulty.iter() {
             if g.kind().is_source() || id == sites[0].gate {
                 continue;
             }
             let superset = vec![sites[0].gate, id];
             assert!(
-                is_valid_correction_sim(&faulty, &tests, &superset),
+                sim_valid(&faulty, &tests, &superset),
                 "superset {superset:?} lost validity"
             );
         }
@@ -352,10 +679,10 @@ mod tests {
         let tests = generate_failing_tests(&golden, &faulty, 4, 3, 4096);
         assert!(!tests.is_empty());
         // Failing tests cannot be rectified by changing nothing.
-        assert!(!is_valid_correction_sim(&faulty, &tests, &[]));
+        assert!(!sim_valid(&faulty, &tests, &[]));
         assert!(!is_valid_correction_sat(&faulty, &tests, &[]));
         // An empty test set is trivially rectified.
-        assert!(is_valid_correction_sim(&faulty, &TestSet::default(), &[]));
+        assert!(sim_valid(&faulty, &TestSet::default(), &[]));
         assert!(is_valid_correction_sat(&faulty, &TestSet::default(), &[]));
     }
 
@@ -387,7 +714,7 @@ mod tests {
                 .collect();
             assert_eq!(
                 engine.is_valid(&tests, &candidates),
-                is_valid_correction_sim(&faulty, &tests, &candidates),
+                sim_valid(&faulty, &tests, &candidates),
                 "round {round}: reused engine drifted on {candidates:?}"
             );
         }
@@ -410,10 +737,7 @@ mod tests {
         let mut sets: Vec<Vec<GateId>> = functional.iter().map(|&g| vec![g]).collect();
         sets.push(sites.iter().map(|s| s.gate).collect());
         sets.push(Vec::new());
-        let expected: Vec<bool> = sets
-            .iter()
-            .map(|s| is_valid_correction_sim(&faulty, &tests, s))
-            .collect();
+        let expected: Vec<bool> = sets.iter().map(|s| sim_valid(&faulty, &tests, s)).collect();
         for parallelism in [
             Parallelism::Sequential,
             Parallelism::Fixed(2),
@@ -433,6 +757,195 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_wrapper_still_matches_engine() {
+        // The back-compat wrapper must stay bit-identical to holding an
+        // engine explicitly for as long as it exists.
+        #![allow(deprecated)]
+        let golden = c17();
+        let (faulty, sites) = inject_errors(&golden, 1, 9);
+        let tests = generate_failing_tests(&golden, &faulty, 6, 9, 4096);
+        let gates = vec![sites[0].gate];
+        assert_eq!(
+            is_valid_correction_sim(&faulty, &tests, &gates),
+            sim_valid(&faulty, &tests, &gates)
+        );
+    }
+
+    #[test]
+    fn sat_engine_reuse_matches_fresh_oracle() {
+        // One engine across all tests (assumption-based) must agree with
+        // the per-test definition on every test individually.
+        for seed in 0..4 {
+            let golden = RandomCircuitSpec::new(6, 3, 40).seed(seed).generate();
+            let (faulty, sites) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 8, seed, 8192);
+            if tests.is_empty() {
+                continue;
+            }
+            let gates: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+            let mut engine = SatValidityEngine::new(&faulty, &gates);
+            for (i, t) in tests.iter().enumerate() {
+                let single: TestSet = std::iter::once(t.clone()).collect();
+                assert_eq!(
+                    engine.test_rectifiable(t),
+                    sim_valid(&faulty, &single, &gates),
+                    "seed {seed} test {i}: SAT engine drifted from sim oracle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sat_oracle_is_worker_count_invariant() {
+        use gatediag_sim::Parallelism;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(55);
+        let golden = RandomCircuitSpec::new(6, 3, 40).seed(3).generate();
+        let (faulty, _) = inject_errors(&golden, 2, 3);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 3, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        for round in 0..8 {
+            let size = 1 + round % 3;
+            let candidates: Vec<GateId> = functional
+                .choose_multiple(&mut rng, size)
+                .copied()
+                .collect();
+            let sequential = is_valid_correction_sat(&faulty, &tests, &candidates);
+            for workers in [1usize, 2, 4, 8] {
+                assert_eq!(
+                    is_valid_correction_sat_par(
+                        &faulty,
+                        &tests,
+                        &candidates,
+                        Parallelism::Fixed(workers)
+                    ),
+                    sequential,
+                    "round {round}: {workers}-worker SAT oracle drifted on {candidates:?}"
+                );
+            }
+        }
+        // Empty test set: trivially valid, also when sharded.
+        assert!(is_valid_correction_sat_par(
+            &faulty,
+            &TestSet::default(),
+            &functional[..1],
+            Parallelism::Fixed(4)
+        ));
+    }
+
+    #[test]
+    fn sat_batch_screening_matches_per_set_verdicts() {
+        use gatediag_sim::Parallelism;
+        let golden = RandomCircuitSpec::new(6, 3, 40).seed(4).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 4);
+        let tests = generate_failing_tests(&golden, &faulty, 6, 4, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .take(12)
+            .collect();
+        let mut sets: Vec<Vec<GateId>> = functional.iter().map(|&g| vec![g]).collect();
+        sets.push(sites.iter().map(|s| s.gate).collect());
+        let expected: Vec<bool> = sets
+            .iter()
+            .map(|s| is_valid_correction_sat(&faulty, &tests, s))
+            .collect();
+        for parallelism in [
+            Parallelism::Sequential,
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(7),
+        ] {
+            assert_eq!(
+                screen_valid_corrections_sat(&faulty, &tests, &sets, parallelism),
+                expected,
+                "SAT screening drifted at {parallelism:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_agrees_with_both_backends() {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(91);
+        let golden = RandomCircuitSpec::new(6, 3, 40).seed(6).generate();
+        let (faulty, _) = inject_errors(&golden, 1, 6);
+        let tests = generate_failing_tests(&golden, &faulty, 6, 6, 8192);
+        if tests.is_empty() {
+            return;
+        }
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let mut auto = ValidityOracle::new(&faulty);
+        let mut pinned_sat = ValidityOracle::with_backend(&faulty, ValidityBackend::Sat);
+        for round in 0..12 {
+            let size = [0usize, 1, 2, 3][round % 4];
+            let candidates: Vec<GateId> = functional
+                .choose_multiple(&mut rng, size.min(functional.len()))
+                .copied()
+                .collect();
+            let expected = sim_valid(&faulty, &tests, &candidates);
+            assert_eq!(auto.is_valid(&tests, &candidates), expected, "auto drifted");
+            assert_eq!(
+                pinned_sat.is_valid(&tests, &candidates),
+                expected,
+                "pinned SAT drifted"
+            );
+            assert_eq!(
+                is_valid_correction(&faulty, &tests, &candidates),
+                expected,
+                "one-shot dispatcher drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_dispatch_routes_large_sets_to_sat() {
+        // > SIM_MAX_CANDIDATES would panic the sim engine; the dispatcher
+        // must route to SAT instead of panicking.
+        let golden = RandomCircuitSpec::new(6, 3, 60).seed(8).generate();
+        let (faulty, _) = inject_errors(&golden, 1, 8);
+        let tests = generate_failing_tests(&golden, &faulty, 4, 8, 8192);
+        let functional: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| !g.kind().is_source())
+            .map(|(id, _)| id)
+            .take(SIM_MAX_CANDIDATES + 4)
+            .collect();
+        assert!(functional.len() > SIM_MAX_CANDIDATES);
+        assert_eq!(
+            resolve_validity_backend(&faulty, &tests, &functional),
+            ValidityBackend::Sat
+        );
+        // Freeing that many gates of a small circuit rectifies everything.
+        let mut oracle = ValidityOracle::new(&faulty);
+        assert_eq!(
+            oracle.is_valid(&tests, &functional),
+            is_valid_correction_sat(&faulty, &tests, &functional)
+        );
+        // Small sets resolve to the sim fast path.
+        assert_eq!(
+            resolve_validity_backend(&faulty, &tests, &functional[..2]),
+            ValidityBackend::Sim
+        );
+    }
+
+    #[test]
     fn forcing_output_gate_is_always_valid() {
         let golden = c17();
         let (faulty, _) = inject_errors(&golden, 2, 6);
@@ -442,7 +955,7 @@ mod tests {
         let mut outs: Vec<GateId> = tests.iter().map(|t| t.output).collect();
         outs.sort();
         outs.dedup();
-        assert!(is_valid_correction_sim(&faulty, &tests, &outs));
+        assert!(sim_valid(&faulty, &tests, &outs));
         assert!(is_valid_correction_sat(&faulty, &tests, &outs));
     }
 }

@@ -6,6 +6,11 @@
 //! reimplementations of the seed's scalar algorithms: candidate sets,
 //! mark counts and verdicts must be *bit-identical* on the paper examples
 //! and on randomly generated circuits.
+//!
+//! These back-compat tests deliberately keep exercising the deprecated
+//! seed-era entry points (e.g. `is_valid_correction_sim`) — they pin the
+//! wrappers, not the replacements.
+#![allow(deprecated)]
 
 use gatediag_core::{
     basic_sim_diagnose, find_kind_repairs, generate_failing_tests, is_valid_correction_sim,

@@ -7,6 +7,10 @@
 //! cases (one worker, more workers than work items, empty work). These
 //! tests pin that contract explicitly; `proptest_parallel.rs` fuzzes it
 //! on random circuits.
+//!
+//! Back-compat: the deprecated seed-era oracles stay exercised here on
+//! purpose — drift tests compare against what the seed computed.
+#![allow(deprecated)]
 
 use gatediag_core::{
     basic_sim_diagnose, cover_all, find_kind_repairs_par, generate_failing_tests,

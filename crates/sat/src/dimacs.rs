@@ -27,21 +27,42 @@ pub fn write_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
 
 /// Parses DIMACS CNF text; returns `(num_vars, clauses)`.
 ///
+/// The parser is strict where silent acceptance would corrupt an
+/// instance, and lenient only where the DIMACS ecosystem traditionally
+/// is:
+///
+/// * the `p cnf <vars> <clauses>` header must appear exactly once,
+///   before any clause data, with both counts present and numeric;
+/// * every literal must be in range (`1 ≤ |lit| ≤ <vars>`) — an
+///   out-of-range literal would otherwise silently alias another
+///   variable after the internal `u32` narrowing;
+/// * the final clause must be terminated by `0` (a trailing unterminated
+///   clause is rejected, not silently accepted);
+/// * the declared clause *count* is not enforced (many generators get it
+///   wrong; the parsed clause list's length is authoritative).
+///
 /// # Errors
 ///
-/// Returns a descriptive message for malformed headers or literals.
+/// Returns a descriptive message (with a 1-based line number) for
+/// malformed headers, out-of-range or non-numeric literals, clause data
+/// before the header, duplicate headers, and a missing terminating `0`.
 pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), String> {
     let mut num_vars = 0usize;
     let mut clauses = Vec::new();
     let mut current: Vec<Lit> = Vec::new();
     let mut header_seen = false;
+    let mut current_open = false;
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
         }
-        if let Some(rest) = line.strip_prefix("p ") {
-            let mut parts = rest.split_whitespace();
+        if line.starts_with('p') {
+            if header_seen {
+                return Err(format!("line {}: duplicate `p cnf` header", lineno + 1));
+            }
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
             if parts.next() != Some("cnf") {
                 return Err(format!("line {}: expected `p cnf`", lineno + 1));
             }
@@ -49,8 +70,35 @@ pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), String> {
                 .next()
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| format!("line {}: bad variable count", lineno + 1))?;
+            // Literals are stored as `var << 1 | sign` in a `u32`, so a
+            // header declaring more variables than that encoding can hold
+            // would let the range check below pass on literals that then
+            // alias small variables after narrowing.
+            if num_vars > (u32::MAX >> 1) as usize {
+                return Err(format!(
+                    "line {}: variable count {num_vars} exceeds the supported maximum {}",
+                    lineno + 1,
+                    u32::MAX >> 1
+                ));
+            }
+            let _num_clauses: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("line {}: bad clause count", lineno + 1))?;
+            if parts.next().is_some() {
+                return Err(format!(
+                    "line {}: trailing tokens after `p cnf <vars> <clauses>`",
+                    lineno + 1
+                ));
+            }
             header_seen = true;
             continue;
+        }
+        if !header_seen {
+            return Err(format!(
+                "line {}: clause data before the `p cnf` header",
+                lineno + 1
+            ));
         }
         for token in line.split_whitespace() {
             let value: i64 = token
@@ -58,13 +106,22 @@ pub fn parse_dimacs(text: &str) -> Result<(usize, Vec<Vec<Lit>>), String> {
                 .map_err(|_| format!("line {}: bad literal `{token}`", lineno + 1))?;
             if value == 0 {
                 clauses.push(std::mem::take(&mut current));
+                current_open = false;
             } else {
+                if value.unsigned_abs() > num_vars as u64 {
+                    return Err(format!(
+                        "line {}: literal `{token}` out of range (header declares {num_vars} \
+                         variables)",
+                        lineno + 1
+                    ));
+                }
                 current.push(Lit::from_dimacs(value));
+                current_open = true;
             }
         }
     }
-    if !current.is_empty() {
-        clauses.push(current);
+    if current_open {
+        return Err("last clause is missing its terminating `0`".to_string());
     }
     if !header_seen {
         return Err("missing `p cnf` header".to_string());
@@ -105,5 +162,72 @@ mod tests {
     #[test]
     fn rejects_bad_literal() {
         assert!(parse_dimacs("p cnf 1 1\nfoo 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_headers() {
+        // Wrong format tag.
+        assert!(parse_dimacs("p sat 2 1\n1 0\n").is_err());
+        // Missing clause count.
+        assert!(parse_dimacs("p cnf 2\n1 0\n").is_err());
+        // Missing both counts.
+        assert!(parse_dimacs("p cnf\n").is_err());
+        // Non-numeric counts.
+        assert!(parse_dimacs("p cnf x 1\n1 0\n").is_err());
+        assert!(parse_dimacs("p cnf 2 y\n1 0\n").is_err());
+        // Negative counts.
+        assert!(parse_dimacs("p cnf -2 1\n1 0\n").is_err());
+        // Trailing junk on the header line.
+        assert!(parse_dimacs("p cnf 2 1 junk\n1 0\n").is_err());
+        // Duplicate header.
+        assert!(parse_dimacs("p cnf 2 1\np cnf 2 1\n1 0\n").is_err());
+        // Clause data before the header.
+        assert!(parse_dimacs("1 0\np cnf 2 1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_literals() {
+        // Variable 3 with only 2 declared.
+        let err = parse_dimacs("p cnf 2 1\n3 0\n").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(parse_dimacs("p cnf 2 1\n-3 0\n").is_err());
+        // Values far beyond the internal u32 range must error, not
+        // silently alias a small variable index.
+        assert!(parse_dimacs("p cnf 2 1\n4294967297 0\n").is_err());
+        assert!(parse_dimacs("p cnf 2 1\n-9223372036854775808 0\n").is_err());
+        // A header declaring more variables than the u32 literal encoding
+        // can hold must be rejected outright — otherwise a huge literal
+        // would pass the range check and alias variable 0 after
+        // narrowing (4294967297 - 1 ≡ 0 mod 2^32).
+        assert!(parse_dimacs("p cnf 4294967297 1\n4294967297 0\n").is_err());
+        assert!(parse_dimacs("p cnf 2147483648 1\n1 0\n").is_err());
+        // The largest supported count itself is fine.
+        assert!(parse_dimacs("p cnf 2147483647 1\n1 0\n").is_ok());
+        // Boundary: exactly num_vars is fine.
+        assert!(parse_dimacs("p cnf 2 1\n2 -1 0\n").is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminating_zero() {
+        let err = parse_dimacs("p cnf 2 1\n1 -2\n").unwrap_err();
+        assert!(err.contains("terminating"), "{err}");
+        // A clause split across lines is fine as long as the 0 arrives.
+        assert!(parse_dimacs("p cnf 2 1\n1\n-2\n0\n").is_ok());
+        // Comments and blank lines after the last 0 are fine.
+        assert!(parse_dimacs("p cnf 2 1\n1 -2 0\nc done\n\n").is_ok());
+    }
+
+    #[test]
+    fn empty_clause_is_parsed_not_rejected() {
+        let (n, clauses) = parse_dimacs("p cnf 1 1\n0\n").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(clauses, vec![Vec::<Lit>::new()]);
+    }
+
+    #[test]
+    fn declared_clause_count_is_not_enforced() {
+        // Authoritative clause list, lenient count (documented behavior).
+        let (_, clauses) = parse_dimacs("p cnf 2 5\n1 0\n-2 0\n").unwrap();
+        assert_eq!(clauses.len(), 2);
     }
 }

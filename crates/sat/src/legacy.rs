@@ -1,0 +1,711 @@
+//! The pre-flattening CDCL solver, kept as a benchmarking baseline.
+//!
+//! [`LegacySolver`] is the seed's engine with per-literal
+//! `Vec<Vec<Watcher>>` watch lists — one heap allocation per literal,
+//! pointer-chased on every propagation. [`crate::Solver`] replaced that
+//! scheme with CSR-style flat watcher lists (see `solver.rs`); this copy
+//! stays behind so that
+//!
+//! * `bench_pr3` / `benches/solver.rs` can measure the flattening as an
+//!   apples-to-apples propagation comparison on identical workloads, and
+//! * property tests can cross-check the two engines' verdicts (both are
+//!   exact, so SAT/UNSAT results and enumerated solution *sets* must
+//!   agree even though search trajectories differ).
+//!
+//! The search logic (1UIP learning, VSIDS, Luby restarts, reduction, GC)
+//! is byte-for-byte the seed's; only keep fixes here if a soundness bug is
+//! ever found in shared logic. Do not grow features on this type — it is
+//! a measurement artefact, not a second production solver.
+
+use crate::clause::{CRef, ClauseDb};
+use crate::heap::VarHeap;
+use crate::lit::{LBool, Lit, Var};
+use crate::solver::{SolveResult, SolverStats};
+
+#[derive(Copy, Clone, Debug)]
+struct Watcher {
+    cref: CRef,
+    blocker: Lit,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 100;
+
+/// The seed's incremental CDCL solver with `Vec<Vec<Watcher>>` watch
+/// lists (see the module docs for why it is kept).
+#[derive(Clone, Debug, Default)]
+pub struct LegacySolver {
+    db: ClauseDb,
+    clauses: Vec<CRef>,
+    learnts: Vec<CRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    reason: Vec<CRef>,
+    level: Vec<u32>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<LBool>,
+    failed_assumptions: Vec<Lit>,
+    stats: SolverStats,
+    max_learnts: f64,
+    conflict_budget: Option<u64>,
+}
+
+impl LegacySolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        LegacySolver {
+            ok: true,
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: 0.0,
+            ..LegacySolver::default()
+        }
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let var = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(CRef::UNDEF);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(var, &self.activity);
+        var
+    }
+
+    /// Number of variables created.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            learnt_clauses: self.learnts.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Limits the next [`LegacySolver::solve`] call to roughly `budget`
+    /// conflicts; `None` removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    /// Current assignment of a literal (during/after search).
+    #[inline]
+    fn value(&self, lit: Lit) -> LBool {
+        self.assigns[lit.var().index()].under(lit)
+    }
+
+    /// The model value of `lit` after a [`SolveResult::Sat`] outcome.
+    pub fn model_value(&self, lit: Lit) -> Option<bool> {
+        self.model
+            .get(lit.var().index())
+            .and_then(|v| v.under(lit).to_bool())
+    }
+
+    /// `true` once the clause set has been proven unsatisfiable outright.
+    pub fn is_inconsistent(&self) -> bool {
+        !self.ok
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause; returns `false` if the solver became inconsistent.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        debug_assert_eq!(self.decision_level(), 0, "add_clause only at root");
+        if !self.ok {
+            return false;
+        }
+        let mut sorted: Vec<Lit> = lits.to_vec();
+        sorted.sort();
+        sorted.dedup();
+        let mut filtered: Vec<Lit> = Vec::with_capacity(sorted.len());
+        let mut prev: Option<Lit> = None;
+        for &lit in &sorted {
+            if let Some(p) = prev {
+                if p == !lit {
+                    return true; // tautology
+                }
+            }
+            match self.value(lit) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => filtered.push(lit),
+            }
+            prev = Some(lit);
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], CRef::UNDEF);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                let cref = self.db.alloc(&filtered, false);
+                self.clauses.push(cref);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    fn attach(&mut self, cref: CRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
+        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+    }
+
+    fn unchecked_enqueue(&mut self, lit: Lit, reason: CRef) {
+        debug_assert_eq!(self.value(lit), LBool::Undef);
+        let v = lit.var();
+        self.assigns[v.index()] = LBool::from_bool(lit.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(lit);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<CRef> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut keep = 0usize;
+            let mut i = 0usize;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                // Fast path: blocker already true.
+                if self.value(w.blocker) == LBool::True {
+                    ws[keep] = w;
+                    keep += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                {
+                    let lits = self.db.lits_mut(cref);
+                    // Ensure the false literal (!p) is at position 1.
+                    if lits[0] == !p {
+                        lits.swap(0, 1);
+                    }
+                }
+                let first = self.db.lits(cref)[0];
+                debug_assert_eq!(self.db.lits(cref)[1], !p);
+                if first != w.blocker && self.value(first) == LBool::True {
+                    ws[keep] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    keep += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let size = self.db.size(cref);
+                for k in 2..size {
+                    let lk = self.db.lits(cref)[k];
+                    if self.value(lk) != LBool::False {
+                        self.db.lits_mut(cref).swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // Clause is unit or conflicting.
+                ws[keep] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                keep += 1;
+                if self.value(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    // Copy back remaining watchers.
+                    while i < ws.len() {
+                        ws[keep] = ws[i];
+                        keep += 1;
+                        i += 1;
+                    }
+                } else {
+                    self.unchecked_enqueue(first, cref);
+                }
+            }
+            ws.truncate(keep);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let lim = self.trail_lim[target_level as usize];
+        for i in (lim..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var();
+            self.assigns[v.index()] = LBool::Undef;
+            self.polarity[v.index()] = lit.is_positive();
+            self.reason[v.index()] = CRef::UNDEF;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn rescale_var_activity(&mut self) {
+        for a in &mut self.activity {
+            *a *= 1e-100;
+        }
+        self.var_inc *= 1e-100;
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var.index()] += self.var_inc;
+        if self.activity[var.index()] > RESCALE_LIMIT {
+            self.rescale_var_activity();
+        }
+        self.order.update(var, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: CRef) {
+        if !self.db.is_learnt(cref) {
+            return;
+        }
+        let a = self.db.activity(cref) + self.cla_inc as f32;
+        self.db.set_activity(cref, a);
+        if a > 1e20 {
+            for &c in &self.learnts {
+                let scaled = self.db.activity(c) * 1e-20;
+                self.db.set_activity(c, scaled);
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// 1UIP conflict analysis; returns the learnt clause and the backtrack
+    /// level.
+    fn analyze(&mut self, confl: CRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_code(0)]; // placeholder
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut cref = confl;
+
+        loop {
+            self.bump_clause(cref);
+            let start = usize::from(p.is_some());
+            let size = self.db.size(cref);
+            for k in start..size {
+                let q = self.db.lits(cref)[k];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            p = Some(pl);
+            cref = self.reason[pl.var().index()];
+            debug_assert!(cref.is_defined(), "non-decision must have a reason");
+        }
+
+        for lit in &learnt[1..] {
+            self.seen[lit.var().index()] = true;
+        }
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&lit| !self.literal_redundant(lit))
+            .collect();
+        for lit in &learnt[1..] {
+            self.seen[lit.var().index()] = false;
+        }
+        learnt.truncate(1);
+        learnt.extend(keep);
+
+        let backtrack = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, backtrack)
+    }
+
+    fn literal_redundant(&self, lit: Lit) -> bool {
+        let reason = self.reason[lit.var().index()];
+        if !reason.is_defined() {
+            return false;
+        }
+        let lits = self.db.lits(reason);
+        lits.iter().skip(1).all(|&q| {
+            let v = q.var();
+            self.seen[v.index()] || self.level[v.index()] == 0
+        })
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt_clauses += 1;
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], CRef::UNDEF);
+        } else {
+            let cref = self.db.alloc(&learnt, true);
+            self.learnts.push(cref);
+            self.attach(cref);
+            self.bump_clause(cref);
+            self.unchecked_enqueue(learnt[0], cref);
+        }
+        self.var_inc /= VAR_DECAY;
+        self.cla_inc /= CLA_DECAY;
+    }
+
+    fn locked(&self, cref: CRef) -> bool {
+        let first = self.db.lits(cref)[0];
+        self.reason[first.var().index()] == cref && self.value(first) == LBool::True
+    }
+
+    fn detach(&mut self, cref: CRef) {
+        let lits = self.db.lits(cref);
+        let (l0, l1) = (lits[0], lits[1]);
+        for code in [(!l0).code(), (!l1).code()] {
+            self.watches[code].retain(|w| w.cref != cref);
+        }
+    }
+
+    fn reduce_learnts(&mut self) {
+        let db = &self.db;
+        let mut ranked: Vec<CRef> = self.learnts.clone();
+        ranked.sort_by(|&a, &b| {
+            db.activity(a)
+                .partial_cmp(&db.activity(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut removed = 0u64;
+        let target = ranked.len() / 2;
+        let mut kept: Vec<CRef> = Vec::with_capacity(ranked.len());
+        for (i, cref) in ranked.into_iter().enumerate() {
+            let small = self.db.size(cref) == 2;
+            if i < target && !small && !self.locked(cref) {
+                self.detach(cref);
+                self.db.delete(cref);
+                removed += 1;
+            } else {
+                kept.push(cref);
+            }
+        }
+        self.learnts = kept;
+        self.stats.removed_clauses += removed;
+        if self.db.needs_gc() {
+            self.collect_garbage();
+        }
+    }
+
+    /// Rebuilds the clause arena (watches rebuilt from scratch).
+    fn collect_garbage(&mut self) {
+        let mut fresh = ClauseDb::new();
+        let mut remap =
+            std::collections::HashMap::with_capacity(self.clauses.len() + self.learnts.len());
+        for list in [&mut self.clauses, &mut self.learnts] {
+            for cref in list.iter_mut() {
+                let new = *remap
+                    .entry(*cref)
+                    .or_insert_with(|| self.db.copy_into(*cref, &mut fresh));
+                *cref = new;
+            }
+        }
+        for r in &mut self.reason {
+            if r.is_defined() {
+                *r = *remap.get(r).unwrap_or(&CRef::UNDEF);
+            }
+        }
+        self.db = fresh;
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let all: Vec<CRef> = self.clauses.iter().chain(&self.learnts).copied().collect();
+        for cref in all {
+            self.attach(cref);
+        }
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(var) = self.order.pop(&self.activity) {
+            if self.assigns[var.index()] == LBool::Undef {
+                return Some(var.lit(self.polarity[var.index()]));
+            }
+        }
+        None
+    }
+
+    fn luby(i: u64) -> u64 {
+        let (mut size, mut seq) = (1u64, 0u32);
+        while size < i + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut idx = i;
+        while size - 1 != idx {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            idx %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves under the given assumption literals.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.cancel_until(0);
+        self.failed_assumptions.clear();
+        if !self.ok || self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        if self.max_learnts == 0.0 {
+            self.max_learnts = (self.clauses.len() as f64 / 3.0).max(1000.0);
+        }
+        let budget_start = self.stats.conflicts;
+        let mut restart_round = 0u64;
+        loop {
+            let allowed = RESTART_BASE * Self::luby(restart_round);
+            match self.search(allowed, assumptions, budget_start) {
+                InnerResult::Sat => {
+                    self.model = self.assigns.clone();
+                    self.cancel_until(0);
+                    return SolveResult::Sat;
+                }
+                InnerResult::Unsat => {
+                    self.cancel_until(0);
+                    return SolveResult::Unsat;
+                }
+                InnerResult::Unknown => {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+                InnerResult::Restart => {
+                    self.stats.restarts += 1;
+                    restart_round += 1;
+                    self.cancel_until(0);
+                    self.max_learnts *= 1.02;
+                }
+            }
+        }
+    }
+
+    fn search(
+        &mut self,
+        conflicts_allowed: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> InnerResult {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return InnerResult::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(confl);
+                self.cancel_until(backtrack);
+                self.record_learnt(learnt);
+                if let Some(budget) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= budget {
+                        return InnerResult::Unknown;
+                    }
+                }
+                if conflicts_here >= conflicts_allowed {
+                    return InnerResult::Restart;
+                }
+            } else {
+                if self.learnts.len() as f64 - self.trail.len() as f64 > self.max_learnts {
+                    self.reduce_learnts();
+                }
+                let mut next: Option<Lit> = None;
+                while (self.decision_level() as usize) < assumptions.len() {
+                    let p = assumptions[self.decision_level() as usize];
+                    match self.value(p) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            // The legacy baseline does not reconstruct
+                            // assumption cores; verdict-level use only.
+                            return InnerResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            next = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let decision = match next {
+                    Some(p) => p,
+                    None => match self.pick_branch() {
+                        Some(p) => p,
+                        None => return InnerResult::Sat,
+                    },
+                };
+                self.stats.decisions += 1;
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(decision, CRef::UNDEF);
+            }
+        }
+    }
+}
+
+enum InnerResult {
+    Sat,
+    Unsat,
+    Unknown,
+    Restart,
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // hand-written pigeonhole index math
+mod tests {
+    use super::*;
+
+    fn vars(solver: &mut LegacySolver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| solver.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = LegacySolver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        s.add_clause(&[v[0].negative()]);
+        s.add_clause(&[v[1].negative()]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.is_inconsistent());
+    }
+
+    #[test]
+    fn agrees_with_flat_solver_on_random_instances() {
+        use crate::solver::Solver;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
+        for round in 0..40 {
+            let n = rng.gen_range(3..14);
+            let mut legacy = LegacySolver::new();
+            let mut flat = Solver::new();
+            let lv = vars(&mut legacy, n);
+            let fv: Vec<Var> = (0..n).map(|_| flat.new_var()).collect();
+            for _ in 0..rng.gen_range(3..40) {
+                let len = rng.gen_range(1..4);
+                let idx: Vec<(usize, bool)> = (0..len)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect();
+                let lc: Vec<Lit> = idx.iter().map(|&(i, p)| lv[i].lit(p)).collect();
+                let fc: Vec<Lit> = idx.iter().map(|&(i, p)| fv[i].lit(p)).collect();
+                legacy.add_clause(&lc);
+                flat.add_clause(&fc);
+            }
+            assert_eq!(
+                legacy.solve(&[]),
+                flat.solve(&[]),
+                "round {round}: verdicts drifted between legacy and flat"
+            );
+        }
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_unsat() {
+        let (n, m) = (4usize, 3usize);
+        let mut s = LegacySolver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, m)).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn conflict_budget_returns_unknown() {
+        let (n, m) = (7usize, 6usize);
+        let mut s = LegacySolver::new();
+        let p: Vec<Vec<Var>> = (0..n).map(|_| vars(&mut s, m)).collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+            s.add_clause(&clause);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(1));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+}

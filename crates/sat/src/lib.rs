@@ -7,7 +7,11 @@
 //! extraction* (reading candidate sets off the select lines). This crate
 //! implements a modern equivalent from scratch:
 //!
-//! * two-watched-literal Boolean constraint propagation;
+//! * two-watched-literal Boolean constraint propagation over CSR-style
+//!   *flat* watch lists (one contiguous watcher buffer with per-literal
+//!   regions, compacted during garbage collection) with a dedicated
+//!   binary-clause fast path — the seed's `Vec<Vec<Watcher>>` engine
+//!   survives as [`LegacySolver`] for baseline measurements;
 //! * first-UIP conflict-driven clause learning with basic self-subsumption
 //!   minimisation;
 //! * VSIDS decision heuristic with phase saving (externally seedable — the
@@ -71,11 +75,13 @@ mod clause;
 mod dimacs;
 mod enumerate;
 mod heap;
+pub mod legacy;
 mod lit;
 pub mod reference;
 mod solver;
 
 pub use dimacs::{parse_dimacs, write_dimacs};
 pub use enumerate::{enumerate_positive_subsets, EnumOutcome};
+pub use legacy::LegacySolver;
 pub use lit::{LBool, Lit, Var};
 pub use solver::{SolveResult, Solver, SolverStats};

@@ -103,7 +103,7 @@ impl Lit {
 
     /// Reconstructs a literal from [`Lit::code`].
     #[inline]
-    pub fn from_code(code: usize) -> Lit {
+    pub const fn from_code(code: usize) -> Lit {
         Lit(code as u32)
     }
 

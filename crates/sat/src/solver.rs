@@ -40,6 +40,107 @@ struct Watcher {
     blocker: Lit,
 }
 
+impl Watcher {
+    /// Filler for unused capacity slots in [`WatchLists`].
+    const DUMMY: Watcher = Watcher {
+        cref: CRef::UNDEF,
+        blocker: Lit::from_code(0),
+    };
+}
+
+/// CSR-style flat watcher lists: one contiguous `Watcher` buffer with a
+/// per-literal `(start, len, cap)` region, replacing the seed's
+/// `Vec<Vec<Watcher>>` (one heap allocation per literal, pointer-chased
+/// on every propagation — see [`crate::legacy::LegacySolver`]).
+///
+/// A region that outgrows its capacity is relocated to the end of the
+/// buffer with doubled capacity (amortised O(1) push, like `Vec`); the
+/// abandoned slots are tracked in `wasted` and reclaimed when the solver
+/// rebuilds the lists during clause-arena garbage collection
+/// ([`WatchLists::rebuild_exact`] lays the regions back out tightly in
+/// literal order). Relocation never moves *other* regions, so propagation
+/// may push watchers onto other literals' lists mid-scan while holding
+/// only `(start, len)` indices into its own region.
+#[derive(Clone, Debug, Default)]
+struct WatchLists {
+    buf: Vec<Watcher>,
+    start: Vec<u32>,
+    len: Vec<u32>,
+    cap: Vec<u32>,
+    wasted: usize,
+}
+
+impl WatchLists {
+    /// Registers one more literal code (empty region, grown on first push).
+    fn add_literal(&mut self) {
+        self.start.push(0);
+        self.len.push(0);
+        self.cap.push(0);
+    }
+
+    #[inline]
+    fn region(&self, code: usize) -> (usize, usize) {
+        (self.start[code] as usize, self.len[code] as usize)
+    }
+
+    /// Appends a watcher to `code`'s region, relocating it if full.
+    #[inline]
+    fn push(&mut self, code: usize, w: Watcher) {
+        if self.len[code] == self.cap[code] {
+            self.grow(code);
+        }
+        let at = (self.start[code] + self.len[code]) as usize;
+        self.buf[at] = w;
+        self.len[code] += 1;
+    }
+
+    /// Relocates `code`'s region to the end of the buffer with doubled
+    /// capacity, abandoning the old slots until the next rebuild.
+    #[cold]
+    fn grow(&mut self, code: usize) {
+        let (s, l) = self.region(code);
+        let new_cap = (self.cap[code] * 2).max(4);
+        let new_start = self.buf.len();
+        self.buf.extend_from_within(s..s + l);
+        self.buf
+            .resize(new_start + new_cap as usize, Watcher::DUMMY);
+        self.wasted += self.cap[code] as usize;
+        self.start[code] = new_start as u32;
+        self.cap[code] = new_cap;
+    }
+
+    /// Removes every watcher of `cref` from `code`'s region.
+    fn remove(&mut self, code: usize, cref: CRef) {
+        let (s, l) = self.region(code);
+        let region = &mut self.buf[s..s + l];
+        let mut keep = 0usize;
+        for i in 0..l {
+            if region[i].cref != cref {
+                region[keep] = region[i];
+                keep += 1;
+            }
+        }
+        self.len[code] = keep as u32;
+    }
+
+    /// Lays the lists back out tightly: region `code` gets exactly
+    /// `counts[code]` slots at consecutive offsets, all lengths zeroed for
+    /// re-attachment. Reclaims all waste (the GC compaction step).
+    fn rebuild_exact(&mut self, counts: &[u32]) {
+        debug_assert_eq!(counts.len(), self.start.len());
+        let mut offset = 0u32;
+        for (code, &count) in counts.iter().enumerate() {
+            self.start[code] = offset;
+            self.len[code] = 0;
+            self.cap[code] = count;
+            offset += count;
+        }
+        self.buf.clear();
+        self.buf.resize(offset as usize, Watcher::DUMMY);
+        self.wasted = 0;
+    }
+}
+
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
@@ -73,7 +174,12 @@ pub struct Solver {
     db: ClauseDb,
     clauses: Vec<CRef>,
     learnts: Vec<CRef>,
-    watches: Vec<Vec<Watcher>>,
+    /// Flat CSR watch lists for clauses of three or more literals.
+    watches: WatchLists,
+    /// Flat CSR watch lists for binary clauses; the watcher's `blocker` is
+    /// the *other* literal, so propagation needs no clause-arena access on
+    /// the scan (only on enqueue/conflict, to normalise `lits[0]`).
+    bin_watches: WatchLists,
     assigns: Vec<LBool>,
     polarity: Vec<bool>,
     activity: Vec<f64>,
@@ -115,8 +221,10 @@ impl Solver {
         self.reason.push(CRef::UNDEF);
         self.level.push(0);
         self.seen.push(false);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        for _ in 0..2 {
+            self.watches.add_literal();
+            self.bin_watches.add_literal();
+        }
         self.order.insert(var, &self.activity);
         var
     }
@@ -284,8 +392,13 @@ impl Solver {
     fn attach(&mut self, cref: CRef) {
         let lits = self.db.lits(cref);
         let (l0, l1) = (lits[0], lits[1]);
-        self.watches[(!l0).code()].push(Watcher { cref, blocker: l1 });
-        self.watches[(!l1).code()].push(Watcher { cref, blocker: l0 });
+        let lists = if lits.len() == 2 {
+            &mut self.bin_watches
+        } else {
+            &mut self.watches
+        };
+        lists.push((!l0).code(), Watcher { cref, blocker: l1 });
+        lists.push((!l1).code(), Watcher { cref, blocker: l0 });
     }
 
     fn unchecked_enqueue(&mut self, lit: Lit, reason: CRef) {
@@ -298,22 +411,56 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause, if any.
+    ///
+    /// Scans the CSR watch regions of the falsified literal linearly:
+    /// binary watchers first (the other literal rides in the watcher
+    /// itself, so the scan touches no clause memory), then the long-clause
+    /// region, compacted in place as watchers move to new literals. Pushes
+    /// onto *other* literals' regions are safe mid-scan — relocation never
+    /// moves the region being scanned (see [`WatchLists`]).
     fn propagate(&mut self) -> Option<CRef> {
-        let mut conflict = None;
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
+            let pcode = p.code();
 
-            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            // Binary watchers: nothing is ever moved or removed here, so
+            // the region is stable for the whole scan.
+            let (bs, bl) = self.bin_watches.region(pcode);
+            for i in bs..bs + bl {
+                let w = self.bin_watches.buf[i];
+                match self.value(w.blocker) {
+                    LBool::True => {}
+                    LBool::False => {
+                        // Conflict analysis reads all literals of the
+                        // conflict clause, in any order — no normalisation
+                        // needed.
+                        self.qhead = self.trail.len();
+                        return Some(w.cref);
+                    }
+                    LBool::Undef => {
+                        // The learning/locking code expects the enqueued
+                        // literal at `lits[0]` of its reason clause.
+                        if self.db.lits(w.cref)[0] != w.blocker {
+                            self.db.lits_mut(w.cref).swap(0, 1);
+                        }
+                        self.unchecked_enqueue(w.blocker, w.cref);
+                    }
+                }
+            }
+
+            // Long-clause watchers: in-place compaction of the region.
+            let (s, l) = self.watches.region(pcode);
             let mut keep = 0usize;
             let mut i = 0usize;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
+            let mut conflict = None;
+            'watchers: while i < l {
+                let w = self.watches.buf[s + i];
                 i += 1;
                 // Fast path: blocker already true.
                 if self.value(w.blocker) == LBool::True {
-                    ws[keep] = w;
+                    self.watches.buf[s + keep] = w;
                     keep += 1;
                     continue;
                 }
@@ -328,7 +475,7 @@ impl Solver {
                 let first = self.db.lits(cref)[0];
                 debug_assert_eq!(self.db.lits(cref)[1], !p);
                 if first != w.blocker && self.value(first) == LBool::True {
-                    ws[keep] = Watcher {
+                    self.watches.buf[s + keep] = Watcher {
                         cref,
                         blocker: first,
                     };
@@ -341,15 +488,20 @@ impl Solver {
                     let lk = self.db.lits(cref)[k];
                     if self.value(lk) != LBool::False {
                         self.db.lits_mut(cref).swap(1, k);
-                        self.watches[(!lk).code()].push(Watcher {
-                            cref,
-                            blocker: first,
-                        });
+                        // `lk` is a distinct variable from `p`, so this
+                        // push cannot relocate the region being scanned.
+                        self.watches.push(
+                            (!lk).code(),
+                            Watcher {
+                                cref,
+                                blocker: first,
+                            },
+                        );
                         continue 'watchers;
                     }
                 }
                 // Clause is unit or conflicting.
-                ws[keep] = Watcher {
+                self.watches.buf[s + keep] = Watcher {
                     cref,
                     blocker: first,
                 };
@@ -357,9 +509,9 @@ impl Solver {
                 if self.value(first) == LBool::False {
                     conflict = Some(cref);
                     self.qhead = self.trail.len();
-                    // Copy back remaining watchers.
-                    while i < ws.len() {
-                        ws[keep] = ws[i];
+                    // Compact the remaining unscanned watchers down.
+                    while i < l {
+                        self.watches.buf[s + keep] = self.watches.buf[s + i];
                         keep += 1;
                         i += 1;
                     }
@@ -367,13 +519,12 @@ impl Solver {
                     self.unchecked_enqueue(first, cref);
                 }
             }
-            ws.truncate(keep);
-            self.watches[p.code()] = ws;
+            self.watches.len[pcode] = keep as u32;
             if conflict.is_some() {
-                break;
+                return conflict;
             }
         }
-        conflict
+        None
     }
 
     fn cancel_until(&mut self, target_level: u32) {
@@ -539,8 +690,13 @@ impl Solver {
     fn detach(&mut self, cref: CRef) {
         let lits = self.db.lits(cref);
         let (l0, l1) = (lits[0], lits[1]);
+        let lists = if lits.len() == 2 {
+            &mut self.bin_watches
+        } else {
+            &mut self.watches
+        };
         for code in [(!l0).code(), (!l1).code()] {
-            self.watches[code].retain(|w| w.cref != cref);
+            lists.remove(code, cref);
         }
     }
 
@@ -573,7 +729,10 @@ impl Solver {
     }
 
     /// Rebuilds the clause arena, dropping deleted clauses and remapping all
-    /// references (watches are rebuilt from scratch).
+    /// references. The watch lists are compacted at the same time:
+    /// per-literal watcher counts are recomputed and the CSR regions laid
+    /// back out tightly ([`WatchLists::rebuild_exact`]), reclaiming every
+    /// slot abandoned by region relocations since the last collection.
     fn collect_garbage(&mut self) {
         let mut fresh = ClauseDb::new();
         let mut remap =
@@ -594,9 +753,22 @@ impl Solver {
             }
         }
         self.db = fresh;
-        for w in &mut self.watches {
-            w.clear();
+        // Exact per-literal counts, then tight rebuild + re-attachment.
+        let codes = self.assigns.len() * 2;
+        let mut long_counts = vec![0u32; codes];
+        let mut bin_counts = vec![0u32; codes];
+        for &cref in self.clauses.iter().chain(&self.learnts) {
+            let lits = self.db.lits(cref);
+            let counts = if lits.len() == 2 {
+                &mut bin_counts
+            } else {
+                &mut long_counts
+            };
+            counts[(!lits[0]).code()] += 1;
+            counts[(!lits[1]).code()] += 1;
         }
+        self.watches.rebuild_exact(&long_counts);
+        self.bin_watches.rebuild_exact(&bin_counts);
         let all: Vec<CRef> = self.clauses.iter().chain(&self.learnts).copied().collect();
         for cref in all {
             self.attach(cref);

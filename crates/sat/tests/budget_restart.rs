@@ -1,0 +1,218 @@
+//! Edge cases around conflict budgets, restarts and assumptions.
+//!
+//! The diagnosis engines drive the solver incrementally — budgeted solves
+//! that give up ([`SolveResult::Unknown`]), get resumed, and interleave
+//! with assumption probes. These tests pin the corner interactions:
+//! budget exhaustion landing mid-restart-cycle, re-solving after
+//! `Unknown`, and assumptions interacting with backtracking state left by
+//! an aborted run — all cross-checked against the brute-force
+//! [`reference`](gatediag_sat::reference) solver.
+#![allow(clippy::needless_range_loop)] // hand-written pigeonhole index math
+
+use gatediag_sat::reference::{count_models_brute, solve_brute};
+use gatediag_sat::{Lit, SolveResult, Solver, Var};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A pigeonhole instance: hard enough to burn hundreds of conflicts.
+fn pigeonhole(solver: &mut Solver, n: usize, m: usize) -> Vec<Vec<Var>> {
+    let p: Vec<Vec<Var>> = (0..n)
+        .map(|_| (0..m).map(|_| solver.new_var()).collect())
+        .collect();
+    for row in &p {
+        let clause: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
+        solver.add_clause(&clause);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                solver.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+            }
+        }
+    }
+    p
+}
+
+fn random_3sat(rng: &mut ChaCha8Rng, num_vars: usize, num_clauses: usize) -> Vec<Vec<Lit>> {
+    (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+fn load(num_vars: usize, clauses: &[Vec<Lit>]) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..num_vars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c);
+    }
+    s
+}
+
+#[test]
+fn budget_exhaustion_mid_restart_cycle() {
+    // The restart schedule is Luby with base 100, so a budget of 150
+    // exhausts *after* the first restart fired but before the second
+    // inner search completes — the abort lands mid-cycle, not neatly at
+    // a restart boundary.
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 8, 7);
+    s.set_conflict_budget(Some(150));
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+    let stats = s.stats();
+    assert!(
+        stats.restarts >= 1,
+        "150-conflict budget must cross the first 100-conflict restart"
+    );
+    assert!(stats.conflicts >= 150);
+    // Giving up is not a verdict: the solver must not be inconsistent.
+    assert!(!s.is_inconsistent());
+    // Lifting the budget and resuming (learnt clauses persist) still
+    // reaches the correct verdict.
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    assert!(s.is_inconsistent());
+}
+
+#[test]
+fn repeated_budgeted_solves_converge_to_reference_verdict() {
+    // Drip-feed tiny budgets: every Unknown resumes with the learnt
+    // clauses of the previous attempt, so the verdict must eventually
+    // arrive and agree with brute force.
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    for round in 0..20 {
+        let num_vars = rng.gen_range(8..14);
+        let num_clauses = rng.gen_range(30..60);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let expected = if solve_brute(num_vars, &clauses).is_some() {
+            SolveResult::Sat
+        } else {
+            SolveResult::Unsat
+        };
+        let mut s = load(num_vars, &clauses);
+        s.set_conflict_budget(Some(3));
+        let mut attempts = 0;
+        let verdict = loop {
+            attempts += 1;
+            assert!(attempts < 10_000, "round {round}: no convergence");
+            match s.solve(&[]) {
+                SolveResult::Unknown => continue,
+                verdict => break verdict,
+            }
+        };
+        assert_eq!(verdict, expected, "round {round}: wrong final verdict");
+    }
+}
+
+#[test]
+fn solver_stays_usable_after_unknown() {
+    // After an aborted solve the solver must accept new clauses at the
+    // root and answer subsequent queries correctly.
+    let mut s = Solver::new();
+    let p = pigeonhole(&mut s, 7, 6);
+    s.set_conflict_budget(Some(2));
+    assert_eq!(s.solve(&[]), SolveResult::Unknown);
+    // Root-level clause addition after the aborted run.
+    assert!(s.add_clause(&[p[0][0].positive()]));
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+}
+
+#[test]
+fn assumptions_after_unknown_agree_with_reference() {
+    // An aborted run leaves learnt clauses and saved phases behind;
+    // assumption probes afterwards must still match brute force on the
+    // assumption-augmented formula.
+    let mut rng = ChaCha8Rng::seed_from_u64(83);
+    for round in 0..15 {
+        let num_vars = rng.gen_range(8..14);
+        let num_clauses = rng.gen_range(25..55);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        let mut s = load(num_vars, &clauses);
+        s.set_conflict_budget(Some(1));
+        let _ = s.solve(&[]); // likely Unknown; whatever it is, keep going
+        s.set_conflict_budget(None);
+        for probe in 0..6 {
+            let assumptions: Vec<Lit> = (0..rng.gen_range(1..4))
+                .map(|_| Var::from_index(rng.gen_range(0..num_vars)).lit(rng.gen_bool(0.5)))
+                .collect();
+            if s.is_inconsistent() {
+                break;
+            }
+            let mut augmented = clauses.clone();
+            for &a in &assumptions {
+                augmented.push(vec![a]);
+            }
+            let expected = if solve_brute(num_vars, &augmented).is_some() {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(
+                s.solve(&assumptions),
+                expected,
+                "round {round} probe {probe}: assumptions {assumptions:?}"
+            );
+            if expected == SolveResult::Unsat && !s.is_inconsistent() {
+                // The failed-assumption core must itself be unsat.
+                let core = s.failed_assumptions().to_vec();
+                for l in &core {
+                    assert!(assumptions.contains(l), "{l:?} not an assumption");
+                }
+                assert_eq!(s.solve(&core), SolveResult::Unsat, "core not unsat");
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_exhaustion_under_assumptions_is_resumable() {
+    // Budget abort while assumption pseudo-decisions are on the trail:
+    // cancel_until must unwind them cleanly, and the next (unbudgeted)
+    // call under the same assumptions must produce the real verdict.
+    let mut s = Solver::new();
+    let p = pigeonhole(&mut s, 7, 6);
+    let assumptions = [p[0][0].positive(), p[1][1].positive()];
+    s.set_conflict_budget(Some(1));
+    let first = s.solve(&assumptions);
+    assert_ne!(first, SolveResult::Sat, "PHP(7,6) cannot be satisfiable");
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(&assumptions), SolveResult::Unsat);
+    // The conflict may have been attributed to the assumptions (a core)
+    // or discovered at the root; either way, the assumption-free solve
+    // must now prove the instance unsat outright.
+    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    assert!(s.is_inconsistent());
+}
+
+#[test]
+fn model_after_budgeted_detour_satisfies_all_clauses() {
+    // Unknown-then-Sat: the eventual model must satisfy every clause
+    // (guards against stale trail/phase state corrupting the model).
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..20 {
+        let num_vars = rng.gen_range(10..16);
+        // Under-constrained: mostly satisfiable.
+        let num_clauses = rng.gen_range(15..35);
+        let clauses = random_3sat(&mut rng, num_vars, num_clauses);
+        if count_models_brute(num_vars, &clauses) == 0 {
+            continue;
+        }
+        let mut s = load(num_vars, &clauses);
+        s.set_conflict_budget(Some(1));
+        let _ = s.solve(&[]);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for clause in &clauses {
+            assert!(
+                clause.iter().any(|&l| s.model_value(l) == Some(true)),
+                "model violates {clause:?}"
+            );
+        }
+    }
+}

@@ -59,6 +59,10 @@ pub enum Parallelism {
     /// [`std::thread::available_parallelism`]. The `GATEDIAG_WORKERS`
     /// environment variable, when set to a positive integer, overrides
     /// the probe — useful for pinning CI runs or benchmarking scaling.
+    /// Malformed values fall back safely: `0` and non-numeric text are
+    /// ignored (the probe runs as if the variable were unset), and
+    /// absurdly large values clamp to [`MAX_ENV_WORKERS`] instead of
+    /// exhausting OS thread limits.
     #[default]
     Auto,
 }
@@ -67,11 +71,43 @@ pub enum Parallelism {
 /// number of scalar operations that dwarfs a thread-spawn cost.
 pub const AUTO_WORK_FLOOR: usize = 1 << 17;
 
+/// Hard cap on the worker count accepted from the `GATEDIAG_WORKERS`
+/// environment variable. Spawning thousands of scoped threads per
+/// diagnosis call would exhaust OS thread limits long before it bought
+/// any speed; an absurdly large override is clamped here instead of
+/// honoured literally (see [`Parallelism::Auto`]).
+pub const MAX_ENV_WORKERS: usize = 1024;
+
+/// Parses a `GATEDIAG_WORKERS` value.
+///
+/// The override must *never* panic or resolve to zero workers, whatever
+/// the environment contains:
+///
+/// * a positive integer `1..=`[`MAX_ENV_WORKERS`] is honoured as-is;
+/// * larger values (including ones that overflow `usize`) clamp to
+///   [`MAX_ENV_WORKERS`];
+/// * `0`, non-numeric text, and surrounding whitespace-only garbage fall
+///   back to `None` — the automatic `available_parallelism` probe — so a
+///   misconfigured variable degrades to the default, not to a panic or a
+///   zero-worker deadlock.
+fn parse_workers(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => None,
+        Ok(n) => Some(n.min(MAX_ENV_WORKERS)),
+        // Distinguish "too large" (clamp) from "not a number" (ignore):
+        // a string of digits that overflows usize still means "as many
+        // as possible".
+        Err(_) if !value.trim().is_empty() && value.trim().bytes().all(|b| b.is_ascii_digit()) => {
+            Some(MAX_ENV_WORKERS)
+        }
+        Err(_) => None,
+    }
+}
+
 fn env_workers() -> Option<usize> {
     std::env::var("GATEDIAG_WORKERS")
         .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
+        .and_then(|v| parse_workers(&v))
 }
 
 impl Parallelism {
@@ -246,6 +282,41 @@ mod tests {
         assert_eq!(Parallelism::Fixed(8).workers(3), 3);
         assert_eq!(Parallelism::Fixed(8).workers(0), 1);
         assert!(Parallelism::Auto.workers(64) >= 1);
+    }
+
+    #[test]
+    fn env_override_parsing_never_panics_or_yields_zero() {
+        // Honoured as-is.
+        assert_eq!(parse_workers("1"), Some(1));
+        assert_eq!(parse_workers("4"), Some(4));
+        assert_eq!(parse_workers(" 8 "), Some(8));
+        assert_eq!(parse_workers("007"), Some(7));
+        // Zero means "no override", never a zero-worker pool.
+        assert_eq!(parse_workers("0"), None);
+        assert_eq!(parse_workers("000"), None);
+        // Non-numeric garbage means "no override".
+        assert_eq!(parse_workers(""), None);
+        assert_eq!(parse_workers("  "), None);
+        assert_eq!(parse_workers("all"), None);
+        assert_eq!(parse_workers("-3"), None);
+        assert_eq!(parse_workers("4.5"), None);
+        assert_eq!(parse_workers("4x"), None);
+        // Absurdly large values clamp instead of spawning a thread army.
+        assert_eq!(parse_workers("1000000"), Some(MAX_ENV_WORKERS));
+        assert_eq!(
+            parse_workers(&usize::MAX.to_string()),
+            Some(MAX_ENV_WORKERS)
+        );
+        // Values that overflow usize entirely still clamp.
+        assert_eq!(
+            parse_workers("999999999999999999999999999999"),
+            Some(MAX_ENV_WORKERS)
+        );
+        // The cap itself passes through.
+        assert_eq!(
+            parse_workers(&MAX_ENV_WORKERS.to_string()),
+            Some(MAX_ENV_WORKERS)
+        );
     }
 
     #[test]

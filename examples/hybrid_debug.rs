@@ -10,7 +10,7 @@
 
 use gatediag::netlist::{inject_errors, RandomCircuitSpec};
 use gatediag::{
-    basic_sat_diagnose, generate_failing_tests, hybrid_seeded_bsat, is_valid_correction_sim,
+    basic_sat_diagnose, generate_failing_tests, hybrid_seeded_bsat, is_valid_correction,
     repair_correction, sc_diagnose, BsatOptions, CovOptions,
 };
 
@@ -56,13 +56,13 @@ fn main() {
     let Some(seed_cover) = cov
         .solutions
         .iter()
-        .find(|sol| !is_valid_correction_sim(&faulty, &tests, sol))
+        .find(|sol| !is_valid_correction(&faulty, &tests, sol))
         .or_else(|| cov.solutions.first())
     else {
         println!("  COV produced no covers to repair");
         return;
     };
-    let seed_valid = is_valid_correction_sim(&faulty, &tests, seed_cover);
+    let seed_valid = is_valid_correction(&faulty, &tests, seed_cover);
     println!(
         "  seed cover {:?} is {}",
         seed_cover,
@@ -82,7 +82,7 @@ fn main() {
                 outcome.solutions.first().expect("non-empty")
             );
             for sol in &outcome.solutions {
-                assert!(is_valid_correction_sim(&faulty, &tests, sol));
+                assert!(is_valid_correction(&faulty, &tests, sol));
             }
         }
         None => println!("  no valid correction within radius 8"),

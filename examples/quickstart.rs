@@ -7,7 +7,7 @@
 
 use gatediag::netlist::{c17, inject_errors};
 use gatediag::{
-    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, is_valid_correction_sim,
+    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, is_valid_correction,
     sc_diagnose, BsatOptions, BsimOptions, CovOptions,
 };
 
@@ -56,7 +56,7 @@ fn main() {
         } else {
             ""
         };
-        debug_assert!(is_valid_correction_sim(&faulty, &tests, sol));
+        debug_assert!(is_valid_correction(&faulty, &tests, sol));
         println!("      {names:?}{marker}");
     }
 }

@@ -43,12 +43,15 @@ pub use gatediag_netlist as netlist;
 pub use gatediag_sat as sat;
 pub use gatediag_sim as sim;
 
+#[allow(deprecated)]
+pub use gatediag_core::is_valid_correction_sim;
 pub use gatediag_core::{
     basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality, cover_all,
-    generate_failing_tests, hybrid_seeded_bsat, is_valid_correction_sat, is_valid_correction_sim,
-    partitioned_sat_diagnose, path_trace, path_trace_packed, repair_correction, sc_diagnose,
-    sim_backtrack_diagnose, solution_quality, two_pass_sat_diagnose, BsatOptions, BsatResult,
-    BsimOptions, BsimResult, CovEngine, CovOptions, CovResult, MarkPolicy, MuxEncoding,
-    SimBacktrackOptions, SiteSelection, Test, TestSet,
+    generate_failing_tests, hybrid_seeded_bsat, is_valid_correction, is_valid_correction_sat,
+    is_valid_correction_sat_par, partitioned_sat_diagnose, path_trace, path_trace_packed,
+    repair_correction, sc_diagnose, sim_backtrack_diagnose, solution_quality,
+    two_pass_sat_diagnose, BsatOptions, BsatResult, BsimOptions, BsimResult, CovEngine, CovOptions,
+    CovResult, MarkPolicy, MuxEncoding, SimBacktrackOptions, SiteSelection, Test, TestSet,
+    ValidityOracle,
 };
 pub use gatediag_sim::PackedSim;

@@ -4,8 +4,8 @@
 
 use gatediag::netlist::{inject_errors, write_bench, GateId, RandomCircuitSpec};
 use gatediag::{
-    basic_sat_diagnose, brute_force_diagnose, generate_failing_tests, is_valid_correction_sat,
-    is_valid_correction_sim, partitioned_sat_diagnose, sc_diagnose, sim_backtrack_diagnose,
+    basic_sat_diagnose, brute_force_diagnose, generate_failing_tests, is_valid_correction,
+    is_valid_correction_sat, partitioned_sat_diagnose, sc_diagnose, sim_backtrack_diagnose,
     BsatOptions, CovEngine, CovOptions, SimBacktrackOptions,
 };
 use proptest::prelude::*;
@@ -72,7 +72,7 @@ proptest! {
             prop_assert!(bsat.solutions.contains(sol), "{:?} not in BSAT", sol);
         }
         for sol in &bsat.solutions {
-            prop_assert!(is_valid_correction_sim(&faulty, &tests, sol));
+            prop_assert!(is_valid_correction(&faulty, &tests, sol));
             prop_assert!(is_valid_correction_sat(&faulty, &tests, sol));
         }
     }
@@ -86,7 +86,7 @@ proptest! {
         let part = partitioned_sat_diagnose(&faulty, &tests, 2, 2, BsatOptions::default());
         let full = basic_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
         for sol in &part.solutions {
-            prop_assert!(is_valid_correction_sim(&faulty, &tests, sol));
+            prop_assert!(is_valid_correction(&faulty, &tests, sol));
             prop_assert!(
                 full.solutions.contains(sol),
                 "partitioned {:?} not in monolithic output", sol

@@ -5,8 +5,8 @@
 use gatediag::core::paper_examples::{lemma2_witness, lemma4_witness};
 use gatediag::netlist::{inject_errors, GateId, RandomCircuitSpec};
 use gatediag::{
-    basic_sat_diagnose, brute_force_diagnose, generate_failing_tests, is_valid_correction_sat,
-    is_valid_correction_sim, sc_diagnose, BsatOptions, CovOptions, TestSet,
+    basic_sat_diagnose, brute_force_diagnose, generate_failing_tests, is_valid_correction,
+    is_valid_correction_sat, sc_diagnose, BsatOptions, CovOptions, TestSet,
 };
 
 fn random_case(
@@ -36,7 +36,7 @@ fn lemma1_bsat_solutions_are_valid() {
         assert!(result.complete);
         for sol in &result.solutions {
             assert!(
-                is_valid_correction_sim(&faulty, &tests, sol),
+                is_valid_correction(&faulty, &tests, sol),
                 "seed {seed}: invalid BSAT solution {sol:?}"
             );
             checked += 1;
@@ -55,7 +55,7 @@ fn lemma2_and_theorem1_on_witness() {
     let invalid_covers: Vec<_> = cov
         .solutions
         .iter()
-        .filter(|sol| !is_valid_correction_sim(&w.circuit, &w.tests, sol))
+        .filter(|sol| !is_valid_correction(&w.circuit, &w.tests, sol))
         .collect();
     assert!(
         !invalid_covers.is_empty(),
@@ -115,13 +115,13 @@ fn valid_irredundant_covers_are_found_by_bsat() {
         let cov = sc_diagnose(&faulty, &tests, 2, CovOptions::default());
         let bsat = basic_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
         for sol in &cov.solutions {
-            if is_valid_correction_sim(&faulty, &tests, sol) {
+            if is_valid_correction(&faulty, &tests, sol) {
                 // A valid cover may still be redundant as a correction
                 // (a strict subset may already be valid); only irredundant
                 // ones must appear in BSAT's output.
                 let irredundant = sol.iter().all(|g| {
                     let without: Vec<GateId> = sol.iter().copied().filter(|h| h != g).collect();
-                    !is_valid_correction_sim(&faulty, &tests, &without)
+                    !is_valid_correction(&faulty, &tests, &without)
                 });
                 if irredundant {
                     assert!(
@@ -145,7 +145,7 @@ fn oracles_agree_on_engine_outputs() {
         let bsat = basic_sat_diagnose(&faulty, &tests, 2, BsatOptions::default());
         for sol in cov.solutions.iter().chain(&bsat.solutions) {
             assert_eq!(
-                is_valid_correction_sim(&faulty, &tests, sol),
+                is_valid_correction(&faulty, &tests, sol),
                 is_valid_correction_sat(&faulty, &tests, sol),
                 "oracle disagreement on {sol:?}"
             );
@@ -215,7 +215,7 @@ fn miter_generated_tests_drive_diagnosis() {
             "seed {seed}: miter tests missed the real site"
         );
         for sol in &result.solutions {
-            assert!(is_valid_correction_sim(&faulty, &tests, sol));
+            assert!(is_valid_correction(&faulty, &tests, sol));
         }
     }
 }
@@ -230,7 +230,7 @@ fn injected_errors_always_diagnosable() {
                 continue;
             };
             assert!(
-                is_valid_correction_sim(&faulty, &tests, &errors),
+                is_valid_correction(&faulty, &tests, &errors),
                 "seed {seed} p {p}: real sites invalid?!"
             );
             let result = basic_sat_diagnose(&faulty, &tests, p, BsatOptions::default());

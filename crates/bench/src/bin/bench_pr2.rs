@@ -74,6 +74,7 @@ fn int(key: impl Into<String>, value: u64) -> Entry {
 
 fn main() {
     let mut out_path = "BENCH_PR2.json".to_string();
+    let mut bench_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -82,7 +83,15 @@ fn main() {
                 i += 1;
                 out_path = args.get(i).cloned().expect("--out expects a path");
             }
-            other => panic!("unknown option `{other}` (try --out PATH)"),
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .expect("--bench-dir expects a directory"),
+                );
+            }
+            other => panic!("unknown option `{other}` (try --out PATH, --bench-dir DIR)"),
         }
         i += 1;
     }
@@ -91,13 +100,23 @@ fn main() {
     let budget = Duration::from_millis(600);
 
     // Same circuit family and scale as bench_pr1, so the two JSON files
-    // form one trajectory.
-    let golden = RandomCircuitSpec::new(32, 8, 6000)
-        .seed(7)
-        .name("bench_pr2_6000g")
-        .generate();
+    // form one trajectory. `--bench-dir` swaps in the largest
+    // user-supplied ISCAS89 circuit (no size floor then).
+    let (golden, from_bench) = gatediag_bench::harness::baseline_circuit(
+        bench_dir.as_deref(),
+        gatediag_bench::harness::BaselinePick::Largest,
+        || {
+            RandomCircuitSpec::new(32, 8, 6000)
+                .seed(7)
+                .name("bench_pr2_6000g")
+                .generate()
+        },
+    );
     let gates = golden.num_functional_gates() as u64;
-    assert!(gates >= 6000, "benchmark circuit must have >= 6k gates");
+    assert!(
+        from_bench || gates >= 6000,
+        "benchmark circuit must have >= 6k gates"
+    );
     let (faulty, _sites, tests) = (7u64..64)
         .find_map(|inject_seed| {
             let (faulty, sites) = inject_errors(&golden, 2, inject_seed);
@@ -160,8 +179,10 @@ fn main() {
         .take(256)
         .map(|g| vec![g])
         .collect();
+    // Pool-size calibration for the synthetic circuit; a user-supplied
+    // --bench-dir corpus may be arbitrarily small.
     assert!(
-        candidates.len() >= 64,
+        from_bench || candidates.len() >= 64,
         "need a meaningful candidate pool (got {})",
         candidates.len()
     );

@@ -150,6 +150,7 @@ fn compare_solvers(
 
 fn main() {
     let mut out_path = "BENCH_PR3.json".to_string();
+    let mut bench_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -158,7 +159,15 @@ fn main() {
                 i += 1;
                 out_path = args.get(i).cloned().expect("--out expects a path");
             }
-            other => panic!("unknown option `{other}` (try --out PATH)"),
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .expect("--bench-dir expects a directory"),
+                );
+            }
+            other => panic!("unknown option `{other}` (try --out PATH, --bench-dir DIR)"),
         }
         i += 1;
     }
@@ -201,11 +210,19 @@ fn main() {
     // BSAT instances grow as (gates × tests) with CDCL enumeration on
     // top, so the benchmark circuit is deliberately smaller than the
     // simulation-side benchmarks' 6k gates: ~600 gates × 32 tests keeps a
-    // full enumeration in the hundreds of milliseconds.
-    let golden = RandomCircuitSpec::new(16, 4, 600)
-        .seed(11)
-        .name("bench_pr3_600g")
-        .generate();
+    // full enumeration in the hundreds of milliseconds. For the same
+    // reason `--bench-dir` picks the *smallest* user-supplied circuit
+    // here (the sim-side binaries pick the largest).
+    let (golden, _from_bench) = gatediag_bench::harness::baseline_circuit(
+        bench_dir.as_deref(),
+        gatediag_bench::harness::BaselinePick::Smallest,
+        || {
+            RandomCircuitSpec::new(16, 4, 600)
+                .seed(11)
+                .name("bench_pr3_600g")
+                .generate()
+        },
+    );
     let gates = golden.num_functional_gates() as u64;
     let (faulty, _sites, tests) = (11u64..64)
         .find_map(|inject_seed| {

@@ -10,15 +10,25 @@
 //! ```
 
 use gatediag_bench::harness::{
-    configured_workloads, parse_config, run_cell, secs, write_artifact, TEST_COUNTS,
+    configured_workloads_with_source, parse_config, run_cell, secs, write_artifact, WorkloadSource,
+    TEST_COUNTS,
 };
 use std::fmt::Write as _;
 
 fn main() {
     let config = parse_config();
     let (seed, limits) = (config.seed, config.limits);
+    // Resolve the workloads before printing the header: an empty
+    // --bench-dir falls back to the synthetics, and the header must say
+    // which circuits the numbers were actually measured on.
+    let (workloads, source) = configured_workloads_with_source(&config);
     println!("Table 2: runtime of the basic approaches (seconds)");
-    println!("(profile-matched synthetic ISCAS89 stand-ins, seed {seed})\n");
+    match (source, &config.bench_dir) {
+        (WorkloadSource::BenchDir, Some(dir)) => {
+            println!("(.bench circuits from {dir}, seed {seed})\n")
+        }
+        _ => println!("(profile-matched synthetic ISCAS89 stand-ins, seed {seed})\n"),
+    }
     println!(
         "{:<12} {:>2} {:>3} | {:>8} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
         "circuit",
@@ -36,7 +46,7 @@ fn main() {
     let mut csv = String::from(
         "circuit,p,m,bsim_s,cov_cnf_s,cov_one_s,cov_all_s,bsat_cnf_s,bsat_one_s,bsat_all_s,cov_complete,bsat_complete\n",
     );
-    for workload in configured_workloads(&config) {
+    for workload in workloads {
         for m in TEST_COUNTS {
             if workload.tests.len() < m {
                 println!(

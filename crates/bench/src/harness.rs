@@ -14,7 +14,8 @@ use gatediag_core::{
     TestSet,
 };
 use gatediag_netlist::{
-    inject_errors, parse_bench_named, s1423_like, s38417_like, s6669_like, Circuit, GateId,
+    inject_errors, parse_bench_dir, parse_bench_named, s1423_like, s38417_like, s6669_like,
+    Circuit, GateId,
 };
 use std::time::{Duration, Instant};
 
@@ -92,6 +93,130 @@ impl Workload {
     ) -> Result<Workload, gatediag_netlist::NetlistError> {
         let golden = parse_bench_named(bench_text, name)?;
         Ok(Workload::from_golden(name, golden, p, seed))
+    }
+}
+
+/// The injected error count the paper uses for a circuit, by name: `s1423`
+/// gets 4, `s6669` 3, `s38417` 2 (substring match, so both `s1423` and
+/// `s1423_like` resolve); everything else defaults to 2.
+pub fn paper_error_count(name: &str) -> usize {
+    if name.contains("s1423") {
+        4
+    } else if name.contains("s6669") {
+        3
+    } else {
+        // s38417 and every other circuit: the paper's p = 2.
+        2
+    }
+}
+
+/// Gate-count ceiling for [`Scale::Quick`] when running on user-supplied
+/// `.bench` circuits: `s38417`-class circuits (beyond ~10k gates) only run
+/// at [`Scale::Full`], mirroring the synthetic configuration.
+pub const QUICK_GATE_LIMIT: usize = 10_000;
+
+/// Builds workloads from every `.bench` file in `dir` — the real-ISCAS89
+/// path behind `--bench-dir`. Error counts follow [`paper_error_count`];
+/// [`Scale::Quick`] keeps circuits under [`QUICK_GATE_LIMIT`] functional
+/// gates. Returns an empty vector when the directory holds no `.bench`
+/// files (callers fall back to the synthetic profiles).
+///
+/// # Panics
+///
+/// Panics with the parse/I/O error message when the directory or a
+/// netlist in it is unreadable, and when the directory has circuits but
+/// [`Scale::Quick`] filters every one of them out — silently
+/// substituting synthetics for a user-supplied corpus would mislabel
+/// the published numbers.
+pub fn bench_dir_workloads(dir: &str, scale: Scale, seed: u64) -> Vec<Workload> {
+    let circuits = parse_bench_dir(std::path::Path::new(dir))
+        .unwrap_or_else(|e| panic!("--bench-dir {dir}: {e}"));
+    let total = circuits.len();
+    let kept: Vec<_> = circuits
+        .into_iter()
+        .filter(|(_, c)| scale == Scale::Full || c.num_functional_gates() < QUICK_GATE_LIMIT)
+        .collect();
+    assert!(
+        total == 0 || !kept.is_empty(),
+        "--bench-dir {dir}: all {total} circuit(s) exceed the quick-scale gate limit \
+         ({QUICK_GATE_LIMIT}); rerun with --scale full"
+    );
+    kept.into_iter()
+        .map(|(name, golden)| {
+            let p = paper_error_count(&name);
+            Workload::from_golden(&name, golden, p, seed)
+        })
+        .collect()
+}
+
+/// The largest circuit in a `.bench` directory, for the single-circuit
+/// `bench_pr*` perf baselines. `None` when the directory has no `.bench`
+/// files.
+///
+/// # Panics
+///
+/// Panics like [`bench_dir_workloads`] on unreadable input.
+pub fn largest_bench_circuit(dir: &str) -> Option<(String, Circuit)> {
+    let circuits = parse_bench_dir(std::path::Path::new(dir))
+        .unwrap_or_else(|e| panic!("--bench-dir {dir}: {e}"));
+    circuits
+        .into_iter()
+        .max_by_key(|(_, c)| c.num_functional_gates())
+}
+
+/// Which circuit a single-circuit perf baseline should pick from a
+/// user-supplied `.bench` directory.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BaselinePick {
+    /// The largest circuit — the simulation-side baselines, whose hot
+    /// paths scale with circuit size.
+    Largest,
+    /// The smallest circuit — the BSAT-side baseline, whose instances
+    /// grow as gates × tests with CDCL enumeration on top.
+    Smallest,
+}
+
+/// Resolves the benchmark circuit for a single-circuit `bench_pr*`
+/// baseline: the [`BaselinePick`] circuit of `bench_dir` when given and
+/// non-empty, otherwise `synthetic()`. The returned flag says whether
+/// the circuit came from the directory — size-calibrated acceptance
+/// gates must be skipped for user corpora, which can be arbitrarily
+/// small.
+///
+/// # Panics
+///
+/// Panics like [`bench_dir_workloads`] on unreadable input.
+pub fn baseline_circuit(
+    bench_dir: Option<&str>,
+    pick: BaselinePick,
+    synthetic: impl FnOnce() -> Circuit,
+) -> (Circuit, bool) {
+    let picked = bench_dir.and_then(|dir| {
+        let circuits = parse_bench_dir(std::path::Path::new(dir))
+            .unwrap_or_else(|e| panic!("--bench-dir {dir}: {e}"));
+        match pick {
+            BaselinePick::Largest => circuits
+                .into_iter()
+                .max_by_key(|(_, c)| c.num_functional_gates()),
+            BaselinePick::Smallest => circuits
+                .into_iter()
+                .min_by_key(|(_, c)| c.num_functional_gates()),
+        }
+    });
+    match picked {
+        Some((name, circuit)) => {
+            eprintln!(
+                "benchmarking on {name} ({} gates) from --bench-dir",
+                circuit.num_functional_gates()
+            );
+            (circuit, true)
+        }
+        None => {
+            if let Some(dir) = bench_dir {
+                eprintln!("no .bench files in {dir}; using the synthetic circuit");
+            }
+            (synthetic(), false)
+        }
     }
 }
 
@@ -229,6 +354,11 @@ pub struct RunConfig {
     pub limits: Limits,
     /// When set, run only the workload whose name contains this string.
     pub only: Option<String>,
+    /// When set, build workloads from the `.bench` files in this
+    /// directory instead of the synthetic profiles (the ROADMAP's "real
+    /// ISCAS89 ingestion" path). Falls back to the synthetics when the
+    /// directory has no `.bench` files.
+    pub bench_dir: Option<String>,
 }
 
 /// Parses `--scale`, `--seed`, `--max-solutions`, `--only` command-line
@@ -253,6 +383,7 @@ pub fn parse_config() -> RunConfig {
     let mut seed = 1u64;
     let mut limits = Limits::default();
     let mut only: Option<String> = None;
+    let mut bench_dir: Option<String> = None;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -286,8 +417,16 @@ pub fn parse_config() -> RunConfig {
                         .unwrap_or_else(|| panic!("--only expects a circuit name")),
                 );
             }
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| panic!("--bench-dir expects a directory")),
+                );
+            }
             other => panic!(
-                "unknown option `{other}` (try --scale quick|full, --seed N, --max-solutions N, --only NAME)"
+                "unknown option `{other}` (try --scale quick|full, --seed N, --max-solutions N, --only NAME, --bench-dir DIR)"
             ),
         }
         i += 1;
@@ -297,12 +436,45 @@ pub fn parse_config() -> RunConfig {
         seed,
         limits,
         only,
+        bench_dir,
     }
 }
 
-/// Applies the `--only` filter of a [`RunConfig`] to the paper workloads.
-pub fn configured_workloads(config: &RunConfig) -> Vec<Workload> {
-    paper_workloads(config.scale, config.seed)
+/// Where [`configured_workloads_with_source`] actually got its circuits
+/// from — so the experiment binaries can label their output truthfully
+/// even when an empty `--bench-dir` fell back to the synthetics.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum WorkloadSource {
+    /// Real `.bench` circuits loaded from `--bench-dir`.
+    BenchDir,
+    /// The profile-matched synthetic ISCAS89 stand-ins.
+    Synthetic,
+}
+
+/// Applies the `--only` filter of a [`RunConfig`] to the configured
+/// workload source: the `.bench` files of `--bench-dir` when given (and
+/// non-empty), the synthetic paper profiles otherwise. The returned
+/// [`WorkloadSource`] reports which one was used.
+pub fn configured_workloads_with_source(config: &RunConfig) -> (Vec<Workload>, WorkloadSource) {
+    let (base, source) = match &config.bench_dir {
+        Some(dir) => {
+            let real = bench_dir_workloads(dir, config.scale, config.seed);
+            if real.is_empty() {
+                eprintln!("no .bench files in {dir}; using the synthetic profiles");
+                (
+                    paper_workloads(config.scale, config.seed),
+                    WorkloadSource::Synthetic,
+                )
+            } else {
+                (real, WorkloadSource::BenchDir)
+            }
+        }
+        None => (
+            paper_workloads(config.scale, config.seed),
+            WorkloadSource::Synthetic,
+        ),
+    };
+    let filtered = base
         .into_iter()
         .filter(|w| {
             config
@@ -311,7 +483,13 @@ pub fn configured_workloads(config: &RunConfig) -> Vec<Workload> {
                 .map(|needle| w.name.contains(needle.as_str()))
                 .unwrap_or(true)
         })
-        .collect()
+        .collect();
+    (filtered, source)
+}
+
+/// [`configured_workloads_with_source`] without the source tag.
+pub fn configured_workloads(config: &RunConfig) -> Vec<Workload> {
+    configured_workloads_with_source(config).0
 }
 
 /// Writes `content` under `target/experiments/<file>` and reports the path.
@@ -372,5 +550,50 @@ mod tests {
         let w = Workload::from_bench("mini", src, 1, 2).unwrap();
         assert_eq!(w.name, "mini");
         assert_eq!(w.errors.len(), 1);
+    }
+
+    #[test]
+    fn paper_error_counts_by_name() {
+        assert_eq!(paper_error_count("s1423"), 4);
+        assert_eq!(paper_error_count("s1423_like"), 4);
+        assert_eq!(paper_error_count("s6669"), 3);
+        assert_eq!(paper_error_count("s38417"), 2);
+        assert_eq!(paper_error_count("c432"), 2);
+    }
+
+    #[test]
+    fn bench_dir_workloads_pick_up_real_circuits() {
+        let dir =
+            std::env::temp_dir().join(format!("gatediag_harness_bench_dir_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("c17.bench"),
+            "INPUT(G1)\nINPUT(G2)\nINPUT(G3)\nINPUT(G6)\nINPUT(G7)\n\
+             OUTPUT(G22)\nOUTPUT(G23)\n\
+             G10 = NAND(G1, G3)\nG11 = NAND(G3, G6)\nG16 = NAND(G2, G11)\n\
+             G19 = NAND(G11, G7)\nG22 = NAND(G10, G16)\nG23 = NAND(G16, G19)\n",
+        )
+        .unwrap();
+        let dir_str = dir.to_str().unwrap().to_string();
+        let workloads = bench_dir_workloads(&dir_str, Scale::Quick, 1);
+        assert_eq!(workloads.len(), 1);
+        assert_eq!(workloads[0].name, "c17");
+        assert_eq!(workloads[0].p, 2);
+        assert!(!workloads[0].tests.is_empty());
+        // The config plumbing resolves the same circuits.
+        let config = RunConfig {
+            scale: Scale::Quick,
+            seed: 1,
+            limits: Limits::default(),
+            only: None,
+            bench_dir: Some(dir_str.clone()),
+        };
+        let via_config = configured_workloads(&config);
+        assert_eq!(via_config.len(), 1);
+        assert_eq!(via_config[0].name, "c17");
+        let largest = largest_bench_circuit(&dir_str).unwrap();
+        assert_eq!(largest.0, "c17");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

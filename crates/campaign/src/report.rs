@@ -1,0 +1,523 @@
+//! Campaign reports: per-instance records, JSON/CSV emitters and the
+//! paper-style summary table.
+//!
+//! Everything in a report except `wall_ms` is deterministic: injection,
+//! test generation and every engine are pure functions of the instance's
+//! seed, and the runner merges records in matrix order. The emitters
+//! therefore exclude timing by default, which makes the JSON and CSV
+//! output **byte-identical across worker counts** — the property the
+//! campaign drift tests pin. Pass `include_timing = true` to add the
+//! wall-clock column for local profiling.
+
+use crate::spec::CampaignSpec;
+use gatediag_core::EngineKind;
+use gatediag_netlist::FaultModel;
+use std::fmt::Write as _;
+
+/// Why an instance did or did not produce a diagnosis.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum InstanceStatus {
+    /// The engine ran on a non-empty failing-test set.
+    Ok,
+    /// The circuit has too few eligible sites for `(fault_model, p)`.
+    NotInjectable,
+    /// The injected faults stayed unobservable within the random-vector
+    /// budget (near-redundant logic); no diagnosis was attempted.
+    NoFailingTests,
+}
+
+impl InstanceStatus {
+    /// Stable serialisation token.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstanceStatus::Ok => "ok",
+            InstanceStatus::NotInjectable => "not-injectable",
+            InstanceStatus::NoFailingTests => "no-failing-tests",
+        }
+    }
+}
+
+/// All measurements for one instance of the campaign matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct InstanceRecord {
+    /// Golden circuit name.
+    pub circuit: String,
+    /// Functional gate count of the golden circuit.
+    pub gates: usize,
+    /// Injected fault model.
+    pub fault_model: FaultModel,
+    /// Number of injected errors.
+    pub p: usize,
+    /// Injection/test seed.
+    pub seed: u64,
+    /// Diagnosis engine.
+    pub engine: EngineKind,
+    /// Correction size bound used (`spec.k` or `p`).
+    pub k: usize,
+    /// Failing tests collected (the diagnosis `m`).
+    pub tests: usize,
+    /// Outcome class.
+    pub status: InstanceStatus,
+    /// Implicated gates (union over solutions, or the BSIM mark union).
+    pub candidates: usize,
+    /// Candidate corrections reported (for BSIM: 1, the `G_max` set).
+    pub solutions: usize,
+    /// `false` when the enumeration was truncated by `max_solutions` or
+    /// the conflict budget.
+    pub complete: bool,
+    /// Whether some real error site is among the candidates.
+    pub hit: bool,
+    /// Resolution quality over the solutions (paper Table 3): minimum
+    /// per-solution average distance to the nearest real error site.
+    /// Only meaningful when `solutions > 0` (the emitters write
+    /// `null`/empty cells otherwise — the 0.0 default would read as a
+    /// perfect diagnosis).
+    pub quality_min: f64,
+    /// Average per-solution average distance.
+    pub quality_avg: f64,
+    /// Maximum per-solution average distance.
+    pub quality_max: f64,
+    /// SAT conflicts (0 for the pure simulation engines).
+    pub conflicts: u64,
+    /// SAT decisions.
+    pub decisions: u64,
+    /// SAT propagations.
+    pub propagations: u64,
+    /// Wall-clock time for the whole instance (injection + test
+    /// generation + diagnosis). Nondeterministic; excluded from the
+    /// emitters unless requested.
+    pub wall_ms: f64,
+}
+
+/// A completed campaign: the matrix echo plus one record per instance,
+/// in matrix order.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CampaignReport {
+    /// Circuit names, in matrix order.
+    pub circuits: Vec<String>,
+    /// Fault models of the matrix.
+    pub fault_models: Vec<FaultModel>,
+    /// Error counts of the matrix.
+    pub error_counts: Vec<usize>,
+    /// Seeds of the matrix.
+    pub seeds: Vec<u64>,
+    /// Engines of the matrix.
+    pub engines: Vec<EngineKind>,
+    /// Failing tests requested per instance.
+    pub tests: usize,
+    /// Explicit `k`, if the spec pinned one (`None` = `k = p`).
+    pub k: Option<usize>,
+    /// Per-instance enumeration cap.
+    pub max_solutions: usize,
+    /// Per-instance conflict budget.
+    pub conflict_budget: Option<u64>,
+    /// One record per instance, in matrix order.
+    pub records: Vec<InstanceRecord>,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// RFC-4180 field quoting for user-controlled values (circuit names come
+/// from `.bench` file stems, which may contain commas or quotes).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+impl CampaignReport {
+    /// Bundles the runner's records with the spec's matrix echo.
+    pub fn new(spec: &CampaignSpec, records: Vec<InstanceRecord>) -> CampaignReport {
+        CampaignReport {
+            circuits: spec.circuits.iter().map(|(n, _)| n.clone()).collect(),
+            fault_models: spec.fault_models.clone(),
+            error_counts: spec.error_counts.clone(),
+            seeds: spec.seeds.clone(),
+            engines: spec.engines.clone(),
+            tests: spec.tests,
+            k: spec.k,
+            max_solutions: spec.max_solutions,
+            conflict_budget: spec.conflict_budget,
+            records,
+        }
+    }
+
+    /// Records that actually ran an engine.
+    pub fn ok_records(&self) -> impl Iterator<Item = &InstanceRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.status == InstanceStatus::Ok)
+    }
+
+    /// Serialises the report as JSON with a stable field order.
+    ///
+    /// With `include_timing = false` (the default for published
+    /// artifacts) the output is byte-identical across runs and worker
+    /// counts; `true` adds the nondeterministic `wall_ms` field.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"schema\": \"gatediag-campaign-v1\",\n  \"matrix\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"circuits\": [{}],",
+            self.circuits
+                .iter()
+                .map(|c| json_str(c))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    \"fault_models\": [{}],",
+            self.fault_models
+                .iter()
+                .map(|m| json_str(m.name()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    \"error_counts\": [{}],",
+            self.error_counts
+                .iter()
+                .map(|p| p.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    \"seeds\": [{}],",
+            self.seeds
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            out,
+            "    \"engines\": [{}],",
+            self.engines
+                .iter()
+                .map(|e| json_str(e.name()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(out, "    \"tests\": {},", self.tests);
+        let _ = writeln!(
+            out,
+            "    \"k\": {},",
+            self.k.map_or("\"p\"".to_string(), |k| k.to_string())
+        );
+        let _ = writeln!(out, "    \"max_solutions\": {},", self.max_solutions);
+        let _ = writeln!(
+            out,
+            "    \"conflict_budget\": {}",
+            self.conflict_budget
+                .map_or("null".to_string(), |b| b.to_string())
+        );
+        out.push_str("  },\n  \"instances\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"circuit\": {}, \"gates\": {}, \"fault_model\": {}, \"p\": {}, \
+                 \"seed\": {}, \"engine\": {}, \"k\": {}, \"tests\": {}, \"status\": {}, \
+                 \"candidates\": {}, \"solutions\": {}, \"complete\": {}, \"hit\": {}, \
+                 \"quality_min\": {}, \"quality_avg\": {}, \"quality_max\": {}, \
+                 \"conflicts\": {}, \"decisions\": {}, \"propagations\": {}",
+                json_str(&r.circuit),
+                r.gates,
+                json_str(r.fault_model.name()),
+                r.p,
+                r.seed,
+                json_str(r.engine.name()),
+                r.k,
+                r.tests,
+                json_str(r.status.name()),
+                r.candidates,
+                r.solutions,
+                r.complete,
+                r.hit,
+                // A record with no solutions has no quality to report —
+                // a literal 0.0 would read as "a real error site found".
+                if r.solutions == 0 {
+                    "null".to_string()
+                } else {
+                    json_f64(r.quality_min)
+                },
+                if r.solutions == 0 {
+                    "null".to_string()
+                } else {
+                    json_f64(r.quality_avg)
+                },
+                if r.solutions == 0 {
+                    "null".to_string()
+                } else {
+                    json_f64(r.quality_max)
+                },
+                r.conflicts,
+                r.decisions,
+                r.propagations,
+            );
+            if include_timing {
+                let _ = write!(out, ", \"wall_ms\": {}", json_f64(r.wall_ms));
+            }
+            out.push('}');
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Serialises the records as CSV (one row per instance, matrix
+    /// order). Timing is excluded unless `include_timing` is set, for the
+    /// same determinism reasons as [`CampaignReport::to_json`].
+    pub fn to_csv(&self, include_timing: bool) -> String {
+        let mut out = String::from(
+            "circuit,gates,fault_model,p,seed,engine,k,tests,status,candidates,solutions,\
+             complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,propagations",
+        );
+        if include_timing {
+            out.push_str(",wall_ms");
+        }
+        out.push('\n');
+        for r in &self.records {
+            // Empty quality cells when there are no solutions (see
+            // `to_json`).
+            let quality = if r.solutions == 0 {
+                ",,".to_string()
+            } else {
+                format!(
+                    "{:.4},{:.4},{:.4}",
+                    r.quality_min, r.quality_avg, r.quality_max
+                )
+            };
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                csv_field(&r.circuit),
+                r.gates,
+                r.fault_model,
+                r.p,
+                r.seed,
+                r.engine,
+                r.k,
+                r.tests,
+                r.status.name(),
+                r.candidates,
+                r.solutions,
+                r.complete,
+                r.hit,
+                quality,
+                r.conflicts,
+                r.decisions,
+                r.propagations,
+            );
+            if include_timing {
+                let _ = write!(out, ",{:.4}", r.wall_ms);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the paper-style summary: one row per
+    /// `(circuit, fault model, p)`, one column per engine, aggregated
+    /// over seeds. Each cell reads `hits/oks  sol  q̄`: how many seeds hit
+    /// a real error site out of the seeds that ran, the mean solution
+    /// count, and the mean average-distance quality.
+    pub fn summary_table(&self) -> String {
+        struct Cell {
+            ok: usize,
+            hits: usize,
+            solutions: usize,
+            quality: f64,
+            with_solutions: usize,
+        }
+        let mut rows: Vec<(String, FaultModel, usize)> = Vec::new();
+        for r in &self.records {
+            let key = (r.circuit.clone(), r.fault_model, r.p);
+            if !rows.contains(&key) {
+                rows.push(key);
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{:<12} {:<15} {:>2} ", "circuit", "fault-model", "p");
+        for e in &self.engines {
+            let _ = write!(out, "| {:>16} ", e.name());
+        }
+        out.push('\n');
+        let width = 32 + self.engines.len() * 19;
+        out.push_str(&"-".repeat(width));
+        out.push('\n');
+        for (circuit, model, p) in &rows {
+            let _ = write!(out, "{circuit:<12} {:<15} {p:>2} ", model.name());
+            for engine in &self.engines {
+                let mut cell = Cell {
+                    ok: 0,
+                    hits: 0,
+                    solutions: 0,
+                    quality: 0.0,
+                    with_solutions: 0,
+                };
+                for r in &self.records {
+                    if &r.circuit == circuit
+                        && r.fault_model == *model
+                        && r.p == *p
+                        && r.engine == *engine
+                        && r.status == InstanceStatus::Ok
+                    {
+                        cell.ok += 1;
+                        cell.hits += usize::from(r.hit);
+                        cell.solutions += r.solutions;
+                        // A run with no solutions has no quality;
+                        // averaging its 0.0 in would make an engine
+                        // that found nothing look perfect.
+                        if r.solutions > 0 {
+                            cell.with_solutions += 1;
+                            cell.quality += r.quality_avg;
+                        }
+                    }
+                }
+                if cell.ok == 0 {
+                    let _ = write!(out, "| {:>16} ", "-");
+                } else {
+                    let quality = if cell.with_solutions == 0 {
+                        "   -".to_string()
+                    } else {
+                        format!("{:>4.2}", cell.quality / cell.with_solutions as f64)
+                    };
+                    let text = format!(
+                        "{}/{} {:>5.1} {quality}",
+                        cell.hits,
+                        cell.ok,
+                        cell.solutions as f64 / cell.ok as f64,
+                    );
+                    let _ = write!(out, "| {text:>16} ");
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(
+            "cells: hits/ok-runs  mean #solutions  mean avg-distance quality over runs \
+             with solutions (0 = a real error site, - = none)\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_campaign;
+    use gatediag_netlist::c17;
+
+    fn small_report() -> CampaignReport {
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange];
+        spec.error_counts = vec![1];
+        spec.seeds = vec![1];
+        spec.engines = vec![EngineKind::Bsim, EngineKind::Bsat];
+        run_campaign(&spec)
+    }
+
+    #[test]
+    fn json_has_schema_and_one_object_per_instance() {
+        let report = small_report();
+        let json = report.to_json(false);
+        assert!(json.contains("\"schema\": \"gatediag-campaign-v1\""));
+        assert_eq!(
+            json.matches("\"fault_model\":").count(),
+            report.records.len()
+        );
+        assert!(!json.contains("wall_ms"));
+        assert!(report.to_json(true).contains("wall_ms"));
+    }
+
+    #[test]
+    fn csv_row_count_matches() {
+        let report = small_report();
+        let csv = report.to_csv(false);
+        assert_eq!(csv.lines().count(), report.records.len() + 1);
+        assert!(csv.starts_with("circuit,"));
+        assert!(!csv.contains("wall_ms"));
+        assert!(report
+            .to_csv(true)
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("wall_ms"));
+    }
+
+    #[test]
+    fn summary_has_a_row_per_group_and_column_per_engine() {
+        let report = small_report();
+        let table = report.summary_table();
+        assert!(table.contains("bsim"));
+        assert!(table.contains("bsat"));
+        assert!(table.contains("c17"));
+        assert!(table.contains("gate-change"));
+    }
+
+    #[test]
+    fn zero_solution_records_report_null_quality() {
+        // p = 50 on c17 is not injectable: solutions stay 0 and the
+        // quality triple must serialise as null / empty, never 0.0.
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange];
+        spec.error_counts = vec![50];
+        spec.seeds = vec![1];
+        spec.engines = vec![EngineKind::Bsat];
+        let report = run_campaign(&spec);
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.records[0].solutions, 0);
+        let json = report.to_json(false);
+        assert!(json.contains("\"quality_min\": null"));
+        assert!(!json.contains("\"quality_min\": 0.0000"));
+        let csv = report.to_csv(false);
+        assert!(csv.lines().nth(1).unwrap().contains(",,,"));
+        // The summary shows "-" instead of a perfect-looking 0.00 mean.
+        assert!(report.summary_table().contains('-'));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn csv_fields_are_quoted_when_needed() {
+        assert_eq!(csv_field("c17"), "c17");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+}

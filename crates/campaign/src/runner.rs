@@ -1,0 +1,193 @@
+//! The parallel campaign runner.
+//!
+//! Each [`InstanceSpec`] is one work item: inject the faults, collect
+//! failing tests, run the instance's engine, score the result. Items are
+//! fanned out over [`gatediag_sim::parallel_map_init`] (work-stealing over
+//! a shared index) and merged back **in instance order**, so the report is
+//! bit-identical for every worker count — the same determinism contract as
+//! every other parallel flow in this workspace.
+//!
+//! Two design points keep that contract airtight:
+//!
+//! * every record is a pure function of `(spec, instance index)` — the
+//!   faulty circuit, the test set and the engine run are all rebuilt from
+//!   the instance's own seed, never shared across items;
+//! * engines run with [`Parallelism::Sequential`] *inside* a work item:
+//!   the campaign level owns the worker pool, which avoids nested pools
+//!   oversubscribing the machine, and makes each item's cost independent
+//!   of the schedule. (The per-instance engines still reuse their
+//!   internal incremental state across the instance's tests and candidate
+//!   sets — the engine-reuse machinery of PRs 2-3.)
+//!
+//! Wall-clock time is the one nondeterministic measurement; it is
+//! recorded per instance but excluded from reports unless explicitly
+//! requested (see [`crate::report::CampaignReport::to_json`]).
+
+use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
+use crate::spec::{CampaignSpec, InstanceSpec};
+use gatediag_core::{
+    generate_failing_tests, run_engine, solution_quality, EngineConfig, EngineRun,
+};
+use gatediag_netlist::{try_inject_faults, GateId};
+use gatediag_sim::{parallel_map_init, Parallelism};
+use std::time::Instant;
+
+/// Runs every instance of the campaign and collects the merged report.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_campaign::{run_campaign, CampaignSpec};
+///
+/// let mut spec = CampaignSpec::demo();
+/// // Shrink the matrix for a doctest-sized run.
+/// spec.circuits.truncate(1);
+/// spec.error_counts = vec![1];
+/// spec.seeds = vec![1];
+/// let report = run_campaign(&spec);
+/// assert_eq!(report.records.len(), spec.instances().len());
+/// ```
+pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    let instances = spec.instances();
+    let workers = spec.parallelism.workers(instances.len());
+    let records = parallel_map_init(
+        workers,
+        instances.len(),
+        || (),
+        |(), i| run_instance(spec, &instances[i]),
+    );
+    CampaignReport::new(spec, records)
+}
+
+/// Runs one cell of the matrix. Pure in `(spec, inst)`.
+fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
+    let (name, golden) = &spec.circuits[inst.circuit];
+    let k = spec.k.unwrap_or(inst.p);
+    let mut record = InstanceRecord {
+        circuit: name.clone(),
+        gates: golden.num_functional_gates(),
+        fault_model: inst.fault_model,
+        p: inst.p,
+        seed: inst.seed,
+        engine: inst.engine,
+        k,
+        tests: 0,
+        status: InstanceStatus::Ok,
+        candidates: 0,
+        solutions: 0,
+        complete: true,
+        hit: false,
+        quality_min: 0.0,
+        quality_avg: 0.0,
+        quality_max: 0.0,
+        conflicts: 0,
+        decisions: 0,
+        propagations: 0,
+        wall_ms: 0.0,
+    };
+    let start = Instant::now();
+    let Some((faulty, faults)) = try_inject_faults(golden, inst.fault_model, inst.p, inst.seed)
+    else {
+        record.status = InstanceStatus::NotInjectable;
+        record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        return record;
+    };
+    let tests = generate_failing_tests(
+        golden,
+        &faulty,
+        spec.tests,
+        inst.seed,
+        spec.max_test_vectors,
+    );
+    record.tests = tests.len();
+    if tests.is_empty() {
+        record.status = InstanceStatus::NoFailingTests;
+        record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        return record;
+    }
+    let config = EngineConfig {
+        k,
+        max_solutions: spec.max_solutions,
+        conflict_budget: spec.conflict_budget,
+        // The campaign level owns the pool; see the module docs.
+        parallelism: Parallelism::Sequential,
+    };
+    let run: EngineRun = run_engine(inst.engine, &faulty, &tests, &config);
+    let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
+    record.candidates = run.candidates.len();
+    record.solutions = run.solutions.len();
+    record.complete = run.complete;
+    record.hit = run.candidates.iter().any(|g| errors.contains(g));
+    if !run.solutions.is_empty() {
+        let quality = solution_quality(&faulty, &run.solutions, &errors);
+        record.quality_min = quality.min;
+        record.quality_avg = quality.avg;
+        record.quality_max = quality.max;
+    }
+    record.conflicts = run.stats.conflicts;
+    record.decisions = run.stats.decisions;
+    record.propagations = run.stats.propagations;
+    record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_core::EngineKind;
+    use gatediag_netlist::{c17, FaultModel};
+
+    fn tiny_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange, FaultModel::StuckAt];
+        spec.error_counts = vec![1];
+        spec.seeds = vec![1, 2];
+        spec.engines = vec![EngineKind::Bsim, EngineKind::Bsat];
+        spec
+    }
+
+    #[test]
+    fn records_come_back_in_matrix_order() {
+        let spec = tiny_spec();
+        let report = run_campaign(&spec);
+        let instances = spec.instances();
+        assert_eq!(report.records.len(), instances.len());
+        for (record, inst) in report.records.iter().zip(&instances) {
+            assert_eq!(record.fault_model, inst.fault_model);
+            assert_eq!(record.engine, inst.engine);
+            assert_eq!(record.seed, inst.seed);
+        }
+    }
+
+    #[test]
+    fn bsat_instances_find_the_gate_change_site() {
+        let spec = tiny_spec();
+        let report = run_campaign(&spec);
+        for record in &report.records {
+            if record.status == InstanceStatus::Ok
+                && record.engine == EngineKind::Bsat
+                && record.fault_model == FaultModel::GateChange
+            {
+                // BSAT enumerates all valid corrections ≤ k = p; the real
+                // site is always one of them.
+                assert!(
+                    record.hit,
+                    "seed {}: BSAT missed the error site",
+                    record.seed
+                );
+                assert_eq!(record.quality_min, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_p_is_recorded_not_panicked() {
+        let mut spec = tiny_spec();
+        spec.error_counts = vec![50]; // c17 has 6 functional gates
+        let report = run_campaign(&spec);
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.status == InstanceStatus::NotInjectable));
+    }
+}

@@ -1,0 +1,163 @@
+//! Campaign specifications: the instance matrix.
+//!
+//! A [`CampaignSpec`] crosses circuits × fault models × error counts ×
+//! seeds × engines into a flat, index-ordered list of [`InstanceSpec`]s.
+//! The matrix order is fixed (circuits outermost, engines innermost), so
+//! instance indices — and therefore the merged report — are a pure
+//! function of the spec, independent of how the runner schedules the
+//! work.
+
+use gatediag_core::EngineKind;
+use gatediag_netlist::{c17, Circuit, FaultModel, RandomCircuitSpec};
+use gatediag_sim::Parallelism;
+
+/// A full experiment campaign: the instance matrix plus shared limits.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// The golden circuits, as `(name, circuit)` pairs.
+    pub circuits: Vec<(String, Circuit)>,
+    /// Fault models to inject.
+    pub fault_models: Vec<FaultModel>,
+    /// Injected error counts (the paper's `p`).
+    pub error_counts: Vec<usize>,
+    /// Injection/test-generation seeds.
+    pub seeds: Vec<u64>,
+    /// Diagnosis engines to run on every instance.
+    pub engines: Vec<EngineKind>,
+    /// Failing tests to collect per instance (the paper's `m`).
+    pub tests: usize,
+    /// Random-vector budget for failing-test generation; instances whose
+    /// faults stay unobservable within it are recorded as skipped.
+    pub max_test_vectors: usize,
+    /// Correction size bound `k`; `None` means `k = p` per instance.
+    pub k: Option<usize>,
+    /// Per-instance enumeration cap.
+    pub max_solutions: usize,
+    /// Per-instance conflict budget for the SAT engines — the campaign's
+    /// runaway-instance guard (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Worker-pool policy for the campaign runner (instances are the unit
+    /// of parallelism; engines run sequentially inside a worker). The
+    /// report is bit-identical for every setting.
+    pub parallelism: Parallelism,
+}
+
+impl CampaignSpec {
+    /// Creates a spec over `circuits` with the default matrix: all fault
+    /// models, `p ∈ {1, 2}`, seeds `{1, 2}`, the BSIM/COV/BSAT engine
+    /// trio, 8 tests per instance.
+    pub fn new(circuits: Vec<(String, Circuit)>) -> CampaignSpec {
+        CampaignSpec {
+            circuits,
+            fault_models: FaultModel::ALL.to_vec(),
+            error_counts: vec![1, 2],
+            seeds: vec![1, 2],
+            engines: vec![EngineKind::Bsim, EngineKind::Cov, EngineKind::Bsat],
+            tests: 8,
+            max_test_vectors: 1 << 15,
+            k: None,
+            max_solutions: 10_000,
+            conflict_budget: Some(5_000_000),
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// The built-in synthetic circuit set used when no `.bench` directory
+    /// is supplied: `c17` plus two seeded random circuits (64 and 160
+    /// functional gates, the larger one with pseudo-I/O latches).
+    pub fn demo_circuits() -> Vec<(String, Circuit)> {
+        vec![
+            ("c17".to_string(), c17()),
+            (
+                "rnd64".to_string(),
+                RandomCircuitSpec::new(8, 4, 64)
+                    .seed(7)
+                    .name("rnd64")
+                    .generate(),
+            ),
+            (
+                "rnd160".to_string(),
+                RandomCircuitSpec::new(10, 5, 160)
+                    .latches(4)
+                    .seed(9)
+                    .name("rnd160")
+                    .generate(),
+            ),
+        ]
+    }
+
+    /// The demo campaign: [`CampaignSpec::demo_circuits`] under the
+    /// default matrix (4 fault models × 3 engines × 2 error counts × 2
+    /// seeds).
+    pub fn demo() -> CampaignSpec {
+        CampaignSpec::new(CampaignSpec::demo_circuits())
+    }
+
+    /// Expands the matrix into index-ordered instances: circuits
+    /// outermost, then fault models, error counts, seeds, and engines
+    /// innermost.
+    pub fn instances(&self) -> Vec<InstanceSpec> {
+        let mut out = Vec::new();
+        for circuit in 0..self.circuits.len() {
+            for &fault_model in &self.fault_models {
+                for &p in &self.error_counts {
+                    for &seed in &self.seeds {
+                        for &engine in &self.engines {
+                            out.push(InstanceSpec {
+                                circuit,
+                                fault_model,
+                                p,
+                                seed,
+                                engine,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the campaign matrix.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct InstanceSpec {
+    /// Index into [`CampaignSpec::circuits`].
+    pub circuit: usize,
+    /// The fault model to inject.
+    pub fault_model: FaultModel,
+    /// Number of injected errors.
+    pub p: usize,
+    /// Injection/test seed.
+    pub seed: u64,
+    /// The engine to diagnose with.
+    pub engine: EngineKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_order_is_engines_innermost() {
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange, FaultModel::StuckAt];
+        spec.error_counts = vec![1];
+        spec.seeds = vec![5];
+        spec.engines = vec![EngineKind::Bsim, EngineKind::Bsat];
+        let instances = spec.instances();
+        assert_eq!(instances.len(), 4);
+        assert_eq!(instances[0].engine, EngineKind::Bsim);
+        assert_eq!(instances[1].engine, EngineKind::Bsat);
+        assert_eq!(instances[0].fault_model, FaultModel::GateChange);
+        assert_eq!(instances[2].fault_model, FaultModel::StuckAt);
+    }
+
+    #[test]
+    fn demo_meets_the_acceptance_matrix() {
+        let spec = CampaignSpec::demo();
+        assert!(spec.fault_models.len() >= 3);
+        assert!(spec.engines.len() >= 2);
+        assert!(!spec.instances().is_empty());
+    }
+}

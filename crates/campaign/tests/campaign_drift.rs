@@ -1,0 +1,100 @@
+//! Worker-count invariance for the campaign runner, in the style of
+//! `crates/core/tests/parallel_drift.rs`: the same `CampaignSpec` must
+//! yield **byte-identical** JSON (and CSV, and summary) reports whatever
+//! the worker pool looks like — explicit `Fixed(1/2/8)` policies and the
+//! `GATEDIAG_WORKERS=1/2/8` environment override alike.
+
+use gatediag_campaign::{run_campaign, CampaignSpec};
+use gatediag_core::EngineKind;
+use gatediag_netlist::{FaultModel, RandomCircuitSpec};
+use gatediag_sim::Parallelism;
+
+/// A matrix small enough for a debug-mode test but wide enough to cover
+/// every fault model, a SAT engine, a sim engine and the validity
+/// screen, plus skipped instances (p larger than c17 can host).
+fn drift_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(vec![
+        ("c17".to_string(), gatediag_netlist::c17()),
+        (
+            "rnd40".to_string(),
+            RandomCircuitSpec::new(6, 3, 40)
+                .seed(3)
+                .name("rnd40")
+                .generate(),
+        ),
+    ]);
+    spec.fault_models = FaultModel::ALL.to_vec();
+    spec.error_counts = vec![1, 2];
+    spec.seeds = vec![1, 2];
+    spec.engines = vec![EngineKind::Bsim, EngineKind::Cov, EngineKind::Bsat];
+    spec.tests = 6;
+    spec.max_test_vectors = 1 << 12;
+    spec
+}
+
+#[test]
+fn reports_are_byte_identical_for_all_worker_counts() {
+    let mut spec = drift_spec();
+    spec.parallelism = Parallelism::Sequential;
+    let reference = run_campaign(&spec);
+    let ref_json = reference.to_json(false);
+    let ref_csv = reference.to_csv(false);
+    let ref_summary = reference.summary_table();
+    // The matrix exercises real instances, not just skips.
+    assert!(reference
+        .records
+        .iter()
+        .any(|r| r.status == gatediag_campaign::InstanceStatus::Ok));
+    for workers in [1usize, 2, 8] {
+        spec.parallelism = Parallelism::Fixed(workers);
+        let report = run_campaign(&spec);
+        assert_eq!(
+            report.to_json(false),
+            ref_json,
+            "JSON drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.to_csv(false),
+            ref_csv,
+            "CSV drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.summary_table(),
+            ref_summary,
+            "summary drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn reports_are_byte_identical_under_the_env_override() {
+    // `Parallelism::Auto` reads GATEDIAG_WORKERS; this is the only test
+    // in the suite that touches the variable, so the serial set/run
+    // sequence below cannot race another env reader.
+    let mut spec = drift_spec();
+    spec.parallelism = Parallelism::Auto;
+    let mut outputs = Vec::new();
+    for workers in ["1", "2", "8"] {
+        std::env::set_var("GATEDIAG_WORKERS", workers);
+        outputs.push(run_campaign(&spec).to_json(false));
+    }
+    std::env::remove_var("GATEDIAG_WORKERS");
+    assert_eq!(outputs[0], outputs[1], "GATEDIAG_WORKERS=2 drifted");
+    assert_eq!(outputs[0], outputs[2], "GATEDIAG_WORKERS=8 drifted");
+}
+
+#[test]
+fn timing_is_the_only_nondeterministic_field() {
+    // Two runs of the same spec agree on everything except wall_ms.
+    let spec = drift_spec();
+    let a = run_campaign(&spec);
+    let b = run_campaign(&spec);
+    assert_eq!(a.to_json(false), b.to_json(false));
+    for (ra, rb) in a.records.iter().zip(&b.records) {
+        let mut ra = ra.clone();
+        let mut rb = rb.clone();
+        ra.wall_ms = 0.0;
+        rb.wall_ms = 0.0;
+        assert_eq!(ra, rb);
+    }
+}

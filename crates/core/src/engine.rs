@@ -1,0 +1,385 @@
+//! Engine-agnostic diagnosis entry points.
+//!
+//! The engines of this crate ([`basic_sim_diagnose`], [`sc_diagnose`],
+//! [`basic_sat_diagnose`], [`hybrid_seeded_bsat`]) each have their own
+//! option and result types, mirroring the paper's presentation. Callers
+//! that sweep *across* engines — the campaign runner, the CLI — need one
+//! uniform surface instead: pick an engine by name, run it with shared
+//! limits, get back a normalised result. [`run_engine`] is that surface.
+//!
+//! Every run is deterministic in its inputs: the configured
+//! [`Parallelism`] only trades wall time (all underlying flows are
+//! bit-identical for every worker count), so two runs of the same
+//! `(engine, circuit, tests, config)` tuple produce identical
+//! [`EngineRun`]s.
+
+use crate::bsat::{basic_sat_diagnose, BsatOptions};
+use crate::bsim::{basic_sim_diagnose, BsimOptions};
+use crate::cov::{sc_diagnose, CovOptions};
+use crate::hybrid::hybrid_seeded_bsat;
+use crate::test_set::TestSet;
+use crate::validity::screen_valid_corrections;
+use gatediag_netlist::{Circuit, GateId};
+use gatediag_sat::SolverStats;
+use gatediag_sim::Parallelism;
+use std::fmt;
+
+/// Which diagnosis engine to run.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EngineKind {
+    /// Path-tracing simulation ([`basic_sim_diagnose`], paper Fig. 1).
+    /// Produces marked candidates, no validity guarantee; the single
+    /// reported "solution" is `G_max`.
+    Bsim,
+    /// Set-covering enumeration ([`sc_diagnose`], paper Fig. 4):
+    /// irredundant covers of the BSIM candidate sets, no validity
+    /// guarantee.
+    Cov,
+    /// SAT-based enumeration ([`basic_sat_diagnose`], paper Fig. 3):
+    /// exactly all irredundant *valid* corrections up to `k`.
+    Bsat,
+    /// The Sec. 6 hybrid: BSIM marks seed the SAT engine's decision
+    /// heuristic ([`hybrid_seeded_bsat`]).
+    Hybrid,
+    /// COV covers screened through the auto-dispatching
+    /// [`ValidityOracle`](crate::ValidityOracle)
+    /// ([`screen_valid_corrections`]): like BSAT everything reported is a
+    /// valid correction, but candidates come from simulation covers and
+    /// each validity call picks the sim or SAT backend per
+    /// [`crate::resolve_validity_backend`].
+    Auto,
+}
+
+impl EngineKind {
+    /// All engines, in a stable order.
+    pub const ALL: [EngineKind; 5] = [
+        EngineKind::Bsim,
+        EngineKind::Cov,
+        EngineKind::Bsat,
+        EngineKind::Hybrid,
+        EngineKind::Auto,
+    ];
+
+    /// The canonical CLI spelling of the engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Bsim => "bsim",
+            EngineKind::Cov => "cov",
+            EngineKind::Bsat => "bsat",
+            EngineKind::Hybrid => "hybrid",
+            EngineKind::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive).
+    pub fn parse(text: &str) -> Option<EngineKind> {
+        let t = text.to_ascii_lowercase();
+        EngineKind::ALL.into_iter().find(|e| e.name() == t)
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Shared limits and knobs for [`run_engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Correction size bound `k` (ignored by [`EngineKind::Bsim`]).
+    pub k: usize,
+    /// Enumeration cap; `complete = false` when hit.
+    pub max_solutions: usize,
+    /// Conflict budget for the SAT engines (`None` = unlimited).
+    pub conflict_budget: Option<u64>,
+    /// Worker-pool policy threaded into the engine options. Results are
+    /// bit-identical for every setting.
+    pub parallelism: Parallelism,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            k: 1,
+            max_solutions: 10_000,
+            conflict_budget: None,
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+/// Normalised result of one engine run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EngineRun {
+    /// The engine that produced this run.
+    pub engine: EngineKind,
+    /// Union of all implicated gates, sorted by id: the BSIM mark union,
+    /// or the union of all solutions for the enumerating engines.
+    pub candidates: Vec<GateId>,
+    /// Candidate corrections. For [`EngineKind::Bsim`] this is the single
+    /// set `G_max` (the gates marked by the maximal number of tests);
+    /// for the enumerating engines it is the solution list, sorted by
+    /// (size, lexicographic).
+    pub solutions: Vec<Vec<GateId>>,
+    /// `false` when `max_solutions` or the conflict budget truncated the
+    /// enumeration.
+    pub complete: bool,
+    /// SAT search statistics (all zero for the pure simulation engines).
+    pub stats: SolverStats,
+}
+
+fn union_of(circuit: &Circuit, solutions: &[Vec<GateId>]) -> Vec<GateId> {
+    let mut seen = vec![false; circuit.len()];
+    for sol in solutions {
+        for &g in sol {
+            seen[g.index()] = true;
+        }
+    }
+    seen.iter()
+        .enumerate()
+        .filter(|&(_, &s)| s)
+        .map(|(i, _)| GateId::new(i))
+        .collect()
+}
+
+/// Runs one engine on `(circuit, tests)` under shared limits.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{generate_failing_tests, run_engine, EngineConfig, EngineKind};
+/// use gatediag_netlist::{c17, inject_errors};
+///
+/// let golden = c17();
+/// let (faulty, sites) = inject_errors(&golden, 1, 42);
+/// let tests = generate_failing_tests(&golden, &faulty, 8, 42, 4096);
+/// let run = run_engine(EngineKind::Bsat, &faulty, &tests, &EngineConfig::default());
+/// assert!(run.solutions.contains(&vec![sites[0].gate]));
+/// assert!(run.candidates.contains(&sites[0].gate));
+/// ```
+pub fn run_engine(
+    engine: EngineKind,
+    circuit: &Circuit,
+    tests: &TestSet,
+    config: &EngineConfig,
+) -> EngineRun {
+    match engine {
+        EngineKind::Bsim => {
+            let result = basic_sim_diagnose(
+                circuit,
+                tests,
+                BsimOptions {
+                    parallelism: config.parallelism,
+                    ..BsimOptions::default()
+                },
+            );
+            let gmax = result.gmax();
+            EngineRun {
+                engine,
+                candidates: result.union.iter().collect(),
+                solutions: if gmax.is_empty() { vec![] } else { vec![gmax] },
+                complete: true,
+                stats: SolverStats::default(),
+            }
+        }
+        EngineKind::Cov => {
+            let result = sc_diagnose(
+                circuit,
+                tests,
+                config.k,
+                CovOptions {
+                    max_solutions: config.max_solutions,
+                    parallelism: config.parallelism,
+                    bsim: BsimOptions {
+                        parallelism: config.parallelism,
+                        ..BsimOptions::default()
+                    },
+                    ..CovOptions::default()
+                },
+            );
+            EngineRun {
+                engine,
+                candidates: union_of(circuit, &result.solutions),
+                solutions: result.solutions,
+                complete: result.complete,
+                stats: SolverStats::default(),
+            }
+        }
+        EngineKind::Bsat | EngineKind::Hybrid => {
+            let options = BsatOptions {
+                max_solutions: config.max_solutions,
+                conflict_budget: config.conflict_budget,
+                parallelism: config.parallelism,
+                ..BsatOptions::default()
+            };
+            let result = if engine == EngineKind::Hybrid {
+                hybrid_seeded_bsat(circuit, tests, config.k, options)
+            } else {
+                basic_sat_diagnose(circuit, tests, config.k, options)
+            };
+            EngineRun {
+                engine,
+                candidates: union_of(circuit, &result.solutions),
+                solutions: result.solutions,
+                complete: result.complete,
+                stats: result.stats,
+            }
+        }
+        EngineKind::Auto => {
+            let cov = sc_diagnose(
+                circuit,
+                tests,
+                config.k,
+                CovOptions {
+                    max_solutions: config.max_solutions,
+                    parallelism: config.parallelism,
+                    bsim: BsimOptions {
+                        parallelism: config.parallelism,
+                        ..BsimOptions::default()
+                    },
+                    ..CovOptions::default()
+                },
+            );
+            let verdicts =
+                screen_valid_corrections(circuit, tests, &cov.solutions, config.parallelism);
+            let solutions: Vec<Vec<GateId>> = cov
+                .solutions
+                .into_iter()
+                .zip(verdicts)
+                .filter(|(_, valid)| *valid)
+                .map(|(sol, _)| sol)
+                .collect();
+            EngineRun {
+                engine,
+                candidates: union_of(circuit, &solutions),
+                solutions,
+                complete: cov.complete,
+                stats: SolverStats::default(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_set::generate_failing_tests;
+    use crate::validity::is_valid_correction;
+    use gatediag_netlist::{c17, inject_errors, RandomCircuitSpec};
+
+    fn workload() -> (Circuit, Vec<GateId>, TestSet) {
+        // Scan seeds until the injected error is observable.
+        for seed in 0..32u64 {
+            let golden = RandomCircuitSpec::new(6, 3, 50).seed(seed).generate();
+            let (faulty, sites) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 8, seed, 1 << 14);
+            if !tests.is_empty() {
+                return (faulty, sites.iter().map(|s| s.gate).collect(), tests);
+            }
+        }
+        panic!("no seed yields an observable injection");
+    }
+
+    #[test]
+    fn engine_parsing_round_trips() {
+        for engine in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(engine.name()), Some(engine));
+        }
+        assert_eq!(EngineKind::parse("BSAT"), Some(EngineKind::Bsat));
+        assert_eq!(EngineKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_engine_implicates_the_error_site() {
+        let (faulty, errors, tests) = workload();
+        for engine in EngineKind::ALL {
+            let run = run_engine(engine, &faulty, &tests, &EngineConfig::default());
+            assert_eq!(run.engine, engine);
+            assert!(
+                run.candidates.iter().any(|g| errors.contains(g)),
+                "{engine}: error site not implicated"
+            );
+            // Candidates are sorted and deduplicated.
+            assert!(run.candidates.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn bsat_run_matches_direct_call() {
+        let (faulty, _, tests) = workload();
+        let config = EngineConfig::default();
+        let run = run_engine(EngineKind::Bsat, &faulty, &tests, &config);
+        let direct = basic_sat_diagnose(&faulty, &tests, config.k, BsatOptions::default());
+        assert_eq!(run.solutions, direct.solutions);
+        assert_eq!(run.complete, direct.complete);
+        assert_eq!(run.stats, direct.stats);
+    }
+
+    #[test]
+    fn auto_engine_reports_only_valid_corrections() {
+        let (faulty, _, tests) = workload();
+        let run = run_engine(EngineKind::Auto, &faulty, &tests, &EngineConfig::default());
+        for sol in &run.solutions {
+            assert!(
+                is_valid_correction(&faulty, &tests, sol),
+                "auto engine reported an invalid correction {sol:?}"
+            );
+        }
+        // Auto solutions are exactly the valid subset of the COV covers.
+        let cov = run_engine(EngineKind::Cov, &faulty, &tests, &EngineConfig::default());
+        for sol in &run.solutions {
+            assert!(cov.solutions.contains(sol));
+        }
+    }
+
+    #[test]
+    fn runs_are_worker_count_invariant() {
+        let (faulty, _, tests) = workload();
+        for engine in EngineKind::ALL {
+            let sequential = run_engine(
+                engine,
+                &faulty,
+                &tests,
+                &EngineConfig {
+                    parallelism: Parallelism::Sequential,
+                    ..EngineConfig::default()
+                },
+            );
+            for workers in [2usize, 8] {
+                let parallel = run_engine(
+                    engine,
+                    &faulty,
+                    &tests,
+                    &EngineConfig {
+                        parallelism: Parallelism::Fixed(workers),
+                        ..EngineConfig::default()
+                    },
+                );
+                assert_eq!(
+                    sequential, parallel,
+                    "{engine} drifted at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_clears_complete() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 3);
+        let tests = generate_failing_tests(&golden, &faulty, 8, 3, 4096);
+        let run = run_engine(
+            EngineKind::Bsat,
+            &faulty,
+            &tests,
+            &EngineConfig {
+                k: 2,
+                max_solutions: 1,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(run.solutions.len(), 1);
+        assert!(!run.complete);
+    }
+}

@@ -98,6 +98,7 @@ mod bruteforce;
 mod bsat;
 mod bsim;
 mod cov;
+mod engine;
 mod hybrid;
 pub mod paper_examples;
 mod quality;
@@ -116,6 +117,7 @@ pub use bsim::{
     basic_sim_diagnose, path_trace, path_trace_packed, BsimOptions, BsimResult, MarkPolicy,
 };
 pub use cov::{cover_all, sc_diagnose, CovEngine, CovOptions, CovResult};
+pub use engine::{run_engine, EngineConfig, EngineKind, EngineRun};
 pub use hybrid::{hybrid_seeded_bsat, repair_correction, RepairOutcome};
 pub use quality::{bsim_quality, solution_quality, BsimQuality, SolutionQuality};
 pub use repair::{
@@ -146,3 +148,4 @@ pub use gatediag_sim::Parallelism;
 // Re-export the option/encoding types used in this crate's public API so
 // downstream users need not depend on the encoding crate directly.
 pub use gatediag_cnf::MuxEncoding;
+pub use gatediag_sat::SolverStats;

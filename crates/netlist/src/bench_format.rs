@@ -210,6 +210,65 @@ pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, NetlistError
     builder.finish()
 }
 
+/// Loads every `.bench` file in a directory, sorted by file name.
+///
+/// Each circuit is named after the file stem (`s1423.bench` → `s1423`).
+/// Non-`.bench` entries are ignored; the extension comparison is
+/// case-insensitive. Returns an empty vector for a directory with no
+/// `.bench` files — callers typically fall back to synthetic circuits in
+/// that case.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] when the directory or a `.bench` file
+/// cannot be read, and the parse errors of [`parse_bench`] (annotated
+/// with the file name via the circuit name argument) for malformed
+/// netlists — a user-supplied corpus should fail loudly, not be silently
+/// dropped.
+///
+/// # Examples
+///
+/// ```no_run
+/// let circuits =
+///     gatediag_netlist::parse_bench_dir(std::path::Path::new("benchmarks/")).unwrap();
+/// for (name, circuit) in &circuits {
+///     println!("{name}: {} gates", circuit.num_functional_gates());
+/// }
+/// ```
+pub fn parse_bench_dir(dir: &std::path::Path) -> Result<Vec<(String, Circuit)>, NetlistError> {
+    let io_err = |path: &std::path::Path, e: std::io::Error| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| io_err(dir, e))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .and_then(|x| x.to_str())
+                .is_some_and(|x| x.eq_ignore_ascii_case("bench"))
+        })
+        .collect();
+    files.sort();
+    let mut circuits = Vec::with_capacity(files.len());
+    for path in files {
+        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("bench")
+            .to_string();
+        // Annotate parse errors with the offending file: in a multi-file
+        // corpus a bare "parse error on line 7" is undebuggable.
+        let circuit = parse_bench_named(&text, &name).map_err(|e| NetlistError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        circuits.push((name, circuit));
+    }
+    Ok(circuits)
+}
+
 /// Serialises a circuit back to `.bench` text.
 ///
 /// Flip-flops recorded in [`Circuit::latches`] are re-emitted as `DFF`

@@ -53,6 +53,15 @@ pub enum NetlistError {
         /// Description of the problem.
         message: String,
     },
+    /// A `.bench` file or directory could not be read, or a file in a
+    /// directory scan failed to parse (the inner error's message is
+    /// annotated with the offending path).
+    Io {
+        /// The offending path.
+        path: String,
+        /// The underlying I/O or parse error message.
+        message: String,
+    },
     /// The circuit has no primary outputs.
     NoOutputs,
 }
@@ -79,6 +88,9 @@ impl fmt::Display for NetlistError {
                 write!(f, "parse error on line {line}: {message}")
             }
             NetlistError::NoOutputs => write!(f, "circuit has no primary outputs"),
+            NetlistError::Io { path, message } => {
+                write!(f, "{path}: {message}")
+            }
         }
     }
 }

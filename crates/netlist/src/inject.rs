@@ -1,14 +1,24 @@
-//! Gate-change error injection.
+//! Design-error injection: the paper's gate-change model plus the wider
+//! fault-model family used by campaign-style experiments.
 //!
 //! The paper's experiments inject "1-4 gate change errors": the function of
 //! a gate is replaced by a different Boolean function over the same fan-ins.
 //! [`inject_errors`] reproduces that model deterministically from a seed.
+//!
+//! Experiment campaigns additionally need the other classic gate-level
+//! design-error models (Abadir et al.'s taxonomy): stuck-at ties,
+//! wrong-input-connection errors and extra inverters. [`inject_faults`]
+//! generalises [`inject_errors`] into one seeded entry point over the
+//! [`FaultModel`] enum; every model keeps the primary input/output shape of
+//! the golden circuit, so failing-test generation and the validity oracles
+//! work unchanged on the faulty circuit.
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, CircuitBuilder};
 use crate::gate::{GateId, GateKind};
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::fmt;
 
 /// A single injected error: gate `gate` had its function changed from
 /// `original` to `replacement`.
@@ -113,7 +123,13 @@ pub fn inject_stuck_at(circuit: &Circuit, gate: GateId, value: bool) -> Circuit 
         !circuit.gate(gate).kind().is_source(),
         "cannot tie source gate {gate}"
     );
-    let mut b = crate::circuit::CircuitBuilder::new();
+    tie_gates(circuit, &[(gate, value)])
+}
+
+/// Rebuilds `circuit` with every gate in `ties` replaced by a constant
+/// driver. Gate ids, names, outputs and latches are preserved.
+fn tie_gates(circuit: &Circuit, ties: &[(GateId, bool)]) -> Circuit {
+    let mut b = CircuitBuilder::new();
     b.name(circuit.name());
     for (id, g) in circuit.iter() {
         let name = circuit
@@ -122,7 +138,7 @@ pub fn inject_stuck_at(circuit: &Circuit, gate: GateId, value: bool) -> Circuit 
             .unwrap_or_else(|| format!("n{}", id.index()));
         if g.kind() == GateKind::Input {
             b.input(name);
-        } else if id == gate {
+        } else if let Some(&(_, value)) = ties.iter().find(|&&(t, _)| t == id) {
             let kind = if value {
                 GateKind::Const1
             } else {
@@ -140,6 +156,373 @@ pub fn inject_stuck_at(circuit: &Circuit, gate: GateId, value: bool) -> Circuit 
         b.latch(l.q, l.d);
     }
     b.finish().expect("tying a gate keeps the netlist valid")
+}
+
+/// The gate-level design-error models available to [`inject_faults`].
+///
+/// All four keep the circuit's primary input/output shape, so a faulty
+/// circuit can be diagnosed against its golden original with the standard
+/// failing-test and validity machinery. The error *site* of every fault is
+/// the gate whose function (seen from its output) is wrong — freeing that
+/// gate is always a valid correction, whichever model produced the fault.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FaultModel {
+    /// The paper's model: a gate's Boolean function is replaced by a
+    /// different function over the same fan-ins ([`inject_errors`]).
+    GateChange,
+    /// A gate's output is tied to a constant 0 or 1 (the production-test
+    /// fault model; see [`inject_stuck_at`]).
+    StuckAt,
+    /// A wrong-input-connection error: one fan-in of a gate is reconnected
+    /// to a different signal (acyclicity is preserved).
+    InputSwap,
+    /// An extra inverter is inserted on one fan-in connection of a gate.
+    /// The faulty circuit grows by one `NOT` gate per fault; original gate
+    /// ids are preserved.
+    ExtraInverter,
+}
+
+impl FaultModel {
+    /// All fault models, in a stable order.
+    pub const ALL: [FaultModel; 4] = [
+        FaultModel::GateChange,
+        FaultModel::StuckAt,
+        FaultModel::InputSwap,
+        FaultModel::ExtraInverter,
+    ];
+
+    /// The canonical CLI spelling of the model.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultModel::GateChange => "gate-change",
+            FaultModel::StuckAt => "stuck-at",
+            FaultModel::InputSwap => "input-swap",
+            FaultModel::ExtraInverter => "extra-inverter",
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive; `_` and `-` are
+    /// interchangeable).
+    pub fn parse(text: &str) -> Option<FaultModel> {
+        let t = text.to_ascii_lowercase().replace('_', "-");
+        FaultModel::ALL.into_iter().find(|m| m.name() == t)
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What exactly an injected fault changed (model-specific detail).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// Gate function substituted ([`FaultModel::GateChange`]).
+    GateChange {
+        /// The gate's correct function.
+        original: GateKind,
+        /// The injected (faulty) function.
+        replacement: GateKind,
+    },
+    /// Output tied to a constant ([`FaultModel::StuckAt`]).
+    StuckAt {
+        /// The tied value.
+        value: bool,
+    },
+    /// Fan-in reconnected to a different driver ([`FaultModel::InputSwap`]).
+    InputSwap {
+        /// Which fan-in position was rewired.
+        position: usize,
+        /// The correct driver.
+        old_driver: GateId,
+        /// The wrong driver it was reconnected to.
+        new_driver: GateId,
+    },
+    /// Inverter inserted on a fan-in connection
+    /// ([`FaultModel::ExtraInverter`]).
+    ExtraInverter {
+        /// Which fan-in position gained the inverter.
+        position: usize,
+        /// The id of the inserted `NOT` gate in the faulty circuit.
+        inverter: GateId,
+    },
+}
+
+/// One injected fault: the error site plus the model-specific detail.
+///
+/// `gate` is the gate whose function is wrong in the faulty circuit —
+/// the reference "error site" quality metrics measure distances to.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fault {
+    /// The error site.
+    pub gate: GateId,
+    /// What changed at the site.
+    pub kind: FaultKind,
+}
+
+/// Injects `count` faults of the given model into distinct gates,
+/// deterministically from `seed`.
+///
+/// Like [`inject_errors`], detectability is not guaranteed; callers that
+/// need failing tests should generate them with an observability check.
+/// The same `(model, count, seed)` triple always produces the same faulty
+/// circuit; for [`FaultModel::GateChange`] the result is bit-identical to
+/// [`inject_errors`] with the same `count` and `seed`.
+///
+/// # Panics
+///
+/// Panics if the circuit has fewer than `count` gates eligible for the
+/// model (see [`try_inject_faults`] for a non-panicking variant).
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_netlist::{c17, inject_faults, FaultModel};
+/// let golden = c17();
+/// for model in FaultModel::ALL {
+///     let (faulty, faults) = inject_faults(&golden, model, 1, 5);
+///     assert_eq!(faults.len(), 1);
+///     assert_eq!(faulty.inputs().len(), golden.inputs().len());
+///     assert_eq!(faulty.outputs().len(), golden.outputs().len());
+/// }
+/// ```
+pub fn inject_faults(
+    circuit: &Circuit,
+    model: FaultModel,
+    count: usize,
+    seed: u64,
+) -> (Circuit, Vec<Fault>) {
+    try_inject_faults(circuit, model, count, seed)
+        .unwrap_or_else(|| panic!("cannot inject {count} {model} faults: too few eligible gates"))
+}
+
+/// [`inject_faults`], returning `None` instead of panicking when the
+/// circuit has fewer than `count` eligible sites for the model.
+pub fn try_inject_faults(
+    circuit: &Circuit,
+    model: FaultModel,
+    count: usize,
+    seed: u64,
+) -> Option<(Circuit, Vec<Fault>)> {
+    match model {
+        FaultModel::GateChange => {
+            if functional_gates(circuit).len() < count {
+                return None;
+            }
+            let (faulty, sites) = inject_errors(circuit, count, seed);
+            let faults = sites
+                .into_iter()
+                .map(|s| Fault {
+                    gate: s.gate,
+                    kind: FaultKind::GateChange {
+                        original: s.original,
+                        replacement: s.replacement,
+                    },
+                })
+                .collect();
+            Some((faulty, faults))
+        }
+        FaultModel::StuckAt => inject_stuck_ats(circuit, count, seed),
+        FaultModel::InputSwap => inject_input_swaps(circuit, count, seed),
+        FaultModel::ExtraInverter => inject_extra_inverters(circuit, count, seed),
+    }
+}
+
+/// Non-source gates, the site pool shared by all models.
+fn functional_gates(circuit: &Circuit) -> Vec<GateId> {
+    circuit
+        .iter()
+        .filter(|(_, g)| !g.kind().is_source())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn inject_stuck_ats(circuit: &Circuit, count: usize, seed: u64) -> Option<(Circuit, Vec<Fault>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5bd1_e995_7b79_f2a1);
+    let candidates = functional_gates(circuit);
+    if candidates.len() < count {
+        return None;
+    }
+    let chosen: Vec<GateId> = candidates
+        .choose_multiple(&mut rng, count)
+        .copied()
+        .collect();
+    let ties: Vec<(GateId, bool)> = chosen.iter().map(|&g| (g, rng.gen_bool(0.5))).collect();
+    let faulty = tie_gates(circuit, &ties);
+    let faults = ties
+        .into_iter()
+        .map(|(gate, value)| Fault {
+            gate,
+            kind: FaultKind::StuckAt { value },
+        })
+        .collect();
+    Some((faulty, faults))
+}
+
+fn inject_input_swaps(circuit: &Circuit, count: usize, seed: u64) -> Option<(Circuit, Vec<Fault>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x27d4_eb2f_1656_67c5);
+    // Random order over the whole pool, then take the first `count` gates
+    // that admit a legal rewiring — a gate with no legal wrong driver
+    // (e.g. everything else is in its fan-out cone) is skipped.
+    let pool = functional_gates(circuit);
+    let visit: Vec<GateId> = pool
+        .choose_multiple(&mut rng, pool.len())
+        .copied()
+        .collect();
+    // Effective fan-in lists, updated as rewires are committed: each
+    // fault's acyclicity check must run against the *partially rewired*
+    // graph, not the original — two individually legal rewires can
+    // otherwise jointly close a cycle (A rewired to B, then B to A).
+    let mut current: Vec<Vec<GateId>> = (0..circuit.len())
+        .map(|i| circuit.gate(GateId::new(i)).fanins().to_vec())
+        .collect();
+    // Gates reachable from `gate` along fan-out edges of the current
+    // graph (including `gate` itself) — the forbidden wrong-driver set.
+    let reaches = |current: &[Vec<GateId>], gate: GateId| -> Vec<bool> {
+        let mut fanouts: Vec<Vec<GateId>> = vec![Vec::new(); current.len()];
+        for (i, fanins) in current.iter().enumerate() {
+            for &f in fanins {
+                fanouts[f.index()].push(GateId::new(i));
+            }
+        }
+        let mut seen = vec![false; current.len()];
+        let mut stack = vec![gate];
+        seen[gate.index()] = true;
+        while let Some(id) = stack.pop() {
+            for &succ in &fanouts[id.index()] {
+                if !seen[succ.index()] {
+                    seen[succ.index()] = true;
+                    stack.push(succ);
+                }
+            }
+        }
+        seen
+    };
+    let mut faults: Vec<Fault> = Vec::with_capacity(count);
+    for &gate in &visit {
+        if faults.len() == count {
+            break;
+        }
+        let fanins = current[gate.index()].clone();
+        if fanins.is_empty() {
+            continue;
+        }
+        let position = rng.gen_range(0..fanins.len());
+        // A legal wrong driver keeps the DAG acyclic (it must not be
+        // reachable from the gate in the current graph, which also
+        // excludes the gate itself) and actually changes the connection
+        // (not already a fan-in).
+        let cone = reaches(&current, gate);
+        let legal: Vec<GateId> = (0..circuit.len())
+            .map(GateId::new)
+            .filter(|&d| !cone[d.index()] && !fanins.contains(&d))
+            .collect();
+        let Some(&new_driver) = legal.choose(&mut rng) else {
+            continue;
+        };
+        faults.push(Fault {
+            gate,
+            kind: FaultKind::InputSwap {
+                position,
+                old_driver: fanins[position],
+                new_driver,
+            },
+        });
+        current[gate.index()][position] = new_driver;
+    }
+    if faults.len() < count {
+        return None;
+    }
+    // Rebuild with the rewired fan-ins; ids, names, outputs and latches
+    // are preserved.
+    let mut b = CircuitBuilder::new();
+    b.name(circuit.name());
+    for (id, g) in circuit.iter() {
+        let name = circuit
+            .gate_name(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("n{}", id.index()));
+        if g.kind() == GateKind::Input {
+            b.input(name);
+        } else {
+            b.gate(g.kind(), current[id.index()].clone(), name);
+        }
+    }
+    for &o in circuit.outputs() {
+        b.output(o);
+    }
+    for l in circuit.latches() {
+        b.latch(l.q, l.d);
+    }
+    let faulty = b
+        .finish()
+        .expect("rewiring outside the fan-out cone keeps the DAG acyclic");
+    Some((faulty, faults))
+}
+
+fn inject_extra_inverters(
+    circuit: &Circuit,
+    count: usize,
+    seed: u64,
+) -> Option<(Circuit, Vec<Fault>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x1f83_d9ab_fb41_bd6b);
+    let candidates: Vec<GateId> = functional_gates(circuit)
+        .into_iter()
+        .filter(|&g| !circuit.gate(g).fanins().is_empty())
+        .collect();
+    if candidates.len() < count {
+        return None;
+    }
+    let chosen: Vec<GateId> = candidates
+        .choose_multiple(&mut rng, count)
+        .copied()
+        .collect();
+    let picks: Vec<(GateId, usize)> = chosen
+        .iter()
+        .map(|&g| (g, rng.gen_range(0..circuit.gate(g).fanins().len())))
+        .collect();
+    // Rebuild all original gates first (their ids are preserved), then
+    // append one NOT per fault and rewire the chosen fan-in to it.
+    let mut b = CircuitBuilder::new();
+    b.name(circuit.name());
+    for (id, g) in circuit.iter() {
+        let name = circuit
+            .gate_name(id)
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("n{}", id.index()));
+        if g.kind() == GateKind::Input {
+            b.input(name);
+        } else {
+            b.gate(g.kind(), g.fanins().to_vec(), name);
+        }
+    }
+    let mut faults = Vec::with_capacity(count);
+    for (i, &(gate, position)) in picks.iter().enumerate() {
+        let old_driver = circuit.gate(gate).fanins()[position];
+        let mut name = format!("_fault_inv{i}");
+        while b.find(&name).is_some() {
+            name.push('_');
+        }
+        let inverter = b.gate(GateKind::Not, vec![old_driver], name);
+        let mut fanins = circuit.gate(gate).fanins().to_vec();
+        fanins[position] = inverter;
+        b.set_fanins(gate, fanins);
+        faults.push(Fault {
+            gate,
+            kind: FaultKind::ExtraInverter { position, inverter },
+        });
+    }
+    for &o in circuit.outputs() {
+        b.output(o);
+    }
+    for l in circuit.latches() {
+        b.latch(l.q, l.d);
+    }
+    let faulty = b
+        .finish()
+        .expect("inserting an inverter on an edge keeps the DAG acyclic");
+    Some((faulty, faults))
 }
 
 #[cfg(test)]
@@ -224,5 +607,164 @@ mod tests {
     fn stuck_at_rejects_inputs() {
         let golden = c17();
         let _ = inject_stuck_at(&golden, golden.inputs()[0], true);
+    }
+
+    #[test]
+    fn fault_model_parsing_round_trips() {
+        for model in FaultModel::ALL {
+            assert_eq!(FaultModel::parse(model.name()), Some(model));
+            assert_eq!(FaultModel::parse(&model.name().to_uppercase()), Some(model));
+        }
+        assert_eq!(FaultModel::parse("stuck_at"), Some(FaultModel::StuckAt));
+        assert_eq!(FaultModel::parse("bogus"), None);
+    }
+
+    #[test]
+    fn all_models_inject_deterministically() {
+        let golden = ripple_carry_adder(4);
+        for model in FaultModel::ALL {
+            for count in 1..=3usize {
+                let (f1, s1) = inject_faults(&golden, model, count, 17);
+                let (f2, s2) = inject_faults(&golden, model, count, 17);
+                assert_eq!(s1, s2, "{model} x{count} not deterministic");
+                assert_eq!(f1, f2, "{model} x{count} circuit not deterministic");
+                assert_eq!(s1.len(), count);
+                let distinct: std::collections::HashSet<_> = s1.iter().map(|s| s.gate).collect();
+                assert_eq!(distinct.len(), count, "{model}: sites must be distinct");
+                // I/O shape is preserved by every model.
+                assert_eq!(f1.inputs(), golden.inputs());
+                assert_eq!(f1.outputs(), golden.outputs());
+            }
+        }
+    }
+
+    #[test]
+    fn gate_change_model_matches_inject_errors() {
+        let golden = c17();
+        let (f1, s1) = inject_errors(&golden, 2, 3);
+        let (f2, s2) = inject_faults(&golden, FaultModel::GateChange, 2, 3);
+        assert_eq!(f1, f2);
+        for (a, b) in s1.iter().zip(&s2) {
+            assert_eq!(a.gate, b.gate);
+            assert_eq!(
+                b.kind,
+                FaultKind::GateChange {
+                    original: a.original,
+                    replacement: a.replacement
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn stuck_at_model_ties_sites() {
+        let golden = ripple_carry_adder(4);
+        let (faulty, faults) = inject_faults(&golden, FaultModel::StuckAt, 3, 7);
+        for f in &faults {
+            let FaultKind::StuckAt { value } = f.kind else {
+                panic!("wrong kind");
+            };
+            let kind = faulty.gate(f.gate).kind();
+            assert_eq!(
+                kind,
+                if value {
+                    GateKind::Const1
+                } else {
+                    GateKind::Const0
+                }
+            );
+            assert!(faulty.gate(f.gate).fanins().is_empty());
+        }
+        assert_eq!(faulty.len(), golden.len());
+    }
+
+    #[test]
+    fn input_swap_model_rewires_one_connection() {
+        let golden = ripple_carry_adder(4);
+        let (faulty, faults) = inject_faults(&golden, FaultModel::InputSwap, 2, 5);
+        assert_eq!(faulty.len(), golden.len());
+        for f in &faults {
+            let FaultKind::InputSwap {
+                position,
+                old_driver,
+                new_driver,
+            } = f.kind
+            else {
+                panic!("wrong kind");
+            };
+            assert_ne!(old_driver, new_driver);
+            assert_eq!(golden.gate(f.gate).fanins()[position], old_driver);
+            assert_eq!(faulty.gate(f.gate).fanins()[position], new_driver);
+            assert_eq!(faulty.gate(f.gate).kind(), golden.gate(f.gate).kind());
+            // The wrong driver must not have created a cycle: the faulty
+            // circuit built successfully, but also check reachability.
+            assert!(!crate::analysis::fanout_cone(&golden, &[f.gate]).contains(new_driver));
+        }
+    }
+
+    #[test]
+    fn extra_inverter_model_inserts_nots() {
+        let golden = c17();
+        let (faulty, faults) = inject_faults(&golden, FaultModel::ExtraInverter, 2, 9);
+        assert_eq!(faulty.len(), golden.len() + 2);
+        for f in &faults {
+            let FaultKind::ExtraInverter { position, inverter } = f.kind else {
+                panic!("wrong kind");
+            };
+            assert_eq!(faulty.gate(inverter).kind(), GateKind::Not);
+            assert_eq!(faulty.gate(f.gate).fanins()[position], inverter);
+            assert_eq!(
+                faulty.gate(inverter).fanins(),
+                &[golden.gate(f.gate).fanins()[position]]
+            );
+            // Original gate ids are preserved.
+            assert_eq!(faulty.gate(f.gate).kind(), golden.gate(f.gate).kind());
+        }
+    }
+
+    #[test]
+    fn input_swaps_never_jointly_close_a_cycle() {
+        // Regression: with the cone computed against the *original*
+        // circuit, two individually legal rewires could jointly create a
+        // cycle (seed 10 / count 3 on rca4 used to panic in finish()).
+        let golden = ripple_carry_adder(4);
+        for seed in 0..64u64 {
+            for count in 1..=3usize {
+                if let Some((faulty, faults)) =
+                    try_inject_faults(&golden, FaultModel::InputSwap, count, seed)
+                {
+                    assert_eq!(faults.len(), count);
+                    // finish() validated acyclicity; also check the
+                    // recorded rewires match the faulty circuit.
+                    for f in &faults {
+                        let FaultKind::InputSwap {
+                            position,
+                            new_driver,
+                            ..
+                        } = f.kind
+                        else {
+                            panic!("wrong kind");
+                        };
+                        assert_eq!(faulty.gate(f.gate).fanins()[position], new_driver);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_inject_reports_exhaustion() {
+        let golden = c17();
+        assert!(try_inject_faults(&golden, FaultModel::GateChange, 7, 0).is_none());
+        assert!(try_inject_faults(&golden, FaultModel::StuckAt, 7, 0).is_none());
+        assert!(try_inject_faults(&golden, FaultModel::ExtraInverter, 7, 0).is_none());
+        assert!(try_inject_faults(&golden, FaultModel::GateChange, 1, 0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "too few eligible gates")]
+    fn inject_faults_panics_when_exhausted() {
+        let golden = c17();
+        let _ = inject_faults(&golden, FaultModel::StuckAt, 7, 0);
     }
 }

@@ -40,7 +40,11 @@
 //!   [`s38417_like`], and canned textbook circuits such as [`c17`] and
 //!   [`ripple_carry_adder`]);
 //! * gate-change [error injection](inject_errors) matching the paper's
-//!   experimental error model.
+//!   experimental error model, generalised by [`inject_faults`] into the
+//!   wider [`FaultModel`] family (stuck-at, wrong input connection, extra
+//!   inverter) used by experiment campaigns;
+//! * bulk ISCAS89 ingestion with [`parse_bench_dir`] for directories of
+//!   real `.bench` files.
 //!
 //! # Examples
 //!
@@ -71,7 +75,7 @@ mod unroll;
 pub use analysis::{
     fanin_cone, fanout_cone, ffr_roots, output_idoms, undirected_distances, GateSet,
 };
-pub use bench_format::{parse_bench, parse_bench_named, write_bench};
+pub use bench_format::{parse_bench, parse_bench_dir, parse_bench_named, write_bench};
 pub use circuit::{Circuit, CircuitBuilder, Latch, NetlistError};
 pub use export::{extract_cone, to_dot};
 pub use gate::{Gate, GateId, GateKind};
@@ -79,5 +83,8 @@ pub use generate::{
     c17, equality_comparator, mux_tree, parity_tree, ripple_carry_adder, s1423_like, s38417_like,
     s6669_like, RandomCircuitSpec, VectorGen,
 };
-pub use inject::{inject_errors, inject_stuck_at, ErrorSite};
+pub use inject::{
+    inject_errors, inject_faults, inject_stuck_at, try_inject_faults, ErrorSite, Fault, FaultKind,
+    FaultModel,
+};
 pub use unroll::{unroll, Unrolling};

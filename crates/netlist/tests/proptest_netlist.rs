@@ -47,17 +47,46 @@ proptest! {
         let c = spec.generate();
         let text = write_bench(&c);
         let back = parse_bench(&text).expect("own output parses");
+        prop_assert_eq!(back.len(), c.len());
         prop_assert_eq!(back.num_functional_gates(), c.num_functional_gates());
         prop_assert_eq!(back.inputs().len(), c.inputs().len());
         prop_assert_eq!(back.outputs().len(), c.outputs().len());
         prop_assert_eq!(back.latches().len(), c.latches().len());
-        for (id, gate) in c.iter() {
+        // Full structural equality modulo gate renumbering: the name map
+        // is a graph isomorphism preserving kinds, every fan-in edge, and
+        // the output / latch designations.
+        let mapped = |id| {
             let name = c.gate_name(id).expect("generated gates are named");
-            let bid = back.find(name).expect("name preserved");
+            back.find(name).expect("name preserved")
+        };
+        for (id, gate) in c.iter() {
+            let bid = mapped(id);
             // DFF q nodes stay inputs; everything else keeps its kind.
             prop_assert_eq!(back.gate(bid).kind(), gate.kind());
-            prop_assert_eq!(back.gate(bid).arity(), gate.arity());
+            let fanins: Vec<_> = gate.fanins().iter().map(|&f| mapped(f)).collect();
+            prop_assert_eq!(back.gate(bid).fanins(), &fanins[..]);
         }
+        // Latch pseudo-outputs are re-emitted after explicit outputs, so
+        // compare the output sets order-insensitively.
+        let mut outputs: Vec<_> = c.outputs().iter().map(|&o| mapped(o)).collect();
+        outputs.sort();
+        let mut back_outputs = back.outputs().to_vec();
+        back_outputs.sort();
+        prop_assert_eq!(back_outputs, outputs);
+        for (l, bl) in c.latches().iter().zip(back.latches()) {
+            prop_assert_eq!(bl.q, mapped(l.q));
+            prop_assert_eq!(bl.d, mapped(l.d));
+        }
+    }
+
+    /// Writing is a fixpoint after one round-trip: parse(write(c)) prints
+    /// back to exactly the same text.
+    #[test]
+    fn bench_write_is_a_fixpoint(spec in spec_strategy()) {
+        let c = spec.generate();
+        let text = write_bench(&c);
+        let back = parse_bench(&text).expect("own output parses");
+        prop_assert_eq!(write_bench(&back), text);
     }
 
     /// Cones: the fan-in cone of the outputs and the fan-out cone of the

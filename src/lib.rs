@@ -13,7 +13,10 @@
 //!   constraints;
 //! * [`core`] — the diagnosis engines: BSIM (path tracing), COV (set
 //!   covering), BSAT (SAT-based), advanced variants and hybrids, validity
-//!   oracles and quality metrics.
+//!   oracles and quality metrics;
+//! * [`campaign`] — fault-model-diverse experiment campaigns: a
+//!   circuits × fault models × error counts × seeds × engines matrix run
+//!   in parallel with deterministic JSON/CSV reports.
 //!
 //! The most common entry points are re-exported at the crate root.
 //!
@@ -37,21 +40,23 @@
 
 #![warn(missing_docs)]
 
+pub use gatediag_campaign as campaign;
 pub use gatediag_cnf as cnf;
 pub use gatediag_core as core;
 pub use gatediag_netlist as netlist;
 pub use gatediag_sat as sat;
 pub use gatediag_sim as sim;
 
+pub use gatediag_campaign::{run_campaign, CampaignReport, CampaignSpec};
 #[allow(deprecated)]
 pub use gatediag_core::is_valid_correction_sim;
 pub use gatediag_core::{
     basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality, cover_all,
     generate_failing_tests, hybrid_seeded_bsat, is_valid_correction, is_valid_correction_sat,
     is_valid_correction_sat_par, partitioned_sat_diagnose, path_trace, path_trace_packed,
-    repair_correction, sc_diagnose, sim_backtrack_diagnose, solution_quality,
+    repair_correction, run_engine, sc_diagnose, sim_backtrack_diagnose, solution_quality,
     two_pass_sat_diagnose, BsatOptions, BsatResult, BsimOptions, BsimResult, CovEngine, CovOptions,
-    CovResult, MarkPolicy, MuxEncoding, SimBacktrackOptions, SiteSelection, Test, TestSet,
-    ValidityOracle,
+    CovResult, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding, SimBacktrackOptions,
+    SiteSelection, Test, TestSet, ValidityOracle,
 };
-pub use gatediag_sim::PackedSim;
+pub use gatediag_sim::{PackedSim, Parallelism};

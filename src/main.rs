@@ -1,15 +1,22 @@
-//! `gatediag` command-line tool: inject, diagnose and visualise.
+//! `gatediag` command-line tool: inject, diagnose, run campaigns and
+//! visualise.
 //!
 //! ```text
 //! gatediag diagnose --bench circuit.bench --inject 2 --engine bsat --tests 16
-//! gatediag diagnose --demo --engine cov --k 2 --dot out.dot
+//! gatediag diagnose --demo --fault-model stuck-at --engine cov --k 2
+//! gatediag campaign --demo
+//! gatediag campaign --bench-dir iscas89/ --engines bsim,bsat --seeds 1,2,3
 //! gatediag equiv --bench a.bench --against b.bench
 //! ```
 
-use gatediag::netlist::{c17, inject_errors, parse_bench_named, to_dot, Circuit, GateId};
+use gatediag::netlist::{
+    c17, inject_faults, parse_bench_dir, parse_bench_named, to_dot, Circuit, FaultKind, FaultModel,
+    GateId,
+};
 use gatediag::{
     basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, hybrid_seeded_bsat,
-    sc_diagnose, solution_quality, BsatOptions, BsimOptions, CovOptions,
+    run_campaign, sc_diagnose, solution_quality, BsatOptions, BsimOptions, CampaignSpec,
+    CovOptions, EngineKind, Parallelism,
 };
 use std::process::ExitCode;
 
@@ -18,24 +25,45 @@ gatediag — gate-level design-error diagnosis
 
 USAGE:
   gatediag diagnose [--bench FILE | --demo] [OPTIONS]
+  gatediag campaign [--bench-dir DIR | --demo] [OPTIONS]
   gatediag equiv --bench FILE --against FILE
 
 DIAGNOSE OPTIONS:
   --bench FILE      ISCAS89 .bench netlist to use as the golden design
   --demo            use the built-in c17 benchmark instead
-  --inject P        number of gate-change errors to inject (default 1)
+  --inject P        number of errors to inject (default 1)
+  --fault-model F   gate-change | stuck-at | input-swap | extra-inverter
+                    (default gate-change, the paper's model)
   --seed N          RNG seed for injection/tests (default 1)
-  --engine E        bsim | cov | bsat | hybrid (default bsat)
+  --engine E        bsim | cov | bsat | hybrid | auto (default bsat)
   --k K             correction size bound (default = number of errors)
   --tests M         failing tests to collect (default 8)
   --max-solutions N enumeration cap (default 10000)
   --dot FILE        write a Graphviz dump with candidates highlighted
+
+CAMPAIGN OPTIONS:
+  --bench-dir DIR   run on every .bench file in DIR (falls back to the
+                    built-in synthetic set when DIR has no .bench files)
+  --demo            use the built-in synthetic circuit set
+  --fault-models L  comma list of fault models (default all four)
+  --engines L       comma list of engines (default bsim,cov,bsat)
+  --errors L        comma list of injected error counts p (default 1,2)
+  --seeds L         comma list of injection seeds (default 1,2)
+  --tests M         failing tests per instance (default 8)
+  --k K             correction bound (default = p per instance)
+  --max-solutions N per-instance enumeration cap (default 10000)
+  --conflict-budget N  per-instance SAT conflict budget (default 5000000)
+  --workers N       worker pool size (default auto / GATEDIAG_WORKERS)
+  --json FILE       JSON report path (default target/campaign/campaign.json)
+  --csv FILE        CSV report path (default target/campaign/campaign.csv)
+  --timing          include nondeterministic wall-clock columns
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("diagnose") => diagnose(&args[1..]),
+        Some("campaign") => campaign(&args[1..]),
         Some("equiv") => equiv(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
@@ -53,6 +81,7 @@ struct Options {
     against: Option<String>,
     demo: bool,
     inject: usize,
+    fault_model: FaultModel,
     seed: u64,
     engine: String,
     k: Option<usize>,
@@ -67,6 +96,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         against: None,
         demo: false,
         inject: 1,
+        fault_model: FaultModel::GateChange,
         seed: 1,
         engine: "bsat".into(),
         k: None,
@@ -90,6 +120,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.inject = value(args, &mut i, "--inject")?
                     .parse()
                     .map_err(|_| "--inject expects an integer".to_string())?
+            }
+            "--fault-model" => {
+                let text = value(args, &mut i, "--fault-model")?;
+                o.fault_model = FaultModel::parse(&text).ok_or_else(|| {
+                    format!(
+                        "unknown fault model `{text}` \
+                         (gate-change|stuck-at|input-swap|extra-inverter)"
+                    )
+                })?
             }
             "--seed" => {
                 o.seed = value(args, &mut i, "--seed")?
@@ -159,14 +198,31 @@ fn diagnose(args: &[String]) -> ExitCode {
         golden.inputs().len(),
         golden.outputs().len()
     );
-    let (faulty, sites) = inject_errors(&golden, o.inject, o.seed);
-    for s in &sites {
-        println!(
-            "injected: {} changed {} -> {}",
-            name_of(&faulty, s.gate),
-            s.original,
-            s.replacement
-        );
+    let (faulty, faults) = inject_faults(&golden, o.fault_model, o.inject, o.seed);
+    for f in &faults {
+        let site = name_of(&faulty, f.gate);
+        match f.kind {
+            FaultKind::GateChange {
+                original,
+                replacement,
+            } => println!("injected: {site} changed {original} -> {replacement}"),
+            FaultKind::StuckAt { value } => {
+                println!("injected: {site} stuck-at-{}", u8::from(value))
+            }
+            FaultKind::InputSwap {
+                position,
+                old_driver,
+                new_driver,
+            } => println!(
+                "injected: {site} fan-in {position} rewired {} -> {}",
+                name_of(&faulty, old_driver),
+                name_of(&faulty, new_driver)
+            ),
+            FaultKind::ExtraInverter { position, inverter } => println!(
+                "injected: {site} fan-in {position} inverted (new gate {})",
+                name_of(&faulty, inverter)
+            ),
+        }
     }
     let tests = generate_failing_tests(&golden, &faulty, o.tests, o.seed, 1 << 17);
     if tests.is_empty() {
@@ -175,7 +231,7 @@ fn diagnose(args: &[String]) -> ExitCode {
     }
     println!("collected {} failing tests", tests.len());
     let k = o.k.unwrap_or(o.inject);
-    let errors: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+    let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
 
     let candidates: Vec<GateId> = match o.engine.as_str() {
         "bsim" => {
@@ -221,8 +277,23 @@ fn diagnose(args: &[String]) -> ExitCode {
             );
             result.solutions.iter().flatten().copied().collect()
         }
+        "auto" => {
+            let run = gatediag::run_engine(
+                EngineKind::Auto,
+                &faulty,
+                &tests,
+                &gatediag::EngineConfig {
+                    k,
+                    max_solutions: o.max_solutions,
+                    ..gatediag::EngineConfig::default()
+                },
+            );
+            println!("auto engine: COV covers screened by the auto-dispatching validity oracle");
+            print_solutions(&faulty, &run.solutions, run.complete, &errors);
+            run.candidates
+        }
         other => {
-            eprintln!("unknown engine `{other}` (bsim|cov|bsat|hybrid)");
+            eprintln!("unknown engine `{other}` (bsim|cov|bsat|hybrid|auto)");
             return ExitCode::FAILURE;
         }
     };
@@ -272,6 +343,197 @@ fn print_solutions(
             q.min, q.avg, q.max
         );
     }
+}
+
+/// Parses a comma-separated list through `parse`, with a labelled error.
+fn parse_list<T>(
+    text: &str,
+    what: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Vec<T>, String> {
+    let mut out = Vec::new();
+    for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        out.push(parse(item).ok_or_else(|| format!("bad {what} `{item}`"))?);
+    }
+    if out.is_empty() {
+        return Err(format!("empty {what} list"));
+    }
+    Ok(out)
+}
+
+fn campaign(args: &[String]) -> ExitCode {
+    match campaign_inner(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn campaign_inner(args: &[String]) -> Result<(), String> {
+    let mut demo = false;
+    let mut bench_dir: Option<String> = None;
+    let mut fault_models: Option<Vec<FaultModel>> = None;
+    let mut engines: Option<Vec<EngineKind>> = None;
+    let mut errors: Option<Vec<usize>> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut tests: Option<usize> = None;
+    let mut k: Option<usize> = None;
+    let mut max_solutions: Option<usize> = None;
+    let mut conflict_budget: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+    let mut json_path = "target/campaign/campaign.json".to_string();
+    let mut csv_path = "target/campaign/campaign.csv".to_string();
+    let mut timing = false;
+
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+    let int = |args: &[String], i: &mut usize, flag: &str| -> Result<u64, String> {
+        value(args, i, flag)?
+            .parse()
+            .map_err(|_| format!("{flag} expects an integer"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--demo" => demo = true,
+            "--bench-dir" => bench_dir = Some(value(args, &mut i, "--bench-dir")?),
+            "--fault-models" => {
+                fault_models = Some(parse_list(
+                    &value(args, &mut i, "--fault-models")?,
+                    "fault model",
+                    FaultModel::parse,
+                )?)
+            }
+            "--engines" => {
+                engines = Some(parse_list(
+                    &value(args, &mut i, "--engines")?,
+                    "engine",
+                    EngineKind::parse,
+                )?)
+            }
+            "--errors" => {
+                errors = Some(parse_list(
+                    &value(args, &mut i, "--errors")?,
+                    "error count",
+                    |s| s.parse().ok().filter(|&p: &usize| p > 0),
+                )?)
+            }
+            "--seeds" => {
+                seeds = Some(parse_list(&value(args, &mut i, "--seeds")?, "seed", |s| {
+                    s.parse().ok()
+                })?)
+            }
+            "--tests" => tests = Some(int(args, &mut i, "--tests")? as usize),
+            "--k" => k = Some(int(args, &mut i, "--k")? as usize),
+            "--max-solutions" => {
+                max_solutions = Some(int(args, &mut i, "--max-solutions")? as usize)
+            }
+            "--conflict-budget" => conflict_budget = Some(int(args, &mut i, "--conflict-budget")?),
+            "--workers" => workers = Some(int(args, &mut i, "--workers")? as usize),
+            "--json" => json_path = value(args, &mut i, "--json")?,
+            "--csv" => csv_path = value(args, &mut i, "--csv")?,
+            "--timing" => timing = true,
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let circuits = match &bench_dir {
+        Some(dir) => {
+            let loaded = parse_bench_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            if loaded.is_empty() {
+                eprintln!("no .bench files in {dir}; using the built-in synthetic set");
+                CampaignSpec::demo_circuits()
+            } else {
+                println!(
+                    "loaded {} circuit(s) from {dir}: {}",
+                    loaded.len(),
+                    loaded
+                        .iter()
+                        .map(|(n, c)| format!("{n} ({} gates)", c.num_functional_gates()))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                loaded
+            }
+        }
+        None if demo => CampaignSpec::demo_circuits(),
+        None => return Err("campaign requires --demo or --bench-dir DIR".to_string()),
+    };
+
+    let mut spec = CampaignSpec::new(circuits);
+    if let Some(models) = fault_models {
+        spec.fault_models = models;
+    }
+    if let Some(engines) = engines {
+        spec.engines = engines;
+    }
+    if let Some(errors) = errors {
+        spec.error_counts = errors;
+    }
+    if let Some(seeds) = seeds {
+        spec.seeds = seeds;
+    }
+    if let Some(tests) = tests {
+        spec.tests = tests;
+    }
+    spec.k = k;
+    if let Some(cap) = max_solutions {
+        spec.max_solutions = cap;
+    }
+    if let Some(budget) = conflict_budget {
+        spec.conflict_budget = Some(budget);
+    }
+    if let Some(workers) = workers {
+        spec.parallelism = Parallelism::Fixed(workers);
+    }
+
+    let instances = spec.instances().len();
+    println!(
+        "campaign: {} circuit(s) x {} fault model(s) x {} error count(s) x {} seed(s) x \
+         {} engine(s) = {} instances",
+        spec.circuits.len(),
+        spec.fault_models.len(),
+        spec.error_counts.len(),
+        spec.seeds.len(),
+        spec.engines.len(),
+        instances
+    );
+    let report = run_campaign(&spec);
+    println!();
+    print!("{}", report.summary_table());
+    let skipped = report
+        .records
+        .iter()
+        .filter(|r| r.status != gatediag::campaign::InstanceStatus::Ok)
+        .count();
+    if skipped > 0 {
+        println!(
+            "{skipped}/{instances} instance(s) skipped (not injectable or no failing tests); \
+             see the per-instance report"
+        );
+    }
+
+    for (path, content) in [
+        (&json_path, report.to_json(timing)),
+        (&csv_path, report.to_csv(timing)),
+    ] {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+            }
+        }
+        std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn equiv(args: &[String]) -> ExitCode {

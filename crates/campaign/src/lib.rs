@@ -55,10 +55,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod reader;
 mod report;
 mod runner;
 mod spec;
 
+pub use reader::{parse_report, ReadError, CAMPAIGN_SCHEMA};
 pub use report::{CampaignReport, InstanceRecord, InstanceStatus};
-pub use runner::run_campaign;
+pub use runner::{resume_campaign, run_campaign};
 pub use spec::{CampaignSpec, InstanceSpec};

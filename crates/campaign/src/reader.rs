@@ -1,0 +1,635 @@
+//! Reader for the `gatediag-campaign-v1` report schema.
+//!
+//! The campaign JSON emitter was write-only until the resume feature
+//! needed to load a previous run back in. The build is offline (no serde),
+//! so this module carries a small self-contained JSON parser — full JSON
+//! syntax, numbers kept as raw text so `u64` seeds survive without a
+//! round-trip through `f64` — plus the schema mapping onto
+//! [`CampaignReport`].
+//!
+//! # Compatibility
+//!
+//! * the matrix field `"k"` is `null` for "k = p per instance" in current
+//!   reports; the **legacy string `"p"`** (the type-unstable spelling
+//!   older emitters used) is still accepted;
+//! * `"work_budget"` / `"deadline_ms"` may be absent (reports written
+//!   before the budget subsystem) and default to unlimited;
+//! * per-instance `"wall_ms"` is optional (present only with `--timing`)
+//!   and defaults to `0.0` — timing is excluded from resume comparisons
+//!   anyway.
+//!
+//! Round-trip invariant, pinned by tests: for any report `r`,
+//! `parse_report(&r.to_json(false)).to_json(false)` is byte-identical to
+//! `r.to_json(false)`.
+
+use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
+use gatediag_core::EngineKind;
+use gatediag_netlist::FaultModel;
+
+/// Why a report failed to parse.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReadError {
+    /// Human-readable description, with a byte offset where applicable.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ReadError> {
+    Err(ReadError {
+        message: message.into(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// A minimal JSON value tree.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw text so integer widths
+/// beyond `f64`'s 53-bit mantissa (e.g. `u64` seeds) are preserved.
+#[derive(Clone, PartialEq, Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn expect<'a>(&'a self, key: &str, context: &str) -> Result<&'a Json, ReadError> {
+        self.get(key)
+            .map_or_else(|| err(format!("{context}: missing field \"{key}\"")), Ok)
+    }
+
+    fn as_str(&self, context: &str) -> Result<&str, ReadError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(format!(
+                "{context}: expected string, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_bool(&self, context: &str) -> Result<bool, ReadError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => err(format!(
+                "{context}: expected bool, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_arr(&self, context: &str) -> Result<&[Json], ReadError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => err(format!(
+                "{context}: expected array, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_u64(&self, context: &str) -> Result<u64, ReadError> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|_| ReadError {
+                message: format!("{context}: `{raw}` is not a u64"),
+            }),
+            other => err(format!(
+                "{context}: expected number, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_usize(&self, context: &str) -> Result<usize, ReadError> {
+        usize::try_from(self.as_u64(context)?).map_err(|_| ReadError {
+            message: format!("{context}: value does not fit usize"),
+        })
+    }
+
+    fn as_f64(&self, context: &str) -> Result<f64, ReadError> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|_| ReadError {
+                message: format!("{context}: `{raw}` is not a number"),
+            }),
+            // `json_f64` writes non-finite values as null.
+            Json::Null => Ok(f64::NAN),
+            other => err(format!(
+                "{context}: expected number, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    /// `null` → `None`, number → `Some` — the optional-limit convention.
+    fn as_opt_u64(&self, context: &str) -> Result<Option<u64>, ReadError> {
+        match self {
+            Json::Null => Ok(None),
+            other => other.as_u64(context).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The parser: recursive descent over bytes.
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error<T>(&self, message: &str) -> Result<T, ReadError> {
+        err(format!("JSON parse error at byte {}: {message}", self.at))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.at) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn eat(&mut self, token: &str, what: &str) -> Result<(), ReadError> {
+        if self.bytes[self.at..].starts_with(token.as_bytes()) {
+            self.at += token.len();
+            Ok(())
+        } else {
+            self.error(&format!("expected {what}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ReadError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat("null", "null").map(|()| Json::Null),
+            Some(b't') => self.eat("true", "true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false", "false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(other) => self.error(&format!("unexpected byte 0x{other:02x}")),
+            None => self.error("unexpected end of input"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ReadError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let digits_start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == digits_start {
+            return self.error("digits expected");
+        }
+        if self.peek() == Some(b'.') {
+            self.at += 1;
+            let frac_start = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == frac_start {
+                return self.error("digits expected after decimal point");
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.at += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.at += 1;
+            }
+            let exp_start = self.at;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.at += 1;
+            }
+            if self.at == exp_start {
+                return self.error("digits expected in exponent");
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .expect("number bytes are ASCII")
+            .to_string();
+        Ok(Json::Num(text))
+    }
+
+    fn string(&mut self) -> Result<String, ReadError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.at += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.error("unterminated string"),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            let Some(code) = hex else {
+                                return self.error("bad \\u escape");
+                            };
+                            // Surrogate pairs are not produced by the
+                            // emitter (it only escapes control chars);
+                            // reject rather than mis-decode.
+                            let Some(c) = char::from_u32(code) else {
+                                return self.error("\\u escape is not a scalar value");
+                            };
+                            out.push(c);
+                            self.at += 4;
+                        }
+                        _ => return self.error("bad escape"),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let rest = &self.bytes[self.at..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| ReadError {
+                            message: format!("invalid UTF-8 at byte {}", self.at),
+                        })?
+                        .chars()
+                        .next()
+                        .expect("non-empty");
+                    out.push(s);
+                    self.at += s.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ReadError> {
+        debug_assert_eq!(self.peek(), Some(b'['));
+        self.at += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.error("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ReadError> {
+        debug_assert_eq!(self.peek(), Some(b'{'));
+        self.at += 1;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return self.error("expected object key");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return self.error("expected `:`");
+            }
+            self.at += 1;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return self.error("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, ReadError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        at: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.at != parser.bytes.len() {
+        return parser.error("trailing content after the document");
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------
+// Schema mapping.
+// ---------------------------------------------------------------------
+
+/// The schema tag this reader understands.
+pub const CAMPAIGN_SCHEMA: &str = "gatediag-campaign-v1";
+
+fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> {
+    let ctx = format!("instance {index}");
+    let status_text = json.expect("status", &ctx)?.as_str(&ctx)?;
+    let Some(status) = InstanceStatus::parse(status_text) else {
+        return err(format!("{ctx}: unknown status `{status_text}`"));
+    };
+    let fault_text = json.expect("fault_model", &ctx)?.as_str(&ctx)?;
+    let Some(fault_model) = FaultModel::parse(fault_text) else {
+        return err(format!("{ctx}: unknown fault model `{fault_text}`"));
+    };
+    let engine_text = json.expect("engine", &ctx)?.as_str(&ctx)?;
+    let Some(engine) = EngineKind::parse(engine_text) else {
+        return err(format!("{ctx}: unknown engine `{engine_text}`"));
+    };
+    let solutions = json.expect("solutions", &ctx)?.as_usize(&ctx)?;
+    // Quality is null whenever there are no solutions (the emitter's
+    // "0.0 would read as a perfect diagnosis" rule); the in-memory
+    // default for that case is 0.0.
+    let quality = |key: &str| -> Result<f64, ReadError> {
+        let value = json.expect(key, &ctx)?;
+        if solutions == 0 || *value == Json::Null {
+            Ok(0.0)
+        } else {
+            value.as_f64(&ctx)
+        }
+    };
+    Ok(InstanceRecord {
+        circuit: json.expect("circuit", &ctx)?.as_str(&ctx)?.to_string(),
+        gates: json.expect("gates", &ctx)?.as_usize(&ctx)?,
+        fault_model,
+        p: json.expect("p", &ctx)?.as_usize(&ctx)?,
+        seed: json.expect("seed", &ctx)?.as_u64(&ctx)?,
+        engine,
+        k: json.expect("k", &ctx)?.as_usize(&ctx)?,
+        tests: json.expect("tests", &ctx)?.as_usize(&ctx)?,
+        status,
+        candidates: json.expect("candidates", &ctx)?.as_usize(&ctx)?,
+        solutions,
+        complete: json.expect("complete", &ctx)?.as_bool(&ctx)?,
+        hit: json.expect("hit", &ctx)?.as_bool(&ctx)?,
+        quality_min: quality("quality_min")?,
+        quality_avg: quality("quality_avg")?,
+        quality_max: quality("quality_max")?,
+        conflicts: json.expect("conflicts", &ctx)?.as_u64(&ctx)?,
+        decisions: json.expect("decisions", &ctx)?.as_u64(&ctx)?,
+        propagations: json.expect("propagations", &ctx)?.as_u64(&ctx)?,
+        // Present only in `--timing` reports; excluded from resume
+        // comparisons either way.
+        wall_ms: match json.get("wall_ms") {
+            Some(value) => value.as_f64(&ctx)?,
+            None => 0.0,
+        },
+    })
+}
+
+/// Parses a `gatediag-campaign-v1` JSON report (the output of
+/// [`CampaignReport::to_json`], with or without timing).
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] for malformed JSON, a wrong/missing schema
+/// tag, or unknown enum tokens.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_campaign::{parse_report, run_campaign, CampaignSpec};
+///
+/// let mut spec = CampaignSpec::demo();
+/// spec.circuits.truncate(1);
+/// spec.error_counts = vec![1];
+/// spec.seeds = vec![1];
+/// let report = run_campaign(&spec);
+/// let json = report.to_json(false);
+/// let parsed = parse_report(&json).unwrap();
+/// assert_eq!(parsed.to_json(false), json); // byte round-trip
+/// ```
+pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
+    let root = parse_json(text)?;
+    let schema = root.expect("schema", "report")?.as_str("schema")?;
+    if schema != CAMPAIGN_SCHEMA {
+        return err(format!(
+            "unsupported schema `{schema}` (expected `{CAMPAIGN_SCHEMA}`)"
+        ));
+    }
+    let matrix = root.expect("matrix", "report")?;
+    let strings = |key: &str| -> Result<Vec<String>, ReadError> {
+        matrix
+            .expect(key, "matrix")?
+            .as_arr(key)?
+            .iter()
+            .map(|v| v.as_str(key).map(str::to_string))
+            .collect()
+    };
+    let circuits = strings("circuits")?;
+    let fault_models = strings("fault_models")?
+        .iter()
+        .map(|name| {
+            FaultModel::parse(name)
+                .map_or_else(|| err(format!("matrix: unknown fault model `{name}`")), Ok)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let engines = strings("engines")?
+        .iter()
+        .map(|name| {
+            EngineKind::parse(name)
+                .map_or_else(|| err(format!("matrix: unknown engine `{name}`")), Ok)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let error_counts = matrix
+        .expect("error_counts", "matrix")?
+        .as_arr("error_counts")?
+        .iter()
+        .map(|v| v.as_usize("error_counts"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let seeds = matrix
+        .expect("seeds", "matrix")?
+        .as_arr("seeds")?
+        .iter()
+        .map(|v| v.as_u64("seeds"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let k = match matrix.expect("k", "matrix")? {
+        Json::Null => None,
+        // Legacy emitters wrote the string "p" for "k = p per instance".
+        Json::Str(token) if token == "p" => None,
+        value => Some(value.as_usize("k")?),
+    };
+    // Budget fields are absent in pre-budget reports: treat as unlimited.
+    let opt_limit = |key: &str| -> Result<Option<u64>, ReadError> {
+        matrix.get(key).map_or(Ok(None), |v| v.as_opt_u64(key))
+    };
+    let instances = root.expect("instances", "report")?.as_arr("instances")?;
+    let records = instances
+        .iter()
+        .enumerate()
+        .map(|(i, json)| parse_record(json, i))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CampaignReport {
+        circuits,
+        fault_models,
+        error_counts,
+        seeds,
+        engines,
+        tests: matrix.expect("tests", "matrix")?.as_usize("tests")?,
+        // Absent in legacy reports; `None` means "unknown" and skips the
+        // resume-time limit check.
+        max_test_vectors: match matrix.get("max_test_vectors") {
+            Some(value) => Some(value.as_usize("max_test_vectors")?),
+            None => None,
+        },
+        k,
+        max_solutions: matrix
+            .expect("max_solutions", "matrix")?
+            .as_usize("max_solutions")?,
+        conflict_budget: matrix
+            .expect("conflict_budget", "matrix")?
+            .as_opt_u64("conflict_budget")?,
+        work_budget: opt_limit("work_budget")?,
+        deadline_ms: opt_limit("deadline_ms")?,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Json {
+        parse_json(text).expect("valid JSON")
+    }
+
+    #[test]
+    fn scalar_values_parse() {
+        assert_eq!(parse("null"), Json::Null);
+        assert_eq!(parse("true"), Json::Bool(true));
+        assert_eq!(parse("false"), Json::Bool(false));
+        assert_eq!(parse("42"), Json::Num("42".into()));
+        assert_eq!(parse("-3.25e2"), Json::Num("-3.25e2".into()));
+        assert_eq!(parse("\"hi\""), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let big = u64::MAX.to_string();
+        assert_eq!(parse(&big).as_u64("seed").unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            parse("\"a\\\"b\\\\c\\n\\u000a\""),
+            Json::Str("a\"b\\c\n\n".into())
+        );
+    }
+
+    #[test]
+    fn nested_containers_parse() {
+        let v = parse(r#"{"a": [1, 2], "b": {"c": null}}"#);
+        assert_eq!(v.get("a").unwrap().as_arr("a").unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "truthy", "1 2", "\"open"] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let text = r#"{"schema": "something-else", "matrix": {}, "instances": []}"#;
+        let e = parse_report(text).expect_err("wrong schema accepted");
+        assert!(e.message.contains("unsupported schema"));
+    }
+
+    #[test]
+    fn legacy_k_p_token_is_accepted() {
+        // A minimal legacy-style report: k = "p", no budget fields.
+        let text = r#"{
+  "schema": "gatediag-campaign-v1",
+  "matrix": {
+    "circuits": ["c17"],
+    "fault_models": ["gate-change"],
+    "error_counts": [1],
+    "seeds": [1],
+    "engines": ["bsat"],
+    "tests": 8,
+    "k": "p",
+    "max_solutions": 10000,
+    "conflict_budget": null
+  },
+  "instances": []
+}"#;
+        let report = parse_report(text).expect("legacy report must parse");
+        assert_eq!(report.k, None);
+        assert_eq!(report.work_budget, None);
+        assert_eq!(report.deadline_ms, None);
+        assert_eq!(report.max_test_vectors, None, "legacy = unknown");
+        // Re-emission uses the one-type spelling.
+        assert!(report.to_json(false).contains("\"k\": null"));
+    }
+}

@@ -24,16 +24,37 @@ pub enum InstanceStatus {
     /// The injected faults stayed unobservable within the random-vector
     /// budget (near-redundant logic); no diagnosis was attempted.
     NoFailingTests,
+    /// The engine ran but a cooperative budget (work, conflicts or the
+    /// wall deadline) preempted it before completion; the record holds
+    /// the partial results. Instances the enumeration cap truncated stay
+    /// `ok` with `complete = false` — `preempted` is reserved for the
+    /// budget guards.
+    Preempted,
 }
 
 impl InstanceStatus {
+    /// All statuses, in a stable order.
+    pub const ALL: [InstanceStatus; 4] = [
+        InstanceStatus::Ok,
+        InstanceStatus::NotInjectable,
+        InstanceStatus::NoFailingTests,
+        InstanceStatus::Preempted,
+    ];
+
     /// Stable serialisation token.
     pub fn name(self) -> &'static str {
         match self {
             InstanceStatus::Ok => "ok",
             InstanceStatus::NotInjectable => "not-injectable",
             InstanceStatus::NoFailingTests => "no-failing-tests",
+            InstanceStatus::Preempted => "preempted",
         }
+    }
+
+    /// Parses a serialisation token (the inverse of
+    /// [`InstanceStatus::name`]).
+    pub fn parse(text: &str) -> Option<InstanceStatus> {
+        InstanceStatus::ALL.into_iter().find(|s| s.name() == text)
     }
 }
 
@@ -105,12 +126,21 @@ pub struct CampaignReport {
     pub engines: Vec<EngineKind>,
     /// Failing tests requested per instance.
     pub tests: usize,
+    /// Random-vector budget for failing-test generation. `None` only for
+    /// reports parsed from legacy files that predate the field — it
+    /// changes per-instance results, so the resume path validates it
+    /// whenever it is known.
+    pub max_test_vectors: Option<usize>,
     /// Explicit `k`, if the spec pinned one (`None` = `k = p`).
     pub k: Option<usize>,
     /// Per-instance enumeration cap.
     pub max_solutions: usize,
     /// Per-instance conflict budget.
     pub conflict_budget: Option<u64>,
+    /// Per-instance deterministic work budget.
+    pub work_budget: Option<u64>,
+    /// Per-instance wall-clock deadline (nondeterministic, opt-in).
+    pub deadline_ms: Option<u64>,
     /// One record per instance, in matrix order.
     pub records: Vec<InstanceRecord>,
 }
@@ -161,9 +191,12 @@ impl CampaignReport {
             seeds: spec.seeds.clone(),
             engines: spec.engines.clone(),
             tests: spec.tests,
+            max_test_vectors: Some(spec.max_test_vectors),
             k: spec.k,
             max_solutions: spec.max_solutions,
             conflict_budget: spec.conflict_budget,
+            work_budget: spec.work_budget,
+            deadline_ms: spec.deadline_ms,
             records,
         }
     }
@@ -229,18 +262,28 @@ impl CampaignReport {
                 .join(", ")
         );
         let _ = writeln!(out, "    \"tests\": {},", self.tests);
+        // Emitted only when known so that legacy reports (which lack the
+        // field) still round-trip byte-for-byte through the reader.
+        if let Some(max_test_vectors) = self.max_test_vectors {
+            let _ = writeln!(out, "    \"max_test_vectors\": {max_test_vectors},");
+        }
+        // "k = p per instance" serialises as `null` so the field has ONE
+        // type (number or null). Legacy reports used the string "p",
+        // which the reader still accepts.
         let _ = writeln!(
             out,
             "    \"k\": {},",
-            self.k.map_or("\"p\"".to_string(), |k| k.to_string())
+            self.k.map_or("null".to_string(), |k| k.to_string())
         );
         let _ = writeln!(out, "    \"max_solutions\": {},", self.max_solutions);
+        let opt = |v: Option<u64>| v.map_or("null".to_string(), |b| b.to_string());
         let _ = writeln!(
             out,
-            "    \"conflict_budget\": {}",
-            self.conflict_budget
-                .map_or("null".to_string(), |b| b.to_string())
+            "    \"conflict_budget\": {},",
+            opt(self.conflict_budget)
         );
+        let _ = writeln!(out, "    \"work_budget\": {},", opt(self.work_budget));
+        let _ = writeln!(out, "    \"deadline_ms\": {}", opt(self.deadline_ms));
         out.push_str("  },\n  \"instances\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let _ = write!(
@@ -354,7 +397,16 @@ impl CampaignReport {
     /// over seeds. Each cell reads `hits/oks  sol  q̄`: how many seeds hit
     /// a real error site out of the seeds that ran, the mean solution
     /// count, and the mean average-distance quality.
+    ///
+    /// Built in **one indexed pass** over the records: rows are interned
+    /// in first-appearance order (a hash lookup instead of the old
+    /// `Vec::contains` scan with its per-record `String` clones) and each
+    /// record folds straight into its `(row, engine)` cell, so rendering
+    /// is `O(records + rows × engines)` instead of the old
+    /// `O(rows × engines × records)` rescan. Output is byte-identical to
+    /// the scanning implementation.
     pub fn summary_table(&self) -> String {
+        #[derive(Clone, Default)]
         struct Cell {
             ok: usize,
             hits: usize,
@@ -362,11 +414,47 @@ impl CampaignReport {
             quality: f64,
             with_solutions: usize,
         }
-        let mut rows: Vec<(String, FaultModel, usize)> = Vec::new();
+        use std::collections::HashMap;
+        // Engine -> *aggregation* column. Distinct engines get distinct
+        // slots; a duplicated engine in the matrix echo shares one slot,
+        // so its duplicate display columns render identical cells — the
+        // same output the old per-column rescan produced. Engines not in
+        // the echo have no slot (the old scan never visited them).
+        let mut engine_slot: HashMap<EngineKind, usize> = HashMap::new();
+        for &e in &self.engines {
+            let next = engine_slot.len();
+            engine_slot.entry(e).or_insert(next);
+        }
+        let slots = engine_slot.len();
+        // Row interning: nested map so the lookup key borrows the
+        // record's circuit name (one String clone per *row*, not per
+        // record).
+        let mut rows: Vec<(&str, FaultModel, usize)> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut row_index: HashMap<&str, HashMap<(FaultModel, usize), usize>> = HashMap::new();
+        let mut cells: Vec<Cell> = Vec::new();
         for r in &self.records {
-            let key = (r.circuit.clone(), r.fault_model, r.p);
-            if !rows.contains(&key) {
-                rows.push(key);
+            let inner = row_index.entry(r.circuit.as_str()).or_default();
+            let row = *inner.entry((r.fault_model, r.p)).or_insert_with(|| {
+                rows.push((r.circuit.as_str(), r.fault_model, r.p));
+                cells.resize(rows.len() * slots, Cell::default());
+                rows.len() - 1
+            });
+            if r.status != InstanceStatus::Ok {
+                continue;
+            }
+            let Some(&slot) = engine_slot.get(&r.engine) else {
+                continue;
+            };
+            let cell = &mut cells[row * slots + slot];
+            cell.ok += 1;
+            cell.hits += usize::from(r.hit);
+            cell.solutions += r.solutions;
+            // A run with no solutions has no quality; averaging its 0.0
+            // in would make an engine that found nothing look perfect.
+            if r.solutions > 0 {
+                cell.with_solutions += 1;
+                cell.quality += r.quality_avg;
             }
         }
         let mut out = String::new();
@@ -378,35 +466,10 @@ impl CampaignReport {
         let width = 32 + self.engines.len() * 19;
         out.push_str(&"-".repeat(width));
         out.push('\n');
-        for (circuit, model, p) in &rows {
+        for (row, (circuit, model, p)) in rows.iter().enumerate() {
             let _ = write!(out, "{circuit:<12} {:<15} {p:>2} ", model.name());
             for engine in &self.engines {
-                let mut cell = Cell {
-                    ok: 0,
-                    hits: 0,
-                    solutions: 0,
-                    quality: 0.0,
-                    with_solutions: 0,
-                };
-                for r in &self.records {
-                    if &r.circuit == circuit
-                        && r.fault_model == *model
-                        && r.p == *p
-                        && r.engine == *engine
-                        && r.status == InstanceStatus::Ok
-                    {
-                        cell.ok += 1;
-                        cell.hits += usize::from(r.hit);
-                        cell.solutions += r.solutions;
-                        // A run with no solutions has no quality;
-                        // averaging its 0.0 in would make an engine
-                        // that found nothing look perfect.
-                        if r.solutions > 0 {
-                            cell.with_solutions += 1;
-                            cell.quality += r.quality_avg;
-                        }
-                    }
-                }
+                let cell = &cells[row * slots + engine_slot[engine]];
                 if cell.ok == 0 {
                     let _ = write!(out, "| {:>16} ", "-");
                 } else {
@@ -485,6 +548,32 @@ mod tests {
         assert!(table.contains("bsat"));
         assert!(table.contains("c17"));
         assert!(table.contains("gate-change"));
+    }
+
+    #[test]
+    fn duplicate_engine_columns_render_identically() {
+        // A repeated engine in the matrix echo must render the same
+        // aggregated cell in every one of its columns (the old
+        // per-column rescan did; the indexed pass must too).
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange];
+        spec.error_counts = vec![1];
+        spec.seeds = vec![1, 2];
+        spec.engines = vec![EngineKind::Bsim, EngineKind::Bsat, EngineKind::Bsim];
+        let table = run_campaign(&spec).summary_table();
+        for line in table.lines().skip(2) {
+            let columns: Vec<&str> = line.split('|').collect();
+            if columns.len() == 4 {
+                assert_eq!(
+                    columns[1], columns[3],
+                    "duplicate bsim columns differ: {line}"
+                );
+                assert!(
+                    columns[1].trim() != "-",
+                    "bsim records folded into the wrong column: {line}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,11 +25,13 @@
 
 use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
 use crate::spec::{CampaignSpec, InstanceSpec};
+use gatediag_core::budget::Budget;
 use gatediag_core::{
-    generate_failing_tests, run_engine, solution_quality, EngineConfig, EngineRun,
+    generate_failing_tests, run_engine, solution_quality, EngineConfig, EngineKind, EngineRun,
 };
-use gatediag_netlist::{try_inject_faults, GateId};
+use gatediag_netlist::{try_inject_faults, FaultModel, GateId};
 use gatediag_sim::{parallel_map_init, Parallelism};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Runs every instance of the campaign and collects the merged report.
@@ -57,6 +59,162 @@ pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
         |(), i| run_instance(spec, &instances[i]),
     );
     CampaignReport::new(spec, records)
+}
+
+/// Identity of one instance inside a report — the resume key.
+type InstanceKey<'a> = (&'a str, FaultModel, usize, u64, EngineKind);
+
+fn instance_key<'a>(spec: &'a CampaignSpec, inst: &InstanceSpec) -> InstanceKey<'a> {
+    (
+        spec.circuits[inst.circuit].0.as_str(),
+        inst.fault_model,
+        inst.p,
+        inst.seed,
+        inst.engine,
+    )
+}
+
+fn record_key(record: &InstanceRecord) -> InstanceKey<'_> {
+    (
+        record.circuit.as_str(),
+        record.fault_model,
+        record.p,
+        record.seed,
+        record.engine,
+    )
+}
+
+/// Resumes a campaign from a previous report: instances whose
+/// `(circuit, fault model, p, seed, engine)` identity already has a
+/// record in `previous` are *skipped* (the old record is reused
+/// verbatim, including `preempted` ones); only the missing instances
+/// run. Old and new records merge **in matrix order**, so — because
+/// every record is a pure function of `(spec, instance)` — a resumed
+/// run's report is byte-identical (timing excluded) to a fresh full run
+/// of the same spec.
+///
+/// The spec may *extend* the matrix of the previous run (more seeds,
+/// circuits, engines, fault models, error counts) or shrink it (records
+/// with no matching instance are dropped), but the per-instance limits
+/// (`tests`, `k`, `max_solutions` and the budgets) must match: a record
+/// produced under different limits is not the record a fresh run would
+/// produce, so resuming across limit changes is rejected.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatched limit.
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_campaign::{resume_campaign, run_campaign, CampaignSpec};
+///
+/// let mut spec = CampaignSpec::demo();
+/// spec.circuits.truncate(1);
+/// spec.error_counts = vec![1];
+/// spec.seeds = vec![1];
+/// let partial = run_campaign(&spec);
+/// // Extend the matrix by a seed and resume: seed-1 records are reused.
+/// spec.seeds = vec![1, 2];
+/// let resumed = resume_campaign(&spec, &partial).unwrap();
+/// assert_eq!(resumed.to_json(false), run_campaign(&spec).to_json(false));
+/// ```
+pub fn resume_campaign(
+    spec: &CampaignSpec,
+    previous: &CampaignReport,
+) -> Result<CampaignReport, String> {
+    let limit_checks: [(&str, String, String); 7] = [
+        ("tests", spec.tests.to_string(), previous.tests.to_string()),
+        (
+            "max_test_vectors",
+            // `None` in a parsed legacy report means "unknown": nothing
+            // to compare against, so the check is skipped by echoing the
+            // spec's own value.
+            spec.max_test_vectors.to_string(),
+            previous
+                .max_test_vectors
+                .unwrap_or(spec.max_test_vectors)
+                .to_string(),
+        ),
+        ("k", format!("{:?}", spec.k), format!("{:?}", previous.k)),
+        (
+            "max_solutions",
+            spec.max_solutions.to_string(),
+            previous.max_solutions.to_string(),
+        ),
+        (
+            "conflict_budget",
+            format!("{:?}", spec.conflict_budget),
+            format!("{:?}", previous.conflict_budget),
+        ),
+        (
+            "work_budget",
+            format!("{:?}", spec.work_budget),
+            format!("{:?}", previous.work_budget),
+        ),
+        (
+            "deadline_ms",
+            format!("{:?}", spec.deadline_ms),
+            format!("{:?}", previous.deadline_ms),
+        ),
+    ];
+    for (name, ours, theirs) in &limit_checks {
+        if ours != theirs {
+            return Err(format!(
+                "cannot resume: {name} differs (spec {ours}, previous report {theirs}); \
+                 resumed records would not match a fresh run"
+            ));
+        }
+    }
+    let mut previous_by_key: HashMap<InstanceKey<'_>, &InstanceRecord> = HashMap::new();
+    for record in &previous.records {
+        // First occurrence wins, matching matrix order.
+        previous_by_key.entry(record_key(record)).or_insert(record);
+    }
+    let instances = spec.instances();
+    let mut slots: Vec<Option<InstanceRecord>> = Vec::with_capacity(instances.len());
+    for inst in &instances {
+        let Some(&record) = previous_by_key.get(&instance_key(spec, inst)) else {
+            slots.push(None);
+            continue;
+        };
+        // Records are keyed by circuit *name*; if the named circuit's
+        // content changed since the previous run (an edited `.bench`
+        // file), reusing the record would silently break the
+        // byte-identical-to-fresh contract. The functional gate count in
+        // every record is a cheap (though not airtight) content check.
+        let (name, golden) = &spec.circuits[inst.circuit];
+        if record.gates != golden.num_functional_gates() {
+            return Err(format!(
+                "cannot resume: circuit `{name}` has {} functional gates but the previous \
+                 report recorded {} — the circuit content changed, so its records are stale",
+                golden.num_functional_gates(),
+                record.gates
+            ));
+        }
+        slots.push(Some(record.clone()));
+    }
+    let missing: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let workers = spec.parallelism.workers(missing.len());
+    let fresh = parallel_map_init(
+        workers,
+        missing.len(),
+        || (),
+        |(), j| run_instance(spec, &instances[missing[j]]),
+    );
+    for (j, record) in missing.into_iter().zip(fresh) {
+        slots[j] = Some(record);
+    }
+    let records = slots
+        .into_iter()
+        .map(|slot| slot.expect("every instance resolved"))
+        .collect();
+    Ok(CampaignReport::new(spec, records))
 }
 
 /// Runs one cell of the matrix. Pure in `(spec, inst)`.
@@ -109,14 +267,25 @@ fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
         k,
         max_solutions: spec.max_solutions,
         conflict_budget: spec.conflict_budget,
+        budget: Budget {
+            work: spec.work_budget,
+            deadline_ms: spec.deadline_ms,
+            ..Budget::default()
+        },
         // The campaign level owns the pool; see the module docs.
         parallelism: Parallelism::Sequential,
+        ..EngineConfig::default()
     };
     let run: EngineRun = run_engine(inst.engine, &faulty, &tests, &config);
     let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
     record.candidates = run.candidates.len();
     record.solutions = run.solutions.len();
     record.complete = run.complete;
+    // A budget preemption is its own outcome class; the enumeration cap
+    // stays `ok` with `complete = false`, as before.
+    if run.truncation.is_some_and(|t| t.is_preemption()) {
+        record.status = InstanceStatus::Preempted;
+    }
     record.hit = run.candidates.iter().any(|g| errors.contains(g));
     if !run.solutions.is_empty() {
         let quality = solution_quality(&faulty, &run.solutions, &errors);

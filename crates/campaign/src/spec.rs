@@ -33,9 +33,20 @@ pub struct CampaignSpec {
     pub k: Option<usize>,
     /// Per-instance enumeration cap.
     pub max_solutions: usize,
-    /// Per-instance conflict budget for the SAT engines — the campaign's
-    /// runaway-instance guard (`None` = unlimited).
+    /// Per-instance conflict budget for every SAT search an instance
+    /// performs — the diagnosis solvers *and* the `auto` engine's SAT
+    /// validity backend (`None` = unlimited).
     pub conflict_budget: Option<u64>,
+    /// Per-instance deterministic work budget, in engine-defined units
+    /// (tests traced / covering nodes / conflicts / sets screened — see
+    /// `gatediag_core::budget`). Truncated instances are recorded as
+    /// `preempted`, and the report stays byte-identical for every worker
+    /// count (`None` = unlimited).
+    pub work_budget: Option<u64>,
+    /// Per-instance wall-clock deadline in milliseconds. Nondeterministic
+    /// — a deadline-truncated report is *not* reproducible, exactly like
+    /// the `wall_ms` column (`None` = no deadline).
+    pub deadline_ms: Option<u64>,
     /// Worker-pool policy for the campaign runner (instances are the unit
     /// of parallelism; engines run sequentially inside a worker). The
     /// report is bit-identical for every setting.
@@ -58,6 +69,8 @@ impl CampaignSpec {
             k: None,
             max_solutions: 10_000,
             conflict_budget: Some(5_000_000),
+            work_budget: None,
+            deadline_ms: None,
             parallelism: Parallelism::default(),
         }
     }

@@ -84,6 +84,65 @@ fn reports_are_byte_identical_under_the_env_override() {
 }
 
 #[test]
+fn budget_preempted_reports_are_byte_identical_for_all_worker_counts() {
+    // The budget extension of the drift contract: a *work*-budgeted
+    // campaign whose instances actually get preempted must still emit
+    // byte-identical reports for every worker count, with the truncated
+    // instances recorded as `preempted`.
+    let mut spec = drift_spec();
+    spec.engines = vec![
+        EngineKind::Bsim,
+        EngineKind::Cov,
+        EngineKind::Bsat,
+        EngineKind::Auto,
+    ];
+    // Fewer work units than tests per instance: every sim-side engine's
+    // first phase (tracing `spec.tests = 6` tests) runs out of budget.
+    spec.work_budget = Some(3);
+    spec.parallelism = Parallelism::Sequential;
+    let reference = run_campaign(&spec);
+    let preempted = reference
+        .records
+        .iter()
+        .filter(|r| r.status == gatediag_campaign::InstanceStatus::Preempted)
+        .count();
+    assert!(
+        preempted > 0,
+        "the work budget preempted nothing — the guard is not wired in"
+    );
+    // Preempted records are partial, never complete.
+    for r in &reference.records {
+        if r.status == gatediag_campaign::InstanceStatus::Preempted {
+            assert!(!r.complete, "preempted instance marked complete");
+        }
+    }
+    let ref_json = reference.to_json(false);
+    let ref_csv = reference.to_csv(false);
+    let ref_summary = reference.summary_table();
+    assert!(ref_json.contains("\"status\": \"preempted\""));
+    assert!(ref_csv.contains(",preempted,"));
+    for workers in [1usize, 2, 8] {
+        spec.parallelism = Parallelism::Fixed(workers);
+        let report = run_campaign(&spec);
+        assert_eq!(
+            report.to_json(false),
+            ref_json,
+            "budgeted JSON drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.to_csv(false),
+            ref_csv,
+            "budgeted CSV drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.summary_table(),
+            ref_summary,
+            "budgeted summary drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn timing_is_the_only_nondeterministic_field() {
     // Two runs of the same spec agree on everything except wall_ms.
     let spec = drift_spec();

@@ -12,6 +12,7 @@
 //! test-set partitioning, and (for the Sec. 6 hybrid) seeding of the
 //! solver's decision heuristic from simulation results.
 
+use crate::budget::{Budget, Truncation};
 use crate::test_set::TestSet;
 use crate::validity::screen_valid_corrections;
 use gatediag_cnf::{
@@ -58,6 +59,12 @@ pub struct BsatOptions {
     /// candidate solutions across workers. The CDCL search itself stays
     /// sequential, so results are bit-identical for every setting.
     pub parallelism: Parallelism,
+    /// Cooperative budget. BSAT's deterministic work unit **is** solver
+    /// conflicts, so [`Budget::work`] and [`Budget::conflicts`] merge with
+    /// the legacy [`BsatOptions::conflict_budget`] into one solver limit
+    /// (the smallest wins, bounding each enumeration query); the opt-in
+    /// wall deadline threads into the solver's cooperative deadline hook.
+    pub budget: Budget,
 }
 
 impl Default for BsatOptions {
@@ -69,6 +76,7 @@ impl Default for BsatOptions {
             conflict_budget: None,
             hints: Vec::new(),
             parallelism: Parallelism::default(),
+            budget: Budget::default(),
         }
     }
 }
@@ -79,8 +87,11 @@ pub struct BsatResult {
     /// All solutions (sets of gates to change), each sorted by gate id,
     /// the list sorted by (size, lexicographic).
     pub solutions: Vec<Vec<GateId>>,
-    /// `false` if truncated by `max_solutions` or the conflict budget.
+    /// `false` if truncated by `max_solutions` or the budget.
     pub complete: bool,
+    /// Why the run stopped early, if it did. Always `Some` when
+    /// `complete` is `false`.
+    pub truncation: Option<Truncation>,
     /// Time to build the CNF (Table 2 "CNF").
     pub build_time: Duration,
     /// Time until the first solution (Table 2 "One").
@@ -151,9 +162,15 @@ pub fn basic_sat_diagnose(
 
     let mut solutions: Vec<Vec<GateId>> = Vec::new();
     let mut first_solution_time = Duration::ZERO;
-    let mut complete = true;
+    let mut truncation: Option<Truncation> = None;
     let enum_start = Instant::now();
-    solver.set_conflict_budget(options.conflict_budget);
+    // The budget's work unit is conflicts here, so `work`, `conflicts` and
+    // the legacy `conflict_budget` knob merge into one solver limit; the
+    // wall deadline (if any) rides on the solver's own cooperative hook.
+    let budget = options.budget.merge_conflicts(options.conflict_budget);
+    let (conflict_limit, conflict_reason) = budget.conflict_limit();
+    solver.set_conflict_budget(conflict_limit);
+    solver.set_deadline(budget.deadline_instant());
     let limit = k.min(instance.selectors.len());
     'sizes: for size in 1..=limit {
         let assumptions: Vec<Lit> = instance
@@ -164,7 +181,7 @@ pub fn basic_sat_diagnose(
             .collect();
         let remaining = options.max_solutions.saturating_sub(solutions.len());
         if remaining == 0 {
-            complete = false;
+            truncation = Some(Truncation::Solutions);
             break 'sizes;
         }
         let out =
@@ -181,14 +198,21 @@ pub fn basic_sat_diagnose(
             solutions.push(gates);
         }
         if !out.complete {
-            complete = false;
+            truncation = Some(if !out.gave_up {
+                Truncation::Solutions
+            } else if solver.deadline_hit() {
+                Truncation::Deadline
+            } else {
+                conflict_reason
+            });
             break 'sizes;
         }
     }
     solutions.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     BsatResult {
         solutions,
-        complete,
+        complete: truncation.is_none(),
+        truncation,
         build_time,
         first_solution_time,
         total_time: build_time + enum_start.elapsed(),
@@ -349,7 +373,10 @@ pub fn two_pass_sat_diagnose(
     );
     second.build_time += first.build_time;
     second.total_time += first.total_time;
-    second.complete = second.complete && first.complete;
+    // Phases in run order: the dominator pass ran first, so its reason
+    // wins ties (see `Truncation::merge`).
+    second.truncation = Truncation::merge(first.truncation, second.truncation);
+    second.complete = second.truncation.is_none();
     second
 }
 

@@ -6,9 +6,10 @@
 //! test, yielding one candidate set `C_i` per test plus the mark counts
 //! `M(g)` used to rank candidates.
 
+use crate::budget::{Budget, Truncation};
 use crate::test_set::TestSet;
 use gatediag_netlist::{Circuit, GateId, GateKind, GateSet};
-use gatediag_sim::{pack_vectors_into, parallel_map_init, PackedSim, Parallelism};
+use gatediag_sim::{pack_vectors_into, parallel_map_init_while, PackedSim, Parallelism};
 
 /// How path tracing treats multiple controlling inputs.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
@@ -34,17 +35,30 @@ pub struct BsimOptions {
     /// Worker count for sharding the packed sweeps and per-test path
     /// traces. The result is bit-identical for every setting.
     pub parallelism: Parallelism,
+    /// Cooperative budget. BSIM's deterministic work unit is **one test
+    /// traced**: a work budget truncates the test list to a prefix (a pure
+    /// function of the input, so still bit-identical for every worker
+    /// count), while the opt-in wall deadline stops between sweep batches
+    /// (nondeterministic — see [`crate::budget`]). `conflicts` is ignored
+    /// (BSIM runs no solver).
+    pub budget: Budget,
 }
 
 /// Result of [`basic_sim_diagnose`].
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BsimResult {
-    /// Candidate set `C_i` per test, in test order.
+    /// Candidate set `C_i` per *traced* test, in test order. Equal in
+    /// length to the test set unless a budget truncated the run, in which
+    /// case it is the traced prefix (see [`BsimResult::truncation`]).
     pub candidate_sets: Vec<GateSet>,
     /// `M(g)`: number of tests whose candidate set contains `g`.
     pub mark_counts: Vec<u32>,
     /// Union of all candidate sets (`∪ C_i`).
     pub union: GateSet,
+    /// Why the run stopped early, if it did (`None` = all tests traced).
+    pub truncation: Option<Truncation>,
+    /// Deterministic work charged: the number of tests actually traced.
+    pub work: u64,
 }
 
 impl BsimResult {
@@ -208,6 +222,17 @@ pub fn basic_sim_diagnose(circuit: &Circuit, tests: &TestSet, options: BsimOptio
     // candidate values straight out of the packed words, so the per-test
     // cost is the trace itself, not a full scalar resimulation.
     const SWEEP_PATTERNS: usize = 512;
+    // Cooperative budget: the deterministic work unit is one traced test,
+    // so a work budget simply truncates the test list to a prefix *before*
+    // the fan-out — the truncation point is a pure function of the input
+    // and therefore bit-identical for every worker count. The wall
+    // deadline, by contrast, is checked between batches below.
+    let mut meter = options.budget.meter();
+    let traced = usize::try_from(meter.remaining_work())
+        .unwrap_or(usize::MAX)
+        .min(tests.len());
+    let work_truncated = traced < tests.len();
+    let tests_slice = &tests.tests()[..traced];
     // Sharding: each batch (one packed sweep + its path traces) is an
     // independent unit claimed off the pool's shared index. With fewer
     // batches than workers, batches shrink (in whole 64-test words) so
@@ -219,18 +244,21 @@ pub fn basic_sim_diagnose(circuit: &Circuit, tests: &TestSet, options: BsimOptio
     // (tiny circuits or few tests) inline; explicit `Fixed(n)` or a
     // `GATEDIAG_WORKERS` override always fans out as requested.
     let workers = options.parallelism.workers_for(
-        tests.len().div_ceil(64),
-        circuit.len().saturating_mul(tests.len()),
+        traced.div_ceil(64),
+        circuit.len().saturating_mul(traced),
         gatediag_sim::AUTO_WORK_FLOOR,
     );
     let chunk = if workers > 1 {
-        (tests.len().div_ceil(workers)).div_ceil(64) * 64
+        (traced.div_ceil(workers)).div_ceil(64) * 64
     } else {
         SWEEP_PATTERNS
     }
     .clamp(64, SWEEP_PATTERNS);
-    let batches: Vec<&[crate::test_set::Test]> = tests.tests().chunks(chunk).collect();
-    let per_batch: Vec<Vec<GateSet>> = parallel_map_init(
+    let batches: Vec<&[crate::test_set::Test]> = tests_slice.chunks(chunk).collect();
+    // The deadline probe is the cooperative checkpoint between batches; a
+    // `None` budget compiles down to a constant-true probe.
+    let deadline = meter.deadline();
+    let per_batch: Vec<Option<Vec<GateSet>>> = parallel_map_init_while(
         workers,
         batches.len(),
         || (PackedSim::new(circuit), Vec::new(), Vec::new()),
@@ -250,21 +278,40 @@ pub fn basic_sim_diagnose(circuit: &Circuit, tests: &TestSet, options: BsimOptio
                 })
                 .collect()
         },
+        || deadline.is_none_or(|d| std::time::Instant::now() < d),
     );
-    let mut candidate_sets = Vec::with_capacity(tests.len());
+    let mut candidate_sets = Vec::with_capacity(traced);
     let mut mark_counts = vec![0u32; circuit.len()];
     let mut union = GateSet::new(circuit.len());
-    for marked in per_batch.into_iter().flatten() {
-        for g in marked.iter() {
-            mark_counts[g.index()] += 1;
+    let mut deadline_hit = false;
+    for batch in per_batch {
+        let Some(batch) = batch else {
+            // The deadline fired mid-fan-out: keep the contiguous prefix of
+            // traced tests (later batches may have completed on other
+            // workers, but a gap would misalign `C_i` with test `i`).
+            deadline_hit = true;
+            break;
+        };
+        for marked in batch {
+            for g in marked.iter() {
+                mark_counts[g.index()] += 1;
+            }
+            union.union_with(&marked);
+            candidate_sets.push(marked);
         }
-        union.union_with(&marked);
-        candidate_sets.push(marked);
     }
+    if deadline_hit {
+        meter.note(Truncation::Deadline);
+    } else if work_truncated {
+        meter.note(Truncation::Work);
+    }
+    let work = candidate_sets.len() as u64;
     BsimResult {
         candidate_sets,
         mark_counts,
         union,
+        truncation: meter.truncation(),
+        work,
     }
 }
 

@@ -10,6 +10,7 @@
 //! engine used for cross-checking.
 
 use crate::bsim::{basic_sim_diagnose, BsimOptions, BsimResult};
+use crate::budget::{Budget, BudgetMeter, Truncation};
 use crate::test_set::TestSet;
 use gatediag_cnf::{ClauseSink, Totalizer};
 use gatediag_netlist::{Circuit, GateId};
@@ -46,6 +47,18 @@ pub struct CovOptions {
     /// per-branch solver, so the branches are disjoint and independently
     /// enumerable. Solutions are bit-identical for every setting.
     pub parallelism: Parallelism,
+    /// Cooperative budget. COV's deterministic work unit depends on the
+    /// engine: **branch-and-bound node expansions** for
+    /// [`CovEngine::BranchAndBound`], **solver conflicts** for
+    /// [`CovEngine::Sat`]. Because the top-level branches are independent
+    /// shards, the work budget applies *per top-level branch* — a pure
+    /// function of the instance, so budgeted runs stay bit-identical for
+    /// every worker count. In [`sc_diagnose`] the same work number first
+    /// bounds the BSIM phase in *its* unit (one test traced = one unit; a
+    /// preempted BSIM phase short-circuits the run) — phase units are not
+    /// commensurable and are never summed. The wall deadline is shared
+    /// across phases and branches (opt-in, nondeterministic).
+    pub budget: Budget,
 }
 
 impl Default for CovOptions {
@@ -55,6 +68,7 @@ impl Default for CovOptions {
             max_solutions: 1_000_000,
             bsim: BsimOptions::default(),
             parallelism: Parallelism::default(),
+            budget: Budget::default(),
         }
     }
 }
@@ -74,6 +88,13 @@ pub struct CovResult {
     pub first_solution_time: Duration,
     /// Total time including enumeration (Table 2 "All").
     pub total_time: Duration,
+    /// Why the run stopped early, if it did: a budget reason, or
+    /// [`Truncation::Solutions`] for the `max_solutions` cap. Always
+    /// `Some` when `complete` is `false`.
+    pub truncation: Option<Truncation>,
+    /// Deterministic work charged (tests traced by the BSIM phase plus
+    /// the covering engine's units — see [`CovOptions::budget`]).
+    pub work: u64,
     /// The BSIM result the covering instance was built from (absent for
     /// [`cover_all`] on raw sets).
     pub bsim: Option<BsimResult>,
@@ -102,14 +123,42 @@ pub struct CovResult {
 /// ```
 pub fn sc_diagnose(circuit: &Circuit, tests: &TestSet, k: usize, options: CovOptions) -> CovResult {
     let build_start = Instant::now();
-    let bsim = basic_sim_diagnose(circuit, tests, options.bsim);
+    // Anchor the budget once so the BSIM phase and the covering phase race
+    // the same wall deadline. The work number bounds *each phase in its
+    // own unit* (tests traced, then covering nodes/conflicts) — the units
+    // are not commensurable, so they are never summed across phases; a
+    // preempted BSIM phase short-circuits the run instead.
+    let budget = options.budget.anchored(build_start);
+    let mut bsim_options = options.bsim;
+    bsim_options.budget = budget;
+    let bsim = basic_sim_diagnose(circuit, tests, bsim_options);
+    if let Some(reason) = bsim.truncation {
+        // The budget ran out while (or before) collecting candidate sets:
+        // covering a partial instance would report covers of the traced
+        // prefix as if they were covers of the full test set, so stop
+        // here and report the preemption.
+        let elapsed = build_start.elapsed();
+        return CovResult {
+            solutions: Vec::new(),
+            complete: false,
+            build_time: elapsed,
+            first_solution_time: Duration::ZERO,
+            total_time: elapsed,
+            truncation: Some(reason),
+            work: bsim.work,
+            bsim: Some(bsim),
+        };
+    }
     let sets: Vec<Vec<GateId>> = bsim
         .candidate_sets
         .iter()
         .map(|s| s.iter().collect())
         .collect();
-    let mut result = cover_all(&sets, k, options);
+    let mut cover_options = options;
+    cover_options.budget = budget;
+    let mut result = cover_all(&sets, k, cover_options);
     result.build_time += build_start.elapsed() - result.total_time;
+    result.work += bsim.work;
     result.bsim = Some(bsim);
     result
 }
@@ -122,25 +171,41 @@ pub fn sc_diagnose(circuit: &Circuit, tests: &TestSet, k: usize, options: CovOpt
 /// If any set is empty, there is no cover at all.
 pub fn cover_all(sets: &[Vec<GateId>], k: usize, options: CovOptions) -> CovResult {
     let total_start = Instant::now();
-    let (mut solutions, complete, build_time, first_solution_time) = match options.engine {
-        CovEngine::Sat => cover_sat(sets, k, options.max_solutions, options.parallelism),
-        CovEngine::BranchAndBound => cover_bnb(sets, k, options.max_solutions, options.parallelism),
+    let budget = options.budget.anchored(total_start);
+    let out = match options.engine {
+        CovEngine::Sat => cover_sat(sets, k, options.max_solutions, options.parallelism, &budget),
+        CovEngine::BranchAndBound => {
+            cover_bnb(sets, k, options.max_solutions, options.parallelism, &budget)
+        }
     };
+    let mut solutions = out.solutions;
     for sol in &mut solutions {
         sol.sort();
     }
     solutions.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     CovResult {
         solutions,
-        complete,
-        build_time,
-        first_solution_time,
+        complete: out.truncation.is_none(),
+        build_time: out.build_time,
+        first_solution_time: out.first_solution_time,
         total_time: total_start.elapsed(),
+        truncation: out.truncation,
+        work: out.work,
         bsim: None,
     }
 }
 
-type EngineOutput = (Vec<Vec<GateId>>, bool, Duration, Duration);
+/// What a covering engine hands back to [`cover_all`].
+struct CoverOutcome {
+    solutions: Vec<Vec<GateId>>,
+    build_time: Duration,
+    first_solution_time: Duration,
+    /// `None` = complete; [`Truncation::Solutions`] for the cap, a budget
+    /// reason otherwise.
+    truncation: Option<Truncation>,
+    /// Engine-defined work units spent (nodes / conflicts).
+    work: u64,
+}
 
 /// SAT cover enumeration, partitioned over the top-level branch set.
 ///
@@ -168,23 +233,14 @@ fn cover_sat(
     k: usize,
     max_solutions: usize,
     parallelism: Parallelism,
-) -> EngineOutput {
+    budget: &Budget,
+) -> CoverOutcome {
     let build_start = Instant::now();
     if sets.is_empty() {
-        return (
-            vec![Vec::new()],
-            true,
-            build_start.elapsed(),
-            build_start.elapsed(),
-        );
+        return trivial_outcome(vec![Vec::new()], build_start.elapsed());
     }
     if sets.iter().any(|s| s.is_empty()) {
-        return (
-            Vec::new(),
-            true,
-            build_start.elapsed(),
-            build_start.elapsed(),
-        );
+        return trivial_outcome(Vec::new(), build_start.elapsed());
     }
     let branch_set = sets
         .iter()
@@ -193,30 +249,60 @@ fn cover_sat(
     let cap = max_solutions.max(1);
     let build_time = build_start.elapsed();
     let enum_start = Instant::now();
+    // The SAT engine's work unit is solver conflicts: the work budget and
+    // the conflict budget merge into one solver limit, installed on each
+    // branch's own solver (bounding every enumeration query; branches are
+    // independent shards, so the truncation points stay deterministic for
+    // every worker count), and the wall deadline plugs into the solver's
+    // cooperative deadline hook.
+    let (conflict_limit, conflict_reason) = budget.conflict_limit();
+    let deadline = budget.deadline_instant();
     // Enumeration cost is dominated by per-branch CDCL runs over the
     // covering CNF; scale the Auto work estimate with instance size.
     let universe: usize = sets.iter().map(|s| s.len()).sum();
-    let work = branch_set
+    let work_estimate = branch_set
         .len()
         .saturating_mul(universe.max(1))
         .saturating_mul(64);
-    let workers = parallelism.workers_for(branch_set.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
-    let per_branch: Vec<(Vec<Vec<GateId>>, bool, Option<Duration>)> = parallel_map_init(
+    let workers = parallelism.workers_for(
+        branch_set.len(),
+        work_estimate,
+        gatediag_sim::AUTO_WORK_FLOOR,
+    );
+    let per_branch: Vec<BranchOutcome> = parallel_map_init(
         workers,
         branch_set.len(),
         || (),
-        |(), b| enumerate_cover_branch(sets, branch_set, b, k, cap, enum_start),
+        |(), b| {
+            enumerate_cover_branch(
+                sets,
+                branch_set,
+                b,
+                k,
+                cap,
+                enum_start,
+                conflict_limit,
+                conflict_reason,
+                deadline,
+            )
+        },
     );
 
     let mut found: Vec<Vec<GateId>> = Vec::new();
     let mut complete = true;
     let mut first_elapsed: Option<Duration> = None;
-    for (local, local_complete, local_first) in per_branch {
-        if let Some(t) = local_first {
+    let mut budget_truncation: Option<Truncation> = None;
+    let mut work = 0u64;
+    for branch in per_branch {
+        if let Some(t) = branch.first_elapsed {
             first_elapsed = Some(first_elapsed.map_or(t, |cur: Duration| cur.min(t)));
         }
-        complete &= local_complete;
-        found.extend(local);
+        complete &= branch.complete;
+        if budget_truncation.is_none() {
+            budget_truncation = branch.truncation;
+        }
+        work += branch.work;
+        found.extend(branch.solutions);
     }
     let truncated = found.len() >= cap;
     found.truncate(cap);
@@ -239,16 +325,41 @@ fn cover_sat(
             })
         })
         .collect();
-    (
-        irredundant,
-        complete && !truncated,
+    CoverOutcome {
+        solutions: irredundant,
         build_time,
         first_solution_time,
-    )
+        truncation: budget_truncation.or((!complete || truncated).then_some(Truncation::Solutions)),
+        work,
+    }
+}
+
+/// A trivial (empty-instance) outcome: complete, no work.
+fn trivial_outcome(solutions: Vec<Vec<GateId>>, build_time: Duration) -> CoverOutcome {
+    CoverOutcome {
+        solutions,
+        build_time,
+        first_solution_time: build_time,
+        truncation: None,
+        work: 0,
+    }
+}
+
+/// What one top-level branch of either covering engine reports back.
+struct BranchOutcome {
+    solutions: Vec<Vec<GateId>>,
+    complete: bool,
+    first_elapsed: Option<Duration>,
+    truncation: Option<Truncation>,
+    work: u64,
 }
 
 /// One branch of the sharded SAT cover enumeration: covers containing
-/// `branch_set[b]` and none of `branch_set[..b]`.
+/// `branch_set[b]` and none of `branch_set[..b]`. `conflict_limit` /
+/// `deadline` are the per-branch cooperative budget (see
+/// [`CovOptions::budget`]); `conflict_reason` is the [`Truncation`] to
+/// report when the conflict limit trips.
+#[allow(clippy::too_many_arguments)] // one shard's full budget context
 fn enumerate_cover_branch(
     sets: &[Vec<GateId>],
     branch_set: &[GateId],
@@ -256,7 +367,10 @@ fn enumerate_cover_branch(
     k: usize,
     cap: usize,
     enum_start: Instant,
-) -> (Vec<Vec<GateId>>, bool, Option<Duration>) {
+    conflict_limit: Option<u64>,
+    conflict_reason: Truncation,
+    deadline: Option<Instant>,
+) -> BranchOutcome {
     let mut solver = Solver::new();
     let mut var_of: HashMap<GateId, Var> = HashMap::new();
     let mut gate_of: Vec<GateId> = Vec::new();
@@ -285,10 +399,13 @@ fn enumerate_cover_branch(
     let limit = k.min(selectors.len());
     let select_lits: Vec<_> = selectors.iter().map(|v| v.positive()).collect();
     let totalizer = Totalizer::new(&mut solver, &select_lits, limit);
+    solver.set_conflict_budget(conflict_limit);
+    solver.set_deadline(deadline);
 
     let mut solutions: Vec<Vec<GateId>> = Vec::new();
     let mut complete = true;
     let mut first_elapsed: Option<Duration> = None;
+    let mut truncation: Option<Truncation> = None;
     'sizes: for size in 1..=limit {
         let assumptions: Vec<_> = totalizer.at_most(size).into_iter().collect();
         let remaining = cap.saturating_sub(solutions.len());
@@ -315,10 +432,23 @@ fn enumerate_cover_branch(
         }
         if !out.complete {
             complete = false;
+            if out.gave_up {
+                truncation = Some(if solver.deadline_hit() {
+                    Truncation::Deadline
+                } else {
+                    conflict_reason
+                });
+            }
             break 'sizes;
         }
     }
-    (solutions, complete, first_elapsed)
+    BranchOutcome {
+        solutions,
+        complete,
+        first_elapsed,
+        truncation,
+        work: solver.stats().conflicts,
+    }
 }
 
 /// Branch-and-bound cover enumeration, fanned out over the gates of the
@@ -336,28 +466,29 @@ fn enumerate_cover_branch(
 /// The effective cap is `max_solutions.max(1)`: the seed recursion only
 /// noticed truncation *after* pushing a solution, so even
 /// `max_solutions == 0` reports the first cover found.
+///
+/// # Budgeted runs
+///
+/// With a work or deadline budget the engine always takes the
+/// branch-decomposed path — even with one worker — so that a truncated
+/// enumeration is the same *set of per-branch truncations* for every
+/// worker count: each top-level branch gets its own meter (the full work
+/// budget, counted in node expansions; the shared absolute deadline), and
+/// branches merge in branch order. Unbudgeted runs keep the seed's
+/// sequential shape bit-for-bit.
 fn cover_bnb(
     sets: &[Vec<GateId>],
     k: usize,
     max_solutions: usize,
     parallelism: Parallelism,
-) -> EngineOutput {
+    budget: &Budget,
+) -> CoverOutcome {
     let build_start = Instant::now();
     if sets.is_empty() {
-        return (
-            vec![Vec::new()],
-            true,
-            build_start.elapsed(),
-            build_start.elapsed(),
-        );
+        return trivial_outcome(vec![Vec::new()], build_start.elapsed());
     }
     if sets.iter().any(|s| s.is_empty()) {
-        return (
-            Vec::new(),
-            true,
-            build_start.elapsed(),
-            build_start.elapsed(),
-        );
+        return trivial_outcome(Vec::new(), build_start.elapsed());
     }
     let build_time = build_start.elapsed();
     let enum_start = Instant::now();
@@ -368,25 +499,33 @@ fn cover_bnb(
         .min_by_key(|set| set.len())
         .expect("sets checked non-empty");
     let cap = max_solutions.max(1);
+    let budgeted = budget.work.is_some() || budget.deadline_ms.is_some();
     let mut found: Vec<Vec<GateId>> = Vec::new();
     let mut first_elapsed: Option<Duration> = None;
+    let mut budget_truncation: Option<Truncation> = None;
+    let mut work = 0u64;
     {
         // Rough enumeration-size estimate for the `Auto` work floor: the
         // search visits O(branch · max_set_len^(k-1)) nodes, each
         // scanning the sets for cover checks.
         let max_set_len = sets.iter().map(|s| s.len()).max().unwrap_or(1);
-        let work = branch_set
+        let work_estimate = branch_set
             .len()
             .saturating_mul(max_set_len.saturating_pow(k.saturating_sub(1).min(3) as u32))
             .saturating_mul(sets.len());
-        let workers =
-            parallelism.workers_for(branch_set.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
-        if workers <= 1 {
+        let workers = parallelism.workers_for(
+            branch_set.len(),
+            work_estimate,
+            gatediag_sim::AUTO_WORK_FLOOR,
+        );
+        if !budgeted && workers <= 1 {
             // Sequential: one recursion from the empty root — shared
             // solution list, global early exit across branches (the
             // seed's behaviour). With empty `chosen` the recursion picks
             // the same smallest branch set as above, and its budget
-            // check handles `k == 0`.
+            // check handles `k == 0`. The meter is unlimited here, so the
+            // hot loop pays one add per node and never polls the clock.
+            let mut meter = Budget::default().meter();
             recurse(
                 sets,
                 k,
@@ -395,9 +534,14 @@ fn cover_bnb(
                 cap,
                 &mut first_elapsed,
                 enum_start,
+                &mut meter,
             );
+            work = meter.work_used();
         } else if k > 0 {
-            let per_branch: Vec<(Vec<Vec<GateId>>, Option<Duration>)> = parallel_map_init(
+            // Branch-decomposed: always taken when budgeted (any worker
+            // count) so truncation points cannot depend on the schedule.
+            let root_meter = budget.meter();
+            let per_branch: Vec<BranchOutcome> = parallel_map_init(
                 workers,
                 branch_set.len(),
                 || (),
@@ -405,6 +549,7 @@ fn cover_bnb(
                     let mut chosen = vec![branch_set[b]];
                     let mut local: Vec<Vec<GateId>> = Vec::new();
                     let mut local_first = None;
+                    let mut meter = root_meter.fork();
                     recurse(
                         sets,
                         k - 1,
@@ -413,15 +558,26 @@ fn cover_bnb(
                         cap,
                         &mut local_first,
                         enum_start,
+                        &mut meter,
                     );
-                    (local, local_first)
+                    BranchOutcome {
+                        solutions: local,
+                        complete: meter.truncation().is_none(),
+                        first_elapsed: local_first,
+                        truncation: meter.truncation(),
+                        work: meter.work_used(),
+                    }
                 },
             );
-            for (local, local_first) in per_branch {
-                if let Some(t) = local_first {
+            for branch in per_branch {
+                if let Some(t) = branch.first_elapsed {
                     first_elapsed = Some(first_elapsed.map_or(t, |cur: Duration| cur.min(t)));
                 }
-                found.extend(local);
+                if budget_truncation.is_none() {
+                    budget_truncation = branch.truncation;
+                }
+                work += branch.work;
+                found.extend(branch.solutions);
             }
         }
     }
@@ -447,14 +603,23 @@ fn cover_bnb(
         })
         .cloned()
         .collect();
-    (irredundant, !truncated, build_time, first_solution_time)
+    CoverOutcome {
+        solutions: irredundant,
+        build_time,
+        first_solution_time,
+        truncation: budget_truncation.or(truncated.then_some(Truncation::Solutions)),
+        work,
+    }
 }
 
 /// The cover search. The sequential path enters once with an empty
 /// `chosen` (the full seed recursion); a parallel branch enters with its
 /// root gate pre-chosen. `found` is the sequential path's shared list or
 /// a parallel branch's local list, capped at `cap`
-/// (`max_solutions.max(1)`, see [`cover_bnb`]).
+/// (`max_solutions.max(1)`, see [`cover_bnb`]). `meter` charges one work
+/// unit per node expansion — the engine's cooperative checkpoint; an
+/// unlimited meter reduces it to a counter.
+#[allow(clippy::too_many_arguments)] // one search frame's full context
 fn recurse(
     sets: &[Vec<GateId>],
     budget: usize,
@@ -463,8 +628,9 @@ fn recurse(
     cap: usize,
     first_elapsed: &mut Option<Duration>,
     enum_start: Instant,
+    meter: &mut BudgetMeter,
 ) {
-    if found.len() >= cap {
+    if found.len() >= cap || !meter.charge(1) {
         return;
     }
     // Find the smallest uncovered set to branch on.
@@ -492,9 +658,10 @@ fn recurse(
             cap,
             first_elapsed,
             enum_start,
+            meter,
         );
         chosen.pop();
-        if found.len() >= cap {
+        if found.len() >= cap || meter.truncation().is_some() {
             return;
         }
     }

@@ -15,14 +15,16 @@
 
 use crate::bsat::{basic_sat_diagnose, BsatOptions};
 use crate::bsim::{basic_sim_diagnose, BsimOptions};
+use crate::budget::{Budget, Truncation};
 use crate::cov::{sc_diagnose, CovOptions};
 use crate::hybrid::hybrid_seeded_bsat;
 use crate::test_set::TestSet;
-use crate::validity::screen_valid_corrections;
+use crate::validity::{screen_valid_corrections_metered, ValidityBackend};
 use gatediag_netlist::{Circuit, GateId};
 use gatediag_sat::SolverStats;
 use gatediag_sim::Parallelism;
 use std::fmt;
+use std::time::Instant;
 
 /// Which diagnosis engine to run.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
@@ -43,10 +45,10 @@ pub enum EngineKind {
     Hybrid,
     /// COV covers screened through the auto-dispatching
     /// [`ValidityOracle`](crate::ValidityOracle)
-    /// ([`screen_valid_corrections`]): like BSAT everything reported is a
-    /// valid correction, but candidates come from simulation covers and
-    /// each validity call picks the sim or SAT backend per
-    /// [`crate::resolve_validity_backend`].
+    /// ([`screen_valid_corrections_metered`]): like BSAT everything
+    /// reported is a valid correction, but candidates come from
+    /// simulation covers and each validity call picks the sim or SAT
+    /// backend per [`crate::resolve_validity_backend`].
     Auto,
 }
 
@@ -91,8 +93,22 @@ pub struct EngineConfig {
     pub k: usize,
     /// Enumeration cap; `complete = false` when hit.
     pub max_solutions: usize,
-    /// Conflict budget for the SAT engines (`None` = unlimited).
+    /// Conflict budget for every SAT search the run performs — including
+    /// the [`EngineKind::Auto`] validity screen's SAT backend (`None` =
+    /// unlimited). Folded into [`EngineConfig::budget`]'s conflict limit
+    /// (the smaller wins).
     pub conflict_budget: Option<u64>,
+    /// Cooperative work/deadline budget (see [`crate::budget`]): the
+    /// deterministic work limit counts engine-defined units and keeps
+    /// truncated runs bit-identical across worker counts; the wall
+    /// deadline is opt-in and nondeterministic. Anchored once at
+    /// [`run_engine`] entry so composite engines race one deadline.
+    pub budget: Budget,
+    /// Validity backend for the [`EngineKind::Auto`] screen. The default
+    /// [`ValidityBackend::Auto`] dispatches per candidate set; pinning
+    /// [`ValidityBackend::Sat`] forces the SAT oracle (whose conflicts
+    /// then count toward the run's stats and budget).
+    pub validity_backend: ValidityBackend,
     /// Worker-pool policy threaded into the engine options. Results are
     /// bit-identical for every setting.
     pub parallelism: Parallelism,
@@ -104,6 +120,8 @@ impl Default for EngineConfig {
             k: 1,
             max_solutions: 10_000,
             conflict_budget: None,
+            budget: Budget::default(),
+            validity_backend: ValidityBackend::default(),
             parallelism: Parallelism::default(),
         }
     }
@@ -122,10 +140,16 @@ pub struct EngineRun {
     /// for the enumerating engines it is the solution list, sorted by
     /// (size, lexicographic).
     pub solutions: Vec<Vec<GateId>>,
-    /// `false` when `max_solutions` or the conflict budget truncated the
-    /// enumeration.
+    /// `false` when `max_solutions` or the budget truncated the run.
     pub complete: bool,
-    /// SAT search statistics (all zero for the pure simulation engines).
+    /// Why the run stopped early, if it did: a budget reason (surfaced by
+    /// the campaign layer as a *preempted* instance) or
+    /// [`Truncation::Solutions`] for the enumeration cap. Always `Some`
+    /// exactly when `complete` is `false`.
+    pub truncation: Option<Truncation>,
+    /// SAT search statistics: the diagnosis solver's counters for the SAT
+    /// engines, the validity screen's accumulated SAT counters for
+    /// [`EngineKind::Auto`] (all zero when only simulation ran).
     pub stats: SolverStats,
 }
 
@@ -164,6 +188,13 @@ pub fn run_engine(
     tests: &TestSet,
     config: &EngineConfig,
 ) -> EngineRun {
+    // One budget for the whole run: the legacy conflict knob folds into
+    // it, and anchoring here makes every phase of a composite engine race
+    // the same wall deadline.
+    let budget = config
+        .budget
+        .merge_conflicts(config.conflict_budget)
+        .anchored(Instant::now());
     match engine {
         EngineKind::Bsim => {
             let result = basic_sim_diagnose(
@@ -171,6 +202,7 @@ pub fn run_engine(
                 tests,
                 BsimOptions {
                     parallelism: config.parallelism,
+                    budget,
                     ..BsimOptions::default()
                 },
             );
@@ -179,7 +211,8 @@ pub fn run_engine(
                 engine,
                 candidates: result.union.iter().collect(),
                 solutions: if gmax.is_empty() { vec![] } else { vec![gmax] },
-                complete: true,
+                complete: result.truncation.is_none(),
+                truncation: result.truncation,
                 stats: SolverStats::default(),
             }
         }
@@ -191,6 +224,7 @@ pub fn run_engine(
                 CovOptions {
                     max_solutions: config.max_solutions,
                     parallelism: config.parallelism,
+                    budget,
                     bsim: BsimOptions {
                         parallelism: config.parallelism,
                         ..BsimOptions::default()
@@ -202,14 +236,15 @@ pub fn run_engine(
                 engine,
                 candidates: union_of(circuit, &result.solutions),
                 solutions: result.solutions,
-                complete: result.complete,
+                complete: result.truncation.is_none(),
+                truncation: result.truncation,
                 stats: SolverStats::default(),
             }
         }
         EngineKind::Bsat | EngineKind::Hybrid => {
             let options = BsatOptions {
                 max_solutions: config.max_solutions,
-                conflict_budget: config.conflict_budget,
+                budget,
                 parallelism: config.parallelism,
                 ..BsatOptions::default()
             };
@@ -222,7 +257,8 @@ pub fn run_engine(
                 engine,
                 candidates: union_of(circuit, &result.solutions),
                 solutions: result.solutions,
-                complete: result.complete,
+                complete: result.truncation.is_none(),
+                truncation: result.truncation,
                 stats: result.stats,
             }
         }
@@ -234,6 +270,7 @@ pub fn run_engine(
                 CovOptions {
                     max_solutions: config.max_solutions,
                     parallelism: config.parallelism,
+                    budget,
                     bsim: BsimOptions {
                         parallelism: config.parallelism,
                         ..BsimOptions::default()
@@ -241,21 +278,39 @@ pub fn run_engine(
                     ..CovOptions::default()
                 },
             );
-            let verdicts =
-                screen_valid_corrections(circuit, tests, &cov.solutions, config.parallelism);
+            // The screen — like every phase — gets the full work budget
+            // in its own unit (sets screened; phase units are not
+            // commensurable, so they are never summed across phases),
+            // the run's conflict budget (so `auto` instances have the
+            // same runaway guard as the SAT engines) and the shared
+            // deadline; its SAT counters are the run's stats instead of
+            // being silently dropped.
+            let screen = screen_valid_corrections_metered(
+                circuit,
+                tests,
+                &cov.solutions,
+                config.parallelism,
+                config.validity_backend,
+                &budget,
+            );
             let solutions: Vec<Vec<GateId>> = cov
                 .solutions
-                .into_iter()
-                .zip(verdicts)
-                .filter(|(_, valid)| *valid)
-                .map(|(sol, _)| sol)
+                .iter()
+                .zip(&screen.verdicts)
+                .filter(|(_, &valid)| valid)
+                .map(|(sol, _)| sol.clone())
                 .collect();
+            // Budget preemptions outrank the enumeration cap: a screen
+            // that gave up must surface as `preempted` even when the COV
+            // phase had already hit `max_solutions`.
+            let truncation = Truncation::merge(cov.truncation, screen.truncation);
             EngineRun {
                 engine,
                 candidates: union_of(circuit, &solutions),
                 solutions,
-                complete: cov.complete,
-                stats: SolverStats::default(),
+                complete: truncation.is_none(),
+                truncation,
+                stats: screen.stats,
             }
         }
     }
@@ -365,6 +420,174 @@ mod tests {
     }
 
     #[test]
+    fn auto_engine_accumulates_sat_validity_stats() {
+        // Regression: the auto engine used to return
+        // `SolverStats::default()`, hiding every conflict/decision its
+        // SAT-backed validity calls actually burned. With the backend
+        // pinned to SAT, the screen runs a solver per cover and the run
+        // must report that work.
+        let (faulty, _, tests) = workload();
+        let config = EngineConfig {
+            validity_backend: ValidityBackend::Sat,
+            ..EngineConfig::default()
+        };
+        let run = run_engine(EngineKind::Auto, &faulty, &tests, &config);
+        assert!(
+            !run.solutions.is_empty(),
+            "workload must produce screened covers"
+        );
+        assert!(
+            run.stats.propagations > 0 && run.stats.decisions > 0,
+            "SAT validity work hidden again: {:?}",
+            run.stats
+        );
+        // The pinned-SAT screen agrees with the auto-dispatched one.
+        let auto = run_engine(EngineKind::Auto, &faulty, &tests, &EngineConfig::default());
+        assert_eq!(run.solutions, auto.solutions);
+    }
+
+    #[test]
+    fn auto_engine_respects_the_conflict_budget() {
+        // Regression: `EngineKind::Auto` dropped
+        // `EngineConfig::conflict_budget` entirely — campaign `auto`
+        // instances had no runaway guard. Find a workload whose SAT
+        // validity screen really conflicts, then pin a 1-conflict budget:
+        // the screen must give up (truncation = conflicts, run
+        // preempt-marked) instead of ignoring the budget.
+        for seed in 0..16u64 {
+            let golden = RandomCircuitSpec::new(6, 3, 60).seed(seed).generate();
+            let (faulty, _) = inject_errors(&golden, 2, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 8, seed, 1 << 14);
+            if tests.is_empty() {
+                continue;
+            }
+            let unbudgeted = run_engine(
+                EngineKind::Auto,
+                &faulty,
+                &tests,
+                &EngineConfig {
+                    k: 2,
+                    validity_backend: ValidityBackend::Sat,
+                    ..EngineConfig::default()
+                },
+            );
+            if unbudgeted.stats.conflicts == 0 {
+                continue; // screen too easy to exercise the budget
+            }
+            let budgeted = run_engine(
+                EngineKind::Auto,
+                &faulty,
+                &tests,
+                &EngineConfig {
+                    k: 2,
+                    validity_backend: ValidityBackend::Sat,
+                    conflict_budget: Some(1),
+                    ..EngineConfig::default()
+                },
+            );
+            assert_eq!(
+                budgeted.truncation,
+                Some(Truncation::Conflicts),
+                "seed {seed}: conflict budget ignored by the auto engine"
+            );
+            assert!(!budgeted.complete);
+            // Deterministic: the budgeted run reproduces itself.
+            let again = run_engine(
+                EngineKind::Auto,
+                &faulty,
+                &tests,
+                &EngineConfig {
+                    k: 2,
+                    validity_backend: ValidityBackend::Sat,
+                    conflict_budget: Some(1),
+                    ..EngineConfig::default()
+                },
+            );
+            assert_eq!(budgeted, again);
+            return;
+        }
+        panic!("no workload made the SAT validity screen conflict");
+    }
+
+    #[test]
+    fn budget_preemption_outranks_the_enumeration_cap() {
+        // The Auto merge must never let the cap reason (`Solutions`, an
+        // `ok` outcome) mask a budget preemption from either phase — a
+        // campaign would then record a tripped budget guard as `ok`.
+        assert_eq!(
+            Truncation::merge(Some(Truncation::Solutions), Some(Truncation::Conflicts)),
+            Some(Truncation::Conflicts)
+        );
+        assert_eq!(
+            Truncation::merge(Some(Truncation::Work), Some(Truncation::Solutions)),
+            Some(Truncation::Work)
+        );
+        assert_eq!(
+            Truncation::merge(Some(Truncation::Deadline), Some(Truncation::Work)),
+            Some(Truncation::Deadline)
+        );
+        assert_eq!(
+            Truncation::merge(Some(Truncation::Solutions), None),
+            Some(Truncation::Solutions)
+        );
+        assert_eq!(Truncation::merge(None, None), None);
+    }
+
+    #[test]
+    fn work_budget_preempts_every_engine_deterministically() {
+        let (faulty, _, tests) = workload();
+        for engine in EngineKind::ALL {
+            let config = EngineConfig {
+                k: 2,
+                budget: Budget {
+                    // One unit: every engine's first work quantum
+                    // exhausts it (one test traced / one node / one
+                    // conflict-capped query).
+                    work: Some(1),
+                    ..Budget::default()
+                },
+                ..EngineConfig::default()
+            };
+            let run = run_engine(engine, &faulty, &tests, &config);
+            if let Some(reason) = run.truncation {
+                assert!(!run.complete, "{engine}: truncated but complete");
+                assert!(
+                    reason.is_preemption() || reason == Truncation::Solutions,
+                    "{engine}: unexpected reason {reason:?}"
+                );
+            }
+            // The sim-side engines must actually preempt on one unit of
+            // work (BSAT may legitimately finish within one conflict).
+            if matches!(
+                engine,
+                EngineKind::Bsim | EngineKind::Cov | EngineKind::Auto
+            ) {
+                assert_eq!(
+                    run.truncation,
+                    Some(Truncation::Work),
+                    "{engine}: work budget did not preempt"
+                );
+            }
+            // Deterministic across worker counts.
+            for workers in [2usize, 8] {
+                let parallel = run_engine(
+                    engine,
+                    &faulty,
+                    &tests,
+                    &EngineConfig {
+                        parallelism: Parallelism::Fixed(workers),
+                        ..config.clone()
+                    },
+                );
+                assert_eq!(
+                    run, parallel,
+                    "{engine}: budgeted run drifted at {workers}w"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn truncation_clears_complete() {
         let golden = c17();
         let (faulty, _) = inject_errors(&golden, 1, 3);
@@ -381,5 +604,9 @@ mod tests {
         );
         assert_eq!(run.solutions.len(), 1);
         assert!(!run.complete);
+        // The enumeration cap is reported as `Solutions`, not as a
+        // budget preemption.
+        assert_eq!(run.truncation, Some(Truncation::Solutions));
+        assert!(!run.truncation.unwrap().is_preemption());
     }
 }

@@ -97,6 +97,7 @@
 mod bruteforce;
 mod bsat;
 mod bsim;
+pub mod budget;
 mod cov;
 mod engine;
 mod hybrid;
@@ -116,6 +117,7 @@ pub use bsat::{
 pub use bsim::{
     basic_sim_diagnose, path_trace, path_trace_packed, BsimOptions, BsimResult, MarkPolicy,
 };
+pub use budget::{Budget, BudgetMeter, Truncation};
 pub use cov::{cover_all, sc_diagnose, CovEngine, CovOptions, CovResult};
 pub use engine::{run_engine, EngineConfig, EngineKind, EngineRun};
 pub use hybrid::{hybrid_seeded_bsat, repair_correction, RepairOutcome};
@@ -135,9 +137,9 @@ pub use test_set::{generate_failing_tests, Test, TestSet};
 pub use validity::is_valid_correction_sim;
 pub use validity::{
     is_valid_correction, is_valid_correction_sat, is_valid_correction_sat_par,
-    resolve_validity_backend, screen_valid_corrections, screen_valid_corrections_sat,
-    screen_valid_corrections_sim, SatValidityEngine, SimValidityEngine, ValidityBackend,
-    ValidityOracle, SIM_MAX_CANDIDATES,
+    resolve_validity_backend, screen_valid_corrections, screen_valid_corrections_metered,
+    screen_valid_corrections_sat, screen_valid_corrections_sim, SatValidityEngine, ScreenOutcome,
+    SimValidityEngine, ValidityBackend, ValidityOracle, ValidityVerdict, SIM_MAX_CANDIDATES,
 };
 
 // The thread-count policy for the parallel diagnosis entry points lives

@@ -27,7 +27,13 @@ use gatediag_sim::{parallel_map_init, x_may_rectify, Parallelism};
 /// Options for [`sim_backtrack_diagnose`].
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct SimBacktrackOptions {
-    /// Path-tracing options for the marking phase.
+    /// Path-tracing options for the marking phase. Its `budget` field is
+    /// **ignored** (the marking phase runs unbudgeted): this function
+    /// returns a bare solution list with no completeness channel, so a
+    /// silently truncated marking pass would narrow the diagnosis with
+    /// no way to tell — budgeted runs belong on the
+    /// [`run_engine`](crate::run_engine) surface, which reports
+    /// truncation.
     pub bsim: BsimOptions,
     /// Stop after this many solutions.
     pub max_solutions: usize,
@@ -71,7 +77,16 @@ pub fn sim_backtrack_diagnose(
     k: usize,
     options: SimBacktrackOptions,
 ) -> Vec<Vec<GateId>> {
-    let bsim = basic_sim_diagnose(circuit, tests, options.bsim);
+    // No truncation channel in the return type, so no budget: see the
+    // `SimBacktrackOptions::bsim` docs.
+    let bsim = basic_sim_diagnose(
+        circuit,
+        tests,
+        BsimOptions {
+            budget: crate::budget::Budget::default(),
+            ..options.bsim
+        },
+    );
     // Candidates ordered by decreasing mark count M(g) — the greedy order
     // of the incremental approaches.
     let mut candidates: Vec<GateId> = bsim.union.iter().collect();

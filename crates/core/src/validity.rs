@@ -34,11 +34,13 @@
 //! independent per-test instances across workers with
 //! [`is_valid_correction_sat_par`].
 
+use crate::budget::{Budget, Truncation};
 use crate::test_set::{Test, TestSet};
 use gatediag_cnf::{encode_gate, ClauseSink};
 use gatediag_netlist::{Circuit, GateId, GateKind};
-use gatediag_sat::{SolveResult, Solver, Var};
-use gatediag_sim::{parallel_map_init, PackedSim, Parallelism};
+use gatediag_sat::{SolveResult, Solver, SolverStats, Var};
+use gatediag_sim::{parallel_map_init, parallel_map_init_while, PackedSim, Parallelism};
+use std::time::Instant;
 
 /// Words per gate used by the forced-value screening sweeps: 16 words =
 /// 1024 candidate-value combinations per incremental propagation.
@@ -267,6 +269,19 @@ pub struct SatValidityEngine<'c> {
     vars: Vec<Var>,
 }
 
+/// Outcome of one budgeted rectifiability query
+/// ([`SatValidityEngine::query`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ValidityVerdict {
+    /// Some assignment of the freed candidates rectifies the test.
+    Rectifiable,
+    /// No assignment rectifies the test (the candidate set is invalid).
+    NotRectifiable,
+    /// The solver gave up on its conflict budget or deadline before a
+    /// verdict; the caller should treat the set as unscreened.
+    Unknown(Truncation),
+}
+
 impl<'c> SatValidityEngine<'c> {
     /// Encodes `circuit` with `candidates` freed.
     ///
@@ -308,6 +323,15 @@ impl<'c> SatValidityEngine<'c> {
     /// `true` if some assignment of the freed candidate values makes the
     /// test's designated output take its expected value.
     pub fn test_rectifiable(&mut self, test: &Test) -> bool {
+        self.query(test) == ValidityVerdict::Rectifiable
+    }
+
+    /// [`SatValidityEngine::test_rectifiable`] with the budget-aware
+    /// tri-state outcome: a solver that gives up (conflict budget or
+    /// deadline, see [`SatValidityEngine::set_limits`]) reports
+    /// [`ValidityVerdict::Unknown`] instead of silently conflating "gave
+    /// up" with "not rectifiable".
+    pub fn query(&mut self, test: &Test) -> ValidityVerdict {
         let mut assumptions: Vec<_> = self
             .circuit
             .inputs()
@@ -316,7 +340,31 @@ impl<'c> SatValidityEngine<'c> {
             .map(|(&pi, &v)| self.vars[pi.index()].lit(v))
             .collect();
         assumptions.push(self.vars[test.output.index()].lit(test.expected));
-        self.solver.solve(&assumptions) == SolveResult::Sat
+        match self.solver.solve(&assumptions) {
+            SolveResult::Sat => ValidityVerdict::Rectifiable,
+            SolveResult::Unsat => ValidityVerdict::NotRectifiable,
+            SolveResult::Unknown => ValidityVerdict::Unknown(if self.solver.deadline_hit() {
+                Truncation::Deadline
+            } else {
+                Truncation::Conflicts
+            }),
+        }
+    }
+
+    /// Installs a per-query conflict budget and/or an absolute wall
+    /// deadline on the engine's solver (`None` = unlimited, the default).
+    /// The conflict budget is deterministic; the deadline is not.
+    pub fn set_limits(&mut self, conflicts: Option<u64>, deadline: Option<Instant>) {
+        self.solver.set_conflict_budget(conflicts);
+        self.solver.set_deadline(deadline);
+    }
+
+    /// Cumulative solver statistics across every query this engine ran —
+    /// the real cost of SAT-backed validity screening, which callers
+    /// aggregating per-run stats (the campaign's `auto` engine) must not
+    /// drop on the floor.
+    pub fn stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 }
 
@@ -424,6 +472,104 @@ pub fn screen_valid_corrections(
         || ValidityOracle::new(circuit),
         |oracle, i| oracle.is_valid(tests, &candidate_sets[i]),
     )
+}
+
+/// Outcome of a budgeted batch screen
+/// ([`screen_valid_corrections_metered`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ScreenOutcome {
+    /// Verdicts for the *screened prefix* of the input sets, in input
+    /// order. Shorter than the input only under `Work` or `Deadline`
+    /// truncation (unscreened sets have no verdict at all — the caller
+    /// must not report them, so always zip against this list rather than
+    /// the input). A `Conflicts` truncation does **not** shorten the
+    /// list: the set whose query gave up is conservatively screened as
+    /// invalid, and the reason is recorded here.
+    pub verdicts: Vec<bool>,
+    /// SAT statistics accumulated over every screened set, in input
+    /// order (all zero when only the simulation backend ran).
+    pub stats: SolverStats,
+    /// Why screening stopped early, if it did.
+    pub truncation: Option<Truncation>,
+    /// Deterministic work charged: the number of sets screened.
+    pub work: u64,
+}
+
+/// [`screen_valid_corrections`] under a cooperative [`Budget`], reporting
+/// SAT statistics and truncation — the campaign-grade batch screen.
+///
+/// The deterministic work unit is **one candidate set screened**: a work
+/// budget truncates the set list to a prefix before the fan-out, so the
+/// verdict prefix is bit-identical for every worker count. The SAT
+/// conflict budget applies per rectifiability query inside each screened
+/// set (a set whose query gives up screens as *invalid*, with the reason
+/// recorded — deterministic, since the CDCL search is). The wall deadline
+/// stops between sets (nondeterministic, opt-in). `backend` pins the
+/// validity backend, or [`ValidityBackend::Auto`] to dispatch per set.
+pub fn screen_valid_corrections_metered(
+    circuit: &Circuit,
+    tests: &TestSet,
+    candidate_sets: &[Vec<GateId>],
+    parallelism: Parallelism,
+    backend: ValidityBackend,
+    budget: &Budget,
+) -> ScreenOutcome {
+    let meter = budget.meter();
+    let screened = usize::try_from(meter.remaining_work())
+        .unwrap_or(usize::MAX)
+        .min(candidate_sets.len());
+    let work_truncated = screened < candidate_sets.len();
+    // The work unit here is *sets*, not conflicts, so only the explicit
+    // conflict budget caps the per-query SAT searches.
+    let conflicts = budget.conflicts;
+    let deadline = meter.deadline();
+    let work_estimate = screened
+        .saturating_mul(circuit.len())
+        .saturating_mul(tests.len().max(1));
+    let workers = parallelism.workers_for(screened, work_estimate, gatediag_sim::AUTO_WORK_FLOOR);
+    let per_set = parallel_map_init_while(
+        workers,
+        screened,
+        || {
+            let mut oracle = ValidityOracle::with_backend(circuit, backend);
+            oracle.set_limits(conflicts, deadline);
+            oracle
+        },
+        |oracle, i| {
+            let verdict = oracle.is_valid(tests, &candidate_sets[i]);
+            (verdict, oracle.take_stats(), oracle.take_truncation())
+        },
+        || deadline.is_none_or(|d| Instant::now() < d),
+    );
+    let mut verdicts = Vec::with_capacity(screened);
+    let mut stats = SolverStats::default();
+    let mut truncation: Option<Truncation> = None;
+    let mut deadline_hit = false;
+    for entry in per_set {
+        let Some((verdict, set_stats, set_truncation)) = entry else {
+            // Deadline between sets: keep the contiguous verdict prefix.
+            deadline_hit = true;
+            break;
+        };
+        verdicts.push(verdict);
+        stats.absorb(&set_stats);
+        if truncation.is_none() {
+            truncation = set_truncation;
+        }
+    }
+    let work = verdicts.len() as u64;
+    ScreenOutcome {
+        verdicts,
+        stats,
+        truncation: if deadline_hit {
+            Some(Truncation::Deadline)
+        } else if work_truncated {
+            Some(Truncation::Work)
+        } else {
+            truncation
+        },
+        work,
+    }
 }
 
 /// Which validity oracle a call should use.
@@ -550,6 +696,18 @@ pub struct ValidityOracle<'c> {
     circuit: &'c Circuit,
     sim: SimValidityEngine<'c>,
     backend: ValidityBackend,
+    /// Per-query conflict budget for the SAT backend (`None` = unlimited).
+    conflicts: Option<u64>,
+    /// Absolute wall deadline for the SAT backend (nondeterministic,
+    /// opt-in — the simulation backend checkpoints at the screen level
+    /// instead, between candidate sets).
+    deadline: Option<Instant>,
+    /// SAT statistics accumulated across calls since the last
+    /// [`ValidityOracle::take_stats`].
+    stats: SolverStats,
+    /// Whether a call gave up on its budget since the last
+    /// [`ValidityOracle::take_truncation`].
+    truncation: Option<Truncation>,
 }
 
 impl<'c> ValidityOracle<'c> {
@@ -564,7 +722,34 @@ impl<'c> ValidityOracle<'c> {
             circuit,
             sim: SimValidityEngine::new(circuit),
             backend,
+            conflicts: None,
+            deadline: None,
+            stats: SolverStats::default(),
+            truncation: None,
         }
+    }
+
+    /// Installs a per-query SAT conflict budget and/or an absolute wall
+    /// deadline on the oracle (`None` = unlimited). A SAT query that gives
+    /// up makes [`ValidityOracle::is_valid`] answer `false` (conservative:
+    /// an unproven correction is not reported valid) and records the
+    /// reason, retrievable via [`ValidityOracle::take_truncation`].
+    pub fn set_limits(&mut self, conflicts: Option<u64>, deadline: Option<Instant>) {
+        self.conflicts = conflicts;
+        self.deadline = deadline;
+    }
+
+    /// SAT statistics accumulated across calls since the last take;
+    /// resets the accumulator. All zero when only the simulation backend
+    /// ran.
+    pub fn take_stats(&mut self) -> SolverStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// The budget reason some call gave up on since the last take, if
+    /// any; resets the flag.
+    pub fn take_truncation(&mut self) -> Option<Truncation> {
+        self.truncation.take()
     }
 
     /// The backend a call with these arguments would use.
@@ -585,7 +770,30 @@ impl<'c> ValidityOracle<'c> {
     pub fn is_valid(&mut self, tests: &TestSet, candidates: &[GateId]) -> bool {
         match self.backend_for(tests, candidates) {
             ValidityBackend::Sim | ValidityBackend::Auto => self.sim.is_valid(tests, candidates),
-            ValidityBackend::Sat => is_valid_correction_sat(self.circuit, tests, candidates),
+            ValidityBackend::Sat => {
+                let mut engine = SatValidityEngine::new(self.circuit, candidates);
+                engine.set_limits(self.conflicts, self.deadline);
+                let mut valid = true;
+                for test in tests {
+                    match engine.query(test) {
+                        ValidityVerdict::Rectifiable => {}
+                        ValidityVerdict::NotRectifiable => {
+                            valid = false;
+                            break;
+                        }
+                        ValidityVerdict::Unknown(reason) => {
+                            // Conservative: an unproven correction is not
+                            // valid; the caller can distinguish "refuted"
+                            // from "gave up" via `take_truncation`.
+                            self.truncation.get_or_insert(reason);
+                            valid = false;
+                            break;
+                        }
+                    }
+                }
+                self.stats.absorb(&engine.stats());
+                valid
+            }
         }
     }
 }

@@ -37,10 +37,13 @@ fn reference_bsim(
         union.union_with(&marked);
         candidate_sets.push(marked);
     }
+    let work = candidate_sets.len() as u64;
     BsimResult {
         candidate_sets,
         mark_counts,
         union,
+        truncation: None,
+        work,
     }
 }
 

@@ -16,8 +16,13 @@ pub struct EnumOutcome {
     /// The projected solutions, in discovery order.
     pub solutions: Vec<Vec<Var>>,
     /// `false` if the run stopped because `limit` was reached or the solver
-    /// gave up (conflict budget).
+    /// gave up (conflict budget / deadline).
     pub complete: bool,
+    /// `true` when the stop was the *solver* giving up
+    /// ([`SolveResult::Unknown`]: conflict budget or deadline) rather than
+    /// the enumeration `limit`; lets callers report the right truncation
+    /// reason. Always `false` when `complete` is `true`.
+    pub gave_up: bool,
 }
 
 /// Enumerates satisfying assignments projected onto `selectors`, blocking
@@ -42,6 +47,7 @@ pub fn enumerate_positive_subsets(
             return EnumOutcome {
                 solutions,
                 complete: false,
+                gave_up: false,
             };
         }
         match solver.solve(assumptions) {
@@ -59,6 +65,7 @@ pub fn enumerate_positive_subsets(
                     return EnumOutcome {
                         solutions,
                         complete: true,
+                        gave_up: false,
                     };
                 }
                 solver.add_clause(&block);
@@ -67,12 +74,14 @@ pub fn enumerate_positive_subsets(
                 return EnumOutcome {
                     solutions,
                     complete: true,
+                    gave_up: false,
                 }
             }
             SolveResult::Unknown => {
                 return EnumOutcome {
                     solutions,
                     complete: false,
+                    gave_up: true,
                 }
             }
         }

@@ -34,6 +34,22 @@ pub struct SolverStats {
     pub removed_clauses: u64,
 }
 
+impl SolverStats {
+    /// Adds `other`'s counters into `self` — for aggregating the search
+    /// cost over several solvers (per-test validity engines, per-branch
+    /// cover solvers). All fields sum, including the `learnt_clauses`
+    /// gauge, which in an aggregate reads as "learnt clauses held across
+    /// all solvers".
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.restarts += other.restarts;
+        self.learnt_clauses += other.learnt_clauses;
+        self.removed_clauses += other.removed_clauses;
+    }
+}
+
 #[derive(Copy, Clone, Debug)]
 struct Watcher {
     cref: CRef,
@@ -141,6 +157,10 @@ impl WatchLists {
     }
 }
 
+/// How often the cooperative deadline polls the wall clock: once per this
+/// many conflicts (plus once at solve entry). See [`Solver::set_deadline`].
+const DEADLINE_CHECK_MASK: u64 = 0x3F;
+
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
 const RESCALE_LIMIT: f64 = 1e100;
@@ -198,6 +218,8 @@ pub struct Solver {
     stats: SolverStats,
     max_learnts: f64,
     conflict_budget: Option<u64>,
+    deadline: Option<std::time::Instant>,
+    deadline_hit: bool,
 }
 
 impl Solver {
@@ -252,6 +274,26 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs a wall-clock deadline for subsequent [`Solver::solve`]
+    /// calls; `None` removes it. The clock is polled only at conflict
+    /// boundaries (every 64 conflicts, `DEADLINE_CHECK_MASK`) plus once
+    /// at solve entry, so the deadline is cooperative and coarse. Exceeding
+    /// it yields [`SolveResult::Unknown`], distinguishable from a conflict
+    /// budget stop via [`Solver::deadline_hit`].
+    ///
+    /// A deadline makes results *time-dependent* — use it only in flows
+    /// (like campaign preemption) that quarantine nondeterminism.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// `true` when the most recent [`Solver::solve`] call returned
+    /// [`SolveResult::Unknown`] because the deadline passed (rather than
+    /// because the conflict budget ran out).
+    pub fn deadline_hit(&self) -> bool {
+        self.deadline_hit
     }
 
     /// Sets the saved phase of `var`, biasing future decisions.
@@ -810,6 +852,17 @@ impl Solver {
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
         self.failed_assumptions.clear();
+        self.deadline_hit = false;
+        if let Some(deadline) = self.deadline {
+            // An already-expired deadline gives up before searching at
+            // all: a run of back-to-back solves (model enumeration,
+            // per-test validity queries) must stop promptly even when the
+            // individual solves are conflict-free.
+            if std::time::Instant::now() >= deadline {
+                self.deadline_hit = true;
+                return SolveResult::Unknown;
+            }
+        }
         if !self.ok || self.propagate().is_some() {
             self.ok = false;
             return SolveResult::Unsat;
@@ -865,6 +918,16 @@ impl Solver {
                 self.record_learnt(learnt);
                 if let Some(budget) = self.conflict_budget {
                     if self.stats.conflicts - budget_start >= budget {
+                        return InnerResult::Unknown;
+                    }
+                }
+                if let Some(deadline) = self.deadline {
+                    // Checkpointed: poll the clock only every few
+                    // conflicts, so the hook costs nothing on the hot path.
+                    if conflicts_here & DEADLINE_CHECK_MASK == 0
+                        && std::time::Instant::now() >= deadline
+                    {
+                        self.deadline_hit = true;
                         return InnerResult::Unknown;
                     }
                 }
@@ -1102,6 +1165,44 @@ mod tests {
         assert_eq!(s.solve(&[]), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_returns_unknown_and_is_removable() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        s.add_clause(&[v[0].positive(), v[1].positive()]);
+        s.set_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_secs(1),
+        ));
+        assert_eq!(s.solve(&[]), SolveResult::Unknown);
+        assert!(s.deadline_hit());
+        // Removing the deadline restores normal solving, and the flag
+        // clears on the next call.
+        s.set_deadline(None);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        assert!(!s.deadline_hit());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_solving() {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..3).map(|_| vars(&mut s, 2)).collect();
+        for row in &p {
+            s.add_clause(&[row[0].positive(), row[1].positive()]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        s.set_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        ));
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(!s.deadline_hit());
     }
 
     #[test]

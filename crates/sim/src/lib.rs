@@ -86,6 +86,8 @@ pub use packed::{
     pack_vectors, pack_vectors_into, simulate_packed, simulate_packed_forced, unpack_lane,
 };
 pub use packed_tv::{eval_dual_rail, simulate_tv_packed, DualRail};
-pub use pool::{parallel_map_init, Parallelism, AUTO_WORK_FLOOR, MAX_ENV_WORKERS};
+pub use pool::{
+    parallel_map_init, parallel_map_init_while, Parallelism, AUTO_WORK_FLOOR, MAX_ENV_WORKERS,
+};
 pub use scalar::{output_values, simulate, simulate_forced};
 pub use tv::{eval_tv, simulate_tv, x_may_rectify, Tv};

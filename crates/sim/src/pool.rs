@@ -54,6 +54,10 @@ pub enum Parallelism {
     /// One worker, inline on the calling thread (no spawning at all).
     Sequential,
     /// Exactly this many workers (values of 0 and 1 mean sequential).
+    /// Like the `GATEDIAG_WORKERS` override, absurdly large requests clamp
+    /// to [`MAX_ENV_WORKERS`] instead of trying to spawn thousands of OS
+    /// threads — `--workers 999999` on a large campaign must degrade to
+    /// the cap, not exhaust thread limits.
     Fixed(usize),
     /// One worker per available core, as reported by
     /// [`std::thread::available_parallelism`]. The `GATEDIAG_WORKERS`
@@ -116,7 +120,9 @@ impl Parallelism {
     pub fn workers(self, items: usize) -> usize {
         let requested = match self {
             Parallelism::Sequential => 1,
-            Parallelism::Fixed(n) => n.max(1),
+            // Same clamp as the env override: a huge explicit request is a
+            // misconfiguration, not a license to spawn a thread army.
+            Parallelism::Fixed(n) => n.clamp(1, MAX_ENV_WORKERS),
             Parallelism::Auto => env_workers()
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get())),
         };
@@ -161,6 +167,66 @@ where
         let mut state = init();
         return (0..items).map(|i| work(&mut state, i)).collect();
     }
+    parallel_map_inner(workers, items, init, work)
+}
+
+/// [`parallel_map_init`] with a cooperative stop check: `proceed()` is
+/// polled before every item claim (on every worker, including the inline
+/// sequential path), and once it returns `false` no further items start —
+/// skipped items come back as `None`.
+///
+/// This is the preemption checkpoint of the budget subsystem: the
+/// diagnosis flows pass a deadline probe so a wall-clock budget can stop a
+/// fan-out *between* work items without poisoning the items already
+/// computed. Items are never half-done: an item is either `Some(result)`
+/// (claimed before the stop) or `None`. Because workers race the clock
+/// independently, *which* items complete under a deadline is
+/// nondeterministic — callers quarantine deadline truncation exactly like
+/// wall-clock timing. With `proceed` constant-`true` the result is
+/// `parallel_map_init` with every element wrapped in `Some`.
+pub fn parallel_map_init_while<S, R, I, W, P>(
+    workers: usize,
+    items: usize,
+    init: I,
+    work: W,
+    proceed: P,
+) -> Vec<Option<R>>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> R + Sync,
+    P: Fn() -> bool + Sync,
+{
+    if workers <= 1 || items <= 1 {
+        let mut state = init();
+        return (0..items)
+            .map(|i| proceed().then(|| work(&mut state, i)))
+            .collect();
+    }
+    // Sticky stop: once any worker observes `proceed() == false`, every
+    // later claim on every worker is skipped, so the stop is cooperative
+    // but prompt even when the probe itself is cheap-but-not-free.
+    let stopped = std::sync::atomic::AtomicBool::new(false);
+    parallel_map_inner(workers, items, init, |state: &mut S, i| {
+        if stopped.load(Ordering::Relaxed) {
+            return None;
+        }
+        if !proceed() {
+            stopped.store(true, Ordering::Relaxed);
+            return None;
+        }
+        Some(work(state, i))
+    })
+}
+
+/// The shared fan-out kernel: `workers >= 2` scoped threads, work-stealing
+/// over an atomic index, index-ordered reassembly.
+fn parallel_map_inner<S, R, I, W>(workers: usize, items: usize, init: I, work: W) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    W: Fn(&mut S, usize) -> R + Sync,
+{
     let workers = workers.min(items);
     let next = AtomicUsize::new(0);
     let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
@@ -282,6 +348,31 @@ mod tests {
         assert_eq!(Parallelism::Fixed(8).workers(3), 3);
         assert_eq!(Parallelism::Fixed(8).workers(0), 1);
         assert!(Parallelism::Auto.workers(64) >= 1);
+        // Explicit Fixed requests clamp exactly like the env override:
+        // `--workers 999999` must never try to spawn that many threads.
+        assert_eq!(
+            Parallelism::Fixed(999_999).workers(usize::MAX),
+            MAX_ENV_WORKERS
+        );
+        assert_eq!(
+            Parallelism::Fixed(usize::MAX).workers(usize::MAX),
+            MAX_ENV_WORKERS
+        );
+        assert_eq!(
+            Parallelism::Fixed(MAX_ENV_WORKERS).workers(usize::MAX),
+            MAX_ENV_WORKERS
+        );
+        // The clamp never bites below the cap, and items still bound it.
+        assert_eq!(
+            Parallelism::Fixed(MAX_ENV_WORKERS - 1).workers(usize::MAX),
+            { MAX_ENV_WORKERS - 1 }
+        );
+        assert_eq!(Parallelism::Fixed(999_999).workers(3), 3);
+        // The work-floor variant inherits the clamp too.
+        assert_eq!(
+            Parallelism::Fixed(999_999).workers_for(usize::MAX, 1 << 30, 1000),
+            MAX_ENV_WORKERS
+        );
     }
 
     #[test]
@@ -317,6 +408,63 @@ mod tests {
             parse_workers(&MAX_ENV_WORKERS.to_string()),
             Some(MAX_ENV_WORKERS)
         );
+    }
+
+    #[test]
+    fn map_while_true_predicate_matches_plain_map() {
+        for workers in [1usize, 2, 4] {
+            let out = parallel_map_init_while(workers, 9, || (), |(), i| i * 2, || true);
+            assert_eq!(
+                out,
+                (0..9).map(|i| Some(i * 2)).collect::<Vec<_>>(),
+                "{workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn map_while_false_predicate_skips_everything() {
+        for workers in [1usize, 3] {
+            let out: Vec<Option<usize>> =
+                parallel_map_init_while(workers, 5, || (), |(), i| i, || false);
+            assert_eq!(out, vec![None; 5], "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn map_while_stop_is_sticky() {
+        use std::sync::atomic::AtomicUsize;
+        // Allow exactly three claims, then stop: afterwards every item is
+        // None and the computed ones are a subset of the claims granted.
+        let grants = AtomicUsize::new(3);
+        let out = parallel_map_init_while(
+            2,
+            10,
+            || (),
+            |(), i| i,
+            || {
+                // Decrement-style gate: positive means "go".
+                loop {
+                    let g = grants.load(Ordering::Relaxed);
+                    if g == 0 {
+                        return false;
+                    }
+                    if grants
+                        .compare_exchange(g, g - 1, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        return true;
+                    }
+                }
+            },
+        );
+        let done = out.iter().filter(|r| r.is_some()).count();
+        assert!(done <= 3, "more items ran than the gate allowed: {out:?}");
+        for (i, r) in out.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, i);
+            }
+        }
     }
 
     #[test]

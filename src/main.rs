@@ -53,7 +53,15 @@ CAMPAIGN OPTIONS:
   --k K             correction bound (default = p per instance)
   --max-solutions N per-instance enumeration cap (default 10000)
   --conflict-budget N  per-instance SAT conflict budget (default 5000000)
-  --workers N       worker pool size (default auto / GATEDIAG_WORKERS)
+  --work-budget N   per-instance deterministic work budget (engine units;
+                    truncated instances are recorded as `preempted`)
+  --deadline-ms N   per-instance wall-clock deadline (nondeterministic,
+                    like --timing; off by default)
+  --resume FILE     skip instances already recorded in a previous JSON
+                    report; merged output is byte-identical to a fresh
+                    full run of the same matrix (timing excluded)
+  --workers N       worker pool size (default auto / GATEDIAG_WORKERS,
+                    clamped to 1024)
   --json FILE       JSON report path (default target/campaign/campaign.json)
   --csv FILE        CSV report path (default target/campaign/campaign.csv)
   --timing          include nondeterministic wall-clock columns
@@ -382,6 +390,9 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     let mut k: Option<usize> = None;
     let mut max_solutions: Option<usize> = None;
     let mut conflict_budget: Option<u64> = None;
+    let mut work_budget: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut resume: Option<String> = None;
     let mut workers: Option<usize> = None;
     let mut json_path = "target/campaign/campaign.json".to_string();
     let mut csv_path = "target/campaign/campaign.csv".to_string();
@@ -435,6 +446,9 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
                 max_solutions = Some(int(args, &mut i, "--max-solutions")? as usize)
             }
             "--conflict-budget" => conflict_budget = Some(int(args, &mut i, "--conflict-budget")?),
+            "--work-budget" => work_budget = Some(int(args, &mut i, "--work-budget")?),
+            "--deadline-ms" => deadline_ms = Some(int(args, &mut i, "--deadline-ms")?),
+            "--resume" => resume = Some(value(args, &mut i, "--resume")?),
             "--workers" => workers = Some(int(args, &mut i, "--workers")? as usize),
             "--json" => json_path = value(args, &mut i, "--json")?,
             "--csv" => csv_path = value(args, &mut i, "--csv")?,
@@ -490,6 +504,8 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     if let Some(budget) = conflict_budget {
         spec.conflict_budget = Some(budget);
     }
+    spec.work_budget = work_budget;
+    spec.deadline_ms = deadline_ms;
     if let Some(workers) = workers {
         spec.parallelism = Parallelism::Fixed(workers);
     }
@@ -505,18 +521,70 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         spec.engines.len(),
         instances
     );
-    let report = run_campaign(&spec);
+    let report = match &resume {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let previous =
+                gatediag::campaign::parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
+            // One pass over the records, one over the instances — large
+            // resumed matrices must not pay an instances × records scan
+            // just for a progress line.
+            let recorded: std::collections::HashSet<_> = previous
+                .records
+                .iter()
+                .map(|r| (r.circuit.as_str(), r.fault_model, r.p, r.seed, r.engine))
+                .collect();
+            let reused = spec
+                .instances()
+                .iter()
+                .filter(|inst| {
+                    recorded.contains(&(
+                        spec.circuits[inst.circuit].0.as_str(),
+                        inst.fault_model,
+                        inst.p,
+                        inst.seed,
+                        inst.engine,
+                    ))
+                })
+                .count();
+            println!(
+                "resuming from {path}: {reused}/{instances} instance(s) already recorded, \
+                 running {}",
+                instances - reused
+            );
+            gatediag::campaign::resume_campaign(&spec, &previous)?
+        }
+        None => run_campaign(&spec),
+    };
     println!();
     print!("{}", report.summary_table());
+    use gatediag::campaign::InstanceStatus;
     let skipped = report
         .records
         .iter()
-        .filter(|r| r.status != gatediag::campaign::InstanceStatus::Ok)
+        .filter(|r| {
+            matches!(
+                r.status,
+                InstanceStatus::NotInjectable | InstanceStatus::NoFailingTests
+            )
+        })
         .count();
     if skipped > 0 {
         println!(
             "{skipped}/{instances} instance(s) skipped (not injectable or no failing tests); \
              see the per-instance report"
+        );
+    }
+    let preempted = report
+        .records
+        .iter()
+        .filter(|r| r.status == InstanceStatus::Preempted)
+        .count();
+    if preempted > 0 {
+        println!(
+            "{preempted}/{instances} instance(s) preempted by the work/deadline/conflict \
+             budget; partial results recorded"
         );
     }
 

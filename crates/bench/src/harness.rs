@@ -14,7 +14,7 @@ use gatediag_core::{
     TestSet,
 };
 use gatediag_netlist::{
-    inject_errors, parse_bench_dir, parse_bench_named, s1423_like, s38417_like, s6669_like,
+    inject_errors, parse_bench_dir_strict, parse_bench_named, s1423_like, s38417_like, s6669_like,
     Circuit, GateId,
 };
 use std::time::{Duration, Instant};
@@ -129,7 +129,7 @@ pub const QUICK_GATE_LIMIT: usize = 10_000;
 /// substituting synthetics for a user-supplied corpus would mislabel
 /// the published numbers.
 pub fn bench_dir_workloads(dir: &str, scale: Scale, seed: u64) -> Vec<Workload> {
-    let circuits = parse_bench_dir(std::path::Path::new(dir))
+    let circuits = parse_bench_dir_strict(std::path::Path::new(dir))
         .unwrap_or_else(|e| panic!("--bench-dir {dir}: {e}"));
     let total = circuits.len();
     let kept: Vec<_> = circuits
@@ -157,7 +157,7 @@ pub fn bench_dir_workloads(dir: &str, scale: Scale, seed: u64) -> Vec<Workload> 
 ///
 /// Panics like [`bench_dir_workloads`] on unreadable input.
 pub fn largest_bench_circuit(dir: &str) -> Option<(String, Circuit)> {
-    let circuits = parse_bench_dir(std::path::Path::new(dir))
+    let circuits = parse_bench_dir_strict(std::path::Path::new(dir))
         .unwrap_or_else(|e| panic!("--bench-dir {dir}: {e}"));
     circuits
         .into_iter()
@@ -192,7 +192,7 @@ pub fn baseline_circuit(
     synthetic: impl FnOnce() -> Circuit,
 ) -> (Circuit, bool) {
     let picked = bench_dir.and_then(|dir| {
-        let circuits = parse_bench_dir(std::path::Path::new(dir))
+        let circuits = parse_bench_dir_strict(std::path::Path::new(dir))
             .unwrap_or_else(|e| panic!("--bench-dir {dir}: {e}"));
         match pick {
             BaselinePick::Largest => circuits

@@ -60,7 +60,10 @@ mod report;
 mod runner;
 mod spec;
 
-pub use reader::{parse_report, ReadError, CAMPAIGN_SCHEMA};
+pub use reader::{parse_report, parse_report_bytes, ReadError, CAMPAIGN_SCHEMA};
 pub use report::{CampaignReport, InstanceRecord, InstanceStatus};
-pub use runner::{resume_campaign, run_campaign};
-pub use spec::{CampaignSpec, InstanceSpec};
+pub use runner::{
+    resume_campaign, resume_campaign_checkpointed, run_campaign, run_campaign_checkpointed,
+    CheckpointPolicy,
+};
+pub use spec::{CampaignSpec, InstanceSpec, RetryOn, RetryPolicy};

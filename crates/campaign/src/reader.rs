@@ -23,7 +23,8 @@
 //! `r.to_json(false)`.
 
 use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
-use gatediag_core::EngineKind;
+use crate::spec::{RetryOn, RetryPolicy};
+use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::FaultModel;
 
 /// Why a report failed to parse.
@@ -162,9 +163,16 @@ impl Json {
 // The parser: recursive descent over bytes.
 // ---------------------------------------------------------------------
 
+/// Maximum container nesting the parser accepts. Campaign reports are
+/// three levels deep; the cap exists so adversarially nested input (ten
+/// thousand `[`s in a corrupted file) returns a clean `Err` instead of
+/// overflowing the stack of the recursive descent.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     at: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -312,13 +320,23 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ReadError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.error("nesting too deep");
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, ReadError> {
         debug_assert_eq!(self.peek(), Some(b'['));
+        self.enter()?;
         self.at += 1;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -328,6 +346,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.at += 1,
                 Some(b']') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return self.error("expected `,` or `]`"),
@@ -337,11 +356,13 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, ReadError> {
         debug_assert_eq!(self.peek(), Some(b'{'));
+        self.enter()?;
         self.at += 1;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.at += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -362,6 +383,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.at += 1,
                 Some(b'}') => {
                     self.at += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return self.error("expected `,` or `}`"),
@@ -374,6 +396,7 @@ fn parse_json(text: &str) -> Result<Json, ReadError> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         at: 0,
+        depth: 0,
     };
     let value = parser.value()?;
     parser.skip_ws();
@@ -436,6 +459,17 @@ fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> 
         conflicts: json.expect("conflicts", &ctx)?.as_u64(&ctx)?,
         decisions: json.expect("decisions", &ctx)?.as_u64(&ctx)?,
         propagations: json.expect("propagations", &ctx)?.as_u64(&ctx)?,
+        // Absent in pre-robustness reports: one attempt, no failure.
+        attempts: match json.get("attempts") {
+            Some(value) => u32::try_from(value.as_u64(&ctx)?).map_err(|_| ReadError {
+                message: format!("{ctx}: attempts does not fit u32"),
+            })?,
+            None => 1,
+        },
+        failure: match json.get("failure") {
+            None | Some(Json::Null) => None,
+            Some(value) => Some(value.as_str(&ctx)?.to_string()),
+        },
         // Present only in `--timing` reports; excluded from resume
         // comparisons either way.
         wall_ms: match json.get("wall_ms") {
@@ -521,12 +555,73 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
     let opt_limit = |key: &str| -> Result<Option<u64>, ReadError> {
         matrix.get(key).map_or(Ok(None), |v| v.as_opt_u64(key))
     };
+    // Chaos and retry are absent in pre-robustness reports: off / the
+    // defaults (which is what those runs effectively used — the runner
+    // had no retry loop, so every record took exactly one attempt).
+    let chaos = match matrix.get("chaos") {
+        None | Some(Json::Null) => None,
+        Some(obj) => Some(ChaosConfig {
+            seed: obj.expect("seed", "chaos")?.as_u64("chaos seed")?,
+            rate_ppm: u32::try_from(obj.expect("rate_ppm", "chaos")?.as_u64("chaos rate_ppm")?)
+                .map_err(|_| ReadError {
+                    message: "chaos rate_ppm does not fit u32".to_string(),
+                })?,
+        }),
+    };
+    let retry = match matrix.get("retry") {
+        None => RetryPolicy::default(),
+        Some(obj) => {
+            let token = obj.expect("retry_on", "retry")?.as_str("retry_on")?;
+            let Some(retry_on) = RetryOn::parse(token) else {
+                return err(format!("retry: unknown retry_on `{token}`"));
+            };
+            RetryPolicy {
+                max_attempts: u32::try_from(
+                    obj.expect("max_attempts", "retry")?
+                        .as_u64("retry max_attempts")?,
+                )
+                .map_err(|_| ReadError {
+                    message: "retry max_attempts does not fit u32".to_string(),
+                })?,
+                backoff_ms: obj
+                    .expect("backoff_ms", "retry")?
+                    .as_u64("retry backoff_ms")?,
+                retry_on,
+            }
+        }
+    };
+    let bench_warnings = match matrix.get("bench_warnings") {
+        None => Vec::new(),
+        Some(value) => value
+            .as_arr("bench_warnings")?
+            .iter()
+            .map(|v| v.as_str("bench_warnings").map(str::to_string))
+            .collect::<Result<Vec<_>, _>>()?,
+    };
     let instances = root.expect("instances", "report")?.as_arr("instances")?;
     let records = instances
         .iter()
         .enumerate()
         .map(|(i, json)| parse_record(json, i))
         .collect::<Result<Vec<_>, _>>()?;
+    // A report with two records claiming the same instance identity is
+    // corrupt (e.g. a concatenation of two checkpoints): the resume
+    // machinery would silently pick one of them, so reject here.
+    {
+        let mut seen = std::collections::HashSet::new();
+        for (i, r) in records.iter().enumerate() {
+            if !seen.insert((r.circuit.as_str(), r.fault_model, r.p, r.seed, r.engine)) {
+                return err(format!(
+                    "instance {i}: duplicate record for ({}, {}, p={}, seed={}, {})",
+                    r.circuit,
+                    r.fault_model.name(),
+                    r.p,
+                    r.seed,
+                    r.engine.name()
+                ));
+            }
+        }
+    }
     Ok(CampaignReport {
         circuits,
         fault_models,
@@ -549,8 +644,23 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
             .as_opt_u64("conflict_budget")?,
         work_budget: opt_limit("work_budget")?,
         deadline_ms: opt_limit("deadline_ms")?,
+        chaos,
+        retry,
+        bench_warnings,
         records,
     })
+}
+
+/// [`parse_report`] over raw bytes: non-UTF8 input (a corrupted or
+/// binary-garbage checkpoint) returns a clean [`ReadError`] instead of
+/// forcing every caller to handle the conversion. This is the entry
+/// point the CLI resume path uses — a crash can leave *anything* on
+/// disk, and resume must degrade to an error message, never a panic.
+pub fn parse_report_bytes(bytes: &[u8]) -> Result<CampaignReport, ReadError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| ReadError {
+        message: format!("report is not valid UTF-8: {e}"),
+    })?;
+    parse_report(text)
 }
 
 #[cfg(test)]

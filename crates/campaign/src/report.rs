@@ -9,8 +9,8 @@
 //! campaign drift tests pin. Pass `include_timing = true` to add the
 //! wall-clock column for local profiling.
 
-use crate::spec::CampaignSpec;
-use gatediag_core::EngineKind;
+use crate::spec::{CampaignSpec, RetryPolicy};
+use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::FaultModel;
 use std::fmt::Write as _;
 
@@ -30,15 +30,21 @@ pub enum InstanceStatus {
     /// `ok` with `complete = false` — `preempted` is reserved for the
     /// budget guards.
     Preempted,
+    /// Every attempt at the instance panicked (a real engine bug, or
+    /// injected chaos): the record carries the last failure reason in
+    /// [`InstanceRecord::failure`] and the attempt count, and the rest of
+    /// the campaign kept running.
+    Failed,
 }
 
 impl InstanceStatus {
     /// All statuses, in a stable order.
-    pub const ALL: [InstanceStatus; 4] = [
+    pub const ALL: [InstanceStatus; 5] = [
         InstanceStatus::Ok,
         InstanceStatus::NotInjectable,
         InstanceStatus::NoFailingTests,
         InstanceStatus::Preempted,
+        InstanceStatus::Failed,
     ];
 
     /// Stable serialisation token.
@@ -48,6 +54,7 @@ impl InstanceStatus {
             InstanceStatus::NotInjectable => "not-injectable",
             InstanceStatus::NoFailingTests => "no-failing-tests",
             InstanceStatus::Preempted => "preempted",
+            InstanceStatus::Failed => "failed",
         }
     }
 
@@ -104,6 +111,14 @@ pub struct InstanceRecord {
     pub decisions: u64,
     /// SAT propagations.
     pub propagations: u64,
+    /// How many attempts the instance took (1 = first try succeeded).
+    /// Deterministic: retries are triggered by deterministic panics or
+    /// seeded chaos, never by wall-clock races.
+    pub attempts: u32,
+    /// The last failure reason, for [`InstanceStatus::Failed`] records —
+    /// the panic payload, sanitised and truncated by the runner. `None`
+    /// for every other status.
+    pub failure: Option<String>,
     /// Wall-clock time for the whole instance (injection + test
     /// generation + diagnosis). Nondeterministic; excluded from the
     /// emitters unless requested.
@@ -141,6 +156,14 @@ pub struct CampaignReport {
     pub work_budget: Option<u64>,
     /// Per-instance wall-clock deadline (nondeterministic, opt-in).
     pub deadline_ms: Option<u64>,
+    /// Chaos injection config of the run (`None` = off). Echoed so a
+    /// resume cannot silently mix chaos and clean records.
+    pub chaos: Option<ChaosConfig>,
+    /// Retry policy of the run.
+    pub retry: RetryPolicy,
+    /// Circuit-loading warnings surfaced in the report header (lenient
+    /// `.bench` directory loads). Informational only.
+    pub bench_warnings: Vec<String>,
     /// One record per instance, in matrix order.
     pub records: Vec<InstanceRecord>,
 }
@@ -197,6 +220,9 @@ impl CampaignReport {
             conflict_budget: spec.conflict_budget,
             work_budget: spec.work_budget,
             deadline_ms: spec.deadline_ms,
+            chaos: spec.chaos,
+            retry: spec.retry,
+            bench_warnings: spec.bench_warnings.clone(),
             records,
         }
     }
@@ -283,7 +309,35 @@ impl CampaignReport {
             opt(self.conflict_budget)
         );
         let _ = writeln!(out, "    \"work_budget\": {},", opt(self.work_budget));
-        let _ = writeln!(out, "    \"deadline_ms\": {}", opt(self.deadline_ms));
+        let _ = writeln!(out, "    \"deadline_ms\": {},", opt(self.deadline_ms));
+        match self.chaos {
+            None => {
+                let _ = writeln!(out, "    \"chaos\": null,");
+            }
+            Some(chaos) => {
+                let _ = writeln!(
+                    out,
+                    "    \"chaos\": {{\"seed\": {}, \"rate_ppm\": {}}},",
+                    chaos.seed, chaos.rate_ppm
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    \"retry\": {{\"max_attempts\": {}, \"backoff_ms\": {}, \"retry_on\": {}}},",
+            self.retry.max_attempts,
+            self.retry.backoff_ms,
+            json_str(self.retry.retry_on.name())
+        );
+        let _ = writeln!(
+            out,
+            "    \"bench_warnings\": [{}]",
+            self.bench_warnings
+                .iter()
+                .map(|w| json_str(w))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
         out.push_str("  },\n  \"instances\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             let _ = write!(
@@ -327,6 +381,12 @@ impl CampaignReport {
                 r.decisions,
                 r.propagations,
             );
+            let _ = write!(
+                out,
+                ", \"attempts\": {}, \"failure\": {}",
+                r.attempts,
+                r.failure.as_deref().map_or("null".to_string(), json_str)
+            );
             if include_timing {
                 let _ = write!(out, ", \"wall_ms\": {}", json_f64(r.wall_ms));
             }
@@ -346,7 +406,8 @@ impl CampaignReport {
     pub fn to_csv(&self, include_timing: bool) -> String {
         let mut out = String::from(
             "circuit,gates,fault_model,p,seed,engine,k,tests,status,candidates,solutions,\
-             complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,propagations",
+             complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,propagations,\
+             attempts,failure",
         );
         if include_timing {
             out.push_str(",wall_ms");
@@ -383,6 +444,12 @@ impl CampaignReport {
                 r.conflicts,
                 r.decisions,
                 r.propagations,
+            );
+            let _ = write!(
+                out,
+                ",{},{}",
+                r.attempts,
+                csv_field(r.failure.as_deref().unwrap_or(""))
             );
             if include_timing {
                 let _ = write!(out, ",{:.4}", r.wall_ms);

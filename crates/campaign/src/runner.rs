@@ -24,17 +24,48 @@
 //! requested (see [`crate::report::CampaignReport::to_json`]).
 
 use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
-use crate::spec::{CampaignSpec, InstanceSpec};
-use gatediag_core::budget::Budget;
+use crate::spec::{CampaignSpec, InstanceSpec, RetryOn};
+use gatediag_core::budget::{Budget, Truncation};
 use gatediag_core::{
-    generate_failing_tests, run_engine, solution_quality, EngineConfig, EngineKind, EngineRun,
+    generate_failing_tests, run_engine, solution_quality, ChaosPolicy, EngineConfig, EngineKind,
+    EngineRun,
 };
 use gatediag_netlist::{try_inject_faults, FaultModel, GateId};
-use gatediag_sim::{parallel_map_init, Parallelism};
+use gatediag_sim::{parallel_map_init_isolated, Parallelism};
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::time::Instant;
 
+/// Autosave policy for long campaigns: after every `every` resolved
+/// instances the runner atomically rewrites `path` with a valid partial
+/// `gatediag-campaign-v1` report (the records resolved so far, in matrix
+/// order). A SIGKILL mid-campaign then loses at most one checkpoint
+/// interval: `gatediag campaign --resume <path>` ingests the checkpoint
+/// through the ordinary resume machinery and re-runs only the missing
+/// instances.
+///
+/// Writes are crash-atomic — the report is written to `<path>.tmp`,
+/// flushed, and renamed over `path` — so the checkpoint file is always a
+/// complete, parseable report, never a torn prefix. Checkpoint IO
+/// failures are reported to stderr and do not abort the campaign (the
+/// checkpoint is an insurance policy, not a result).
+#[derive(Clone, Debug)]
+pub struct CheckpointPolicy {
+    /// Where the checkpoint report lives.
+    pub path: PathBuf,
+    /// Checkpoint after this many resolved instances (minimum 1).
+    pub every: usize,
+}
+
 /// Runs every instance of the campaign and collects the merged report.
+///
+/// Instances run through the crash-isolated pool path: a panicking
+/// instance (an engine bug, or injected chaos) is retried per
+/// [`CampaignSpec::retry`] and, if every attempt fails, recorded as
+/// [`InstanceStatus::Failed`] with the panic reason — one poisoned
+/// instance never takes down the campaign.
 ///
 /// # Examples
 ///
@@ -50,14 +81,17 @@ use std::time::Instant;
 /// assert_eq!(report.records.len(), spec.instances().len());
 /// ```
 pub fn run_campaign(spec: &CampaignSpec) -> CampaignReport {
+    run_campaign_checkpointed(spec, None)
+}
+
+/// [`run_campaign`] with optional autosave checkpoints.
+pub fn run_campaign_checkpointed(
+    spec: &CampaignSpec,
+    checkpoint: Option<&CheckpointPolicy>,
+) -> CampaignReport {
     let instances = spec.instances();
-    let workers = spec.parallelism.workers(instances.len());
-    let records = parallel_map_init(
-        workers,
-        instances.len(),
-        || (),
-        |(), i| run_instance(spec, &instances[i]),
-    );
+    let slots = vec![None; instances.len()];
+    let records = fill_missing(spec, &instances, slots, checkpoint);
     CampaignReport::new(spec, records)
 }
 
@@ -123,7 +157,18 @@ pub fn resume_campaign(
     spec: &CampaignSpec,
     previous: &CampaignReport,
 ) -> Result<CampaignReport, String> {
-    let limit_checks: [(&str, String, String); 7] = [
+    resume_campaign_checkpointed(spec, previous, None)
+}
+
+/// [`resume_campaign`] with optional autosave checkpoints for the
+/// still-missing instances — the crash-recovery loop closes here: a
+/// killed run's checkpoint resumes *into* a new checkpointed run.
+pub fn resume_campaign_checkpointed(
+    spec: &CampaignSpec,
+    previous: &CampaignReport,
+    checkpoint: Option<&CheckpointPolicy>,
+) -> Result<CampaignReport, String> {
+    let limit_checks: [(&str, String, String); 10] = [
         ("tests", spec.tests.to_string(), previous.tests.to_string()),
         (
             "max_test_vectors",
@@ -156,6 +201,27 @@ pub fn resume_campaign(
             "deadline_ms",
             format!("{:?}", spec.deadline_ms),
             format!("{:?}", previous.deadline_ms),
+        ),
+        // Chaos changes per-instance outcomes exactly like a limit does;
+        // a resume mixing chaos and clean records would not match a
+        // fresh run of either spec.
+        (
+            "chaos",
+            format!("{:?}", spec.chaos),
+            format!("{:?}", previous.chaos),
+        ),
+        // Retry attempts and the retry trigger shape the records
+        // (`attempts`, which failures become `failed`); the backoff is
+        // wall-time only and deliberately excluded.
+        (
+            "retry max_attempts",
+            spec.retry.max_attempts.to_string(),
+            previous.retry.max_attempts.to_string(),
+        ),
+        (
+            "retry_on",
+            spec.retry.retry_on.name().to_string(),
+            previous.retry.retry_on.name().to_string(),
         ),
     ];
     for (name, ours, theirs) in &limit_checks {
@@ -194,31 +260,202 @@ pub fn resume_campaign(
         }
         slots.push(Some(record.clone()));
     }
+    let records = fill_missing(spec, &instances, slots, checkpoint);
+    Ok(CampaignReport::new(spec, records))
+}
+
+/// The shared execution core of [`run_campaign_checkpointed`] and
+/// [`resume_campaign_checkpointed`]: runs every unresolved slot through
+/// the isolated pool, in matrix order, checkpointing as configured.
+fn fill_missing(
+    spec: &CampaignSpec,
+    instances: &[InstanceSpec],
+    mut slots: Vec<Option<InstanceRecord>>,
+    checkpoint: Option<&CheckpointPolicy>,
+) -> Vec<InstanceRecord> {
     let missing: Vec<usize> = slots
         .iter()
         .enumerate()
         .filter(|(_, slot)| slot.is_none())
         .map(|(i, _)| i)
         .collect();
-    let workers = spec.parallelism.workers(missing.len());
-    let fresh = parallel_map_init(
-        workers,
-        missing.len(),
-        || (),
-        |(), j| run_instance(spec, &instances[missing[j]]),
-    );
-    for (j, record) in missing.into_iter().zip(fresh) {
-        slots[j] = Some(record);
+    // Without a checkpoint everything is one pool fan-out; with one, the
+    // pool drains `every`-sized chunks and the checkpoint is rewritten
+    // between chunks. Chunking only changes scheduling, never results.
+    let chunk = checkpoint.map_or(missing.len(), |c| c.every).max(1);
+    for group in missing.chunks(chunk) {
+        let workers = spec.parallelism.workers(group.len());
+        let results = parallel_map_init_isolated(
+            workers,
+            group.len(),
+            || (),
+            |(), j| run_instance_resilient(spec, &instances[group[j]]),
+        );
+        for (&slot, result) in group.iter().zip(results) {
+            slots[slot] = Some(match result {
+                Ok(record) => record,
+                // `run_instance_resilient` catches everything its
+                // attempts raise; an escape here means the resilience
+                // layer itself panicked. The isolated pool still
+                // contains it — synthesise the failed record from the
+                // instance identity.
+                Err(failure) => failed_record(spec, &instances[slot], &failure.reason, 1),
+            });
+        }
+        if let Some(policy) = checkpoint {
+            write_checkpoint(spec, &slots, policy);
+        }
     }
-    let records = slots
+    slots
         .into_iter()
         .map(|slot| slot.expect("every instance resolved"))
-        .collect();
-    Ok(CampaignReport::new(spec, records))
+        .collect()
 }
 
-/// Runs one cell of the matrix. Pure in `(spec, inst)`.
-fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
+/// Atomically rewrites the checkpoint file with the records resolved so
+/// far (a valid partial report, in matrix order). Best-effort: failures
+/// go to stderr, the campaign continues.
+fn write_checkpoint(
+    spec: &CampaignSpec,
+    slots: &[Option<InstanceRecord>],
+    policy: &CheckpointPolicy,
+) {
+    let resolved: Vec<InstanceRecord> = slots.iter().flatten().cloned().collect();
+    let json = CampaignReport::new(spec, resolved).to_json(false);
+    if let Err(e) = atomic_write(&policy.path, json.as_bytes()) {
+        eprintln!(
+            "warning: checkpoint write to {} failed: {e}",
+            policy.path.display()
+        );
+    }
+}
+
+/// tmp + fsync + rename: the destination either keeps its old content or
+/// holds the complete new content, never a torn prefix.
+fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Cap on the stored failure reason: long panic payloads (a formatted
+/// assertion with embedded data) get truncated, char-boundary-safe.
+const MAX_FAILURE_CHARS: usize = 160;
+
+/// Flattens a panic payload into a report-safe single line: control
+/// characters become spaces, and the text is truncated to
+/// [`MAX_FAILURE_CHARS`].
+fn sanitize_reason(reason: &str) -> String {
+    let mut out: String = reason
+        .chars()
+        .take(MAX_FAILURE_CHARS)
+        .map(|c| if c.is_control() { ' ' } else { c })
+        .collect();
+    if reason.chars().nth(MAX_FAILURE_CHARS).is_some() {
+        out.push('…');
+    }
+    out
+}
+
+/// The record for an instance whose every attempt panicked: identity
+/// fields filled in, measurements zeroed, the sanitised reason attached.
+/// The golden gate count is still recorded so the resume staleness check
+/// keeps working on failed records.
+fn failed_record(
+    spec: &CampaignSpec,
+    inst: &InstanceSpec,
+    reason: &str,
+    attempts: u32,
+) -> InstanceRecord {
+    let (name, golden) = &spec.circuits[inst.circuit];
+    InstanceRecord {
+        circuit: name.clone(),
+        gates: golden.num_functional_gates(),
+        fault_model: inst.fault_model,
+        p: inst.p,
+        seed: inst.seed,
+        engine: inst.engine,
+        k: spec.k.unwrap_or(inst.p),
+        tests: 0,
+        status: InstanceStatus::Failed,
+        candidates: 0,
+        solutions: 0,
+        complete: false,
+        hit: false,
+        quality_min: 0.0,
+        quality_avg: 0.0,
+        quality_max: 0.0,
+        conflicts: 0,
+        decisions: 0,
+        propagations: 0,
+        attempts,
+        failure: Some(sanitize_reason(reason)),
+        wall_ms: 0.0,
+    }
+}
+
+/// Runs one instance with panic isolation and bounded retry: attempts
+/// run under `catch_unwind` until one succeeds, the retry policy stops
+/// retrying, or attempts run out — in which case the instance becomes a
+/// [`InstanceStatus::Failed`] record carrying the last panic reason.
+///
+/// Deterministic: each attempt is a pure function of
+/// `(spec, inst, attempt)` — injected chaos hashes the attempt number
+/// into its key, so retries reroll the chaos dice the same way on every
+/// run — and the exponential backoff only spends wall time.
+fn run_instance_resilient(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
+    let max_attempts = spec.retry.max_attempts.max(1);
+    let mut last_reason = String::new();
+    for attempt in 1..=max_attempts {
+        if attempt > 1 && spec.retry.backoff_ms > 0 {
+            // Exponential backoff, quarantined like `wall_ms`: it delays
+            // the retry but never shapes the record.
+            let shift = (attempt - 2).min(16);
+            std::thread::sleep(std::time::Duration::from_millis(
+                spec.retry.backoff_ms << shift,
+            ));
+        }
+        match catch_unwind(AssertUnwindSafe(|| run_attempt(spec, inst, attempt))) {
+            Ok((mut record, truncation)) => {
+                record.attempts = attempt;
+                // A wall-deadline preemption is transient (machine load);
+                // opt-in retry treats it like a crash. Every other
+                // outcome is deterministic — retrying it would only
+                // reproduce it.
+                if spec.retry.retry_on == RetryOn::PanicOrDeadline
+                    && truncation == Some(Truncation::Deadline)
+                    && attempt < max_attempts
+                {
+                    continue;
+                }
+                return record;
+            }
+            Err(payload) => {
+                last_reason = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+            }
+        }
+    }
+    failed_record(spec, inst, &last_reason, max_attempts)
+}
+
+/// Runs one cell of the matrix. Pure in `(spec, inst, attempt)` — the
+/// attempt number only feeds the chaos key, so attempt 1 of a clean
+/// campaign is the plain deterministic instance run.
+fn run_attempt(
+    spec: &CampaignSpec,
+    inst: &InstanceSpec,
+    attempt: u32,
+) -> (InstanceRecord, Option<Truncation>) {
     let (name, golden) = &spec.circuits[inst.circuit];
     let k = spec.k.unwrap_or(inst.p);
     let mut record = InstanceRecord {
@@ -241,6 +478,8 @@ fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
         conflicts: 0,
         decisions: 0,
         propagations: 0,
+        attempts: 1,
+        failure: None,
         wall_ms: 0.0,
     };
     let start = Instant::now();
@@ -248,7 +487,7 @@ fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
     else {
         record.status = InstanceStatus::NotInjectable;
         record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        return record;
+        return (record, None);
     };
     let tests = generate_failing_tests(
         golden,
@@ -261,8 +500,25 @@ fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
     if tests.is_empty() {
         record.status = InstanceStatus::NoFailingTests;
         record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        return record;
+        return (record, None);
     }
+    // The chaos key hashes the full instance identity plus the attempt
+    // number: a retried instance rerolls, but identically on every run
+    // and every worker count.
+    let chaos = match spec.chaos {
+        None => ChaosPolicy::off(),
+        Some(config) => ChaosPolicy::new(
+            config,
+            ChaosPolicy::key(&[
+                name,
+                inst.fault_model.name(),
+                &inst.p.to_string(),
+                &inst.seed.to_string(),
+                inst.engine.name(),
+                &attempt.to_string(),
+            ]),
+        ),
+    };
     let config = EngineConfig {
         k,
         max_solutions: spec.max_solutions,
@@ -274,6 +530,7 @@ fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
         },
         // The campaign level owns the pool; see the module docs.
         parallelism: Parallelism::Sequential,
+        chaos,
         ..EngineConfig::default()
     };
     let run: EngineRun = run_engine(inst.engine, &faulty, &tests, &config);
@@ -297,7 +554,7 @@ fn run_instance(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceRecord {
     record.decisions = run.stats.decisions;
     record.propagations = run.stats.propagations;
     record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    record
+    (record, run.truncation)
 }
 
 #[cfg(test)]

@@ -7,9 +7,70 @@
 //! function of the spec, independent of how the runner schedules the
 //! work.
 
-use gatediag_core::EngineKind;
+use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::{c17, Circuit, FaultModel, RandomCircuitSpec};
 use gatediag_sim::Parallelism;
+
+/// Which failure classes a [`RetryPolicy`] re-attempts.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RetryOn {
+    /// Retry only panicked attempts. Deterministic outcomes (a work or
+    /// conflict preemption, an enumeration cap) would fail identically
+    /// on every attempt, so they are recorded first try.
+    Panic,
+    /// Retry panics *and* wall-deadline preemptions — a deadline is a
+    /// transient, machine-load-dependent outcome, so a second attempt
+    /// can genuinely succeed. Only meaningful with `deadline_ms` set,
+    /// and inherits its nondeterminism.
+    PanicOrDeadline,
+}
+
+impl RetryOn {
+    /// Stable serialisation/CLI token.
+    pub fn name(self) -> &'static str {
+        match self {
+            RetryOn::Panic => "panic",
+            RetryOn::PanicOrDeadline => "panic-or-deadline",
+        }
+    }
+
+    /// Parses a CLI spelling (case-insensitive).
+    pub fn parse(text: &str) -> Option<RetryOn> {
+        match text.to_ascii_lowercase().as_str() {
+            "panic" => Some(RetryOn::Panic),
+            "panic-or-deadline" => Some(RetryOn::PanicOrDeadline),
+            _ => None,
+        }
+    }
+}
+
+/// Bounded retry for failed instance attempts.
+///
+/// Deterministic by construction: which attempts fail is a pure function
+/// of `(spec, instance, attempt)` (real panics are deterministic replays;
+/// injected chaos is seeded and hashes the attempt number in), and the
+/// backoff sleep only spends wall time — it is quarantined from reports
+/// exactly like `wall_ms`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per instance (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Sleep before attempt `n + 1`, doubling per retry:
+    /// `backoff_ms << (n - 1)` milliseconds. `0` = no sleep.
+    pub backoff_ms: u64,
+    /// Which failures are worth re-attempting.
+    pub retry_on: RetryOn,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 2,
+            backoff_ms: 0,
+            retry_on: RetryOn::Panic,
+        }
+    }
+}
 
 /// A full experiment campaign: the instance matrix plus shared limits.
 #[derive(Clone, Debug)]
@@ -51,6 +112,18 @@ pub struct CampaignSpec {
     /// of parallelism; engines run sequentially inside a worker). The
     /// report is bit-identical for every setting.
     pub parallelism: Parallelism,
+    /// Seeded fault injection for every engine run (`None` = off). A
+    /// chaos campaign is as reproducible as a clean one — decisions are
+    /// keyed off instance identity, never wall clock — so the drift
+    /// contract extends over injected failures.
+    pub chaos: Option<ChaosConfig>,
+    /// Bounded retry for panicked (and optionally deadline-preempted)
+    /// attempts.
+    pub retry: RetryPolicy,
+    /// Circuit-loading warnings to surface in the report header (e.g.
+    /// `.bench` files skipped by the lenient directory loader). Purely
+    /// informational: excluded from the resume limit checks.
+    pub bench_warnings: Vec<String>,
 }
 
 impl CampaignSpec {
@@ -72,6 +145,9 @@ impl CampaignSpec {
             work_budget: None,
             deadline_ms: None,
             parallelism: Parallelism::default(),
+            chaos: None,
+            retry: RetryPolicy::default(),
+            bench_warnings: Vec::new(),
         }
     }
 

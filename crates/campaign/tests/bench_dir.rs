@@ -5,7 +5,7 @@
 
 use gatediag_campaign::{run_campaign, CampaignSpec, InstanceStatus};
 use gatediag_core::EngineKind;
-use gatediag_netlist::{parse_bench_dir, FaultModel};
+use gatediag_netlist::{parse_bench_dir, parse_bench_dir_strict, FaultModel};
 use std::path::PathBuf;
 
 const C17: &str = "\
@@ -47,7 +47,9 @@ fn bench_dir_feeds_a_campaign() {
     std::fs::write(dir.join("mini.bench"), MINI).unwrap();
     std::fs::write(dir.join("README.txt"), "not a netlist").unwrap();
 
-    let circuits = parse_bench_dir(&dir).unwrap();
+    let load = parse_bench_dir(&dir).unwrap();
+    assert!(load.warnings.is_empty(), "{:?}", load.warnings);
+    let circuits = load.circuits;
     // Sorted by file name; distractors ignored.
     assert_eq!(
         circuits.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
@@ -83,15 +85,45 @@ fn bench_dir_feeds_a_campaign() {
 }
 
 #[test]
-fn bench_dir_errors_are_loud() {
-    // Missing directory.
+fn bad_files_are_skipped_with_warnings() {
+    // Missing directory: still a hard error — there is nothing to load.
     let missing = std::env::temp_dir().join("gatediag_no_such_dir_xyzzy");
     assert!(parse_bench_dir(&missing).is_err());
-    // Malformed netlist: the campaign must not silently drop a
-    // user-supplied circuit, and the error must name the offending file.
+    // A malformed netlist next to a good one: the lenient loader keeps
+    // the good circuit and records a warning naming the offending file
+    // with the parse detail.
     let dir = temp_dir("bad");
     std::fs::write(dir.join("broken.bench"), "INPUT(a)\nwat\n").unwrap();
-    let err = parse_bench_dir(&dir).unwrap_err().to_string();
+    std::fs::write(dir.join("c17.bench"), C17).unwrap();
+    let load = parse_bench_dir(&dir).unwrap();
+    assert_eq!(
+        load.circuits
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>(),
+        ["c17"]
+    );
+    assert_eq!(load.warnings.len(), 1);
+    let warning = load.warnings[0].to_string();
+    assert!(
+        warning.contains("broken.bench"),
+        "warning lacks the path: {warning}"
+    );
+    assert!(
+        warning.contains("line 2"),
+        "warning lacks the parse detail: {warning}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn strict_loader_keeps_the_fail_fast_contract() {
+    // The old behavior lives on behind `parse_bench_dir_strict`: one bad
+    // file aborts the load, and the error names it.
+    let dir = temp_dir("strict");
+    std::fs::write(dir.join("broken.bench"), "INPUT(a)\nwat\n").unwrap();
+    std::fs::write(dir.join("c17.bench"), C17).unwrap();
+    let err = parse_bench_dir_strict(&dir).unwrap_err().to_string();
     assert!(err.contains("broken.bench"), "error lacks the path: {err}");
     assert!(
         err.contains("line 2"),
@@ -103,6 +135,9 @@ fn bench_dir_errors_are_loud() {
 #[test]
 fn empty_dir_yields_empty_list_for_fallback() {
     let dir = temp_dir("empty");
-    assert!(parse_bench_dir(&dir).unwrap().is_empty());
+    let load = parse_bench_dir(&dir).unwrap();
+    assert!(load.circuits.is_empty());
+    assert!(load.warnings.is_empty());
+    assert!(parse_bench_dir_strict(&dir).unwrap().is_empty());
     let _ = std::fs::remove_dir_all(&dir);
 }

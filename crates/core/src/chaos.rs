@@ -1,0 +1,241 @@
+//! Deterministic chaos/fault injection for engine runs.
+//!
+//! The fault-tolerant campaign layer (isolated pool, retry policy,
+//! autosave checkpoints) is only trustworthy if its failure paths are
+//! exercised, and real failures are too rare and too nondeterministic to
+//! test against. This module injects *synthetic* failures instead —
+//! panics, artificial work inflation, spurious preemptions — keyed off a
+//! seeded hash of the instance identity, never off wall clock or thread
+//! schedule. The same `(seed, key)` pair always makes the same decision,
+//! so a chaos campaign is exactly as reproducible as a clean one: the
+//! drift tests can assert byte-identical reports across worker counts
+//! *with failures in them*, and a retry can be given a fresh key (the
+//! attempt number is hashed in) so injected failures are transient the
+//! way real ones are.
+//!
+//! # Examples
+//!
+//! ```
+//! use gatediag_core::{ChaosConfig, ChaosEvent, ChaosPolicy};
+//!
+//! let config = ChaosConfig { seed: 7, rate_ppm: 500_000 };
+//! let policy = ChaosPolicy::new(config, ChaosPolicy::key(&["c17", "bsat", "1"]));
+//! // Same key, same verdict — forever.
+//! assert_eq!(policy.decide(), policy.decide());
+//! // No chaos configured means no events, for any key.
+//! assert_eq!(ChaosPolicy::off().decide(), None);
+//! # let _ = ChaosEvent::Panic;
+//! ```
+
+use std::fmt;
+
+/// Campaign-level chaos knobs: one seed, one injection rate.
+///
+/// The rate is parts-per-million (an integer, so configs echo into
+/// reports without float-formatting hazards): `rate_ppm = 250_000`
+/// injects an event into ~25% of engine runs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChaosConfig {
+    /// Seed mixed into every per-instance decision.
+    pub seed: u64,
+    /// Injection probability in parts per million, saturating at
+    /// 1_000_000 (= every run gets an event).
+    pub rate_ppm: u32,
+}
+
+/// What the chaos harness does to a run it selects.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ChaosEvent {
+    /// Panic at engine entry — exercises `catch_unwind` isolation and
+    /// the retry path.
+    Panic,
+    /// Shrink the work budget so the run does real work but far more
+    /// slowly than configured — exercises preemption accounting without
+    /// making the outcome schedule-dependent.
+    InflateWork,
+    /// Zero the work budget so the run preempts immediately — exercises
+    /// the `preempted` status plumbing end to end.
+    SpuriousPreempt,
+}
+
+impl fmt::Display for ChaosEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ChaosEvent::Panic => "panic",
+            ChaosEvent::InflateWork => "inflate-work",
+            ChaosEvent::SpuriousPreempt => "spurious-preempt",
+        })
+    }
+}
+
+/// A [`ChaosConfig`] bound to one instance key: the per-run decision
+/// point threaded through [`EngineConfig`](crate::EngineConfig).
+///
+/// `None`-like behavior is spelled [`ChaosPolicy::off`] so the config
+/// struct stays `Copy` and defaultable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ChaosPolicy {
+    config: Option<ChaosConfig>,
+    key: u64,
+}
+
+impl Default for ChaosPolicy {
+    fn default() -> Self {
+        ChaosPolicy::off()
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaosPolicy {
+    /// No chaos: [`decide`](ChaosPolicy::decide) always returns `None`.
+    pub fn off() -> ChaosPolicy {
+        ChaosPolicy {
+            config: None,
+            key: 0,
+        }
+    }
+
+    /// Binds a config to one instance key (see [`ChaosPolicy::key`]).
+    pub fn new(config: ChaosConfig, key: u64) -> ChaosPolicy {
+        ChaosPolicy {
+            config: Some(config),
+            key,
+        }
+    }
+
+    /// Hashes the textual identity of an instance (circuit name, fault
+    /// model, engine, seed, attempt number, ...) into a stable 64-bit
+    /// key. FNV-1a over the parts with a separator byte between them, so
+    /// `["ab", "c"]` and `["a", "bc"]` hash differently.
+    pub fn key(parts: &[&str]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for part in parts {
+            for &b in part.as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            h = (h ^ 0x1f).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// The chaos verdict for this run: `None` (leave it alone) or an
+    /// event to inject. Pure function of `(config, key)`.
+    pub fn decide(&self) -> Option<ChaosEvent> {
+        let config = self.config?;
+        let h = splitmix64(self.key ^ splitmix64(config.seed));
+        if h % 1_000_000 >= u64::from(config.rate_ppm) {
+            return None;
+        }
+        // The low bits chose *whether*; independent high bits choose
+        // *what*, so the event mix stays uniform at low rates.
+        Some(match (h >> 40) % 3 {
+            0 => ChaosEvent::Panic,
+            1 => ChaosEvent::InflateWork,
+            _ => ChaosEvent::SpuriousPreempt,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_policy_never_fires() {
+        for key in 0..64u64 {
+            let p = ChaosPolicy { config: None, key };
+            assert_eq!(p.decide(), None);
+        }
+    }
+
+    #[test]
+    fn zero_rate_never_fires_and_full_rate_always_fires() {
+        for key in 0..256u64 {
+            let zero = ChaosPolicy::new(
+                ChaosConfig {
+                    seed: 9,
+                    rate_ppm: 0,
+                },
+                key,
+            );
+            assert_eq!(zero.decide(), None);
+            let full = ChaosPolicy::new(
+                ChaosConfig {
+                    seed: 9,
+                    rate_ppm: 1_000_000,
+                },
+                key,
+            );
+            assert!(full.decide().is_some());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let config = ChaosConfig {
+            seed: 1,
+            rate_ppm: 500_000,
+        };
+        let mut differs = false;
+        for key in 0..512u64 {
+            let a = ChaosPolicy::new(config, key).decide();
+            let b = ChaosPolicy::new(config, key).decide();
+            assert_eq!(a, b, "key {key} not deterministic");
+            let other = ChaosPolicy::new(ChaosConfig { seed: 2, ..config }, key).decide();
+            differs |= a != other;
+        }
+        assert!(differs, "seed has no effect");
+    }
+
+    #[test]
+    fn all_three_events_occur() {
+        let config = ChaosConfig {
+            seed: 3,
+            rate_ppm: 1_000_000,
+        };
+        let mut seen = [false; 3];
+        for key in 0..256u64 {
+            match ChaosPolicy::new(config, key).decide() {
+                Some(ChaosEvent::Panic) => seen[0] = true,
+                Some(ChaosEvent::InflateWork) => seen[1] = true,
+                Some(ChaosEvent::SpuriousPreempt) => seen[2] = true,
+                None => unreachable!("full rate"),
+            }
+        }
+        assert_eq!(seen, [true; 3], "event mix collapsed");
+    }
+
+    #[test]
+    fn rate_scales_roughly_linearly() {
+        let hits = |rate_ppm: u32| {
+            (0..4096u64)
+                .filter(|&key| {
+                    ChaosPolicy::new(ChaosConfig { seed: 11, rate_ppm }, key)
+                        .decide()
+                        .is_some()
+                })
+                .count()
+        };
+        let quarter = hits(250_000);
+        let half = hits(500_000);
+        // Loose statistical sanity only: 4096 samples, expect ~1024/~2048.
+        assert!((800..1250).contains(&quarter), "{quarter}");
+        assert!((1800..2300).contains(&half), "{half}");
+    }
+
+    #[test]
+    fn key_separator_prevents_concatenation_collisions() {
+        assert_ne!(
+            ChaosPolicy::key(&["ab", "c"]),
+            ChaosPolicy::key(&["a", "bc"])
+        );
+        assert_ne!(ChaosPolicy::key(&[]), ChaosPolicy::key(&[""]));
+    }
+}

@@ -16,6 +16,7 @@
 use crate::bsat::{basic_sat_diagnose, BsatOptions};
 use crate::bsim::{basic_sim_diagnose, BsimOptions};
 use crate::budget::{Budget, Truncation};
+use crate::chaos::{ChaosEvent, ChaosPolicy};
 use crate::cov::{sc_diagnose, CovOptions};
 use crate::hybrid::hybrid_seeded_bsat;
 use crate::test_set::TestSet;
@@ -112,6 +113,12 @@ pub struct EngineConfig {
     /// Worker-pool policy threaded into the engine options. Results are
     /// bit-identical for every setting.
     pub parallelism: Parallelism,
+    /// Deterministic fault injection for this run (see [`crate::chaos`]).
+    /// [`ChaosPolicy::off`] — the default — is a guaranteed no-op; a
+    /// bound policy may panic at entry or shrink the work budget, but
+    /// always as a pure function of its `(seed, key)` pair, so chaos
+    /// runs stay bit-identical across worker counts too.
+    pub chaos: ChaosPolicy,
 }
 
 impl Default for EngineConfig {
@@ -123,6 +130,7 @@ impl Default for EngineConfig {
             budget: Budget::default(),
             validity_backend: ValidityBackend::default(),
             parallelism: Parallelism::default(),
+            chaos: ChaosPolicy::off(),
         }
     }
 }
@@ -191,10 +199,30 @@ pub fn run_engine(
     // One budget for the whole run: the legacy conflict knob folds into
     // it, and anchoring here makes every phase of a composite engine race
     // the same wall deadline.
-    let budget = config
+    let mut budget = config
         .budget
         .merge_conflicts(config.conflict_budget)
         .anchored(Instant::now());
+    // Chaos injection happens before any engine work so an injected
+    // failure can never leave a half-updated result behind, and the
+    // budget mutations below flow through the ordinary preemption
+    // machinery rather than a parallel code path.
+    match config.chaos.decide() {
+        None => {}
+        Some(ChaosEvent::Panic) => {
+            panic!("chaos: injected panic before {engine} run");
+        }
+        Some(ChaosEvent::InflateWork) => {
+            // Simulate a run that costs ~4x its budget: quarter the work
+            // limit (or impose a small one where there was none).
+            budget.work = Some(budget.work.map_or(4, |w| (w / 4).max(1)));
+        }
+        Some(ChaosEvent::SpuriousPreempt) => {
+            // A zero work budget preempts the sim-side engines at their
+            // first charge and caps SAT searches at zero conflicts.
+            budget.work = Some(0);
+        }
+    }
     match engine {
         EngineKind::Bsim => {
             let result = basic_sim_diagnose(

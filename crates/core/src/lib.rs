@@ -98,6 +98,7 @@ mod bruteforce;
 mod bsat;
 mod bsim;
 pub mod budget;
+pub mod chaos;
 mod cov;
 mod engine;
 mod hybrid;
@@ -118,6 +119,7 @@ pub use bsim::{
     basic_sim_diagnose, path_trace, path_trace_packed, BsimOptions, BsimResult, MarkPolicy,
 };
 pub use budget::{Budget, BudgetMeter, Truncation};
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosPolicy};
 pub use cov::{cover_all, sc_diagnose, CovEngine, CovOptions, CovResult};
 pub use engine::{run_engine, EngineConfig, EngineKind, EngineRun};
 pub use hybrid::{hybrid_seeded_bsat, repair_correction, RepairOutcome};

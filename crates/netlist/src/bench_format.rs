@@ -210,38 +210,109 @@ pub fn parse_bench_named(text: &str, name: &str) -> Result<Circuit, NetlistError
     builder.finish()
 }
 
-/// Loads every `.bench` file in a directory, sorted by file name.
+/// One `.bench` file a lenient [`parse_bench_dir`] load skipped.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BenchLoadWarning {
+    /// Path of the skipped file.
+    pub path: String,
+    /// Why it was skipped (IO or parse error text).
+    pub message: String,
+}
+
+impl std::fmt::Display for BenchLoadWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "skipped {}: {}", self.path, self.message)
+    }
+}
+
+/// Result of a lenient [`parse_bench_dir`] load: the circuits that
+/// parsed plus a warning per skipped file.
+#[derive(Clone, Debug, Default)]
+pub struct BenchDirLoad {
+    /// Successfully loaded circuits, sorted by file name.
+    pub circuits: Vec<(String, Circuit)>,
+    /// One warning per unreadable or malformed `.bench` file, in file
+    /// order.
+    pub warnings: Vec<BenchLoadWarning>,
+}
+
+/// Loads every `.bench` file in a directory, sorted by file name,
+/// **skipping** unreadable or malformed files and recording one
+/// [`BenchLoadWarning`] per skip.
 ///
 /// Each circuit is named after the file stem (`s1423.bench` → `s1423`).
 /// Non-`.bench` entries are ignored; the extension comparison is
-/// case-insensitive. Returns an empty vector for a directory with no
-/// `.bench` files — callers typically fall back to synthetic circuits in
-/// that case.
+/// case-insensitive. Returns an empty circuit list for a directory with
+/// no `.bench` files — callers typically fall back to synthetic circuits
+/// in that case.
+///
+/// One corrupt file in a large corpus used to abort the whole load; a
+/// long campaign should instead run the 99 good circuits and *surface*
+/// the one bad file (the campaign CLI prints the warnings and embeds
+/// them in the report header). Callers that prefer the old fail-fast
+/// contract — e.g. a benchmark harness whose numbers would silently
+/// change if a circuit vanished — use [`parse_bench_dir_strict`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] only when the directory itself cannot be
+/// read; per-file problems become warnings.
+///
+/// # Examples
+///
+/// ```no_run
+/// let load = gatediag_netlist::parse_bench_dir(std::path::Path::new("benchmarks/")).unwrap();
+/// for w in &load.warnings {
+///     eprintln!("warning: {w}");
+/// }
+/// for (name, circuit) in &load.circuits {
+///     println!("{name}: {} gates", circuit.num_functional_gates());
+/// }
+/// ```
+pub fn parse_bench_dir(dir: &std::path::Path) -> Result<BenchDirLoad, NetlistError> {
+    let mut load = BenchDirLoad::default();
+    for path in bench_files(dir)? {
+        match load_bench_file(&path) {
+            Ok(named) => load.circuits.push(named),
+            Err(e) => load.warnings.push(BenchLoadWarning {
+                path: path.display().to_string(),
+                message: match e {
+                    // The per-file annotation already names the path;
+                    // keep only the underlying message.
+                    NetlistError::Io { message, .. } => message,
+                    other => other.to_string(),
+                },
+            }),
+        }
+    }
+    Ok(load)
+}
+
+/// [`parse_bench_dir`] with the fail-fast contract: the first unreadable
+/// or malformed `.bench` file aborts the whole load.
 ///
 /// # Errors
 ///
 /// Returns [`NetlistError::Io`] when the directory or a `.bench` file
 /// cannot be read, and the parse errors of [`parse_bench`] (annotated
-/// with the file name via the circuit name argument) for malformed
-/// netlists — a user-supplied corpus should fail loudly, not be silently
-/// dropped.
-///
-/// # Examples
-///
-/// ```no_run
-/// let circuits =
-///     gatediag_netlist::parse_bench_dir(std::path::Path::new("benchmarks/")).unwrap();
-/// for (name, circuit) in &circuits {
-///     println!("{name}: {} gates", circuit.num_functional_gates());
-/// }
-/// ```
-pub fn parse_bench_dir(dir: &std::path::Path) -> Result<Vec<(String, Circuit)>, NetlistError> {
-    let io_err = |path: &std::path::Path, e: std::io::Error| NetlistError::Io {
-        path: path.display().to_string(),
-        message: e.to_string(),
-    };
+/// with the offending file path) for malformed netlists.
+pub fn parse_bench_dir_strict(
+    dir: &std::path::Path,
+) -> Result<Vec<(String, Circuit)>, NetlistError> {
+    let mut circuits = Vec::new();
+    for path in bench_files(dir)? {
+        circuits.push(load_bench_file(&path)?);
+    }
+    Ok(circuits)
+}
+
+/// The sorted `.bench` paths of a directory.
+fn bench_files(dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, NetlistError> {
     let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| io_err(dir, e))?
+        .map_err(|e| NetlistError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
             p.extension()
@@ -250,23 +321,25 @@ pub fn parse_bench_dir(dir: &std::path::Path) -> Result<Vec<(String, Circuit)>, 
         })
         .collect();
     files.sort();
-    let mut circuits = Vec::with_capacity(files.len());
-    for path in files {
-        let text = std::fs::read_to_string(&path).map_err(|e| io_err(&path, e))?;
-        let name = path
-            .file_stem()
-            .and_then(|s| s.to_str())
-            .unwrap_or("bench")
-            .to_string();
-        // Annotate parse errors with the offending file: in a multi-file
-        // corpus a bare "parse error on line 7" is undebuggable.
-        let circuit = parse_bench_named(&text, &name).map_err(|e| NetlistError::Io {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
-        circuits.push((name, circuit));
-    }
-    Ok(circuits)
+    Ok(files)
+}
+
+/// Reads and parses one `.bench` file; errors are annotated with the
+/// offending path (in a multi-file corpus a bare "parse error on line 7"
+/// is undebuggable).
+fn load_bench_file(path: &std::path::Path) -> Result<(String, Circuit), NetlistError> {
+    let annotate = |message: String| NetlistError::Io {
+        path: path.display().to_string(),
+        message,
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| annotate(e.to_string()))?;
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    let circuit = parse_bench_named(&text, &name).map_err(|e| annotate(e.to_string()))?;
+    Ok((name, circuit))
 }
 
 /// Serialises a circuit back to `.bench` text.

@@ -75,7 +75,10 @@ mod unroll;
 pub use analysis::{
     fanin_cone, fanout_cone, ffr_roots, output_idoms, undirected_distances, GateSet,
 };
-pub use bench_format::{parse_bench, parse_bench_dir, parse_bench_named, write_bench};
+pub use bench_format::{
+    parse_bench, parse_bench_dir, parse_bench_dir_strict, parse_bench_named, write_bench,
+    BenchDirLoad, BenchLoadWarning,
+};
 pub use circuit::{Circuit, CircuitBuilder, Latch, NetlistError};
 pub use export::{extract_cone, to_dot};
 pub use gate::{Gate, GateId, GateKind};

@@ -87,7 +87,8 @@ pub use packed::{
 };
 pub use packed_tv::{eval_dual_rail, simulate_tv_packed, DualRail};
 pub use pool::{
-    parallel_map_init, parallel_map_init_while, Parallelism, AUTO_WORK_FLOOR, MAX_ENV_WORKERS,
+    parallel_map_init, parallel_map_init_isolated, parallel_map_init_while, Parallelism,
+    WorkItemFailure, AUTO_WORK_FLOOR, MAX_ENV_WORKERS,
 };
 pub use scalar::{output_values, simulate, simulate_forced};
 pub use tv::{eval_tv, simulate_tv, x_may_rectify, Tv};

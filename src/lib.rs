@@ -48,7 +48,9 @@ pub use gatediag_sat as sat;
 pub use gatediag_sim as sim;
 
 pub use gatediag_campaign::{
-    parse_report, resume_campaign, run_campaign, CampaignReport, CampaignSpec,
+    parse_report, parse_report_bytes, resume_campaign, resume_campaign_checkpointed, run_campaign,
+    run_campaign_checkpointed, CampaignReport, CampaignSpec, CheckpointPolicy, RetryOn,
+    RetryPolicy,
 };
 #[allow(deprecated)]
 pub use gatediag_core::is_valid_correction_sim;
@@ -57,8 +59,9 @@ pub use gatediag_core::{
     generate_failing_tests, hybrid_seeded_bsat, is_valid_correction, is_valid_correction_sat,
     is_valid_correction_sat_par, partitioned_sat_diagnose, path_trace, path_trace_packed,
     repair_correction, run_engine, sc_diagnose, sim_backtrack_diagnose, solution_quality,
-    two_pass_sat_diagnose, BsatOptions, BsatResult, BsimOptions, BsimResult, Budget, CovEngine,
-    CovOptions, CovResult, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding,
-    SimBacktrackOptions, SiteSelection, Test, TestSet, Truncation, ValidityOracle,
+    two_pass_sat_diagnose, BsatOptions, BsatResult, BsimOptions, BsimResult, Budget, ChaosConfig,
+    ChaosEvent, ChaosPolicy, CovEngine, CovOptions, CovResult, EngineConfig, EngineKind, EngineRun,
+    MarkPolicy, MuxEncoding, SimBacktrackOptions, SiteSelection, Test, TestSet, Truncation,
+    ValidityOracle,
 };
 pub use gatediag_sim::{PackedSim, Parallelism};

@@ -10,13 +10,13 @@
 //! ```
 
 use gatediag::netlist::{
-    c17, inject_faults, parse_bench_dir, parse_bench_named, to_dot, Circuit, FaultKind, FaultModel,
-    GateId,
+    c17, inject_faults, parse_bench_dir, parse_bench_dir_strict, parse_bench_named, to_dot,
+    Circuit, FaultKind, FaultModel, GateId,
 };
 use gatediag::{
     basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, hybrid_seeded_bsat,
-    run_campaign, sc_diagnose, solution_quality, BsatOptions, BsimOptions, CampaignSpec,
-    CovOptions, EngineKind, Parallelism,
+    run_campaign_checkpointed, sc_diagnose, solution_quality, BsatOptions, BsimOptions,
+    CampaignSpec, ChaosConfig, CheckpointPolicy, CovOptions, EngineKind, Parallelism, RetryOn,
 };
 use std::process::ExitCode;
 
@@ -60,6 +60,24 @@ CAMPAIGN OPTIONS:
   --resume FILE     skip instances already recorded in a previous JSON
                     report; merged output is byte-identical to a fresh
                     full run of the same matrix (timing excluded)
+  --checkpoint FILE autosave a valid partial JSON report to FILE while
+                    running (atomic tmp+rename; feed it back through
+                    --resume after a crash)
+  --checkpoint-every N
+                    instances between autosaves (default 16)
+  --retry-attempts N  max attempts per instance before recording it as
+                    `failed` (default 2)
+  --retry-backoff-ms N  base backoff between attempts, doubling per
+                    retry (nondeterministic timing, like --timing;
+                    default 0)
+  --retry-on W      panic | panic-or-deadline — which outcomes retry
+                    (default panic)
+  --chaos-seed N    seed for deterministic fault injection (default 1)
+  --chaos-rate R    inject a deterministic fault (panic, work inflation
+                    or spurious preemption) into fraction R in [0,1] of
+                    instance attempts; off unless given
+  --strict-bench    fail fast on the first malformed .bench file instead
+                    of skipping it with a warning
   --workers N       worker pool size (default auto / GATEDIAG_WORKERS,
                     clamped to 1024)
   --json FILE       JSON report path (default target/campaign/campaign.json)
@@ -393,6 +411,14 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     let mut work_budget: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut resume: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
+    let mut checkpoint_every: usize = 16;
+    let mut retry_attempts: Option<u32> = None;
+    let mut retry_backoff_ms: Option<u64> = None;
+    let mut retry_on: Option<RetryOn> = None;
+    let mut chaos_seed: u64 = 1;
+    let mut chaos_rate: Option<f64> = None;
+    let mut strict_bench = false;
     let mut workers: Option<usize> = None;
     let mut json_path = "target/campaign/campaign.json".to_string();
     let mut csv_path = "target/campaign/campaign.csv".to_string();
@@ -449,6 +475,38 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
             "--work-budget" => work_budget = Some(int(args, &mut i, "--work-budget")?),
             "--deadline-ms" => deadline_ms = Some(int(args, &mut i, "--deadline-ms")?),
             "--resume" => resume = Some(value(args, &mut i, "--resume")?),
+            "--checkpoint" => checkpoint = Some(value(args, &mut i, "--checkpoint")?),
+            "--checkpoint-every" => {
+                checkpoint_every = int(args, &mut i, "--checkpoint-every")?.max(1) as usize
+            }
+            "--retry-attempts" => {
+                retry_attempts = Some(
+                    u32::try_from(int(args, &mut i, "--retry-attempts")?)
+                        .map_err(|_| "--retry-attempts is too large".to_string())?,
+                )
+            }
+            "--retry-backoff-ms" => {
+                retry_backoff_ms = Some(int(args, &mut i, "--retry-backoff-ms")?)
+            }
+            "--retry-on" => {
+                let text = value(args, &mut i, "--retry-on")?;
+                retry_on = Some(RetryOn::parse(&text).ok_or_else(|| {
+                    format!("unknown --retry-on `{text}` (panic|panic-or-deadline)")
+                })?)
+            }
+            "--chaos-seed" => chaos_seed = int(args, &mut i, "--chaos-seed")?,
+            "--chaos-rate" => {
+                let text = value(args, &mut i, "--chaos-rate")?;
+                let rate: f64 = text
+                    .parse()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| {
+                        format!("--chaos-rate expects a number in [0, 1], got `{text}`")
+                    })?;
+                chaos_rate = Some(rate);
+            }
+            "--strict-bench" => strict_bench = true,
             "--workers" => workers = Some(int(args, &mut i, "--workers")? as usize),
             "--json" => json_path = value(args, &mut i, "--json")?,
             "--csv" => csv_path = value(args, &mut i, "--csv")?,
@@ -458,9 +516,19 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         i += 1;
     }
 
+    let mut bench_warnings: Vec<String> = Vec::new();
     let circuits = match &bench_dir {
         Some(dir) => {
-            let loaded = parse_bench_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+            let loaded = if strict_bench {
+                parse_bench_dir_strict(std::path::Path::new(dir)).map_err(|e| e.to_string())?
+            } else {
+                let load = parse_bench_dir(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+                for warning in &load.warnings {
+                    eprintln!("warning: {warning}");
+                }
+                bench_warnings = load.warnings.iter().map(ToString::to_string).collect();
+                load.circuits
+            };
             if loaded.is_empty() {
                 eprintln!("no .bench files in {dir}; using the built-in synthetic set");
                 CampaignSpec::demo_circuits()
@@ -506,6 +574,24 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     }
     spec.work_budget = work_budget;
     spec.deadline_ms = deadline_ms;
+    if let Some(rate) = chaos_rate {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rate_ppm = (rate * 1_000_000.0).round() as u32;
+        spec.chaos = Some(ChaosConfig {
+            seed: chaos_seed,
+            rate_ppm: rate_ppm.min(1_000_000),
+        });
+    }
+    if let Some(attempts) = retry_attempts {
+        spec.retry.max_attempts = attempts;
+    }
+    if let Some(backoff) = retry_backoff_ms {
+        spec.retry.backoff_ms = backoff;
+    }
+    if let Some(retry_on) = retry_on {
+        spec.retry.retry_on = retry_on;
+    }
+    spec.bench_warnings = bench_warnings;
     if let Some(workers) = workers {
         spec.parallelism = Parallelism::Fixed(workers);
     }
@@ -521,12 +607,30 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         spec.engines.len(),
         instances
     );
+    if spec.chaos.is_some() {
+        // Injected chaos panics are caught and recorded per instance; keep
+        // the default hook for real panics but silence the expected ones.
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+            if !message.is_some_and(|m| m.starts_with("chaos:")) {
+                default_hook(info);
+            }
+        }));
+    }
+    let checkpoint_policy = checkpoint.as_ref().map(|path| CheckpointPolicy {
+        path: std::path::PathBuf::from(path),
+        every: checkpoint_every,
+    });
     let report = match &resume {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let previous =
-                gatediag::campaign::parse_report(&text).map_err(|e| format!("{path}: {e}"))?;
+                gatediag::parse_report_bytes(&bytes).map_err(|e| format!("{path}: {e}"))?;
             // One pass over the records, one over the instances — large
             // resumed matrices must not pay an instances × records scan
             // just for a progress line.
@@ -553,9 +657,13 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
                  running {}",
                 instances - reused
             );
-            gatediag::campaign::resume_campaign(&spec, &previous)?
+            gatediag::campaign::resume_campaign_checkpointed(
+                &spec,
+                &previous,
+                checkpoint_policy.as_ref(),
+            )?
         }
-        None => run_campaign(&spec),
+        None => run_campaign_checkpointed(&spec, checkpoint_policy.as_ref()),
     };
     println!();
     print!("{}", report.summary_table());
@@ -585,6 +693,17 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         println!(
             "{preempted}/{instances} instance(s) preempted by the work/deadline/conflict \
              budget; partial results recorded"
+        );
+    }
+    let failed = report
+        .records
+        .iter()
+        .filter(|r| r.status == InstanceStatus::Failed)
+        .count();
+    if failed > 0 {
+        println!(
+            "{failed}/{instances} instance(s) failed after exhausting retries; \
+             see the `failure` column for the panic reason"
         );
     }
 

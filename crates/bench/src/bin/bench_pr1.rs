@@ -216,7 +216,7 @@ fn main() {
 
     // --- Validity screening --------------------------------------------
     let candidates: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
-    let screen_tests = tests.prefix(tests.len().min(32));
+    let screen_tests = tests.prefix_at_most(32);
     let seed_validity_time = measure(budget, || {
         seed_style_validity(&faulty, &screen_tests, &candidates)
     });

@@ -172,7 +172,7 @@ fn main() {
     // Singleton candidate sets over the path-tracing union: the worker
     // pool's unit of work is one candidate cone, the shape Feldman-style
     // stochastic search and hitting-set loops scale out on.
-    let screen_tests = tests.prefix(tests.len().min(16));
+    let screen_tests = tests.prefix_at_most(16);
     let candidates: Vec<Vec<GateId>> = baseline_bsim
         .union
         .iter()

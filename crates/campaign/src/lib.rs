@@ -61,9 +61,9 @@ mod runner;
 mod spec;
 
 pub use reader::{parse_report, parse_report_bytes, ReadError, CAMPAIGN_SCHEMA};
-pub use report::{CampaignReport, InstanceRecord, InstanceStatus};
+pub use report::{CampaignReport, InstanceRecord, InstanceStatus, TestGenRecord};
 pub use runner::{
     resume_campaign, resume_campaign_checkpointed, run_campaign, run_campaign_checkpointed,
     CheckpointPolicy,
 };
-pub use spec::{CampaignSpec, InstanceSpec, RetryOn, RetryPolicy};
+pub use spec::{CampaignSpec, InstanceSpec, RetryOn, RetryPolicy, TestGenSpec};

@@ -22,8 +22,8 @@
 //! `parse_report(&r.to_json(false)).to_json(false)` is byte-identical to
 //! `r.to_json(false)`.
 
-use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
-use crate::spec::{RetryOn, RetryPolicy};
+use crate::report::{CampaignReport, InstanceRecord, InstanceStatus, TestGenRecord};
+use crate::spec::{RetryOn, RetryPolicy, TestGenSpec};
 use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::FaultModel;
 
@@ -470,6 +470,17 @@ fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> 
             None | Some(Json::Null) => None,
             Some(value) => Some(value.as_str(&ctx)?.to_string()),
         },
+        // The shrinkage columns travel together: any one of them implies
+        // all four (the emitter writes them as a block, or not at all).
+        test_gen: match json.get("gen_tests") {
+            None => None,
+            Some(gen_tests) => Some(TestGenRecord {
+                gen_tests: gen_tests.as_usize(&ctx)?,
+                solutions_before: json.expect("solutions_before", &ctx)?.as_usize(&ctx)?,
+                solutions_after: json.expect("solutions_after", &ctx)?.as_usize(&ctx)?,
+                ambiguity_classes: json.expect("ambiguity_classes", &ctx)?.as_usize(&ctx)?,
+            }),
+        },
         // Present only in `--timing` reports; excluded from resume
         // comparisons either way.
         wall_ms: match json.get("wall_ms") {
@@ -590,6 +601,22 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
             }
         }
     };
+    // Absent (every legacy report, and campaigns without the phase) or
+    // null means "test generation off".
+    let test_gen = match matrix.get("test_gen") {
+        None | Some(Json::Null) => None,
+        Some(obj) => {
+            let mode = obj.expect("mode", "test_gen")?.as_str("test_gen mode")?;
+            if mode != "sat" {
+                return err(format!("test_gen: unknown mode `{mode}`"));
+            }
+            Some(TestGenSpec {
+                rounds: obj
+                    .expect("rounds", "test_gen")?
+                    .as_usize("test_gen rounds")?,
+            })
+        }
+    };
     let bench_warnings = match matrix.get("bench_warnings") {
         None => Vec::new(),
         Some(value) => value
@@ -646,6 +673,7 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
         deadline_ms: opt_limit("deadline_ms")?,
         chaos,
         retry,
+        test_gen,
         bench_warnings,
         records,
     })

@@ -9,7 +9,7 @@
 //! campaign drift tests pin. Pass `include_timing = true` to add the
 //! wall-clock column for local profiling.
 
-use crate::spec::{CampaignSpec, RetryPolicy};
+use crate::spec::{CampaignSpec, RetryPolicy, TestGenSpec};
 use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::FaultModel;
 use std::fmt::Write as _;
@@ -63,6 +63,26 @@ impl InstanceStatus {
     pub fn parse(text: &str) -> Option<InstanceStatus> {
         InstanceStatus::ALL.into_iter().find(|s| s.name() == text)
     }
+}
+
+/// Shrinkage measurements from the SAT-guided discriminating-test
+/// generation phase (`--test-gen sat`); see
+/// `gatediag_core::testgen`. Attached to a record only when the phase
+/// actually ran — `None` on legacy reports, on campaigns with test
+/// generation off, and on instances whose diagnosis was preempted
+/// before the phase.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TestGenRecord {
+    /// Confirmed discriminating tests the phase generated.
+    pub gen_tests: usize,
+    /// Candidate corrections entering the phase.
+    pub solutions_before: usize,
+    /// Candidate corrections surviving the generated tests
+    /// (`<= solutions_before` always).
+    pub solutions_after: usize,
+    /// Ambiguity equivalence classes among the survivors — candidates no
+    /// failing test can tell apart share a class.
+    pub ambiguity_classes: usize,
 }
 
 /// All measurements for one instance of the campaign matrix.
@@ -119,6 +139,9 @@ pub struct InstanceRecord {
     /// the panic payload, sanitised and truncated by the runner. `None`
     /// for every other status.
     pub failure: Option<String>,
+    /// Discriminating-test-generation shrinkage columns; `Some` only when
+    /// the campaign ran with `--test-gen sat` and the phase executed.
+    pub test_gen: Option<TestGenRecord>,
     /// Wall-clock time for the whole instance (injection + test
     /// generation + diagnosis). Nondeterministic; excluded from the
     /// emitters unless requested.
@@ -161,6 +184,11 @@ pub struct CampaignReport {
     pub chaos: Option<ChaosConfig>,
     /// Retry policy of the run.
     pub retry: RetryPolicy,
+    /// Discriminating-test-generation settings (`None` = off). Echoed so
+    /// a resume cannot silently mix shrunk and unshrunk records; emitted
+    /// in the JSON matrix only when set, so legacy reports round-trip
+    /// byte-for-byte.
+    pub test_gen: Option<TestGenSpec>,
     /// Circuit-loading warnings surfaced in the report header (lenient
     /// `.bench` directory loads). Informational only.
     pub bench_warnings: Vec<String>,
@@ -222,6 +250,7 @@ impl CampaignReport {
             deadline_ms: spec.deadline_ms,
             chaos: spec.chaos,
             retry: spec.retry,
+            test_gen: spec.test_gen,
             bench_warnings: spec.bench_warnings.clone(),
             records,
         }
@@ -329,6 +358,15 @@ impl CampaignReport {
             self.retry.backoff_ms,
             json_str(self.retry.retry_on.name())
         );
+        // Emitted only when the phase is on, so reports from campaigns
+        // without it — including every legacy report — are unchanged.
+        if let Some(tg) = self.test_gen {
+            let _ = writeln!(
+                out,
+                "    \"test_gen\": {{\"mode\": \"sat\", \"rounds\": {}}},",
+                tg.rounds
+            );
+        }
         let _ = writeln!(
             out,
             "    \"bench_warnings\": [{}]",
@@ -381,6 +419,16 @@ impl CampaignReport {
                 r.decisions,
                 r.propagations,
             );
+            // Shrinkage columns only when the phase ran: absent fields —
+            // not nulls — keep legacy records byte-identical.
+            if let Some(tg) = r.test_gen {
+                let _ = write!(
+                    out,
+                    ", \"gen_tests\": {}, \"solutions_before\": {}, \
+                     \"solutions_after\": {}, \"ambiguity_classes\": {}",
+                    tg.gen_tests, tg.solutions_before, tg.solutions_after, tg.ambiguity_classes
+                );
+            }
             let _ = write!(
                 out,
                 ", \"attempts\": {}, \"failure\": {}",
@@ -407,7 +455,7 @@ impl CampaignReport {
         let mut out = String::from(
             "circuit,gates,fault_model,p,seed,engine,k,tests,status,candidates,solutions,\
              complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,propagations,\
-             attempts,failure",
+             gen_tests,solutions_before,solutions_after,ambiguity_classes,attempts,failure",
         );
         if include_timing {
             out.push_str(",wall_ms");
@@ -445,6 +493,18 @@ impl CampaignReport {
                 r.decisions,
                 r.propagations,
             );
+            // Empty shrinkage cells when the phase did not run, matching
+            // the quality-cell convention.
+            match r.test_gen {
+                None => out.push_str(",,,,"),
+                Some(tg) => {
+                    let _ = write!(
+                        out,
+                        ",{},{},{},{}",
+                        tg.gen_tests, tg.solutions_before, tg.solutions_after, tg.ambiguity_classes
+                    );
+                }
+            }
             let _ = write!(
                 out,
                 ",{},{}",
@@ -560,6 +620,24 @@ impl CampaignReport {
             "cells: hits/ok-runs  mean #solutions  mean avg-distance quality over runs \
              with solutions (0 = a real error site, - = none)\n",
         );
+        // Discriminating-test-generation aggregate, only when some record
+        // actually carries the shrinkage columns.
+        let shrink: Vec<TestGenRecord> = self.records.iter().filter_map(|r| r.test_gen).collect();
+        if !shrink.is_empty() {
+            let gen: usize = shrink.iter().map(|t| t.gen_tests).sum();
+            let before: usize = shrink.iter().map(|t| t.solutions_before).sum();
+            let after: usize = shrink.iter().map(|t| t.solutions_after).sum();
+            let shrunk = shrink
+                .iter()
+                .filter(|t| t.solutions_after < t.solutions_before)
+                .count();
+            let _ = writeln!(
+                out,
+                "test-gen: {} instances, {gen} generated tests, \
+                 solutions {before} -> {after} ({shrunk} instances shrunk)",
+                shrink.len()
+            );
+        }
         out
     }
 }

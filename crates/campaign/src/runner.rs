@@ -23,12 +23,12 @@
 //! recorded per instance but excluded from reports unless explicitly
 //! requested (see [`crate::report::CampaignReport::to_json`]).
 
-use crate::report::{CampaignReport, InstanceRecord, InstanceStatus};
+use crate::report::{CampaignReport, InstanceRecord, InstanceStatus, TestGenRecord};
 use crate::spec::{CampaignSpec, InstanceSpec, RetryOn};
 use gatediag_core::budget::{Budget, Truncation};
 use gatediag_core::{
     generate_failing_tests, run_engine, solution_quality, ChaosPolicy, EngineConfig, EngineKind,
-    EngineRun,
+    EngineRun, TestGenPolicy,
 };
 use gatediag_netlist::{try_inject_faults, FaultModel, GateId};
 use gatediag_sim::{parallel_map_init_isolated, Parallelism};
@@ -168,7 +168,7 @@ pub fn resume_campaign_checkpointed(
     previous: &CampaignReport,
     checkpoint: Option<&CheckpointPolicy>,
 ) -> Result<CampaignReport, String> {
-    let limit_checks: [(&str, String, String); 10] = [
+    let limit_checks: [(&str, String, String); 11] = [
         ("tests", spec.tests.to_string(), previous.tests.to_string()),
         (
             "max_test_vectors",
@@ -222,6 +222,14 @@ pub fn resume_campaign_checkpointed(
             "retry_on",
             spec.retry.retry_on.name().to_string(),
             previous.retry.retry_on.name().to_string(),
+        ),
+        // Test generation rewrites the shrinkage columns of every record;
+        // a resume mixing shrunk and unshrunk records would not match a
+        // fresh run of either spec.
+        (
+            "test_gen",
+            format!("{:?}", spec.test_gen),
+            format!("{:?}", previous.test_gen),
         ),
     ];
     for (name, ours, theirs) in &limit_checks {
@@ -396,6 +404,7 @@ fn failed_record(
         propagations: 0,
         attempts,
         failure: Some(sanitize_reason(reason)),
+        test_gen: None,
         wall_ms: 0.0,
     }
 }
@@ -480,6 +489,7 @@ fn run_attempt(
         propagations: 0,
         attempts: 1,
         failure: None,
+        test_gen: None,
         wall_ms: 0.0,
     };
     let start = Instant::now();
@@ -531,6 +541,11 @@ fn run_attempt(
         // The campaign level owns the pool; see the module docs.
         parallelism: Parallelism::Sequential,
         chaos,
+        test_gen: spec.test_gen.map(|tg| TestGenPolicy {
+            rounds: tg.rounds,
+            ..TestGenPolicy::default()
+        }),
+        reference: spec.test_gen.is_some().then(|| golden.clone()),
         ..EngineConfig::default()
     };
     let run: EngineRun = run_engine(inst.engine, &faulty, &tests, &config);
@@ -553,6 +568,12 @@ fn run_attempt(
     record.conflicts = run.stats.conflicts;
     record.decisions = run.stats.decisions;
     record.propagations = run.stats.propagations;
+    record.test_gen = run.test_gen.as_ref().map(|outcome| TestGenRecord {
+        gen_tests: outcome.tests.len(),
+        solutions_before: outcome.solutions_before,
+        solutions_after: outcome.solutions_after,
+        ambiguity_classes: outcome.classes.len(),
+    });
     record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     (record, run.truncation)
 }

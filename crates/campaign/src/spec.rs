@@ -124,6 +124,26 @@ pub struct CampaignSpec {
     /// `.bench` files skipped by the lenient directory loader). Purely
     /// informational: excluded from the resume limit checks.
     pub bench_warnings: Vec<String>,
+    /// SAT-guided discriminating-test generation after each instance's
+    /// diagnosis (`None` = off, the default). When on, every record
+    /// carries the `gen_tests` / `solutions_before` / `solutions_after` /
+    /// `ambiguity_classes` shrinkage columns.
+    pub test_gen: Option<TestGenSpec>,
+}
+
+/// Campaign-level settings for the discriminating-test generation phase
+/// (`--test-gen sat`); see `gatediag_core::testgen`.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct TestGenSpec {
+    /// Maximum generation passes over the unresolved candidates
+    /// (`TestGenPolicy::rounds`).
+    pub rounds: usize,
+}
+
+impl Default for TestGenSpec {
+    fn default() -> Self {
+        TestGenSpec { rounds: 4 }
+    }
 }
 
 impl CampaignSpec {
@@ -148,6 +168,7 @@ impl CampaignSpec {
             chaos: None,
             retry: RetryPolicy::default(),
             bench_warnings: Vec::new(),
+            test_gen: None,
         }
     }
 

@@ -4,7 +4,7 @@
 //! the worker pool looks like — explicit `Fixed(1/2/8)` policies and the
 //! `GATEDIAG_WORKERS=1/2/8` environment override alike.
 
-use gatediag_campaign::{run_campaign, CampaignSpec};
+use gatediag_campaign::{run_campaign, CampaignSpec, TestGenSpec};
 use gatediag_core::EngineKind;
 use gatediag_netlist::{FaultModel, RandomCircuitSpec};
 use gatediag_sim::Parallelism;
@@ -138,6 +138,62 @@ fn budget_preempted_reports_are_byte_identical_for_all_worker_counts() {
             report.summary_table(),
             ref_summary,
             "budgeted summary drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn test_gen_reports_are_byte_identical_for_all_worker_counts() {
+    // The discriminating-test-generation extension of the drift
+    // contract: with `--test-gen sat` on, the shrinkage columns join the
+    // byte-identity guarantee — and the phase must actually bite
+    // (generated tests, a strict shrinkage somewhere).
+    let mut spec = drift_spec();
+    spec.test_gen = Some(TestGenSpec::default());
+    spec.parallelism = Parallelism::Sequential;
+    let reference = run_campaign(&spec);
+    let with_columns: Vec<_> = reference
+        .records
+        .iter()
+        .filter_map(|r| r.test_gen)
+        .collect();
+    assert!(
+        !with_columns.is_empty(),
+        "no record carries the shrinkage columns — the phase is not wired in"
+    );
+    for tg in &with_columns {
+        assert!(tg.solutions_after <= tg.solutions_before);
+    }
+    assert!(
+        with_columns
+            .iter()
+            .any(|tg| tg.solutions_after < tg.solutions_before),
+        "no instance shrank strictly — the generated tests discriminate nothing"
+    );
+    assert!(with_columns.iter().any(|tg| tg.gen_tests > 0));
+    let ref_json = reference.to_json(false);
+    let ref_csv = reference.to_csv(false);
+    let ref_summary = reference.summary_table();
+    assert!(ref_json.contains("\"test_gen\": {\"mode\": \"sat\", \"rounds\": 4}"));
+    assert!(ref_json.contains("\"solutions_after\":"));
+    assert!(ref_summary.contains("test-gen:"));
+    for workers in [1usize, 2, 8] {
+        spec.parallelism = Parallelism::Fixed(workers);
+        let report = run_campaign(&spec);
+        assert_eq!(
+            report.to_json(false),
+            ref_json,
+            "test-gen JSON drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.to_csv(false),
+            ref_csv,
+            "test-gen CSV drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.summary_table(),
+            ref_summary,
+            "test-gen summary drifted at {workers} workers"
         );
     }
 }

@@ -6,21 +6,26 @@
 //! (possibly half-written checkpoints from a crashed run) straight into
 //! this parser.
 
-use gatediag_campaign::{parse_report_bytes, run_campaign, CampaignSpec, RetryOn, RetryPolicy};
+use gatediag_campaign::{
+    parse_report_bytes, run_campaign, CampaignSpec, RetryOn, RetryPolicy, TestGenSpec,
+};
 use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::{c17, FaultModel};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// One small real campaign over c17, serialised with every new schema
-/// feature present: chaos config, retry policy, bench warnings, and (at
-/// this chaos rate) a mix of ok / failed / preempted records.
+/// feature present: chaos config, retry policy, bench warnings,
+/// discriminating-test generation (so the shrinkage columns are in the
+/// fuzzed bytes), and (at this chaos rate) a mix of ok / failed /
+/// preempted records.
 fn base_report_json() -> String {
     let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
     spec.fault_models = vec![FaultModel::GateChange, FaultModel::StuckAt];
     spec.error_counts = vec![1];
     spec.seeds = vec![1, 2];
-    spec.engines = vec![EngineKind::Bsim];
+    spec.engines = vec![EngineKind::Bsim, EngineKind::Cov];
+    spec.test_gen = Some(TestGenSpec::default());
     spec.chaos = Some(ChaosConfig {
         seed: 3,
         rate_ppm: 400_000,
@@ -91,6 +96,14 @@ fn unmutated_base_report_round_trips() {
     );
     assert_eq!(report.retry.retry_on, RetryOn::PanicOrDeadline);
     assert_eq!(report.bench_warnings.len(), 1);
+    assert_eq!(report.test_gen, Some(TestGenSpec { rounds: 4 }));
+    // The shrinkage columns survive the parse (some record ran the
+    // phase) and re-emission is byte-identical.
+    let parsed_tg: Vec<_> = report.records.iter().filter_map(|r| r.test_gen).collect();
+    assert!(!parsed_tg.is_empty(), "no shrinkage columns parsed back");
+    for tg in parsed_tg {
+        assert!(tg.solutions_after <= tg.solutions_before);
+    }
     assert_eq!(report.to_json(false), json);
 }
 

@@ -7,7 +7,7 @@
 //! matrix beyond what the partial run covered.
 
 use gatediag_campaign::{
-    parse_report, resume_campaign, run_campaign, CampaignSpec, InstanceStatus,
+    parse_report, resume_campaign, run_campaign, CampaignSpec, InstanceStatus, TestGenSpec,
 };
 use gatediag_core::EngineKind;
 use gatediag_netlist::{FaultModel, RandomCircuitSpec};
@@ -133,6 +133,12 @@ fn resume_rejects_mismatched_limits() {
             "deadline_ms",
             Box::new(|s: &mut CampaignSpec| s.deadline_ms = Some(17)),
         ),
+        // Turning test generation on rewrites the shrinkage columns of
+        // every record — resuming across the switch must be rejected.
+        (
+            "test_gen",
+            Box::new(|s: &mut CampaignSpec| s.test_gen = Some(TestGenSpec::default())),
+        ),
     ] {
         let mut changed = spec.clone();
         mutate(&mut changed);
@@ -145,6 +151,48 @@ fn resume_rejects_mismatched_limits() {
     wider.engines.push(EngineKind::Cov);
     wider.seeds.push(9);
     assert!(resume_campaign(&wider, &report).is_ok());
+}
+
+#[test]
+fn legacy_reports_without_test_gen_columns_resume_cleanly() {
+    // A report written before the test-gen feature has neither the
+    // matrix echo nor the per-record columns. The reader must treat that
+    // as "off", and a resume with test generation off must accept it.
+    let spec = base_spec();
+    let report = run_campaign(&spec);
+    let json = report.to_json(false);
+    assert!(
+        !json.contains("test_gen") && !json.contains("gen_tests"),
+        "a test-gen-off report must not mention the feature at all"
+    );
+    let parsed = parse_report(&json).expect("legacy-shaped report parses");
+    assert_eq!(parsed.test_gen, None);
+    assert!(parsed.records.iter().all(|r| r.test_gen.is_none()));
+    assert!(resume_campaign(&spec, &parsed).is_ok());
+    // But a spec that turned the phase on cannot reuse those records.
+    let mut on = spec.clone();
+    on.test_gen = Some(TestGenSpec { rounds: 2 });
+    let e = resume_campaign(&on, &parsed).expect_err("test-gen switch must be rejected");
+    assert!(e.contains("test_gen"), "{e}");
+}
+
+#[test]
+fn test_gen_resume_matches_a_fresh_full_run() {
+    // The headline resume property extends over the shrinkage columns:
+    // resuming a half-matrix test-gen campaign through the JSON file
+    // reproduces the fresh full test-gen run byte-for-byte.
+    let mut full_spec = base_spec();
+    full_spec.test_gen = Some(TestGenSpec::default());
+    let fresh = run_campaign(&full_spec);
+    let mut half_spec = full_spec.clone();
+    half_spec.seeds = vec![1];
+    let partial = run_campaign(&half_spec);
+    let parsed = parse_report(&partial.to_json(false)).expect("partial report parses");
+    assert_eq!(parsed.test_gen, Some(TestGenSpec::default()));
+    let resumed = resume_campaign(&full_spec, &parsed).expect("limits match");
+    assert_eq!(resumed.to_json(false), fresh.to_json(false));
+    assert_eq!(resumed.to_csv(false), fresh.to_csv(false));
+    assert_eq!(resumed.summary_table(), fresh.summary_table());
 }
 
 #[test]

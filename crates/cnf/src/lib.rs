@@ -35,12 +35,17 @@
 #![warn(missing_debug_implementations)]
 
 mod card;
+mod copies;
 mod miter;
 mod mux;
 mod sink;
 mod tseitin;
 
 pub use card::{encode_at_most_seq, Totalizer};
+pub use copies::{
+    block_input_vector, encode_freed_copy, encode_pinned_copy, harvest_input_lane,
+    harvest_input_vector, tie_inputs,
+};
 pub use miter::{check_equivalence, distinguishing_vectors, Distinguisher, Miter};
 pub use mux::{encode_instrumented_copy, Instrumentation, InstrumentedCopy, MuxEncoding};
 pub use sink::{ClauseSink, CnfCollector};

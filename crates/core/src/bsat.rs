@@ -451,7 +451,7 @@ pub fn partitioned_sat_diagnose(
     if tests.len() <= partition_size {
         return basic_sat_diagnose(circuit, tests, k, options);
     }
-    let chunk = tests.prefix(partition_size);
+    let chunk = tests.prefix_at_most(partition_size);
     let parallelism = options.parallelism;
     let mut result = basic_sat_diagnose(circuit, &chunk, k, options);
     let verify_start = Instant::now();

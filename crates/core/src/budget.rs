@@ -68,6 +68,9 @@ pub enum Truncation {
     /// The enumeration cap (`max_solutions`) was reached — not a budget,
     /// but reported through the same channel so callers see one reason.
     Solutions,
+    /// The discriminating-test generation phase ran out of budget (work,
+    /// conflicts or deadline) before resolving every candidate.
+    TestGen,
 }
 
 impl Truncation {
@@ -78,6 +81,7 @@ impl Truncation {
             Truncation::Deadline => "deadline",
             Truncation::Conflicts => "conflicts",
             Truncation::Solutions => "solutions",
+            Truncation::TestGen => "testgen",
         }
     }
 
@@ -138,6 +142,24 @@ impl Budget {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        self
+    }
+
+    /// The element-wise intersection of this budget with `other`: the
+    /// smaller of each pair of limits wins, the anchor is kept (falling
+    /// back to `other`'s). Phases with their own sub-budget (the testgen
+    /// phase) use this so they can never outlive the run budget.
+    pub fn constrain(mut self, other: &Budget) -> Budget {
+        fn min_opt(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, y) => x.or(y),
+            }
+        }
+        self.work = min_opt(self.work, other.work);
+        self.deadline_ms = min_opt(self.deadline_ms, other.deadline_ms);
+        self.conflicts = min_opt(self.conflicts, other.conflicts);
+        self.anchor = self.anchor.or(other.anchor);
         self
     }
 
@@ -392,7 +414,32 @@ mod tests {
         assert_eq!(Truncation::Deadline.name(), "deadline");
         assert_eq!(Truncation::Conflicts.name(), "conflicts");
         assert_eq!(Truncation::Solutions.name(), "solutions");
+        assert_eq!(Truncation::TestGen.name(), "testgen");
         assert!(Truncation::Work.is_preemption());
+        assert!(Truncation::TestGen.is_preemption());
         assert!(!Truncation::Solutions.is_preemption());
+    }
+
+    #[test]
+    fn constrain_takes_the_smaller_of_each_limit() {
+        let a = Budget {
+            work: Some(10),
+            deadline_ms: None,
+            conflicts: Some(100),
+            anchor: None,
+        };
+        let b = Budget {
+            work: Some(5),
+            deadline_ms: Some(1_000),
+            conflicts: Some(200),
+            anchor: Some(Instant::now()),
+        };
+        let c = a.constrain(&b);
+        assert_eq!(c.work, Some(5));
+        assert_eq!(c.deadline_ms, Some(1_000));
+        assert_eq!(c.conflicts, Some(100));
+        assert_eq!(c.anchor, b.anchor);
+        let d = Budget::default().constrain(&Budget::default());
+        assert_eq!(d, Budget::default());
     }
 }

@@ -20,6 +20,7 @@ use crate::chaos::{ChaosEvent, ChaosPolicy};
 use crate::cov::{sc_diagnose, CovOptions};
 use crate::hybrid::hybrid_seeded_bsat;
 use crate::test_set::TestSet;
+use crate::testgen::{generate_discriminating_tests, TestGenOutcome, TestGenPolicy};
 use crate::validity::{screen_valid_corrections_metered, ValidityBackend};
 use gatediag_netlist::{Circuit, GateId};
 use gatediag_sat::SolverStats;
@@ -119,6 +120,13 @@ pub struct EngineConfig {
     /// always as a pure function of its `(seed, key)` pair, so chaos
     /// runs stay bit-identical across worker counts too.
     pub chaos: ChaosPolicy,
+    /// When `Some`, run the SAT-guided discriminating-test generation
+    /// phase (see [`crate::testgen`]) over the engine's solutions after
+    /// diagnosis. Requires [`EngineConfig::reference`]. Off by default.
+    pub test_gen: Option<TestGenPolicy>,
+    /// The golden reference circuit the test-generation phase diffs
+    /// against. Only consulted when [`EngineConfig::test_gen`] is `Some`.
+    pub reference: Option<Circuit>,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +139,8 @@ impl Default for EngineConfig {
             validity_backend: ValidityBackend::default(),
             parallelism: Parallelism::default(),
             chaos: ChaosPolicy::off(),
+            test_gen: None,
+            reference: None,
         }
     }
 }
@@ -157,8 +167,14 @@ pub struct EngineRun {
     pub truncation: Option<Truncation>,
     /// SAT search statistics: the diagnosis solver's counters for the SAT
     /// engines, the validity screen's accumulated SAT counters for
-    /// [`EngineKind::Auto`] (all zero when only simulation ran).
+    /// [`EngineKind::Auto`] (all zero when only simulation ran), plus the
+    /// test-generation phase's counters when it ran.
     pub stats: SolverStats,
+    /// Result of the discriminating-test generation phase: `Some` exactly
+    /// when [`EngineConfig::test_gen`] was set and the diagnosis itself
+    /// was not budget-preempted. [`EngineRun::solutions`] stays the
+    /// *pre-shrinkage* list; the outcome carries the survivors.
+    pub test_gen: Option<TestGenOutcome>,
 }
 
 fn union_of(circuit: &Circuit, solutions: &[Vec<GateId>]) -> Vec<GateId> {
@@ -223,7 +239,7 @@ pub fn run_engine(
             budget.work = Some(0);
         }
     }
-    match engine {
+    let mut run = match engine {
         EngineKind::Bsim => {
             let result = basic_sim_diagnose(
                 circuit,
@@ -242,6 +258,7 @@ pub fn run_engine(
                 complete: result.truncation.is_none(),
                 truncation: result.truncation,
                 stats: SolverStats::default(),
+                test_gen: None,
             }
         }
         EngineKind::Cov => {
@@ -267,6 +284,7 @@ pub fn run_engine(
                 complete: result.truncation.is_none(),
                 truncation: result.truncation,
                 stats: SolverStats::default(),
+                test_gen: None,
             }
         }
         EngineKind::Bsat | EngineKind::Hybrid => {
@@ -288,6 +306,7 @@ pub fn run_engine(
                 complete: result.truncation.is_none(),
                 truncation: result.truncation,
                 stats: result.stats,
+                test_gen: None,
             }
         }
         EngineKind::Auto => {
@@ -339,9 +358,39 @@ pub fn run_engine(
                 complete: truncation.is_none(),
                 truncation,
                 stats: screen.stats,
+                test_gen: None,
             }
         }
+    };
+    // The TestGen phase runs after diagnosis, over the reported
+    // solutions, unless the diagnosis was already budget-preempted (its
+    // partial solution list would make the shrinkage columns
+    // meaningless). Like every phase it receives the full run budget in
+    // its own work unit (SAT queries) and the shared conflict limit and
+    // deadline; its truncation merges through the usual channel so a
+    // budget-stopped phase surfaces as a preempted run.
+    if let Some(policy) = &config.test_gen {
+        if !run.truncation.is_some_and(|t| t.is_preemption()) {
+            let golden = config
+                .reference
+                .as_ref()
+                .expect("EngineConfig::test_gen requires EngineConfig::reference");
+            let outcome = generate_discriminating_tests(
+                golden,
+                circuit,
+                &run.solutions,
+                policy,
+                &budget,
+                config.parallelism,
+                config.validity_backend,
+            );
+            run.stats.absorb(&outcome.stats);
+            run.truncation = Truncation::merge(run.truncation, outcome.truncation);
+            run.complete = run.truncation.is_none();
+            run.test_gen = Some(outcome);
+        }
     }
+    run
 }
 
 #[cfg(test)]
@@ -613,6 +662,99 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn golden_workload() -> (Circuit, Circuit, TestSet) {
+        for seed in 0..32u64 {
+            let golden = RandomCircuitSpec::new(6, 3, 50).seed(seed).generate();
+            let (faulty, _) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_tests(&golden, &faulty, 8, seed, 1 << 14);
+            if !tests.is_empty() {
+                return (golden, faulty, tests);
+            }
+        }
+        panic!("no seed yields an observable injection");
+    }
+
+    #[test]
+    fn test_gen_phase_runs_and_is_worker_count_invariant() {
+        let (golden, faulty, tests) = golden_workload();
+        let config = |parallelism| EngineConfig {
+            test_gen: Some(TestGenPolicy::default()),
+            reference: Some(golden.clone()),
+            parallelism,
+            ..EngineConfig::default()
+        };
+        let sequential = run_engine(
+            EngineKind::Cov,
+            &faulty,
+            &tests,
+            &config(Parallelism::Sequential),
+        );
+        let outcome = sequential.test_gen.as_ref().expect("phase must run");
+        assert_eq!(outcome.solutions_before, sequential.solutions.len());
+        assert!(outcome.solutions_after <= outcome.solutions_before);
+        // The engine's own solution list stays pre-shrinkage.
+        let plain = run_engine(EngineKind::Cov, &faulty, &tests, &EngineConfig::default());
+        assert_eq!(sequential.solutions, plain.solutions);
+        for workers in [2usize, 8] {
+            let parallel = run_engine(
+                EngineKind::Cov,
+                &faulty,
+                &tests,
+                &config(Parallelism::Fixed(workers)),
+            );
+            assert_eq!(sequential, parallel, "test-gen run drifted at {workers}w");
+        }
+    }
+
+    #[test]
+    fn preempted_diagnosis_skips_the_test_gen_phase() {
+        let (golden, faulty, tests) = golden_workload();
+        let run = run_engine(
+            EngineKind::Cov,
+            &faulty,
+            &tests,
+            &EngineConfig {
+                test_gen: Some(TestGenPolicy::default()),
+                reference: Some(golden),
+                budget: Budget {
+                    work: Some(1),
+                    ..Budget::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(run.truncation, Some(Truncation::Work));
+        assert!(run.test_gen.is_none(), "phase ran on a preempted diagnosis");
+    }
+
+    #[test]
+    fn test_gen_budget_exhaustion_surfaces_as_testgen_preemption() {
+        let (golden, faulty, tests) = golden_workload();
+        let run = run_engine(
+            EngineKind::Cov,
+            &faulty,
+            &tests,
+            &EngineConfig {
+                test_gen: Some(TestGenPolicy {
+                    budget: Budget {
+                        work: Some(0),
+                        ..Budget::default()
+                    },
+                    ..TestGenPolicy::default()
+                }),
+                reference: Some(golden),
+                ..EngineConfig::default()
+            },
+        );
+        assert!(!run.solutions.is_empty(), "workload must produce covers");
+        assert_eq!(run.truncation, Some(Truncation::TestGen));
+        assert!(!run.complete);
+        let outcome = run.test_gen.as_ref().unwrap();
+        // Zero queries ran: nothing refuted, everything survives.
+        assert_eq!(outcome.solutions_after, outcome.solutions_before);
+        assert!(outcome.tests.is_empty());
     }
 
     #[test]

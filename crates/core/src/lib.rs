@@ -108,6 +108,7 @@ mod repair;
 mod sequential;
 mod sim_backtrack;
 mod test_set;
+pub mod testgen;
 mod validity;
 
 pub use bruteforce::brute_force_diagnose;
@@ -135,6 +136,9 @@ pub use sequential::{
 };
 pub use sim_backtrack::{sim_backtrack_diagnose, SimBacktrackOptions};
 pub use test_set::{generate_failing_tests, Test, TestSet};
+pub use testgen::{
+    distinguish_pair, generate_discriminating_tests, PairOutcome, TestGenOutcome, TestGenPolicy,
+};
 #[allow(deprecated)]
 pub use validity::is_valid_correction_sim;
 pub use validity::{

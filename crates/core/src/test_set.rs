@@ -58,11 +58,24 @@ impl TestSet {
     ///
     /// # Panics
     ///
-    /// Panics if `m > self.len()`.
+    /// Panics if `m > self.len()`. Use [`TestSet::prefix_at_most`] when
+    /// the generator may have found fewer than `m` tests.
     pub fn prefix(&self, m: usize) -> TestSet {
         TestSet {
             tests: self.tests[..m].to_vec(),
         }
+    }
+
+    /// The first `min(m, len)` tests as a new set — the clamping variant
+    /// of [`TestSet::prefix`] for callers whose generator may come up
+    /// short (e.g. a near-redundant injected error).
+    pub fn prefix_at_most(&self, m: usize) -> TestSet {
+        self.prefix(m.min(self.tests.len()))
+    }
+
+    /// Appends every test of `other`, keeping order.
+    pub fn extend_from(&mut self, other: &TestSet) {
+        self.tests.extend(other.tests.iter().cloned());
     }
 }
 
@@ -88,9 +101,12 @@ impl<'a> IntoIterator for &'a TestSet {
 ///
 /// Random vectors are simulated 64-at-a-time on both circuits; every
 /// (vector, output) pair on which they disagree yields a [`Test`] whose
-/// `expected` value comes from the golden circuit. Returns fewer than
-/// `want` tests if `max_vectors` random vectors do not expose enough
-/// failures (e.g. the injected error is close to redundant).
+/// `expected` value comes from the golden circuit. The returned set is
+/// duplicate-free: the random generator may repeat a vector, but each
+/// distinct `(vector, output)` failure is reported once, at its first
+/// occurrence. Returns fewer than `want` tests if `max_vectors` random
+/// vectors do not expose enough failures (e.g. the injected error is
+/// close to redundant).
 ///
 /// # Panics
 ///
@@ -134,6 +150,7 @@ pub fn generate_failing_tests(
     const BATCH: usize = 512;
     let mut gen = VectorGen::new(golden, seed);
     let mut tests = Vec::with_capacity(want);
+    let mut seen: std::collections::HashSet<(Vec<bool>, GateId)> = std::collections::HashSet::new();
     let mut tried = 0usize;
     let mut golden_sim = PackedSim::new(golden);
     let mut faulty_sim = PackedSim::new(faulty);
@@ -156,7 +173,7 @@ pub fn generate_failing_tests(
             }
             for &o in golden.outputs() {
                 let g = golden_sim.lane(o, lane);
-                if g != faulty_sim.lane(o, lane) {
+                if g != faulty_sim.lane(o, lane) && seen.insert((vector.clone(), o)) {
                     tests.push(Test {
                         vector: vector.clone(),
                         output: o,
@@ -210,6 +227,41 @@ mod tests {
             let p = ts.prefix(4);
             assert_eq!(p.len(), 4);
             assert_eq!(p.tests(), &ts.tests()[..4]);
+        }
+    }
+
+    #[test]
+    fn prefix_at_most_clamps_instead_of_panicking() {
+        let golden = c17();
+        let (faulty, _) = inject_errors(&golden, 1, 2);
+        let ts = generate_failing_tests(&golden, &faulty, 8, 7, 4096);
+        let clamped = ts.prefix_at_most(ts.len() + 100);
+        assert_eq!(clamped, ts);
+        if !ts.is_empty() {
+            assert_eq!(ts.prefix_at_most(1).len(), 1);
+        }
+        assert!(TestSet::default().prefix_at_most(32).is_empty());
+    }
+
+    #[test]
+    fn generated_sets_are_duplicate_free() {
+        // A tiny input space forces the random generator to repeat
+        // vectors long before `max_vectors` runs out; the set must still
+        // be (vector, output)-unique.
+        let golden =
+            gatediag_netlist::parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n")
+                .unwrap();
+        let faulty =
+            gatediag_netlist::parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n").unwrap();
+        let ts = generate_failing_tests(&golden, &faulty, 64, 11, 4096);
+        // AND vs OR differ exactly on the two one-hot vectors.
+        assert_eq!(ts.len(), 2, "expected the two distinct failures, once each");
+        let mut seen = std::collections::HashSet::new();
+        for t in &ts {
+            assert!(
+                seen.insert((t.vector.clone(), t.output)),
+                "duplicate (vector, output) in generated set"
+            );
         }
     }
 

@@ -1,0 +1,744 @@
+//! SAT-guided discriminating-test generation — closing the sim↔SAT loop.
+//!
+//! Random test sets (see [`crate::generate_failing_tests`]) often leave a
+//! diagnosis ambiguous: several correction candidates rectify every test
+//! seen so far. This module asks the CDCL solver the question simulation
+//! cannot ask: *is there an input vector that tells two candidates
+//! apart?* — the combinational form of the measurement-selection loop in
+//! "Sequential Diagnosis by Abstraction", built from this workspace's
+//! existing Tseitin machinery.
+//!
+//! # The refutation query
+//!
+//! For a candidate `C` (a set of gates, paper Definition 3: a correction
+//! may drive any values at those gates), one query stacks into a single
+//! solver, all sharing their primary inputs ([`gatediag_cnf::tie_inputs`]):
+//!
+//! * the **golden** circuit `G` and the **faulty** circuit `F`;
+//! * `2^|C|` copies of `F` with `C`'s gates **pinned** to each constant
+//!   assignment ([`gatediag_cnf::encode_pinned_copy`]) — the universal
+//!   expansion of "no free values at `C` rectify this output";
+//! * optionally a copy with a rival candidate's gates **freed**
+//!   ([`gatediag_cnf::encode_freed_copy`]) for the pairwise form.
+//!
+//! A per-output selector `d_o` (with an at-least-one clause) activates,
+//! for its output `o`: `F[o] ≠ G[o]` (the model is a genuinely *failing*
+//! test with expected value `G[o]`) and `P[o] ≠ G[o]` for every pinned
+//! copy (`C` cannot rectify `(t, o, G[o])`). A SAT model is therefore an
+//! input vector yielding a failing test that **refutes** `C`; `UNSAT`
+//! (under the accumulated blocking clauses) proves `C` *golden-consistent*
+//! — no unseen failing test can ever refute it.
+//!
+//! Golden-consistency is also why one query per candidate suffices for
+//! pairwise discrimination: every failing test is rectifiable by every
+//! golden-consistent candidate, so two of them can never be told apart by
+//! failing tests — they are behaviorally equivalent as diagnoses and
+//! merge into one ambiguity class.
+//!
+//! Each model is harvested both as a plain vector (for the blocking
+//! clause that guarantees progress) and directly into
+//! [`PackedSim`](gatediag_sim::PackedSim)
+//! pattern words (the rIC3 `rt_dfs_simulate` harvest-into-bitvec idiom);
+//! one packed sweep of golden and faulty then confirms every harvested
+//! vector and collects *all* its failing `(vector, output, expected)`
+//! triples into the generated [`TestSet`]. Finally the input solutions
+//! are re-screened against the generated tests alone, which is where the
+//! `solutions_before → solutions_after` shrinkage comes from.
+//!
+//! Everything is deterministic: fresh solvers per query, no randomness,
+//! no wall-clock dependence unless a deadline is explicitly configured —
+//! so campaign reports stay byte-identical across worker counts.
+
+use crate::budget::{Budget, Truncation};
+use crate::test_set::{Test, TestSet};
+use crate::validity::{screen_valid_corrections_metered, ValidityBackend};
+use gatediag_cnf::{
+    block_input_vector, encode_circuit, encode_freed_copy, encode_pinned_copy, harvest_input_lane,
+    harvest_input_vector, tie_inputs, CircuitVars, ClauseSink,
+};
+use gatediag_netlist::{Circuit, GateId, GateKind};
+use gatediag_sat::{SolveResult, Solver, SolverStats, Var};
+use gatediag_sim::Parallelism;
+
+/// Universal-expansion cap: candidates with more gates than this would
+/// need `2^|C|` pinned copies per query and are left unresolved instead
+/// (they survive as their own ambiguity class).
+pub const EXPAND_MAX: usize = 4;
+
+/// Knobs of the test-generation phase (off by default: the phase only
+/// runs when [`crate::EngineConfig::test_gen`] is `Some`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TestGenPolicy {
+    /// Maximum generation passes over the unresolved candidates. One
+    /// pass resolves every candidate whose query finishes (refuted or
+    /// proven golden-consistent); later passes only retry queries that
+    /// gave up on [`TestGenPolicy::per_pair_conflicts`].
+    pub rounds: usize,
+    /// Conflict cap per individual query (`None` = unlimited). A query
+    /// that gives up leaves its candidate unresolved.
+    pub per_pair_conflicts: Option<u64>,
+    /// Budget for the whole phase, intersected with the run budget
+    /// ([`Budget::constrain`]). Its deterministic work unit is **one SAT
+    /// query**; its conflict limit caps the phase's *cumulative*
+    /// conflicts.
+    pub budget: Budget,
+}
+
+impl Default for TestGenPolicy {
+    fn default() -> Self {
+        TestGenPolicy {
+            rounds: 4,
+            per_pair_conflicts: None,
+            budget: Budget::default(),
+        }
+    }
+}
+
+/// Result of one test-generation phase.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TestGenOutcome {
+    /// The generated failing tests: every failing `(vector, output)`
+    /// triple of every harvested vector, in harvest order (duplicate-free
+    /// — blocking clauses make the vectors pairwise distinct).
+    pub tests: TestSet,
+    /// Number of input solutions (`= solutions.len()` at entry).
+    pub solutions_before: usize,
+    /// Number of solutions still valid for the generated tests
+    /// (`survivors.len()`; always `≤ solutions_before`).
+    pub solutions_after: usize,
+    /// Indices (into the input solutions, ascending) of the solutions
+    /// that survive the re-screen. Unscreened solutions (re-screen
+    /// truncated) are conservatively kept.
+    pub survivors: Vec<usize>,
+    /// Partition of [`TestGenOutcome::survivors`] into ambiguity classes:
+    /// all survivors *proven golden-consistent* are behaviorally
+    /// equivalent and merge into one class; every unproven survivor
+    /// (expansion cap, budget, or truncated re-screen) is its own class.
+    /// Values are solution indices; `classes.len()` is the campaign's
+    /// `ambiguity_classes` column.
+    pub classes: Vec<Vec<usize>>,
+    /// `Some(`[`Truncation::TestGen`]`)` when the phase's budget stopped
+    /// it before resolving every candidate (work/conflicts/deadline, a
+    /// per-query cap that left a candidate unresolved, or a truncated
+    /// re-screen); `None` when the phase ran to completion.
+    pub truncation: Option<Truncation>,
+    /// Accumulated SAT statistics of every query plus the re-screen.
+    pub stats: SolverStats,
+}
+
+/// Verdict of a single pairwise discrimination query
+/// ([`distinguish_pair`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PairOutcome {
+    /// A failing test exists that `keeper` rectifies and `refuted`
+    /// provably cannot: the harvested tests (one per selected output).
+    Distinguished(Vec<Test>),
+    /// No failing input vector outside the blocked set separates the
+    /// pair: proven equivalent as diagnoses.
+    Indistinguishable,
+    /// The conflict cap expired before the solver decided.
+    Unknown,
+}
+
+/// `true` when `candidate` can take the refuted side of a query: small
+/// enough for universal expansion and free of primary inputs (inputs are
+/// fixed by the test vector, not correctable).
+fn expandable(circuit: &Circuit, candidate: &[GateId]) -> bool {
+    candidate.len() <= EXPAND_MAX
+        && candidate
+            .iter()
+            .all(|&g| circuit.gate(g).kind() != GateKind::Input)
+}
+
+/// Encodes one refutation/discrimination query into `solver`; returns the
+/// golden copy's variable map (the canonical input vector) and the
+/// per-output selector variables.
+fn build_query(
+    solver: &mut Solver,
+    golden: &Circuit,
+    faulty: &Circuit,
+    refuted: &[GateId],
+    keeper: Option<&[GateId]>,
+) -> (CircuitVars, Vec<Var>) {
+    let g = encode_circuit(solver, golden);
+    let f = encode_circuit(solver, faulty);
+    tie_inputs(solver, (&g, golden.inputs()), (&f, faulty.inputs()));
+    let mut pinned_copies = Vec::with_capacity(1 << refuted.len());
+    for mask in 0..1usize << refuted.len() {
+        let pinned: Vec<(GateId, bool)> = refuted
+            .iter()
+            .enumerate()
+            .map(|(i, &gate)| (gate, mask >> i & 1 == 1))
+            .collect();
+        let copy = encode_pinned_copy(solver, faulty, &pinned);
+        tie_inputs(solver, (&g, golden.inputs()), (&copy, faulty.inputs()));
+        pinned_copies.push(copy);
+    }
+    let freed = keeper.map(|gates| {
+        let copy = encode_freed_copy(solver, faulty, gates);
+        tie_inputs(solver, (&g, golden.inputs()), (&copy, faulty.inputs()));
+        copy
+    });
+    let mut selectors = Vec::with_capacity(golden.outputs().len());
+    let mut at_least_one = Vec::with_capacity(golden.outputs().len());
+    for (&go, &fo) in golden.outputs().iter().zip(faulty.outputs()) {
+        let d = ClauseSink::new_var(solver);
+        let dn = d.negative();
+        let gl = g.lit(go, true);
+        let fl = f.lit(fo, true);
+        // d -> F[o] != G[o]: the vector is a failing test on o.
+        solver.add_clause(&[dn, gl, fl]);
+        solver.add_clause(&[dn, !gl, !fl]);
+        // d -> P[o] != G[o] for every hardwired assignment of the
+        // refuted candidate: no free values rectify o.
+        for copy in &pinned_copies {
+            let pl = copy.lit(fo, true);
+            solver.add_clause(&[dn, gl, pl]);
+            solver.add_clause(&[dn, !gl, !pl]);
+        }
+        // d -> R[o] == G[o]: the keeper candidate rectifies o.
+        if let Some(copy) = &freed {
+            let rl = copy.lit(fo, true);
+            solver.add_clause(&[dn, !gl, rl]);
+            solver.add_clause(&[dn, gl, !rl]);
+        }
+        selectors.push(d);
+        at_least_one.push(d.positive());
+    }
+    solver.add_clause(&at_least_one);
+    (g, selectors)
+}
+
+/// Asks for a failing test that `keeper` rectifies and `refuted` cannot —
+/// the pairwise discrimination query, exposed for direct use (the phase
+/// loop itself only needs the refutation form: see the module docs on
+/// golden-consistency).
+///
+/// Vectors in `blocked` are excluded from the search, so a caller looping
+/// over this function never sees a vector twice. The returned tests are
+/// confirmed by simulation before being reported.
+///
+/// # Panics
+///
+/// Panics if `refuted` is not expandable (more than [`EXPAND_MAX`] gates,
+/// or containing a primary input) or the circuits' interfaces mismatch.
+pub fn distinguish_pair(
+    golden: &Circuit,
+    faulty: &Circuit,
+    keeper: &[GateId],
+    refuted: &[GateId],
+    blocked: &[Vec<bool>],
+    conflict_budget: Option<u64>,
+) -> PairOutcome {
+    assert!(
+        expandable(faulty, refuted),
+        "refuted candidate exceeds EXPAND_MAX or contains an input"
+    );
+    let mut solver = Solver::new();
+    let (vars, selectors) = build_query(&mut solver, golden, faulty, refuted, Some(keeper));
+    for vector in blocked {
+        block_input_vector(&mut solver, &vars, golden.inputs(), vector);
+    }
+    solver.set_conflict_budget(conflict_budget);
+    match solver.solve(&[]) {
+        SolveResult::Unsat => PairOutcome::Indistinguishable,
+        SolveResult::Unknown => PairOutcome::Unknown,
+        SolveResult::Sat => {
+            let vector = harvest_input_vector(&solver, &vars, golden.inputs());
+            let golden_values = gatediag_sim::simulate(golden, &vector);
+            let faulty_values = gatediag_sim::simulate(faulty, &vector);
+            let tests: Vec<Test> = golden
+                .outputs()
+                .iter()
+                .zip(faulty.outputs())
+                .zip(&selectors)
+                .filter(|(_, &d)| solver.model_value(d.positive()) == Some(true))
+                .map(|((&go, &fo), _)| {
+                    let expected = golden_values[go.index()];
+                    debug_assert_ne!(
+                        faulty_values[fo.index()],
+                        expected,
+                        "selected output does not fail"
+                    );
+                    Test {
+                        vector: vector.clone(),
+                        output: go,
+                        expected,
+                    }
+                })
+                .collect();
+            debug_assert!(!tests.is_empty(), "SAT model selected no output");
+            PairOutcome::Distinguished(tests)
+        }
+    }
+}
+
+/// Resolution state of one input solution during the phase loop.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Status {
+    /// Not yet queried, or the query gave up on its conflict cap.
+    Open,
+    /// Proven golden-consistent: no unseen failing test refutes it.
+    Consistent,
+    /// A harvested test provably refutes it.
+    Refuted,
+    /// Structurally unqueryable (expansion cap / contains an input).
+    Skipped,
+}
+
+/// Runs the discriminating-test generation phase: one refutation query
+/// per unresolved candidate per round, harvesting/blocking models,
+/// confirming them by one packed simulation sweep, then re-screening the
+/// input solutions against the generated tests alone.
+///
+/// `run_budget` is the surrounding run's budget; the phase budget is its
+/// intersection with [`TestGenPolicy::budget`]. `parallelism` and
+/// `backend` configure the final re-screen (bit-identical results for
+/// every setting).
+pub fn generate_discriminating_tests(
+    golden: &Circuit,
+    faulty: &Circuit,
+    solutions: &[Vec<GateId>],
+    policy: &TestGenPolicy,
+    run_budget: &Budget,
+    parallelism: Parallelism,
+    backend: ValidityBackend,
+) -> TestGenOutcome {
+    assert_eq!(
+        golden.inputs().len(),
+        faulty.inputs().len(),
+        "golden/faulty input mismatch"
+    );
+    assert_eq!(
+        golden.outputs().len(),
+        faulty.outputs().len(),
+        "golden/faulty output mismatch"
+    );
+    let budget = policy.budget.constrain(run_budget);
+    let mut meter = budget.meter();
+    let mut stats = SolverStats::default();
+    let mut status: Vec<Status> = solutions
+        .iter()
+        .map(|sol| {
+            if expandable(faulty, sol) {
+                Status::Open
+            } else {
+                Status::Skipped
+            }
+        })
+        .collect();
+
+    // Harvest buffers: each model goes into a plain vector (for the
+    // blocking clause) and straight into PackedSim-layout pattern words
+    // (lane = harvest index) for the batch confirmation sweep below.
+    let open_count = status.iter().filter(|&&s| s == Status::Open).count();
+    let max_lanes = policy.rounds.saturating_mul(open_count).max(1);
+    let words_per_input = max_lanes.div_ceil(64);
+    let mut words = vec![0u64; golden.inputs().len() * words_per_input];
+    let mut harvested: Vec<Vec<bool>> = Vec::new();
+    let mut conflicts_left = budget.conflicts;
+    let deadline = budget.deadline_instant();
+    let mut hard_stop = false;
+
+    'rounds: for _ in 0..policy.rounds {
+        if !status.contains(&Status::Open) {
+            break;
+        }
+        for index in 0..solutions.len() {
+            if status[index] != Status::Open {
+                continue;
+            }
+            if conflicts_left == Some(0) || !meter.charge(1) {
+                hard_stop = true;
+                break 'rounds;
+            }
+            let mut solver = Solver::new();
+            let (vars, _) = build_query(&mut solver, golden, faulty, &solutions[index], None);
+            for vector in &harvested {
+                block_input_vector(&mut solver, &vars, golden.inputs(), vector);
+            }
+            let cap = match (policy.per_pair_conflicts, conflicts_left) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            solver.set_conflict_budget(cap);
+            solver.set_deadline(deadline);
+            let result = solver.solve(&[]);
+            let query_stats = solver.stats();
+            if let Some(left) = &mut conflicts_left {
+                *left = left.saturating_sub(query_stats.conflicts);
+            }
+            stats.absorb(&query_stats);
+            match result {
+                SolveResult::Sat => {
+                    let vector = harvest_input_vector(&solver, &vars, golden.inputs());
+                    harvest_input_lane(
+                        &solver,
+                        &vars,
+                        golden.inputs(),
+                        &mut words,
+                        words_per_input,
+                        harvested.len(),
+                    );
+                    harvested.push(vector);
+                    status[index] = Status::Refuted;
+                }
+                SolveResult::Unsat => status[index] = Status::Consistent,
+                SolveResult::Unknown => {
+                    if solver.deadline_hit() {
+                        hard_stop = true;
+                        break 'rounds;
+                    }
+                    // Conflict cap: leave the candidate open for a later
+                    // round (or the final unresolved accounting).
+                }
+            }
+        }
+    }
+
+    // Confirmation sweep: one packed simulation of golden and faulty over
+    // every harvested lane at once; each failing (vector, output) pair
+    // becomes a generated test.
+    let mut tests = Vec::new();
+    if !harvested.is_empty() {
+        let mut golden_sim = gatediag_sim::PackedSim::new(golden);
+        let mut faulty_sim = gatediag_sim::PackedSim::new(faulty);
+        golden_sim.reset(words_per_input);
+        golden_sim.set_input_words(&words);
+        golden_sim.sweep();
+        faulty_sim.reset(words_per_input);
+        faulty_sim.set_input_words(&words);
+        faulty_sim.sweep();
+        for (lane, vector) in harvested.iter().enumerate() {
+            let before = tests.len();
+            for (&go, &fo) in golden.outputs().iter().zip(faulty.outputs()) {
+                let g = golden_sim.lane(go, lane);
+                if g != faulty_sim.lane(fo, lane) {
+                    tests.push(Test {
+                        vector: vector.clone(),
+                        output: go,
+                        expected: g,
+                    });
+                }
+            }
+            debug_assert!(
+                tests.len() > before,
+                "harvested vector is not a failing test"
+            );
+        }
+    }
+    let tests = TestSet::new(tests);
+
+    // Re-screen the input solutions against the generated tests alone:
+    // the shrinkage measurement. Unscreened solutions (truncated screen)
+    // are conservatively kept.
+    let mut screen_truncated = false;
+    let verdicts: Vec<bool> = if tests.is_empty() {
+        vec![true; solutions.len()]
+    } else {
+        let screen = screen_valid_corrections_metered(
+            faulty,
+            &tests,
+            solutions,
+            parallelism,
+            backend,
+            &budget,
+        );
+        stats.absorb(&screen.stats);
+        screen_truncated = screen.truncation.is_some();
+        let mut verdicts = screen.verdicts;
+        verdicts.resize(solutions.len(), true);
+        verdicts
+    };
+    let survivors: Vec<usize> = (0..solutions.len()).filter(|&i| verdicts[i]).collect();
+
+    // Equivalence classes: all proven-golden-consistent survivors merge
+    // into one (no failing test can ever separate them); every unproven
+    // survivor stays its own class.
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    let mut consistent_class: Option<usize> = None;
+    for &index in &survivors {
+        if status[index] == Status::Consistent {
+            match consistent_class {
+                Some(c) => classes[c].push(index),
+                None => {
+                    consistent_class = Some(classes.len());
+                    classes.push(vec![index]);
+                }
+            }
+        } else {
+            classes.push(vec![index]);
+        }
+    }
+
+    let unresolved = status.contains(&Status::Open);
+    TestGenOutcome {
+        solutions_before: solutions.len(),
+        solutions_after: survivors.len(),
+        tests,
+        survivors,
+        classes,
+        truncation: (hard_stop || unresolved || screen_truncated).then_some(Truncation::TestGen),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_engine, EngineConfig, EngineKind};
+    use crate::test_set::generate_failing_tests;
+    use crate::validity::is_valid_correction;
+    use gatediag_netlist::{c17, inject_errors, RandomCircuitSpec};
+
+    /// A workload with an observable single injected error and its site.
+    fn workload(seed: u64) -> Option<(Circuit, Circuit, GateId, TestSet)> {
+        let golden = RandomCircuitSpec::new(6, 3, 50).seed(seed).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, seed);
+        let tests = generate_failing_tests(&golden, &faulty, 8, seed, 1 << 14);
+        if tests.is_empty() {
+            return None;
+        }
+        Some((golden, faulty, sites[0].gate, tests))
+    }
+
+    fn defaults() -> (TestGenPolicy, Budget, Parallelism, ValidityBackend) {
+        (
+            TestGenPolicy::default(),
+            Budget::default(),
+            Parallelism::Sequential,
+            ValidityBackend::default(),
+        )
+    }
+
+    #[test]
+    fn generated_tests_fail_and_refuted_solutions_really_die() {
+        let mut exercised = false;
+        for seed in 0..8 {
+            let Some((golden, faulty, _, tests)) = workload(seed) else {
+                continue;
+            };
+            let run = run_engine(EngineKind::Cov, &faulty, &tests, &EngineConfig::default());
+            let (policy, budget, par, backend) = defaults();
+            let outcome = generate_discriminating_tests(
+                &golden,
+                &faulty,
+                &run.solutions,
+                &policy,
+                &budget,
+                par,
+                backend,
+            );
+            assert_eq!(outcome.solutions_before, run.solutions.len());
+            assert!(outcome.solutions_after <= outcome.solutions_before);
+            assert_eq!(outcome.solutions_after, outcome.survivors.len());
+            for t in &outcome.tests {
+                let g = gatediag_sim::simulate(&golden, &t.vector);
+                let f = gatediag_sim::simulate(&faulty, &t.vector);
+                assert_eq!(g[t.output.index()], t.expected, "not golden's value");
+                assert_ne!(f[t.output.index()], t.expected, "not a failing test");
+            }
+            // Dropped solutions are exactly those invalid for the
+            // generated tests (no truncation in this configuration).
+            assert_eq!(outcome.truncation, None);
+            for (i, sol) in run.solutions.iter().enumerate() {
+                assert_eq!(
+                    outcome.survivors.contains(&i),
+                    is_valid_correction(&faulty, &outcome.tests, sol),
+                    "seed {seed}: survivor set disagrees with the validity oracle"
+                );
+            }
+            exercised |= !outcome.tests.is_empty();
+        }
+        assert!(exercised, "no workload produced any discriminating test");
+    }
+
+    #[test]
+    fn deterministic_given_inputs() {
+        for seed in 0..8 {
+            let Some((golden, faulty, _, tests)) = workload(seed) else {
+                continue;
+            };
+            let run = run_engine(EngineKind::Cov, &faulty, &tests, &EngineConfig::default());
+            let (policy, budget, par, backend) = defaults();
+            let a = generate_discriminating_tests(
+                &golden,
+                &faulty,
+                &run.solutions,
+                &policy,
+                &budget,
+                par,
+                backend,
+            );
+            let b = generate_discriminating_tests(
+                &golden,
+                &faulty,
+                &run.solutions,
+                &policy,
+                &budget,
+                gatediag_sim::Parallelism::Fixed(4),
+                backend,
+            );
+            assert_eq!(a, b, "seed {seed}: parallel re-screen drifted");
+            return;
+        }
+        panic!("no observable workload");
+    }
+
+    #[test]
+    fn golden_consistent_candidates_merge_into_one_class() {
+        // The true error site is golden-consistent (freeing it can mimic
+        // the golden function), and so is any superset of it: both must
+        // survive and share one ambiguity class.
+        for seed in 0..16 {
+            let Some((golden, faulty, site, _)) = workload(seed) else {
+                continue;
+            };
+            let other = faulty
+                .iter()
+                .find(|(id, g)| *id != site && g.kind() != GateKind::Input)
+                .map(|(id, _)| id)
+                .unwrap();
+            let superset = {
+                let mut s = vec![site, other];
+                s.sort();
+                s
+            };
+            let solutions = vec![vec![site], superset];
+            let (policy, budget, par, backend) = defaults();
+            let outcome = generate_discriminating_tests(
+                &golden, &faulty, &solutions, &policy, &budget, par, backend,
+            );
+            assert_eq!(outcome.truncation, None, "seed {seed}");
+            assert_eq!(outcome.solutions_after, 2, "seed {seed}: {outcome:?}");
+            assert_eq!(
+                outcome.classes,
+                vec![vec![0, 1]],
+                "seed {seed}: golden-consistent pair did not merge"
+            );
+            assert!(outcome.tests.is_empty(), "seed {seed}");
+            return;
+        }
+        panic!("no observable workload");
+    }
+
+    #[test]
+    fn work_budget_truncates_with_testgen_reason() {
+        for seed in 0..16 {
+            let Some((golden, faulty, _, tests)) = workload(seed) else {
+                continue;
+            };
+            let run = run_engine(EngineKind::Cov, &faulty, &tests, &EngineConfig::default());
+            if run.solutions.len() < 2 {
+                continue;
+            }
+            let (mut policy, budget, par, backend) = defaults();
+            policy.budget.work = Some(1);
+            let outcome = generate_discriminating_tests(
+                &golden,
+                &faulty,
+                &run.solutions,
+                &policy,
+                &budget,
+                par,
+                backend,
+            );
+            assert_eq!(outcome.truncation, Some(Truncation::TestGen), "seed {seed}");
+            assert!(outcome.truncation.unwrap().is_preemption());
+            // Still well-formed and conservative.
+            assert!(outcome.solutions_after <= outcome.solutions_before);
+            return;
+        }
+        panic!("no workload with at least two covers");
+    }
+
+    #[test]
+    fn distinguish_pair_separates_site_from_wrong_gate() {
+        for seed in 0..16 {
+            let Some((golden, faulty, site, _tests)) = workload(seed) else {
+                continue;
+            };
+            // A wrong single-gate candidate: implicated by nothing —
+            // just pick some other gate and see if the site wins.
+            let Some(wrong) = faulty
+                .iter()
+                .find(|(id, g)| *id != site && g.kind() != GateKind::Input)
+                .map(|(id, _)| id)
+            else {
+                continue;
+            };
+            match distinguish_pair(&golden, &faulty, &[site], &[wrong], &[], None) {
+                PairOutcome::Distinguished(found) => {
+                    assert!(!found.is_empty());
+                    for t in &found {
+                        let g = gatediag_sim::simulate(&golden, &t.vector);
+                        let f = gatediag_sim::simulate(&faulty, &t.vector);
+                        assert_eq!(g[t.output.index()], t.expected);
+                        assert_ne!(f[t.output.index()], t.expected);
+                        let single = TestSet::new(vec![t.clone()]);
+                        assert!(
+                            is_valid_correction(&faulty, &single, &[site]),
+                            "seed {seed}: keeper does not rectify its own test"
+                        );
+                        assert!(
+                            !is_valid_correction(&faulty, &single, &[wrong]),
+                            "seed {seed}: refuted candidate rectifies the test"
+                        );
+                    }
+                    // Blocking the found vector changes the answer.
+                    let blocked: Vec<Vec<bool>> = found.iter().map(|t| t.vector.clone()).collect();
+                    if let PairOutcome::Distinguished(next) =
+                        distinguish_pair(&golden, &faulty, &[site], &[wrong], &blocked, None)
+                    {
+                        for t in &next {
+                            assert!(
+                                !blocked.contains(&t.vector),
+                                "seed {seed}: blocked vector reappeared"
+                            );
+                        }
+                    }
+                    return;
+                }
+                PairOutcome::Indistinguishable => continue,
+                PairOutcome::Unknown => panic!("unlimited query returned Unknown"),
+            }
+        }
+        panic!("no pair was distinguishable");
+    }
+
+    #[test]
+    fn distinguish_pair_is_reflexively_indistinguishable() {
+        let golden = c17();
+        let (faulty, sites) = inject_errors(&golden, 1, 3);
+        let site = sites[0].gate;
+        assert_eq!(
+            distinguish_pair(&golden, &faulty, &[site], &[site], &[], None),
+            PairOutcome::Indistinguishable
+        );
+    }
+
+    #[test]
+    fn oversized_candidates_survive_as_their_own_class() {
+        let golden = c17();
+        let (faulty, sites) = inject_errors(&golden, 1, 3);
+        let site = sites[0].gate;
+        let big: Vec<GateId> = faulty
+            .iter()
+            .filter(|(_, g)| g.kind() != GateKind::Input)
+            .map(|(id, _)| id)
+            .take(EXPAND_MAX + 1)
+            .collect();
+        assert!(big.len() > EXPAND_MAX);
+        let solutions = vec![vec![site], big];
+        let (policy, budget, par, backend) = defaults();
+        let outcome = generate_discriminating_tests(
+            &golden, &faulty, &solutions, &policy, &budget, par, backend,
+        );
+        // The oversized set is never queried: it survives (whole-circuit
+        // supersets rectify everything) as a singleton class, separate
+        // from the proven-consistent site.
+        assert_eq!(outcome.solutions_after, 2);
+        assert_eq!(outcome.classes.len(), 2);
+        assert_eq!(outcome.truncation, None);
+    }
+}

@@ -92,7 +92,7 @@ fn cov_work_budget_is_worker_count_invariant() {
         let Some((faulty, tests)) = workload(seed) else {
             continue;
         };
-        let small = tests.prefix(tests.len().min(12));
+        let small = tests.prefix_at_most(12);
         for engine in [CovEngine::BranchAndBound, CovEngine::Sat] {
             // A ladder of budgets from "preempts the BSIM phase" through
             // "preempts the covering phase" to "never trips".
@@ -198,7 +198,7 @@ fn bsat_work_budget_acts_as_a_conflict_budget() {
         let Some((faulty, tests)) = workload(seed) else {
             continue;
         };
-        let small = tests.prefix(tests.len().min(8));
+        let small = tests.prefix_at_most(8);
         let unbudgeted = basic_sat_diagnose(&faulty, &small, 2, BsatOptions::default());
         if unbudgeted.stats.conflicts == 0 {
             continue;
@@ -240,7 +240,7 @@ fn metered_screen_truncates_sets_deterministically() {
     let (faulty, tests) = (0..8u64)
         .find_map(workload)
         .expect("some seed must yield a workload");
-    let small = tests.prefix(tests.len().min(8));
+    let small = tests.prefix_at_most(8);
     let functional: Vec<GateId> = faulty
         .iter()
         .filter(|(_, g)| !g.kind().is_source())

@@ -200,7 +200,7 @@ fn validity_verdicts_are_bit_identical_to_scalar_reference() {
         }
         candidate_sets.push(Vec::new());
         for candidates in candidate_sets {
-            let small = tests.prefix(tests.len().min(6));
+            let small = tests.prefix_at_most(6);
             assert_eq!(
                 is_valid_correction_sim(&faulty, &small, &candidates),
                 reference_validity(&faulty, &small, &candidates),

@@ -110,7 +110,7 @@ fn bsim_empty_test_set_is_identical() {
 #[test]
 fn sim_backtrack_is_identical_for_all_worker_counts() {
     for (faulty, _, tests) in workloads() {
-        let small = tests.prefix(tests.len().min(8));
+        let small = tests.prefix_at_most(8);
         let sequential = sim_backtrack_diagnose(
             &faulty,
             &small,
@@ -159,7 +159,7 @@ fn sim_backtrack_budget_zero_and_empty_tests() {
 #[test]
 fn sim_backtrack_max_solutions_truncation_is_identical() {
     for (faulty, _, tests) in workloads().into_iter().take(3) {
-        let small = tests.prefix(tests.len().min(6));
+        let small = tests.prefix_at_most(6);
         for max_solutions in [1usize, 2, 3] {
             let sequential = sim_backtrack_diagnose(
                 &faulty,
@@ -217,7 +217,7 @@ fn kind_repairs_are_identical_for_all_worker_counts() {
 #[test]
 fn cov_bnb_is_identical_for_all_worker_counts_and_agrees_with_sat() {
     for (faulty, _, tests) in workloads() {
-        let small = tests.prefix(tests.len().min(12));
+        let small = tests.prefix_at_most(12);
         let sat = sc_diagnose(
             &faulty,
             &small,
@@ -318,7 +318,7 @@ fn screening_matches_oracle_for_all_worker_counts() {
         let mut sets: Vec<Vec<GateId>> = functional.iter().map(|&g| vec![g]).collect();
         sets.push(errors.clone());
         sets.push(Vec::new());
-        let small = tests.prefix(tests.len().min(6));
+        let small = tests.prefix_at_most(6);
         let expected: Vec<bool> = sets
             .iter()
             .map(|s| is_valid_correction_sim(&faulty, &small, s))

@@ -1,0 +1,138 @@
+//! Property tests for SAT-guided discriminating-test generation: every
+//! vector harvested from a solver model must round-trip through packed
+//! simulation as a real failing test, and blocking clauses must actually
+//! exclude previously harvested vectors from later queries.
+//!
+//! The unit tests in `gatediag_core::testgen` pin hand-picked scenarios;
+//! here random circuit shapes, injection seeds and error multiplicities
+//! are fuzzed together, so any disagreement between the CNF encoding and
+//! the simulation semantics (a mis-encoded gate, a harvest bit written to
+//! the wrong lane, a blocking clause over the wrong variables) surfaces
+//! as a counterexample.
+
+use gatediag_core::{
+    distinguish_pair, generate_discriminating_tests, generate_failing_tests, run_engine, Budget,
+    EngineConfig, EngineKind, PairOutcome, Parallelism, TestGenPolicy, ValidityBackend,
+};
+use gatediag_netlist::{inject_errors, Circuit, GateKind, RandomCircuitSpec};
+use gatediag_sim::simulate;
+use proptest::prelude::*;
+
+/// A random workload with an observable injected error: the golden and
+/// faulty circuits, the first real error site, and the failing tests.
+fn workload(
+    seed: u64,
+    errors: usize,
+) -> Option<(
+    Circuit,
+    Circuit,
+    gatediag_netlist::GateId,
+    gatediag_core::TestSet,
+)> {
+    let golden = RandomCircuitSpec::new(5, 3, 30).seed(seed).generate();
+    let (faulty, sites) = inject_errors(&golden, errors, seed);
+    let tests = generate_failing_tests(&golden, &faulty, 8, seed, 1 << 13);
+    if tests.is_empty() {
+        return None;
+    }
+    Some((golden, faulty, sites[0].gate, tests))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Harvest round-trip: every test the generator emits was harvested
+    /// from a SAT model into packed-simulation lanes — replaying it
+    /// through plain simulation must reproduce a genuine failing test
+    /// (golden's value is `expected`, the faulty circuit disagrees), and
+    /// the shrinkage invariants must hold.
+    #[test]
+    fn harvested_tests_replay_as_real_failing_tests(
+        seed in 0u64..300,
+        errors in 1usize..=2,
+    ) {
+        let Some((golden, faulty, _, tests)) = workload(seed, errors) else {
+            return Ok(());
+        };
+        let run = run_engine(EngineKind::Cov, &faulty, &tests, &EngineConfig::default());
+        let outcome = generate_discriminating_tests(
+            &golden,
+            &faulty,
+            &run.solutions,
+            &TestGenPolicy::default(),
+            &Budget::default(),
+            Parallelism::Sequential,
+            ValidityBackend::default(),
+        );
+        prop_assert_eq!(outcome.solutions_before, run.solutions.len());
+        prop_assert!(outcome.solutions_after <= outcome.solutions_before);
+        prop_assert_eq!(outcome.solutions_after, outcome.survivors.len());
+        prop_assert!(
+            outcome.survivors.windows(2).all(|w| w[0] < w[1]),
+            "survivor indices not ascending"
+        );
+        for t in &outcome.tests {
+            let g = simulate(&golden, &t.vector);
+            let f = simulate(&faulty, &t.vector);
+            // Harvested `expected` is golden's value; the faulty circuit
+            // must disagree (a genuine failing test).
+            prop_assert_eq!(g[t.output.index()], t.expected);
+            prop_assert_ne!(f[t.output.index()], t.expected);
+        }
+    }
+
+    /// Blocking round-trip: enumerating distinguishing vectors for one
+    /// pair with `distinguish_pair`, feeding every harvested vector back
+    /// as blocked, never sees a vector twice and terminates (the input
+    /// space is finite, so blocking must drain it).
+    #[test]
+    fn blocked_vectors_never_reappear(
+        seed in 0u64..300,
+        errors in 1usize..=2,
+    ) {
+        let Some((golden, faulty, site, _)) = workload(seed, errors) else {
+            return Ok(());
+        };
+        let Some(wrong) = faulty
+            .iter()
+            .find(|(id, g)| *id != site && g.kind() != GateKind::Input)
+            .map(|(id, _)| id)
+        else {
+            return Ok(());
+        };
+        let mut blocked: Vec<Vec<bool>> = Vec::new();
+        let mut drained = false;
+        // 5 inputs = at most 32 distinct vectors; anything past that is a
+        // blocking failure.
+        let cap = 1 << golden.inputs().len();
+        for _ in 0..=cap {
+            match distinguish_pair(&golden, &faulty, &[site], &[wrong], &blocked, None) {
+                PairOutcome::Distinguished(found) => {
+                    prop_assert!(!found.is_empty());
+                    let vector = found[0].vector.clone();
+                    for t in &found {
+                        // All tests of one query share the model's
+                        // vector, and each must fail on the faulty
+                        // circuit.
+                        prop_assert_eq!(&t.vector, &vector);
+                        let f = simulate(&faulty, &t.vector);
+                        prop_assert_ne!(f[t.output.index()], t.expected);
+                    }
+                    prop_assert!(
+                        !blocked.contains(&vector),
+                        "blocked vector harvested again"
+                    );
+                    blocked.push(vector);
+                }
+                PairOutcome::Indistinguishable => {
+                    drained = true;
+                    break;
+                }
+                PairOutcome::Unknown => {
+                    prop_assert!(false, "unbounded query returned Unknown");
+                }
+            }
+        }
+        prop_assert!(drained, "blocking never drained the input space");
+    }
+}

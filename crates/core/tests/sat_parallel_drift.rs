@@ -194,7 +194,7 @@ fn sat_validity_oracle_is_worker_count_invariant() {
 #[test]
 fn cov_sat_engine_is_identical_for_all_worker_counts() {
     for (faulty, _, tests) in workloads() {
-        let small = tests.prefix(tests.len().min(12));
+        let small = tests.prefix_at_most(12);
         let sequential = sc_diagnose(
             &faulty,
             &small,

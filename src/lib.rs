@@ -50,18 +50,19 @@ pub use gatediag_sim as sim;
 pub use gatediag_campaign::{
     parse_report, parse_report_bytes, resume_campaign, resume_campaign_checkpointed, run_campaign,
     run_campaign_checkpointed, CampaignReport, CampaignSpec, CheckpointPolicy, RetryOn,
-    RetryPolicy,
+    RetryPolicy, TestGenSpec,
 };
 #[allow(deprecated)]
 pub use gatediag_core::is_valid_correction_sim;
 pub use gatediag_core::{
     basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality, cover_all,
-    generate_failing_tests, hybrid_seeded_bsat, is_valid_correction, is_valid_correction_sat,
-    is_valid_correction_sat_par, partitioned_sat_diagnose, path_trace, path_trace_packed,
-    repair_correction, run_engine, sc_diagnose, sim_backtrack_diagnose, solution_quality,
-    two_pass_sat_diagnose, BsatOptions, BsatResult, BsimOptions, BsimResult, Budget, ChaosConfig,
-    ChaosEvent, ChaosPolicy, CovEngine, CovOptions, CovResult, EngineConfig, EngineKind, EngineRun,
-    MarkPolicy, MuxEncoding, SimBacktrackOptions, SiteSelection, Test, TestSet, Truncation,
-    ValidityOracle,
+    distinguish_pair, generate_discriminating_tests, generate_failing_tests, hybrid_seeded_bsat,
+    is_valid_correction, is_valid_correction_sat, is_valid_correction_sat_par,
+    partitioned_sat_diagnose, path_trace, path_trace_packed, repair_correction, run_engine,
+    sc_diagnose, sim_backtrack_diagnose, solution_quality, two_pass_sat_diagnose, BsatOptions,
+    BsatResult, BsimOptions, BsimResult, Budget, ChaosConfig, ChaosEvent, ChaosPolicy, CovEngine,
+    CovOptions, CovResult, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding,
+    PairOutcome, SimBacktrackOptions, SiteSelection, Test, TestGenOutcome, TestGenPolicy, TestSet,
+    Truncation, ValidityBackend, ValidityOracle,
 };
 pub use gatediag_sim::{PackedSim, Parallelism};

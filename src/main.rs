@@ -39,6 +39,12 @@ DIAGNOSE OPTIONS:
   --k K             correction size bound (default = number of errors)
   --tests M         failing tests to collect (default 8)
   --max-solutions N enumeration cap (default 10000)
+  --test-gen M      off | sat — after diagnosis, generate SAT-guided
+                    discriminating tests that shrink the solution list and
+                    merge indistinguishable candidates into ambiguity
+                    classes (default off)
+  --test-gen-rounds N  max test-generation passes over the unresolved
+                    candidates (default 4)
   --dot FILE        write a Graphviz dump with candidates highlighted
 
 CAMPAIGN OPTIONS:
@@ -76,6 +82,11 @@ CAMPAIGN OPTIONS:
   --chaos-rate R    inject a deterministic fault (panic, work inflation
                     or spurious preemption) into fraction R in [0,1] of
                     instance attempts; off unless given
+  --test-gen M      off | sat — run the discriminating-test generation
+                    phase on every instance; records gain the gen_tests /
+                    solutions_before / solutions_after / ambiguity_classes
+                    columns (default off)
+  --test-gen-rounds N  max test-generation passes per instance (default 4)
   --strict-bench    fail fast on the first malformed .bench file instead
                     of skipping it with a warning
   --workers N       worker pool size (default auto / GATEDIAG_WORKERS,
@@ -113,7 +124,18 @@ struct Options {
     k: Option<usize>,
     tests: usize,
     max_solutions: usize,
+    test_gen: bool,
+    test_gen_rounds: usize,
     dot: Option<String>,
+}
+
+/// Parses a `--test-gen` mode token: `off` or `sat`.
+fn parse_test_gen_mode(text: &str) -> Result<bool, String> {
+    match text {
+        "off" => Ok(false),
+        "sat" => Ok(true),
+        other => Err(format!("unknown --test-gen mode `{other}` (off|sat)")),
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -128,6 +150,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         k: None,
         tests: 8,
         max_solutions: 10_000,
+        test_gen: false,
+        test_gen_rounds: 4,
         dot: None,
     };
     let mut i = 0;
@@ -178,6 +202,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.max_solutions = value(args, &mut i, "--max-solutions")?
                     .parse()
                     .map_err(|_| "--max-solutions expects an integer".to_string())?
+            }
+            "--test-gen" => o.test_gen = parse_test_gen_mode(&value(args, &mut i, "--test-gen")?)?,
+            "--test-gen-rounds" => {
+                o.test_gen_rounds = value(args, &mut i, "--test-gen-rounds")?
+                    .parse()
+                    .map_err(|_| "--test-gen-rounds expects an integer".to_string())?
             }
             "--dot" => o.dot = Some(value(args, &mut i, "--dot")?),
             other => return Err(format!("unknown option `{other}`")),
@@ -259,7 +289,7 @@ fn diagnose(args: &[String]) -> ExitCode {
     let k = o.k.unwrap_or(o.inject);
     let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
 
-    let candidates: Vec<GateId> = match o.engine.as_str() {
+    let (candidates, solutions): (Vec<GateId>, Vec<Vec<GateId>>) = match o.engine.as_str() {
         "bsim" => {
             let result = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
             let gmax = result.gmax();
@@ -271,7 +301,7 @@ fn diagnose(args: &[String]) -> ExitCode {
                     .map(|&g| name_of(&faulty, g))
                     .collect::<Vec<_>>()
             );
-            result.union.iter().collect()
+            (result.union.iter().collect(), Vec::new())
         }
         "cov" => {
             let result = sc_diagnose(
@@ -284,7 +314,8 @@ fn diagnose(args: &[String]) -> ExitCode {
                 },
             );
             print_solutions(&faulty, &result.solutions, result.complete, &errors);
-            result.solutions.iter().flatten().copied().collect()
+            let candidates = result.solutions.iter().flatten().copied().collect();
+            (candidates, result.solutions)
         }
         "bsat" | "hybrid" => {
             let options = BsatOptions {
@@ -301,7 +332,8 @@ fn diagnose(args: &[String]) -> ExitCode {
                 "solver: {} conflicts, {} decisions, {} propagations",
                 result.stats.conflicts, result.stats.decisions, result.stats.propagations
             );
-            result.solutions.iter().flatten().copied().collect()
+            let candidates = result.solutions.iter().flatten().copied().collect();
+            (candidates, result.solutions)
         }
         "auto" => {
             let run = gatediag::run_engine(
@@ -316,13 +348,64 @@ fn diagnose(args: &[String]) -> ExitCode {
             );
             println!("auto engine: COV covers screened by the auto-dispatching validity oracle");
             print_solutions(&faulty, &run.solutions, run.complete, &errors);
-            run.candidates
+            (run.candidates, run.solutions)
         }
         other => {
             eprintln!("unknown engine `{other}` (bsim|cov|bsat|hybrid|auto)");
             return ExitCode::FAILURE;
         }
     };
+
+    if o.test_gen {
+        if solutions.is_empty() {
+            println!("test-gen: no candidate corrections to discriminate (skipped)");
+        } else {
+            let policy = gatediag::TestGenPolicy {
+                rounds: o.test_gen_rounds,
+                ..gatediag::TestGenPolicy::default()
+            };
+            let outcome = gatediag::generate_discriminating_tests(
+                &golden,
+                &faulty,
+                &solutions,
+                &policy,
+                &gatediag::Budget::default(),
+                Parallelism::default(),
+                gatediag::ValidityBackend::default(),
+            );
+            println!(
+                "test-gen: {} discriminating test(s) generated; solutions {} -> {}{}",
+                outcome.tests.len(),
+                outcome.solutions_before,
+                outcome.solutions_after,
+                if outcome.truncation.is_some() {
+                    " (truncated)"
+                } else {
+                    ""
+                }
+            );
+            println!(
+                "test-gen: {} ambiguity class(es) among the survivors",
+                outcome.classes.len()
+            );
+            for class in outcome.classes.iter().take(20) {
+                let members: Vec<String> = class
+                    .iter()
+                    .map(|&s| {
+                        solutions[s]
+                            .iter()
+                            .map(|&g| name_of(&faulty, g))
+                            .collect::<Vec<_>>()
+                            .join("+")
+                    })
+                    .collect();
+                println!("  {{{}}}", members.join(", "));
+            }
+            if outcome.classes.len() > 20 {
+                println!("  ... and {} more", outcome.classes.len() - 20);
+            }
+        }
+    }
 
     if let Some(path) = &o.dot {
         let dot = to_dot(&faulty, &candidates);
@@ -418,6 +501,8 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     let mut retry_on: Option<RetryOn> = None;
     let mut chaos_seed: u64 = 1;
     let mut chaos_rate: Option<f64> = None;
+    let mut test_gen = false;
+    let mut test_gen_rounds: usize = 4;
     let mut strict_bench = false;
     let mut workers: Option<usize> = None;
     let mut json_path = "target/campaign/campaign.json".to_string();
@@ -506,6 +591,10 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
                     })?;
                 chaos_rate = Some(rate);
             }
+            "--test-gen" => test_gen = parse_test_gen_mode(&value(args, &mut i, "--test-gen")?)?,
+            "--test-gen-rounds" => {
+                test_gen_rounds = int(args, &mut i, "--test-gen-rounds")?.max(1) as usize
+            }
             "--strict-bench" => strict_bench = true,
             "--workers" => workers = Some(int(args, &mut i, "--workers")? as usize),
             "--json" => json_path = value(args, &mut i, "--json")?,
@@ -592,6 +681,11 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         spec.retry.retry_on = retry_on;
     }
     spec.bench_warnings = bench_warnings;
+    if test_gen {
+        spec.test_gen = Some(gatediag::TestGenSpec {
+            rounds: test_gen_rounds,
+        });
+    }
     if let Some(workers) = workers {
         spec.parallelism = Parallelism::Fixed(workers);
     }

@@ -10,6 +10,9 @@
 //! circuits × fault models × error counts p × seeds × engines
 //! ```
 //!
+//! (sequential engines additionally cross the `frames` × `seq_lens`
+//! axes — see [`CampaignSpec::frames`])
+//!
 //! into a flat instance matrix; [`run_campaign`] fans the instances out
 //! over the shared worker pool (one instance per work item, index-ordered
 //! merge) and collects resolution quality, candidate/solution counts and
@@ -66,4 +69,7 @@ pub use runner::{
     resume_campaign, resume_campaign_checkpointed, run_campaign, run_campaign_checkpointed,
     CheckpointPolicy,
 };
-pub use spec::{CampaignSpec, InstanceSpec, RetryOn, RetryPolicy, TestGenSpec};
+pub use spec::{
+    validate_frames, validate_seq_len, CampaignSpec, InstanceSpec, RetryOn, RetryPolicy,
+    TestGenSpec, MAX_FRAMES, MAX_SEQ_LEN,
+};

@@ -446,6 +446,16 @@ fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> 
         p: json.expect("p", &ctx)?.as_usize(&ctx)?,
         seed: json.expect("seed", &ctx)?.as_u64(&ctx)?,
         engine,
+        // Sequential columns; absent on combinational records (and on
+        // every legacy report).
+        frames: match json.get("frames") {
+            Some(value) => Some(value.as_usize(&ctx)?),
+            None => None,
+        },
+        seq_len: match json.get("seq_len") {
+            Some(value) => Some(value.as_usize(&ctx)?),
+            None => None,
+        },
         k: json.expect("k", &ctx)?.as_usize(&ctx)?,
         tests: json.expect("tests", &ctx)?.as_usize(&ctx)?,
         status,
@@ -556,6 +566,18 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
         .iter()
         .map(|v| v.as_u64("seeds"))
         .collect::<Result<Vec<_>, _>>()?;
+    // The sequential axes are present only when the matrix has a
+    // sequential engine; an absent axis defaults to the spec default
+    // (and is never re-emitted for a purely combinational matrix, so the
+    // byte round-trip holds either way).
+    let usizes_or = |key: &str, default: Vec<usize>| -> Result<Vec<usize>, ReadError> {
+        match matrix.get(key) {
+            None => Ok(default),
+            Some(value) => value.as_arr(key)?.iter().map(|v| v.as_usize(key)).collect(),
+        }
+    };
+    let frames = usizes_or("frames", vec![3])?;
+    let seq_lens = usizes_or("seq_lens", vec![4])?;
     let k = match matrix.expect("k", "matrix")? {
         Json::Null => None,
         // Legacy emitters wrote the string "p" for "k = p per instance".
@@ -637,7 +659,15 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
     {
         let mut seen = std::collections::HashSet::new();
         for (i, r) in records.iter().enumerate() {
-            if !seen.insert((r.circuit.as_str(), r.fault_model, r.p, r.seed, r.engine)) {
+            if !seen.insert((
+                r.circuit.as_str(),
+                r.fault_model,
+                r.p,
+                r.seed,
+                r.engine,
+                r.frames,
+                r.seq_len,
+            )) {
                 return err(format!(
                     "instance {i}: duplicate record for ({}, {}, p={}, seed={}, {})",
                     r.circuit,
@@ -655,6 +685,8 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
         error_counts,
         seeds,
         engines,
+        frames,
+        seq_lens,
         tests: matrix.expect("tests", "matrix")?.as_usize("tests")?,
         // Absent in legacy reports; `None` means "unknown" and skips the
         // resume-time limit check.

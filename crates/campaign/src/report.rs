@@ -100,6 +100,11 @@ pub struct InstanceRecord {
     pub seed: u64,
     /// Diagnosis engine.
     pub engine: EngineKind,
+    /// Time frames per sequence; `Some` exactly for sequential engines.
+    pub frames: Option<usize>,
+    /// Failing sequences requested; `Some` exactly for sequential
+    /// engines (the sequential analogue of the matrix-wide `tests`).
+    pub seq_len: Option<usize>,
     /// Correction size bound used (`spec.k` or `p`).
     pub k: usize,
     /// Failing tests collected (the diagnosis `m`).
@@ -162,6 +167,13 @@ pub struct CampaignReport {
     pub seeds: Vec<u64>,
     /// Engines of the matrix.
     pub engines: Vec<EngineKind>,
+    /// Time-frame axis for the sequential engines. Emitted in the JSON
+    /// matrix only when some engine is sequential, so legacy reports
+    /// round-trip byte-for-byte.
+    pub frames: Vec<usize>,
+    /// Failing-sequence-count axis for the sequential engines; same
+    /// emission rule as `frames`.
+    pub seq_lens: Vec<usize>,
     /// Failing tests requested per instance.
     pub tests: usize,
     /// Random-vector budget for failing-test generation. `None` only for
@@ -241,6 +253,8 @@ impl CampaignReport {
             error_counts: spec.error_counts.clone(),
             seeds: spec.seeds.clone(),
             engines: spec.engines.clone(),
+            frames: spec.frames.clone(),
+            seq_lens: spec.seq_lens.clone(),
             tests: spec.tests,
             max_test_vectors: Some(spec.max_test_vectors),
             k: spec.k,
@@ -316,6 +330,29 @@ impl CampaignReport {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
+        // The sequential axes only exist when a sequential engine is in
+        // the matrix; omitting them otherwise keeps purely combinational
+        // (and every legacy) report byte-identical.
+        if self.engines.iter().any(|e| e.is_sequential()) {
+            let _ = writeln!(
+                out,
+                "    \"frames\": [{}],",
+                self.frames
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let _ = writeln!(
+                out,
+                "    \"seq_lens\": [{}],",
+                self.seq_lens
+                    .iter()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
         let _ = writeln!(out, "    \"tests\": {},", self.tests);
         // Emitted only when known so that legacy reports (which lack the
         // field) still round-trip byte-for-byte through the reader.
@@ -419,6 +456,11 @@ impl CampaignReport {
                 r.decisions,
                 r.propagations,
             );
+            // Sequential columns only on sequential records, matching the
+            // matrix-level emission rule.
+            if let (Some(frames), Some(seq_len)) = (r.frames, r.seq_len) {
+                let _ = write!(out, ", \"frames\": {frames}, \"seq_len\": {seq_len}");
+            }
             // Shrinkage columns only when the phase ran: absent fields —
             // not nulls — keep legacy records byte-identical.
             if let Some(tg) = r.test_gen {
@@ -453,9 +495,10 @@ impl CampaignReport {
     /// same determinism reasons as [`CampaignReport::to_json`].
     pub fn to_csv(&self, include_timing: bool) -> String {
         let mut out = String::from(
-            "circuit,gates,fault_model,p,seed,engine,k,tests,status,candidates,solutions,\
-             complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,propagations,\
-             gen_tests,solutions_before,solutions_after,ambiguity_classes,attempts,failure",
+            "circuit,gates,fault_model,p,seed,engine,frames,seq_len,k,tests,status,candidates,\
+             solutions,complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,\
+             propagations,gen_tests,solutions_before,solutions_after,ambiguity_classes,attempts,\
+             failure",
         );
         if include_timing {
             out.push_str(",wall_ms");
@@ -472,15 +515,22 @@ impl CampaignReport {
                     r.quality_min, r.quality_avg, r.quality_max
                 )
             };
+            // Empty sequential cells on combinational records, matching
+            // the shrinkage-cell convention below.
+            let seq = match (r.frames, r.seq_len) {
+                (Some(frames), Some(seq_len)) => format!("{frames},{seq_len}"),
+                _ => ",".to_string(),
+            };
             let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 csv_field(&r.circuit),
                 r.gates,
                 r.fault_model,
                 r.p,
                 r.seed,
                 r.engine,
+                seq,
                 r.k,
                 r.tests,
                 r.status.name(),

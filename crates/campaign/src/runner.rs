@@ -27,8 +27,8 @@ use crate::report::{CampaignReport, InstanceRecord, InstanceStatus, TestGenRecor
 use crate::spec::{CampaignSpec, InstanceSpec, RetryOn};
 use gatediag_core::budget::{Budget, Truncation};
 use gatediag_core::{
-    generate_failing_tests, run_engine, solution_quality, ChaosPolicy, EngineConfig, EngineKind,
-    EngineRun, TestGenPolicy,
+    generate_failing_sequences, generate_failing_tests, run_engine, run_sequential_engine,
+    solution_quality, ChaosPolicy, EngineConfig, EngineKind, EngineRun, TestGenPolicy,
 };
 use gatediag_netlist::{try_inject_faults, FaultModel, GateId};
 use gatediag_sim::{parallel_map_init_isolated, Parallelism};
@@ -95,8 +95,21 @@ pub fn run_campaign_checkpointed(
     CampaignReport::new(spec, records)
 }
 
-/// Identity of one instance inside a report — the resume key.
-type InstanceKey<'a> = (&'a str, FaultModel, usize, u64, EngineKind);
+/// Identity of one instance inside a report — the resume key. The two
+/// trailing `Option`s are the sequential axes (`frames`, `seq_len`);
+/// `None` for combinational engines. Keying on them (rather than
+/// limit-checking them) lets a resume legitimately *extend* the
+/// sequential matrix while still guaranteeing a record produced under
+/// different sequential parameters is never reused.
+type InstanceKey<'a> = (
+    &'a str,
+    FaultModel,
+    usize,
+    u64,
+    EngineKind,
+    Option<usize>,
+    Option<usize>,
+);
 
 fn instance_key<'a>(spec: &'a CampaignSpec, inst: &InstanceSpec) -> InstanceKey<'a> {
     (
@@ -105,6 +118,8 @@ fn instance_key<'a>(spec: &'a CampaignSpec, inst: &InstanceSpec) -> InstanceKey<
         inst.p,
         inst.seed,
         inst.engine,
+        inst.frames,
+        inst.seq_len,
     )
 }
 
@@ -115,6 +130,8 @@ fn record_key(record: &InstanceRecord) -> InstanceKey<'_> {
         record.p,
         record.seed,
         record.engine,
+        record.frames,
+        record.seq_len,
     )
 }
 
@@ -389,6 +406,8 @@ fn failed_record(
         p: inst.p,
         seed: inst.seed,
         engine: inst.engine,
+        frames: inst.frames,
+        seq_len: inst.seq_len,
         k: spec.k.unwrap_or(inst.p),
         tests: 0,
         status: InstanceStatus::Failed,
@@ -474,6 +493,8 @@ fn run_attempt(
         p: inst.p,
         seed: inst.seed,
         engine: inst.engine,
+        frames: inst.frames,
+        seq_len: inst.seq_len,
         k,
         tests: 0,
         status: InstanceStatus::Ok,
@@ -499,35 +520,28 @@ fn run_attempt(
         record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         return (record, None);
     };
-    let tests = generate_failing_tests(
-        golden,
-        &faulty,
-        spec.tests,
-        inst.seed,
-        spec.max_test_vectors,
-    );
-    record.tests = tests.len();
-    if tests.is_empty() {
-        record.status = InstanceStatus::NoFailingTests;
-        record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        return (record, None);
-    }
     // The chaos key hashes the full instance identity plus the attempt
     // number: a retried instance rerolls, but identically on every run
-    // and every worker count.
+    // and every worker count. The sequential axes join the key only when
+    // present, so combinational chaos streams are unchanged.
     let chaos = match spec.chaos {
         None => ChaosPolicy::off(),
-        Some(config) => ChaosPolicy::new(
-            config,
-            ChaosPolicy::key(&[
-                name,
-                inst.fault_model.name(),
-                &inst.p.to_string(),
-                &inst.seed.to_string(),
-                inst.engine.name(),
-                &attempt.to_string(),
-            ]),
-        ),
+        Some(config) => {
+            let mut parts = vec![
+                name.clone(),
+                inst.fault_model.name().to_string(),
+                inst.p.to_string(),
+                inst.seed.to_string(),
+                inst.engine.name().to_string(),
+                attempt.to_string(),
+            ];
+            if let (Some(frames), Some(seq_len)) = (inst.frames, inst.seq_len) {
+                parts.push(frames.to_string());
+                parts.push(seq_len.to_string());
+            }
+            let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+            ChaosPolicy::new(config, ChaosPolicy::key(&refs))
+        }
     };
     let config = EngineConfig {
         k,
@@ -548,7 +562,44 @@ fn run_attempt(
         reference: spec.test_gen.is_some().then(|| golden.clone()),
         ..EngineConfig::default()
     };
-    let run: EngineRun = run_engine(inst.engine, &faulty, &tests, &config);
+    // Sequential instances collect failing *sequences* (multi-frame
+    // stimuli) and run the unrolling engines; everything below the run
+    // (scoring, stats, truncation) is shared with the combinational path.
+    let run: EngineRun = match (inst.frames, inst.seq_len) {
+        (Some(frames), Some(seq_len)) => {
+            let tests = generate_failing_sequences(
+                golden,
+                &faulty,
+                frames,
+                seq_len,
+                inst.seed,
+                spec.max_test_vectors,
+            );
+            record.tests = tests.len();
+            if tests.is_empty() {
+                record.status = InstanceStatus::NoFailingTests;
+                record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                return (record, None);
+            }
+            run_sequential_engine(inst.engine, &faulty, &tests, &config)
+        }
+        _ => {
+            let tests = generate_failing_tests(
+                golden,
+                &faulty,
+                spec.tests,
+                inst.seed,
+                spec.max_test_vectors,
+            );
+            record.tests = tests.len();
+            if tests.is_empty() {
+                record.status = InstanceStatus::NoFailingTests;
+                record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                return (record, None);
+            }
+            run_engine(inst.engine, &faulty, &tests, &config)
+        }
+    };
     let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
     record.candidates = run.candidates.len();
     record.solutions = run.solutions.len();

@@ -6,6 +6,11 @@
 //! instance indices — and therefore the merged report — are a pure
 //! function of the spec, independent of how the runner schedules the
 //! work.
+//!
+//! Sequential engines (`seq-bsim` / `seq-bsat`) additionally cross the
+//! [`CampaignSpec::frames`] × [`CampaignSpec::seq_lens`] axes inside
+//! their engine slot; combinational engines ignore both axes, so a spec
+//! without sequential engines expands to exactly the legacy matrix.
 
 use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::{c17, Circuit, FaultModel, RandomCircuitSpec};
@@ -85,6 +90,15 @@ pub struct CampaignSpec {
     pub seeds: Vec<u64>,
     /// Diagnosis engines to run on every instance.
     pub engines: Vec<EngineKind>,
+    /// Time-frame counts for the sequential engines: each value is both
+    /// the generated sequence length and the SAT unroll depth, and is
+    /// crossed into the matrix for every sequential engine.
+    /// Combinational engines ignore the axis.
+    pub frames: Vec<usize>,
+    /// Failing-sequence counts per sequential instance (the sequential
+    /// analogue of [`CampaignSpec::tests`]), crossed into the matrix
+    /// like [`CampaignSpec::frames`].
+    pub seq_lens: Vec<usize>,
     /// Failing tests to collect per instance (the paper's `m`).
     pub tests: usize,
     /// Random-vector budget for failing-test generation; instances whose
@@ -157,6 +171,8 @@ impl CampaignSpec {
             error_counts: vec![1, 2],
             seeds: vec![1, 2],
             engines: vec![EngineKind::Bsim, EngineKind::Cov, EngineKind::Bsat],
+            frames: vec![3],
+            seq_lens: vec![4],
             tests: 8,
             max_test_vectors: 1 << 15,
             k: None,
@@ -205,7 +221,9 @@ impl CampaignSpec {
 
     /// Expands the matrix into index-ordered instances: circuits
     /// outermost, then fault models, error counts, seeds, and engines
-    /// innermost.
+    /// innermost. A sequential engine's slot expands further over
+    /// `frames × seq_lens` (frames outermost); combinational engines
+    /// produce exactly one instance per slot with both set to `None`.
     pub fn instances(&self) -> Vec<InstanceSpec> {
         let mut out = Vec::new();
         for circuit in 0..self.circuits.len() {
@@ -213,13 +231,28 @@ impl CampaignSpec {
                 for &p in &self.error_counts {
                     for &seed in &self.seeds {
                         for &engine in &self.engines {
-                            out.push(InstanceSpec {
+                            let base = InstanceSpec {
                                 circuit,
                                 fault_model,
                                 p,
                                 seed,
                                 engine,
-                            });
+                                frames: None,
+                                seq_len: None,
+                            };
+                            if engine.is_sequential() {
+                                for &frames in &self.frames {
+                                    for &seq_len in &self.seq_lens {
+                                        out.push(InstanceSpec {
+                                            frames: Some(frames),
+                                            seq_len: Some(seq_len),
+                                            ..base
+                                        });
+                                    }
+                                }
+                            } else {
+                                out.push(base);
+                            }
                         }
                     }
                 }
@@ -227,6 +260,43 @@ impl CampaignSpec {
         }
         out
     }
+}
+
+/// Hard cap on a campaign/CLI time-frame count: unrolling is linear in
+/// frames per instance, so an absurd `--frames` is clamped here rather
+/// than allowed to allocate without bound (the same hardening posture as
+/// the `GATEDIAG_WORKERS` / `MAX_ENV_WORKERS` clamp in `gatediag-sim`).
+pub const MAX_FRAMES: usize = 256;
+
+/// Hard cap on the failing-sequence count per sequential instance.
+pub const MAX_SEQ_LEN: usize = 1024;
+
+/// Validates one `--frames` value: zero frames is meaningless (there is
+/// no frame to diagnose in) and rejected; values above [`MAX_FRAMES`]
+/// clamp down to it.
+///
+/// # Errors
+///
+/// Returns a CLI-ready message when `frames == 0`.
+pub fn validate_frames(frames: usize) -> Result<usize, String> {
+    if frames == 0 {
+        return Err("--frames must be at least 1".to_string());
+    }
+    Ok(frames.min(MAX_FRAMES))
+}
+
+/// Validates one `--seq-len` value: zero sequences would make every
+/// sequential instance an empty no-op and is rejected; values above
+/// [`MAX_SEQ_LEN`] clamp down to it.
+///
+/// # Errors
+///
+/// Returns a CLI-ready message when `seq_len == 0`.
+pub fn validate_seq_len(seq_len: usize) -> Result<usize, String> {
+    if seq_len == 0 {
+        return Err("--seq-len must be at least 1".to_string());
+    }
+    Ok(seq_len.min(MAX_SEQ_LEN))
 }
 
 /// One cell of the campaign matrix.
@@ -242,6 +312,11 @@ pub struct InstanceSpec {
     pub seed: u64,
     /// The engine to diagnose with.
     pub engine: EngineKind,
+    /// Time frames per sequence (`Some` exactly for sequential engines).
+    pub frames: Option<usize>,
+    /// Failing sequences to collect (`Some` exactly for sequential
+    /// engines).
+    pub seq_len: Option<usize>,
 }
 
 #[cfg(test)]
@@ -269,5 +344,59 @@ mod tests {
         assert!(spec.fault_models.len() >= 3);
         assert!(spec.engines.len() >= 2);
         assert!(!spec.instances().is_empty());
+    }
+
+    #[test]
+    fn sequential_engines_cross_the_frames_and_seq_len_axes() {
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange];
+        spec.error_counts = vec![1];
+        spec.seeds = vec![5];
+        spec.engines = vec![EngineKind::Bsim, EngineKind::SeqBsat];
+        spec.frames = vec![2, 4];
+        spec.seq_lens = vec![3, 6];
+        let instances = spec.instances();
+        // 1 combinational + 1 sequential × 2 frames × 2 seq_lens.
+        assert_eq!(instances.len(), 5);
+        assert_eq!(instances[0].engine, EngineKind::Bsim);
+        assert_eq!((instances[0].frames, instances[0].seq_len), (None, None));
+        let seq: Vec<(Option<usize>, Option<usize>)> = instances[1..]
+            .iter()
+            .map(|i| (i.frames, i.seq_len))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                (Some(2), Some(3)),
+                (Some(2), Some(6)),
+                (Some(4), Some(3)),
+                (Some(4), Some(6)),
+            ],
+            "frames outermost, seq_lens innermost"
+        );
+        assert!(instances[1..].iter().all(|i| i.engine.is_sequential()));
+    }
+
+    #[test]
+    fn specs_without_sequential_engines_ignore_the_sequential_axes() {
+        let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
+        spec.fault_models = vec![FaultModel::GateChange];
+        spec.error_counts = vec![1];
+        spec.seeds = vec![5];
+        let legacy = spec.instances();
+        spec.frames = vec![1, 2, 3, 4];
+        spec.seq_lens = vec![9, 10];
+        assert_eq!(spec.instances(), legacy);
+    }
+
+    #[test]
+    fn frames_and_seq_len_validation_rejects_zero_and_clamps() {
+        assert!(validate_frames(0).is_err());
+        assert_eq!(validate_frames(1), Ok(1));
+        assert_eq!(validate_frames(MAX_FRAMES), Ok(MAX_FRAMES));
+        assert_eq!(validate_frames(usize::MAX), Ok(MAX_FRAMES));
+        assert!(validate_seq_len(0).is_err());
+        assert_eq!(validate_seq_len(8), Ok(8));
+        assert_eq!(validate_seq_len(1 << 40), Ok(MAX_SEQ_LEN));
     }
 }

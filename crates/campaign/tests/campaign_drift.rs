@@ -199,6 +199,67 @@ fn test_gen_reports_are_byte_identical_for_all_worker_counts() {
 }
 
 #[test]
+fn sequential_reports_are_byte_identical_for_all_worker_counts() {
+    // The sequential extension of the drift contract: a matrix mixing
+    // combinational and sequential engines (with the frames × seq_lens
+    // axes crossed in) must emit byte-identical reports for every worker
+    // count.
+    let mut spec = CampaignSpec::new(vec![
+        ("c17".to_string(), gatediag_netlist::c17()),
+        (
+            "rnd40s".to_string(),
+            RandomCircuitSpec::new(6, 3, 40)
+                .latches(4)
+                .seed(5)
+                .name("rnd40s")
+                .generate(),
+        ),
+    ]);
+    spec.fault_models = vec![FaultModel::GateChange, FaultModel::StuckAt];
+    spec.error_counts = vec![1];
+    spec.seeds = vec![1, 2];
+    spec.engines = vec![EngineKind::Bsim, EngineKind::SeqBsim, EngineKind::SeqBsat];
+    spec.frames = vec![2, 3];
+    spec.seq_lens = vec![4];
+    spec.tests = 6;
+    spec.max_test_vectors = 1 << 12;
+    spec.parallelism = Parallelism::Sequential;
+    let reference = run_campaign(&spec);
+    // The matrix exercises real sequential instances, not just skips.
+    assert!(
+        reference
+            .records
+            .iter()
+            .any(|r| r.frames.is_some() && r.status == gatediag_campaign::InstanceStatus::Ok),
+        "no sequential instance ran an engine"
+    );
+    let ref_json = reference.to_json(false);
+    let ref_csv = reference.to_csv(false);
+    let ref_summary = reference.summary_table();
+    assert!(ref_json.contains("\"frames\": [2, 3]"));
+    assert!(ref_json.contains("\"seq_len\": 4"));
+    for workers in [1usize, 2, 8] {
+        spec.parallelism = Parallelism::Fixed(workers);
+        let report = run_campaign(&spec);
+        assert_eq!(
+            report.to_json(false),
+            ref_json,
+            "sequential JSON drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.to_csv(false),
+            ref_csv,
+            "sequential CSV drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.summary_table(),
+            ref_summary,
+            "sequential summary drifted at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn timing_is_the_only_nondeterministic_field() {
     // Two runs of the same spec agree on everything except wall_ms.
     let spec = drift_spec();

@@ -17,14 +17,15 @@ use proptest::prelude::*;
 /// One small real campaign over c17, serialised with every new schema
 /// feature present: chaos config, retry policy, bench warnings,
 /// discriminating-test generation (so the shrinkage columns are in the
-/// fuzzed bytes), and (at this chaos rate) a mix of ok / failed /
+/// fuzzed bytes), a sequential engine (so the frames/seq_len axes and
+/// columns are too), and (at this chaos rate) a mix of ok / failed /
 /// preempted records.
 fn base_report_json() -> String {
     let mut spec = CampaignSpec::new(vec![("c17".to_string(), c17())]);
     spec.fault_models = vec![FaultModel::GateChange, FaultModel::StuckAt];
     spec.error_counts = vec![1];
     spec.seeds = vec![1, 2];
-    spec.engines = vec![EngineKind::Bsim, EngineKind::Cov];
+    spec.engines = vec![EngineKind::Bsim, EngineKind::Cov, EngineKind::SeqBsim];
     spec.test_gen = Some(TestGenSpec::default());
     spec.chaos = Some(ChaosConfig {
         seed: 3,
@@ -104,6 +105,16 @@ fn unmutated_base_report_round_trips() {
     for tg in parsed_tg {
         assert!(tg.solutions_after <= tg.solutions_before);
     }
+    // The sequential axes and per-record columns survive the parse.
+    assert_eq!(report.frames, vec![3]);
+    assert_eq!(report.seq_lens, vec![4]);
+    assert!(
+        report
+            .records
+            .iter()
+            .any(|r| r.frames == Some(3) && r.seq_len == Some(4)),
+        "no sequential columns parsed back"
+    );
     assert_eq!(report.to_json(false), json);
 }
 

@@ -196,6 +196,53 @@ fn test_gen_resume_matches_a_fresh_full_run() {
 }
 
 #[test]
+fn sequential_resume_matches_a_fresh_full_run() {
+    // The resume contract over the sequential axes: a half-matrix
+    // sequential campaign resumed through the JSON file — extending both
+    // the seeds and the frames axis — reproduces the fresh full run
+    // byte-for-byte. The axes live in the per-record identity key, so a
+    // record produced under frames = 2 is never reused for frames = 3.
+    let mut full_spec = CampaignSpec::new(vec![
+        ("c17".to_string(), gatediag_netlist::c17()),
+        (
+            "rnd40s".to_string(),
+            RandomCircuitSpec::new(6, 3, 40)
+                .latches(4)
+                .seed(5)
+                .name("rnd40s")
+                .generate(),
+        ),
+    ]);
+    full_spec.fault_models = vec![FaultModel::GateChange];
+    full_spec.error_counts = vec![1];
+    full_spec.seeds = vec![1, 2];
+    full_spec.engines = vec![EngineKind::Bsim, EngineKind::SeqBsat];
+    full_spec.frames = vec![2, 3];
+    full_spec.seq_lens = vec![4];
+    full_spec.tests = 6;
+    full_spec.max_test_vectors = 1 << 12;
+    let fresh = run_campaign(&full_spec);
+
+    let mut half_spec = full_spec.clone();
+    half_spec.seeds = vec![1];
+    half_spec.frames = vec![2];
+    let partial = run_campaign(&half_spec);
+    assert!(partial.records.len() < fresh.records.len());
+
+    let parsed = parse_report(&partial.to_json(false)).expect("partial report parses");
+    assert_eq!(parsed.frames, vec![2]);
+    assert_eq!(parsed.seq_lens, vec![4]);
+    let resumed = resume_campaign(&full_spec, &parsed).expect("limits match");
+    assert_eq!(
+        resumed.to_json(false),
+        fresh.to_json(false),
+        "sequential resume differs from a fresh full run"
+    );
+    assert_eq!(resumed.to_csv(false), fresh.to_csv(false));
+    assert_eq!(resumed.summary_table(), fresh.summary_table());
+}
+
+#[test]
 fn resume_rejects_changed_circuit_content() {
     // Records are keyed by circuit name; a same-named circuit with
     // different content must not silently reuse stale records.

@@ -19,6 +19,9 @@ use crate::budget::{Budget, Truncation};
 use crate::chaos::{ChaosEvent, ChaosPolicy};
 use crate::cov::{sc_diagnose, CovOptions};
 use crate::hybrid::hybrid_seeded_bsat;
+use crate::sequential::{
+    sequential_sat_diagnose, sequential_sim_diagnose, SeqBsatOptions, SequenceTestSet,
+};
 use crate::test_set::TestSet;
 use crate::testgen::{generate_discriminating_tests, TestGenOutcome, TestGenPolicy};
 use crate::validity::{screen_valid_corrections_metered, ValidityBackend};
@@ -52,10 +55,20 @@ pub enum EngineKind {
     /// simulation covers and each validity call picks the sim or SAT
     /// backend per [`crate::resolve_validity_backend`].
     Auto,
+    /// Sequential path tracing across time frames
+    /// ([`sequential_sim_diagnose`]): the BSIM analogue over
+    /// multi-frame [`SequenceTestSet`]s, run via
+    /// [`run_sequential_engine`].
+    SeqBsim,
+    /// Sequential SAT diagnosis by time-frame expansion
+    /// ([`sequential_sat_diagnose`]): the BSAT analogue over
+    /// [`SequenceTestSet`]s, run via [`run_sequential_engine`].
+    SeqBsat,
 }
 
 impl EngineKind {
-    /// All engines, in a stable order.
+    /// All *combinational* engines (the [`run_engine`] family), in a
+    /// stable order.
     pub const ALL: [EngineKind; 5] = [
         EngineKind::Bsim,
         EngineKind::Cov,
@@ -63,6 +76,10 @@ impl EngineKind {
         EngineKind::Hybrid,
         EngineKind::Auto,
     ];
+
+    /// The sequential engines (the [`run_sequential_engine`] family), in
+    /// a stable order.
+    pub const SEQUENTIAL: [EngineKind; 2] = [EngineKind::SeqBsim, EngineKind::SeqBsat];
 
     /// The canonical CLI spelling of the engine.
     pub fn name(self) -> &'static str {
@@ -72,13 +89,25 @@ impl EngineKind {
             EngineKind::Bsat => "bsat",
             EngineKind::Hybrid => "hybrid",
             EngineKind::Auto => "auto",
+            EngineKind::SeqBsim => "seq-bsim",
+            EngineKind::SeqBsat => "seq-bsat",
         }
     }
 
     /// Parses a CLI spelling (case-insensitive).
     pub fn parse(text: &str) -> Option<EngineKind> {
         let t = text.to_ascii_lowercase();
-        EngineKind::ALL.into_iter().find(|e| e.name() == t)
+        EngineKind::ALL
+            .into_iter()
+            .chain(EngineKind::SEQUENTIAL)
+            .find(|e| e.name() == t)
+    }
+
+    /// `true` for the sequential engines (which take a
+    /// [`SequenceTestSet`] via [`run_sequential_engine`] instead of a
+    /// [`TestSet`] via [`run_engine`]).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, EngineKind::SeqBsim | EngineKind::SeqBsat)
     }
 }
 
@@ -191,6 +220,37 @@ fn union_of(circuit: &Circuit, solutions: &[Vec<GateId>]) -> Vec<GateId> {
         .collect()
 }
 
+/// Resolves the run budget shared by [`run_engine`] and
+/// [`run_sequential_engine`]: the legacy conflict knob folds in, the
+/// anchor is set once so every phase races the same wall deadline, and
+/// chaos injection happens before any engine work — an injected failure
+/// can never leave a half-updated result behind, and the budget
+/// mutations flow through the ordinary preemption machinery rather than
+/// a parallel code path.
+fn armed_budget(engine: EngineKind, config: &EngineConfig) -> Budget {
+    let mut budget = config
+        .budget
+        .merge_conflicts(config.conflict_budget)
+        .anchored(Instant::now());
+    match config.chaos.decide() {
+        None => {}
+        Some(ChaosEvent::Panic) => {
+            panic!("chaos: injected panic before {engine} run");
+        }
+        Some(ChaosEvent::InflateWork) => {
+            // Simulate a run that costs ~4x its budget: quarter the work
+            // limit (or impose a small one where there was none).
+            budget.work = Some(budget.work.map_or(4, |w| (w / 4).max(1)));
+        }
+        Some(ChaosEvent::SpuriousPreempt) => {
+            // A zero work budget preempts the sim-side engines at their
+            // first charge and caps SAT searches at zero conflicts.
+            budget.work = Some(0);
+        }
+    }
+    budget
+}
+
 /// Runs one engine on `(circuit, tests)` under shared limits.
 ///
 /// # Examples
@@ -212,33 +272,7 @@ pub fn run_engine(
     tests: &TestSet,
     config: &EngineConfig,
 ) -> EngineRun {
-    // One budget for the whole run: the legacy conflict knob folds into
-    // it, and anchoring here makes every phase of a composite engine race
-    // the same wall deadline.
-    let mut budget = config
-        .budget
-        .merge_conflicts(config.conflict_budget)
-        .anchored(Instant::now());
-    // Chaos injection happens before any engine work so an injected
-    // failure can never leave a half-updated result behind, and the
-    // budget mutations below flow through the ordinary preemption
-    // machinery rather than a parallel code path.
-    match config.chaos.decide() {
-        None => {}
-        Some(ChaosEvent::Panic) => {
-            panic!("chaos: injected panic before {engine} run");
-        }
-        Some(ChaosEvent::InflateWork) => {
-            // Simulate a run that costs ~4x its budget: quarter the work
-            // limit (or impose a small one where there was none).
-            budget.work = Some(budget.work.map_or(4, |w| (w / 4).max(1)));
-        }
-        Some(ChaosEvent::SpuriousPreempt) => {
-            // A zero work budget preempts the sim-side engines at their
-            // first charge and caps SAT searches at zero conflicts.
-            budget.work = Some(0);
-        }
-    }
+    let budget = armed_budget(engine, config);
     let mut run = match engine {
         EngineKind::Bsim => {
             let result = basic_sim_diagnose(
@@ -361,6 +395,9 @@ pub fn run_engine(
                 test_gen: None,
             }
         }
+        EngineKind::SeqBsim | EngineKind::SeqBsat => panic!(
+            "{engine} is a sequential engine: use run_sequential_engine with a SequenceTestSet"
+        ),
     };
     // The TestGen phase runs after diagnosis, over the reported
     // solutions, unless the diagnosis was already budget-preempted (its
@@ -391,6 +428,111 @@ pub fn run_engine(
         }
     }
     run
+}
+
+/// Runs one *sequential* engine on `(circuit, tests)` under the same
+/// shared limits as [`run_engine`]: the budget is merged and anchored
+/// identically, chaos injection goes through the same preamble, and the
+/// result is normalised into the same [`EngineRun`] shape (for
+/// [`EngineKind::SeqBsim`] the single reported solution is `G_max`,
+/// mirroring BSIM).
+///
+/// The discriminating-test-generation phase is combinational-only and
+/// never runs here ([`EngineConfig::test_gen`] is ignored;
+/// `run.test_gen` is always `None`). An empty test set yields an empty,
+/// complete run for either engine.
+///
+/// # Panics
+///
+/// Panics if `engine` is not one of [`EngineKind::SEQUENTIAL`].
+///
+/// # Examples
+///
+/// ```
+/// use gatediag_core::{
+///     generate_failing_sequences, run_sequential_engine, EngineConfig, EngineKind,
+/// };
+/// use gatediag_netlist::{inject_errors, RandomCircuitSpec};
+///
+/// let golden = RandomCircuitSpec::new(5, 3, 30).latches(3).seed(1).generate();
+/// let (faulty, sites) = inject_errors(&golden, 1, 1);
+/// let tests = generate_failing_sequences(&golden, &faulty, 3, 4, 1, 1024);
+/// if !tests.is_empty() {
+///     let run = run_sequential_engine(
+///         EngineKind::SeqBsat,
+///         &faulty,
+///         &tests,
+///         &EngineConfig::default(),
+///     );
+///     assert!(run.solutions.contains(&vec![sites[0].gate]));
+/// }
+/// ```
+pub fn run_sequential_engine(
+    engine: EngineKind,
+    circuit: &Circuit,
+    tests: &SequenceTestSet,
+    config: &EngineConfig,
+) -> EngineRun {
+    assert!(
+        engine.is_sequential(),
+        "{engine} is a combinational engine: use run_engine with a TestSet"
+    );
+    let budget = armed_budget(engine, config);
+    if tests.is_empty() {
+        return EngineRun {
+            engine,
+            candidates: Vec::new(),
+            solutions: Vec::new(),
+            complete: true,
+            truncation: None,
+            stats: SolverStats::default(),
+            test_gen: None,
+        };
+    }
+    match engine {
+        EngineKind::SeqBsim => {
+            let result = sequential_sim_diagnose(
+                circuit,
+                tests,
+                BsimOptions {
+                    parallelism: config.parallelism,
+                    budget,
+                    ..BsimOptions::default()
+                },
+            );
+            let gmax = result.gmax();
+            EngineRun {
+                engine,
+                candidates: result.union.iter().collect(),
+                solutions: if gmax.is_empty() { vec![] } else { vec![gmax] },
+                complete: result.truncation.is_none(),
+                truncation: result.truncation,
+                stats: SolverStats::default(),
+                test_gen: None,
+            }
+        }
+        EngineKind::SeqBsat => {
+            let result = sequential_sat_diagnose(
+                circuit,
+                tests,
+                config.k,
+                SeqBsatOptions {
+                    max_solutions: config.max_solutions,
+                    budget,
+                },
+            );
+            EngineRun {
+                engine,
+                candidates: union_of(circuit, &result.solutions),
+                solutions: result.solutions,
+                complete: result.complete,
+                truncation: result.truncation,
+                stats: result.stats,
+                test_gen: None,
+            }
+        }
+        _ => unreachable!("guarded by is_sequential above"),
+    }
 }
 
 #[cfg(test)]
@@ -778,5 +920,177 @@ mod tests {
         // budget preemption.
         assert_eq!(run.truncation, Some(Truncation::Solutions));
         assert!(!run.truncation.unwrap().is_preemption());
+    }
+
+    use crate::sequential::generate_failing_sequences;
+
+    fn sequential_workload() -> (Circuit, Vec<GateId>, SequenceTestSet) {
+        for seed in 0..32u64 {
+            let golden = RandomCircuitSpec::new(5, 3, 30)
+                .latches(3)
+                .seed(seed)
+                .generate();
+            let (faulty, sites) = inject_errors(&golden, 1, seed);
+            let tests = generate_failing_sequences(&golden, &faulty, 3, 6, seed, 1 << 12);
+            if tests.len() >= 2 {
+                return (faulty, sites.iter().map(|s| s.gate).collect(), tests);
+            }
+        }
+        panic!("no seed yields an observable sequential injection");
+    }
+
+    #[test]
+    fn sequential_engine_parsing_round_trips() {
+        for engine in EngineKind::SEQUENTIAL {
+            assert_eq!(EngineKind::parse(engine.name()), Some(engine));
+            assert!(engine.is_sequential());
+        }
+        for engine in EngineKind::ALL {
+            assert!(!engine.is_sequential());
+        }
+        assert_eq!(EngineKind::parse("SEQ-BSAT"), Some(EngineKind::SeqBsat));
+        assert_eq!(EngineKind::parse("seq-bsim"), Some(EngineKind::SeqBsim));
+    }
+
+    #[test]
+    fn sequential_engines_implicate_the_error_site() {
+        let (faulty, errors, tests) = sequential_workload();
+        for engine in EngineKind::SEQUENTIAL {
+            let run = run_sequential_engine(engine, &faulty, &tests, &EngineConfig::default());
+            assert_eq!(run.engine, engine);
+            assert!(
+                run.candidates.iter().any(|g| errors.contains(g)),
+                "{engine}: error site not implicated"
+            );
+            assert!(run.candidates.windows(2).all(|w| w[0] < w[1]));
+            assert!(run.test_gen.is_none());
+        }
+        // SeqBsat specifically enumerates the exact single-gate fix.
+        let run = run_sequential_engine(
+            EngineKind::SeqBsat,
+            &faulty,
+            &tests,
+            &EngineConfig::default(),
+        );
+        assert!(run.complete);
+        assert!(run.solutions.contains(&vec![errors[0]]));
+    }
+
+    #[test]
+    fn sequential_runs_are_worker_count_invariant() {
+        let (faulty, _, tests) = sequential_workload();
+        for engine in EngineKind::SEQUENTIAL {
+            let sequential = run_sequential_engine(
+                engine,
+                &faulty,
+                &tests,
+                &EngineConfig {
+                    parallelism: Parallelism::Fixed(1),
+                    ..EngineConfig::default()
+                },
+            );
+            for workers in [2usize, 8] {
+                let parallel = run_sequential_engine(
+                    engine,
+                    &faulty,
+                    &tests,
+                    &EngineConfig {
+                        parallelism: Parallelism::Fixed(workers),
+                        ..EngineConfig::default()
+                    },
+                );
+                assert_eq!(
+                    sequential, parallel,
+                    "{engine} drifted at {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_work_budget_preempts_deterministically() {
+        let (faulty, _, tests) = sequential_workload();
+        for engine in EngineKind::SEQUENTIAL {
+            let config = EngineConfig {
+                budget: Budget {
+                    work: Some(0),
+                    ..Budget::default()
+                },
+                ..EngineConfig::default()
+            };
+            let run = run_sequential_engine(engine, &faulty, &tests, &config);
+            assert_eq!(
+                run.truncation,
+                Some(Truncation::Work),
+                "{engine}: zero work budget did not preempt"
+            );
+            assert!(!run.complete);
+            let again = run_sequential_engine(engine, &faulty, &tests, &config);
+            assert_eq!(run, again, "{engine}: preempted run not reproducible");
+        }
+    }
+
+    #[test]
+    fn sequential_chaos_preempt_flows_through_the_budget() {
+        use crate::chaos::{ChaosConfig, ChaosPolicy};
+        let (faulty, _, tests) = sequential_workload();
+        // Find a chaos seed that injects SpuriousPreempt for this key.
+        for seed in 0..64u64 {
+            let config = ChaosConfig {
+                seed,
+                rate_ppm: 1_000_000,
+            };
+            let policy = ChaosPolicy::new(config, ChaosPolicy::key(&["seq-instance"]));
+            if policy.decide() != Some(ChaosEvent::SpuriousPreempt) {
+                continue;
+            }
+            let run = run_sequential_engine(
+                EngineKind::SeqBsim,
+                &faulty,
+                &tests,
+                &EngineConfig {
+                    chaos: policy,
+                    ..EngineConfig::default()
+                },
+            );
+            assert_eq!(run.truncation, Some(Truncation::Work));
+            return;
+        }
+        panic!("no chaos seed produced SpuriousPreempt");
+    }
+
+    #[test]
+    fn sequential_empty_test_set_is_complete() {
+        let (faulty, _, _) = sequential_workload();
+        for engine in EngineKind::SEQUENTIAL {
+            let run = run_sequential_engine(
+                engine,
+                &faulty,
+                &SequenceTestSet::default(),
+                &EngineConfig::default(),
+            );
+            assert!(run.complete);
+            assert!(run.solutions.is_empty());
+            assert!(run.candidates.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sequential engine")]
+    fn run_engine_rejects_sequential_kinds() {
+        let (faulty, _, tests) = workload();
+        let _ = run_engine(
+            EngineKind::SeqBsim,
+            &faulty,
+            &tests,
+            &EngineConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "combinational engine")]
+    fn run_sequential_engine_rejects_combinational_kinds() {
+        let (faulty, _, tests) = sequential_workload();
+        let _ = run_sequential_engine(EngineKind::Bsat, &faulty, &tests, &EngineConfig::default());
     }
 }

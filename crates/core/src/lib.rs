@@ -122,7 +122,7 @@ pub use bsim::{
 pub use budget::{Budget, BudgetMeter, Truncation};
 pub use chaos::{ChaosConfig, ChaosEvent, ChaosPolicy};
 pub use cov::{cover_all, sc_diagnose, CovEngine, CovOptions, CovResult};
-pub use engine::{run_engine, EngineConfig, EngineKind, EngineRun};
+pub use engine::{run_engine, run_sequential_engine, EngineConfig, EngineKind, EngineRun};
 pub use hybrid::{hybrid_seeded_bsat, repair_correction, RepairOutcome};
 pub use quality::{bsim_quality, solution_quality, BsimQuality, SolutionQuality};
 pub use repair::{
@@ -131,8 +131,9 @@ pub use repair::{
 };
 pub use sequential::{
     generate_failing_sequences, is_valid_sequential_correction, real_inputs,
-    sequence_tests_to_unrolled, sequential_sat_diagnose, simulate_sequence, SeqDiagnosis,
-    SequenceTest,
+    sequence_tests_to_unrolled, sequential_sat_diagnose, sequential_sim_diagnose,
+    simulate_sequence, SeqBsatOptions, SeqDiagnosis, SeqValidityOracle, SequenceTest,
+    SequenceTestSet,
 };
 pub use sim_backtrack::{sim_backtrack_diagnose, SimBacktrackOptions};
 pub use test_set::{generate_failing_tests, Test, TestSet};

@@ -30,8 +30,11 @@
 //! [`Circuit::fanin_csr`]; everything else uses the [`Gate`] *view*
 //! ([`Circuit::gate`]), a `Copy` facade that keeps the familiar
 //! `kind()` / `fanins()` / `arity()` API at zero cost.
-//! * [`parse_bench`] / [`write_bench`] — ISCAS89 `.bench` I/O with automatic
-//!   combinationalisation of flip-flops into pseudo-primary inputs/outputs;
+//! * [`parse_bench`] / [`write_bench`] — ISCAS89 `.bench` I/O. Flip-flops
+//!   stay first-class (every `q = DFF(d)` is a recorded [`Latch`] pair);
+//!   the stored [`Circuit`] is the combinationalised lowering of them, and
+//!   [`StateView`] is that lowering made explicit (real vs pseudo I/O,
+//!   state slots) for the sequential simulator, unroller and engines;
 //! * structural analyses ([`fanin_cone`], [`fanout_cone`], [`ffr_roots`],
 //!   [`output_idoms`], [`undirected_distances`]) used by the quality metrics
 //!   and the advanced SAT-based diagnosis;
@@ -70,6 +73,7 @@ mod export;
 mod gate;
 mod generate;
 mod inject;
+mod state;
 mod unroll;
 
 pub use analysis::{
@@ -90,4 +94,5 @@ pub use inject::{
     inject_errors, inject_faults, inject_stuck_at, try_inject_faults, ErrorSite, Fault, FaultKind,
     FaultModel,
 };
+pub use state::{InputSlot, StateView};
 pub use unroll::{unroll, Unrolling};

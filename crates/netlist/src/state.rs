@@ -1,0 +1,263 @@
+//! The explicit combinationalisation lowering of a sequential circuit.
+//!
+//! `.bench` flip-flops are kept *first-class* by the parser: every
+//! `q = DFF(d)` is recorded as a [`Latch`](crate::Latch) pair, while the
+//! stored [`Circuit`] is the classic combinationalised lowering (the
+//! latch output `q` as a pseudo-primary input, the latch data `d` as a
+//! pseudo-primary output). Historically every consumer re-derived which
+//! inputs/outputs are "real" by scanning the latch list — an O(|I| × |L|)
+//! pattern repeated in the unroller, the sequential simulator and the
+//! sequential engines. [`StateView`] is that lowering made explicit,
+//! computed once in O(n): membership sets for latch pseudo-I/O, the real
+//! input/output lists, and the slot map needed to assemble a
+//! combinational input vector from `(state, real inputs)`.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), gatediag_netlist::NetlistError> {
+//! let c = gatediag_netlist::parse_bench(
+//!     "INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n",
+//! )?;
+//! let view = gatediag_netlist::StateView::new(&c);
+//! assert!(view.is_sequential());
+//! assert_eq!(view.real_inputs().len(), 1); // en (q is state)
+//! assert_eq!(view.real_outputs().len(), 1); // out (d is state)
+//! assert_eq!(view.num_latches(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::GateId;
+
+/// Where one position of `circuit.inputs()` gets its value from when the
+/// combinationalised circuit simulates one time frame.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum InputSlot {
+    /// A real primary input: index into [`StateView::real_inputs`].
+    Real(usize),
+    /// A latch output pseudo-input: index into `circuit.latches()` (the
+    /// current-state slot feeding this frame).
+    State(usize),
+}
+
+/// Precomputed lowering metadata for a (possibly sequential) circuit.
+///
+/// Construction is O(n); all queries are O(1) or return precomputed
+/// slices.
+#[derive(Clone, Debug)]
+pub struct StateView {
+    real_inputs: Vec<GateId>,
+    real_outputs: Vec<GateId>,
+    /// Per position of `circuit.inputs()`: where the value comes from.
+    input_slots: Vec<InputSlot>,
+    /// Gate index -> latch slot of its `q`, `u32::MAX` otherwise.
+    latch_q_slot: Vec<u32>,
+    /// Gate index -> `true` iff the gate is some latch's `d`.
+    is_latch_d: Vec<bool>,
+    /// The latch `d` gates, in `circuit.latches()` order.
+    latch_d: Vec<GateId>,
+    num_latches: usize,
+}
+
+impl StateView {
+    /// Computes the lowering view of `circuit` in O(n).
+    pub fn new(circuit: &Circuit) -> StateView {
+        let n = circuit.len();
+        let mut latch_q_slot = vec![u32::MAX; n];
+        let mut is_latch_d = vec![false; n];
+        let mut latch_d = Vec::with_capacity(circuit.latches().len());
+        for (slot, latch) in circuit.latches().iter().enumerate() {
+            latch_q_slot[latch.q.index()] = slot as u32;
+            is_latch_d[latch.d.index()] = true;
+            latch_d.push(latch.d);
+        }
+        let mut real_inputs = Vec::new();
+        let mut input_slots = Vec::with_capacity(circuit.inputs().len());
+        for &pi in circuit.inputs() {
+            let slot = latch_q_slot[pi.index()];
+            if slot == u32::MAX {
+                input_slots.push(InputSlot::Real(real_inputs.len()));
+                real_inputs.push(pi);
+            } else {
+                input_slots.push(InputSlot::State(slot as usize));
+            }
+        }
+        let real_outputs = circuit
+            .outputs()
+            .iter()
+            .copied()
+            .filter(|o| !is_latch_d[o.index()])
+            .collect();
+        StateView {
+            real_inputs,
+            real_outputs,
+            input_slots,
+            latch_q_slot,
+            is_latch_d,
+            latch_d,
+            num_latches: circuit.latches().len(),
+        }
+    }
+
+    /// `true` iff the circuit has at least one latch.
+    pub fn is_sequential(&self) -> bool {
+        self.num_latches > 0
+    }
+
+    /// Number of latches (the state width).
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
+    }
+
+    /// The real primary inputs (excluding latch `q` pseudo-inputs), in
+    /// `circuit.inputs()` order.
+    pub fn real_inputs(&self) -> &[GateId] {
+        &self.real_inputs
+    }
+
+    /// The real primary outputs (excluding latch `d` pseudo-outputs), in
+    /// `circuit.outputs()` order.
+    pub fn real_outputs(&self) -> &[GateId] {
+        &self.real_outputs
+    }
+
+    /// The latch `d` (next-state) gates, in `circuit.latches()` order.
+    pub fn latch_d(&self) -> &[GateId] {
+        &self.latch_d
+    }
+
+    /// One [`InputSlot`] per position of `circuit.inputs()`.
+    pub fn input_slots(&self) -> &[InputSlot] {
+        &self.input_slots
+    }
+
+    /// The latch slot of gate `g` if it is some latch's `q`.
+    pub fn latch_slot_of(&self, g: GateId) -> Option<usize> {
+        match self.latch_q_slot[g.index()] {
+            u32::MAX => None,
+            slot => Some(slot as usize),
+        }
+    }
+
+    /// `true` iff `g` is some latch's `d` (a pseudo-primary output).
+    pub fn is_latch_d(&self, g: GateId) -> bool {
+        self.is_latch_d[g.index()]
+    }
+
+    /// Assembles the combinational input vector for one time frame from
+    /// the current `state` (in `circuit.latches()` order) and the real
+    /// input values `reals` (in [`StateView::real_inputs`] order), in
+    /// `circuit.inputs()` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice has the wrong width.
+    pub fn assemble_frame_inputs(&self, state: &[bool], reals: &[bool]) -> Vec<bool> {
+        assert_eq!(state.len(), self.num_latches, "state width mismatch");
+        assert_eq!(
+            reals.len(),
+            self.real_inputs.len(),
+            "real input width mismatch"
+        );
+        self.input_slots
+            .iter()
+            .map(|slot| match *slot {
+                InputSlot::Real(r) => reals[r],
+                InputSlot::State(s) => state[s],
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench_format::parse_bench;
+    use crate::generate::RandomCircuitSpec;
+
+    fn toggle() -> Circuit {
+        parse_bench("INPUT(en)\nOUTPUT(out)\nq = DFF(d)\nd = XOR(q, en)\nout = BUF(q)\n").unwrap()
+    }
+
+    #[test]
+    fn combinational_circuit_has_trivial_view() {
+        let c = crate::generate::c17();
+        let view = StateView::new(&c);
+        assert!(!view.is_sequential());
+        assert_eq!(view.real_inputs(), c.inputs());
+        assert_eq!(view.real_outputs(), c.outputs());
+        assert_eq!(view.num_latches(), 0);
+        for (i, slot) in view.input_slots().iter().enumerate() {
+            assert_eq!(*slot, InputSlot::Real(i));
+        }
+    }
+
+    #[test]
+    fn latch_pseudo_io_is_excluded_from_real_io() {
+        let c = toggle();
+        let view = StateView::new(&c);
+        let en = c.find("en").unwrap();
+        let q = c.find("q").unwrap();
+        let d = c.find("d").unwrap();
+        let out = c.find("out").unwrap();
+        assert_eq!(view.real_inputs(), &[en]);
+        assert_eq!(view.real_outputs(), &[out]);
+        assert_eq!(view.latch_slot_of(q), Some(0));
+        assert_eq!(view.latch_slot_of(en), None);
+        assert!(view.is_latch_d(d));
+        assert!(!view.is_latch_d(out));
+        assert_eq!(view.latch_d(), &[d]);
+    }
+
+    #[test]
+    fn assemble_frame_inputs_respects_slot_map() {
+        let c = toggle();
+        let view = StateView::new(&c);
+        let full = view.assemble_frame_inputs(&[true], &[false]);
+        assert_eq!(full.len(), c.inputs().len());
+        for (pos, &pi) in c.inputs().iter().enumerate() {
+            if view.latch_slot_of(pi).is_some() {
+                assert!(full[pos], "state slot must carry the state bit");
+            } else {
+                assert!(!full[pos], "real slot must carry the real bit");
+            }
+        }
+    }
+
+    #[test]
+    fn view_matches_filtering_on_random_sequential_circuits() {
+        for seed in 0..4 {
+            let c = RandomCircuitSpec::new(6, 3, 40)
+                .latches(4)
+                .seed(seed)
+                .generate();
+            let view = StateView::new(&c);
+            assert_eq!(view.num_latches(), c.latches().len());
+            let latch_q: Vec<GateId> = c.latches().iter().map(|l| l.q).collect();
+            let expect_reals: Vec<GateId> = c
+                .inputs()
+                .iter()
+                .copied()
+                .filter(|pi| !latch_q.contains(pi))
+                .collect();
+            assert_eq!(view.real_inputs(), expect_reals.as_slice());
+            let latch_d: Vec<GateId> = c.latches().iter().map(|l| l.d).collect();
+            let expect_outs: Vec<GateId> = c
+                .outputs()
+                .iter()
+                .copied()
+                .filter(|o| !latch_d.contains(o))
+                .collect();
+            assert_eq!(view.real_outputs(), expect_outs.as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state width mismatch")]
+    fn assemble_rejects_wrong_state_width() {
+        let c = toggle();
+        StateView::new(&c).assemble_frame_inputs(&[], &[true]);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::circuit::{Circuit, CircuitBuilder};
 use crate::gate::{GateId, GateKind};
+use crate::state::StateView;
 
 /// Mapping from the original circuit into an unrolled one.
 #[derive(Clone, Debug)]
@@ -69,12 +70,14 @@ impl Unrolling {
 /// ```
 pub fn unroll(circuit: &Circuit, frames: usize) -> Unrolling {
     assert!(frames > 0, "need at least one time frame");
+    // One O(n) lowering view instead of repeated latch-list scans: the
+    // frame loop below is O(frames * n) overall.
+    let view = StateView::new(circuit);
     let mut b = CircuitBuilder::new();
     b.name(format!("{}@x{}", circuit.name(), frames));
-    let latch_q: Vec<GateId> = circuit.latches().iter().map(|l| l.q).collect();
 
     let mut map: Vec<Vec<GateId>> = Vec::with_capacity(frames);
-    let mut initial_state = Vec::with_capacity(latch_q.len());
+    let mut initial_state = Vec::with_capacity(view.num_latches());
 
     for frame in 0..frames {
         let mut frame_map = vec![GateId::new(usize::MAX >> 1); circuit.len()];
@@ -83,7 +86,7 @@ pub fn unroll(circuit: &Circuit, frames: usize) -> Unrolling {
             let fallback = format!("n{}", id.index());
             let base_name = circuit.gate_name(id).unwrap_or(fallback.as_str());
             let new_id = if gate.kind() == GateKind::Input {
-                if let Some(pos) = latch_q.iter().position(|&q| q == id) {
+                if let Some(slot) = view.latch_slot_of(id) {
                     if frame == 0 {
                         // Free initial state.
                         let init = b.input(format!("init_{base_name}"));
@@ -91,7 +94,7 @@ pub fn unroll(circuit: &Circuit, frames: usize) -> Unrolling {
                         init
                     } else {
                         // Driven by the previous frame's latch data.
-                        let prev_d = circuit.latches()[pos].d;
+                        let prev_d = view.latch_d()[slot];
                         let driver = map[frame - 1][prev_d.index()];
                         b.gate(GateKind::Buf, vec![driver], format!("{base_name}@{frame}"))
                     }
@@ -106,15 +109,12 @@ pub fn unroll(circuit: &Circuit, frames: usize) -> Unrolling {
         }
         // Expose the real primary outputs of this frame (not the latch
         // data pseudo-outputs, which became internal frame links).
-        let latch_d: Vec<GateId> = circuit.latches().iter().map(|l| l.d).collect();
-        for &o in circuit.outputs() {
-            if !latch_d.contains(&o) {
-                b.output(frame_map[o.index()]);
-            }
+        for &o in view.real_outputs() {
+            b.output(frame_map[o.index()]);
         }
         // The final frame's latch data is observable state.
         if frame == frames - 1 {
-            for &d in &latch_d {
+            for &d in view.latch_d() {
                 b.output(frame_map[d.index()]);
             }
         }

@@ -175,6 +175,38 @@ proptest! {
         }
     }
 
+    /// Sequential `.bench` I/O: a circuit with a guaranteed latch
+    /// population writes exactly one `DFF(` line per latch, the latch `q`
+    /// nodes parse back as input gates wired to the right `d` drivers, and
+    /// the written text is already a fixpoint.
+    #[test]
+    fn dff_bench_round_trip(
+        inputs in 2usize..8,
+        outputs in 1usize..4,
+        gates in 5usize..60,
+        latches in 1usize..6,
+        seed in 0u64..5_000,
+    ) {
+        let c = RandomCircuitSpec::new(inputs, outputs, gates)
+            .latches(latches)
+            .seed(seed)
+            .generate();
+        prop_assert_eq!(c.latches().len(), latches);
+        let text = write_bench(&c);
+        prop_assert_eq!(text.matches("DFF(").count(), latches);
+        let back = parse_bench(&text).expect("own output parses");
+        prop_assert_eq!(back.latches().len(), latches);
+        for (l, bl) in c.latches().iter().zip(back.latches()) {
+            // The q node is a pseudo-input whose name pairs it with the
+            // original latch, and the d driver keeps its name too.
+            prop_assert_eq!(back.gate(bl.q).kind(), GateKind::Input);
+            prop_assert!(back.inputs().contains(&bl.q), "q must be an input");
+            prop_assert_eq!(back.gate_name(bl.q), c.gate_name(l.q));
+            prop_assert_eq!(back.gate_name(bl.d), c.gate_name(l.d));
+        }
+        prop_assert_eq!(write_bench(&back), text);
+    }
+
     /// Unrolling a circuit with latches multiplies functional gates by the
     /// frame count (plus latch-link buffers) and stays acyclic/valid.
     #[test]

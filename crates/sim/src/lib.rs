@@ -20,6 +20,11 @@
 //!   the paper's reference \[5\]);
 //! * [`DeltaSim`] — scalar event-driven incremental resimulation for
 //!   backtracking effect analysis (Sec. 2.2's advanced approaches);
+//! * [`SeqPackedSim`] / [`simulate_sequence`] — frame-major sequential
+//!   simulation: `64 * W` input *sequences* at once per time frame, latch
+//!   state words carried frame-to-frame over the explicit
+//!   combinationalisation lowering, with the same overlay machinery for
+//!   fault injection (scalar frame stepping is the pinned reference);
 //! * [`parallel_map_init`] / [`Parallelism`] — a scoped worker pool for
 //!   the embarrassingly parallel diagnosis fan-outs (test batches,
 //!   candidate cones, repair assignments), built on
@@ -78,6 +83,7 @@ mod packed;
 mod packed_tv;
 mod pool;
 mod scalar;
+mod sequential;
 mod tv;
 
 pub use engine::PackedSim;
@@ -91,4 +97,5 @@ pub use pool::{
     WorkItemFailure, AUTO_WORK_FLOOR, MAX_ENV_WORKERS,
 };
 pub use scalar::{output_values, simulate, simulate_forced};
+pub use sequential::{pack_rows_into, simulate_sequence, SeqPackedSim};
 pub use tv::{eval_tv, simulate_tv, x_may_rectify, Tv};

@@ -1,10 +1,10 @@
 //! Property tests for the simulation engines: all four engines agree with
 //! the scalar reference on random circuits, vectors and forcings.
 
-use gatediag_netlist::{GateId, GateKind, RandomCircuitSpec};
+use gatediag_netlist::{unroll, GateId, GateKind, RandomCircuitSpec, StateView};
 use gatediag_sim::{
     pack_vectors, pack_vectors_into, simulate, simulate_forced, simulate_packed_forced,
-    simulate_tv, simulate_tv_packed, unpack_lane, DeltaSim, PackedSim, Tv,
+    simulate_sequence, simulate_tv, simulate_tv_packed, unpack_lane, DeltaSim, PackedSim, Tv,
 };
 use proptest::prelude::*;
 
@@ -243,6 +243,68 @@ proptest! {
             }
             fresh.sweep();
             prop_assert_eq!(sim.values(), fresh.values());
+        }
+    }
+
+    /// Sequential simulation equals combinational simulation of the
+    /// time-frame-expanded circuit: for every frame and every gate, the
+    /// unrolled instance computes exactly the value the scalar
+    /// frame-by-frame `simulate_sequence` assigns. This is the semantic
+    /// bridge the sequential SAT engine rests on — diagnosing the unrolled
+    /// circuit IS diagnosing the sequential one.
+    #[test]
+    fn unrolled_simulation_equals_simulate_sequence(
+        seed in 0u64..3_000,
+        latches in 1usize..6,
+        frames in 1usize..4,
+        bits in any::<u64>(),
+    ) {
+        let c = RandomCircuitSpec::new(6, 3, 40)
+            .latches(latches)
+            .seed(seed)
+            .generate();
+        let view = StateView::new(&c);
+        let initial_state: Vec<bool> = (0..view.num_latches())
+            .map(|i| bits >> (i % 64) & 1 == 1)
+            .collect();
+        let vectors: Vec<Vec<bool>> = (0..frames)
+            .map(|f| {
+                (0..view.real_inputs().len())
+                    .map(|i| bits.rotate_left(7 * f as u32 + 13) >> (i % 64) & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        let scalar = simulate_sequence(&c, &initial_state, &vectors);
+
+        let u = unroll(&c, frames);
+        let pos_of = |id: GateId| {
+            u.circuit
+                .inputs()
+                .iter()
+                .position(|&p| p == id)
+                .expect("an unrolled input")
+        };
+        let mut flat = vec![false; u.circuit.inputs().len()];
+        // Frame 0's latch q instances are the init_* pseudo-inputs.
+        for (slot, latch) in c.latches().iter().enumerate() {
+            flat[pos_of(u.instance(0, latch.q))] = initial_state[slot];
+        }
+        for (f, vector) in vectors.iter().enumerate() {
+            for (i, &pi) in view.real_inputs().iter().enumerate() {
+                flat[pos_of(u.instance(f, pi))] = vector[i];
+            }
+        }
+        let values = simulate(&u.circuit, &flat);
+        for (f, frame_values) in scalar.iter().enumerate() {
+            for (id, _) in c.iter() {
+                prop_assert_eq!(
+                    values[u.instance(f, id).index()],
+                    frame_values[id.index()],
+                    "frame {} gate {}",
+                    f,
+                    id
+                );
+            }
         }
     }
 

@@ -10,8 +10,8 @@
 //! ```
 
 use gatediag::core::{
-    generate_failing_sequences, is_valid_sequential_correction, sequential_sat_diagnose,
-    simulate_sequence,
+    generate_failing_sequences, is_valid_sequential_correction, run_sequential_engine,
+    sequential_sat_diagnose, simulate_sequence, EngineConfig, EngineKind, SeqBsatOptions,
 };
 use gatediag::netlist::{inject_errors, parse_bench, RandomCircuitSpec};
 
@@ -57,7 +57,7 @@ carry = AND(c0, q1)
         return;
     }
     println!("{} failing sequences (5 cycles each)", tests.len());
-    let first = &tests[0];
+    let first = &tests.tests()[0];
     println!(
         "  e.g. output {} wrong at cycle {} (expected {})",
         faulty.gate_name(first.output).unwrap_or("?"),
@@ -77,8 +77,38 @@ carry = AND(c0, q1)
     }
     println!();
 
+    // Sequential path tracing first: marks across frame boundaries, G_max
+    // as the single best-effort answer.
+    let bsim = run_sequential_engine(
+        EngineKind::SeqBsim,
+        &faulty,
+        &tests,
+        &EngineConfig::default(),
+    );
+    println!(
+        "\nsequential BSIM: {} marked gates, G_max {}",
+        bsim.candidates.len(),
+        if bsim
+            .solutions
+            .first()
+            .is_some_and(|g| g.contains(&error.gate))
+        {
+            "contains the injected error"
+        } else {
+            "missed the injected error"
+        }
+    );
+
     // Sequential SAT diagnosis: selects shared across all 5 frames.
-    let diag = sequential_sat_diagnose(&faulty, &tests, 1, 100);
+    let diag = sequential_sat_diagnose(
+        &faulty,
+        &tests,
+        1,
+        SeqBsatOptions {
+            max_solutions: 100,
+            ..SeqBsatOptions::default()
+        },
+    );
     println!(
         "\nsequential BSAT (k = 1): {} corrections{}",
         diag.solutions.len(),
@@ -106,7 +136,15 @@ carry = AND(c0, q1)
     let (faulty, sites) = inject_errors(&golden, 1, 3);
     let tests = generate_failing_sequences(&golden, &faulty, 4, 8, 3, 8192);
     if !tests.is_empty() {
-        let diag = sequential_sat_diagnose(&faulty, &tests, 1, 500);
+        let diag = sequential_sat_diagnose(
+            &faulty,
+            &tests,
+            1,
+            SeqBsatOptions {
+                max_solutions: 500,
+                ..SeqBsatOptions::default()
+            },
+        );
         println!(
             "\nrandom sequential circuit (80 gates, 6 FFs): {} corrections, real site {}",
             diag.solutions.len(),

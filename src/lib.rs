@@ -15,7 +15,8 @@
 //!   covering), BSAT (SAT-based), advanced variants and hybrids, validity
 //!   oracles and quality metrics;
 //! * [`campaign`] — fault-model-diverse experiment campaigns: a
-//!   circuits × fault models × error counts × seeds × engines matrix run
+//!   circuits × fault models × error counts × seeds × engines matrix
+//!   (plus frames × sequence-length axes for the sequential engines) run
 //!   in parallel with deterministic JSON/CSV reports.
 //!
 //! The most common entry points are re-exported at the crate root.
@@ -56,13 +57,15 @@ pub use gatediag_campaign::{
 pub use gatediag_core::is_valid_correction_sim;
 pub use gatediag_core::{
     basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality, cover_all,
-    distinguish_pair, generate_discriminating_tests, generate_failing_tests, hybrid_seeded_bsat,
-    is_valid_correction, is_valid_correction_sat, is_valid_correction_sat_par,
-    partitioned_sat_diagnose, path_trace, path_trace_packed, repair_correction, run_engine,
-    sc_diagnose, sim_backtrack_diagnose, solution_quality, two_pass_sat_diagnose, BsatOptions,
-    BsatResult, BsimOptions, BsimResult, Budget, ChaosConfig, ChaosEvent, ChaosPolicy, CovEngine,
-    CovOptions, CovResult, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding,
-    PairOutcome, SimBacktrackOptions, SiteSelection, Test, TestGenOutcome, TestGenPolicy, TestSet,
-    Truncation, ValidityBackend, ValidityOracle,
+    distinguish_pair, generate_discriminating_tests, generate_failing_sequences,
+    generate_failing_tests, hybrid_seeded_bsat, is_valid_correction, is_valid_correction_sat,
+    is_valid_correction_sat_par, is_valid_sequential_correction, partitioned_sat_diagnose,
+    path_trace, path_trace_packed, repair_correction, run_engine, run_sequential_engine,
+    sc_diagnose, sequential_sat_diagnose, sequential_sim_diagnose, sim_backtrack_diagnose,
+    simulate_sequence, solution_quality, two_pass_sat_diagnose, BsatOptions, BsatResult,
+    BsimOptions, BsimResult, Budget, ChaosConfig, ChaosEvent, ChaosPolicy, CovEngine, CovOptions,
+    CovResult, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding, PairOutcome,
+    SeqBsatOptions, SequenceTest, SequenceTestSet, SimBacktrackOptions, SiteSelection, Test,
+    TestGenOutcome, TestGenPolicy, TestSet, Truncation, ValidityBackend, ValidityOracle,
 };
 pub use gatediag_sim::{PackedSim, Parallelism};

@@ -9,14 +9,17 @@
 //! gatediag equiv --bench a.bench --against b.bench
 //! ```
 
+use gatediag::campaign::{validate_frames, validate_seq_len};
+use gatediag::netlist::Fault;
 use gatediag::netlist::{
     c17, inject_faults, parse_bench_dir, parse_bench_dir_strict, parse_bench_named, to_dot,
     Circuit, FaultKind, FaultModel, GateId,
 };
 use gatediag::{
-    basic_sat_diagnose, basic_sim_diagnose, generate_failing_tests, hybrid_seeded_bsat,
-    run_campaign_checkpointed, sc_diagnose, solution_quality, BsatOptions, BsimOptions,
-    CampaignSpec, ChaosConfig, CheckpointPolicy, CovOptions, EngineKind, Parallelism, RetryOn,
+    basic_sat_diagnose, basic_sim_diagnose, generate_failing_sequences, generate_failing_tests,
+    hybrid_seeded_bsat, run_campaign_checkpointed, run_sequential_engine, sc_diagnose,
+    solution_quality, BsatOptions, BsimOptions, CampaignSpec, ChaosConfig, CheckpointPolicy,
+    CovOptions, EngineConfig, EngineKind, Parallelism, RetryOn,
 };
 use std::process::ExitCode;
 
@@ -35,9 +38,14 @@ DIAGNOSE OPTIONS:
   --fault-model F   gate-change | stuck-at | input-swap | extra-inverter
                     (default gate-change, the paper's model)
   --seed N          RNG seed for injection/tests (default 1)
-  --engine E        bsim | cov | bsat | hybrid | auto (default bsat)
+  --engine E        bsim | cov | bsat | hybrid | auto (default bsat;
+                    with --frames, bsim/bsat map to seq-bsim/seq-bsat)
   --k K             correction size bound (default = number of errors)
   --tests M         failing tests to collect (default 8)
+  --frames N        diagnose sequentially over N time frames (unrolls the
+                    circuit; required semantics for DFF circuits, max 256)
+  --seq-len L       failing sequences to collect with --frames (default 8,
+                    max 1024)
   --max-solutions N enumeration cap (default 10000)
   --test-gen M      off | sat — after diagnosis, generate SAT-guided
                     discriminating tests that shrink the solution list and
@@ -52,9 +60,16 @@ CAMPAIGN OPTIONS:
                     built-in synthetic set when DIR has no .bench files)
   --demo            use the built-in synthetic circuit set
   --fault-models L  comma list of fault models (default all four)
-  --engines L       comma list of engines (default bsim,cov,bsat)
+  --engines L       comma list of engines (default bsim,cov,bsat; also
+                    seq-bsim,seq-bsat — sequential engines cross the
+                    --frames x --seq-len axes into the matrix)
   --errors L        comma list of injected error counts p (default 1,2)
   --seeds L         comma list of injection seeds (default 1,2)
+  --frames L        comma list of time-frame counts for the sequential
+                    engines (default 3; appends seq-bsim,seq-bsat to
+                    --engines when none is listed)
+  --seq-len L       comma list of failing-sequence counts per sequential
+                    instance (default 4)
   --tests M         failing tests per instance (default 8)
   --k K             correction bound (default = p per instance)
   --max-solutions N per-instance enumeration cap (default 10000)
@@ -113,6 +128,7 @@ fn main() -> ExitCode {
     }
 }
 
+#[cfg_attr(test, derive(Debug))]
 struct Options {
     bench: Option<String>,
     against: Option<String>,
@@ -123,6 +139,8 @@ struct Options {
     engine: String,
     k: Option<usize>,
     tests: usize,
+    frames: Option<usize>,
+    seq_len: usize,
     max_solutions: usize,
     test_gen: bool,
     test_gen_rounds: usize,
@@ -149,6 +167,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         engine: "bsat".into(),
         k: None,
         tests: 8,
+        frames: None,
+        seq_len: 8,
         max_solutions: 10_000,
         test_gen: false,
         test_gen_rounds: 4,
@@ -197,6 +217,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.tests = value(args, &mut i, "--tests")?
                     .parse()
                     .map_err(|_| "--tests expects an integer".to_string())?
+            }
+            "--frames" => {
+                let n = value(args, &mut i, "--frames")?
+                    .parse()
+                    .map_err(|_| "--frames expects an integer".to_string())?;
+                o.frames = Some(validate_frames(n)?);
+            }
+            "--seq-len" => {
+                let n = value(args, &mut i, "--seq-len")?
+                    .parse()
+                    .map_err(|_| "--seq-len expects an integer".to_string())?;
+                o.seq_len = validate_seq_len(n)?;
             }
             "--max-solutions" => {
                 o.max_solutions = value(args, &mut i, "--max-solutions")?
@@ -279,6 +311,9 @@ fn diagnose(args: &[String]) -> ExitCode {
                 name_of(&faulty, inverter)
             ),
         }
+    }
+    if o.frames.is_some() || o.engine.starts_with("seq-") {
+        return diagnose_sequential(&golden, &faulty, &faults, &o);
     }
     let tests = generate_failing_tests(&golden, &faulty, o.tests, o.seed, 1 << 17);
     if tests.is_empty() {
@@ -418,6 +453,70 @@ fn diagnose(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--frames` path of `diagnose`: collect failing *sequences* and run
+/// the sequential (time-frame-expansion) variant of the chosen engine.
+fn diagnose_sequential(
+    golden: &Circuit,
+    faulty: &Circuit,
+    faults: &[Fault],
+    o: &Options,
+) -> ExitCode {
+    let engine = match o.engine.as_str() {
+        "bsim" | "seq-bsim" => EngineKind::SeqBsim,
+        "bsat" | "seq-bsat" => EngineKind::SeqBsat,
+        other => {
+            eprintln!("engine `{other}` has no sequential variant (bsim|bsat|seq-bsim|seq-bsat)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let frames = o.frames.unwrap_or(3);
+    println!(
+        "sequential diagnosis: {} flip-flop(s), {frames} time frame(s)",
+        golden.latches().len()
+    );
+    let tests = generate_failing_sequences(golden, faulty, frames, o.seq_len, o.seed, 1 << 17);
+    if tests.is_empty() {
+        eprintln!(
+            "the injected errors are not observable within {frames} frame(s) of random stimulus"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("collected {} failing sequence(s)", tests.len());
+    let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
+    let run = run_sequential_engine(
+        engine,
+        faulty,
+        &tests,
+        &EngineConfig {
+            k: o.k.unwrap_or(o.inject),
+            max_solutions: o.max_solutions,
+            ..EngineConfig::default()
+        },
+    );
+    if engine == EngineKind::SeqBsim {
+        println!(
+            "sequential BSIM marked {} gates; G_max below",
+            run.candidates.len()
+        );
+    }
+    print_solutions(faulty, &run.solutions, run.complete, &errors);
+    if engine == EngineKind::SeqBsat {
+        println!(
+            "solver: {} conflicts, {} decisions, {} propagations",
+            run.stats.conflicts, run.stats.decisions, run.stats.propagations
+        );
+    }
+    if let Some(path) = &o.dot {
+        let dot = to_dot(faulty, &run.candidates);
+        if let Err(e) = std::fs::write(path, dot) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn print_solutions(
     circuit: &Circuit,
     solutions: &[Vec<GateId>],
@@ -487,6 +586,8 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     let mut engines: Option<Vec<EngineKind>> = None;
     let mut errors: Option<Vec<usize>> = None;
     let mut seeds: Option<Vec<u64>> = None;
+    let mut frames: Option<Vec<usize>> = None;
+    let mut seq_lens: Option<Vec<usize>> = None;
     let mut tests: Option<usize> = None;
     let mut k: Option<usize> = None;
     let mut max_solutions: Option<usize> = None;
@@ -550,6 +651,20 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
                 seeds = Some(parse_list(&value(args, &mut i, "--seeds")?, "seed", |s| {
                     s.parse().ok()
                 })?)
+            }
+            "--frames" => {
+                frames = Some(parse_list(
+                    &value(args, &mut i, "--frames")?,
+                    "frame count",
+                    |s| s.parse().ok().and_then(|n| validate_frames(n).ok()),
+                )?)
+            }
+            "--seq-len" => {
+                seq_lens = Some(parse_list(
+                    &value(args, &mut i, "--seq-len")?,
+                    "sequence count",
+                    |s| s.parse().ok().and_then(|n| validate_seq_len(n).ok()),
+                )?)
             }
             "--tests" => tests = Some(int(args, &mut i, "--tests")? as usize),
             "--k" => k = Some(int(args, &mut i, "--k")? as usize),
@@ -651,6 +766,19 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     if let Some(seeds) = seeds {
         spec.seeds = seeds;
     }
+    // The sequential axes only bite on sequential engines; asking for
+    // them without listing one means "also run the sequential pair".
+    let wants_sequential = frames.is_some() || seq_lens.is_some();
+    if let Some(frames) = frames {
+        spec.frames = frames;
+    }
+    if let Some(seq_lens) = seq_lens {
+        spec.seq_lens = seq_lens;
+    }
+    if wants_sequential && !spec.engines.iter().any(|e| e.is_sequential()) {
+        spec.engines.push(EngineKind::SeqBsim);
+        spec.engines.push(EngineKind::SeqBsat);
+    }
     if let Some(tests) = tests {
         spec.tests = tests;
     }
@@ -691,9 +819,18 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     }
 
     let instances = spec.instances().len();
+    let seq_note = if spec.engines.iter().any(|e| e.is_sequential()) {
+        format!(
+            " (sequential engines x {} frame count(s) x {} sequence count(s))",
+            spec.frames.len(),
+            spec.seq_lens.len()
+        )
+    } else {
+        String::new()
+    };
     println!(
         "campaign: {} circuit(s) x {} fault model(s) x {} error count(s) x {} seed(s) x \
-         {} engine(s) = {} instances",
+         {} engine(s){seq_note} = {} instances",
         spec.circuits.len(),
         spec.fault_models.len(),
         spec.error_counts.len(),
@@ -731,7 +868,17 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
             let recorded: std::collections::HashSet<_> = previous
                 .records
                 .iter()
-                .map(|r| (r.circuit.as_str(), r.fault_model, r.p, r.seed, r.engine))
+                .map(|r| {
+                    (
+                        r.circuit.as_str(),
+                        r.fault_model,
+                        r.p,
+                        r.seed,
+                        r.engine,
+                        r.frames,
+                        r.seq_len,
+                    )
+                })
                 .collect();
             let reused = spec
                 .instances()
@@ -743,6 +890,8 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
                         inst.p,
                         inst.seed,
                         inst.engine,
+                        inst.frames,
+                        inst.seq_len,
                     ))
                 })
                 .count();
@@ -854,5 +1003,64 @@ fn equiv(args: &[String]) -> ExitCode {
             }
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_string()).collect();
+        parse_options(&args)
+    }
+
+    #[test]
+    fn frames_and_seq_len_parse_and_default() {
+        let o = opts(&["--demo"]).unwrap();
+        assert_eq!(o.frames, None);
+        assert_eq!(o.seq_len, 8);
+        let o = opts(&["--demo", "--frames", "5", "--seq-len", "12"]).unwrap();
+        assert_eq!(o.frames, Some(5));
+        assert_eq!(o.seq_len, 12);
+    }
+
+    #[test]
+    fn zero_frames_and_seq_len_are_rejected() {
+        let e = opts(&["--demo", "--frames", "0"]).unwrap_err();
+        assert!(e.contains("--frames"), "{e}");
+        let e = opts(&["--demo", "--seq-len", "0"]).unwrap_err();
+        assert!(e.contains("--seq-len"), "{e}");
+        assert!(opts(&["--demo", "--frames", "-3"]).is_err());
+        assert!(opts(&["--demo", "--frames", "many"]).is_err());
+    }
+
+    #[test]
+    fn absurd_frames_and_seq_len_are_clamped() {
+        let o = opts(&["--demo", "--frames", "999999", "--seq-len", "88888888"]).unwrap();
+        assert_eq!(o.frames, Some(gatediag::campaign::MAX_FRAMES));
+        assert_eq!(o.seq_len, gatediag::campaign::MAX_SEQ_LEN);
+    }
+
+    #[test]
+    fn campaign_axis_lists_reject_zero_and_clamp() {
+        let parse_frames = |text: &str| {
+            parse_list(text, "frame count", |s| {
+                s.parse().ok().and_then(|n| validate_frames(n).ok())
+            })
+        };
+        assert_eq!(parse_frames("2,3").unwrap(), vec![2, 3]);
+        assert!(parse_frames("2,0").is_err());
+        assert_eq!(
+            parse_frames("99999").unwrap(),
+            vec![gatediag::campaign::MAX_FRAMES]
+        );
+        let parse_lens = |text: &str| {
+            parse_list(text, "sequence count", |s| {
+                s.parse().ok().and_then(|n| validate_seq_len(n).ok())
+            })
+        };
+        assert_eq!(parse_lens("4,8").unwrap(), vec![4, 8]);
+        assert!(parse_lens("0").is_err());
     }
 }

@@ -469,6 +469,20 @@ fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> 
         conflicts: json.expect("conflicts", &ctx)?.as_u64(&ctx)?,
         decisions: json.expect("decisions", &ctx)?.as_u64(&ctx)?,
         propagations: json.expect("propagations", &ctx)?.as_u64(&ctx)?,
+        // Extended solver statistics: present only on `--solver-stats`
+        // reports, zero otherwise (legacy reports never measured them).
+        restarts: match json.get("restarts") {
+            Some(value) => value.as_u64(&ctx)?,
+            None => 0,
+        },
+        learnt_clauses: match json.get("learnt_clauses") {
+            Some(value) => value.as_u64(&ctx)?,
+            None => 0,
+        },
+        gc_runs: match json.get("gc_runs") {
+            Some(value) => value.as_u64(&ctx)?,
+            None => 0,
+        },
         // Absent in pre-robustness reports: one attempt, no failure.
         attempts: match json.get("attempts") {
             Some(value) => u32::try_from(value.as_u64(&ctx)?).map_err(|_| ReadError {
@@ -491,6 +505,9 @@ fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> 
                 ambiguity_classes: json.expect("ambiguity_classes", &ctx)?.as_usize(&ctx)?,
             }),
         },
+        // Observability traces never travel through the report JSON —
+        // they live in the separate trace JSONL stream.
+        obs: None,
         // Present only in `--timing` reports; excluded from resume
         // comparisons either way.
         wall_ms: match json.get("wall_ms") {
@@ -639,6 +656,12 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
             })
         }
     };
+    // Absent (legacy and default reports) means the extended solver
+    // statistics were not emitted.
+    let solver_stats = match matrix.get("solver_stats") {
+        None | Some(Json::Null) => false,
+        Some(value) => value.as_bool("solver_stats")?,
+    };
     let bench_warnings = match matrix.get("bench_warnings") {
         None => Vec::new(),
         Some(value) => value
@@ -706,6 +729,7 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
         chaos,
         retry,
         test_gen,
+        solver_stats,
         bench_warnings,
         records,
     })

@@ -136,6 +136,15 @@ pub struct InstanceRecord {
     pub decisions: u64,
     /// SAT propagations.
     pub propagations: u64,
+    /// SAT restarts. Always measured; emitted only on `--solver-stats`
+    /// reports (see [`CampaignReport::solver_stats`]).
+    pub restarts: u64,
+    /// Learnt clauses retained at the end of the instance's last solve
+    /// (a gauge, not a total). Same emission rule as `restarts`.
+    pub learnt_clauses: u64,
+    /// Clause-arena garbage collections. Same emission rule as
+    /// `restarts`.
+    pub gc_runs: u64,
     /// How many attempts the instance took (1 = first try succeeded).
     /// Deterministic: retries are triggered by deterministic panics or
     /// seeded chaos, never by wall-clock races.
@@ -147,8 +156,16 @@ pub struct InstanceRecord {
     /// Discriminating-test-generation shrinkage columns; `Some` only when
     /// the campaign ran with `--test-gen sat` and the phase executed.
     pub test_gen: Option<TestGenRecord>,
+    /// The instance's observability trace (spans + deterministic
+    /// counters), collected only under [`CampaignSpec::collect_obs`].
+    /// Never part of the JSON/CSV reports — it flows to the separate
+    /// trace JSONL stream ([`CampaignReport::to_trace_jsonl`]). Its
+    /// equality ignores the timing channel, so the drift contract
+    /// extends over traces unchanged.
+    pub obs: Option<gatediag_obs::ObsTrace>,
     /// Wall-clock time for the whole instance (injection + test
-    /// generation + diagnosis). Nondeterministic; excluded from the
+    /// generation + diagnosis), measured as the root `instance` span of
+    /// the observability trace. Nondeterministic; excluded from the
     /// emitters unless requested.
     pub wall_ms: f64,
 }
@@ -201,6 +218,11 @@ pub struct CampaignReport {
     /// in the JSON matrix only when set, so legacy reports round-trip
     /// byte-for-byte.
     pub test_gen: Option<TestGenSpec>,
+    /// Whether the extended solver-statistics columns are emitted.
+    /// Echoed in the JSON matrix only when `true` (legacy reports stay
+    /// byte-identical) and limit-checked on resume: a report with the
+    /// columns and one without would not merge into either fresh run.
+    pub solver_stats: bool,
     /// Circuit-loading warnings surfaced in the report header (lenient
     /// `.bench` directory loads). Informational only.
     pub bench_warnings: Vec<String>,
@@ -234,6 +256,24 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// Compact instance identity used by the trace stream:
+/// `circuit/fault_model/p{p}/s{seed}/engine`, with `/f{frames}/l{seq_len}`
+/// appended for sequential instances. Matches the resume key one-to-one.
+fn instance_label(r: &InstanceRecord) -> String {
+    let mut label = format!(
+        "{}/{}/p{}/s{}/{}",
+        r.circuit,
+        r.fault_model.name(),
+        r.p,
+        r.seed,
+        r.engine.name()
+    );
+    if let (Some(frames), Some(seq_len)) = (r.frames, r.seq_len) {
+        let _ = write!(label, "/f{frames}/l{seq_len}");
+    }
+    label
+}
+
 /// RFC-4180 field quoting for user-controlled values (circuit names come
 /// from `.bench` file stems, which may contain commas or quotes).
 fn csv_field(s: &str) -> String {
@@ -265,6 +305,7 @@ impl CampaignReport {
             chaos: spec.chaos,
             retry: spec.retry,
             test_gen: spec.test_gen,
+            solver_stats: spec.solver_stats,
             bench_warnings: spec.bench_warnings.clone(),
             records,
         }
@@ -404,6 +445,11 @@ impl CampaignReport {
                 tg.rounds
             );
         }
+        // Same conditional-emission rule: the flag appears only when the
+        // extended columns do, so every legacy report is unchanged.
+        if self.solver_stats {
+            let _ = writeln!(out, "    \"solver_stats\": true,");
+        }
         let _ = writeln!(
             out,
             "    \"bench_warnings\": [{}]",
@@ -456,6 +502,15 @@ impl CampaignReport {
                 r.decisions,
                 r.propagations,
             );
+            // Extended solver statistics only on `--solver-stats` reports
+            // — absent fields, not zeros, keep legacy records identical.
+            if self.solver_stats {
+                let _ = write!(
+                    out,
+                    ", \"restarts\": {}, \"learnt_clauses\": {}, \"gc_runs\": {}",
+                    r.restarts, r.learnt_clauses, r.gc_runs
+                );
+            }
             // Sequential columns only on sequential records, matching the
             // matrix-level emission rule.
             if let (Some(frames), Some(seq_len)) = (r.frames, r.seq_len) {
@@ -497,8 +552,16 @@ impl CampaignReport {
         let mut out = String::from(
             "circuit,gates,fault_model,p,seed,engine,frames,seq_len,k,tests,status,candidates,\
              solutions,complete,hit,quality_min,quality_avg,quality_max,conflicts,decisions,\
-             propagations,gen_tests,solutions_before,solutions_after,ambiguity_classes,attempts,\
-             failure",
+             propagations",
+        );
+        // Extended solver-statistics columns are header-conditional, the
+        // same mechanism as the trailing `wall_ms` column: reports from
+        // campaigns without `--solver-stats` keep the legacy header.
+        if self.solver_stats {
+            out.push_str(",restarts,learnt_clauses,gc_runs");
+        }
+        out.push_str(
+            ",gen_tests,solutions_before,solutions_after,ambiguity_classes,attempts,failure",
         );
         if include_timing {
             out.push_str(",wall_ms");
@@ -543,6 +606,9 @@ impl CampaignReport {
                 r.decisions,
                 r.propagations,
             );
+            if self.solver_stats {
+                let _ = write!(out, ",{},{},{}", r.restarts, r.learnt_clauses, r.gc_runs);
+            }
             // Empty shrinkage cells when the phase did not run, matching
             // the quality-cell convention.
             match r.test_gen {
@@ -565,6 +631,119 @@ impl CampaignReport {
                 let _ = write!(out, ",{:.4}", r.wall_ms);
             }
             out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the collected observability traces as JSONL: one
+    /// [`gatediag_obs::TraceLine`] per record that carries a trace, in
+    /// matrix order. With `include_timing = false` the stream contains
+    /// only the deterministic channel and is byte-identical across
+    /// worker counts; `true` adds per-span `wall_ns` and the
+    /// `nd_counters` object. Empty when the campaign ran without
+    /// `collect_obs`.
+    pub fn to_trace_jsonl(&self, include_timing: bool) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let Some(trace) = &r.obs else { continue };
+            let line = gatediag_obs::TraceLine {
+                instance: instance_label(r),
+                trace: trace.clone(),
+            };
+            out.push_str(&line.to_json(include_timing));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the aggregated per-phase profile from the collected
+    /// traces: one row per distinct span path (parent/child names),
+    /// first-appearance order, with call counts, total wall time and the
+    /// share of the total root-span time — plus the top hotspots and the
+    /// fraction of instance wall time attributed to named phases.
+    /// Wall-clock based and therefore nondeterministic: for terminal
+    /// eyes only, never for byte-compared artifacts.
+    pub fn profile_table(&self) -> String {
+        use std::collections::HashMap;
+        let mut order: Vec<String> = Vec::new();
+        let mut agg: HashMap<String, (u64, u64)> = HashMap::new(); // path -> (calls, wall_ns)
+        let mut root_ns: u64 = 0;
+        let mut phase_ns: u64 = 0; // depth-1 spans: the attributed share
+        for r in &self.records {
+            let Some(trace) = &r.obs else { continue };
+            let mut stack: Vec<String> = Vec::new();
+            for span in &trace.spans {
+                stack.truncate(span.depth);
+                let path = match stack.last() {
+                    Some(parent) => format!("{parent}/{}", span.name),
+                    None => span.name.clone(),
+                };
+                if span.depth == 0 {
+                    root_ns += span.wall_ns;
+                } else if span.depth == 1 {
+                    phase_ns += span.wall_ns;
+                }
+                let entry = agg.entry(path.clone()).or_insert_with(|| {
+                    order.push(path.clone());
+                    (0, 0)
+                });
+                entry.0 += 1;
+                entry.1 += span.wall_ns;
+                stack.push(path);
+            }
+        }
+        if order.is_empty() {
+            return "profile: no traces collected\n".to_string();
+        }
+        let share = |ns: u64| {
+            if root_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / root_ns as f64
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<40} {:>8} {:>12} {:>7}",
+            "phase", "calls", "total ms", "share"
+        );
+        out.push_str(&"-".repeat(70));
+        out.push('\n');
+        for path in &order {
+            let (calls, ns) = agg[path];
+            // Indent by nesting depth so the table reads as the span tree.
+            let depth = path.matches('/').count();
+            let label = format!("{}{}", "  ".repeat(depth), path.rsplit('/').next().unwrap());
+            let _ = writeln!(
+                out,
+                "{label:<40} {calls:>8} {:>12.3} {:>6.1}%",
+                ns as f64 / 1e6,
+                share(ns)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "attributed to named phases: {:.1}% of {:.3} ms total instance time",
+            share(phase_ns),
+            root_ns as f64 / 1e6
+        );
+        // Hotspots: the non-root paths with the most total wall time.
+        let mut hot: Vec<(&String, (u64, u64))> = order
+            .iter()
+            .map(|p| (p, agg[p]))
+            .filter(|(p, _)| p.contains('/'))
+            .collect();
+        hot.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then_with(|| a.0.cmp(b.0)));
+        out.push_str("top hotspots:\n");
+        for (path, (_, ns)) in hot.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:<38} {:>12.3} ms {:>6.1}%",
+                path,
+                *ns as f64 / 1e6,
+                share(*ns)
+            );
         }
         out
     }

@@ -36,7 +36,6 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::time::Instant;
 
 /// Autosave policy for long campaigns: after every `every` resolved
 /// instances the runner atomically rewrites `path` with a valid partial
@@ -185,7 +184,7 @@ pub fn resume_campaign_checkpointed(
     previous: &CampaignReport,
     checkpoint: Option<&CheckpointPolicy>,
 ) -> Result<CampaignReport, String> {
-    let limit_checks: [(&str, String, String); 11] = [
+    let limit_checks: [(&str, String, String); 12] = [
         ("tests", spec.tests.to_string(), previous.tests.to_string()),
         (
             "max_test_vectors",
@@ -247,6 +246,14 @@ pub fn resume_campaign_checkpointed(
             "test_gen",
             format!("{:?}", spec.test_gen),
             format!("{:?}", previous.test_gen),
+        ),
+        // The extended solver-statistics columns change the serialised
+        // shape of every record; mixing reports with and without them
+        // would match neither fresh run byte-for-byte.
+        (
+            "solver_stats",
+            spec.solver_stats.to_string(),
+            previous.solver_stats.to_string(),
         ),
     ];
     for (name, ours, theirs) in &limit_checks {
@@ -421,9 +428,13 @@ fn failed_record(
         conflicts: 0,
         decisions: 0,
         propagations: 0,
+        restarts: 0,
+        learnt_clauses: 0,
+        gc_runs: 0,
         attempts,
         failure: Some(sanitize_reason(reason)),
         test_gen: None,
+        obs: None,
         wall_ms: 0.0,
     }
 }
@@ -479,7 +490,35 @@ fn run_instance_resilient(spec: &CampaignSpec, inst: &InstanceSpec) -> InstanceR
 /// Runs one cell of the matrix. Pure in `(spec, inst, attempt)` — the
 /// attempt number only feeds the chaos key, so attempt 1 of a clean
 /// campaign is the plain deterministic instance run.
+///
+/// Every attempt runs under its own observability sink (installed on
+/// this campaign worker thread — engines are pinned sequential inside an
+/// instance, so every charged counter is deterministic and worker-count
+/// invariant) with a root `instance` span. That span is the single
+/// wall-clock source: `wall_ms` derives from it, so the campaign has
+/// exactly one timing-quarantine mechanism. The full trace is attached
+/// to the record only under [`CampaignSpec::collect_obs`].
 fn run_attempt(
+    spec: &CampaignSpec,
+    inst: &InstanceSpec,
+    attempt: u32,
+) -> (InstanceRecord, Option<Truncation>) {
+    let sink = std::sync::Arc::new(gatediag_obs::Sink::new());
+    let guard = gatediag_obs::install(std::sync::Arc::clone(&sink));
+    let root = gatediag_obs::span("instance");
+    let (mut record, truncation) = run_attempt_inner(spec, inst, attempt);
+    drop(root);
+    drop(guard);
+    let trace = sink.take_trace();
+    record.wall_ms = trace.root_wall_ns() as f64 / 1e6;
+    if spec.collect_obs {
+        record.obs = Some(trace);
+    }
+    (record, truncation)
+}
+
+/// The uninstrumented attempt body: everything [`run_attempt`] measures.
+fn run_attempt_inner(
     spec: &CampaignSpec,
     inst: &InstanceSpec,
     attempt: u32,
@@ -508,16 +547,21 @@ fn run_attempt(
         conflicts: 0,
         decisions: 0,
         propagations: 0,
+        restarts: 0,
+        learnt_clauses: 0,
+        gc_runs: 0,
         attempts: 1,
         failure: None,
         test_gen: None,
+        obs: None,
         wall_ms: 0.0,
     };
-    let start = Instant::now();
-    let Some((faulty, faults)) = try_inject_faults(golden, inst.fault_model, inst.p, inst.seed)
-    else {
+    let injected = {
+        let _inject = gatediag_obs::span("inject");
+        try_inject_faults(golden, inst.fault_model, inst.p, inst.seed)
+    };
+    let Some((faulty, faults)) = injected else {
         record.status = InstanceStatus::NotInjectable;
-        record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
         return (record, None);
     };
     // The chaos key hashes the full instance identity plus the attempt
@@ -567,36 +611,42 @@ fn run_attempt(
     // (scoring, stats, truncation) is shared with the combinational path.
     let run: EngineRun = match (inst.frames, inst.seq_len) {
         (Some(frames), Some(seq_len)) => {
-            let tests = generate_failing_sequences(
-                golden,
-                &faulty,
-                frames,
-                seq_len,
-                inst.seed,
-                spec.max_test_vectors,
-            );
+            let tests = {
+                let _tests = gatediag_obs::span("tests");
+                generate_failing_sequences(
+                    golden,
+                    &faulty,
+                    frames,
+                    seq_len,
+                    inst.seed,
+                    spec.max_test_vectors,
+                )
+            };
             record.tests = tests.len();
             if tests.is_empty() {
                 record.status = InstanceStatus::NoFailingTests;
-                record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 return (record, None);
             }
+            let _engine = gatediag_obs::span("engine");
             run_sequential_engine(inst.engine, &faulty, &tests, &config)
         }
         _ => {
-            let tests = generate_failing_tests(
-                golden,
-                &faulty,
-                spec.tests,
-                inst.seed,
-                spec.max_test_vectors,
-            );
+            let tests = {
+                let _tests = gatediag_obs::span("tests");
+                generate_failing_tests(
+                    golden,
+                    &faulty,
+                    spec.tests,
+                    inst.seed,
+                    spec.max_test_vectors,
+                )
+            };
             record.tests = tests.len();
             if tests.is_empty() {
                 record.status = InstanceStatus::NoFailingTests;
-                record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
                 return (record, None);
             }
+            let _engine = gatediag_obs::span("engine");
             run_engine(inst.engine, &faulty, &tests, &config)
         }
     };
@@ -619,13 +669,15 @@ fn run_attempt(
     record.conflicts = run.stats.conflicts;
     record.decisions = run.stats.decisions;
     record.propagations = run.stats.propagations;
+    record.restarts = run.stats.restarts;
+    record.learnt_clauses = run.stats.learnt_clauses;
+    record.gc_runs = run.stats.gc_runs;
     record.test_gen = run.test_gen.as_ref().map(|outcome| TestGenRecord {
         gen_tests: outcome.tests.len(),
         solutions_before: outcome.solutions_before,
         solutions_after: outcome.solutions_after,
         ambiguity_classes: outcome.classes.len(),
     });
-    record.wall_ms = start.elapsed().as_secs_f64() * 1e3;
     (record, run.truncation)
 }
 

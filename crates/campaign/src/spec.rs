@@ -143,6 +143,16 @@ pub struct CampaignSpec {
     /// carries the `gen_tests` / `solutions_before` / `solutions_after` /
     /// `ambiguity_classes` shrinkage columns.
     pub test_gen: Option<TestGenSpec>,
+    /// Attach the per-instance observability trace (spans + counters,
+    /// see `gatediag_obs`) to every record, for `--trace` / `--profile`.
+    /// Off by default; the JSON/CSV reports are byte-identical either
+    /// way — traces only flow to the separate trace JSONL stream.
+    pub collect_obs: bool,
+    /// Emit the extended solver-statistics columns (`restarts`,
+    /// `learnt_clauses`, `gc_runs`) in the JSON/CSV reports. The values
+    /// are always measured; the flag only gates emission, so reports
+    /// from campaigns without it stay byte-identical to legacy output.
+    pub solver_stats: bool,
 }
 
 /// Campaign-level settings for the discriminating-test generation phase
@@ -185,6 +195,8 @@ impl CampaignSpec {
             retry: RetryPolicy::default(),
             bench_warnings: Vec::new(),
             test_gen: None,
+            collect_obs: false,
+            solver_stats: false,
         }
     }
 

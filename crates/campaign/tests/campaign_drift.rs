@@ -274,3 +274,137 @@ fn timing_is_the_only_nondeterministic_field() {
         assert_eq!(ra, rb);
     }
 }
+
+#[test]
+fn trace_counters_are_byte_identical_for_all_worker_counts() {
+    // The observability extension of the drift contract: with trace
+    // collection on, the timing-free trace JSONL — span tree plus every
+    // deterministic counter — joins the byte-identity guarantee. Engines
+    // are pinned sequential inside an instance, so nothing a campaign
+    // worker charges may depend on how many workers the pool has.
+    let mut spec = drift_spec();
+    spec.collect_obs = true;
+    spec.parallelism = Parallelism::Sequential;
+    let reference = run_campaign(&spec);
+    let ref_trace = reference.to_trace_jsonl(false);
+    // The traces are real: every record carries one, the SAT engine and
+    // the simulator both charged counters, and the span tree parses back
+    // with its nesting invariant intact.
+    assert!(reference.records.iter().all(|r| r.obs.is_some()));
+    for counter in ["sim.sweeps", "sat.solves", "cnf.clauses", "pool.tasks"] {
+        assert!(
+            ref_trace.contains(counter),
+            "no instance charged `{counter}`"
+        );
+    }
+    let parsed = gatediag_obs::parse_trace(&ref_trace).expect("trace JSONL round-trips");
+    assert_eq!(parsed.len(), reference.records.len());
+    for line in &parsed {
+        assert_eq!(line.trace.spans[0].name, "instance");
+    }
+    for workers in [1usize, 2, 8] {
+        spec.parallelism = Parallelism::Fixed(workers);
+        let report = run_campaign(&spec);
+        assert_eq!(
+            report.to_trace_jsonl(false),
+            ref_trace,
+            "trace JSONL drifted at {workers} workers"
+        );
+    }
+    // Trace collection must not leak into the ordinary report: the JSON
+    // and CSV stay byte-identical to an obs-off run of the same matrix.
+    spec.parallelism = Parallelism::Sequential;
+    spec.collect_obs = false;
+    let plain = run_campaign(&spec);
+    assert!(plain.records.iter().all(|r| r.obs.is_none()));
+    assert_eq!(plain.to_json(false), reference.to_json(false));
+    assert_eq!(plain.to_csv(false), reference.to_csv(false));
+}
+
+#[test]
+fn solver_stats_columns_are_byte_identical_and_opt_in() {
+    // The solver-stats extension of the drift contract: with the flag on,
+    // the restarts / learnt_clauses / gc_runs columns are deterministic
+    // across worker counts; with it off, reports never mention them.
+    let mut spec = drift_spec();
+    spec.solver_stats = true;
+    spec.parallelism = Parallelism::Sequential;
+    let reference = run_campaign(&spec);
+    let ref_json = reference.to_json(false);
+    let ref_csv = reference.to_csv(false);
+    assert!(ref_json.contains("\"solver_stats\": true"));
+    assert!(ref_json.contains("\"restarts\":"));
+    assert!(ref_json.contains("\"gc_runs\":"));
+    assert!(ref_csv
+        .lines()
+        .next()
+        .unwrap()
+        .contains(",restarts,learnt_clauses,gc_runs,"));
+    // The SAT engines in the matrix really exercise the learnt-clause
+    // machinery somewhere — the columns are not structurally zero.
+    assert!(
+        reference.records.iter().any(|r| r.learnt_clauses > 0),
+        "no instance learnt a clause — the stats are not wired through"
+    );
+    for workers in [1usize, 2, 8] {
+        spec.parallelism = Parallelism::Fixed(workers);
+        let report = run_campaign(&spec);
+        assert_eq!(
+            report.to_json(false),
+            ref_json,
+            "solver-stats JSON drifted at {workers} workers"
+        );
+        assert_eq!(
+            report.to_csv(false),
+            ref_csv,
+            "solver-stats CSV drifted at {workers} workers"
+        );
+    }
+    // Off by default: no column name appears anywhere in the output.
+    spec.parallelism = Parallelism::Sequential;
+    spec.solver_stats = false;
+    let plain = run_campaign(&spec);
+    for needle in ["restarts", "learnt_clauses", "gc_runs", "solver_stats"] {
+        assert!(!plain.to_json(false).contains(needle));
+        assert!(!plain.to_csv(false).contains(needle));
+    }
+}
+
+/// Drops every `, "wall_ms": <number>` field from a report JSON string.
+/// `wall_ms` is always the last field of its record object, so skipping
+/// from the match to the next `}` removes exactly the timing column.
+fn strip_wall_ms(json: &str) -> String {
+    let mut out = String::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(", \"wall_ms\":") {
+        out.push_str(&rest[..pos]);
+        let tail = &rest[pos..];
+        let end = tail.find('}').expect("wall_ms is the last record field");
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn timing_flag_adds_only_the_wall_ms_column() {
+    // Regression for the wall-clock quarantine now that `wall_ms` is
+    // measured by the root observability span: `--timing` still changes
+    // nothing but the one timing column, in JSON and CSV alike.
+    let spec = drift_spec();
+    let report = run_campaign(&spec);
+    assert_eq!(strip_wall_ms(&report.to_json(true)), report.to_json(false));
+    let timed_csv = report.to_csv(true);
+    let plain_csv = report.to_csv(false);
+    for (timed, plain) in timed_csv.lines().zip(plain_csv.lines()) {
+        let (prefix, wall) = timed.rsplit_once(',').expect("timed CSV has columns");
+        assert_eq!(prefix, plain);
+        assert!(wall == "wall_ms" || wall.parse::<f64>().is_ok());
+    }
+    assert_eq!(timed_csv.lines().count(), plain_csv.lines().count());
+    // The measurement is real: instances that ran an engine took time.
+    assert!(report
+        .records
+        .iter()
+        .any(|r| r.status == gatediag_campaign::InstanceStatus::Ok && r.wall_ms > 0.0));
+}

@@ -18,10 +18,12 @@ pub trait ClauseSink {
 
 impl ClauseSink for Solver {
     fn new_var(&mut self) -> Var {
+        gatediag_obs::count("cnf.vars", 1);
         Solver::new_var(self)
     }
 
     fn add_clause(&mut self, lits: &[Lit]) {
+        gatediag_obs::count("cnf.clauses", 1);
         Solver::add_clause(self, lits);
     }
 }
@@ -89,12 +91,14 @@ impl CnfCollector {
 
 impl ClauseSink for CnfCollector {
     fn new_var(&mut self) -> Var {
+        gatediag_obs::count("cnf.vars", 1);
         let v = Var::from_index(self.base + self.num_vars);
         self.num_vars += 1;
         v
     }
 
     fn add_clause(&mut self, lits: &[Lit]) {
+        gatediag_obs::count("cnf.clauses", 1);
         self.clauses.push(lits.to_vec());
     }
 }

@@ -60,6 +60,7 @@ pub fn encode_gate<S: ClauseSink>(
     fanins: &[Lit],
     guard: Option<Lit>,
 ) {
+    gatediag_obs::count("cnf.gates_encoded", 1);
     fn emit<S: ClauseSink>(sink: &mut S, base: &[Lit], guard: Option<Lit>) {
         let mut lits = base.to_vec();
         if let Some(g) = guard {

@@ -157,7 +157,10 @@ pub fn basic_sat_diagnose(
     let sites = resolve_sites(circuit, &options.sites);
     let build_start = Instant::now();
     let mut solver = Solver::new();
-    let instance = build_instance(&mut solver, circuit, tests, &sites, k, &options);
+    let instance = {
+        let _encode = gatediag_obs::span("encode");
+        build_instance(&mut solver, circuit, tests, &sites, k, &options)
+    };
     let build_time = build_start.elapsed();
 
     let mut solutions: Vec<Vec<GateId>> = Vec::new();
@@ -172,6 +175,7 @@ pub fn basic_sat_diagnose(
     solver.set_conflict_budget(conflict_limit);
     solver.set_deadline(budget.deadline_instant());
     let limit = k.min(instance.selectors.len());
+    let enumerate_span = gatediag_obs::span("enumerate");
     'sizes: for size in 1..=limit {
         let assumptions: Vec<Lit> = instance
             .totalizer
@@ -208,6 +212,7 @@ pub fn basic_sat_diagnose(
             break 'sizes;
         }
     }
+    drop(enumerate_span);
     solutions.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     BsatResult {
         solutions,

@@ -225,6 +225,7 @@ impl BudgetMeter {
         if self.truncation.is_some() {
             return false;
         }
+        gatediag_obs::count("budget.charged", units);
         self.work_used = self.work_used.saturating_add(units);
         if self.work_used > self.work_limit {
             self.truncation = Some(Truncation::Work);

@@ -235,14 +235,17 @@ fn armed_budget(engine: EngineKind, config: &EngineConfig) -> Budget {
     match config.chaos.decide() {
         None => {}
         Some(ChaosEvent::Panic) => {
+            gatediag_obs::count("chaos.injections", 1);
             panic!("chaos: injected panic before {engine} run");
         }
         Some(ChaosEvent::InflateWork) => {
+            gatediag_obs::count("chaos.injections", 1);
             // Simulate a run that costs ~4x its budget: quarter the work
             // limit (or impose a small one where there was none).
             budget.work = Some(budget.work.map_or(4, |w| (w / 4).max(1)));
         }
         Some(ChaosEvent::SpuriousPreempt) => {
+            gatediag_obs::count("chaos.injections", 1);
             // A zero work budget preempts the sim-side engines at their
             // first charge and caps SAT searches at zero conflicts.
             budget.work = Some(0);
@@ -275,15 +278,18 @@ pub fn run_engine(
     let budget = armed_budget(engine, config);
     let mut run = match engine {
         EngineKind::Bsim => {
-            let result = basic_sim_diagnose(
-                circuit,
-                tests,
-                BsimOptions {
-                    parallelism: config.parallelism,
-                    budget,
-                    ..BsimOptions::default()
-                },
-            );
+            let result = {
+                let _phase = gatediag_obs::span("trace");
+                basic_sim_diagnose(
+                    circuit,
+                    tests,
+                    BsimOptions {
+                        parallelism: config.parallelism,
+                        budget,
+                        ..BsimOptions::default()
+                    },
+                )
+            };
             let gmax = result.gmax();
             EngineRun {
                 engine,
@@ -296,21 +302,24 @@ pub fn run_engine(
             }
         }
         EngineKind::Cov => {
-            let result = sc_diagnose(
-                circuit,
-                tests,
-                config.k,
-                CovOptions {
-                    max_solutions: config.max_solutions,
-                    parallelism: config.parallelism,
-                    budget,
-                    bsim: BsimOptions {
+            let result = {
+                let _phase = gatediag_obs::span("cover");
+                sc_diagnose(
+                    circuit,
+                    tests,
+                    config.k,
+                    CovOptions {
+                        max_solutions: config.max_solutions,
                         parallelism: config.parallelism,
-                        ..BsimOptions::default()
+                        budget,
+                        bsim: BsimOptions {
+                            parallelism: config.parallelism,
+                            ..BsimOptions::default()
+                        },
+                        ..CovOptions::default()
                     },
-                    ..CovOptions::default()
-                },
-            );
+                )
+            };
             EngineRun {
                 engine,
                 candidates: union_of(circuit, &result.solutions),
@@ -328,10 +337,13 @@ pub fn run_engine(
                 parallelism: config.parallelism,
                 ..BsatOptions::default()
             };
-            let result = if engine == EngineKind::Hybrid {
-                hybrid_seeded_bsat(circuit, tests, config.k, options)
-            } else {
-                basic_sat_diagnose(circuit, tests, config.k, options)
+            let result = {
+                let _phase = gatediag_obs::span("solve");
+                if engine == EngineKind::Hybrid {
+                    hybrid_seeded_bsat(circuit, tests, config.k, options)
+                } else {
+                    basic_sat_diagnose(circuit, tests, config.k, options)
+                }
             };
             EngineRun {
                 engine,
@@ -344,21 +356,24 @@ pub fn run_engine(
             }
         }
         EngineKind::Auto => {
-            let cov = sc_diagnose(
-                circuit,
-                tests,
-                config.k,
-                CovOptions {
-                    max_solutions: config.max_solutions,
-                    parallelism: config.parallelism,
-                    budget,
-                    bsim: BsimOptions {
+            let cov = {
+                let _phase = gatediag_obs::span("cover");
+                sc_diagnose(
+                    circuit,
+                    tests,
+                    config.k,
+                    CovOptions {
+                        max_solutions: config.max_solutions,
                         parallelism: config.parallelism,
-                        ..BsimOptions::default()
+                        budget,
+                        bsim: BsimOptions {
+                            parallelism: config.parallelism,
+                            ..BsimOptions::default()
+                        },
+                        ..CovOptions::default()
                     },
-                    ..CovOptions::default()
-                },
-            );
+                )
+            };
             // The screen — like every phase — gets the full work budget
             // in its own unit (sets screened; phase units are not
             // commensurable, so they are never summed across phases),
@@ -366,14 +381,17 @@ pub fn run_engine(
             // same runaway guard as the SAT engines) and the shared
             // deadline; its SAT counters are the run's stats instead of
             // being silently dropped.
-            let screen = screen_valid_corrections_metered(
-                circuit,
-                tests,
-                &cov.solutions,
-                config.parallelism,
-                config.validity_backend,
-                &budget,
-            );
+            let screen = {
+                let _phase = gatediag_obs::span("screen");
+                screen_valid_corrections_metered(
+                    circuit,
+                    tests,
+                    &cov.solutions,
+                    config.parallelism,
+                    config.validity_backend,
+                    &budget,
+                )
+            };
             let solutions: Vec<Vec<GateId>> = cov
                 .solutions
                 .iter()
@@ -412,15 +430,18 @@ pub fn run_engine(
                 .reference
                 .as_ref()
                 .expect("EngineConfig::test_gen requires EngineConfig::reference");
-            let outcome = generate_discriminating_tests(
-                golden,
-                circuit,
-                &run.solutions,
-                policy,
-                &budget,
-                config.parallelism,
-                config.validity_backend,
-            );
+            let outcome = {
+                let _phase = gatediag_obs::span("testgen");
+                generate_discriminating_tests(
+                    golden,
+                    circuit,
+                    &run.solutions,
+                    policy,
+                    &budget,
+                    config.parallelism,
+                    config.validity_backend,
+                )
+            };
             run.stats.absorb(&outcome.stats);
             run.truncation = Truncation::merge(run.truncation, outcome.truncation);
             run.complete = run.truncation.is_none();
@@ -491,15 +512,18 @@ pub fn run_sequential_engine(
     }
     match engine {
         EngineKind::SeqBsim => {
-            let result = sequential_sim_diagnose(
-                circuit,
-                tests,
-                BsimOptions {
-                    parallelism: config.parallelism,
-                    budget,
-                    ..BsimOptions::default()
-                },
-            );
+            let result = {
+                let _phase = gatediag_obs::span("trace");
+                sequential_sim_diagnose(
+                    circuit,
+                    tests,
+                    BsimOptions {
+                        parallelism: config.parallelism,
+                        budget,
+                        ..BsimOptions::default()
+                    },
+                )
+            };
             let gmax = result.gmax();
             EngineRun {
                 engine,
@@ -512,15 +536,18 @@ pub fn run_sequential_engine(
             }
         }
         EngineKind::SeqBsat => {
-            let result = sequential_sat_diagnose(
-                circuit,
-                tests,
-                config.k,
-                SeqBsatOptions {
-                    max_solutions: config.max_solutions,
-                    budget,
-                },
-            );
+            let result = {
+                let _phase = gatediag_obs::span("solve");
+                sequential_sat_diagnose(
+                    circuit,
+                    tests,
+                    config.k,
+                    SeqBsatOptions {
+                        max_solutions: config.max_solutions,
+                        budget,
+                    },
+                )
+            };
             EngineRun {
                 engine,
                 candidates: union_of(circuit, &result.solutions),

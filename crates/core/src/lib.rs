@@ -146,7 +146,8 @@ pub use validity::{
     is_valid_correction, is_valid_correction_sat, is_valid_correction_sat_par,
     resolve_validity_backend, screen_valid_corrections, screen_valid_corrections_metered,
     screen_valid_corrections_sat, screen_valid_corrections_sim, SatValidityEngine, ScreenOutcome,
-    SimValidityEngine, ValidityBackend, ValidityOracle, ValidityVerdict, SIM_MAX_CANDIDATES,
+    SimValidityEngine, ValidityBackend, ValidityOracle, ValidityVerdict, PAR_MIN_TESTS_PER_WORKER,
+    SIM_MAX_CANDIDATES,
 };
 
 // The thread-count policy for the parallel diagnosis entry points lives

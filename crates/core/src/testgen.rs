@@ -352,6 +352,7 @@ pub fn generate_discriminating_tests(
                 hard_stop = true;
                 break 'rounds;
             }
+            gatediag_obs::count("testgen.queries", 1);
             let mut solver = Solver::new();
             let (vars, _) = build_query(&mut solver, golden, faulty, &solutions[index], None);
             for vector in &harvested {

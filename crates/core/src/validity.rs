@@ -379,6 +379,21 @@ pub fn is_valid_correction_sat(circuit: &Circuit, tests: &TestSet, candidates: &
     tests.iter().all(|t| engine.test_rectifiable(t))
 }
 
+/// Minimum stolen tests per worker before the sharded SAT oracle fans
+/// out. Every worker pays a full circuit encoding *and* starts with an
+/// empty learnt-clause database, so with fewer tests per worker the
+/// per-worker setup dominates and the shards run slower than the single
+/// warm sequential engine. `BENCH_PR3.json` measured 0.23x at 4 workers
+/// (32 tests, 620 gates: 0.29 ms sequential vs 1.27 ms sharded), and the
+/// `validity.satpar.encodes` / `cnf.clauses` observability counters
+/// attribute the ~1 ms slowdown to the `workers × encoding` term plus
+/// pool spawn — versus warm assumption queries at ~8 µs each, which puts
+/// break-even near 50 tests per worker for propagation-dominated
+/// workloads (see ARCHITECTURE.md, "Observability"). Conflict-heavy
+/// query mixes amortise sooner, but the guard is calibrated to the
+/// measured regime.
+pub const PAR_MIN_TESTS_PER_WORKER: usize = 64;
+
 /// [`is_valid_correction_sat`] with the per-test SAT instances sharded
 /// across a worker pool.
 ///
@@ -388,19 +403,30 @@ pub fn is_valid_correction_sat(circuit: &Circuit, tests: &TestSet, candidates: &
 /// per-test verdict is exact, the result is bit-identical to the
 /// sequential oracle for any worker count — this is the ROADMAP's
 /// "per-test instance sharding for the validity `_sat` oracle".
+///
+/// Sharding is work-gated even under [`Parallelism::Fixed`]: unless every
+/// worker would steal at least [`PAR_MIN_TESTS_PER_WORKER`] tests, the
+/// call runs the sequential engine instead (same verdict, and measurably
+/// faster — see [`PAR_MIN_TESTS_PER_WORKER`]).
 pub fn is_valid_correction_sat_par(
     circuit: &Circuit,
     tests: &TestSet,
     candidates: &[GateId],
     parallelism: Parallelism,
 ) -> bool {
+    gatediag_obs::count("validity.satpar.calls", 1);
     // Only fan out when the per-test solves plausibly dwarf the per-worker
-    // encoding cost (the encoding is O(gates) clauses per worker).
+    // setup cost: each worker re-encodes the circuit (O(gates) clauses)
+    // and re-learns its clauses from scratch, so it needs a minimum
+    // number of tests to amortise that.
     let work = tests.len().saturating_mul(circuit.len()).saturating_mul(8);
-    let workers = parallelism.workers_for(tests.len(), work, gatediag_sim::AUTO_WORK_FLOOR);
+    let workers = parallelism
+        .workers_for(tests.len(), work, gatediag_sim::AUTO_WORK_FLOOR)
+        .min(tests.len() / PAR_MIN_TESTS_PER_WORKER);
     if workers <= 1 {
         return is_valid_correction_sat(circuit, tests, candidates);
     }
+    gatediag_obs::count("validity.satpar.encodes", workers as u64);
     // Cross-worker early exit, mirroring the sequential oracle's short
     // circuit: once any worker finds a non-rectifiable test the overall
     // conjunction is false, so remaining stolen tests are skipped. The
@@ -769,8 +795,12 @@ impl<'c> ValidityOracle<'c> {
     /// [`SIM_MAX_CANDIDATES`] candidates.
     pub fn is_valid(&mut self, tests: &TestSet, candidates: &[GateId]) -> bool {
         match self.backend_for(tests, candidates) {
-            ValidityBackend::Sim | ValidityBackend::Auto => self.sim.is_valid(tests, candidates),
+            ValidityBackend::Sim | ValidityBackend::Auto => {
+                gatediag_obs::count("validity.dispatch.sim", 1);
+                self.sim.is_valid(tests, candidates)
+            }
             ValidityBackend::Sat => {
+                gatediag_obs::count("validity.dispatch.sat", 1);
                 let mut engine = SatValidityEngine::new(self.circuit, candidates);
                 engine.set_limits(self.conflicts, self.deadline);
                 let mut valid = true;
@@ -1047,6 +1077,68 @@ mod tests {
             &functional[..1],
             Parallelism::Fixed(4)
         ));
+    }
+
+    #[test]
+    fn sharded_sat_oracle_is_work_gated_and_counted() {
+        // The BENCH_PR3 regression fix, pinned by the observability
+        // counters: a call with fewer than PAR_MIN_TESTS_PER_WORKER tests
+        // per worker must run the warm sequential engine (one encoding,
+        // no fan-out), and a call over the threshold must fan out with
+        // exactly `workers` encodings — both with identical verdicts.
+        use gatediag_sim::Parallelism;
+        let golden = RandomCircuitSpec::new(10, 3, 60).seed(17).generate();
+        let (faulty, sites) = inject_errors(&golden, 1, 17);
+        let tests = generate_failing_tests(&golden, &faulty, 256, 17, 1 << 10);
+        assert!(
+            tests.len() >= 2 * PAR_MIN_TESTS_PER_WORKER,
+            "need {} failing tests to cross the sharding gate, got {}",
+            2 * PAR_MIN_TESTS_PER_WORKER,
+            tests.len()
+        );
+        let gates: Vec<GateId> = sites.iter().map(|s| s.gate).collect();
+        let sequential = is_valid_correction_sat(&faulty, &tests, &gates);
+        let counter = |trace: &gatediag_obs::ObsTrace, name: &str| {
+            trace
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        // Over the threshold at 2 workers: the shards really fan out, and
+        // every worker pays one circuit encoding.
+        let sink = std::sync::Arc::new(gatediag_obs::Sink::new());
+        let guard = gatediag_obs::install(sink.clone());
+        assert_eq!(
+            is_valid_correction_sat_par(&faulty, &tests, &gates, Parallelism::Fixed(2)),
+            sequential
+        );
+        drop(guard);
+        let sharded = sink.take_trace();
+        assert_eq!(counter(&sharded, "validity.satpar.calls"), 1);
+        assert_eq!(counter(&sharded, "validity.satpar.encodes"), 2);
+        // Under the threshold (a prefix too small for even two shards):
+        // the guard routes to the sequential engine — no extra encodings.
+        let small: TestSet = tests
+            .iter()
+            .take(PAR_MIN_TESTS_PER_WORKER)
+            .cloned()
+            .collect();
+        let small_expected = is_valid_correction_sat(&faulty, &small, &gates);
+        let sink = std::sync::Arc::new(gatediag_obs::Sink::new());
+        let guard = gatediag_obs::install(sink.clone());
+        assert_eq!(
+            is_valid_correction_sat_par(&faulty, &small, &gates, Parallelism::Fixed(4)),
+            small_expected
+        );
+        drop(guard);
+        let gated = sink.take_trace();
+        assert_eq!(counter(&gated, "validity.satpar.calls"), 1);
+        assert_eq!(counter(&gated, "validity.satpar.encodes"), 0);
+        // The attribution itself: the sharded call multiplies the CNF
+        // work — strictly more clauses encoded than the gated call for
+        // the same candidate set.
+        assert!(counter(&sharded, "cnf.clauses") > counter(&gated, "cnf.clauses"));
     }
 
     #[test]

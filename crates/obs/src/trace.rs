@@ -1,0 +1,656 @@
+//! Trace data model and its JSONL serialisation.
+//!
+//! One [`TraceLine`] per observed instance, one JSON object per line:
+//!
+//! ```json
+//! {"instance": "c17/gate-change/p1/s1/bsat",
+//!  "counters": {"sat.conflicts": 12},
+//!  "spans": [{"name": "instance", "depth": 0, "counters": {"sat.conflicts": 12}}]}
+//! ```
+//!
+//! The deterministic channel (counters, span names/depths/deltas) is
+//! byte-identical across worker counts; the timing channel (`wall_ns`
+//! per span, the top-level `nd_counters` object) is emitted only when
+//! the caller opts in, mirroring the campaign's `wall_ms` quarantine.
+//! Equality on every type here ignores the timing channel, so two
+//! traces of the same deterministic work compare equal.
+//!
+//! The parser is hand-rolled recursive descent in the style of the
+//! campaign report reader: depth-capped, allocation-light, and it must
+//! return a clean [`TraceParseError`] — never panic — on arbitrary
+//! corrupted input (property-tested in `tests/proptest_trace.rs`).
+
+use std::fmt;
+
+/// One closed span: name, nesting depth and the inclusive deltas of the
+/// deterministic counters between enter and exit.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecord {
+    /// Span name (the phase taxonomy: `instance`, `inject`, `tests`,
+    /// `engine`, `encode`, `solve`, `cover`, `screen`, `trace`,
+    /// `testgen`).
+    pub name: String,
+    /// Nesting depth: 0 for the root, parent depth + 1 below it. Spans
+    /// are stored in enter (pre-)order, so depths never jump by more
+    /// than +1 from one record to the next.
+    pub depth: usize,
+    /// Nonzero deterministic-counter deltas, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Wall-clock duration — **timing channel**: ignored by `==`,
+    /// serialised only on request.
+    pub wall_ns: u64,
+}
+
+impl PartialEq for SpanRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.depth == other.depth && self.counters == other.counters
+    }
+}
+
+impl Eq for SpanRecord {}
+
+/// Everything one [`crate::Sink`] collected: the span tree in pre-order
+/// plus the final counter totals of both channels.
+#[derive(Clone, Debug, Default)]
+pub struct ObsTrace {
+    /// Spans in enter order (see [`SpanRecord::depth`]).
+    pub spans: Vec<SpanRecord>,
+    /// Deterministic counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Timing-channel counter totals, sorted by name — ignored by `==`,
+    /// serialised only on request.
+    pub nd_counters: Vec<(String, u64)>,
+}
+
+impl PartialEq for ObsTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.spans == other.spans && self.counters == other.counters
+    }
+}
+
+impl Eq for ObsTrace {}
+
+impl ObsTrace {
+    /// The root span's wall-clock duration in nanoseconds (0 without a
+    /// root span) — the single wall-clock source for callers that
+    /// publish a quarantined timing column.
+    pub fn root_wall_ns(&self) -> u64 {
+        self.spans.first().map_or(0, |s| s.wall_ns)
+    }
+}
+
+/// One line of a trace stream: an instance identity plus its trace.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct TraceLine {
+    /// Compact instance identity, e.g. `c17/gate-change/p1/s1/bsat` (a
+    /// sequential instance appends `/f3/l4`).
+    pub instance: String,
+    /// The instance's collected trace.
+    pub trace: ObsTrace,
+}
+
+fn escape_json_into(out: &mut String, text: &str) {
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn counters_into(out: &mut String, counters: &[(String, u64)]) {
+    out.push('{');
+    for (i, (name, value)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('"');
+        escape_json_into(out, name);
+        out.push_str("\": ");
+        out.push_str(&value.to_string());
+    }
+    out.push('}');
+}
+
+impl TraceLine {
+    /// Serialises the line as a single JSON object (no trailing
+    /// newline). With `include_timing` the quarantined channel joins:
+    /// per-span `wall_ns` fields and the top-level `nd_counters`
+    /// object. Output re-parses to an equal line ([`parse_trace_line`])
+    /// and re-serialises byte-identically.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"instance\": \"");
+        escape_json_into(&mut out, &self.instance);
+        out.push_str("\", \"counters\": ");
+        counters_into(&mut out, &self.trace.counters);
+        out.push_str(", \"spans\": [");
+        for (i, span) in self.trace.spans.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"name\": \"");
+            escape_json_into(&mut out, &span.name);
+            out.push_str("\", \"depth\": ");
+            out.push_str(&span.depth.to_string());
+            out.push_str(", \"counters\": ");
+            counters_into(&mut out, &span.counters);
+            if include_timing {
+                out.push_str(", \"wall_ns\": ");
+                out.push_str(&span.wall_ns.to_string());
+            }
+            out.push('}');
+        }
+        out.push(']');
+        if include_timing {
+            out.push_str(", \"nd_counters\": ");
+            counters_into(&mut out, &self.trace.nd_counters);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A clean parse failure: where and why the input is not a trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceParseError {
+    message: String,
+}
+
+impl TraceParseError {
+    fn new(message: impl Into<String>) -> Self {
+        TraceParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+/// Maximum object/array nesting the parser will follow. A trace line is
+/// three levels deep; anything deeper is garbage, and the cap keeps the
+/// recursive parser safe from stack exhaustion on adversarial input.
+const MAX_DEPTH: usize = 16;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> TraceParseError {
+        TraceParseError::new(format!("at byte {}: {}", self.at, message.into()))
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), TraceParseError> {
+        self.skip_ws();
+        if self.peek() == Some(byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", char::from(byte))))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, TraceParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is passed through whole; the
+                    // input is a &str, so char boundaries are valid.
+                    let rest = &self.bytes[self.at..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().ok_or_else(|| self.error("empty"))?;
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, TraceParseError> {
+        self.skip_ws();
+        let start = self.at;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.at += 1;
+        }
+        if self.at == start {
+            return Err(self.error("expected an unsigned integer"));
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.error("bad number"))?;
+        digits
+            .parse()
+            .map_err(|_| self.error("integer out of range"))
+    }
+
+    /// Parses a `{"name": u64, ...}` counters object.
+    fn parse_counters(&mut self) -> Result<Vec<(String, u64)>, TraceParseError> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let name = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_u64()?;
+            out.push((name, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                _ => return Err(self.error("expected `,` or `}` in counters")),
+            }
+        }
+    }
+
+    /// Skips any JSON value (for unknown keys — forward compatibility).
+    fn skip_value(&mut self, depth: usize) -> Result<(), TraceParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(())
+            }
+            Some(b'{') => {
+                self.at += 1;
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.at += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_ws();
+                    self.parse_string()?;
+                    self.expect(b':')?;
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.error("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.at += 1;
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.at += 1;
+                    return Ok(());
+                }
+                loop {
+                    self.skip_value(depth + 1)?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(self.error("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b't') => self.expect_word("true"),
+            Some(b'f') => self.expect_word("false"),
+            Some(b'n') => self.expect_word("null"),
+            Some(b'-' | b'0'..=b'9') => {
+                self.at += 1;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                ) {
+                    self.at += 1;
+                }
+                Ok(())
+            }
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), TraceParseError> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_span(&mut self) -> Result<SpanRecord, TraceParseError> {
+        self.expect(b'{')?;
+        let mut span = SpanRecord::default();
+        let mut seen_name = false;
+        let mut seen_depth = false;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            return Err(self.error("span object is empty"));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "name" => {
+                    self.skip_ws();
+                    span.name = self.parse_string()?;
+                    seen_name = true;
+                }
+                "depth" => {
+                    let depth = self.parse_u64()?;
+                    span.depth = usize::try_from(depth)
+                        .map_err(|_| self.error("span depth out of range"))?;
+                    seen_depth = true;
+                }
+                "counters" => {
+                    self.skip_ws();
+                    span.counters = self.parse_counters()?;
+                }
+                "wall_ns" => span.wall_ns = self.parse_u64()?,
+                _ => self.skip_value(0)?,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected `,` or `}` in span")),
+            }
+        }
+        if !seen_name || !seen_depth {
+            return Err(self.error("span is missing `name` or `depth`"));
+        }
+        Ok(span)
+    }
+
+    fn parse_line(&mut self) -> Result<TraceLine, TraceParseError> {
+        self.expect(b'{')?;
+        let mut line = TraceLine::default();
+        let mut seen_instance = false;
+        let mut seen_spans = false;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            return Err(self.error("trace line is empty"));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "instance" => {
+                    self.skip_ws();
+                    line.instance = self.parse_string()?;
+                    seen_instance = true;
+                }
+                "counters" => {
+                    self.skip_ws();
+                    line.trace.counters = self.parse_counters()?;
+                }
+                "nd_counters" => {
+                    self.skip_ws();
+                    line.trace.nd_counters = self.parse_counters()?;
+                }
+                "spans" => {
+                    self.expect(b'[')?;
+                    seen_spans = true;
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.at += 1;
+                    } else {
+                        loop {
+                            self.skip_ws();
+                            line.trace.spans.push(self.parse_span()?);
+                            self.skip_ws();
+                            match self.peek() {
+                                Some(b',') => self.at += 1,
+                                Some(b']') => {
+                                    self.at += 1;
+                                    break;
+                                }
+                                _ => return Err(self.error("expected `,` or `]` in spans")),
+                            }
+                        }
+                    }
+                }
+                _ => self.skip_value(0)?,
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    break;
+                }
+                _ => return Err(self.error("expected `,` or `}` in trace line")),
+            }
+        }
+        self.skip_ws();
+        if self.at != self.bytes.len() {
+            return Err(self.error("trailing garbage after trace line"));
+        }
+        if !seen_instance || !seen_spans {
+            return Err(self.error("trace line is missing `instance` or `spans`"));
+        }
+        // Structural invariant of pre-order emission: the first span is
+        // the root and depth never jumps by more than +1.
+        let mut prev_depth = 0usize;
+        for (i, span) in line.trace.spans.iter().enumerate() {
+            if i == 0 && span.depth != 0 {
+                return Err(TraceParseError::new("first span is not a root (depth 0)"));
+            }
+            if i > 0 && span.depth > prev_depth + 1 {
+                return Err(TraceParseError::new(format!(
+                    "span `{}` jumps from depth {} to {}",
+                    span.name, prev_depth, span.depth
+                )));
+            }
+            prev_depth = span.depth;
+        }
+        Ok(line)
+    }
+}
+
+/// Parses one JSONL trace line. Corrupted input yields a clean error,
+/// never a panic.
+pub fn parse_trace_line(text: &str) -> Result<TraceLine, TraceParseError> {
+    Parser::new(text).parse_line()
+}
+
+/// Parses a whole trace stream (one JSON object per non-empty line),
+/// labelling errors with their 1-based line number.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceLine>, TraceParseError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(
+            parse_trace_line(line)
+                .map_err(|e| TraceParseError::new(format!("line {}: {e}", i + 1)))?,
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceLine {
+        TraceLine {
+            instance: "c17/gate-change/p1/s1/bsat".to_string(),
+            trace: ObsTrace {
+                spans: vec![
+                    SpanRecord {
+                        name: "instance".to_string(),
+                        depth: 0,
+                        counters: vec![("sat.conflicts".to_string(), 12)],
+                        wall_ns: 1234,
+                    },
+                    SpanRecord {
+                        name: "solve".to_string(),
+                        depth: 1,
+                        counters: vec![("sat.conflicts".to_string(), 12)],
+                        wall_ns: 1000,
+                    },
+                ],
+                counters: vec![("sat.conflicts".to_string(), 12)],
+                nd_counters: vec![("pool.threads".to_string(), 2)],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_bytes_in_both_timing_modes() {
+        for timing in [false, true] {
+            let json = sample().to_json(timing);
+            let parsed = parse_trace_line(&json).expect("own output parses");
+            assert_eq!(parsed, sample());
+            assert_eq!(parsed.to_json(timing), json, "timing={timing}");
+        }
+    }
+
+    #[test]
+    fn timing_channel_is_absent_by_default() {
+        let json = sample().to_json(false);
+        assert!(!json.contains("wall_ns"));
+        assert!(!json.contains("nd_counters"));
+        let parsed = parse_trace_line(&json).unwrap();
+        assert_eq!(parsed.trace.spans[0].wall_ns, 0);
+        assert!(parsed.trace.nd_counters.is_empty());
+        // Equality still holds: the timing channel is not compared.
+        assert_eq!(parsed, sample());
+    }
+
+    #[test]
+    fn streams_parse_line_by_line() {
+        let text = format!("{}\n{}\n\n", sample().to_json(true), sample().to_json(true));
+        let lines = parse_trace(&text).unwrap();
+        assert_eq!(lines.len(), 2);
+        let bad = format!("{}\nnot json\n", sample().to_json(false));
+        let err = parse_trace(&bad).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn instance_names_escape_and_unescape() {
+        let mut line = sample();
+        line.instance = "we\"ird\\name\n".to_string();
+        let json = line.to_json(false);
+        assert_eq!(parse_trace_line(&json).unwrap().instance, line.instance);
+    }
+
+    #[test]
+    fn broken_nesting_is_rejected() {
+        let json = r#"{"instance": "x", "counters": {}, "spans": [{"name": "a", "depth": 1, "counters": {}}]}"#;
+        assert!(parse_trace_line(json).is_err(), "non-root first span");
+        let json = r#"{"instance": "x", "counters": {}, "spans": [{"name": "a", "depth": 0, "counters": {}}, {"name": "b", "depth": 2, "counters": {}}]}"#;
+        assert!(parse_trace_line(json).is_err(), "depth jump");
+    }
+
+    #[test]
+    fn garbage_is_a_clean_error() {
+        for garbage in [
+            "",
+            "{",
+            "nonsense",
+            r#"{"instance": 3, "spans": []}"#,
+            r#"{"spans": []}"#,
+            r#"{"instance": "x"}"#,
+            r#"{"instance": "x", "spans": [{"depth": 0, "counters": {}}]}"#,
+            r#"{"instance": "x", "spans": []} trailing"#,
+            &("[".repeat(64)),
+        ] {
+            assert!(parse_trace_line(garbage).is_err(), "{garbage:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped_for_forward_compat() {
+        let json = r#"{"instance": "x", "future": {"a": [1, true, null, -2.5e3]}, "counters": {}, "spans": []}"#;
+        let line = parse_trace_line(json).unwrap();
+        assert_eq!(line.instance, "x");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the trace parser, mirroring the campaign report
+//! reader's `proptest_reader.rs`: `parse_trace` must never panic,
+//! whatever bytes it is fed. A valid trace stream is generated once from
+//! a real sink exercise, then mutated — bit flips, insertions,
+//! deletions, truncations — and parsed. Valid inputs keep parsing;
+//! corrupted inputs must fail *cleanly* with `Err`, because `--trace`
+//! output is meant to be consumed back by external tooling.
+
+use gatediag_obs::{parse_trace, parse_trace_line, Sink, TraceLine};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small real trace stream with every schema feature present: nested
+/// spans, per-span counter deltas, timing fields and nd counters.
+fn base_trace_jsonl() -> String {
+    let mut lines = String::new();
+    for (i, engine) in ["bsim", "bsat"].iter().enumerate() {
+        let sink = Arc::new(Sink::new());
+        let guard = gatediag_obs::install(sink.clone());
+        {
+            let _root = gatediag_obs::span("instance");
+            {
+                let _tests = gatediag_obs::span("tests");
+                gatediag_obs::count("sim.sweeps", 3 + i as u64);
+            }
+            {
+                let _engine = gatediag_obs::span("engine");
+                gatediag_obs::count("sat.conflicts", 40 * i as u64);
+                gatediag_obs::count_nd("pool.threads", 2);
+            }
+        }
+        drop(guard);
+        let line = TraceLine {
+            instance: format!("c17/gate-change/p1/s{}/{engine}", i + 1),
+            trace: sink.take_trace(),
+        };
+        lines.push_str(&line.to_json(true));
+        lines.push('\n');
+    }
+    lines
+}
+
+/// A single byte-level corruption: `(op, position, value)`.
+type Mutation = (u8, u64, u8);
+
+fn apply(bytes: &mut Vec<u8>, (op, pos, value): Mutation) {
+    if bytes.is_empty() {
+        bytes.push(value);
+        return;
+    }
+    let at = (pos % bytes.len() as u64) as usize;
+    match op % 4 {
+        0 => bytes[at] ^= 1 << (value % 8), // bit flip
+        1 => bytes.insert(at, value),       // insert a byte
+        2 => {
+            bytes.remove(at); // delete a byte
+        }
+        _ => bytes.truncate(at), // truncate (torn write)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Any pile-up of corruptions yields `Ok` or a clean `Err` — never a
+    /// panic. (The test body reaching its end IS the assertion.)
+    #[test]
+    fn mutated_traces_never_panic(mutations in vec((0u8..4, 0u64..1 << 20, 0u8..=255), 1..10)) {
+        let mut bytes = base_trace_jsonl().into_bytes();
+        for m in mutations {
+            apply(&mut bytes, m);
+        }
+        if let Ok(text) = std::str::from_utf8(&bytes) {
+            let _ = parse_trace(text);
+        }
+    }
+
+    /// Every prefix of a valid stream — the shape a torn write would
+    /// have — parses without panicking.
+    #[test]
+    fn truncated_traces_never_panic(cut in 0u64..1 << 20) {
+        let text = base_trace_jsonl();
+        let at = (cut % (text.len() as u64 + 1)) as usize;
+        if let Some(prefix) = text.get(..at) {
+            let _ = parse_trace(prefix);
+        }
+    }
+}
+
+#[test]
+fn unmutated_base_stream_round_trips() {
+    let text = base_trace_jsonl();
+    let lines = parse_trace(&text).expect("own output parses");
+    assert_eq!(lines.len(), 2);
+    for (line, raw) in lines.iter().zip(text.lines()) {
+        assert_eq!(line.to_json(true), raw, "re-serialisation drifted");
+        assert_eq!(line.trace.spans[0].name, "instance");
+        assert!(line.trace.root_wall_ns() > 0, "timing channel lost");
+    }
+    // The deterministic channel alone round-trips to an equal line.
+    let stripped = lines[0].to_json(false);
+    assert_eq!(&parse_trace_line(&stripped).unwrap(), &lines[0]);
+}

@@ -510,6 +510,13 @@ impl LegacySolver {
 
     /// Solves under the given assumption literals.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let before = self.stats;
+        let result = self.solve_inner(assumptions);
+        self.stats.charge_legacy_solve(&before);
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
         self.failed_assumptions.clear();
         if !self.ok || self.propagate().is_some() {

@@ -32,6 +32,9 @@ pub struct SolverStats {
     pub learnt_clauses: u64,
     /// Learnt clauses removed by database reductions.
     pub removed_clauses: u64,
+    /// Clause-arena garbage collections performed (arena rebuild + watch
+    /// list compaction after reductions waste enough space).
+    pub gc_runs: u64,
 }
 
 impl SolverStats {
@@ -47,6 +50,52 @@ impl SolverStats {
         self.restarts += other.restarts;
         self.learnt_clauses += other.learnt_clauses;
         self.removed_clauses += other.removed_clauses;
+        self.gc_runs += other.gc_runs;
+    }
+
+    /// Charges the delta from `before` to `self` to the observability
+    /// layer's deterministic counters — called once per `solve()` so the
+    /// search loop itself carries no instrumentation. `names` picks the
+    /// counter namespace (`sat.*` for [`Solver`], `sat.legacy.*` for the
+    /// A/B baseline).
+    fn charge_obs(&self, before: &SolverStats, names: &[&'static str; 7]) {
+        gatediag_obs::count(names[0], 1);
+        gatediag_obs::count(names[1], self.conflicts - before.conflicts);
+        gatediag_obs::count(names[2], self.decisions - before.decisions);
+        gatediag_obs::count(names[3], self.propagations - before.propagations);
+        gatediag_obs::count(names[4], self.restarts - before.restarts);
+        gatediag_obs::count(names[5], self.removed_clauses - before.removed_clauses);
+        gatediag_obs::count(names[6], self.gc_runs - before.gc_runs);
+    }
+
+    pub(crate) fn charge_solve(&self, before: &SolverStats) {
+        self.charge_obs(
+            before,
+            &[
+                "sat.solves",
+                "sat.conflicts",
+                "sat.decisions",
+                "sat.propagations",
+                "sat.restarts",
+                "sat.removed_clauses",
+                "sat.gc_runs",
+            ],
+        );
+    }
+
+    pub(crate) fn charge_legacy_solve(&self, before: &SolverStats) {
+        self.charge_obs(
+            before,
+            &[
+                "sat.legacy.solves",
+                "sat.legacy.conflicts",
+                "sat.legacy.decisions",
+                "sat.legacy.propagations",
+                "sat.legacy.restarts",
+                "sat.legacy.removed_clauses",
+                "sat.legacy.gc_runs",
+            ],
+        );
     }
 }
 
@@ -776,6 +825,7 @@ impl Solver {
     /// back out tightly ([`WatchLists::rebuild_exact`]), reclaiming every
     /// slot abandoned by region relocations since the last collection.
     fn collect_garbage(&mut self) {
+        self.stats.gc_runs += 1;
         let mut fresh = ClauseDb::new();
         let mut remap =
             std::collections::HashMap::with_capacity(self.clauses.len() + self.learnts.len());
@@ -850,6 +900,13 @@ impl Solver {
     /// [`Solver::is_inconsistent`] to distinguish. Learnt clauses and
     /// variable activities persist across calls (incremental solving).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let before = self.stats;
+        let result = self.solve_inner(assumptions);
+        self.stats.charge_solve(&before);
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.cancel_until(0);
         self.failed_assumptions.clear();
         self.deadline_hit = false;

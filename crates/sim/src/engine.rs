@@ -391,6 +391,11 @@ impl<'c> PackedSim<'c> {
         for &id in circuit.topo_order() {
             self.eval_into(id.index());
         }
+        // Charged per sweep, not per gate, so the hot loop stays clean.
+        let evals = circuit.topo_order().len() as u64;
+        gatediag_obs::count("sim.sweeps", 1);
+        gatediag_obs::count("sim.gate_evals", evals);
+        gatediag_obs::count("sim.words", evals * self.words as u64);
     }
 
     /// Event-driven incremental resimulation: processes scheduled gates in
@@ -420,6 +425,8 @@ impl<'c> PackedSim<'c> {
             level += 1;
         }
         self.events += evals;
+        gatediag_obs::count("sim.propagate_evals", evals);
+        gatediag_obs::count("sim.words", evals * self.words as u64);
         evals
     }
 

@@ -163,11 +163,27 @@ where
     I: Fn() -> S + Sync,
     W: Fn(&mut S, usize) -> R + Sync,
 {
+    charge_pool_counters(workers, items);
     if workers <= 1 || items <= 1 {
         let mut state = init();
         return (0..items).map(|i| work(&mut state, i)).collect();
     }
     parallel_map_inner(workers, items, init, work)
+}
+
+/// Pool observability: the fan-out count and item total are pure
+/// functions of the workload (deterministic channel); the thread count
+/// actually used varies with the worker policy, so it is quarantined in
+/// the timing channel.
+fn charge_pool_counters(workers: usize, items: usize) {
+    gatediag_obs::count("pool.tasks", 1);
+    gatediag_obs::count("pool.items", items as u64);
+    let threads = if workers <= 1 || items <= 1 {
+        1
+    } else {
+        workers.min(items)
+    };
+    gatediag_obs::count_nd("pool.threads", threads as u64);
 }
 
 /// [`parallel_map_init`] with a cooperative stop check: `proceed()` is
@@ -197,6 +213,7 @@ where
     W: Fn(&mut S, usize) -> R + Sync,
     P: Fn() -> bool + Sync,
 {
+    charge_pool_counters(workers, items);
     if workers <= 1 || items <= 1 {
         let mut state = init();
         return (0..items)
@@ -338,19 +355,26 @@ where
             }
         }
     };
+    charge_pool_counters(workers, items);
     if workers <= 1 || items <= 1 {
         let mut state: Option<S> = None;
         return (0..items).map(|i| run_one(&mut state, 0, i)).collect();
     }
     let workers = workers.min(items);
     let next = AtomicUsize::new(0);
+    // Forward the caller's observability sink into the workers: their
+    // counter charges merge (sums commute, so totals stay deterministic)
+    // while span recording remains owner-thread-only.
+    let sink = gatediag_obs::current();
     let mut collected: Vec<Vec<(usize, Result<R, WorkItemFailure>)>> =
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let run_one = &run_one;
                     let next = &next;
+                    let sink = &sink;
                     scope.spawn(move || {
+                        let _obs = sink.clone().map(gatediag_obs::install);
                         let mut state: Option<S> = None;
                         let mut out = Vec::new();
                         loop {
@@ -398,10 +422,18 @@ where
 {
     let workers = workers.min(items);
     let next = AtomicUsize::new(0);
+    // See parallel_map_init_isolated: counters merge across workers,
+    // spans stay on the owning thread.
+    let sink = gatediag_obs::current();
     let mut collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
-                scope.spawn(|| {
+                let sink = &sink;
+                let next = &next;
+                let init = &init;
+                let work = &work;
+                scope.spawn(move || {
+                    let _obs = sink.clone().map(gatediag_obs::install);
                     let mut state = init();
                     let mut out = Vec::new();
                     loop {

@@ -261,6 +261,7 @@ impl<'c> SeqPackedSim<'c> {
             self.state[s * w..(s + 1) * w].copy_from_slice(words);
         }
         self.frame += 1;
+        gatediag_obs::count("sim.seq_frames", 1);
     }
 
     /// The latched next-state words (latch-major), i.e. the state the

@@ -109,6 +109,15 @@ CAMPAIGN OPTIONS:
   --json FILE       JSON report path (default target/campaign/campaign.json)
   --csv FILE        CSV report path (default target/campaign/campaign.csv)
   --timing          include nondeterministic wall-clock columns
+  --trace FILE      write a per-instance observability trace (one JSON
+                    line per instance: span tree + deterministic
+                    counters; span wall times only with --timing)
+  --profile         print an aggregated per-phase profile table and the
+                    top wall-clock hotspots after the run (implies
+                    per-instance trace collection)
+  --solver-stats    add the restarts / learnt_clauses / gc_runs solver
+                    columns to the JSON and CSV reports (deterministic;
+                    off by default so legacy reports stay byte-identical)
 ";
 
 fn main() -> ExitCode {
@@ -609,6 +618,9 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     let mut json_path = "target/campaign/campaign.json".to_string();
     let mut csv_path = "target/campaign/campaign.csv".to_string();
     let mut timing = false;
+    let mut trace_path: Option<String> = None;
+    let mut profile = false;
+    let mut solver_stats = false;
 
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -715,6 +727,9 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
             "--json" => json_path = value(args, &mut i, "--json")?,
             "--csv" => csv_path = value(args, &mut i, "--csv")?,
             "--timing" => timing = true,
+            "--trace" => trace_path = Some(value(args, &mut i, "--trace")?),
+            "--profile" => profile = true,
+            "--solver-stats" => solver_stats = true,
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -817,6 +832,8 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
     if let Some(workers) = workers {
         spec.parallelism = Parallelism::Fixed(workers);
     }
+    spec.collect_obs = trace_path.is_some() || profile;
+    spec.solver_stats = solver_stats;
 
     let instances = spec.instances().len();
     let seq_note = if spec.engines.iter().any(|e| e.is_sequential()) {
@@ -950,10 +967,19 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         );
     }
 
-    for (path, content) in [
+    if profile {
+        println!();
+        print!("{}", report.profile_table());
+    }
+
+    let mut outputs = vec![
         (&json_path, report.to_json(timing)),
         (&csv_path, report.to_csv(timing)),
-    ] {
+    ];
+    if let Some(path) = &trace_path {
+        outputs.push((path, report.to_trace_jsonl(timing)));
+    }
+    for (path, content) in outputs {
         if let Some(parent) = std::path::Path::new(path).parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)

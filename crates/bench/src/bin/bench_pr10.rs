@@ -1,0 +1,269 @@
+//! Emits `BENCH_PR10.json`: the service-layer numbers — cold-vs-warm
+//! request latency through a real `gatediag serve` TCP daemon, and
+//! sustained requests/sec at 1 and 4 concurrent clients, on the largest
+//! bundled circuit.
+//!
+//! Three measurements:
+//!
+//! * **Cold latency** — first diagnose request against a freshly
+//!   started daemon: bench parse, netlist build, CNF encode and the
+//!   full engine run, measured per fresh daemon over several reps.
+//! * **Warm latency** — the identical request against a daemon whose
+//!   registry already holds the session: a pure cache hit. The warm
+//!   response is asserted byte-identical to the cold one, and a
+//!   follow-up `obs` request proves the hit charged zero
+//!   `netlist.builds` / `cnf.gates_encoded` counters.
+//! * **Throughput** — requests/sec sustained by 1 and by 4 concurrent
+//!   clients against one warm daemon.
+//!
+//! Unlike the wall-clock gates of `bench_pr2`/`bench_pr3`, the >= 2x
+//! warm-vs-cold acceptance gate is asserted unconditionally: a warm hit
+//! skips the entire engine run, so the margin is orders of magnitude on
+//! any host and the assert cannot flake on shared runners.
+//!
+//! Usage: `cargo run --release -p gatediag-bench --bin bench_pr10
+//! [-- --out PATH] [--bench-dir DIR]` (default `BENCH_PR10.json` in the
+//! working directory).
+
+use gatediag_bench::harness::{baseline_circuit, BaselinePick};
+use gatediag_core::json::parse_json;
+use gatediag_core::{DiagnoseRequest, EngineKind};
+use gatediag_netlist::{s1423_like, write_bench};
+use gatediag_serve::{
+    render_diagnose_request, serve_tcp, Client, DiagnoseCall, Service, ServiceConfig,
+};
+use std::fmt::Write as _;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Fresh-daemon reps for the cold-latency mean.
+const COLD_REPS: usize = 3;
+/// Requests in the warm-latency timing loop.
+const WARM_REPS: u32 = 400;
+/// Requests per client in each throughput run.
+const THROUGHPUT_REPS: usize = 300;
+
+const SHUTDOWN: &str = "{\"schema\": \"gatediag-serve-v1\", \"op\": \"shutdown\"}";
+
+struct Daemon {
+    addr: String,
+    accept_loop: JoinHandle<std::io::Result<()>>,
+}
+
+/// Starts a daemon on a fresh ephemeral port.
+fn daemon(workers: usize) -> Daemon {
+    let service = Arc::new(Service::new(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    }));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let accept_loop = std::thread::spawn(move || serve_tcp(service, listener));
+    Daemon { addr, accept_loop }
+}
+
+impl Daemon {
+    fn stop(self) {
+        let bye = Client::connect(&self.addr)
+            .and_then(|mut c| c.request(SHUTDOWN))
+            .expect("shutdown request");
+        assert!(
+            bye.contains("\"status\": \"ok\""),
+            "shutdown refused: {bye}"
+        );
+        self.accept_loop
+            .join()
+            .expect("accept loop thread")
+            .expect("accept loop exits cleanly");
+    }
+}
+
+struct Entry {
+    key: String,
+    value: String,
+}
+
+fn num(key: impl Into<String>, value: f64) -> Entry {
+    Entry {
+        key: key.into(),
+        value: if value.is_finite() {
+            format!("{value:.4}")
+        } else {
+            "null".to_string()
+        },
+    }
+}
+
+fn int(key: impl Into<String>, value: u64) -> Entry {
+    Entry {
+        key: key.into(),
+        value: value.to_string(),
+    }
+}
+
+fn main() {
+    let mut out_path = "BENCH_PR10.json".to_string();
+    let mut bench_dir: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().expect("--out expects a path");
+            }
+            "--bench-dir" => {
+                i += 1;
+                bench_dir = Some(
+                    args.get(i)
+                        .cloned()
+                        .expect("--bench-dir expects a directory"),
+                );
+            }
+            other => panic!("unknown option `{other}` (try --out PATH, --bench-dir DIR)"),
+        }
+        i += 1;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (golden, _) = baseline_circuit(bench_dir.as_deref(), BaselinePick::Largest, || {
+        s1423_like(1)
+    });
+    let gates = golden.num_functional_gates();
+    eprintln!("serving {} ({gates} gates)", golden.name());
+
+    let line = render_diagnose_request(&DiagnoseCall {
+        circuit: Some(golden.name().to_string()),
+        bench: write_bench(&golden),
+        request: DiagnoseRequest {
+            engine: EngineKind::Bsat,
+            ..DiagnoseRequest::default()
+        },
+        chaos: None,
+        obs: false,
+        timing: false,
+    });
+
+    let mut entries = vec![
+        int("available_cores", cores as u64),
+        int("gates", gates as u64),
+        int("service_workers", 4),
+    ];
+
+    // --- Cold latency: first request against a fresh daemon --------------
+    let mut cold = Vec::new();
+    let mut cold_response = String::new();
+    for rep in 0..COLD_REPS {
+        let d = daemon(4);
+        let mut client = Client::connect(&d.addr).expect("connect");
+        let t = Instant::now();
+        let response = client.request(&line).expect("cold request");
+        cold.push(t.elapsed());
+        assert!(
+            response.contains("\"status\": \"ok\""),
+            "cold diagnose failed: {response}"
+        );
+        if rep == 0 {
+            cold_response = response;
+        } else {
+            assert_eq!(
+                response, cold_response,
+                "cold responses drifted across daemons"
+            );
+        }
+        d.stop();
+    }
+    let cold_ms = cold.iter().map(Duration::as_secs_f64).sum::<f64>() / cold.len() as f64 * 1e3;
+    entries.push(num("cold_ms", cold_ms));
+
+    // --- Warm latency: the same request against a primed daemon ----------
+    let d = daemon(4);
+    let mut client = Client::connect(&d.addr).expect("connect");
+    let primed = client.request(&line).expect("priming request");
+    assert_eq!(
+        primed, cold_response,
+        "warm daemon drifted from the cold response"
+    );
+    let t = Instant::now();
+    for _ in 0..WARM_REPS {
+        let response = client.request(&line).expect("warm request");
+        assert_eq!(response, cold_response, "warm response drifted");
+    }
+    let warm_ms = t.elapsed().as_secs_f64() / f64::from(WARM_REPS) * 1e3;
+    entries.push(num("warm_ms", warm_ms));
+    let warm_speedup = cold_ms / warm_ms.max(1e-9);
+    entries.push(num("warm_speedup", warm_speedup));
+
+    // Prove the hits were warm, not fast re-runs: the quarantined meta
+    // must flag `warm` and charge no build/encode counters.
+    let with_obs = line.replacen(
+        "\"op\": \"diagnose\"",
+        "\"op\": \"diagnose\", \"obs\": true",
+        1,
+    );
+    let response = client.request(&with_obs).expect("obs request");
+    let v = parse_json(&response).expect("obs response is valid JSON");
+    let meta = v.get("meta").expect("obs response carries meta");
+    assert!(
+        meta.get("warm")
+            .expect("meta.warm")
+            .as_bool("warm")
+            .expect("meta.warm is a bool"),
+        "repeat request was not a warm hit: {response}"
+    );
+    let counters = meta.get("counters").expect("meta.counters");
+    for counter in ["netlist.builds", "cnf.gates_encoded"] {
+        assert!(
+            counters.get(counter).is_none(),
+            "warm hit charged {counter}: {response}"
+        );
+    }
+
+    // --- Throughput at 1 and 4 concurrent clients -------------------------
+    for clients in [1usize, 4] {
+        let addr = &d.addr;
+        let line = &line;
+        let expected = &cold_response;
+        let t = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..clients {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    for _ in 0..THROUGHPUT_REPS {
+                        let response = client.request(line).expect("throughput request");
+                        assert_eq!(&response, expected, "throughput response drifted");
+                    }
+                });
+            }
+        });
+        let rps = (clients * THROUGHPUT_REPS) as f64 / t.elapsed().as_secs_f64().max(1e-9);
+        entries.push(num(format!("rps_{clients}_clients"), rps));
+    }
+    d.stop();
+
+    // --- Report -----------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"bench_pr10\",");
+    let _ = writeln!(json, "  \"circuit\": \"{}\",", golden.name());
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(json, "  \"{}\": {}{}", e.key, e.value, comma);
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_PR10.json");
+    println!("{json}");
+    eprintln!(
+        "cold {cold_ms:.2} ms, warm {warm_ms:.4} ms -> {warm_speedup:.0}x; \
+         see rps_*_clients for sustained throughput"
+    );
+    eprintln!("wrote {out_path}");
+
+    // Acceptance gate: a warm hit skips the engine entirely, so >= 2x is
+    // a floor with orders of magnitude of margin on any host.
+    assert!(
+        warm_speedup >= 2.0,
+        "warm-vs-cold speedup below 2x ({warm_speedup:.2}x)"
+    );
+}

@@ -1,11 +1,12 @@
 //! Reader for the `gatediag-campaign-v1` report schema.
 //!
 //! The campaign JSON emitter was write-only until the resume feature
-//! needed to load a previous run back in. The build is offline (no serde),
-//! so this module carries a small self-contained JSON parser — full JSON
-//! syntax, numbers kept as raw text so `u64` seeds survive without a
-//! round-trip through `f64` — plus the schema mapping onto
-//! [`CampaignReport`].
+//! needed to load a previous run back in. The build is offline (no
+//! serde); the JSON syntax layer — full JSON, numbers kept as raw text
+//! so `u64` seeds survive without a round-trip through `f64`, a
+//! recursion-depth cap and duplicate-key rejection — lives in
+//! [`gatediag_core::json`] (shared with the serve protocol), and this
+//! module carries the schema mapping onto [`CampaignReport`].
 //!
 //! # Compatibility
 //!
@@ -24,6 +25,7 @@
 
 use crate::report::{CampaignReport, InstanceRecord, InstanceStatus, TestGenRecord};
 use crate::spec::{RetryOn, RetryPolicy, TestGenSpec};
+use gatediag_core::json::{parse_json, Json, JsonError};
 use gatediag_core::{ChaosConfig, EngineKind};
 use gatediag_netlist::FaultModel;
 
@@ -42,368 +44,16 @@ impl std::fmt::Display for ReadError {
 
 impl std::error::Error for ReadError {}
 
+impl From<JsonError> for ReadError {
+    fn from(e: JsonError) -> Self {
+        ReadError { message: e.message }
+    }
+}
+
 fn err<T>(message: impl Into<String>) -> Result<T, ReadError> {
     Err(ReadError {
         message: message.into(),
     })
-}
-
-// ---------------------------------------------------------------------
-// A minimal JSON value tree.
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value. Numbers keep their raw text so integer widths
-/// beyond `f64`'s 53-bit mantissa (e.g. `u64` seeds) are preserved.
-#[derive(Clone, PartialEq, Debug)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn type_name(&self) -> &'static str {
-        match self {
-            Json::Null => "null",
-            Json::Bool(_) => "bool",
-            Json::Num(_) => "number",
-            Json::Str(_) => "string",
-            Json::Arr(_) => "array",
-            Json::Obj(_) => "object",
-        }
-    }
-
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn expect<'a>(&'a self, key: &str, context: &str) -> Result<&'a Json, ReadError> {
-        self.get(key)
-            .map_or_else(|| err(format!("{context}: missing field \"{key}\"")), Ok)
-    }
-
-    fn as_str(&self, context: &str) -> Result<&str, ReadError> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => err(format!(
-                "{context}: expected string, got {}",
-                other.type_name()
-            )),
-        }
-    }
-
-    fn as_bool(&self, context: &str) -> Result<bool, ReadError> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            other => err(format!(
-                "{context}: expected bool, got {}",
-                other.type_name()
-            )),
-        }
-    }
-
-    fn as_arr(&self, context: &str) -> Result<&[Json], ReadError> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            other => err(format!(
-                "{context}: expected array, got {}",
-                other.type_name()
-            )),
-        }
-    }
-
-    fn as_u64(&self, context: &str) -> Result<u64, ReadError> {
-        match self {
-            Json::Num(raw) => raw.parse().map_err(|_| ReadError {
-                message: format!("{context}: `{raw}` is not a u64"),
-            }),
-            other => err(format!(
-                "{context}: expected number, got {}",
-                other.type_name()
-            )),
-        }
-    }
-
-    fn as_usize(&self, context: &str) -> Result<usize, ReadError> {
-        usize::try_from(self.as_u64(context)?).map_err(|_| ReadError {
-            message: format!("{context}: value does not fit usize"),
-        })
-    }
-
-    fn as_f64(&self, context: &str) -> Result<f64, ReadError> {
-        match self {
-            Json::Num(raw) => raw.parse().map_err(|_| ReadError {
-                message: format!("{context}: `{raw}` is not a number"),
-            }),
-            // `json_f64` writes non-finite values as null.
-            Json::Null => Ok(f64::NAN),
-            other => err(format!(
-                "{context}: expected number, got {}",
-                other.type_name()
-            )),
-        }
-    }
-
-    /// `null` → `None`, number → `Some` — the optional-limit convention.
-    fn as_opt_u64(&self, context: &str) -> Result<Option<u64>, ReadError> {
-        match self {
-            Json::Null => Ok(None),
-            other => other.as_u64(context).map(Some),
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// The parser: recursive descent over bytes.
-// ---------------------------------------------------------------------
-
-/// Maximum container nesting the parser accepts. Campaign reports are
-/// three levels deep; the cap exists so adversarially nested input (ten
-/// thousand `[`s in a corrupted file) returns a clean `Err` instead of
-/// overflowing the stack of the recursive descent.
-const MAX_DEPTH: usize = 64;
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    at: usize,
-    depth: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn error<T>(&self, message: &str) -> Result<T, ReadError> {
-        err(format!("JSON parse error at byte {}: {message}", self.at))
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.at) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.at += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.at).copied()
-    }
-
-    fn eat(&mut self, token: &str, what: &str) -> Result<(), ReadError> {
-        if self.bytes[self.at..].starts_with(token.as_bytes()) {
-            self.at += token.len();
-            Ok(())
-        } else {
-            self.error(&format!("expected {what}"))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, ReadError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'n') => self.eat("null", "null").map(|()| Json::Null),
-            Some(b't') => self.eat("true", "true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.eat("false", "false").map(|()| Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-') | Some(b'0'..=b'9') => self.number(),
-            Some(other) => self.error(&format!("unexpected byte 0x{other:02x}")),
-            None => self.error("unexpected end of input"),
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, ReadError> {
-        let start = self.at;
-        if self.peek() == Some(b'-') {
-            self.at += 1;
-        }
-        let digits_start = self.at;
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.at += 1;
-        }
-        if self.at == digits_start {
-            return self.error("digits expected");
-        }
-        if self.peek() == Some(b'.') {
-            self.at += 1;
-            let frac_start = self.at;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.at += 1;
-            }
-            if self.at == frac_start {
-                return self.error("digits expected after decimal point");
-            }
-        }
-        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
-            self.at += 1;
-            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
-                self.at += 1;
-            }
-            let exp_start = self.at;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.at += 1;
-            }
-            if self.at == exp_start {
-                return self.error("digits expected in exponent");
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.at])
-            .expect("number bytes are ASCII")
-            .to_string();
-        Ok(Json::Num(text))
-    }
-
-    fn string(&mut self) -> Result<String, ReadError> {
-        debug_assert_eq!(self.peek(), Some(b'"'));
-        self.at += 1;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return self.error("unterminated string"),
-                Some(b'"') => {
-                    self.at += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.at += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.at + 1..self.at + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok());
-                            let Some(code) = hex else {
-                                return self.error("bad \\u escape");
-                            };
-                            // Surrogate pairs are not produced by the
-                            // emitter (it only escapes control chars);
-                            // reject rather than mis-decode.
-                            let Some(c) = char::from_u32(code) else {
-                                return self.error("\\u escape is not a scalar value");
-                            };
-                            out.push(c);
-                            self.at += 4;
-                        }
-                        _ => return self.error("bad escape"),
-                    }
-                    self.at += 1;
-                }
-                Some(_) => {
-                    // Multi-byte UTF-8 passes through unchanged.
-                    let rest = &self.bytes[self.at..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| ReadError {
-                            message: format!("invalid UTF-8 at byte {}", self.at),
-                        })?
-                        .chars()
-                        .next()
-                        .expect("non-empty");
-                    out.push(s);
-                    self.at += s.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn enter(&mut self) -> Result<(), ReadError> {
-        self.depth += 1;
-        if self.depth > MAX_DEPTH {
-            return self.error("nesting too deep");
-        }
-        Ok(())
-    }
-
-    fn array(&mut self) -> Result<Json, ReadError> {
-        debug_assert_eq!(self.peek(), Some(b'['));
-        self.enter()?;
-        self.at += 1;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.at += 1;
-            self.depth -= 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.at += 1,
-                Some(b']') => {
-                    self.at += 1;
-                    self.depth -= 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return self.error("expected `,` or `]`"),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, ReadError> {
-        debug_assert_eq!(self.peek(), Some(b'{'));
-        self.enter()?;
-        self.at += 1;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.at += 1;
-            self.depth -= 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            if self.peek() != Some(b'"') {
-                return self.error("expected object key");
-            }
-            let key = self.string()?;
-            self.skip_ws();
-            if self.peek() != Some(b':') {
-                return self.error("expected `:`");
-            }
-            self.at += 1;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.at += 1,
-                Some(b'}') => {
-                    self.at += 1;
-                    self.depth -= 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return self.error("expected `,` or `}`"),
-            }
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, ReadError> {
-    let mut parser = Parser {
-        bytes: text.as_bytes(),
-        at: 0,
-        depth: 0,
-    };
-    let value = parser.value()?;
-    parser.skip_ws();
-    if parser.at != parser.bytes.len() {
-        return parser.error("trailing content after the document");
-    }
-    Ok(value)
 }
 
 // ---------------------------------------------------------------------
@@ -436,7 +86,7 @@ fn parse_record(json: &Json, index: usize) -> Result<InstanceRecord, ReadError> 
         if solutions == 0 || *value == Json::Null {
             Ok(0.0)
         } else {
-            value.as_f64(&ctx)
+            Ok(value.as_f64(&ctx)?)
         }
     };
     Ok(InstanceRecord {
@@ -553,7 +203,7 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
             .expect(key, "matrix")?
             .as_arr(key)?
             .iter()
-            .map(|v| v.as_str(key).map(str::to_string))
+            .map(|v| Ok(v.as_str(key)?.to_string()))
             .collect()
     };
     let circuits = strings("circuits")?;
@@ -590,7 +240,12 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
     let usizes_or = |key: &str, default: Vec<usize>| -> Result<Vec<usize>, ReadError> {
         match matrix.get(key) {
             None => Ok(default),
-            Some(value) => value.as_arr(key)?.iter().map(|v| v.as_usize(key)).collect(),
+            Some(value) => value
+                .as_arr(key)?
+                .iter()
+                .map(|v| v.as_usize(key))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(ReadError::from),
         }
     };
     let frames = usizes_or("frames", vec![3])?;
@@ -603,7 +258,7 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
     };
     // Budget fields are absent in pre-budget reports: treat as unlimited.
     let opt_limit = |key: &str| -> Result<Option<u64>, ReadError> {
-        matrix.get(key).map_or(Ok(None), |v| v.as_opt_u64(key))
+        matrix.get(key).map_or(Ok(None), |v| Ok(v.as_opt_u64(key)?))
     };
     // Chaos and retry are absent in pre-robustness reports: off / the
     // defaults (which is what those runs effectively used — the runner
@@ -667,8 +322,8 @@ pub fn parse_report(text: &str) -> Result<CampaignReport, ReadError> {
         Some(value) => value
             .as_arr("bench_warnings")?
             .iter()
-            .map(|v| v.as_str("bench_warnings").map(str::to_string))
-            .collect::<Result<Vec<_>, _>>()?,
+            .map(|v| Ok(v.as_str("bench_warnings")?.to_string()))
+            .collect::<Result<Vec<_>, ReadError>>()?,
     };
     let instances = root.expect("instances", "report")?.as_arr("instances")?;
     let records = instances
@@ -751,46 +406,10 @@ pub fn parse_report_bytes(bytes: &[u8]) -> Result<CampaignReport, ReadError> {
 mod tests {
     use super::*;
 
-    fn parse(text: &str) -> Json {
-        parse_json(text).expect("valid JSON")
-    }
-
     #[test]
-    fn scalar_values_parse() {
-        assert_eq!(parse("null"), Json::Null);
-        assert_eq!(parse("true"), Json::Bool(true));
-        assert_eq!(parse("false"), Json::Bool(false));
-        assert_eq!(parse("42"), Json::Num("42".into()));
-        assert_eq!(parse("-3.25e2"), Json::Num("-3.25e2".into()));
-        assert_eq!(parse("\"hi\""), Json::Str("hi".into()));
-    }
-
-    #[test]
-    fn u64_seeds_survive_exactly() {
-        let big = u64::MAX.to_string();
-        assert_eq!(parse(&big).as_u64("seed").unwrap(), u64::MAX);
-    }
-
-    #[test]
-    fn string_escapes_decode() {
-        assert_eq!(
-            parse("\"a\\\"b\\\\c\\n\\u000a\""),
-            Json::Str("a\"b\\c\n\n".into())
-        );
-    }
-
-    #[test]
-    fn nested_containers_parse() {
-        let v = parse(r#"{"a": [1, 2], "b": {"c": null}}"#);
-        assert_eq!(v.get("a").unwrap().as_arr("a").unwrap().len(), 2);
-        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
-    }
-
-    #[test]
-    fn malformed_documents_error() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "truthy", "1 2", "\"open"] {
-            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
-        }
+    fn json_errors_surface_with_their_offset() {
+        let e = parse_report("{\"schema\": ").expect_err("truncated doc accepted");
+        assert!(e.message.contains("JSON parse error at byte"), "{e}");
     }
 
     #[test]

@@ -25,12 +25,11 @@
 
 use crate::report::{CampaignReport, InstanceRecord, InstanceStatus, TestGenRecord};
 use crate::spec::{CampaignSpec, InstanceSpec, RetryOn};
-use gatediag_core::budget::{Budget, Truncation};
+use gatediag_core::budget::Truncation;
 use gatediag_core::{
-    generate_failing_sequences, generate_failing_tests, run_engine, run_sequential_engine,
-    solution_quality, ChaosPolicy, EngineConfig, EngineKind, EngineRun, TestGenPolicy,
+    run_diagnose, solution_quality, ChaosPolicy, DiagnoseRequest, DiagnoseStatus, EngineKind,
 };
-use gatediag_netlist::{try_inject_faults, FaultModel, GateId};
+use gatediag_netlist::{FaultModel, GateId};
 use gatediag_sim::{parallel_map_init_isolated, Parallelism};
 use std::collections::HashMap;
 use std::io::Write as _;
@@ -556,14 +555,6 @@ fn run_attempt_inner(
         obs: None,
         wall_ms: 0.0,
     };
-    let injected = {
-        let _inject = gatediag_obs::span("inject");
-        try_inject_faults(golden, inst.fault_model, inst.p, inst.seed)
-    };
-    let Some((faulty, faults)) = injected else {
-        record.status = InstanceStatus::NotInjectable;
-        return (record, None);
-    };
     // The chaos key hashes the full instance identity plus the attempt
     // number: a retried instance rerolls, but identically on every run
     // and every worker count. The sequential axes join the key only when
@@ -587,70 +578,40 @@ fn run_attempt_inner(
             ChaosPolicy::new(config, ChaosPolicy::key(&refs))
         }
     };
-    let config = EngineConfig {
-        k,
+    let request = DiagnoseRequest {
+        engine: inst.engine,
+        fault_model: inst.fault_model,
+        p: inst.p,
+        seed: inst.seed,
+        tests: spec.tests,
+        max_test_vectors: spec.max_test_vectors,
+        k: spec.k,
+        frames: inst.frames,
+        seq_len: inst.seq_len,
         max_solutions: spec.max_solutions,
         conflict_budget: spec.conflict_budget,
-        budget: Budget {
-            work: spec.work_budget,
-            deadline_ms: spec.deadline_ms,
-            ..Budget::default()
-        },
-        // The campaign level owns the pool; see the module docs.
-        parallelism: Parallelism::Sequential,
-        chaos,
-        test_gen: spec.test_gen.map(|tg| TestGenPolicy {
-            rounds: tg.rounds,
-            ..TestGenPolicy::default()
-        }),
-        reference: spec.test_gen.is_some().then(|| golden.clone()),
-        ..EngineConfig::default()
+        work_budget: spec.work_budget,
+        deadline_ms: spec.deadline_ms,
+        test_gen_rounds: spec.test_gen.map(|tg| tg.rounds),
     };
-    // Sequential instances collect failing *sequences* (multi-frame
-    // stimuli) and run the unrolling engines; everything below the run
-    // (scoring, stats, truncation) is shared with the combinational path.
-    let run: EngineRun = match (inst.frames, inst.seq_len) {
-        (Some(frames), Some(seq_len)) => {
-            let tests = {
-                let _tests = gatediag_obs::span("tests");
-                generate_failing_sequences(
-                    golden,
-                    &faulty,
-                    frames,
-                    seq_len,
-                    inst.seed,
-                    spec.max_test_vectors,
-                )
-            };
-            record.tests = tests.len();
-            if tests.is_empty() {
-                record.status = InstanceStatus::NoFailingTests;
-                return (record, None);
-            }
-            let _engine = gatediag_obs::span("engine");
-            run_sequential_engine(inst.engine, &faulty, &tests, &config)
+    // The campaign level owns the worker pool, so engines inside one
+    // instance are pinned sequential; see the module docs.
+    let outcome = run_diagnose(golden, &request, Parallelism::Sequential, chaos);
+    record.tests = outcome.tests;
+    match outcome.status {
+        DiagnoseStatus::NotInjectable => {
+            record.status = InstanceStatus::NotInjectable;
+            return (record, None);
         }
-        _ => {
-            let tests = {
-                let _tests = gatediag_obs::span("tests");
-                generate_failing_tests(
-                    golden,
-                    &faulty,
-                    spec.tests,
-                    inst.seed,
-                    spec.max_test_vectors,
-                )
-            };
-            record.tests = tests.len();
-            if tests.is_empty() {
-                record.status = InstanceStatus::NoFailingTests;
-                return (record, None);
-            }
-            let _engine = gatediag_obs::span("engine");
-            run_engine(inst.engine, &faulty, &tests, &config)
+        DiagnoseStatus::NoFailingTests => {
+            record.status = InstanceStatus::NoFailingTests;
+            return (record, None);
         }
-    };
-    let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
+        DiagnoseStatus::Ok | DiagnoseStatus::Preempted => {}
+    }
+    let faulty = outcome.faulty.expect("injection succeeded");
+    let run = outcome.run.expect("pipeline reached the engine");
+    let errors: Vec<GateId> = outcome.faults.iter().map(|f| f.gate).collect();
     record.candidates = run.candidates.len();
     record.solutions = run.solutions.len();
     record.complete = run.complete;

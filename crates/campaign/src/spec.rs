@@ -274,42 +274,10 @@ impl CampaignSpec {
     }
 }
 
-/// Hard cap on a campaign/CLI time-frame count: unrolling is linear in
-/// frames per instance, so an absurd `--frames` is clamped here rather
-/// than allowed to allocate without bound (the same hardening posture as
-/// the `GATEDIAG_WORKERS` / `MAX_ENV_WORKERS` clamp in `gatediag-sim`).
-pub const MAX_FRAMES: usize = 256;
-
-/// Hard cap on the failing-sequence count per sequential instance.
-pub const MAX_SEQ_LEN: usize = 1024;
-
-/// Validates one `--frames` value: zero frames is meaningless (there is
-/// no frame to diagnose in) and rejected; values above [`MAX_FRAMES`]
-/// clamp down to it.
-///
-/// # Errors
-///
-/// Returns a CLI-ready message when `frames == 0`.
-pub fn validate_frames(frames: usize) -> Result<usize, String> {
-    if frames == 0 {
-        return Err("--frames must be at least 1".to_string());
-    }
-    Ok(frames.min(MAX_FRAMES))
-}
-
-/// Validates one `--seq-len` value: zero sequences would make every
-/// sequential instance an empty no-op and is rejected; values above
-/// [`MAX_SEQ_LEN`] clamp down to it.
-///
-/// # Errors
-///
-/// Returns a CLI-ready message when `seq_len == 0`.
-pub fn validate_seq_len(seq_len: usize) -> Result<usize, String> {
-    if seq_len == 0 {
-        return Err("--seq-len must be at least 1".to_string());
-    }
-    Ok(seq_len.min(MAX_SEQ_LEN))
-}
+// The frame/seq-len clamps moved to `gatediag_core::session` (they are
+// shared by the CLI, the campaign and the serve daemon's one validation
+// gate); re-exported here so existing campaign users keep their paths.
+pub use gatediag_core::{validate_frames, validate_seq_len, MAX_FRAMES, MAX_SEQ_LEN};
 
 /// One cell of the campaign matrix.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]

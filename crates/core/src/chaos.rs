@@ -110,6 +110,14 @@ impl ChaosPolicy {
         }
     }
 
+    /// Whether this policy can ever inject an event. `false` exactly for
+    /// [`ChaosPolicy::off`]; callers that cache results keyed on the
+    /// request (the session layer) use this to skip caching chaos runs,
+    /// whose outcomes are deliberately schedule-perturbed.
+    pub fn is_active(&self) -> bool {
+        self.config.is_some()
+    }
+
     /// Hashes the textual identity of an instance (circuit name, fault
     /// model, engine, seed, attempt number, ...) into a stable 64-bit
     /// key. FNV-1a over the parts with a separator byte between them, so

@@ -102,10 +102,12 @@ pub mod chaos;
 mod cov;
 mod engine;
 mod hybrid;
+pub mod json;
 pub mod paper_examples;
 mod quality;
 mod repair;
 mod sequential;
+pub mod session;
 mod sim_backtrack;
 mod test_set;
 pub mod testgen;
@@ -134,6 +136,10 @@ pub use sequential::{
     sequence_tests_to_unrolled, sequential_sat_diagnose, sequential_sim_diagnose,
     simulate_sequence, SeqBsatOptions, SeqDiagnosis, SeqValidityOracle, SequenceTest,
     SequenceTestSet,
+};
+pub use session::{
+    circuit_content_hash, run_diagnose, validate_frames, validate_seq_len, CircuitSession,
+    DiagnoseOutcome, DiagnoseRequest, DiagnoseStatus, MAX_FRAMES, MAX_SEQ_LEN,
 };
 pub use sim_backtrack::{sim_backtrack_diagnose, SimBacktrackOptions};
 pub use test_set::{generate_failing_tests, Test, TestSet};

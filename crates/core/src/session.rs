@@ -1,0 +1,703 @@
+//! One diagnosis front door for every caller, plus the warm per-circuit
+//! session the service layer caches.
+//!
+//! Before this module, the one-shot CLI, the campaign runner and (now)
+//! the daemon each assembled their own [`EngineConfig`] and their own
+//! inject → generate-tests → run-engine sequence, and the three paths
+//! drifted (different `max_test_vectors`, different frame defaults,
+//! different validation). The shared pieces live here:
+//!
+//! * [`DiagnoseRequest`] — the full identity of one diagnosis run, with
+//!   [`DiagnoseRequest::validated`] as the single validation/
+//!   normalisation gate (frames/seq-len clamps, engine/axis
+//!   normalisation, test-gen policy checks) and
+//!   [`DiagnoseRequest::engine_config`] as the single `EngineConfig`
+//!   builder;
+//! * [`run_diagnose`] — the inject → tests → engine pipeline itself,
+//!   instrumented with exactly the `inject`/`tests`/`engine` obs spans
+//!   the campaign runner always charged;
+//! * [`CircuitSession`] — a circuit plus a memo of completed runs,
+//!   keyed by the request. Engine runs are pure functions of
+//!   `(circuit, request)` (pinned by the campaign drift tests), so a
+//!   repeated request is answered from the memo without touching the
+//!   netlist, the simulator or the CNF encoder — the "warm hit" the
+//!   serve layer's registry is built on. Warm hits are observable:
+//!   they charge `session.warm_hits` and *nothing else* (zero
+//!   `cnf.gates_encoded`, zero `netlist.builds`).
+//!
+//! Requests with a wall-clock deadline or an active chaos policy are
+//! never cached: their outcomes depend on timing or deliberate
+//! perturbation, not just the request.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use gatediag_netlist::{try_inject_faults, write_bench, Circuit, Fault, FaultModel};
+use gatediag_sim::Parallelism;
+
+use crate::budget::Budget;
+use crate::chaos::ChaosPolicy;
+use crate::engine::{run_engine, run_sequential_engine, EngineConfig, EngineKind, EngineRun};
+use crate::sequential::generate_failing_sequences;
+use crate::test_set::generate_failing_tests;
+use crate::testgen::TestGenPolicy;
+
+/// Hard cap on a campaign/CLI time-frame count: unrolling is linear in
+/// frames per instance, so an absurd `--frames` is clamped here rather
+/// than allowed to allocate without bound (the same hardening posture as
+/// the `GATEDIAG_WORKERS` / `MAX_ENV_WORKERS` clamp in `gatediag-sim`).
+pub const MAX_FRAMES: usize = 256;
+
+/// Hard cap on the failing-sequence count per sequential instance.
+pub const MAX_SEQ_LEN: usize = 1024;
+
+/// Validates one `--frames` value: zero frames is meaningless (there is
+/// no frame to diagnose in) and rejected; values above [`MAX_FRAMES`]
+/// clamp down to it.
+///
+/// # Errors
+///
+/// Returns a CLI-ready message when `frames == 0`.
+pub fn validate_frames(frames: usize) -> Result<usize, String> {
+    if frames == 0 {
+        return Err("--frames must be at least 1".to_string());
+    }
+    Ok(frames.min(MAX_FRAMES))
+}
+
+/// Validates one `--seq-len` value: zero sequences would make every
+/// sequential instance an empty no-op and is rejected; values above
+/// [`MAX_SEQ_LEN`] clamp down to it.
+///
+/// # Errors
+///
+/// Returns a CLI-ready message when `seq_len == 0`.
+pub fn validate_seq_len(seq_len: usize) -> Result<usize, String> {
+    if seq_len == 0 {
+        return Err("--seq-len must be at least 1".to_string());
+    }
+    Ok(seq_len.min(MAX_SEQ_LEN))
+}
+
+/// The full identity of one diagnosis run against one golden circuit:
+/// what to inject, which failing tests to collect, which engine to run
+/// and under which limits. Two equal requests against the same circuit
+/// produce identical outcomes (engine runs are pure), which is exactly
+/// what makes the request usable as a cache key.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DiagnoseRequest {
+    /// The engine to run.
+    pub engine: EngineKind,
+    /// The fault model to inject.
+    pub fault_model: FaultModel,
+    /// Number of injected errors.
+    pub p: usize,
+    /// Seed for injection and test generation.
+    pub seed: u64,
+    /// Failing tests (combinational) or failing sequences (sequential)
+    /// to collect.
+    pub tests: usize,
+    /// Cap on the random vectors tried while collecting failing tests.
+    pub max_test_vectors: usize,
+    /// Correction cardinality; `None` means "k = p".
+    pub k: Option<usize>,
+    /// Unrolling depth; `Some` selects the sequential pipeline.
+    pub frames: Option<usize>,
+    /// Stimulus length per failing sequence (sequential only).
+    pub seq_len: Option<usize>,
+    /// Cap on enumerated solutions.
+    pub max_solutions: usize,
+    /// SAT conflict budget, `None` = unlimited.
+    pub conflict_budget: Option<u64>,
+    /// Deterministic work budget, `None` = unlimited.
+    pub work_budget: Option<u64>,
+    /// Wall-clock deadline; `Some` makes the run nondeterministic and
+    /// therefore uncacheable.
+    pub deadline_ms: Option<u64>,
+    /// Discriminating-test generation rounds; `None` = phase off.
+    pub test_gen_rounds: Option<usize>,
+}
+
+impl Default for DiagnoseRequest {
+    /// The campaign defaults: 8 tests, `1 << 15` vector cap, 10 000
+    /// solutions, 5 M conflicts — one error at seed 1 through the auto
+    /// engine.
+    fn default() -> Self {
+        DiagnoseRequest {
+            engine: EngineKind::Auto,
+            fault_model: FaultModel::GateChange,
+            p: 1,
+            seed: 1,
+            tests: 8,
+            max_test_vectors: 1 << 15,
+            k: None,
+            frames: None,
+            seq_len: None,
+            max_solutions: 10_000,
+            conflict_budget: Some(5_000_000),
+            work_budget: None,
+            deadline_ms: None,
+            test_gen_rounds: None,
+        }
+    }
+}
+
+impl DiagnoseRequest {
+    /// Validates and normalises the request — the single gate all three
+    /// front doors (CLI, campaign, daemon) pass through, so they cannot
+    /// drift on clamping or policy rules:
+    ///
+    /// * `p`, `tests`, `k`, `max_solutions`, `test_gen_rounds` must be
+    ///   positive where present;
+    /// * a sequential axis (`frames`/`seq_len`) maps combinational
+    ///   engines onto their sequential variants (`bsim` → `seq-bsim`,
+    ///   `bsat` → `seq-bsat`) and rejects engines without one;
+    /// * a sequential engine without explicit axes gets the campaign
+    ///   defaults (3 frames, length-4 sequences); axes are clamped via
+    ///   [`validate_frames`] / [`validate_seq_len`];
+    /// * discriminating-test generation is combinational-only and
+    ///   rejected on sequential requests.
+    ///
+    /// # Errors
+    ///
+    /// Returns a CLI-ready message describing the first violated rule.
+    pub fn validated(&self) -> Result<DiagnoseRequest, String> {
+        let mut req = self.clone();
+        if req.p == 0 {
+            return Err("error count p must be at least 1".to_string());
+        }
+        if req.tests == 0 {
+            return Err("--tests must be at least 1".to_string());
+        }
+        if req.max_test_vectors == 0 {
+            return Err("--max-test-vectors must be at least 1".to_string());
+        }
+        if req.k == Some(0) {
+            return Err("--k must be at least 1".to_string());
+        }
+        if req.max_solutions == 0 {
+            return Err("--max-solutions must be at least 1".to_string());
+        }
+        if req.test_gen_rounds == Some(0) {
+            return Err("--test-gen-rounds must be at least 1".to_string());
+        }
+        let sequential_axes = req.frames.is_some() || req.seq_len.is_some();
+        if req.engine.is_sequential() || sequential_axes {
+            req.engine = match req.engine {
+                EngineKind::Bsim => EngineKind::SeqBsim,
+                EngineKind::Bsat => EngineKind::SeqBsat,
+                seq if seq.is_sequential() => seq,
+                other => {
+                    return Err(format!(
+                        "engine `{}` has no sequential variant; use bsim or bsat with --frames",
+                        other.name()
+                    ))
+                }
+            };
+            req.frames = Some(validate_frames(req.frames.unwrap_or(3))?);
+            req.seq_len = Some(validate_seq_len(req.seq_len.unwrap_or(4))?);
+            if req.test_gen_rounds.is_some() {
+                return Err(
+                    "discriminating-test generation is combinational-only (drop --test-gen or --frames)"
+                        .to_string(),
+                );
+            }
+        }
+        Ok(req)
+    }
+
+    /// Builds the one [`EngineConfig`] every front door uses: `k`
+    /// defaults to `p`, the budget carries the work/deadline limits, and
+    /// the test-generation phase gets the golden reference exactly when
+    /// it is enabled.
+    pub fn engine_config(
+        &self,
+        parallelism: Parallelism,
+        chaos: ChaosPolicy,
+        golden: &Circuit,
+    ) -> EngineConfig {
+        EngineConfig {
+            k: self.k.unwrap_or(self.p),
+            max_solutions: self.max_solutions,
+            conflict_budget: self.conflict_budget,
+            budget: Budget {
+                work: self.work_budget,
+                deadline_ms: self.deadline_ms,
+                ..Budget::default()
+            },
+            parallelism,
+            chaos,
+            test_gen: self.test_gen_rounds.map(|rounds| TestGenPolicy {
+                rounds,
+                ..TestGenPolicy::default()
+            }),
+            reference: self.test_gen_rounds.is_some().then(|| golden.clone()),
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// How a diagnosis run ended, before any caller-specific mapping. The
+/// tokens mirror the campaign's `InstanceStatus` (and the serve
+/// protocol's response statuses).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum DiagnoseStatus {
+    /// The engine ran to its configured limits.
+    Ok,
+    /// The fault model could not inject `p` errors into this circuit.
+    NotInjectable,
+    /// Injection succeeded but no failing test was found.
+    NoFailingTests,
+    /// A work/deadline/conflict budget preempted the run.
+    Preempted,
+}
+
+impl DiagnoseStatus {
+    /// Stable token, identical to the campaign report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiagnoseStatus::Ok => "ok",
+            DiagnoseStatus::NotInjectable => "not-injectable",
+            DiagnoseStatus::NoFailingTests => "no-failing-tests",
+            DiagnoseStatus::Preempted => "preempted",
+        }
+    }
+}
+
+/// Everything [`run_diagnose`] produced: the injected faults, the
+/// faulty circuit (for scoring and rendering), the collected test count
+/// and — when the pipeline reached the engine — the [`EngineRun`].
+#[derive(Clone, Debug)]
+pub struct DiagnoseOutcome {
+    /// The injected faults; empty when injection failed.
+    pub faults: Vec<Fault>,
+    /// The faulty circuit; `None` when injection failed.
+    pub faulty: Option<Circuit>,
+    /// Failing tests (or sequences) collected.
+    pub tests: usize,
+    /// How the run ended.
+    pub status: DiagnoseStatus,
+    /// The engine result; `None` when the pipeline stopped early.
+    pub run: Option<EngineRun>,
+}
+
+/// Runs the full diagnosis pipeline — inject, collect failing tests,
+/// run the engine — for one request against one golden circuit. Pure in
+/// `(golden, request)` for an inactive chaos policy and an unlimited
+/// deadline; the obs spans (`inject`, `tests`, `engine`) are exactly
+/// the ones the campaign runner has always charged, so campaign traces
+/// are unchanged by the refactor.
+///
+/// The request is used as given: call [`DiagnoseRequest::validated`]
+/// first (the session does this for you).
+pub fn run_diagnose(
+    golden: &Circuit,
+    request: &DiagnoseRequest,
+    parallelism: Parallelism,
+    chaos: ChaosPolicy,
+) -> DiagnoseOutcome {
+    let injected = {
+        let _inject = gatediag_obs::span("inject");
+        try_inject_faults(golden, request.fault_model, request.p, request.seed)
+    };
+    let Some((faulty, faults)) = injected else {
+        return DiagnoseOutcome {
+            faults: Vec::new(),
+            faulty: None,
+            tests: 0,
+            status: DiagnoseStatus::NotInjectable,
+            run: None,
+        };
+    };
+    let config = request.engine_config(parallelism, chaos, golden);
+    let (tests_len, run) = match (request.frames, request.seq_len) {
+        (Some(frames), Some(seq_len)) => {
+            let tests = {
+                let _tests = gatediag_obs::span("tests");
+                generate_failing_sequences(
+                    golden,
+                    &faulty,
+                    frames,
+                    seq_len,
+                    request.seed,
+                    request.max_test_vectors,
+                )
+            };
+            if tests.is_empty() {
+                return DiagnoseOutcome {
+                    faults,
+                    faulty: Some(faulty),
+                    tests: 0,
+                    status: DiagnoseStatus::NoFailingTests,
+                    run: None,
+                };
+            }
+            let _engine = gatediag_obs::span("engine");
+            let run = run_sequential_engine(request.engine, &faulty, &tests, &config);
+            (tests.len(), run)
+        }
+        _ => {
+            let tests = {
+                let _tests = gatediag_obs::span("tests");
+                generate_failing_tests(
+                    golden,
+                    &faulty,
+                    request.tests,
+                    request.seed,
+                    request.max_test_vectors,
+                )
+            };
+            if tests.is_empty() {
+                return DiagnoseOutcome {
+                    faults,
+                    faulty: Some(faulty),
+                    tests: 0,
+                    status: DiagnoseStatus::NoFailingTests,
+                    run: None,
+                };
+            }
+            let _engine = gatediag_obs::span("engine");
+            let run = run_engine(request.engine, &faulty, &tests, &config);
+            (tests.len(), run)
+        }
+    };
+    let status = if run.truncation.is_some_and(|t| t.is_preemption()) {
+        DiagnoseStatus::Preempted
+    } else {
+        DiagnoseStatus::Ok
+    };
+    DiagnoseOutcome {
+        faults,
+        faulty: Some(faulty),
+        tests: tests_len,
+        status,
+        run: Some(run),
+    }
+}
+
+/// Content hash of a circuit: FNV-1a 64 over its canonical `.bench`
+/// text ([`write_bench`]). Two circuits with the same functional
+/// netlist and names hash equally however they were constructed
+/// (programmatic builder, `.bench` parse, generator), which is what
+/// lets the serve registry recognise "the same circuit" across clients.
+pub fn circuit_content_hash(circuit: &Circuit) -> u64 {
+    let text = write_bench(circuit);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for line in text.lines() {
+        // `write_bench` leads with a `# <name>` comment; the hash keys
+        // the functional netlist only, so the same circuit registered
+        // under two display names is still one registry entry.
+        if line.starts_with('#') {
+            continue;
+        }
+        for &b in line.as_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ u64::from(b'\n')).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Per-session memo state, behind one mutex.
+struct SessionState {
+    outcomes: HashMap<DiagnoseRequest, Arc<DiagnoseOutcome>>,
+    warm_hits: u64,
+    cold_runs: u64,
+}
+
+/// A golden circuit kept warm across requests: the circuit itself plus
+/// a memo of completed [`DiagnoseOutcome`]s keyed by the validated
+/// request. This is the unit the serve registry caches — constructing a
+/// session costs one content hash; answering a repeated request costs a
+/// map lookup and charges only the `session.warm_hits` obs counter.
+///
+/// The session is `Sync`: the memo lock is held only for lookups and
+/// inserts, never across an engine run, so concurrent requests against
+/// one circuit proceed in parallel (two concurrent *identical* cold
+/// requests may both run the engine; the runs are pure, so first-insert
+/// wins and both callers see equal outcomes).
+#[derive(Debug)]
+pub struct CircuitSession {
+    name: String,
+    golden: Circuit,
+    hash: u64,
+    state: Mutex<SessionState>,
+}
+
+impl std::fmt::Debug for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionState")
+            .field("outcomes", &self.outcomes.len())
+            .field("warm_hits", &self.warm_hits)
+            .field("cold_runs", &self.cold_runs)
+            .finish()
+    }
+}
+
+impl CircuitSession {
+    /// Wraps a golden circuit into a warm session, hashing its content
+    /// eagerly so registry keying never re-renders the netlist.
+    pub fn new(name: impl Into<String>, golden: Circuit) -> CircuitSession {
+        let hash = circuit_content_hash(&golden);
+        CircuitSession {
+            name: name.into(),
+            golden,
+            hash,
+            state: Mutex::new(SessionState {
+                outcomes: HashMap::new(),
+                warm_hits: 0,
+                cold_runs: 0,
+            }),
+        }
+    }
+
+    /// The display name the session was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The golden circuit.
+    pub fn golden(&self) -> &Circuit {
+        &self.golden
+    }
+
+    /// The canonical content hash (see [`circuit_content_hash`]).
+    pub fn content_hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Requests answered from the memo so far.
+    pub fn warm_hits(&self) -> u64 {
+        self.lock().warm_hits
+    }
+
+    /// Requests that ran the full pipeline so far.
+    pub fn cold_runs(&self) -> u64 {
+        self.lock().cold_runs
+    }
+
+    /// Distinct outcomes currently memoised.
+    pub fn cached_outcomes(&self) -> usize {
+        self.lock().outcomes.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SessionState> {
+        // A panicking engine run never holds this lock (runs happen
+        // outside it), but a poisoned memo would still only contain
+        // completed outcomes — recover rather than wedge the session.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Answers a request, from the memo when possible. Returns the
+    /// outcome and whether it was a warm hit.
+    ///
+    /// Runs with a wall-clock deadline or an active chaos policy bypass
+    /// the memo in both directions: their outcomes are functions of
+    /// timing/perturbation, not just the request, and caching them
+    /// would leak one caller's scheduling luck into another's answer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`DiagnoseRequest::validated`] message for an
+    /// invalid request; nothing is run or cached in that case.
+    pub fn diagnose(
+        &self,
+        request: &DiagnoseRequest,
+        parallelism: Parallelism,
+        chaos: ChaosPolicy,
+    ) -> Result<(Arc<DiagnoseOutcome>, bool), String> {
+        let request = request.validated()?;
+        let cacheable = request.deadline_ms.is_none() && !chaos.is_active();
+        if cacheable {
+            let mut state = self.lock();
+            if let Some(hit) = state.outcomes.get(&request) {
+                let hit = Arc::clone(hit);
+                state.warm_hits += 1;
+                drop(state);
+                gatediag_obs::count("session.warm_hits", 1);
+                return Ok((hit, true));
+            }
+        }
+        let outcome = Arc::new(run_diagnose(&self.golden, &request, parallelism, chaos));
+        let mut state = self.lock();
+        state.cold_runs += 1;
+        gatediag_obs::count("session.cold_runs", 1);
+        if cacheable {
+            state
+                .outcomes
+                .entry(request)
+                .or_insert_with(|| Arc::clone(&outcome));
+        }
+        Ok((outcome, false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatediag_netlist::c17;
+
+    #[test]
+    fn frames_and_seq_len_validation_rejects_zero_and_clamps() {
+        assert!(validate_frames(0).is_err());
+        assert_eq!(validate_frames(1), Ok(1));
+        assert_eq!(validate_frames(MAX_FRAMES), Ok(MAX_FRAMES));
+        assert_eq!(validate_frames(usize::MAX), Ok(MAX_FRAMES));
+        assert!(validate_seq_len(0).is_err());
+        assert_eq!(validate_seq_len(8), Ok(8));
+        assert_eq!(validate_seq_len(1 << 40), Ok(MAX_SEQ_LEN));
+    }
+
+    #[test]
+    fn validation_normalises_sequential_requests() {
+        // Combinational engine + frames → the sequential variant, with
+        // defaulted and clamped axes.
+        let req = DiagnoseRequest {
+            engine: EngineKind::Bsim,
+            frames: Some(1 << 30),
+            ..DiagnoseRequest::default()
+        };
+        let v = req.validated().unwrap();
+        assert_eq!(v.engine, EngineKind::SeqBsim);
+        assert_eq!(v.frames, Some(MAX_FRAMES));
+        assert_eq!(v.seq_len, Some(4));
+        // A sequential engine with no axes gets the campaign defaults.
+        let req = DiagnoseRequest {
+            engine: EngineKind::SeqBsat,
+            ..DiagnoseRequest::default()
+        };
+        let v = req.validated().unwrap();
+        assert_eq!(v.frames, Some(3));
+        assert_eq!(v.seq_len, Some(4));
+        // Engines without a sequential variant are rejected.
+        let req = DiagnoseRequest {
+            engine: EngineKind::Auto,
+            frames: Some(3),
+            ..DiagnoseRequest::default()
+        };
+        assert!(req.validated().unwrap_err().contains("sequential variant"));
+        // Test generation is combinational-only.
+        let req = DiagnoseRequest {
+            engine: EngineKind::SeqBsim,
+            test_gen_rounds: Some(2),
+            ..DiagnoseRequest::default()
+        };
+        assert!(req.validated().unwrap_err().contains("combinational-only"));
+    }
+
+    #[test]
+    fn validation_rejects_zero_limits() {
+        for mutate in [
+            (|r: &mut DiagnoseRequest| r.p = 0) as fn(&mut DiagnoseRequest),
+            |r| r.tests = 0,
+            |r| r.max_test_vectors = 0,
+            |r| r.k = Some(0),
+            |r| r.max_solutions = 0,
+            |r| r.test_gen_rounds = Some(0),
+        ] {
+            let mut req = DiagnoseRequest::default();
+            mutate(&mut req);
+            assert!(req.validated().is_err());
+        }
+    }
+
+    #[test]
+    fn content_hash_is_construction_invariant() {
+        use gatediag_netlist::parse_bench;
+        let golden = c17();
+        let reparsed = parse_bench(&write_bench(&golden)).unwrap();
+        assert_eq!(
+            circuit_content_hash(&golden),
+            circuit_content_hash(&reparsed)
+        );
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_memo() {
+        let session = CircuitSession::new("c17", c17());
+        let request = DiagnoseRequest {
+            engine: EngineKind::Bsat,
+            seed: 42,
+            ..DiagnoseRequest::default()
+        };
+        let (first, warm) = session
+            .diagnose(&request, Parallelism::Sequential, ChaosPolicy::off())
+            .unwrap();
+        assert!(!warm);
+        let (second, warm) = session
+            .diagnose(&request, Parallelism::Sequential, ChaosPolicy::off())
+            .unwrap();
+        assert!(warm);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(session.warm_hits(), 1);
+        assert_eq!(session.cold_runs(), 1);
+        assert_eq!(session.cached_outcomes(), 1);
+        // A different seed is a different key.
+        let other = DiagnoseRequest {
+            seed: 43,
+            ..request.clone()
+        };
+        let (_, warm) = session
+            .diagnose(&other, Parallelism::Sequential, ChaosPolicy::off())
+            .unwrap();
+        assert!(!warm);
+        assert_eq!(session.cached_outcomes(), 2);
+    }
+
+    #[test]
+    fn warm_hits_charge_no_engine_counters() {
+        let session = CircuitSession::new("c17", c17());
+        let request = DiagnoseRequest {
+            engine: EngineKind::Bsat,
+            seed: 42,
+            ..DiagnoseRequest::default()
+        };
+        session
+            .diagnose(&request, Parallelism::Sequential, ChaosPolicy::off())
+            .unwrap();
+        // Second run under a fresh sink: only the warm-hit counter.
+        let sink = Arc::new(gatediag_obs::Sink::new());
+        let guard = gatediag_obs::install(Arc::clone(&sink));
+        let (_, warm) = session
+            .diagnose(&request, Parallelism::Sequential, ChaosPolicy::off())
+            .unwrap();
+        drop(guard);
+        assert!(warm);
+        let trace = sink.take_trace();
+        assert_eq!(trace.counter("session.warm_hits"), 1);
+        assert_eq!(trace.counter("cnf.gates_encoded"), 0);
+        assert_eq!(trace.counter("netlist.builds"), 0);
+    }
+
+    #[test]
+    fn deadline_and_chaos_requests_bypass_the_memo() {
+        let session = CircuitSession::new("c17", c17());
+        let deadline = DiagnoseRequest {
+            deadline_ms: Some(10_000),
+            ..DiagnoseRequest::default()
+        };
+        for _ in 0..2 {
+            let (_, warm) = session
+                .diagnose(&deadline, Parallelism::Sequential, ChaosPolicy::off())
+                .unwrap();
+            assert!(!warm);
+        }
+        assert_eq!(session.cached_outcomes(), 0);
+        let chaotic = ChaosPolicy::new(
+            crate::chaos::ChaosConfig {
+                seed: 7,
+                rate_ppm: 0,
+            },
+            1,
+        );
+        let (_, warm) = session
+            .diagnose(
+                &DiagnoseRequest::default(),
+                Parallelism::Sequential,
+                chaotic,
+            )
+            .unwrap();
+        assert!(!warm);
+        assert_eq!(session.cached_outcomes(), 0);
+    }
+}

@@ -543,6 +543,12 @@ impl CircuitBuilder {
             levels[id.index()] = lvl;
         }
 
+        // Every successfully built circuit — parsed, generated,
+        // injected, unrolled — passes through here, so this one counter
+        // is the "did anything rebuild a netlist?" probe the serve
+        // layer's warm-hit proof reads.
+        gatediag_obs::count("netlist.builds", 1);
+
         Ok(Circuit {
             kinds: self.kinds,
             fanin_heads,

@@ -77,6 +77,15 @@ impl ObsTrace {
     pub fn root_wall_ns(&self) -> u64 {
         self.spans.first().map_or(0, |s| s.wall_ns)
     }
+
+    /// Final total of one deterministic counter; 0 when it was never
+    /// charged (counters with zero totals are not stored).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
 }
 
 /// One line of a trace stream: an instance identity plus its trace.

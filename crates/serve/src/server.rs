@@ -1,0 +1,98 @@
+//! Transports: JSONL over TCP (thread-per-connection) and over
+//! stdin/stdout.
+//!
+//! std-only by design — the protocol is one request line in, one
+//! response line out, and every response is computed synchronously on
+//! the shared worker pool, so blocking reads and plain threads are the
+//! whole story. The accept loop polls non-blockingly so a `shutdown`
+//! request handled on any connection stops the daemon without needing
+//! to interrupt a blocked `accept`.
+
+use crate::service::Service;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serves one established connection until EOF or shutdown. Blank
+/// lines are ignored; every other line gets exactly one response line.
+fn serve_connection(service: &Service, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Accepts connections on `listener` until a `shutdown` request is
+/// handled. Each connection gets its own thread; the diagnosis work
+/// itself is still bounded by the service's shared pool.
+///
+/// # Errors
+///
+/// Returns accept-loop I/O errors; per-connection errors (a client
+/// hanging up mid-request) only end that connection.
+pub fn serve_tcp(service: Arc<Service>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if service.shutdown_requested() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(false)?;
+                // One small response line per request: disable Nagle so
+                // replies are not held back for a delayed ACK.
+                stream.set_nodelay(true)?;
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    // A dropped connection is the client's business.
+                    let _ = serve_connection(&service, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves request lines from `input` to `output` until EOF or a
+/// `shutdown` request — the `--stdio` transport, also what the
+/// in-process tests drive.
+///
+/// # Errors
+///
+/// Returns the first read or write error.
+pub fn serve_lines(
+    service: &Service,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.handle_line(&line);
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if service.shutdown_requested() {
+            break;
+        }
+    }
+    Ok(())
+}

@@ -94,7 +94,7 @@ pub use packed::{
 pub use packed_tv::{eval_dual_rail, simulate_tv_packed, DualRail};
 pub use pool::{
     parallel_map_init, parallel_map_init_isolated, parallel_map_init_while, Parallelism,
-    WorkItemFailure, AUTO_WORK_FLOOR, MAX_ENV_WORKERS,
+    PersistentPool, WorkItemFailure, AUTO_WORK_FLOOR, MAX_ENV_WORKERS,
 };
 pub use scalar::{output_values, simulate, simulate_forced};
 pub use sequential::{pack_rows_into, simulate_sequence, SeqPackedSim};

@@ -471,6 +471,152 @@ where
         .collect()
 }
 
+/// A boxed unit of work queued on a [`PersistentPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state between a [`PersistentPool`] handle and its workers.
+struct JobQueue {
+    jobs: std::sync::Mutex<std::collections::VecDeque<Job>>,
+    available: std::sync::Condvar,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+impl JobQueue {
+    fn new() -> Self {
+        JobQueue {
+            jobs: std::sync::Mutex::new(std::collections::VecDeque::new()),
+            available: std::sync::Condvar::new(),
+            shutdown: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until a job is available or shutdown is signalled.
+    fn next(&self) -> Option<Job> {
+        let mut jobs = self
+            .jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                return Some(job);
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            jobs = self
+                .available
+                .wait(jobs)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push_back(job);
+        self.available.notify_one();
+    }
+}
+
+/// A long-lived worker pool for multiplexing independent requests.
+///
+/// `parallel_map_*` spin up scoped threads per call, which is the right
+/// shape for one large fan-out but wasteful for a daemon that fields many
+/// small requests: thread spawn cost would land on every request's latency.
+/// `PersistentPool` keeps a fixed set of workers alive and hands each
+/// submitted job to one of them.
+///
+/// Two properties matter for the serve layer:
+///
+/// - **Panic isolation:** a job that panics reports the panic message to its
+///   submitter via `Err`; the worker itself survives and keeps draining the
+///   queue, so one poisoned request cannot take down the daemon.
+/// - **No cross-request observability bleed:** the pool does *not* forward
+///   the submitter's obs sink (unlike `parallel_map_inner`). A job that
+///   wants counters installs its own sink inside the closure, keeping each
+///   request's trace self-contained.
+pub struct PersistentPool {
+    queue: std::sync::Arc<JobQueue>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PersistentPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PersistentPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl PersistentPool {
+    /// Spawns a pool with `workers` threads (clamped to `1..=MAX_ENV_WORKERS`).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.clamp(1, MAX_ENV_WORKERS);
+        let queue = std::sync::Arc::new(JobQueue::new());
+        let handles = (0..workers)
+            .map(|i| {
+                let queue = std::sync::Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("gatediag-pool-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.next() {
+                            // The job's own catch_unwind (in `run`) reports
+                            // the panic to the submitter; this outer guard
+                            // only shields the worker loop from jobs queued
+                            // through some future raw path.
+                            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        PersistentPool {
+            queue,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `job` on a pool worker and blocks until it finishes.
+    ///
+    /// Returns `Err` with the stringified panic payload if the job panics;
+    /// the worker that ran it stays alive either way.
+    pub fn run<R, F>(&self, job: F) -> Result<R, String>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.queue.push(Box::new(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                .map_err(|payload| panic_reason(payload.as_ref()));
+            // The submitter may have given up waiting; a dead receiver is fine.
+            let _ = tx.send(result);
+        }));
+        match rx.recv() {
+            Ok(result) => result,
+            // The channel can only drop without a send if the job was lost to
+            // shutdown — report that rather than panicking in the caller.
+            Err(_) => Err("worker pool shut down before the job completed".to_string()),
+        }
+    }
+}
+
+impl Drop for PersistentPool {
+    fn drop(&mut self) {
+        self.queue.shutdown.store(true, Ordering::Release);
+        self.queue.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,6 +949,60 @@ mod tests {
                 assert_eq!(*v, i);
             }
         }
+    }
+
+    #[test]
+    fn persistent_pool_runs_jobs_and_returns_results() {
+        let pool = PersistentPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        for i in 0..32_u64 {
+            assert_eq!(pool.run(move || i * i), Ok(i * i));
+        }
+    }
+
+    #[test]
+    fn persistent_pool_clamps_worker_count() {
+        assert_eq!(PersistentPool::new(0).workers(), 1);
+        assert_eq!(
+            PersistentPool::new(MAX_ENV_WORKERS + 7).workers(),
+            MAX_ENV_WORKERS
+        );
+    }
+
+    #[test]
+    fn persistent_pool_survives_a_panicking_job() {
+        let pool = PersistentPool::new(2);
+        let err = pool
+            .run(|| -> u32 { panic!("chaos: deliberate test panic") })
+            .unwrap_err();
+        assert!(err.contains("deliberate test panic"), "got: {err}");
+        // Every worker still drains the queue after the panic.
+        for i in 0..8_u64 {
+            assert_eq!(pool.run(move || i + 1), Ok(i + 1));
+        }
+    }
+
+    #[test]
+    fn persistent_pool_handles_concurrent_submitters() {
+        use std::sync::Arc;
+        let pool = Arc::new(PersistentPool::new(3));
+        std::thread::scope(|scope| {
+            for t in 0..6_u64 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for i in 0..16_u64 {
+                        assert_eq!(pool.run(move || t * 1000 + i), Ok(t * 1000 + i));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_pool_drop_joins_workers() {
+        let pool = PersistentPool::new(2);
+        assert_eq!(pool.run(|| 7), Ok(7));
+        drop(pool); // must not hang or leak threads
     }
 
     #[test]

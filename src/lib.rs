@@ -46,6 +46,7 @@ pub use gatediag_cnf as cnf;
 pub use gatediag_core as core;
 pub use gatediag_netlist as netlist;
 pub use gatediag_sat as sat;
+pub use gatediag_serve as serve;
 pub use gatediag_sim as sim;
 
 pub use gatediag_campaign::{
@@ -56,16 +57,17 @@ pub use gatediag_campaign::{
 #[allow(deprecated)]
 pub use gatediag_core::is_valid_correction_sim;
 pub use gatediag_core::{
-    basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality, cover_all,
-    distinguish_pair, generate_discriminating_tests, generate_failing_sequences,
-    generate_failing_tests, hybrid_seeded_bsat, is_valid_correction, is_valid_correction_sat,
-    is_valid_correction_sat_par, is_valid_sequential_correction, partitioned_sat_diagnose,
-    path_trace, path_trace_packed, repair_correction, run_engine, run_sequential_engine,
-    sc_diagnose, sequential_sat_diagnose, sequential_sim_diagnose, sim_backtrack_diagnose,
-    simulate_sequence, solution_quality, two_pass_sat_diagnose, BsatOptions, BsatResult,
-    BsimOptions, BsimResult, Budget, ChaosConfig, ChaosEvent, ChaosPolicy, CovEngine, CovOptions,
-    CovResult, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding, PairOutcome,
-    SeqBsatOptions, SequenceTest, SequenceTestSet, SimBacktrackOptions, SiteSelection, Test,
-    TestGenOutcome, TestGenPolicy, TestSet, Truncation, ValidityBackend, ValidityOracle,
+    basic_sat_diagnose, basic_sim_diagnose, brute_force_diagnose, bsim_quality,
+    circuit_content_hash, cover_all, distinguish_pair, generate_discriminating_tests,
+    generate_failing_sequences, generate_failing_tests, hybrid_seeded_bsat, is_valid_correction,
+    is_valid_correction_sat, is_valid_correction_sat_par, is_valid_sequential_correction,
+    partitioned_sat_diagnose, path_trace, path_trace_packed, repair_correction, run_diagnose,
+    run_engine, run_sequential_engine, sc_diagnose, sequential_sat_diagnose,
+    sequential_sim_diagnose, sim_backtrack_diagnose, simulate_sequence, solution_quality,
+    two_pass_sat_diagnose, BsatOptions, BsatResult, BsimOptions, BsimResult, Budget, ChaosConfig,
+    ChaosEvent, ChaosPolicy, CircuitSession, CovEngine, CovOptions, CovResult, DiagnoseOutcome,
+    DiagnoseRequest, DiagnoseStatus, EngineConfig, EngineKind, EngineRun, MarkPolicy, MuxEncoding,
+    PairOutcome, SeqBsatOptions, SequenceTest, SequenceTestSet, SimBacktrackOptions, SiteSelection,
+    Test, TestGenOutcome, TestGenPolicy, TestSet, Truncation, ValidityBackend, ValidityOracle,
 };
 pub use gatediag_sim::{PackedSim, Parallelism};

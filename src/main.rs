@@ -10,16 +10,17 @@
 //! ```
 
 use gatediag::campaign::{validate_frames, validate_seq_len};
-use gatediag::netlist::Fault;
 use gatediag::netlist::{
-    c17, inject_faults, parse_bench_dir, parse_bench_dir_strict, parse_bench_named, to_dot,
-    Circuit, FaultKind, FaultModel, GateId,
+    c17, parse_bench_dir, parse_bench_dir_strict, parse_bench_named, to_dot, write_bench, Circuit,
+    FaultKind, FaultModel, GateId,
+};
+use gatediag::serve::{
+    render_diagnose_request, serve_lines, serve_tcp, DiagnoseCall, Service, ServiceConfig,
 };
 use gatediag::{
-    basic_sat_diagnose, basic_sim_diagnose, generate_failing_sequences, generate_failing_tests,
-    hybrid_seeded_bsat, run_campaign_checkpointed, run_sequential_engine, sc_diagnose,
-    solution_quality, BsatOptions, BsimOptions, CampaignSpec, ChaosConfig, CheckpointPolicy,
-    CovOptions, EngineConfig, EngineKind, Parallelism, RetryOn,
+    run_campaign_checkpointed, solution_quality, CampaignSpec, ChaosConfig, ChaosPolicy,
+    CheckpointPolicy, CircuitSession, DiagnoseRequest, DiagnoseStatus, EngineKind, Parallelism,
+    RetryOn,
 };
 use std::process::ExitCode;
 
@@ -30,6 +31,8 @@ USAGE:
   gatediag diagnose [--bench FILE | --demo] [OPTIONS]
   gatediag campaign [--bench-dir DIR | --demo] [OPTIONS]
   gatediag equiv --bench FILE --against FILE
+  gatediag serve [--listen ADDR | --stdio] [SERVE OPTIONS]
+  gatediag client --connect ADDR [--bench FILE | --demo] [OPTIONS]
 
 DIAGNOSE OPTIONS:
   --bench FILE      ISCAS89 .bench netlist to use as the golden design
@@ -54,6 +57,37 @@ DIAGNOSE OPTIONS:
   --test-gen-rounds N  max test-generation passes over the unresolved
                     candidates (default 4)
   --dot FILE        write a Graphviz dump with candidates highlighted
+  --json            print one machine-readable gatediag-diagnose-v1
+                    response line instead of the human report — the exact
+                    bytes a `gatediag serve` daemon returns for the same
+                    request (timing and counters stay opt-in via --obs /
+                    --timing, so the line is byte-comparable)
+  --obs             with --json: attach deterministic obs counters and
+                    the warm/cold cache verdict under \"meta\"
+  --timing          with --json: attach nondeterministic wall_ms under
+                    \"meta\"
+  --work-budget N   deterministic work budget (engine units; a truncated
+                    run is reported as `preempted`, and a daemon with
+                    --max-work-budget rejects requests asking above it)
+
+SERVE OPTIONS (diagnosis-as-a-service; JSONL request/response):
+  --listen ADDR     accept TCP connections on ADDR (e.g. 127.0.0.1:7171),
+                    one thread per connection
+  --stdio           serve requests from stdin to stdout instead
+  --workers N       shared diagnosis worker pool size (default 4);
+                    responses are byte-identical for every N
+  --registry-capacity N  circuits kept warm before LRU eviction
+                    (default 8)
+  --max-work-budget N  admission cap: requests asking for more
+                    deterministic work are rejected, requests without a
+                    budget inherit the cap and preempt cooperatively
+  --default-work-budget N  work budget imposed on requests that carry
+                    none (must be <= the cap to matter)
+
+CLIENT OPTIONS:
+  --connect ADDR    daemon address; all DIAGNOSE options are accepted and
+                    sent as one request (plus --obs / --timing for the
+                    quarantined meta block)
 
 CAMPAIGN OPTIONS:
   --bench-dir DIR   run on every .bench file in DIR (falls back to the
@@ -126,6 +160,8 @@ fn main() -> ExitCode {
         Some("diagnose") => diagnose(&args[1..]),
         Some("campaign") => campaign(&args[1..]),
         Some("equiv") => equiv(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -154,6 +190,11 @@ struct Options {
     test_gen: bool,
     test_gen_rounds: usize,
     dot: Option<String>,
+    json: bool,
+    obs: bool,
+    timing: bool,
+    work_budget: Option<u64>,
+    connect: Option<String>,
 }
 
 /// Parses a `--test-gen` mode token: `off` or `sat`.
@@ -182,6 +223,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         test_gen: false,
         test_gen_rounds: 4,
         dot: None,
+        json: false,
+        obs: false,
+        timing: false,
+        work_budget: None,
+        connect: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
@@ -251,6 +297,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "--test-gen-rounds expects an integer".to_string())?
             }
             "--dot" => o.dot = Some(value(args, &mut i, "--dot")?),
+            "--json" => o.json = true,
+            "--obs" => o.obs = true,
+            "--timing" => o.timing = true,
+            "--work-budget" => {
+                o.work_budget = Some(
+                    value(args, &mut i, "--work-budget")?
+                        .parse()
+                        .map_err(|_| "--work-budget expects an integer".to_string())?,
+                )
+            }
+            "--connect" => o.connect = Some(value(args, &mut i, "--connect")?),
             other => return Err(format!("unknown option `{other}`")),
         }
         i += 1;
@@ -268,6 +325,78 @@ fn name_of(circuit: &Circuit, g: GateId) -> String {
         .gate_name(g)
         .map(str::to_owned)
         .unwrap_or_else(|| format!("{g}"))
+}
+
+/// Maps the CLI options onto the shared, validated [`DiagnoseRequest`]
+/// — the same normalisation path the campaign runner and the `serve`
+/// daemon use, so the three front doors cannot drift on defaults or
+/// clamping.
+fn diagnose_request(o: &Options) -> Result<DiagnoseRequest, String> {
+    let engine = EngineKind::parse(&o.engine).ok_or_else(|| {
+        format!(
+            "unknown engine `{}` (bsim|cov|bsat|hybrid|auto|seq-bsim|seq-bsat)",
+            o.engine
+        )
+    })?;
+    let sequential = o.frames.is_some() || engine.is_sequential();
+    DiagnoseRequest {
+        engine,
+        fault_model: o.fault_model,
+        p: o.inject,
+        seed: o.seed,
+        tests: o.tests,
+        // The CLI's historical one-shot budget: a larger random-vector
+        // cap than the campaign default.
+        max_test_vectors: 1 << 17,
+        k: o.k,
+        frames: if sequential {
+            Some(o.frames.unwrap_or(3))
+        } else {
+            None
+        },
+        seq_len: sequential.then_some(o.seq_len),
+        max_solutions: o.max_solutions,
+        conflict_budget: None,
+        work_budget: o.work_budget,
+        deadline_ms: None,
+        test_gen_rounds: (o.test_gen && !sequential).then_some(o.test_gen_rounds),
+    }
+    .validated()
+}
+
+/// Builds the daemon-protocol call for this one-shot invocation: the
+/// canonical bench rendering keys the daemon's content-addressed
+/// registry, so every front door converges on one warm session per
+/// netlist.
+fn diagnose_call(golden: &Circuit, request: DiagnoseRequest, o: &Options) -> DiagnoseCall {
+    DiagnoseCall {
+        circuit: match golden.name() {
+            "" => None,
+            name => Some(name.to_string()),
+        },
+        bench: write_bench(golden),
+        request,
+        chaos: None,
+        obs: o.obs,
+        timing: o.timing,
+    }
+}
+
+/// Exit code for a protocol response line: failure for the
+/// `error`/`failed`/`rejected` statuses (and for unparseable bytes).
+fn response_exit(response: &str) -> ExitCode {
+    let failed = match gatediag::core::json::parse_json(response) {
+        Ok(v) => matches!(
+            v.get("status").and_then(|s| s.as_str("status").ok()),
+            None | Some("error") | Some("failed") | Some("rejected")
+        ),
+        Err(_) => true,
+    };
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn diagnose(args: &[String]) -> ExitCode {
@@ -289,231 +418,184 @@ fn diagnose(args: &[String]) -> ExitCode {
             }
         }
     };
+    let request = match diagnose_request(&o) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if o.json {
+        // A one-request service instance: literally the daemon's code
+        // path, so this line is byte-identical to what `gatediag serve`
+        // answers for the same request (timing/meta stay opt-in).
+        let service = Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let line = render_diagnose_request(&diagnose_call(&golden, request, &o));
+        let response = service.handle_line(&line);
+        println!("{response}");
+        return response_exit(&response);
+    }
     println!(
         "golden: {} gates, {} inputs, {} outputs",
         golden.num_functional_gates(),
         golden.inputs().len(),
         golden.outputs().len()
     );
-    let (faulty, faults) = inject_faults(&golden, o.fault_model, o.inject, o.seed);
-    for f in &faults {
-        let site = name_of(&faulty, f.gate);
-        match f.kind {
-            FaultKind::GateChange {
-                original,
-                replacement,
-            } => println!("injected: {site} changed {original} -> {replacement}"),
-            FaultKind::StuckAt { value } => {
-                println!("injected: {site} stuck-at-{}", u8::from(value))
+    let sequential = request.engine.is_sequential();
+    if sequential {
+        println!(
+            "sequential diagnosis: {} flip-flop(s), {} time frame(s)",
+            golden.latches().len(),
+            request.frames.expect("sequential requests carry frames")
+        );
+    }
+    let session = CircuitSession::new(
+        match golden.name() {
+            "" => "circuit".to_string(),
+            name => name.to_string(),
+        },
+        golden,
+    );
+    let (outcome, _warm) =
+        match session.diagnose(&request, Parallelism::default(), ChaosPolicy::off()) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
             }
-            FaultKind::InputSwap {
-                position,
-                old_driver,
-                new_driver,
-            } => println!(
-                "injected: {site} fan-in {position} rewired {} -> {}",
-                name_of(&faulty, old_driver),
-                name_of(&faulty, new_driver)
-            ),
-            FaultKind::ExtraInverter { position, inverter } => println!(
-                "injected: {site} fan-in {position} inverted (new gate {})",
-                name_of(&faulty, inverter)
-            ),
+        };
+    if let Some(faulty) = &outcome.faulty {
+        for f in &outcome.faults {
+            let site = name_of(faulty, f.gate);
+            match f.kind {
+                FaultKind::GateChange {
+                    original,
+                    replacement,
+                } => println!("injected: {site} changed {original} -> {replacement}"),
+                FaultKind::StuckAt { value } => {
+                    println!("injected: {site} stuck-at-{}", u8::from(value))
+                }
+                FaultKind::InputSwap {
+                    position,
+                    old_driver,
+                    new_driver,
+                } => println!(
+                    "injected: {site} fan-in {position} rewired {} -> {}",
+                    name_of(faulty, old_driver),
+                    name_of(faulty, new_driver)
+                ),
+                FaultKind::ExtraInverter { position, inverter } => println!(
+                    "injected: {site} fan-in {position} inverted (new gate {})",
+                    name_of(faulty, inverter)
+                ),
+            }
         }
     }
-    if o.frames.is_some() || o.engine.starts_with("seq-") {
-        return diagnose_sequential(&golden, &faulty, &faults, &o);
+    match outcome.status {
+        DiagnoseStatus::NotInjectable => {
+            eprintln!(
+                "cannot inject {} {} fault(s) into this circuit",
+                request.p,
+                request.fault_model.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        DiagnoseStatus::NoFailingTests => {
+            if sequential {
+                eprintln!(
+                    "the injected errors are not observable within {} frame(s) of random stimulus",
+                    request.frames.expect("sequential requests carry frames")
+                );
+            } else {
+                eprintln!("the injected errors are not observable with random tests");
+            }
+            return ExitCode::FAILURE;
+        }
+        DiagnoseStatus::Ok | DiagnoseStatus::Preempted => {}
     }
-    let tests = generate_failing_tests(&golden, &faulty, o.tests, o.seed, 1 << 17);
-    if tests.is_empty() {
-        eprintln!("the injected errors are not observable with random tests");
-        return ExitCode::FAILURE;
+    let faulty = outcome.faulty.as_ref().expect("injection succeeded");
+    let run = outcome.run.as_ref().expect("the engine ran");
+    if sequential {
+        println!("collected {} failing sequence(s)", outcome.tests);
+    } else {
+        println!("collected {} failing tests", outcome.tests);
     }
-    println!("collected {} failing tests", tests.len());
-    let k = o.k.unwrap_or(o.inject);
-    let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
-
-    let (candidates, solutions): (Vec<GateId>, Vec<Vec<GateId>>) = match o.engine.as_str() {
-        "bsim" => {
-            let result = basic_sim_diagnose(&faulty, &tests, BsimOptions::default());
-            let gmax = result.gmax();
+    let errors: Vec<GateId> = outcome.faults.iter().map(|f| f.gate).collect();
+    match run.engine {
+        EngineKind::Bsim => {
+            let gmax = run.solutions.first().cloned().unwrap_or_default();
             println!(
                 "BSIM marked {} gates; G_max ({} gates): {:?}",
-                result.union.len(),
+                run.candidates.len(),
                 gmax.len(),
-                gmax.iter()
-                    .map(|&g| name_of(&faulty, g))
-                    .collect::<Vec<_>>()
+                gmax.iter().map(|&g| name_of(faulty, g)).collect::<Vec<_>>()
             );
-            (result.union.iter().collect(), Vec::new())
         }
-        "cov" => {
-            let result = sc_diagnose(
-                &faulty,
-                &tests,
-                k,
-                CovOptions {
-                    max_solutions: o.max_solutions,
-                    ..CovOptions::default()
-                },
+        EngineKind::SeqBsim => {
+            println!(
+                "sequential BSIM marked {} gates; G_max below",
+                run.candidates.len()
             );
-            print_solutions(&faulty, &result.solutions, result.complete, &errors);
-            let candidates = result.solutions.iter().flatten().copied().collect();
-            (candidates, result.solutions)
+            print_solutions(faulty, &run.solutions, run.complete, &errors);
         }
-        "bsat" | "hybrid" => {
-            let options = BsatOptions {
-                max_solutions: o.max_solutions,
-                ..BsatOptions::default()
-            };
-            let result = if o.engine == "hybrid" {
-                hybrid_seeded_bsat(&faulty, &tests, k, options)
-            } else {
-                basic_sat_diagnose(&faulty, &tests, k, options)
-            };
-            print_solutions(&faulty, &result.solutions, result.complete, &errors);
+        EngineKind::Cov => {
+            print_solutions(faulty, &run.solutions, run.complete, &errors);
+        }
+        EngineKind::Bsat | EngineKind::Hybrid | EngineKind::SeqBsat => {
+            print_solutions(faulty, &run.solutions, run.complete, &errors);
             println!(
                 "solver: {} conflicts, {} decisions, {} propagations",
-                result.stats.conflicts, result.stats.decisions, result.stats.propagations
+                run.stats.conflicts, run.stats.decisions, run.stats.propagations
             );
-            let candidates = result.solutions.iter().flatten().copied().collect();
-            (candidates, result.solutions)
         }
-        "auto" => {
-            let run = gatediag::run_engine(
-                EngineKind::Auto,
-                &faulty,
-                &tests,
-                &gatediag::EngineConfig {
-                    k,
-                    max_solutions: o.max_solutions,
-                    ..gatediag::EngineConfig::default()
-                },
-            );
+        EngineKind::Auto => {
             println!("auto engine: COV covers screened by the auto-dispatching validity oracle");
-            print_solutions(&faulty, &run.solutions, run.complete, &errors);
-            (run.candidates, run.solutions)
-        }
-        other => {
-            eprintln!("unknown engine `{other}` (bsim|cov|bsat|hybrid|auto)");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    if o.test_gen {
-        if solutions.is_empty() {
-            println!("test-gen: no candidate corrections to discriminate (skipped)");
-        } else {
-            let policy = gatediag::TestGenPolicy {
-                rounds: o.test_gen_rounds,
-                ..gatediag::TestGenPolicy::default()
-            };
-            let outcome = gatediag::generate_discriminating_tests(
-                &golden,
-                &faulty,
-                &solutions,
-                &policy,
-                &gatediag::Budget::default(),
-                Parallelism::default(),
-                gatediag::ValidityBackend::default(),
-            );
-            println!(
-                "test-gen: {} discriminating test(s) generated; solutions {} -> {}{}",
-                outcome.tests.len(),
-                outcome.solutions_before,
-                outcome.solutions_after,
-                if outcome.truncation.is_some() {
-                    " (truncated)"
-                } else {
-                    ""
-                }
-            );
-            println!(
-                "test-gen: {} ambiguity class(es) among the survivors",
-                outcome.classes.len()
-            );
-            for class in outcome.classes.iter().take(20) {
-                let members: Vec<String> = class
-                    .iter()
-                    .map(|&s| {
-                        solutions[s]
-                            .iter()
-                            .map(|&g| name_of(&faulty, g))
-                            .collect::<Vec<_>>()
-                            .join("+")
-                    })
-                    .collect();
-                println!("  {{{}}}", members.join(", "));
-            }
-            if outcome.classes.len() > 20 {
-                println!("  ... and {} more", outcome.classes.len() - 20);
-            }
+            print_solutions(faulty, &run.solutions, run.complete, &errors);
         }
     }
-
-    if let Some(path) = &o.dot {
-        let dot = to_dot(&faulty, &candidates);
-        if let Err(e) = std::fs::write(path, dot) {
-            eprintln!("cannot write {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!("wrote {path}");
-    }
-    ExitCode::SUCCESS
-}
-
-/// The `--frames` path of `diagnose`: collect failing *sequences* and run
-/// the sequential (time-frame-expansion) variant of the chosen engine.
-fn diagnose_sequential(
-    golden: &Circuit,
-    faulty: &Circuit,
-    faults: &[Fault],
-    o: &Options,
-) -> ExitCode {
-    let engine = match o.engine.as_str() {
-        "bsim" | "seq-bsim" => EngineKind::SeqBsim,
-        "bsat" | "seq-bsat" => EngineKind::SeqBsat,
-        other => {
-            eprintln!("engine `{other}` has no sequential variant (bsim|bsat|seq-bsim|seq-bsat)");
-            return ExitCode::FAILURE;
-        }
-    };
-    let frames = o.frames.unwrap_or(3);
-    println!(
-        "sequential diagnosis: {} flip-flop(s), {frames} time frame(s)",
-        golden.latches().len()
-    );
-    let tests = generate_failing_sequences(golden, faulty, frames, o.seq_len, o.seed, 1 << 17);
-    if tests.is_empty() {
-        eprintln!(
-            "the injected errors are not observable within {frames} frame(s) of random stimulus"
-        );
-        return ExitCode::FAILURE;
-    }
-    println!("collected {} failing sequence(s)", tests.len());
-    let errors: Vec<GateId> = faults.iter().map(|f| f.gate).collect();
-    let run = run_sequential_engine(
-        engine,
-        faulty,
-        &tests,
-        &EngineConfig {
-            k: o.k.unwrap_or(o.inject),
-            max_solutions: o.max_solutions,
-            ..EngineConfig::default()
-        },
-    );
-    if engine == EngineKind::SeqBsim {
+    if outcome.status == DiagnoseStatus::Preempted {
         println!(
-            "sequential BSIM marked {} gates; G_max below",
-            run.candidates.len()
+            "preempted by the {} budget (partial results above)",
+            run.truncation.map_or("cooperative", |t| t.name())
         );
     }
-    print_solutions(faulty, &run.solutions, run.complete, &errors);
-    if engine == EngineKind::SeqBsat {
+    if let Some(tg) = &run.test_gen {
         println!(
-            "solver: {} conflicts, {} decisions, {} propagations",
-            run.stats.conflicts, run.stats.decisions, run.stats.propagations
+            "test-gen: {} discriminating test(s) generated; solutions {} -> {}{}",
+            tg.tests.len(),
+            tg.solutions_before,
+            tg.solutions_after,
+            if tg.truncation.is_some() {
+                " (truncated)"
+            } else {
+                ""
+            }
         );
+        println!(
+            "test-gen: {} ambiguity class(es) among the survivors",
+            tg.classes.len()
+        );
+        for class in tg.classes.iter().take(20) {
+            let members: Vec<String> = class
+                .iter()
+                .filter_map(|&s| run.solutions.get(s))
+                .map(|sol| {
+                    sol.iter()
+                        .map(|&g| name_of(faulty, g))
+                        .collect::<Vec<_>>()
+                        .join("+")
+                })
+                .collect();
+            println!("  {{{}}}", members.join(", "));
+        }
+        if tg.classes.len() > 20 {
+            println!("  ... and {} more", tg.classes.len() - 20);
+        }
+    } else if o.test_gen && !sequential {
+        println!("test-gen: no candidate corrections to discriminate (skipped)");
     }
     if let Some(path) = &o.dot {
         let dot = to_dot(faulty, &run.candidates);
@@ -524,6 +606,161 @@ fn diagnose_sequential(
         println!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+/// `gatediag serve`: the diagnosis daemon (JSONL over TCP or stdio).
+fn serve(args: &[String]) -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut stdio = false;
+    let mut config = ServiceConfig::default();
+    let value = |args: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let result: Result<(), String> = (|| {
+            match args[i].as_str() {
+                "--listen" => listen = Some(value(args, &mut i, "--listen")?),
+                "--stdio" => stdio = true,
+                "--workers" => {
+                    config.workers = value(args, &mut i, "--workers")?
+                        .parse()
+                        .map_err(|_| "--workers expects an integer".to_string())?
+                }
+                "--registry-capacity" => {
+                    config.registry_capacity =
+                        value(args, &mut i, "--registry-capacity")?
+                            .parse()
+                            .map_err(|_| "--registry-capacity expects an integer".to_string())?
+                }
+                "--max-work-budget" => {
+                    config.max_work_budget = Some(
+                        value(args, &mut i, "--max-work-budget")?
+                            .parse()
+                            .map_err(|_| "--max-work-budget expects an integer".to_string())?,
+                    )
+                }
+                "--default-work-budget" => {
+                    config.default_work_budget = Some(
+                        value(args, &mut i, "--default-work-budget")?
+                            .parse()
+                            .map_err(|_| "--default-work-budget expects an integer".to_string())?,
+                    )
+                }
+                other => return Err(format!("unknown option `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = result {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        i += 1;
+    }
+    if stdio == listen.is_some() {
+        eprintln!("serve needs exactly one of --listen ADDR or --stdio\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    // Injected chaos panics (a client exercising crash isolation) are
+    // caught per request; silence the expected ones like the campaign
+    // runner does, keep the default hook for real bugs.
+    silence_chaos_panics();
+    let service = std::sync::Arc::new(Service::new(config));
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        return match serve_lines(&service, stdin.lock(), stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let addr = listen.expect("checked above");
+    let listener = match std::net::TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(local) => println!("gatediag serve: listening on {local}"),
+        Err(_) => println!("gatediag serve: listening on {addr}"),
+    }
+    match serve_tcp(service, listener) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `gatediag client`: send one diagnose request (built from the same
+/// options as `diagnose`) to a running daemon and print its response.
+fn client(args: &[String]) -> ExitCode {
+    let o = match parse_options(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(addr) = o.connect.clone() else {
+        eprintln!("client needs --connect ADDR\n\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let golden = if o.demo || o.bench.is_none() {
+        c17()
+    } else {
+        match load_circuit(o.bench.as_deref().expect("checked above")) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let request = match diagnose_request(&o) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let line = render_diagnose_request(&diagnose_call(&golden, request, &o));
+    match gatediag::serve::request(&addr, &line) {
+        Ok(response) => {
+            println!("{response}");
+            response_exit(&response)
+        }
+        Err(e) => {
+            eprintln!("client: cannot reach {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Keeps the default panic hook for real bugs but silences the
+/// deterministic `chaos:` panics the chaos harness injects on purpose
+/// (they are caught and recorded by the crash-isolation layer).
+fn silence_chaos_panics() {
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        if !message.is_some_and(|m| m.starts_with("chaos:")) {
+            default_hook(info);
+        }
+    }));
 }
 
 fn print_solutions(
@@ -856,19 +1093,9 @@ fn campaign_inner(args: &[String]) -> Result<(), String> {
         instances
     );
     if spec.chaos.is_some() {
-        // Injected chaos panics are caught and recorded per instance; keep
-        // the default hook for real panics but silence the expected ones.
-        let default_hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let payload = info.payload();
-            let message = payload
-                .downcast_ref::<&str>()
-                .copied()
-                .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
-            if !message.is_some_and(|m| m.starts_with("chaos:")) {
-                default_hook(info);
-            }
-        }));
+        // Injected chaos panics are caught and recorded per instance;
+        // silence the expected ones, keep the hook for real bugs.
+        silence_chaos_panics();
     }
     let checkpoint_policy = checkpoint.as_ref().map(|path| CheckpointPolicy {
         path: std::path::PathBuf::from(path),
